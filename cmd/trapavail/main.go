@@ -1,0 +1,77 @@
+// Command trapavail evaluates the paper's closed-form availability and
+// storage equations (7–15) for one configuration, printing write
+// availability, read availability under full replication and erasure
+// coding (both equation 13 and the exact protocol-structural value),
+// and the storage used per block.
+//
+// Usage:
+//
+//	trapavail -n 15 -k 8 -a 2 -b 3 -hh 1 -w 3 -p 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trapquorum/internal/availability"
+	"trapquorum/internal/trapezoid"
+)
+
+func main() {
+	n := flag.Int("n", 15, "MDS code length n")
+	k := flag.Int("k", 8, "MDS code dimension k")
+	a := flag.Int("a", 2, "trapezoid slope a")
+	b := flag.Int("b", 3, "trapezoid base b (level-0 width)")
+	h := flag.Int("hh", 1, "trapezoid top level h (h+1 levels)")
+	w := flag.Int("w", 3, "write quorum size at levels 1..h")
+	p := flag.Float64("p", 0.9, "node availability p")
+	flag.Parse()
+
+	if err := run(*n, *k, *a, *b, *h, *w, *p); err != nil {
+		fmt.Fprintln(os.Stderr, "trapavail:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, k, a, b, h, w int, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("p = %v outside [0,1]", p)
+	}
+	shape := trapezoid.Shape{A: a, B: b, H: h}
+	cfg, err := trapezoid.NewConfig(shape, w)
+	if err != nil {
+		return err
+	}
+	if got, want := shape.NbNodes(), n-k+1; got != want {
+		return fmt.Errorf("trapezoid holds %d nodes, need n-k+1 = %d", got, want)
+	}
+	e := availability.ERCParams{Config: cfg, N: n, K: k}
+	fmt.Printf("configuration: (n=%d, k=%d) MDS, trapezoid %s, w=%d, p=%g\n", n, k, shape, w, p)
+	fmt.Printf("  levels:")
+	for l := 0; l <= h; l++ {
+		fmt.Printf(" s_%d=%d (w=%d, r=%d)", l, shape.LevelSize(l), cfg.W[l], cfg.ReadThreshold(l))
+	}
+	fmt.Println()
+
+	fmt.Printf("write availability  (eq 8/9): %.6f\n", availability.Write(cfg, p))
+	fmt.Printf("read  availability   TRAP-FR (eq 10): %.6f\n", availability.ReadFR(cfg, p))
+	erc, err := availability.ReadERC(e, p)
+	if err != nil {
+		return err
+	}
+	p1, p2, err := availability.ReadERCParts(e, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read  availability  TRAP-ERC (eq 13): %.6f  (P1=%.6f direct, P2=%.6f decode)\n", erc, p1, p2)
+	exact, err := availability.ReadERCExact(e, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read  availability  TRAP-ERC (exact protocol): %.6f  (eq13 optimism: %+.6f)\n", exact, erc-exact)
+	fmt.Printf("storage per block: TRAP-FR %.3f x blocksize (eq 14), TRAP-ERC %.3f x blocksize (eq 15)\n",
+		availability.StorageFR(n, k), availability.StorageERC(n, k))
+	fmt.Printf("storage saving: %.1f%%\n", 100*(1-availability.StorageERC(n, k)/availability.StorageFR(n, k)))
+	return nil
+}

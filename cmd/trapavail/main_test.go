@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunValidConfig(t *testing.T) {
+	if err := run(15, 8, 2, 3, 1, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadProbability(t *testing.T) {
+	if err := run(15, 8, 2, 3, 1, 3, -0.1); err == nil {
+		t.Fatal("p<0 accepted")
+	}
+	if err := run(15, 8, 2, 3, 1, 3, 1.5); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+}
+
+func TestRunRejectsMismatchedTrapezoid(t *testing.T) {
+	// (2,3,2) holds 15 nodes but n-k+1 = 8.
+	if err := run(15, 8, 2, 3, 2, 3, 0.5); err == nil {
+		t.Fatal("mismatched trapezoid accepted")
+	}
+}
+
+func TestRunRejectsBadShape(t *testing.T) {
+	if err := run(15, 8, -1, 3, 1, 3, 0.5); err == nil {
+		t.Fatal("a<0 accepted")
+	}
+	if err := run(15, 8, 2, 3, 1, 9, 0.5); err == nil {
+		t.Fatal("w>s1 accepted")
+	}
+}

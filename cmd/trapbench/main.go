@@ -1,0 +1,92 @@
+// Command trapbench regenerates every figure of the paper's
+// evaluation section (Figures 2–5) plus this reproduction's validation
+// and ablation studies, printing each as an aligned table and
+// optionally writing CSV files for plotting. -latency additionally
+// prints operation latency percentiles under a 200µs per-node delay.
+//
+// Usage:
+//
+//	trapbench [-fig all|fig2|fig3|fig4|fig5|mcval|ablation-write|ablation-read|update-cost|endurance]
+//	          [-trials N] [-seed S] [-csv DIR] [-latency]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"trapquorum/internal/figures"
+	"trapquorum/internal/latency"
+	"trapquorum/internal/sim"
+	"trapquorum/internal/trapezoid"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "figure id to regenerate, or 'all'")
+	trials := flag.Int("trials", 50000, "Monte-Carlo trials per grid point (mcval)")
+	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
+	csvDir := flag.String("csv", "", "directory to write <fig>.csv files into (optional)")
+	withLatency := flag.Bool("latency", false, "also print operation latency percentiles (A7)")
+	flag.Parse()
+
+	if err := run(*figFlag, *trials, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "trapbench:", err)
+		os.Exit(1)
+	}
+	if *withLatency {
+		if err := runLatency(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "trapbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runLatency prints the A7 latency table on the Figure-3 configuration.
+func runLatency(seed int64) error {
+	tcfg, err := trapezoid.NewConfig(figures.Fig3Shape, figures.Fig3W)
+	if err != nil {
+		return err
+	}
+	rep, err := latency.Measure(latency.Config{
+		N: figures.Fig3N, K: figures.Fig3K,
+		Trapezoid: tcfg,
+		BlockSize: 4096,
+		Delay:     sim.FixedDelay(200 * time.Microsecond),
+		Ops:       50,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("A7 — operation latency (200µs per node op, (15,8), a=2 b=3 h=1, w=3)")
+	fmt.Println(rep.Table())
+	return nil
+}
+
+func run(figID string, trials int, seed int64, csvDir string) error {
+	all, err := figures.All(trials, seed)
+	if err != nil {
+		return err
+	}
+	matched := false
+	for _, fig := range all {
+		if figID != "all" && fig.ID != figID {
+			continue
+		}
+		matched = true
+		fmt.Println(fig.Table())
+		if csvDir != "" {
+			path := filepath.Join(csvDir, fig.ID+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", figID)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run("fig5", 100, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("fig99", 100, 1, ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig5", 100, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "k,TRAP-FR,TRAP-ERC") {
+		t.Fatalf("csv header wrong: %q", string(data[:40]))
+	}
+}
+
+func TestRunAllFigures(t *testing.T) {
+	// Small trial count keeps the Monte-Carlo figures fast.
+	if err := run("all", 200, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunRepairedMode(t *testing.T) {
+	if err := run(15, 8, 2, 3, 1, 3, 0.9, 200, 128, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSteadyMode(t *testing.T) {
+	if err := run(15, 8, 2, 3, 1, 3, 0.9, 200, 128, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsMismatchedTrapezoid(t *testing.T) {
+	if err := run(15, 8, 2, 3, 2, 3, 0.9, 10, 128, 1, false); err == nil {
+		t.Fatal("mismatched trapezoid accepted")
+	}
+}
+
+func TestRunRejectsInvalidShape(t *testing.T) {
+	if err := run(15, 8, 2, 0, 1, 3, 0.9, 10, 128, 1, false); err == nil {
+		t.Fatal("b=0 accepted")
+	}
+}

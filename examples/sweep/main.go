@@ -1,0 +1,105 @@
+// Sweep: design-space exploration. For a fixed (n,k) code, enumerate
+// every trapezoid shape holding n−k+1 nodes and every legal w, and
+// print the read/write availability each configuration delivers at a
+// target node availability, next to the storage cost — the table an
+// operator would use to pick deployment parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"trapquorum/internal/availability"
+	"trapquorum/internal/trapezoid"
+)
+
+func main() {
+	n := flag.Int("n", 15, "MDS code length n")
+	k := flag.Int("k", 8, "MDS code dimension k")
+	p := flag.Float64("p", 0.9, "node availability to evaluate at")
+	maxH := flag.Int("maxh", 3, "largest trapezoid height to consider")
+	flag.Parse()
+
+	if err := run(*n, *k, *p, *maxH); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type row struct {
+	shape      trapezoid.Shape
+	w          int
+	writeAvail float64
+	readAvail  float64
+	wqSize     int
+}
+
+func run(n, k int, p float64, maxH int) error {
+	nb := n - k + 1
+	shapes := trapezoid.EnumerateShapes(nb, maxH)
+	if len(shapes) == 0 {
+		return fmt.Errorf("no trapezoid shapes hold %d nodes with h <= %d", nb, maxH)
+	}
+	var rows []row
+	for _, shape := range shapes {
+		maxW := shape.NbNodes() // any larger is invalid everywhere
+		for w := 1; w <= maxW; w++ {
+			cfg, err := trapezoid.NewConfig(shape, w)
+			if err != nil {
+				break // w exceeds some level size; larger w only worse
+			}
+			e := availability.ERCParams{Config: cfg, N: n, K: k}
+			readAvail, err := availability.ReadERC(e, p)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{
+				shape:      shape,
+				w:          w,
+				writeAvail: availability.Write(cfg, p),
+				readAvail:  readAvail,
+				wqSize:     cfg.WriteQuorumSize(),
+			})
+			if shape.H == 0 {
+				break // w unused for single-level trapezoids
+			}
+		}
+	}
+	// Rank by balanced availability (min of read/write), then by
+	// smaller write quorum (cheaper updates).
+	sort.Slice(rows, func(i, j int) bool {
+		mi := min(rows[i].writeAvail, rows[i].readAvail)
+		mj := min(rows[j].writeAvail, rows[j].readAvail)
+		if mi != mj {
+			return mi > mj
+		}
+		return rows[i].wqSize < rows[j].wqSize
+	})
+
+	fmt.Printf("design sweep: (n=%d, k=%d) MDS, %d trapezoid nodes, p=%g\n", n, k, nb, p)
+	fmt.Printf("storage: %.3fx blocksize (vs %.0fx full replication, %.1f%% saved)\n\n",
+		availability.StorageERC(n, k), availability.StorageFR(n, k),
+		100*(1-availability.StorageERC(n, k)/availability.StorageFR(n, k)))
+	fmt.Printf("%-16s %3s %6s %12s %12s %10s\n", "shape", "w", "|WQ|", "P_write", "P_read", "min")
+	for i, r := range rows {
+		if i >= 15 {
+			fmt.Printf("... (%d more configurations)\n", len(rows)-i)
+			break
+		}
+		fmt.Printf("%-16s %3d %6d %12.6f %12.6f %10.6f\n",
+			r.shape, r.w, r.wqSize, r.writeAvail, r.readAvail,
+			min(r.writeAvail, r.readAvail))
+	}
+	best := rows[0]
+	fmt.Printf("\nrecommended: trapezoid %s with w=%d (write %.6f, read %.6f at p=%g)\n",
+		best.shape, best.w, best.writeAvail, best.readAvail, p)
+	return nil
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,185 @@
+// Package availability implements the closed-form read/write
+// availability and storage-cost analysis of the paper (§IV,
+// equations 7–15) for the trapezoid protocol in both the full
+// replication (TRAP-FR) and erasure-coding (TRAP-ERC) instantiations.
+//
+// Model assumptions (paper §IV): every node is independently available
+// with probability p, nodes are fail-stop, and links never fail.
+package availability
+
+import (
+	"fmt"
+	"math"
+
+	"trapquorum/internal/trapezoid"
+)
+
+// Binomial returns the binomial coefficient C(z, m) as a float64.
+// Out-of-range m yields 0. Computed via log-gamma so that z up to the
+// field-size limit (256) stays accurate.
+func Binomial(z, m int) float64 {
+	if m < 0 || m > z || z < 0 {
+		return 0
+	}
+	if m == 0 || m == z {
+		return 1
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return math.Exp(lg(z) - lg(m) - lg(z-m))
+}
+
+// Phi implements equation (7): the probability that at least i and at
+// most j of z independent nodes are available, each with probability p.
+// Arguments outside [0, z] are clamped; an empty range yields 0.
+func Phi(z, i, j int, p float64) float64 {
+	if z < 0 {
+		panic(fmt.Sprintf("availability: Phi with z=%d", z))
+	}
+	if i < 0 {
+		i = 0
+	}
+	if j > z {
+		j = z
+	}
+	if i > j {
+		return 0
+	}
+	sum := 0.0
+	for m := i; m <= j; m++ {
+		term := Binomial(z, m)
+		if p > 0 {
+			term *= math.Pow(p, float64(m))
+		} else if m > 0 {
+			term = 0
+		}
+		if p < 1 {
+			term *= math.Pow(1-p, float64(z-m))
+		} else if z-m > 0 {
+			term = 0
+		}
+		sum += term
+	}
+	if sum > 1 {
+		sum = 1 // guard against float drift in long sums
+	}
+	return sum
+}
+
+// Write implements equations (8) and (9): the probability that a write
+// quorum can be assembled, P_write = Π_l Φ_{s_l}(w_l, s_l). The paper's
+// central observation is that this is identical for TRAP-FR and
+// TRAP-ERC — erasure coding does not change the write path's quorum
+// geometry.
+func Write(cfg trapezoid.Config, p float64) float64 {
+	prod := 1.0
+	for l := 0; l <= cfg.Shape.H; l++ {
+		sl := cfg.Shape.LevelSize(l)
+		prod *= Phi(sl, cfg.W[l], sl, p)
+	}
+	return prod
+}
+
+// ReadFR implements equation (10): read availability under full
+// replication. The read succeeds when at least one level can muster
+// its version-check threshold r_l = s_l − w_l + 1 — any node with the
+// latest version then serves the data directly.
+func ReadFR(cfg trapezoid.Config, p float64) float64 {
+	prodFail := 1.0
+	for l := 0; l <= cfg.Shape.H; l++ {
+		sl := cfg.Shape.LevelSize(l)
+		rl := cfg.ReadThreshold(l)
+		prodFail *= 1 - Phi(sl, rl, sl, p)
+	}
+	return 1 - prodFail
+}
+
+// ERCParams couples a trapezoid configuration with the (n,k) MDS code
+// it protects. The trapezoid organises the node holding the original
+// block plus the n−k parity nodes, so NbNodes must equal n−k+1
+// (equation 5).
+type ERCParams struct {
+	Config trapezoid.Config
+	N, K   int
+}
+
+// Validate checks code bounds and the Nbnode = n−k+1 coupling.
+func (e ERCParams) Validate() error {
+	if err := e.Config.Validate(); err != nil {
+		return err
+	}
+	if e.K < 1 || e.N < e.K {
+		return fmt.Errorf("availability: invalid code n=%d k=%d", e.N, e.K)
+	}
+	if nb := e.Config.Shape.NbNodes(); nb != e.N-e.K+1 {
+		return fmt.Errorf("availability: trapezoid holds %d nodes but n-k+1 = %d", nb, e.N-e.K+1)
+	}
+	return nil
+}
+
+// readERCBounds returns the β_l and λ_l of equations (11) and (12).
+// Level 0 excludes the original-data node N_i (whose state is
+// conditioned on separately), hence the shifted bounds there.
+func readERCBounds(cfg trapezoid.Config, l int) (beta, lambda int) {
+	rl := cfg.ReadThreshold(l)
+	sl := cfg.Shape.LevelSize(l)
+	if l == 0 {
+		beta = rl - 2
+		if beta < 0 {
+			beta = 0
+		}
+		return beta, sl - 1
+	}
+	return rl - 1, sl
+}
+
+// ReadERCParts returns the two summands of equation (13).
+//
+// P1 is the probability the block is read without decoding: node N_i
+// is up (probability p) and at least one level reaches its version
+// check threshold.
+//
+// P2 is the probability the block is read after decoding: N_i is down
+// (probability 1−p) and at least k of the remaining n−1 stripe nodes
+// are up to reconstruct it.
+func ReadERCParts(e ERCParams, p float64) (p1, p2 float64, err error) {
+	if err := e.Validate(); err != nil {
+		return 0, 0, err
+	}
+	cfg := e.Config
+	prodFail := 1.0
+	for l := 0; l <= cfg.Shape.H; l++ {
+		beta, lambda := readERCBounds(cfg, l)
+		prodFail *= Phi(lambda, 0, beta, p)
+	}
+	p1 = p * (1 - prodFail)
+	p2 = (1 - p) * Phi(e.N-1, e.K, e.N-1, p)
+	return p1, p2, nil
+}
+
+// ReadERC implements equation (13): read availability of TRAP-ERC,
+// P_read = P1 + P2.
+func ReadERC(e ERCParams, p float64) (float64, error) {
+	p1, p2, err := ReadERCParts(e, p)
+	if err != nil {
+		return 0, err
+	}
+	return p1 + p2, nil
+}
+
+// StorageFR implements equation (14): disk used per data block under
+// full replication, in units of blocksize. The block is replicated on
+// the n−k+1 trapezoid nodes.
+func StorageFR(n, k int) float64 {
+	return float64(n - k + 1)
+}
+
+// StorageERC implements equation (15): disk used per data block under
+// the ERC scheme, in units of blocksize. The original block occupies
+// blocksize and each of the n−k parity fragments blocksize/k, giving
+// n/k in total.
+func StorageERC(n, k int) float64 {
+	return float64(n) / float64(k)
+}

@@ -1,0 +1,51 @@
+package core
+
+import "fmt"
+
+// WriteObject stores an arbitrary buffer as one stripe: the buffer is
+// split into k equally sized blocks (zero-padded), encoded, and seeded
+// across the nodes. It is the bootstrap path for whole objects; use
+// WriteBlock for subsequent in-place block updates.
+func (s *System) WriteObject(stripe uint64, payload []byte) error {
+	blocks := s.code.Split(payload)
+	if err := s.SeedStripe(stripe, blocks); err != nil {
+		return err
+	}
+	s.setObjectSize(stripe, len(payload))
+	return nil
+}
+
+func (s *System) setObjectSize(stripe uint64, size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.objectSizes == nil {
+		s.objectSizes = make(map[uint64]int)
+	}
+	s.objectSizes[stripe] = size
+}
+
+func (s *System) objectSize(stripe uint64) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size, ok := s.objectSizes[stripe]
+	return size, ok
+}
+
+// ReadObject reads back a buffer stored with WriteObject, issuing one
+// quorum read per data block and joining the results.
+func (s *System) ReadObject(stripe uint64) ([]byte, error) {
+	size, ok := s.objectSize(stripe)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d has no object mapping", ErrUnknownStripe, stripe)
+	}
+	k := s.code.K()
+	blocks := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		data, _, err := s.ReadBlock(stripe, i)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", i, err)
+		}
+		blocks[i] = data
+	}
+	return s.code.Join(blocks, size)
+}

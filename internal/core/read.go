@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"trapquorum/internal/sim"
+)
+
+// ReadBlock implements Algorithm 2: read data block `block` of a
+// stripe. It returns the block content and the version it carries.
+//
+// Step 1 (checking version): levels are scanned from 0 to h; at each
+// level the version of the block is collected from responding nodes
+// until r_l = s_l−w_l+1 answers arrive. The first level to do so
+// determines the latest version.
+//
+// Step 2 (read or decode): if the data node N_i holds the latest
+// version the block is read from it directly (Case 1); otherwise the
+// block is decoded from k mutually consistent shards carrying the
+// latest version (Case 2).
+func (s *System) ReadBlock(stripe uint64, block int) ([]byte, uint64, error) {
+	if block < 0 || block >= s.code.K() {
+		return nil, 0, fmt.Errorf("%w: %d of k=%d", ErrBadIndex, block, s.code.K())
+	}
+	if _, err := s.stripeBlockSize(stripe); err != nil {
+		return nil, 0, err
+	}
+	data, version, err := s.readBlock(stripe, block)
+	if err != nil {
+		s.metrics.FailedReads.Add(1)
+		return nil, 0, err
+	}
+	return data, version, nil
+}
+
+// readRetryLimit bounds how often a read chases a version that
+// concurrent writes moved past mid-flight.
+const readRetryLimit = 4
+
+// readBlock is ReadBlock without metrics/validation, shared with the
+// write path's initial read.
+//
+// The decode path can race concurrent writers: the check quorum pins
+// "latest = v", but by the time the shards are gathered every parity
+// has moved to v+1 and no consistent set at v exists any more. That
+// is not a failure of the stripe — re-running the version check
+// observes the newer version and succeeds. The retry is bounded; a
+// stripe under relentless write pressure can still report
+// ErrNotReadable, which callers treat like any other transient quorum
+// failure.
+func (s *System) readBlock(stripe uint64, block int) ([]byte, uint64, error) {
+	lastVersion := sim.NoVersion
+	var lastErr error
+	for attempt := 0; attempt < readRetryLimit; attempt++ {
+		version, niVersion, niResponded, ok := s.checkVersion(stripe, block)
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: no level reached its version check threshold", ErrNotReadable)
+		}
+		if attempt > 0 && version == lastVersion {
+			// No concurrent progress: the previous decode failure was
+			// a genuine availability gap, not a race.
+			return nil, 0, lastErr
+		}
+		lastVersion = version
+		// Case 1: the data node holds the latest version — read directly.
+		if niResponded && niVersion == version {
+			chunk, err := s.nodes[block].ReadChunk(chunkID(stripe, block))
+			if err == nil && len(chunk.Versions) > 0 && chunk.Versions[0] >= version {
+				s.metrics.DirectReads.Add(1)
+				return chunk.Data, chunk.Versions[0], nil
+			}
+			// The node failed between the version check and the read;
+			// fall through to the decode path.
+		}
+		// Case 2: decode from k consistent shards at the latest version.
+		data, err := s.decodeBlock(stripe, block, version)
+		if err == nil {
+			s.metrics.DecodeReads.Add(1)
+			return data, version, nil
+		}
+		lastErr = err
+	}
+	return nil, 0, lastErr
+}
+
+// checkVersion performs Step 1 of Algorithm 2. It returns the latest
+// version found by the first level that reached its threshold, the
+// data node's own version (valid when niResponded), and ok=false when
+// every level failed.
+func (s *System) checkVersion(stripe uint64, block int) (version, niVersion uint64, niResponded, ok bool) {
+	cfg := s.lay.Config()
+	for l := 0; l <= cfg.Shape.H; l++ {
+		need := cfg.ReadThreshold(l)
+		counter := 0
+		version = sim.NoVersion
+		for _, pos := range s.lay.Level(l) {
+			shard := s.shardForPosition(block, pos)
+			versions, err := s.nodes[shard].ReadVersions(chunkID(stripe, shard))
+			if err != nil {
+				continue // down or missing: does not count
+			}
+			v, valid := s.versionOfShard(block, shard, versions)
+			if !valid {
+				continue
+			}
+			if pos == 0 {
+				niVersion = v
+				niResponded = true
+			}
+			if version == sim.NoVersion || v > version {
+				version = v
+			}
+			counter++
+			if counter == need {
+				return version, niVersion, niResponded, true
+			}
+		}
+	}
+	return 0, 0, false, false
+}
+
+// shardCandidate is one shard available for decoding: its stripe
+// index, content, and full version vector.
+type shardCandidate struct {
+	shard    int
+	data     []byte
+	versions []uint64
+}
+
+// decodeBlock implements Case 2 of Algorithm 2: reconstruct data block
+// `block` at the target version from any k mutually consistent shards.
+//
+// Consistency is judged on full version vectors, the information the
+// paper's V matrix carries: two parity shards agree iff their vectors
+// are identical; a data shard t agrees with a parity vector iff its
+// own version equals the vector's component t. This prevents mixing
+// shards that fold different versions of *other* blocks, which would
+// decode garbage.
+func (s *System) decodeBlock(stripe uint64, block int, version uint64) ([]byte, error) {
+	k := s.code.K()
+	n := s.code.N()
+	// Collect candidates from every reachable node.
+	var parity []shardCandidate
+	dataVersion := make(map[int]shardCandidate)
+	for shard := 0; shard < n; shard++ {
+		chunk, err := s.nodes[shard].ReadChunk(chunkID(stripe, shard))
+		if err != nil {
+			continue
+		}
+		cand := shardCandidate{shard: shard, data: chunk.Data, versions: chunk.Versions}
+		if shard < k {
+			if len(chunk.Versions) == 1 {
+				dataVersion[shard] = cand
+			}
+		} else if len(chunk.Versions) == k {
+			parity = append(parity, cand)
+		}
+	}
+	// Group parity shards by identical version vectors whose component
+	// for `block` equals the target version.
+	type group struct {
+		vector  []uint64
+		members []shardCandidate
+	}
+	groups := make(map[string]*group)
+	for _, cand := range parity {
+		if cand.versions[block] != version {
+			continue
+		}
+		key := vectorKey(cand.versions)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{vector: cand.versions}
+			groups[key] = g
+		}
+		g.members = append(g.members, cand)
+	}
+	// The all-data group: if the data shard for `block` itself is at
+	// the target version we never get here (Case 1 handles it), so a
+	// viable decode set always includes at least one parity shard.
+	var keys []string
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys) // deterministic choice among viable groups
+	var best []shardCandidate
+	for _, key := range keys {
+		g := groups[key]
+		members := append([]shardCandidate(nil), g.members...)
+		// Extend with data shards consistent with the group vector.
+		for t := 0; t < k; t++ {
+			if t == block {
+				continue // target block's own shard is stale here
+			}
+			cand, ok := dataVersion[t]
+			if !ok || cand.versions[0] != g.vector[t] {
+				continue
+			}
+			members = append(members, cand)
+		}
+		if len(members) >= k && len(best) < len(members) {
+			best = members
+		}
+	}
+	if len(best) < k {
+		return nil, fmt.Errorf("%w: no %d consistent shards at version %d", ErrNotReadable, k, version)
+	}
+	shards := make([][]byte, n)
+	for _, cand := range best {
+		shards[cand.shard] = cand.data
+	}
+	return s.code.DecodeBlock(block, shards)
+}
+
+// vectorKey renders a version vector as a map key.
+func vectorKey(v []uint64) string {
+	buf := make([]byte, 0, len(v)*8)
+	for _, x := range v {
+		for shift := 0; shift < 64; shift += 8 {
+			buf = append(buf, byte(x>>uint(shift)))
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"trapquorum/internal/sim"
+)
+
+// RepairShard reconstructs stripe shard j from the surviving nodes and
+// reinstalls it on node j (which must be reachable again). This is the
+// exact-repair path run when a failed node rejoins with an empty or
+// stale disk.
+//
+// The repair reads every reachable shard, groups them into mutually
+// consistent sets by version vector (as the decode path does), picks
+// the freshest set with at least k members, recomputes shard j from
+// it, and writes the chunk with the set's version bookkeeping.
+//
+// Ordering note for bulk repair: when many shards are stale, repair
+// parity shards before data shards. Data shards are always mutually
+// consistent (each is authoritative for its own block), so parity can
+// be rebuilt from them; a data-shard rebuild, however, needs k
+// consistent survivors, which stale parities cannot supply until they
+// are refreshed.
+func (s *System) RepairShard(stripe uint64, shard int) error {
+	if shard < 0 || shard >= s.code.N() {
+		return fmt.Errorf("%w: shard %d of n=%d", ErrBadIndex, shard, s.code.N())
+	}
+	if _, err := s.stripeBlockSize(stripe); err != nil {
+		return err
+	}
+	vector, shards, err := s.freshestConsistentSet(stripe, shard)
+	if err != nil {
+		return err
+	}
+	rebuilt, err := s.code.RepairShard(shard, shards)
+	if err != nil {
+		return err
+	}
+	var versions []uint64
+	if shard < s.code.K() {
+		versions = []uint64{vector[shard]}
+	} else {
+		versions = vector
+	}
+	// Version-guarded install: a concurrent write may have advanced
+	// the shard since the survivors were gathered; never regress it.
+	if err := s.nodes[shard].PutChunkIfFresher(chunkID(stripe, shard), rebuilt, versions); err != nil {
+		return err
+	}
+	s.metrics.Repairs.Add(1)
+	return nil
+}
+
+// RepairStripe brings every stale shard of a stripe back to a mutually
+// consistent, freshest reachable state, iterating to a fixpoint. The
+// iteration matters because repairs have dependencies in both
+// directions: stale parity needs fresh data shards, while a data shard
+// that missed a committed write can only be rebuilt once enough fresh
+// parity is available — and a shard that is *ahead* of every
+// consistent group (it holds a committed write its peers missed) must
+// not be touched at all, or the write would be lost.
+//
+// It returns the number of shards whose repair call succeeded, the
+// shards intentionally left alone because they are ahead of (or
+// incomparable with) the freshest rebuildable state, and an error if
+// some shard could not be repaired for any other reason.
+func (s *System) RepairStripe(stripe uint64) (repaired int, ahead []int, err error) {
+	if _, err := s.stripeBlockSize(stripe); err != nil {
+		return 0, nil, err
+	}
+	n := s.code.N()
+	lastFailed := n + 1
+	for round := 0; round < n+1; round++ {
+		var failed []int
+		var failErr error
+		ahead = ahead[:0]
+		for shard := 0; shard < n; shard++ {
+			rerr := s.RepairShard(stripe, shard)
+			switch {
+			case rerr == nil:
+				repaired++
+			case errors.Is(rerr, sim.ErrVersionMismatch):
+				// The stored chunk is fresher than anything we can
+				// rebuild: leave it (see the residue discussion).
+				ahead = append(ahead, shard)
+			default:
+				failed = append(failed, shard)
+				failErr = rerr
+			}
+		}
+		if len(failed) == 0 {
+			return repaired, ahead, nil
+		}
+		if len(failed) >= lastFailed {
+			return repaired, ahead, fmt.Errorf("core: repair stalled on shards %v: %w", failed, failErr)
+		}
+		lastFailed = len(failed)
+	}
+	return repaired, ahead, fmt.Errorf("core: repair did not converge")
+}
+
+// RepairShardForce is RepairShard without the version guard: the
+// rebuilt chunk is installed unconditionally. Use only with writers
+// quiesced, to clear failed-write residue whose version numbers run
+// *ahead* of the cluster's consistent state (the guarded repair
+// refuses to regress them).
+func (s *System) RepairShardForce(stripe uint64, shard int) error {
+	if shard < 0 || shard >= s.code.N() {
+		return fmt.Errorf("%w: shard %d of n=%d", ErrBadIndex, shard, s.code.N())
+	}
+	if _, err := s.stripeBlockSize(stripe); err != nil {
+		return err
+	}
+	vector, shards, err := s.freshestConsistentSet(stripe, shard)
+	if err != nil {
+		return err
+	}
+	rebuilt, err := s.code.RepairShard(shard, shards)
+	if err != nil {
+		return err
+	}
+	var versions []uint64
+	if shard < s.code.K() {
+		versions = []uint64{vector[shard]}
+	} else {
+		versions = vector
+	}
+	if err := s.nodes[shard].PutChunk(chunkID(stripe, shard), rebuilt, versions); err != nil {
+		return err
+	}
+	s.metrics.Repairs.Add(1)
+	return nil
+}
+
+// RepairNode repairs every seeded stripe's shard stored on node
+// `shard`. It returns the number of chunks rebuilt and the first
+// error encountered (continuing past per-stripe failures).
+func (s *System) RepairNode(shard int) (int, error) {
+	stripes := s.Stripes()
+	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
+	repaired := 0
+	var firstErr error
+	for _, stripe := range stripes {
+		if err := s.RepairShard(stripe, shard); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("stripe %d: %w", stripe, err)
+			}
+			continue
+		}
+		repaired++
+	}
+	return repaired, firstErr
+}
+
+// freshestConsistentSet gathers every reachable shard except `exclude`
+// and returns the mutually consistent set with the freshest version
+// vector (componentwise max, ties broken deterministically) that has
+// at least k members, as a full n-slot shard array for the erasure
+// decoder plus the set's version vector.
+func (s *System) freshestConsistentSet(stripe uint64, exclude int) ([]uint64, [][]byte, error) {
+	k, n := s.code.K(), s.code.N()
+	type cand struct {
+		shard    int
+		data     []byte
+		versions []uint64
+	}
+	var parity []cand
+	data := make(map[int]cand)
+	for j := 0; j < n; j++ {
+		if j == exclude {
+			continue
+		}
+		chunk, err := s.nodes[j].ReadChunk(chunkID(stripe, j))
+		if err != nil {
+			continue
+		}
+		c := cand{shard: j, data: chunk.Data, versions: chunk.Versions}
+		if j < k {
+			if len(chunk.Versions) == 1 {
+				data[j] = c
+			}
+		} else if len(chunk.Versions) == k {
+			parity = append(parity, c)
+		}
+	}
+	// Candidate vectors: each distinct parity vector, plus the vector
+	// assembled purely from data shards when all k-1..k of them agree
+	// (needed when no parity survives).
+	type group struct {
+		vector  []uint64
+		members []cand
+	}
+	groups := make(map[string]*group)
+	addGroup := func(vec []uint64) *group {
+		key := vectorKey(vec)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{vector: append([]uint64(nil), vec...)}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, c := range parity {
+		g := addGroup(c.versions)
+		g.members = append(g.members, c)
+	}
+	if len(data) == k || (exclude < k && len(data) == k-1) {
+		// All surviving data shards present: their own versions form a
+		// candidate vector (filling the excluded slot from any parity
+		// is unnecessary — with no parity constraint any value works
+		// only if the set itself reaches k members).
+		vec := make([]uint64, k)
+		complete := true
+		for t := 0; t < k; t++ {
+			if c, ok := data[t]; ok {
+				vec[t] = c.versions[0]
+			} else if t != exclude {
+				complete = false
+			}
+		}
+		if complete && len(data) >= k {
+			addGroup(vec)
+		}
+	}
+	var keys []string
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var bestVec []uint64
+	var bestMembers []cand
+	for _, key := range keys {
+		g := groups[key]
+		members := append([]cand(nil), g.members...)
+		for t := 0; t < k; t++ {
+			c, ok := data[t]
+			if !ok || c.versions[0] != g.vector[t] {
+				continue
+			}
+			members = append(members, c)
+		}
+		if len(members) < k {
+			continue
+		}
+		if bestVec == nil || vectorFresher(g.vector, bestVec) {
+			bestVec = g.vector
+			bestMembers = members
+		}
+	}
+	if bestVec == nil {
+		return nil, nil, fmt.Errorf("%w: no %d consistent shards survive", ErrNotReadable, k)
+	}
+	shards := make([][]byte, n)
+	for _, c := range bestMembers {
+		shards[c.shard] = c.data
+	}
+	return bestVec, shards, nil
+}
+
+// vectorFresher reports whether a is strictly fresher than b: greater
+// in some component and not smaller in the componentwise sum (a simple
+// total preference; concurrent residue vectors are incomparable and
+// resolved by the deterministic key order of the caller).
+func vectorFresher(a, b []uint64) bool {
+	var sa, sb uint64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	return sa > sb
+}

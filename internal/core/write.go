@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"trapquorum/internal/erasure"
+	"trapquorum/internal/sim"
+)
+
+// appliedUpdate records one successful node update of an in-flight
+// write, so a failed write can undo its own footprint.
+type appliedUpdate struct {
+	shard int
+	// isData marks the data-node full write (undo: restore old chunk);
+	// parity updates undo by re-adding the same delta (XOR is its own
+	// inverse) while rolling the version back.
+	isData     bool
+	oldData    []byte
+	oldVersion uint64
+	newVersion uint64
+	delta      []byte
+}
+
+// WriteBlock implements Algorithm 1: write value x into data block
+// `block` of a stripe.
+//
+// The protocol first performs a full read of the block (line 15) to
+// learn the current version and content, computes the parity delta
+// α_{j,i}·(x−old), then walks levels 0..h updating nodes: the data
+// node receives the new block outright, each parity node receives the
+// delta conditionally on its version matching the version just read.
+// A level that cannot reach w_l successful updates fails the write
+// (lines 35–37).
+//
+// On failure this implementation rolls back the updates it applied
+// (best-effort; disabled by Options.DisableRollback for the faithful
+// paper behaviour).
+func (s *System) WriteBlock(stripe uint64, block int, x []byte) error {
+	if block < 0 || block >= s.code.K() {
+		return fmt.Errorf("%w: %d of k=%d", ErrBadIndex, block, s.code.K())
+	}
+	size, err := s.stripeBlockSize(stripe)
+	if err != nil {
+		return err
+	}
+	if len(x) != size {
+		return fmt.Errorf("%w: got %d bytes, stripe uses %d", ErrBlockSize, len(x), size)
+	}
+	lock := s.blockLock(stripe, block)
+	lock.Lock()
+	defer lock.Unlock()
+
+	// Algorithm 1 line 15: read the old value and version.
+	old, oldVersion, err := s.readBlock(stripe, block)
+	if err != nil {
+		s.metrics.FailedWrites.Add(1)
+		return fmt.Errorf("%w: initial read failed: %v", ErrWriteFailed, err)
+	}
+	newVersion := oldVersion + 1
+	delta := erasure.DataDelta(old, x)
+
+	var applied []appliedUpdate
+	cfg := s.lay.Config()
+	for l := 0; l <= cfg.Shape.H; l++ {
+		counter := 0
+		for _, pos := range s.lay.Level(l) {
+			shard := s.shardForPosition(block, pos)
+			id := chunkID(stripe, shard)
+			if pos == 0 {
+				// Line 20: write x into the data node N_i. The write
+				// is unconditional (the per-block lock serialises
+				// writers), which also heals a stale or residue-
+				// poisoned data chunk.
+				if err := s.nodes[shard].PutChunk(id, x, []uint64{newVersion}); err != nil {
+					continue
+				}
+				applied = append(applied, appliedUpdate{
+					shard: shard, isData: true,
+					oldData: old, oldVersion: oldVersion, newVersion: newVersion,
+				})
+				counter++
+				continue
+			}
+			// Lines 25–31: conditional delta add on the parity node.
+			// CompareAndAdd folds the paper's separate version check
+			// and add into one atomic node operation.
+			adj := s.code.ParityAdjustment(shard, block, delta)
+			err := s.nodes[shard].CompareAndAdd(id, s.versionSlot(block, shard), oldVersion, newVersion, adj)
+			if err != nil {
+				continue // down, missing, or version mismatch: skip
+			}
+			applied = append(applied, appliedUpdate{
+				shard: shard, oldVersion: oldVersion, newVersion: newVersion, delta: adj,
+			})
+			counter++
+		}
+		if counter < cfg.W[l] {
+			// Lines 35–37: FAIL.
+			s.metrics.FailedWrites.Add(1)
+			if !s.opts.DisableRollback {
+				s.rollback(stripe, block, applied)
+			}
+			return fmt.Errorf("%w: level %d reached %d of %d", ErrWriteFailed, l, counter, cfg.W[l])
+		}
+	}
+	s.metrics.Writes.Add(1)
+	return nil
+}
+
+// rollback undoes the footprint of a failed write, best-effort: nodes
+// that crashed since their update keep the residue (the hazard the
+// test suite demonstrates with rollback disabled).
+func (s *System) rollback(stripe uint64, block int, applied []appliedUpdate) {
+	for _, u := range applied {
+		id := chunkID(stripe, u.shard)
+		if u.isData {
+			// Restore the old content conditionally on our own
+			// version still being in place.
+			err := s.nodes[u.shard].CompareAndPut(id, 0, u.newVersion, u.oldVersion, u.oldData)
+			if err != nil && !errors.Is(err, sim.ErrVersionMismatch) {
+				continue
+			}
+		} else {
+			// XOR is self-inverse: adding the same delta again while
+			// stepping the version back restores the parity chunk.
+			_ = s.nodes[u.shard].CompareAndAdd(id, s.versionSlot(block, u.shard), u.newVersion, u.oldVersion, u.delta)
+		}
+	}
+	s.metrics.Rollbacks.Add(1)
+}

@@ -1,0 +1,120 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestDecodeCacheCorrectness(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	c := mustCode(t, 12, 7)
+	orig, err := c.Encode(randStripeData(r, 7, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same erasure pattern twice: second decode hits the cache and
+	// must produce identical output.
+	for round := 0; round < 2; round++ {
+		shards := cloneShards(orig)
+		shards[1], shards[9] = nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		for idx := range shards {
+			if !bytes.Equal(shards[idx], orig[idx]) {
+				t.Fatalf("round %d: shard %d wrong", round, idx)
+			}
+		}
+	}
+	c.cacheMu.RLock()
+	entries := len(c.decodeCache)
+	c.cacheMu.RUnlock()
+	if entries != 1 {
+		t.Fatalf("cache holds %d entries, want 1", entries)
+	}
+}
+
+func TestDecodeCacheDistinctPatterns(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	c := mustCode(t, 10, 6)
+	orig, _ := c.Encode(randStripeData(r, 6, 32))
+	patterns := [][]int{{0}, {1}, {0, 5}, {7, 9}, {2, 3, 4}}
+	for _, pat := range patterns {
+		shards := cloneShards(orig)
+		for _, idx := range pat {
+			shards[idx] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.cacheMu.RLock()
+	entries := len(c.decodeCache)
+	c.cacheMu.RUnlock()
+	if entries != len(patterns) {
+		t.Fatalf("cache holds %d entries, want %d", entries, len(patterns))
+	}
+}
+
+// TestDecodeCacheConcurrency hammers decode from many goroutines with
+// mixed patterns; run under -race this validates the cache locking.
+func TestDecodeCacheConcurrency(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	c := mustCode(t, 10, 6)
+	orig, _ := c.Encode(randStripeData(r, 6, 48))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				shards := cloneShards(orig)
+				shards[(g+i)%10] = nil
+				shards[(g+i+3)%10] = nil
+				if err := c.Reconstruct(shards); err != nil {
+					panic(err)
+				}
+				for idx := range shards {
+					if !bytes.Equal(shards[idx], orig[idx]) {
+						panic("wrong reconstruction under concurrency")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkDecodeBlockCacheHit(b *testing.B) {
+	r := rand.New(rand.NewSource(33))
+	c := mustCode(b, 15, 8)
+	orig, _ := c.Encode(randStripeData(r, 8, 4096))
+	shards := cloneShards(orig)
+	shards[3] = nil
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeBlock(3, shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBlockCacheCold(b *testing.B) {
+	r := rand.New(rand.NewSource(34))
+	data := randStripeData(r, 8, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := mustCode(b, 15, 8) // fresh code: empty cache
+		shards, _ := c.Encode(data)
+		shards[3] = nil
+		b.StartTimer()
+		if _, err := c.DecodeBlock(3, shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package erasure implements the systematic (n,k) MDS erasure code the
+// TRAP-ERC protocol stores stripes with (paper §III-A).
+//
+// A stripe holds n blocks: the k original data blocks b_1..b_k stored
+// verbatim, plus n−k parity blocks b_j = Σ_i α_{j,i}·b_i over GF(2^8)
+// (equation 1 of the paper). Any k of the n blocks reconstruct the
+// original data (the MDS property).
+//
+// The package also exposes the in-place update primitive of
+// Algorithm 1: when block i changes from old to x, each parity node j
+// applies b_j ^= α_{j,i}·(x − old), which commutes with concurrent
+// updates of other data blocks — the reason Galois-field codes admit
+// quorum-style partial writes.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"trapquorum/internal/matrix"
+)
+
+// Common parameter and shard-shape errors.
+var (
+	ErrShardCount  = errors.New("erasure: wrong number of shards")
+	ErrShardSize   = errors.New("erasure: shards have inconsistent sizes")
+	ErrTooFew      = errors.New("erasure: fewer than k shards present")
+	ErrEmptyShards = errors.New("erasure: no shard data present")
+)
+
+// decodeCacheLimit bounds the number of cached decode inverses; each
+// failure pattern seen in practice is one entry, so the bound only
+// matters for adversarial churn.
+const decodeCacheLimit = 1024
+
+// Code is a systematic (n,k) MDS erasure code. The generator matrix is
+// immutable; a bounded cache of decode-matrix inverses (keyed by the
+// survivor set) is maintained behind a lock, so the type is safe for
+// concurrent use.
+type Code struct {
+	n, k int
+	gen  *matrix.Matrix // n×k systematic generator; top k×k = I
+
+	cacheMu     sync.RWMutex
+	decodeCache map[string]*matrix.Matrix
+}
+
+// New constructs an (n,k) code. Requirements: 1 ≤ k ≤ n ≤ 256.
+func New(n, k int) (*Code, error) {
+	if k < 1 || n < k || n > 256 {
+		return nil, fmt.Errorf("erasure: invalid parameters n=%d k=%d (need 1 <= k <= n <= 256)", n, k)
+	}
+	gen, err := matrix.Systematic(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Code{n: n, k: k, gen: gen, decodeCache: make(map[string]*matrix.Matrix)}, nil
+}
+
+// N returns the total number of blocks per stripe.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of original data blocks per stripe.
+func (c *Code) K() int { return c.k }
+
+// ParityCount returns n − k, the number of redundant blocks.
+func (c *Code) ParityCount() int { return c.n - c.k }
+
+// Coefficient returns α_{j,i}: the generator coefficient applied to
+// data block i (0-based, 0 ≤ i < k) in the encoding of block j
+// (0 ≤ j < n). For j < k this is 1 when j == i and 0 otherwise
+// (systematic blocks), matching the paper's indexing where parity rows
+// are k+1 ≤ j ≤ n.
+func (c *Code) Coefficient(j, i int) byte {
+	if j < 0 || j >= c.n || i < 0 || i >= c.k {
+		panic(fmt.Sprintf("erasure: Coefficient(%d,%d) out of range for (%d,%d) code", j, i, c.n, c.k))
+	}
+	return c.gen.At(j, i)
+}
+
+// GeneratorRow returns a copy of row j of the generator matrix.
+func (c *Code) GeneratorRow(j int) []byte {
+	if j < 0 || j >= c.n {
+		panic(fmt.Sprintf("erasure: GeneratorRow(%d) out of range", j))
+	}
+	return c.gen.Row(j)
+}
+
+// checkShape validates that shards has exactly n entries, that all
+// non-nil entries share one size, and returns that size. At least one
+// shard must be present.
+func (c *Code) checkShape(shards [][]byte) (int, error) {
+	if len(shards) != c.n {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.n)
+	}
+	size := -1
+	for idx, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: shard %d has %d bytes, expected %d", ErrShardSize, idx, len(s), size)
+		}
+	}
+	if size <= 0 {
+		return 0, ErrEmptyShards
+	}
+	return size, nil
+}
+
+// Encode computes the n−k parity blocks for the given k data blocks
+// and returns the full stripe of n shards. The returned slice aliases
+// the input data blocks (they are stored verbatim — the code is
+// systematic) and owns freshly allocated parity blocks. All data
+// blocks must be non-nil and the same size.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data blocks, want %d", ErrShardCount, len(data), c.k)
+	}
+	size := -1
+	for i, d := range data {
+		if d == nil {
+			return nil, fmt.Errorf("erasure: data block %d is nil", i)
+		}
+		if size == -1 {
+			size = len(d)
+		} else if len(d) != size {
+			return nil, fmt.Errorf("%w: data block %d has %d bytes, expected %d", ErrShardSize, i, len(d), size)
+		}
+	}
+	if size == 0 {
+		return nil, ErrEmptyShards
+	}
+	shards := make([][]byte, c.n)
+	copy(shards, data)
+	for j := c.k; j < c.n; j++ {
+		shards[j] = make([]byte, size)
+		c.encodeRowInto(shards[j], j, data)
+	}
+	return shards, nil
+}
+
+// encodeRowInto writes block j of the stripe (Σ α_{j,i}·data[i]) into dst.
+func (c *Code) encodeRowInto(dst []byte, j int, data [][]byte) {
+	row := c.gen.Row(j)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, coeff := range row {
+		mulAdd(coeff, dst, data[i])
+	}
+}
+
+// Verify checks that the parity blocks are consistent with the data
+// blocks. All n shards must be present (non-nil); use Reconstruct
+// first if some are missing.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	size, err := c.checkShape(shards)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false, errors.New("erasure: Verify requires all shards present")
+		}
+	}
+	buf := make([]byte, size)
+	for j := c.k; j < c.n; j++ {
+		c.encodeRowInto(buf, j, shards[:c.k])
+		if !bytesEqual(buf, shards[j]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+package erasure
+
+import (
+	"fmt"
+
+	"trapquorum/internal/gf256"
+	"trapquorum/internal/matrix"
+)
+
+// mulAdd is a local alias keeping encode/decode call sites short.
+func mulAdd(c byte, dst, src []byte) { gf256.MulAddSlice(c, dst, src) }
+
+// presentIndices returns the indices of non-nil shards, in order.
+func presentIndices(shards [][]byte) []int {
+	idx := make([]int, 0, len(shards))
+	for i, s := range shards {
+		if s != nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// decodeMatrix builds (or fetches from cache) the k×k inverse of the
+// generator rows selected by the first k present shards. The returned
+// index list names the shards (in order) that the inverse's columns
+// multiply. The inverse depends only on the survivor set, so repeated
+// decodes under one failure pattern — the common case while a node is
+// down — hit the cache.
+func (c *Code) decodeMatrix(shards [][]byte) (*matrix.Matrix, []int, error) {
+	present := presentIndices(shards)
+	if len(present) < c.k {
+		return nil, nil, fmt.Errorf("%w: have %d of %d", ErrTooFew, len(present), c.k)
+	}
+	use := present[:c.k]
+	key := useKey(use)
+	c.cacheMu.RLock()
+	inv, hit := c.decodeCache[key]
+	c.cacheMu.RUnlock()
+	if hit {
+		return inv, use, nil
+	}
+	sub := c.gen.SelectRows(use)
+	inv, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for an MDS generator; report loudly if it does.
+		return nil, nil, fmt.Errorf("erasure: MDS invariant violated for rows %v: %v", use, err)
+	}
+	c.cacheMu.Lock()
+	if len(c.decodeCache) < decodeCacheLimit {
+		c.decodeCache[key] = inv
+	}
+	c.cacheMu.Unlock()
+	return inv, use, nil
+}
+
+// useKey renders a shard-index list as a cache key (indices < 256).
+func useKey(use []int) string {
+	b := make([]byte, len(use))
+	for i, idx := range use {
+		b[i] = byte(idx)
+	}
+	return string(b)
+}
+
+// DecodeBlock reconstructs original data block i (0 ≤ i < k) from any
+// k present shards, without touching the rest of the stripe. This is
+// the "Case 2" path of Algorithm 2: the node holding the original
+// block is stale or down, and the block is decoded from k up-to-date
+// blocks. The input is not modified.
+func (c *Code) DecodeBlock(i int, shards [][]byte) ([]byte, error) {
+	if i < 0 || i >= c.k {
+		return nil, fmt.Errorf("erasure: DecodeBlock index %d out of range [0,%d)", i, c.k)
+	}
+	size, err := c.checkShape(shards)
+	if err != nil {
+		return nil, err
+	}
+	// Fast path: the systematic block itself is present.
+	if shards[i] != nil {
+		out := make([]byte, size)
+		copy(out, shards[i])
+		return out, nil
+	}
+	inv, use, err := c.decodeMatrix(shards)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	row := inv.Row(i)
+	for t, shardIdx := range use {
+		mulAdd(row[t], out, shards[shardIdx])
+	}
+	return out, nil
+}
+
+// Reconstruct fills every nil entry of shards (data and parity alike)
+// from the k (or more) present shards, in place. Present shards are
+// never modified. It returns ErrTooFew when fewer than k shards are
+// available.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, len(shards))
+}
+
+// ReconstructData fills only the missing data blocks (indices < k),
+// leaving missing parity blocks nil. Cheaper than Reconstruct when the
+// caller only needs the original data.
+func (c *Code) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, c.k)
+}
+
+func (c *Code) reconstruct(shards [][]byte, limit int) error {
+	size, err := c.checkShape(shards)
+	if err != nil {
+		return err
+	}
+	missing := false
+	for idx := 0; idx < limit; idx++ {
+		if shards[idx] == nil {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return nil
+	}
+	inv, use, err := c.decodeMatrix(shards)
+	if err != nil {
+		return err
+	}
+	// Recover the data blocks first (d = G_S^{-1} · s).
+	data := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		if shards[i] != nil {
+			data[i] = shards[i]
+			continue
+		}
+		out := make([]byte, size)
+		row := inv.Row(i)
+		for t, shardIdx := range use {
+			mulAdd(row[t], out, shards[shardIdx])
+		}
+		data[i] = out
+		if i < limit {
+			shards[i] = out
+		}
+	}
+	// Re-encode any missing parity rows from the recovered data.
+	for j := c.k; j < limit; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		c.encodeRowInto(out, j, data)
+		shards[j] = out
+	}
+	return nil
+}
+
+// RepairShard performs the exact repair of a single lost shard: it
+// recomputes block j (data or parity) from any k present shards and
+// returns the new shard. shards[j] is ignored and may be nil. This is
+// the recovery path run when a failed node rejoins.
+func (c *Code) RepairShard(j int, shards [][]byte) ([]byte, error) {
+	if j < 0 || j >= c.n {
+		return nil, fmt.Errorf("erasure: RepairShard index %d out of range [0,%d)", j, c.n)
+	}
+	size, err := c.checkShape(shards)
+	if err != nil {
+		return nil, err
+	}
+	// Work on a view with shard j masked out so it never contributes.
+	masked := make([][]byte, len(shards))
+	copy(masked, shards)
+	masked[j] = nil
+	inv, use, err := c.decodeMatrix(masked)
+	if err != nil {
+		return nil, err
+	}
+	// coeffs = row j of G · G_S^{-1}: maps the k selected shards
+	// directly to shard j without materialising the data blocks.
+	genRow := c.gen.Row(j)
+	coeffs := make([]byte, c.k)
+	for t := 0; t < c.k; t++ {
+		var acc byte
+		for i := 0; i < c.k; i++ {
+			acc ^= gf256.Mul(genRow[i], inv.At(i, t))
+		}
+		coeffs[t] = acc
+	}
+	out := make([]byte, size)
+	for t, shardIdx := range use {
+		mulAdd(coeffs[t], out, masked[shardIdx])
+	}
+	return out, nil
+}

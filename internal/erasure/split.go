@@ -1,0 +1,63 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Join when the destination size exceeds
+// the stripe's payload.
+var ErrShortBuffer = errors.New("erasure: stripe holds fewer bytes than requested")
+
+// Split divides an arbitrary buffer into the k equally sized data
+// blocks of one stripe, zero-padding the tail. The blocks are copies;
+// mutating them does not affect src. An empty buffer yields k blocks
+// of one zero byte each so that the stripe stays well-formed.
+func (c *Code) Split(src []byte) [][]byte {
+	per := (len(src) + c.k - 1) / c.k
+	if per == 0 {
+		per = 1
+	}
+	out := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		block := make([]byte, per)
+		lo := i * per
+		if lo < len(src) {
+			hi := lo + per
+			if hi > len(src) {
+				hi = len(src)
+			}
+			copy(block, src[lo:hi])
+		}
+		out[i] = block
+	}
+	return out
+}
+
+// Join concatenates the k data blocks back into a buffer of exactly
+// size bytes (the original pre-Split length). It fails if the blocks
+// hold fewer than size bytes or if the block count is wrong.
+func (c *Code) Join(data [][]byte, size int) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data blocks, want %d", ErrShardCount, len(data), c.k)
+	}
+	total := 0
+	for i, d := range data {
+		if d == nil {
+			return nil, fmt.Errorf("erasure: data block %d is nil", i)
+		}
+		total += len(d)
+	}
+	if size < 0 || size > total {
+		return nil, fmt.Errorf("%w: stripe holds %d bytes, requested %d", ErrShortBuffer, total, size)
+	}
+	out := make([]byte, 0, size)
+	for _, d := range data {
+		if len(out)+len(d) > size {
+			out = append(out, d[:size-len(out)]...)
+			break
+		}
+		out = append(out, d...)
+	}
+	return out, nil
+}

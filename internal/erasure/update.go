@@ -1,0 +1,50 @@
+package erasure
+
+import (
+	"fmt"
+
+	"trapquorum/internal/gf256"
+)
+
+// DataDelta returns newData − oldData (elementwise XOR in GF(2^8)),
+// the quantity (x − chunk) of Algorithm 1 line 27. Both slices must
+// have equal length.
+func DataDelta(oldData, newData []byte) []byte {
+	if len(oldData) != len(newData) {
+		panic(fmt.Sprintf("erasure: DataDelta length mismatch %d vs %d", len(oldData), len(newData)))
+	}
+	out := make([]byte, len(newData))
+	copy(out, newData)
+	gf256.XorSlice(out, oldData)
+	return out
+}
+
+// ParityAdjustment returns α_{j,i}·delta: the buffer a parity node j
+// adds to its block when data block i changed by delta. j must index a
+// parity row (k ≤ j < n).
+func (c *Code) ParityAdjustment(j, i int, delta []byte) []byte {
+	if j < c.k || j >= c.n {
+		panic(fmt.Sprintf("erasure: ParityAdjustment row %d is not a parity row of (%d,%d)", j, c.n, c.k))
+	}
+	out := make([]byte, len(delta))
+	gf256.MulSlice(c.Coefficient(j, i), out, delta)
+	return out
+}
+
+// ApplyAdjustment performs the node-side operation of Algorithm 1
+// line 28 — b_j ← b_j + buf — in place on block.
+func ApplyAdjustment(block, adjustment []byte) {
+	if len(block) != len(adjustment) {
+		panic(fmt.Sprintf("erasure: ApplyAdjustment length mismatch %d vs %d", len(block), len(adjustment)))
+	}
+	gf256.XorSlice(block, adjustment)
+}
+
+// UpdateParity is the full update pipeline for one parity block:
+// it computes α_{j,i}·(new−old) and applies it to parity in place.
+// Equivalent to, but cheaper than, re-encoding the stripe.
+func (c *Code) UpdateParity(parity []byte, j, i int, oldData, newData []byte) {
+	delta := DataDelta(oldData, newData)
+	adj := c.ParityAdjustment(j, i, delta)
+	ApplyAdjustment(parity, adj)
+}

@@ -1,0 +1,205 @@
+// Package failsched generates fail-stop schedules from an
+// MTBF/MTTR availability model: each node alternates exponentially
+// distributed up and down periods, giving steady-state availability
+// p = MTBF / (MTBF + MTTR). The schedules drive long-horizon
+// endurance experiments where the paper's instantaneous iid model is
+// replaced by correlated-in-time failures and finite repair delay.
+//
+// Time is virtual (abstract ticks); the simulator consumes events in
+// order rather than sleeping.
+package failsched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// EventKind says whether a node goes down or comes back.
+type EventKind int
+
+// Event kinds.
+const (
+	Crash EventKind = iota
+	Restart
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if k == Crash {
+		return "crash"
+	}
+	return "restart"
+}
+
+// Event is one state transition of one node at a virtual time.
+type Event struct {
+	Time float64
+	Node int
+	Kind EventKind
+}
+
+// Model is the per-node alternating renewal model.
+type Model struct {
+	// MTBF is the mean up period (exponential).
+	MTBF float64
+	// MTTR is the mean down period (exponential).
+	MTTR float64
+}
+
+// Availability returns the steady-state node availability
+// MTBF / (MTBF + MTTR).
+func (m Model) Availability() float64 {
+	return m.MTBF / (m.MTBF + m.MTTR)
+}
+
+// Validate checks both means are positive.
+func (m Model) Validate() error {
+	if !(m.MTBF > 0) || !(m.MTTR > 0) {
+		return fmt.Errorf("failsched: MTBF and MTTR must be positive, got %v/%v", m.MTBF, m.MTTR)
+	}
+	return nil
+}
+
+// Schedule is a time-ordered list of events for a cluster.
+type Schedule struct {
+	Events  []Event
+	Horizon float64
+	Nodes   int
+}
+
+// Generate builds a schedule for `nodes` nodes over [0, horizon).
+// All nodes start up; each alternates exp(MTBF) up and exp(MTTR) down
+// periods. Events are sorted by time (ties by node).
+func Generate(nodes int, horizon float64, m Model, seed int64) (*Schedule, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("failsched: need nodes >= 1, got %d", nodes)
+	}
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("failsched: horizon must be positive, got %v", horizon)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	var events []Event
+	for node := 0; node < nodes; node++ {
+		t := 0.0
+		up := true
+		for {
+			var dwell float64
+			if up {
+				dwell = r.ExpFloat64() * m.MTBF
+			} else {
+				dwell = r.ExpFloat64() * m.MTTR
+			}
+			t += dwell
+			if t >= horizon {
+				break
+			}
+			kind := Crash
+			if !up {
+				kind = Restart
+			}
+			events = append(events, Event{Time: t, Node: node, Kind: kind})
+			up = !up
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Node < events[j].Node
+	})
+	return &Schedule{Events: events, Horizon: horizon, Nodes: nodes}, nil
+}
+
+// Cursor walks a schedule, maintaining the up/down state of every
+// node as virtual time advances.
+type Cursor struct {
+	sched *Schedule
+	next  int
+	up    []bool
+	now   float64
+}
+
+// NewCursor starts a walk at time 0 with all nodes up.
+func NewCursor(s *Schedule) *Cursor {
+	up := make([]bool, s.Nodes)
+	for i := range up {
+		up[i] = true
+	}
+	return &Cursor{sched: s, up: up}
+}
+
+// AdvanceTo applies all events with Time <= t and returns the node
+// states after them. The returned slice is the cursor's internal
+// state; copy before mutating. Time must not go backwards.
+func (c *Cursor) AdvanceTo(t float64) ([]bool, error) {
+	if t < c.now {
+		return nil, fmt.Errorf("failsched: time went backwards (%v -> %v)", c.now, t)
+	}
+	c.now = t
+	for c.next < len(c.sched.Events) && c.sched.Events[c.next].Time <= t {
+		ev := c.sched.Events[c.next]
+		c.up[ev.Node] = ev.Kind == Restart
+		c.next++
+	}
+	return c.up, nil
+}
+
+// Now returns the cursor's current virtual time.
+func (c *Cursor) Now() float64 { return c.now }
+
+// UpCount returns how many nodes are currently up.
+func (c *Cursor) UpCount() int {
+	n := 0
+	for _, u := range c.up {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// EmpiricalAvailability integrates the fraction of up-time over the
+// whole horizon for one node, as a sanity check against
+// Model.Availability. It walks a fresh cursor in fixed steps.
+func EmpiricalAvailability(s *Schedule, node int, steps int) (float64, error) {
+	if node < 0 || node >= s.Nodes {
+		return 0, fmt.Errorf("failsched: node %d out of [0,%d)", node, s.Nodes)
+	}
+	if steps < 1 {
+		return 0, fmt.Errorf("failsched: need steps >= 1")
+	}
+	cur := NewCursor(s)
+	upTime := 0.0
+	dt := s.Horizon / float64(steps)
+	for i := 0; i < steps; i++ {
+		up, err := cur.AdvanceTo(float64(i) * dt)
+		if err != nil {
+			return 0, err
+		}
+		if up[node] {
+			upTime += dt
+		}
+	}
+	return upTime / s.Horizon, nil
+}
+
+// MeanUpFraction averages empirical availability across all nodes.
+func MeanUpFraction(s *Schedule, steps int) (float64, error) {
+	total := 0.0
+	for node := 0; node < s.Nodes; node++ {
+		a, err := EmpiricalAvailability(s, node, steps)
+		if err != nil {
+			return 0, err
+		}
+		total += a
+	}
+	if math.IsNaN(total) {
+		return 0, fmt.Errorf("failsched: NaN availability")
+	}
+	return total / float64(s.Nodes), nil
+}

@@ -1,0 +1,152 @@
+package failsched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelAvailability(t *testing.T) {
+	m := Model{MTBF: 9, MTTR: 1}
+	if got := m.Availability(); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("availability = %v", got)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	for _, m := range []Model{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+	if err := (Model{1, 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	m := Model{MTBF: 5, MTTR: 1}
+	if _, err := Generate(0, 10, m, 1); err == nil {
+		t.Error("nodes=0 accepted")
+	}
+	if _, err := Generate(3, 0, m, 1); err == nil {
+		t.Error("horizon=0 accepted")
+	}
+	if _, err := Generate(3, 10, Model{}, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestGenerateEventOrderAndAlternation(t *testing.T) {
+	s, err := Generate(5, 1000, Model{MTBF: 10, MTTR: 2}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("no events over a long horizon")
+	}
+	prev := -1.0
+	lastKind := make(map[int]EventKind)
+	for _, ev := range s.Events {
+		if ev.Time < prev {
+			t.Fatal("events out of order")
+		}
+		prev = ev.Time
+		if ev.Time < 0 || ev.Time >= 1000 {
+			t.Fatalf("event time %v outside horizon", ev.Time)
+		}
+		if last, seen := lastKind[ev.Node]; seen && last == ev.Kind {
+			t.Fatalf("node %d has consecutive %v events", ev.Node, ev.Kind)
+		}
+		lastKind[ev.Node] = ev.Kind
+	}
+	// Every node's first event must be a crash (all start up).
+	seen := map[int]bool{}
+	for _, ev := range s.Events {
+		if !seen[ev.Node] {
+			if ev.Kind != Crash {
+				t.Fatalf("node %d first event is %v", ev.Node, ev.Kind)
+			}
+			seen[ev.Node] = true
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(4, 100, Model{MTBF: 5, MTTR: 1}, 7)
+	b, _ := Generate(4, 100, Model{MTBF: 5, MTTR: 1}, 7)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed, different schedules")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("same seed, different events")
+		}
+	}
+}
+
+func TestCursorWalk(t *testing.T) {
+	s := &Schedule{
+		Nodes:   2,
+		Horizon: 10,
+		Events: []Event{
+			{Time: 1, Node: 0, Kind: Crash},
+			{Time: 2, Node: 1, Kind: Crash},
+			{Time: 3, Node: 0, Kind: Restart},
+		},
+	}
+	cur := NewCursor(s)
+	up, err := cur.AdvanceTo(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up[0] || !up[1] || cur.UpCount() != 2 {
+		t.Fatal("initial state wrong")
+	}
+	up, _ = cur.AdvanceTo(1.5)
+	if up[0] || !up[1] {
+		t.Fatal("state after first crash wrong")
+	}
+	up, _ = cur.AdvanceTo(3.5)
+	if !up[0] || up[1] || cur.UpCount() != 1 {
+		t.Fatal("state after restart wrong")
+	}
+	if _, err := cur.AdvanceTo(1.0); err == nil {
+		t.Fatal("time going backwards accepted")
+	}
+	if cur.Now() != 3.5 {
+		t.Fatalf("Now = %v", cur.Now())
+	}
+}
+
+// TestEmpiricalMatchesModel checks that over a long horizon the
+// generated schedule's up-fraction converges to MTBF/(MTBF+MTTR).
+func TestEmpiricalMatchesModel(t *testing.T) {
+	m := Model{MTBF: 8, MTTR: 2} // p = 0.8
+	s, err := Generate(20, 50000, m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := MeanUpFraction(s, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.8) > 0.02 {
+		t.Fatalf("empirical availability %v, model 0.8", mean)
+	}
+}
+
+func TestEmpiricalAvailabilityValidation(t *testing.T) {
+	s, _ := Generate(2, 10, Model{MTBF: 1, MTTR: 1}, 1)
+	if _, err := EmpiricalAvailability(s, 5, 100); err == nil {
+		t.Error("bad node accepted")
+	}
+	if _, err := EmpiricalAvailability(s, 0, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Crash.String() != "crash" || Restart.String() != "restart" {
+		t.Fatal("kind strings wrong")
+	}
+}

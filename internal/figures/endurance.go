@@ -1,0 +1,64 @@
+package figures
+
+import (
+	"trapquorum/internal/failsched"
+	"trapquorum/internal/montecarlo"
+	"trapquorum/internal/trapezoid"
+)
+
+// Endurance builds the A4 experiment figure: write and read success
+// rates over virtual time under an MTBF/MTTR failure process at
+// steady-state availability p = 0.85, with a repair daemon versus
+// without. The closed form (eq. 8) is drawn as the reference the
+// repaired system should track; the no-repair curves expose the decay
+// the paper's instantaneous-availability model hides.
+func Endurance(horizon float64, windows int, seed int64) (*Figure, error) {
+	tcfg, err := trapezoid.NewConfig(Fig3Shape, Fig3W)
+	if err != nil {
+		return nil, err
+	}
+	base := montecarlo.EnduranceConfig{
+		N: Fig3N, K: Fig3K,
+		Trapezoid: tcfg,
+		BlockSize: 64,
+		Model:     failsched.Model{MTBF: 85, MTTR: 15}, // p = 0.85
+		Horizon:   horizon,
+		Windows:   windows,
+		Seed:      seed,
+	}
+	noRepair := base
+	noRepair.RepairEvery = 0
+	withRepair := base
+	withRepair.RepairEvery = 5
+
+	repNo, err := montecarlo.RunEndurance(noRepair)
+	if err != nil {
+		return nil, err
+	}
+	repYes, err := montecarlo.RunEndurance(withRepair)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "endurance",
+		Title:  "Availability over time under MTBF/MTTR failures (p=0.85, (15,8), a=2 b=3 h=1, w=3)",
+		XLabel: "time",
+		YLabel: "success rate",
+	}
+	series := []Series{
+		{Name: "write(no repair)"},
+		{Name: "read(no repair)"},
+		{Name: "write(repair)"},
+		{Name: "read(repair)"},
+	}
+	for i := 0; i < windows; i++ {
+		fig.X = append(fig.X, repNo.Windows[i].End)
+		series[0].Y = append(series[0].Y, repNo.Windows[i].WriteRate())
+		series[1].Y = append(series[1].Y, repNo.Windows[i].ReadRate())
+		series[2].Y = append(series[2].Y, repYes.Windows[i].WriteRate())
+		series[3].Y = append(series[3].Y, repYes.Windows[i].ReadRate())
+	}
+	fig.Series = series
+	return fig, nil
+}

@@ -1,0 +1,111 @@
+// Package figures regenerates every figure of the paper's evaluation
+// section (§IV-D, Figures 2–5) plus the validation and ablation
+// studies this reproduction adds. Each generator returns a Figure —
+// named series over a shared x axis — that renders as an aligned text
+// table or CSV. cmd/trapbench prints them; bench_test.go wraps each in
+// a testing.B target; EXPERIMENTS.md records paper-vs-measured values.
+//
+// The paper does not state the trapezoid parameters behind each
+// figure. DESIGN.md §3 documents the reconstruction: the parameters
+// here reproduce every number the text quotes (e.g. FR ≈ 75% and
+// ERC ≈ 63% read availability at p = 0.5 for Figure 3).
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named curve: y values over the figure's x grid.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a set of curves over one x axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// PGrid returns the node-availability grid [lo, hi] with the given
+// step, inclusive on both ends (guarding float drift).
+func PGrid(lo, hi, step float64) []float64 {
+	var out []float64
+	for p := lo; p <= hi+1e-9; p += step {
+		v := p
+		if v > 1 {
+			v = 1
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Table renders the figure as an aligned text table.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "%-8s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%-8.3f", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %16.6f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%g", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// At returns the y value of the named series at the x closest to the
+// requested value — used by tests and EXPERIMENTS.md to pin quoted
+// numbers.
+func (f *Figure) At(series string, x float64) (float64, error) {
+	idx := -1
+	best := 0.0
+	for i, xv := range f.X {
+		d := xv - x
+		if d < 0 {
+			d = -d
+		}
+		if idx == -1 || d < best {
+			idx, best = i, d
+		}
+	}
+	if idx == -1 {
+		return 0, fmt.Errorf("figures: empty x grid")
+	}
+	for _, s := range f.Series {
+		if s.Name == series {
+			return s.Y[idx], nil
+		}
+	}
+	return 0, fmt.Errorf("figures: no series %q in %s", series, f.ID)
+}

@@ -1,0 +1,294 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPGrid(t *testing.T) {
+	g := PGrid(0, 1, 0.25)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(g) != len(want) {
+		t.Fatalf("grid = %v", g)
+	}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-9 {
+			t.Fatalf("grid = %v", g)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	fig, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want w=1..5", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != len(fig.X) {
+			t.Fatalf("series %s ragged", s.Name)
+		}
+	}
+	// Every curve starts at 0 (p=0) and ends at 1 (p=1).
+	for _, s := range fig.Series {
+		if s.Y[0] != 0 || math.Abs(s.Y[len(s.Y)-1]-1) > 1e-9 {
+			t.Fatalf("series %s endpoints %v..%v", s.Name, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+	// Larger w ⇒ lower curve at interior points.
+	mid := len(fig.X) / 2
+	for i := 1; i < len(fig.Series); i++ {
+		if fig.Series[i].Y[mid] >= fig.Series[i-1].Y[mid] {
+			t.Fatalf("w ordering violated at p=%v", fig.X[mid])
+		}
+	}
+}
+
+// TestFig3PaperQuotes pins the numbers the paper's text quotes about
+// Figure 3.
+func TestFig3PaperQuotes(t *testing.T) {
+	fig, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fig.At("TRAP-FR", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fr-0.75) > 1e-9 {
+		t.Fatalf("FR at 0.5 = %v, paper quotes 75%%", fr)
+	}
+	erc, err := fig.At("TRAP-ERC(eq13)", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erc < 0.63 || erc > 0.64 {
+		t.Fatalf("ERC at 0.5 = %v, paper quotes ~63%%", erc)
+	}
+	// "No difference when p >= 0.8".
+	for _, p := range []float64{0.8, 0.9, 1.0} {
+		frv, _ := fig.At("TRAP-FR", p)
+		ercv, _ := fig.At("TRAP-ERC(eq13)", p)
+		if math.Abs(frv-ercv) > 0.01 {
+			t.Fatalf("p=%v: |FR-ERC| = %v", p, math.Abs(frv-ercv))
+		}
+	}
+	// The exact curve lower-bounds eq13 everywhere.
+	var eq13, exact *Series
+	for i := range fig.Series {
+		switch fig.Series[i].Name {
+		case "TRAP-ERC(eq13)":
+			eq13 = &fig.Series[i]
+		case "TRAP-ERC(exact)":
+			exact = &fig.Series[i]
+		}
+	}
+	for i := range fig.X {
+		if exact.Y[i] > eq13.Y[i]+1e-9 {
+			t.Fatalf("exact exceeds eq13 at p=%v", fig.X[i])
+		}
+	}
+}
+
+func TestFig4RedundancyOrdering(t *testing.T) {
+	fig, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(Fig4Cases) {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// At p = 0.5, availability increases with redundancy (series are
+	// ordered k=10, 8, 6, 4 — increasing n−k).
+	idx := -1
+	for i, x := range fig.X {
+		if math.Abs(x-0.5) < 1e-9 {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("p=0.5 not on grid")
+	}
+	for i := 1; i < len(fig.Series); i++ {
+		if fig.Series[i].Y[idx] <= fig.Series[i-1].Y[idx] {
+			t.Fatalf("redundancy ordering violated: %s <= %s at p=0.5",
+				fig.Series[i].Name, fig.Series[i-1].Name)
+		}
+	}
+}
+
+func TestFig5StorageValues(t *testing.T) {
+	fig, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's example: at n=15, k=8 full replication uses 8 blocks.
+	fr, err := fig.At("TRAP-FR", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr != 8 {
+		t.Fatalf("FR at k=8 = %v", fr)
+	}
+	erc, err := fig.At("TRAP-ERC", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(erc-1.875) > 1e-9 {
+		t.Fatalf("ERC at k=8 = %v, eq15 gives 1.875", erc)
+	}
+	// ERC is never above FR.
+	for i := range fig.X {
+		if fig.Series[1].Y[i] > fig.Series[0].Y[i]+1e-9 {
+			t.Fatalf("ERC above FR at k=%v", fig.X[i])
+		}
+	}
+}
+
+func TestMonteCarloValidationCloseness(t *testing.T) {
+	fig, err := MonteCarloValidation(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs (formula, estimate) must agree within Monte-Carlo noise.
+	for pair := 0; pair < len(fig.Series); pair += 2 {
+		formula := fig.Series[pair]
+		estimate := fig.Series[pair+1]
+		for i := range fig.X {
+			se := math.Sqrt(formula.Y[i]*(1-formula.Y[i])/20000) + 1e-6
+			if diff := math.Abs(formula.Y[i] - estimate.Y[i]); diff > 5*se {
+				t.Fatalf("%s vs %s at p=%v: diff %v > 5se %v",
+					formula.Name, estimate.Name, fig.X[i], diff, 5*se)
+			}
+		}
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	w, err := AblationWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := AblationRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Series) != 5 || len(r.Series) != 5 {
+		t.Fatalf("series = %d/%d, want 5 systems", len(w.Series), len(r.Series))
+	}
+	// ROWA: best reads, worst writes at p=0.5 among all systems.
+	var rowaW, rowaR float64
+	for i, s := range w.Series {
+		if strings.HasPrefix(s.Name, "ROWA") {
+			rowaW, _ = w.At(s.Name, 0.5)
+			rowaR, _ = r.At(r.Series[i].Name, 0.5)
+		}
+	}
+	for i, s := range w.Series {
+		if strings.HasPrefix(s.Name, "ROWA") {
+			continue
+		}
+		v, _ := w.At(s.Name, 0.5)
+		if v < rowaW {
+			t.Fatalf("%s writes below ROWA", s.Name)
+		}
+		rv, _ := r.At(r.Series[i].Name, 0.5)
+		if rv > rowaR+1e-9 {
+			t.Fatalf("%s reads above ROWA", r.Series[i].Name)
+		}
+	}
+}
+
+func TestUpdateCost(t *testing.T) {
+	fig, err := UpdateCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.X) == 0 {
+		t.Fatal("empty update-cost figure")
+	}
+	// The trapezoid quorum never exceeds the basic scheme's cost.
+	for i := range fig.X {
+		if fig.Series[1].Y[i] > fig.Series[0].Y[i] {
+			t.Fatalf("quorum costlier than basic at k=%v", fig.X[i])
+		}
+	}
+}
+
+func TestTableAndCSVRendering(t *testing.T) {
+	fig, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := fig.Table()
+	if !strings.Contains(table, "FIG5") || !strings.Contains(table, "TRAP-ERC") {
+		t.Fatalf("table = %q", table[:80])
+	}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(fig.X)+1 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if lines[0] != "k,TRAP-FR,TRAP-ERC" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+func TestAtErrors(t *testing.T) {
+	fig, _ := Fig5()
+	if _, err := fig.At("nope", 3); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+	empty := &Figure{}
+	if _, err := empty.At("x", 0); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestAllProducesEveryFigure(t *testing.T) {
+	figs, err := All(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 9 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		ids[f.ID] = true
+		if len(f.X) == 0 || len(f.Series) == 0 {
+			t.Fatalf("figure %s empty", f.ID)
+		}
+	}
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "mcval", "ablation-write", "ablation-read", "update-cost", "endurance"} {
+		if !ids[id] {
+			t.Fatalf("missing figure %s", id)
+		}
+	}
+}
+
+// TestEnduranceFigure checks the A4 figure's qualitative shape: the
+// no-repair write curve ends well below the repaired one, and the
+// repaired curves stay near the closed forms throughout.
+func TestEnduranceFigure(t *testing.T) {
+	fig, err := Endurance(2000, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(fig.X) - 1
+	var noRepairW, repairW float64
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "write(no repair)":
+			noRepairW = s.Y[last]
+		case "write(repair)":
+			repairW = s.Y[last]
+		}
+	}
+	if noRepairW >= repairW-0.1 {
+		t.Fatalf("late-window writes: no-repair %v vs repair %v — decay not visible", noRepairW, repairW)
+	}
+}

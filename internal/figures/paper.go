@@ -1,0 +1,158 @@
+package figures
+
+import (
+	"fmt"
+
+	"trapquorum/internal/availability"
+	"trapquorum/internal/trapezoid"
+)
+
+// Fig1Shape is the trapezoid of the paper's Figure 1:
+// s_l = 2l+3 (a=2, b=3, h=2), Nbnode = 15.
+var Fig1Shape = trapezoid.Shape{A: 2, B: 3, H: 2}
+
+// Fig3Shape and Fig3W are the reconstructed parameters of Figure 3:
+// a=2 b=3 h=1 (Nbnode = 8 = n−k+1 for the (15,8) code) with w = 3.
+// They reproduce the quoted FR ≈ 75% / ERC ≈ 63% at p = 0.5 exactly.
+var (
+	Fig3Shape = trapezoid.Shape{A: 2, B: 3, H: 1}
+	Fig3W     = 3
+	Fig3N     = 15
+	Fig3K     = 8
+)
+
+// Fig4Case is one curve of Figure 4: a (15,k) code with the trapezoid
+// matched to n−k+1 positions.
+type Fig4Case struct {
+	K     int
+	Shape trapezoid.Shape
+	W     int
+}
+
+// Fig4Cases are the reconstructed Figure-4 configurations: n = 15
+// fixed, k swept so the redundancy n−k varies; each case's trapezoid
+// holds exactly n−k+1 nodes.
+var Fig4Cases = []Fig4Case{
+	{K: 10, Shape: trapezoid.Shape{A: 2, B: 2, H: 1}, W: 2}, // n-k+1 = 6
+	{K: 8, Shape: trapezoid.Shape{A: 2, B: 3, H: 1}, W: 3},  // n-k+1 = 8
+	{K: 6, Shape: trapezoid.Shape{A: 4, B: 3, H: 1}, W: 4},  // n-k+1 = 10
+	{K: 4, Shape: trapezoid.Shape{A: 1, B: 3, H: 2}, W: 3},  // n-k+1 = 12
+}
+
+// Fig2 regenerates Figure 2: write availability of TRAP-ERC as a
+// function of p for the Figure-1 trapezoid, one curve per w ∈ {1..5}
+// (w caps at s_1 = 5). The paper notes equations (8) and (9) coincide,
+// so these curves also cover TRAP-FR.
+func Fig2() (*Figure, error) {
+	x := PGrid(0, 1, 0.05)
+	fig := &Figure{
+		ID:     "fig2",
+		Title:  "Write availability of TRAP-ERC vs node availability p (a=2, b=3, h=2)",
+		XLabel: "p",
+		YLabel: "P_write",
+		X:      x,
+	}
+	for w := 1; w <= 5; w++ {
+		cfg, err := trapezoid.NewConfig(Fig1Shape, w)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: fmt.Sprintf("w=%d", w)}
+		for _, p := range x {
+			s.Y = append(s.Y, availability.Write(cfg, p))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig3 regenerates Figure 3: read availability of TRAP-ERC vs TRAP-FR
+// as a function of p on the reconstructed (15,8) configuration. A
+// third series — the exact protocol-structural availability this
+// reproduction derives (see availability.ReadERCExact) — quantifies
+// the optimism of the paper's equation (13).
+func Fig3() (*Figure, error) {
+	cfg, err := trapezoid.NewConfig(Fig3Shape, Fig3W)
+	if err != nil {
+		return nil, err
+	}
+	e := availability.ERCParams{Config: cfg, N: Fig3N, K: Fig3K}
+	x := PGrid(0, 1, 0.05)
+	fr := Series{Name: "TRAP-FR"}
+	erc := Series{Name: "TRAP-ERC(eq13)"}
+	exact := Series{Name: "TRAP-ERC(exact)"}
+	for _, p := range x {
+		fr.Y = append(fr.Y, availability.ReadFR(cfg, p))
+		v, err := availability.ReadERC(e, p)
+		if err != nil {
+			return nil, err
+		}
+		erc.Y = append(erc.Y, v)
+		ev, err := availability.ReadERCExact(e, p)
+		if err != nil {
+			return nil, err
+		}
+		exact.Y = append(exact.Y, ev)
+	}
+	return &Figure{
+		ID:     "fig3",
+		Title:  "Read availability of TRAP-ERC and TRAP-FR vs p ((15,8), a=2 b=3 h=1, w=3)",
+		XLabel: "p",
+		YLabel: "P_read",
+		X:      x,
+		Series: []Series{fr, erc, exact},
+	}, nil
+}
+
+// Fig4 regenerates Figure 4: read availability of TRAP-ERC as a
+// function of p for varying redundancy n−k (n = 15 fixed).
+func Fig4() (*Figure, error) {
+	x := PGrid(0, 1, 0.05)
+	fig := &Figure{
+		ID:     "fig4",
+		Title:  "Read availability of TRAP-ERC vs p for varying redundancy (n=15)",
+		XLabel: "p",
+		YLabel: "P_read",
+		X:      x,
+	}
+	for _, c := range Fig4Cases {
+		cfg, err := trapezoid.NewConfig(c.Shape, c.W)
+		if err != nil {
+			return nil, err
+		}
+		e := availability.ERCParams{Config: cfg, N: 15, K: c.K}
+		s := Series{Name: fmt.Sprintf("k=%d (n-k=%d)", c.K, 15-c.K)}
+		for _, p := range x {
+			v, err := availability.ReadERC(e, p)
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, v)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig5 regenerates Figure 5: storage space used per data block
+// (divided by blocksize) for TRAP-FR and TRAP-ERC as a function of k,
+// n = 15 (equations 14 and 15). The x axis is k, not p.
+func Fig5() (*Figure, error) {
+	const n = 15
+	var x []float64
+	fr := Series{Name: "TRAP-FR"}
+	erc := Series{Name: "TRAP-ERC"}
+	for k := 1; k < n; k++ {
+		x = append(x, float64(k))
+		fr.Y = append(fr.Y, availability.StorageFR(n, k))
+		erc.Y = append(erc.Y, availability.StorageERC(n, k))
+	}
+	return &Figure{
+		ID:     "fig5",
+		Title:  "Storage space used / blocksize vs k (n=15)",
+		XLabel: "k",
+		YLabel: "D_used/blocksize",
+		X:      x,
+		Series: []Series{fr, erc},
+	}, nil
+}

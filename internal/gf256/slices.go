@@ -1,0 +1,106 @@
+package gf256
+
+// The slice kernels below are the hot path of stripe encoding, decoding
+// and delta updates: every parity byte is a sum of products
+// α_{j,i}·b_i[m] across the k data blocks. Each kernel processes one
+// (coefficient, block) pair over a whole block with a single 256-byte
+// table row, which keeps the inner loop branch-free.
+
+// MulSlice sets dst[m] = c * src[m] for every m. dst and src must have
+// the same length; they may alias. A zero coefficient zeroes dst, and a
+// coefficient of one copies src.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	// Unroll by 4: blocks are large (KiB-scale) and this measurably
+	// reduces loop overhead without the complexity of assembly.
+	n := len(src)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] = row[src[i]]
+		dst[i+1] = row[src[i+1]]
+		dst[i+2] = row[src[i+2]]
+		dst[i+3] = row[src[i+3]]
+	}
+	for ; i < n; i++ {
+		dst[i] = row[src[i]]
+	}
+}
+
+// MulAddSlice sets dst[m] ^= c * src[m] for every m, accumulating the
+// product into dst. dst and src must have the same length.
+func MulAddSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XorSlice(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	n := len(src)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] ^= row[src[i]]
+		dst[i+1] ^= row[src[i+1]]
+		dst[i+2] ^= row[src[i+2]]
+		dst[i+3] ^= row[src[i+3]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// XorSlice sets dst[m] ^= src[m] for every m. In GF(2^8) this is both
+// vector addition and vector subtraction.
+func XorSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: XorSlice length mismatch")
+	}
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// DotProduct returns Σ coeffs[t]·vecs[t][m] for every position m,
+// writing the result into dst. Every vector must have len(dst) bytes.
+// It is the stripe-level primitive: one parity block is the dot product
+// of a generator-matrix row with the k data blocks.
+func DotProduct(dst []byte, coeffs []byte, vecs [][]byte) {
+	if len(coeffs) != len(vecs) {
+		panic("gf256: DotProduct coefficient/vector count mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for t, v := range vecs {
+		MulAddSlice(coeffs[t], dst, v)
+	}
+}

@@ -1,0 +1,182 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(300)
+		src := randBytes(r, n)
+		c := byte(r.Intn(256))
+		dst := make([]byte, n)
+		MulSlice(c, dst, src)
+		for i := range src {
+			if dst[i] != Mul(c, src[i]) {
+				t.Fatalf("c=%d i=%d: got %d want %d", c, i, dst[i], Mul(c, src[i]))
+			}
+		}
+	}
+}
+
+func TestMulSliceZeroAndOne(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5, 6, 7}
+	dst := []byte{9, 9, 9, 9, 9, 9, 9}
+	MulSlice(0, dst, src)
+	if !bytes.Equal(dst, make([]byte, 7)) {
+		t.Fatalf("MulSlice(0) = %v, want zeros", dst)
+	}
+	MulSlice(1, dst, src)
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("MulSlice(1) = %v, want %v", dst, src)
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	src := randBytes(r, 97)
+	want := make([]byte, 97)
+	MulSlice(0x57, want, src)
+	inPlace := append([]byte(nil), src...)
+	MulSlice(0x57, inPlace, inPlace)
+	if !bytes.Equal(inPlace, want) {
+		t.Fatal("in-place MulSlice differs from out-of-place")
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MulSlice(3, make([]byte, 2), make([]byte, 3))
+}
+
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(300)
+		src := randBytes(r, n)
+		dst := randBytes(r, n)
+		orig := append([]byte(nil), dst...)
+		c := byte(r.Intn(256))
+		MulAddSlice(c, dst, src)
+		for i := range src {
+			want := orig[i] ^ Mul(c, src[i])
+			if dst[i] != want {
+				t.Fatalf("c=%d i=%d: got %d want %d", c, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulAddSliceZeroIsNoop(t *testing.T) {
+	dst := []byte{1, 2, 3}
+	src := []byte{4, 5, 6}
+	MulAddSlice(0, dst, src)
+	if !bytes.Equal(dst, []byte{1, 2, 3}) {
+		t.Fatalf("MulAddSlice(0) modified dst: %v", dst)
+	}
+}
+
+func TestMulAddSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MulAddSlice(3, make([]byte, 4), make([]byte, 3))
+}
+
+func TestXorSliceIsSelfInverse(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		dst := append([]byte(nil), a...)
+		XorSlice(dst, b)
+		XorSlice(dst, b)
+		return bytes.Equal(dst, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	XorSlice(make([]byte, 9), make([]byte, 8))
+}
+
+func TestDotProduct(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const n = 64
+	vecs := [][]byte{randBytes(r, n), randBytes(r, n), randBytes(r, n)}
+	coeffs := []byte{7, 0, 0xd1}
+	dst := randBytes(r, n) // pre-filled garbage must be overwritten
+	DotProduct(dst, coeffs, vecs)
+	for i := 0; i < n; i++ {
+		want := Mul(7, vecs[0][i]) ^ Mul(0, vecs[1][i]) ^ Mul(0xd1, vecs[2][i])
+		if dst[i] != want {
+			t.Fatalf("i=%d: got %d want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestDotProductMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	DotProduct(make([]byte, 4), []byte{1, 2}, [][]byte{make([]byte, 4)})
+}
+
+func BenchmarkMulSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	rand.New(rand.NewSource(5)).Read(src)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSlice(0x9c, dst, src)
+	}
+}
+
+func BenchmarkMulAddSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	rand.New(rand.NewSource(6)).Read(src)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x9c, dst, src)
+	}
+}
+
+func BenchmarkXorSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorSlice(dst, src)
+	}
+}

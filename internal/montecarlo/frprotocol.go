@@ -1,0 +1,118 @@
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"trapquorum/internal/core"
+	"trapquorum/internal/sim"
+	"trapquorum/internal/trapezoid"
+)
+
+// FREstimator measures the live TRAP-FR protocol's availability the
+// same way ProtocolEstimator measures TRAP-ERC. A notable asymmetry:
+// full-replication writes install whole blocks unconditionally, so a
+// stale replica is simply overwritten by the next write — TRAP-FR has
+// no staleness decay and needs no inter-trial repair for writes.
+type FREstimator struct {
+	cluster *sim.Cluster
+	sys     *core.FRSystem
+	nb      int
+	size    int
+	block   uint64
+}
+
+// NewFREstimator builds the harness: a cluster of Nbnode replicas and
+// one seeded block of blockSize bytes.
+func NewFREstimator(cfg trapezoid.Config, blockSize int, seed int64) (*FREstimator, error) {
+	nb := cfg.Shape.NbNodes()
+	cluster, err := sim.NewCluster(nb)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]core.NodeClient, nb)
+	for i := 0; i < nb; i++ {
+		nodes[i] = cluster.Node(i)
+	}
+	sys, err := core.NewFRSystem(cfg, nodes)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	buf := make([]byte, blockSize)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	if err := sys.SeedBlock(1, buf); err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	return &FREstimator{cluster: cluster, sys: sys, nb: nb, size: blockSize, block: 1}, nil
+}
+
+// Close releases the backing cluster.
+func (fe *FREstimator) Close() { fe.cluster.Close() }
+
+// System exposes the underlying protocol instance.
+func (fe *FREstimator) System() *core.FRSystem { return fe.sys }
+
+// EstimateRead measures TRAP-FR read availability at node availability
+// p (the quantity equation 10 describes).
+func (fe *FREstimator) EstimateRead(p float64, trials int, seed int64) (Result, error) {
+	ms, err := newMaskSampler(p, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var mask []bool
+	res := Result{P: p, Seed: seed}
+	for t := 0; t < trials; t++ {
+		mask = ms.draw(fe.nb, mask)
+		if err := fe.cluster.ApplyMask(mask); err != nil {
+			return Result{}, err
+		}
+		_, _, rerr := fe.sys.ReadBlock(fe.block)
+		switch {
+		case rerr == nil:
+			res.Successes++
+		case errors.Is(rerr, core.ErrNotReadable):
+		default:
+			return Result{}, fmt.Errorf("montecarlo: unexpected FR read error: %w", rerr)
+		}
+		res.Trials++
+	}
+	fe.cluster.RestartAll()
+	return res, nil
+}
+
+// EstimateWrite measures TRAP-FR write availability at p. Stale
+// replicas left by degraded writes are healed by subsequent writes
+// themselves (full blocks, unconditional), so trials stay identically
+// distributed without repair — but the read-before-write of the
+// protocol still prices in read availability, as with TRAP-ERC.
+func (fe *FREstimator) EstimateWrite(p float64, trials int, seed int64) (Result, error) {
+	ms, err := newMaskSampler(p, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	payload := rand.New(rand.NewSource(seed + 1))
+	buf := make([]byte, fe.size)
+	var mask []bool
+	res := Result{P: p, Seed: seed}
+	for t := 0; t < trials; t++ {
+		mask = ms.draw(fe.nb, mask)
+		if err := fe.cluster.ApplyMask(mask); err != nil {
+			return Result{}, err
+		}
+		payload.Read(buf)
+		werr := fe.sys.WriteBlock(fe.block, buf)
+		switch {
+		case werr == nil:
+			res.Successes++
+		case errors.Is(werr, core.ErrWriteFailed):
+		default:
+			return Result{}, fmt.Errorf("montecarlo: unexpected FR write error: %w", werr)
+		}
+		res.Trials++
+	}
+	fe.cluster.RestartAll()
+	return res, nil
+}

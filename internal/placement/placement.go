@@ -1,0 +1,141 @@
+// Package placement maps stripes onto the nodes of a cluster that is
+// larger than one stripe's n shards — the layer that turns the
+// single-stripe protocol into a storage system. Two strategies are
+// provided: round-robin rotation (balanced, trivially debuggable) and
+// a consistent-hash ring (stable under cluster growth).
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Strategy assigns the n shards of a stripe to distinct cluster nodes.
+type Strategy interface {
+	// Name identifies the strategy in tables.
+	Name() string
+	// Place returns the cluster node for every shard of the stripe:
+	// a slice of length shards with distinct entries in [0, Nodes()).
+	Place(stripe uint64, shards int) ([]int, error)
+	// Nodes returns the cluster size.
+	Nodes() int
+}
+
+// RoundRobin rotates stripe s by s mod M across M nodes: shard j of
+// stripe s lands on node (s + j) mod M.
+type RoundRobin struct {
+	nodes int
+}
+
+// NewRoundRobin builds a rotation placement over `nodes` cluster nodes.
+func NewRoundRobin(nodes int) (*RoundRobin, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("placement: need nodes >= 1, got %d", nodes)
+	}
+	return &RoundRobin{nodes: nodes}, nil
+}
+
+// Name implements Strategy.
+func (r *RoundRobin) Name() string { return fmt.Sprintf("roundrobin(%d)", r.nodes) }
+
+// Nodes implements Strategy.
+func (r *RoundRobin) Nodes() int { return r.nodes }
+
+// Place implements Strategy.
+func (r *RoundRobin) Place(stripe uint64, shards int) ([]int, error) {
+	if shards < 1 || shards > r.nodes {
+		return nil, fmt.Errorf("placement: %d shards do not fit %d nodes", shards, r.nodes)
+	}
+	out := make([]int, shards)
+	base := int(stripe % uint64(r.nodes))
+	for j := range out {
+		out[j] = (base + j) % r.nodes
+	}
+	return out, nil
+}
+
+// Ring is a consistent-hash ring with virtual nodes: shard j of stripe
+// s is assigned to the owner of hash(s, j), walking the ring to skip
+// nodes already used by the stripe. Placements are stable: adding a
+// node moves only the stripes that hash next to it.
+type Ring struct {
+	nodes    int
+	vnodes   int
+	hashes   []uint64 // sorted virtual-node hashes
+	owners   []int    // owners[i] = node owning hashes[i]
+	ringName string
+}
+
+// NewRing builds a ring over `nodes` cluster nodes with `vnodes`
+// virtual nodes each (16–128 is typical; more = smoother balance).
+func NewRing(nodes, vnodes int) (*Ring, error) {
+	if nodes < 1 || vnodes < 1 {
+		return nil, fmt.Errorf("placement: need nodes >= 1 and vnodes >= 1, got %d/%d", nodes, vnodes)
+	}
+	r := &Ring{nodes: nodes, vnodes: vnodes, ringName: fmt.Sprintf("ring(%d,v%d)", nodes, vnodes)}
+	type point struct {
+		h     uint64
+		owner int
+	}
+	points := make([]point, 0, nodes*vnodes)
+	for node := 0; node < nodes; node++ {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, point{h: hash2(uint64(node), uint64(v)), owner: node})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].h != points[j].h {
+			return points[i].h < points[j].h
+		}
+		return points[i].owner < points[j].owner
+	})
+	r.hashes = make([]uint64, len(points))
+	r.owners = make([]int, len(points))
+	for i, pt := range points {
+		r.hashes[i] = pt.h
+		r.owners[i] = pt.owner
+	}
+	return r, nil
+}
+
+// Name implements Strategy.
+func (r *Ring) Name() string { return r.ringName }
+
+// Nodes implements Strategy.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Place implements Strategy.
+func (r *Ring) Place(stripe uint64, shards int) ([]int, error) {
+	if shards < 1 || shards > r.nodes {
+		return nil, fmt.Errorf("placement: %d shards do not fit %d nodes", shards, r.nodes)
+	}
+	out := make([]int, 0, shards)
+	used := make(map[int]bool, shards)
+	for j := 0; len(out) < shards; j++ {
+		h := hash2(stripe, uint64(j))
+		idx := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+		// Walk clockwise until an unused node owns the point.
+		for probe := 0; probe < len(r.owners); probe++ {
+			owner := r.owners[(idx+probe)%len(r.owners)]
+			if !used[owner] {
+				used[owner] = true
+				out = append(out, owner)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// hash2 hashes a pair of integers with FNV-1a.
+func hash2(a, b uint64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(a >> (8 * i))
+		buf[8+i] = byte(b >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}

@@ -1,0 +1,230 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinValidation(t *testing.T) {
+	if _, err := NewRoundRobin(0); err == nil {
+		t.Fatal("nodes=0 accepted")
+	}
+	rr, err := NewRoundRobin(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.Place(1, 6); err == nil {
+		t.Fatal("shards > nodes accepted")
+	}
+	if _, err := rr.Place(1, 0); err == nil {
+		t.Fatal("shards = 0 accepted")
+	}
+}
+
+func TestRoundRobinDistinctAndRotating(t *testing.T) {
+	rr, _ := NewRoundRobin(10)
+	for stripe := uint64(0); stripe < 30; stripe++ {
+		p, err := rr.Place(stripe, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, node := range p {
+			if node < 0 || node >= 10 {
+				t.Fatalf("node %d out of range", node)
+			}
+			if seen[node] {
+				t.Fatalf("stripe %d: duplicate node %d", stripe, node)
+			}
+			seen[node] = true
+		}
+		if p[0] != int(stripe%10) {
+			t.Fatalf("stripe %d starts at %d", stripe, p[0])
+		}
+	}
+}
+
+func TestRoundRobinBalance(t *testing.T) {
+	rr, _ := NewRoundRobin(8)
+	counts := make([]int, 8)
+	const stripes = 800
+	for s := uint64(0); s < stripes; s++ {
+		p, _ := rr.Place(s, 3)
+		for _, node := range p {
+			counts[node]++
+		}
+	}
+	for node, c := range counts {
+		if c != 3*stripes/8 {
+			t.Fatalf("node %d holds %d shards, want %d", node, c, 3*stripes/8)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 8); err == nil {
+		t.Fatal("nodes=0 accepted")
+	}
+	if _, err := NewRing(4, 0); err == nil {
+		t.Fatal("vnodes=0 accepted")
+	}
+	ring, err := NewRing(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.Place(1, 5); err == nil {
+		t.Fatal("shards > nodes accepted")
+	}
+}
+
+func TestRingDistinctNodes(t *testing.T) {
+	ring, _ := NewRing(12, 32)
+	for stripe := uint64(0); stripe < 200; stripe++ {
+		p, err := ring.Place(stripe, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != 9 {
+			t.Fatalf("placement size %d", len(p))
+		}
+		seen := map[int]bool{}
+		for _, node := range p {
+			if node < 0 || node >= 12 {
+				t.Fatalf("node %d out of range", node)
+			}
+			if seen[node] {
+				t.Fatalf("stripe %d: duplicate node", stripe)
+			}
+			seen[node] = true
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, _ := NewRing(10, 16)
+	b, _ := NewRing(10, 16)
+	for stripe := uint64(0); stripe < 50; stripe++ {
+		pa, _ := a.Place(stripe, 6)
+		pb, _ := b.Place(stripe, 6)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("ring placement not deterministic")
+			}
+		}
+	}
+}
+
+func TestRingRoughBalance(t *testing.T) {
+	ring, _ := NewRing(10, 64)
+	counts := make([]int, 10)
+	const stripes = 3000
+	for s := uint64(0); s < stripes; s++ {
+		p, _ := ring.Place(s, 3)
+		for _, node := range p {
+			counts[node]++
+		}
+	}
+	mean := 3 * stripes / 10
+	for node, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("node %d holds %d shards, mean %d — ring badly unbalanced", node, c, mean)
+		}
+	}
+}
+
+// TestRingStability checks the consistent-hashing property: growing
+// the cluster by one node relocates only a minority of shard slots.
+func TestRingStability(t *testing.T) {
+	small, _ := NewRing(10, 64)
+	big, _ := NewRing(11, 64)
+	const stripes = 1000
+	const shards = 5
+	moved := 0
+	for s := uint64(0); s < stripes; s++ {
+		ps, _ := small.Place(s, shards)
+		pb, _ := big.Place(s, shards)
+		for i := range ps {
+			if ps[i] != pb[i] {
+				moved++
+			}
+		}
+	}
+	frac := float64(moved) / float64(stripes*shards)
+	// Perfect consistent hashing would move ~1/11 ≈ 9%; allow slack
+	// for the distinct-node walk, but far below rehash-everything.
+	if frac > 0.35 {
+		t.Fatalf("adding one node moved %.1f%% of shard slots", 100*frac)
+	}
+}
+
+func TestPlacementFullWidth(t *testing.T) {
+	// shards == nodes must enumerate every node exactly once.
+	for _, strat := range []Strategy{
+		mustRR(t, 7), mustRing(t, 7, 16),
+	} {
+		p, err := strat.Place(3, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		seen := map[int]bool{}
+		for _, n := range p {
+			seen[n] = true
+		}
+		if len(seen) != 7 {
+			t.Fatalf("%s: full-width placement covers %d nodes", strat.Name(), len(seen))
+		}
+	}
+}
+
+func mustRR(t *testing.T, n int) *RoundRobin {
+	t.Helper()
+	rr, err := NewRoundRobin(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+func mustRing(t *testing.T, n, v int) *Ring {
+	t.Helper()
+	r, err := NewRing(n, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPlacementProperty(t *testing.T) {
+	ring, _ := NewRing(20, 32)
+	rr, _ := NewRoundRobin(20)
+	f := func(stripe uint64, shardsRaw uint8) bool {
+		shards := 1 + int(shardsRaw%20)
+		for _, strat := range []Strategy{ring, rr} {
+			p, err := strat.Place(stripe, shards)
+			if err != nil || len(p) != shards {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, n := range p {
+				if n < 0 || n >= 20 || seen[n] {
+					return false
+				}
+				seen[n] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRingPlace(b *testing.B) {
+	ring, _ := NewRing(50, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ring.Place(uint64(i), 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package quorum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is the grid protocol of Cheung, Ammar and Ahamad: nodes are
+// arranged in a logical rows×cols grid. A read quorum takes one node
+// from every column (a column cover); a write quorum takes one full
+// column plus one node from every other column. Node i sits at row
+// i/cols, column i%cols.
+type Grid struct {
+	rows, cols int
+}
+
+// NewGrid builds a rows×cols grid system (both ≥ 1).
+func NewGrid(rows, cols int) (*Grid, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("quorum: grid needs positive dimensions, got %dx%d", rows, cols)
+	}
+	return &Grid{rows: rows, cols: cols}, nil
+}
+
+// Name implements System.
+func (g *Grid) Name() string { return fmt.Sprintf("Grid(%dx%d)", g.rows, g.cols) }
+
+// Size implements System.
+func (g *Grid) Size() int { return g.rows * g.cols }
+
+// node returns the identifier at (row, col).
+func (g *Grid) node(row, col int) int { return row*g.cols + col }
+
+// columnCover picks one available node from every column, or fails.
+func (g *Grid) columnCover(available func(int) bool, skip int) ([]int, bool) {
+	cover := make([]int, 0, g.cols)
+	for c := 0; c < g.cols; c++ {
+		if c == skip {
+			continue
+		}
+		found := -1
+		for r := 0; r < g.rows; r++ {
+			if available(g.node(r, c)) {
+				found = g.node(r, c)
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		cover = append(cover, found)
+	}
+	return cover, true
+}
+
+// ReadQuorum implements System: one available node per column.
+func (g *Grid) ReadQuorum(available func(int) bool) ([]int, bool) {
+	return g.columnCover(available, -1)
+}
+
+// WriteQuorum implements System: a fully available column plus a cover
+// of the remaining columns.
+func (g *Grid) WriteQuorum(available func(int) bool) ([]int, bool) {
+	for c := 0; c < g.cols; c++ {
+		full := true
+		for r := 0; r < g.rows; r++ {
+			if !available(g.node(r, c)) {
+				full = false
+				break
+			}
+		}
+		if !full {
+			continue
+		}
+		cover, ok := g.columnCover(available, c)
+		if !ok {
+			return nil, false // some other column is entirely down
+		}
+		q := make([]int, 0, g.rows+len(cover))
+		for r := 0; r < g.rows; r++ {
+			q = append(q, g.node(r, c))
+		}
+		return append(q, cover...), true
+	}
+	return nil, false
+}
+
+// ReadAvailability implements System: every column must have at least
+// one node up, (1 − (1−p)^rows)^cols.
+func (g *Grid) ReadAvailability(p float64) float64 {
+	qAny := 1 - math.Pow(1-p, float64(g.rows))
+	return math.Pow(qAny, float64(g.cols))
+}
+
+// WriteAvailability implements System. With columns independent,
+// P(all columns have ≥1 up AND some column fully up)
+// = qAny^cols − (qAny − qFull)^cols.
+func (g *Grid) WriteAvailability(p float64) float64 {
+	qAny := 1 - math.Pow(1-p, float64(g.rows))
+	qFull := math.Pow(p, float64(g.rows))
+	return math.Pow(qAny, float64(g.cols)) - math.Pow(qAny-qFull, float64(g.cols))
+}

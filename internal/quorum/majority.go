@@ -1,0 +1,65 @@
+package quorum
+
+import (
+	"fmt"
+
+	"trapquorum/internal/availability"
+)
+
+// Majority is Thomas's majority consensus: both reads and writes
+// require a strict majority ⌊n/2⌋+1 of the replicas, which guarantees
+// read/write and write/write intersection.
+type Majority struct {
+	n int
+}
+
+// NewMajority builds a majority quorum system over n ≥ 1 replicas.
+func NewMajority(n int) (*Majority, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("quorum: Majority needs n >= 1, got %d", n)
+	}
+	return &Majority{n: n}, nil
+}
+
+// Name implements System.
+func (m *Majority) Name() string { return fmt.Sprintf("Majority(n=%d)", m.n) }
+
+// Size implements System.
+func (m *Majority) Size() int { return m.n }
+
+// Threshold returns ⌊n/2⌋+1.
+func (m *Majority) Threshold() int { return m.n/2 + 1 }
+
+func (m *Majority) pick(available func(int) bool) ([]int, bool) {
+	need := m.Threshold()
+	q := make([]int, 0, need)
+	for i := 0; i < m.n && len(q) < need; i++ {
+		if available(i) {
+			q = append(q, i)
+		}
+	}
+	if len(q) < need {
+		return nil, false
+	}
+	return q, true
+}
+
+// WriteQuorum implements System.
+func (m *Majority) WriteQuorum(available func(int) bool) ([]int, bool) {
+	return m.pick(available)
+}
+
+// ReadQuorum implements System.
+func (m *Majority) ReadQuorum(available func(int) bool) ([]int, bool) {
+	return m.pick(available)
+}
+
+// WriteAvailability implements System: Φ_n(⌊n/2⌋+1, n).
+func (m *Majority) WriteAvailability(p float64) float64 {
+	return availability.Phi(m.n, m.Threshold(), m.n, p)
+}
+
+// ReadAvailability implements System; identical to writes.
+func (m *Majority) ReadAvailability(p float64) float64 {
+	return m.WriteAvailability(p)
+}

@@ -1,0 +1,89 @@
+// Package quorum implements the classical quorum systems the paper's
+// related-work section positions the trapezoid protocol against:
+// ROWA (read one / write all), Majority [Thomas 1979], the Grid
+// protocol [Cheung, Ammar, Ahamad 1990] and the Tree quorum protocol
+// [Agrawal, El Abbadi 1991]. They serve as baselines in the ablation
+// benches: same node count, different quorum geometry.
+//
+// Every system exposes both the constructive side (assemble a quorum
+// from currently available nodes) and the analytic side (closed-form
+// read/write availability at node availability p). The test suite
+// cross-checks the two by exhaustive state enumeration.
+package quorum
+
+import "fmt"
+
+// System is a quorum system over nodes labelled 0..Size()-1.
+type System interface {
+	// Name identifies the system in tables and benches.
+	Name() string
+	// Size returns the number of nodes the system manages.
+	Size() int
+	// WriteQuorum assembles a write quorum from available nodes,
+	// returning ok=false when none exists.
+	WriteQuorum(available func(node int) bool) (quorum []int, ok bool)
+	// ReadQuorum assembles a read quorum from available nodes.
+	ReadQuorum(available func(node int) bool) (quorum []int, ok bool)
+	// WriteAvailability returns the probability a write quorum exists
+	// when each node is independently available with probability p.
+	WriteAvailability(p float64) float64
+	// ReadAvailability returns the probability a read quorum exists.
+	ReadAvailability(p float64) float64
+}
+
+// ExactWriteAvailability computes write availability by enumerating
+// all 2^Size() node states and asking the constructive side. Intended
+// for tests and small systems (Size ≤ 20).
+func ExactWriteAvailability(s System, p float64) float64 {
+	return exactAvailability(s.Size(), p, func(av func(int) bool) bool {
+		_, ok := s.WriteQuorum(av)
+		return ok
+	})
+}
+
+// ExactReadAvailability is the read-side analogue of
+// ExactWriteAvailability.
+func ExactReadAvailability(s System, p float64) float64 {
+	return exactAvailability(s.Size(), p, func(av func(int) bool) bool {
+		_, ok := s.ReadQuorum(av)
+		return ok
+	})
+}
+
+func exactAvailability(n int, p float64, ok func(func(int) bool) bool) float64 {
+	if n > 24 {
+		panic(fmt.Sprintf("quorum: exact enumeration over %d nodes is too large", n))
+	}
+	total := 0.0
+	for state := 0; state < 1<<uint(n); state++ {
+		prob := 1.0
+		for i := 0; i < n; i++ {
+			if state&(1<<uint(i)) != 0 {
+				prob *= p
+			} else {
+				prob *= 1 - p
+			}
+		}
+		if prob == 0 {
+			continue
+		}
+		if ok(func(i int) bool { return state&(1<<uint(i)) != 0 }) {
+			total += prob
+		}
+	}
+	return total
+}
+
+// Intersects reports whether two node sets share an element.
+func Intersects(a, b []int) bool {
+	set := make(map[int]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	for _, y := range b {
+		if _, hit := set[y]; hit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package quorum
+
+import (
+	"fmt"
+	"math"
+)
+
+// ROWA is the Read-One-Write-All protocol: a write must reach every
+// replica, after which any single replica serves reads. It maximises
+// read availability at the cost of the most fragile writes — the
+// baseline the paper's introduction criticises.
+type ROWA struct {
+	n int
+}
+
+// NewROWA builds a ROWA system over n ≥ 1 replicas.
+func NewROWA(n int) (*ROWA, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("quorum: ROWA needs n >= 1, got %d", n)
+	}
+	return &ROWA{n: n}, nil
+}
+
+// Name implements System.
+func (r *ROWA) Name() string { return fmt.Sprintf("ROWA(n=%d)", r.n) }
+
+// Size implements System.
+func (r *ROWA) Size() int { return r.n }
+
+// WriteQuorum implements System: every node must be available.
+func (r *ROWA) WriteQuorum(available func(int) bool) ([]int, bool) {
+	q := make([]int, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		if !available(i) {
+			return nil, false
+		}
+		q = append(q, i)
+	}
+	return q, true
+}
+
+// ReadQuorum implements System: any single node suffices.
+func (r *ROWA) ReadQuorum(available func(int) bool) ([]int, bool) {
+	for i := 0; i < r.n; i++ {
+		if available(i) {
+			return []int{i}, true
+		}
+	}
+	return nil, false
+}
+
+// WriteAvailability implements System: p^n.
+func (r *ROWA) WriteAvailability(p float64) float64 {
+	return math.Pow(p, float64(r.n))
+}
+
+// ReadAvailability implements System: 1 − (1−p)^n.
+func (r *ROWA) ReadAvailability(p float64) float64 {
+	return 1 - math.Pow(1-p, float64(r.n))
+}

@@ -1,0 +1,53 @@
+package quorum
+
+import (
+	"fmt"
+
+	"trapquorum/internal/availability"
+	"trapquorum/internal/trapezoid"
+)
+
+// TrapezoidFR adapts the trapezoid protocol (full-replication variant)
+// to the System interface so the ablation benches can compare it
+// head-to-head with the classical systems on identical node counts.
+type TrapezoidFR struct {
+	lay *trapezoid.Layout
+}
+
+// NewTrapezoidFR wraps a trapezoid configuration as a System.
+func NewTrapezoidFR(cfg trapezoid.Config) (*TrapezoidFR, error) {
+	lay, err := trapezoid.NewLayout(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TrapezoidFR{lay: lay}, nil
+}
+
+// Name implements System.
+func (t *TrapezoidFR) Name() string {
+	return fmt.Sprintf("Trapezoid(%s)", t.lay.Config().Shape)
+}
+
+// Size implements System.
+func (t *TrapezoidFR) Size() int { return t.lay.NbNodes() }
+
+// WriteQuorum implements System.
+func (t *TrapezoidFR) WriteQuorum(available func(int) bool) ([]int, bool) {
+	return t.lay.WriteQuorum(available)
+}
+
+// ReadQuorum implements System.
+func (t *TrapezoidFR) ReadQuorum(available func(int) bool) ([]int, bool) {
+	_, q, ok := t.lay.ReadQuorum(available)
+	return q, ok
+}
+
+// WriteAvailability implements System via equation (8).
+func (t *TrapezoidFR) WriteAvailability(p float64) float64 {
+	return availability.Write(t.lay.Config(), p)
+}
+
+// ReadAvailability implements System via equation (10).
+func (t *TrapezoidFR) ReadAvailability(p float64) float64 {
+	return availability.ReadFR(t.lay.Config(), p)
+}

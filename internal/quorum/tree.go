@@ -1,0 +1,118 @@
+package quorum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tree is the tree quorum protocol of Agrawal and El Abbadi over a
+// complete d-ary tree of the given height (height 0 is a single
+// node). A quorum is assembled recursively: if a subtree's root is
+// available, the root plus a quorum of any one child subtree; if the
+// root has failed, quorums of all d child subtrees. Any two such
+// quorums intersect (induction over height), which gives the protocol
+// its mutual-exclusion safety; reads and writes use the same quorums.
+//
+// Nodes are numbered in breadth-first order from the root (node 0).
+type Tree struct {
+	height, degree int
+	size           int
+}
+
+// NewTree builds a complete degree-ary tree of the given height.
+// degree ≥ 2 and height ≥ 0; size is (d^(h+1)−1)/(d−1).
+func NewTree(height, degree int) (*Tree, error) {
+	if height < 0 || degree < 2 {
+		return nil, fmt.Errorf("quorum: tree needs height >= 0 and degree >= 2, got h=%d d=%d", height, degree)
+	}
+	size := 0
+	pow := 1
+	for l := 0; l <= height; l++ {
+		size += pow
+		pow *= degree
+	}
+	if size > 1<<20 {
+		return nil, fmt.Errorf("quorum: tree with %d nodes is unreasonably large", size)
+	}
+	return &Tree{height: height, degree: degree, size: size}, nil
+}
+
+// Name implements System.
+func (t *Tree) Name() string { return fmt.Sprintf("Tree(h=%d,d=%d)", t.height, t.degree) }
+
+// Size implements System.
+func (t *Tree) Size() int { return t.size }
+
+// child returns the c-th child of node v in breadth-first numbering.
+func (t *Tree) child(v, c int) int { return v*t.degree + 1 + c }
+
+// isLeaf reports whether v has no children in this tree.
+func (t *Tree) isLeaf(v int) bool { return t.child(v, 0) >= t.size }
+
+// quorum recursively assembles a tree quorum for the subtree rooted at
+// v, appending to acc. It returns the extended slice and whether a
+// quorum exists.
+func (t *Tree) quorum(v int, available func(int) bool, acc []int) ([]int, bool) {
+	if t.isLeaf(v) {
+		if available(v) {
+			return append(acc, v), true
+		}
+		return acc, false
+	}
+	if available(v) {
+		// Root up: root plus a quorum from any single child subtree.
+		for c := 0; c < t.degree; c++ {
+			if ext, ok := t.quorum(t.child(v, c), available, append(acc, v)); ok {
+				return ext, true
+			}
+		}
+		return acc, false
+	}
+	// Root down: quorums from all child subtrees.
+	ext := acc
+	for c := 0; c < t.degree; c++ {
+		var ok bool
+		ext, ok = t.quorum(t.child(v, c), available, ext)
+		if !ok {
+			return acc, false
+		}
+	}
+	return ext, true
+}
+
+// WriteQuorum implements System.
+func (t *Tree) WriteQuorum(available func(int) bool) ([]int, bool) {
+	q, ok := t.quorum(0, available, nil)
+	if !ok {
+		return nil, false
+	}
+	return q, true
+}
+
+// ReadQuorum implements System; identical to writes in this protocol.
+func (t *Tree) ReadQuorum(available func(int) bool) ([]int, bool) {
+	return t.WriteQuorum(available)
+}
+
+// availabilityAtHeight returns the probability a quorum exists for a
+// subtree of the given height: A(0) = p and
+// A(h) = p·(1 − (1−A(h−1))^d) + (1−p)·A(h−1)^d.
+func (t *Tree) availabilityAtHeight(h int, p float64) float64 {
+	a := p
+	for level := 1; level <= h; level++ {
+		anyChild := 1 - math.Pow(1-a, float64(t.degree))
+		allChildren := math.Pow(a, float64(t.degree))
+		a = p*anyChild + (1-p)*allChildren
+	}
+	return a
+}
+
+// WriteAvailability implements System.
+func (t *Tree) WriteAvailability(p float64) float64 {
+	return t.availabilityAtHeight(t.height, p)
+}
+
+// ReadAvailability implements System.
+func (t *Tree) ReadAvailability(p float64) float64 {
+	return t.WriteAvailability(p)
+}

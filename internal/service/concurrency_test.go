@@ -1,0 +1,77 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClients drives Put/Get/ReadAt/WriteAt from many
+// goroutines against one store (run under -race in CI): per-key
+// last-writer-wins consistency must hold because each key has a
+// single owner goroutine, while the cluster, directory and protocol
+// instances are shared.
+func TestConcurrentClients(t *testing.T) {
+	store, _ := newTestStore(t)
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(c)))
+			key := fmt.Sprintf("obj-%d", c)
+			payload := make([]byte, 700+137*c)
+			r.Read(payload)
+			if err := store.Put(key, payload); err != nil {
+				errs <- fmt.Errorf("%s put: %w", key, err)
+				return
+			}
+			for round := 0; round < 15; round++ {
+				switch round % 3 {
+				case 0:
+					got, err := store.Get(key)
+					if err != nil {
+						errs <- fmt.Errorf("%s get: %w", key, err)
+						return
+					}
+					if !bytes.Equal(got, payload) {
+						errs <- fmt.Errorf("%s corrupted on round %d", key, round)
+						return
+					}
+				case 1:
+					off := r.Intn(len(payload) - 50)
+					patch := make([]byte, 50)
+					r.Read(patch)
+					if err := store.WriteAt(key, off, patch); err != nil {
+						errs <- fmt.Errorf("%s writeAt: %w", key, err)
+						return
+					}
+					copy(payload[off:], patch)
+				case 2:
+					off := r.Intn(len(payload) - 20)
+					got, err := store.ReadAt(key, off, 20)
+					if err != nil {
+						errs <- fmt.Errorf("%s readAt: %w", key, err)
+						return
+					}
+					if !bytes.Equal(got, payload[off:off+20]) {
+						errs <- fmt.Errorf("%s readAt stale on round %d", key, round)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := len(store.Keys()); got != clients {
+		t.Fatalf("keys = %d, want %d", got, clients)
+	}
+}

@@ -1,0 +1,422 @@
+// Package service is the storage-system layer over the TRAP-ERC
+// protocol: a keyed object store on a cluster larger than one stripe.
+// Objects are chunked into stripes of k fixed-size blocks, each stripe
+// is placed on n of the cluster's nodes by a placement strategy, and
+// all reads and in-place updates go through the quorum protocol.
+//
+// This is the layer a storage virtualization middleware (the paper's
+// target context) would embed: Put/Get/WriteAt over virtual-disk
+// images, strict consistency per block, per-node repair after
+// failures.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"trapquorum/internal/core"
+	"trapquorum/internal/erasure"
+	"trapquorum/internal/placement"
+	"trapquorum/internal/sim"
+	"trapquorum/internal/trapezoid"
+)
+
+// Service-level errors.
+var (
+	ErrUnknownKey = errors.New("service: unknown key")
+	ErrBadRange   = errors.New("service: range outside object")
+	ErrExists     = errors.New("service: key already exists")
+)
+
+// Config parameterises a Store.
+type Config struct {
+	// N, K are the erasure-code parameters per stripe.
+	N, K int
+	// Shape and W parameterise the trapezoid quorum (see trapezoid).
+	Shape trapezoid.Shape
+	W     int
+	// BlockSize is the fixed size of every data block, in bytes.
+	BlockSize int
+	// Placement maps stripes to cluster nodes; its node count must
+	// be at least N.
+	Placement placement.Strategy
+}
+
+// objectMeta records where an object lives.
+type objectMeta struct {
+	size    int
+	stripes []uint64
+}
+
+// Store is a keyed erasure-coded object store with quorum consistency.
+type Store struct {
+	cfg     Config
+	code    *erasure.Code
+	tcfg    trapezoid.Config
+	cluster *sim.Cluster
+
+	mu         sync.Mutex
+	directory  map[string]*objectMeta
+	systems    map[string]*core.System // keyed by placement signature
+	stripeSys  map[uint64]*core.System
+	stripeLoc  map[uint64][]int // stripe -> cluster nodes per shard
+	nextStripe uint64
+}
+
+// New builds a Store over an existing simulated cluster. The cluster
+// must have at least as many nodes as the placement strategy declares.
+func New(cluster *sim.Cluster, cfg Config) (*Store, error) {
+	if cfg.Placement == nil {
+		return nil, errors.New("service: nil placement strategy")
+	}
+	if cfg.BlockSize < 1 {
+		return nil, fmt.Errorf("service: block size %d invalid", cfg.BlockSize)
+	}
+	if cluster.Size() < cfg.Placement.Nodes() {
+		return nil, fmt.Errorf("service: cluster has %d nodes, placement expects %d",
+			cluster.Size(), cfg.Placement.Nodes())
+	}
+	if cfg.Placement.Nodes() < cfg.N {
+		return nil, fmt.Errorf("service: placement over %d nodes cannot hold %d shards",
+			cfg.Placement.Nodes(), cfg.N)
+	}
+	code, err := erasure.New(cfg.N, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	tcfg, err := trapezoid.NewConfig(cfg.Shape, cfg.W)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := cfg.Shape.NbNodes(), cfg.N-cfg.K+1; got != want {
+		return nil, fmt.Errorf("service: trapezoid holds %d nodes, need n-k+1 = %d", got, want)
+	}
+	return &Store{
+		cfg:        cfg,
+		code:       code,
+		tcfg:       tcfg,
+		cluster:    cluster,
+		directory:  make(map[string]*objectMeta),
+		systems:    make(map[string]*core.System),
+		stripeSys:  make(map[uint64]*core.System),
+		stripeLoc:  make(map[uint64][]int),
+		nextStripe: 1,
+	}, nil
+}
+
+// stripeCapacity returns the payload bytes one stripe holds.
+func (s *Store) stripeCapacity() int { return s.cfg.K * s.cfg.BlockSize }
+
+// systemFor returns (building if needed) the protocol instance bound
+// to the given node placement. Caller holds s.mu.
+func (s *Store) systemFor(nodes []int) (*core.System, error) {
+	key := placementKey(nodes)
+	if sys, ok := s.systems[key]; ok {
+		return sys, nil
+	}
+	clients := make([]core.NodeClient, len(nodes))
+	for shard, node := range nodes {
+		clients[shard] = s.cluster.Node(node)
+	}
+	sys, err := core.NewSystem(s.code, s.tcfg, clients, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.systems[key] = sys
+	return sys, nil
+}
+
+func placementKey(nodes []int) string {
+	var b strings.Builder
+	for i, n := range nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	return b.String()
+}
+
+// Put stores data under key. The key must not exist (objects are
+// immutable in extent; use WriteAt for in-place updates, or Delete
+// then Put to replace). All placed nodes must be up for the initial
+// seeding.
+func (s *Store) Put(key string, data []byte) error {
+	s.mu.Lock()
+	if _, exists := s.directory[key]; exists {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, key)
+	}
+	capacity := s.stripeCapacity()
+	stripeCount := (len(data) + capacity - 1) / capacity
+	if stripeCount == 0 {
+		stripeCount = 1 // empty objects still own one stripe for WriteAt growth semantics
+	}
+	type planned struct {
+		id     uint64
+		sys    *core.System
+		blocks [][]byte
+		nodes  []int
+	}
+	plan := make([]planned, 0, stripeCount)
+	for i := 0; i < stripeCount; i++ {
+		id := s.nextStripe
+		s.nextStripe++
+		nodes, err := s.cfg.Placement.Place(id, s.cfg.N)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		sys, err := s.systemFor(nodes)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		blocks := make([][]byte, s.cfg.K)
+		for b := range blocks {
+			block := make([]byte, s.cfg.BlockSize)
+			off := i*capacity + b*s.cfg.BlockSize
+			if off < len(data) {
+				copy(block, data[off:])
+			}
+			blocks[b] = block
+		}
+		plan = append(plan, planned{id: id, sys: sys, blocks: blocks, nodes: nodes})
+	}
+	s.mu.Unlock()
+
+	stripes := make([]uint64, 0, len(plan))
+	for _, p := range plan {
+		if err := p.sys.SeedStripe(p.id, p.blocks); err != nil {
+			return fmt.Errorf("stripe %d: %w", p.id, err)
+		}
+		stripes = append(stripes, p.id)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range plan {
+		s.stripeSys[p.id] = p.sys
+		s.stripeLoc[p.id] = p.nodes
+	}
+	s.directory[key] = &objectMeta{size: len(data), stripes: stripes}
+	return nil
+}
+
+// meta returns a copy of the object's metadata.
+func (s *Store) meta(key string) (objectMeta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.directory[key]
+	if !ok {
+		return objectMeta{}, fmt.Errorf("%w: %q", ErrUnknownKey, key)
+	}
+	return objectMeta{size: m.size, stripes: append([]uint64(nil), m.stripes...)}, nil
+}
+
+// Get reads the whole object through quorum reads.
+func (s *Store) Get(key string) ([]byte, error) {
+	m, err := s.meta(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, m.size)
+	remaining := m.size
+	for _, stripe := range m.stripes {
+		s.mu.Lock()
+		sys := s.stripeSys[stripe]
+		s.mu.Unlock()
+		for b := 0; b < s.cfg.K && remaining > 0; b++ {
+			data, _, err := sys.ReadBlock(stripe, b)
+			if err != nil {
+				return nil, fmt.Errorf("stripe %d block %d: %w", stripe, b, err)
+			}
+			take := len(data)
+			if take > remaining {
+				take = remaining
+			}
+			out = append(out, data[:take]...)
+			remaining -= take
+		}
+	}
+	return out, nil
+}
+
+// Size returns the object's byte size.
+func (s *Store) Size(key string) (int, error) {
+	m, err := s.meta(key)
+	if err != nil {
+		return 0, err
+	}
+	return m.size, nil
+}
+
+// Keys lists stored keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.directory))
+	for k := range s.directory {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// locate maps a logical block index of an object to its stripe,
+// in-stripe block index and owning system.
+func (s *Store) locate(m objectMeta, logicalBlock int) (*core.System, uint64, int, error) {
+	stripeIdx := logicalBlock / s.cfg.K
+	if stripeIdx >= len(m.stripes) {
+		return nil, 0, 0, fmt.Errorf("%w: block %d beyond object", ErrBadRange, logicalBlock)
+	}
+	stripe := m.stripes[stripeIdx]
+	s.mu.Lock()
+	sys := s.stripeSys[stripe]
+	s.mu.Unlock()
+	return sys, stripe, logicalBlock % s.cfg.K, nil
+}
+
+// ReadAt reads length bytes at the given offset through quorum reads
+// of only the affected blocks.
+func (s *Store) ReadAt(key string, offset, length int) ([]byte, error) {
+	m, err := s.meta(key)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || length < 0 || offset+length > m.size {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrBadRange, offset, offset+length, m.size)
+	}
+	out := make([]byte, 0, length)
+	for length > 0 {
+		logical := offset / s.cfg.BlockSize
+		within := offset % s.cfg.BlockSize
+		sys, stripe, idx, err := s.locate(m, logical)
+		if err != nil {
+			return nil, err
+		}
+		data, _, err := sys.ReadBlock(stripe, idx)
+		if err != nil {
+			return nil, fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
+		}
+		take := len(data) - within
+		if take > length {
+			take = length
+		}
+		out = append(out, data[within:within+take]...)
+		offset += take
+		length -= take
+	}
+	return out, nil
+}
+
+// WriteAt overwrites bytes [offset, offset+len(p)) in place through
+// quorum writes: each affected block is read, patched and written via
+// Algorithm 1, shipping only parity deltas. Writes cannot extend the
+// object.
+func (s *Store) WriteAt(key string, offset int, p []byte) error {
+	m, err := s.meta(key)
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset+len(p) > m.size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrBadRange, offset, offset+len(p), m.size)
+	}
+	for len(p) > 0 {
+		logical := offset / s.cfg.BlockSize
+		within := offset % s.cfg.BlockSize
+		sys, stripe, idx, err := s.locate(m, logical)
+		if err != nil {
+			return err
+		}
+		data, _, err := sys.ReadBlock(stripe, idx)
+		if err != nil {
+			return fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
+		}
+		take := len(data) - within
+		if take > len(p) {
+			take = len(p)
+		}
+		patched := append([]byte(nil), data...)
+		copy(patched[within:], p[:take])
+		if err := sys.WriteBlock(stripe, idx, patched); err != nil {
+			return fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
+		}
+		offset += take
+		p = p[take:]
+	}
+	return nil
+}
+
+// Delete removes the object from the directory and best-effort deletes
+// its chunks from the placed nodes (down nodes keep orphan chunks; a
+// later repair or re-placement overwrites them).
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	m, ok := s.directory[key]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownKey, key)
+	}
+	delete(s.directory, key)
+	stripes := append([]uint64(nil), m.stripes...)
+	locs := make(map[uint64][]int, len(stripes))
+	for _, st := range stripes {
+		locs[st] = s.stripeLoc[st]
+		delete(s.stripeSys, st)
+		delete(s.stripeLoc, st)
+	}
+	s.mu.Unlock()
+	for _, st := range stripes {
+		for shard, node := range locs[st] {
+			_ = s.cluster.Node(node).DeleteChunk(sim.ChunkID{Stripe: st, Shard: shard})
+		}
+	}
+	return nil
+}
+
+// RepairClusterNode rebuilds every stripe shard placed on the given
+// cluster node (after the node returns, possibly with a fresh disk).
+// It returns how many chunks were rebuilt and the first error.
+func (s *Store) RepairClusterNode(node int) (int, error) {
+	s.mu.Lock()
+	type task struct {
+		sys    *core.System
+		stripe uint64
+		shard  int
+	}
+	var tasks []task
+	for stripe, nodes := range s.stripeLoc {
+		for shard, placedNode := range nodes {
+			if placedNode == node {
+				tasks = append(tasks, task{sys: s.stripeSys[stripe], stripe: stripe, shard: shard})
+			}
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].stripe < tasks[j].stripe })
+	repaired := 0
+	var firstErr error
+	for _, t := range tasks {
+		if err := t.sys.RepairShard(t.stripe, t.shard); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("stripe %d shard %d: %w", t.stripe, t.shard, err)
+			}
+			continue
+		}
+		repaired++
+	}
+	return repaired, firstErr
+}
+
+// StripesOf reports the stripe ids backing an object (diagnostics).
+func (s *Store) StripesOf(key string) ([]uint64, error) {
+	m, err := s.meta(key)
+	if err != nil {
+		return nil, err
+	}
+	return m.stripes, nil
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Option customises cluster construction.
+type Option func(*options)
+
+type options struct {
+	delay DelayFunc
+}
+
+// WithDelay installs a latency model applied to every node operation.
+func WithDelay(d DelayFunc) Option {
+	return func(o *options) { o.delay = d }
+}
+
+// FixedDelay returns a DelayFunc imposing the same latency on every
+// operation.
+func FixedDelay(d time.Duration) DelayFunc {
+	return func(string) time.Duration { return d }
+}
+
+// UniformDelay returns a DelayFunc drawing latencies uniformly from
+// [min, max). It is safe for concurrent use.
+func UniformDelay(min, max time.Duration, seed int64) DelayFunc {
+	var mu sync.Mutex
+	r := rand.New(rand.NewSource(seed))
+	return func(string) time.Duration {
+		if max <= min {
+			return min
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return min + time.Duration(r.Int63n(int64(max-min)))
+	}
+}
+
+// Cluster is a set of simulated storage nodes. Node i of a stripe's
+// placement maps to cluster node i by default; richer placements are
+// the protocol layer's concern.
+type Cluster struct {
+	nodes  []*Node
+	closed sync.Once
+}
+
+// NewCluster starts n node actors.
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: cluster needs at least one node, got %d", n)
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Cluster{nodes: make([]*Node, n)}
+	for i := range c.nodes {
+		c.nodes[i] = newNode(NodeID(i), o.delay)
+	}
+	return c, nil
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i. It panics on an out-of-range index.
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("sim: node %d out of [0,%d)", i, len(c.nodes)))
+	}
+	return c.nodes[i]
+}
+
+// Nodes returns all nodes in id order. The slice must not be modified.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Crash fail-stops node i.
+func (c *Cluster) Crash(i int) { c.Node(i).Crash() }
+
+// Restart revives node i with its storage intact.
+func (c *Cluster) Restart(i int) { c.Node(i).Restart() }
+
+// AliveCount returns how many nodes are currently up.
+func (c *Cluster) AliveCount() int {
+	alive := 0
+	for _, n := range c.nodes {
+		if !n.Down() {
+			alive++
+		}
+	}
+	return alive
+}
+
+// ApplyMask sets each node's up/down state from the mask (true = up).
+// The mask length must equal the cluster size. Used by the Monte-Carlo
+// harness to sample the paper's iid availability model.
+func (c *Cluster) ApplyMask(up []bool) error {
+	if len(up) != len(c.nodes) {
+		return fmt.Errorf("sim: mask length %d, cluster size %d", len(up), len(c.nodes))
+	}
+	for i, u := range up {
+		if u {
+			c.nodes[i].Restart()
+		} else {
+			c.nodes[i].Crash()
+		}
+	}
+	return nil
+}
+
+// RestartAll revives every node.
+func (c *Cluster) RestartAll() {
+	for _, n := range c.nodes {
+		n.Restart()
+	}
+}
+
+// TotalMetrics aggregates the operation counters across all nodes.
+func (c *Cluster) TotalMetrics() (reads, writes, adds, versionQueries int64) {
+	for _, n := range c.nodes {
+		m := n.Metrics()
+		reads += m.Reads.Load()
+		writes += m.Writes.Load()
+		adds += m.Adds.Load()
+		versionQueries += m.VersionQueries.Load()
+	}
+	return
+}
+
+// Close stops every node actor. The cluster is unusable afterwards.
+func (c *Cluster) Close() {
+	c.closed.Do(func() {
+		for _, n := range c.nodes {
+			n.stop()
+		}
+	})
+}

@@ -1,0 +1,25 @@
+// Package sim implements the simulated distributed storage cluster the
+// TRAP-ERC protocol runs on: one goroutine actor per storage node, a
+// versioned chunk store per node, fail-stop failure injection and an
+// optional latency model.
+//
+// The simulator substitutes for the paper's physical testbed. The
+// protocol only ever observes per-request success/failure, returned
+// chunk contents and version numbers — all of which the simulator
+// reproduces exactly under the paper's §IV assumptions (independent
+// fail-stop nodes, reliable links).
+package sim
+
+import "errors"
+
+// Errors returned by node operations. The protocol layer treats
+// ErrNodeDown as the fail-stop signal of the paper's model;
+// ErrVersionMismatch is the failed conditional of Algorithm 1 line 26
+// (a stale parity node must not receive a delta).
+var (
+	ErrNodeDown        = errors.New("sim: node is down")
+	ErrNotFound        = errors.New("sim: chunk not found")
+	ErrVersionMismatch = errors.New("sim: version mismatch")
+	ErrBadRequest      = errors.New("sim: malformed request")
+	ErrClusterClosed   = errors.New("sim: cluster closed")
+)

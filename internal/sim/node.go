@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a storage node within a cluster.
+type NodeID int
+
+// DelayFunc models per-operation network+disk latency. A nil DelayFunc
+// means zero latency (the default in tests).
+type DelayFunc func(op string) time.Duration
+
+// Metrics counts the operations a node served. All fields are safe for
+// concurrent reads while the cluster runs.
+type Metrics struct {
+	Reads            atomic.Int64
+	Writes           atomic.Int64
+	Adds             atomic.Int64
+	VersionQueries   atomic.Int64
+	VersionRejects   atomic.Int64
+	DownRejects      atomic.Int64
+	ServedOperations atomic.Int64
+}
+
+// Node is one simulated storage server: a goroutine actor owning a
+// chunk store. All public methods are synchronous RPCs into the actor,
+// so per-node operations are serialised — the per-node atomicity the
+// protocol's conditional parity updates rely on.
+type Node struct {
+	id      NodeID
+	delay   DelayFunc
+	reqCh   chan request
+	quit    chan struct{}
+	down    atomic.Bool
+	metrics Metrics
+}
+
+type request struct {
+	op    func(store map[ChunkID]*Chunk) (any, error)
+	reply chan response
+}
+
+type response struct {
+	value any
+	err   error
+}
+
+// newNode spins up the actor goroutine.
+func newNode(id NodeID, delay DelayFunc) *Node {
+	n := &Node{
+		id:    id,
+		delay: delay,
+		reqCh: make(chan request),
+		quit:  make(chan struct{}),
+	}
+	go n.serve()
+	return n
+}
+
+func (n *Node) serve() {
+	store := make(map[ChunkID]*Chunk)
+	for {
+		select {
+		case <-n.quit:
+			return
+		case req := <-n.reqCh:
+			if n.down.Load() {
+				// Fail-stop: a crashed node answers nothing; the
+				// caller's transport surfaces ErrNodeDown.
+				n.metrics.DownRejects.Add(1)
+				req.reply <- response{err: ErrNodeDown}
+				continue
+			}
+			v, err := req.op(store)
+			n.metrics.ServedOperations.Add(1)
+			req.reply <- response{value: v, err: err}
+		}
+	}
+}
+
+// call performs a synchronous request against the actor. op is the
+// operation label used by the latency model.
+func (n *Node) call(op string, f func(store map[ChunkID]*Chunk) (any, error)) (any, error) {
+	if n.down.Load() {
+		n.metrics.DownRejects.Add(1)
+		return nil, ErrNodeDown
+	}
+	if n.delay != nil {
+		if d := n.delay(op); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	req := request{op: f, reply: make(chan response, 1)}
+	select {
+	case n.reqCh <- req:
+	case <-n.quit:
+		return nil, ErrClusterClosed
+	}
+	select {
+	case resp := <-req.reply:
+		return resp.value, resp.err
+	case <-n.quit:
+		return nil, ErrClusterClosed
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Metrics exposes the node's operation counters.
+func (n *Node) Metrics() *Metrics { return &n.metrics }
+
+// Down reports whether the node is currently failed.
+func (n *Node) Down() bool { return n.down.Load() }
+
+// Crash fail-stops the node: every subsequent operation fails with
+// ErrNodeDown until Restart. Stored chunks survive (disks outlive
+// crashes); use Wipe for media loss.
+func (n *Node) Crash() { n.down.Store(true) }
+
+// Restart brings a crashed node back with its stored chunks intact.
+func (n *Node) Restart() { n.down.Store(false) }
+
+// Wipe erases the node's store, simulating media loss. The node must
+// be up; typically used right after Restart to model a replaced disk
+// before the repair protocol refills it.
+func (n *Node) Wipe() error {
+	_, err := n.call("wipe", func(store map[ChunkID]*Chunk) (any, error) {
+		for k := range store {
+			delete(store, k)
+		}
+		return nil, nil
+	})
+	return err
+}
+
+// ReadChunk returns a deep copy of the chunk, or ErrNotFound.
+func (n *Node) ReadChunk(id ChunkID) (Chunk, error) {
+	n.metrics.Reads.Add(1)
+	v, err := n.call("read", func(store map[ChunkID]*Chunk) (any, error) {
+		c, ok := store[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
+		}
+		return c.clone(), nil
+	})
+	if err != nil {
+		return Chunk{}, err
+	}
+	return v.(Chunk), nil
+}
+
+// ReadVersions returns a copy of the chunk's version vector, or
+// ErrNotFound. This is the "u.version(id)" probe of Algorithms 1–2.
+func (n *Node) ReadVersions(id ChunkID) ([]uint64, error) {
+	n.metrics.VersionQueries.Add(1)
+	v, err := n.call("version", func(store map[ChunkID]*Chunk) (any, error) {
+		c, ok := store[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
+		}
+		return append([]uint64(nil), c.Versions...), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]uint64), nil
+}
+
+// PutChunk stores a full chunk (data plus version vector), replacing
+// any previous value. Used for data-block writes, bootstrap and
+// repair. The inputs are copied.
+func (n *Node) PutChunk(id ChunkID, data []byte, versions []uint64) error {
+	n.metrics.Writes.Add(1)
+	if len(versions) == 0 {
+		return fmt.Errorf("%w: PutChunk needs at least one version", ErrBadRequest)
+	}
+	dataCopy := append([]byte(nil), data...)
+	verCopy := append([]uint64(nil), versions...)
+	_, err := n.call("write", func(store map[ChunkID]*Chunk) (any, error) {
+		store[id] = &Chunk{Data: dataCopy, Versions: verCopy}
+		return nil, nil
+	})
+	return err
+}
+
+// CompareAndPut overwrites the chunk's data only when version slot
+// `slot` currently holds expect, then sets it to next. It returns
+// ErrVersionMismatch otherwise. Used by data nodes so that a delayed
+// stale writer cannot clobber a newer block.
+func (n *Node) CompareAndPut(id ChunkID, slot int, expect, next uint64, data []byte) error {
+	n.metrics.Writes.Add(1)
+	dataCopy := append([]byte(nil), data...)
+	_, err := n.call("write", func(store map[ChunkID]*Chunk) (any, error) {
+		c, ok := store[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
+		}
+		if slot < 0 || slot >= len(c.Versions) {
+			return nil, fmt.Errorf("%w: version slot %d of %d", ErrBadRequest, slot, len(c.Versions))
+		}
+		if c.Versions[slot] != expect {
+			n.metrics.VersionRejects.Add(1)
+			return nil, fmt.Errorf("%w: slot %d holds %d, expected %d", ErrVersionMismatch, slot, c.Versions[slot], expect)
+		}
+		c.Data = dataCopy
+		c.Versions[slot] = next
+		return nil, nil
+	})
+	return err
+}
+
+// CompareAndAdd XORs delta into the chunk's data when version slot
+// `slot` currently holds expect, then advances the slot to next —
+// the conditional "u.add(α_{i,j}·(x−chunk))" of Algorithm 1 lines
+// 26–28. A mismatch (stale or too-new parity) yields
+// ErrVersionMismatch and leaves the chunk untouched.
+func (n *Node) CompareAndAdd(id ChunkID, slot int, expect, next uint64, delta []byte) error {
+	n.metrics.Adds.Add(1)
+	deltaCopy := append([]byte(nil), delta...)
+	_, err := n.call("add", func(store map[ChunkID]*Chunk) (any, error) {
+		c, ok := store[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
+		}
+		if slot < 0 || slot >= len(c.Versions) {
+			return nil, fmt.Errorf("%w: version slot %d of %d", ErrBadRequest, slot, len(c.Versions))
+		}
+		if len(deltaCopy) != len(c.Data) {
+			return nil, fmt.Errorf("%w: delta size %d, chunk size %d", ErrBadRequest, len(deltaCopy), len(c.Data))
+		}
+		if c.Versions[slot] != expect {
+			n.metrics.VersionRejects.Add(1)
+			return nil, fmt.Errorf("%w: slot %d holds %d, expected %d", ErrVersionMismatch, slot, c.Versions[slot], expect)
+		}
+		for i := range c.Data {
+			c.Data[i] ^= deltaCopy[i]
+		}
+		c.Versions[slot] = next
+		return nil, nil
+	})
+	return err
+}
+
+// PutChunkIfFresher installs a chunk only when it does not regress any
+// version slot of an existing chunk: the proposed version vector must
+// be componentwise ≥ the stored one (a missing chunk always accepts;
+// an identical vector is an idempotent no-op). Repair uses this so
+// that a rebuild gathered before a concurrent write cannot overwrite
+// the write's newer state; the mismatch surfaces as
+// ErrVersionMismatch and the repair is retried.
+func (n *Node) PutChunkIfFresher(id ChunkID, data []byte, versions []uint64) error {
+	n.metrics.Writes.Add(1)
+	if len(versions) == 0 {
+		return fmt.Errorf("%w: PutChunkIfFresher needs at least one version", ErrBadRequest)
+	}
+	dataCopy := append([]byte(nil), data...)
+	verCopy := append([]uint64(nil), versions...)
+	_, err := n.call("write", func(store map[ChunkID]*Chunk) (any, error) {
+		c, ok := store[id]
+		if ok {
+			if len(c.Versions) != len(verCopy) {
+				return nil, fmt.Errorf("%w: version vector length %d vs stored %d", ErrBadRequest, len(verCopy), len(c.Versions))
+			}
+			for slot, v := range c.Versions {
+				if verCopy[slot] < v {
+					n.metrics.VersionRejects.Add(1)
+					return nil, fmt.Errorf("%w: slot %d would regress %d -> %d", ErrVersionMismatch, slot, v, verCopy[slot])
+				}
+			}
+		}
+		store[id] = &Chunk{Data: dataCopy, Versions: verCopy}
+		return nil, nil
+	})
+	return err
+}
+
+// DeleteChunk removes a chunk. Deleting a missing chunk is a no-op,
+// mirroring idempotent deletion (used by garbage collection and by
+// failure-injection tests).
+func (n *Node) DeleteChunk(id ChunkID) error {
+	_, err := n.call("delete", func(store map[ChunkID]*Chunk) (any, error) {
+		delete(store, id)
+		return nil, nil
+	})
+	return err
+}
+
+// HasChunk reports whether the node stores the chunk.
+func (n *Node) HasChunk(id ChunkID) (bool, error) {
+	v, err := n.call("stat", func(store map[ChunkID]*Chunk) (any, error) {
+		_, ok := store[id]
+		return ok, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}
+
+// stop terminates the actor goroutine. Called by Cluster.Close.
+func (n *Node) stop() {
+	select {
+	case <-n.quit:
+	default:
+		close(n.quit)
+	}
+}

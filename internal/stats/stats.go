@@ -1,0 +1,222 @@
+// Package stats provides the small statistical toolkit the simulation
+// harness needs: summary statistics, Bernoulli proportion estimates
+// with normal-approximation confidence intervals, and fixed-bucket
+// histograms for latency distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual moments of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+	StdDev   float64
+	StdErr   float64
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary with N = 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.StdDev = math.Sqrt(s.Variance)
+		s.StdErr = s.StdDev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// Proportion is a Bernoulli success count.
+type Proportion struct {
+	Successes, Trials int
+}
+
+// Estimate returns the sample proportion, or 0 for an empty sample.
+func (p Proportion) Estimate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// StdErr returns the standard error of the proportion estimate.
+func (p Proportion) StdErr() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	est := p.Estimate()
+	return math.Sqrt(est * (1 - est) / float64(p.Trials))
+}
+
+// ConfidenceInterval returns the normal-approximation interval
+// estimate ± z·stderr, clamped to [0,1]. z = 1.96 gives ~95%,
+// z = 3 gives ~99.7%.
+func (p Proportion) ConfidenceInterval(z float64) (lo, hi float64) {
+	est := p.Estimate()
+	half := z * p.StdErr()
+	lo, hi = est-half, est+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Within reports whether a reference value lies inside the z-sigma
+// confidence interval — the Monte-Carlo validation predicate.
+func (p Proportion) Within(reference, z float64) bool {
+	lo, hi := p.ConfidenceInterval(z)
+	return reference >= lo && reference <= hi
+}
+
+// WithinScore is the score-test variant of Within: the standard error
+// is computed from the reference value rather than the estimate, which
+// stays meaningful when the estimate is degenerate (0 or 1 successes
+// out of many trials collapse the Wald interval to a point).
+func (p Proportion) WithinScore(reference, z float64) bool {
+	if p.Trials == 0 {
+		return false
+	}
+	se := math.Sqrt(reference * (1 - reference) / float64(p.Trials))
+	return math.Abs(p.Estimate()-reference) <= z*se
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi) with uniform
+// bucket widths, plus overflow/underflow counts.
+type Histogram struct {
+	Lo, Hi    float64
+	Buckets   []int
+	Underflow int
+	Overflow  int
+	count     int
+}
+
+// NewHistogram builds a histogram with n uniform buckets covering
+// [lo, hi). It panics on a degenerate range or non-positive n.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || !(hi > lo) {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v) x%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if idx == len(h.Buckets) { // float edge
+			idx--
+		}
+		h.Buckets[idx]++
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int { return h.count }
+
+// Quantile returns an approximate q-quantile (0 ≤ q ≤ 1) assuming
+// uniform mass within buckets. Underflow mass is attributed to Lo and
+// overflow mass to Hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return h.Lo
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	cum := float64(h.Underflow)
+	if target <= cum {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		if target <= cum+float64(c) {
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum += float64(c)
+	}
+	return h.Hi
+}
+
+// String renders a compact ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "%10.4g [%6d] %s\n", h.Lo+float64(i)*width, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Percentile returns the exact q-th percentile of a sample by sorting
+// a copy (nearest-rank method). It panics on an empty sample.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Variance-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v", s.Variance)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Variance != 0 || s.StdErr != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Variance >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := Proportion{Successes: 30, Trials: 100}
+	if p.Estimate() != 0.3 {
+		t.Fatalf("estimate = %v", p.Estimate())
+	}
+	want := math.Sqrt(0.3 * 0.7 / 100)
+	if math.Abs(p.StdErr()-want) > 1e-12 {
+		t.Fatalf("stderr = %v", p.StdErr())
+	}
+	lo, hi := p.ConfidenceInterval(1.96)
+	if lo >= 0.3 || hi <= 0.3 {
+		t.Fatalf("CI [%v,%v] excludes estimate", lo, hi)
+	}
+	if !p.Within(0.31, 1.96) {
+		t.Fatal("0.31 should lie within the 95% CI of 0.3 at n=100")
+	}
+	if p.Within(0.5, 1.96) {
+		t.Fatal("0.5 should lie outside")
+	}
+}
+
+func TestProportionWithinScore(t *testing.T) {
+	// Degenerate estimate: 3000/3000 successes against a true value
+	// of 0.99999 must pass the score test even though the Wald CI is
+	// a point.
+	p := Proportion{Successes: 3000, Trials: 3000}
+	if !p.WithinScore(0.99999, 4) {
+		t.Fatal("score test rejected a near-one reference")
+	}
+	if p.WithinScore(0.9, 4) {
+		t.Fatal("score test accepted a far reference")
+	}
+	if (Proportion{}).WithinScore(0.5, 4) {
+		t.Fatal("empty sample passed the score test")
+	}
+}
+
+func TestProportionEdges(t *testing.T) {
+	empty := Proportion{}
+	if empty.Estimate() != 0 || empty.StdErr() != 0 {
+		t.Fatal("empty proportion misbehaves")
+	}
+	all := Proportion{Successes: 50, Trials: 50}
+	lo, hi := all.ConfidenceInterval(3)
+	if lo != 1 || hi != 1 {
+		t.Fatalf("degenerate CI = [%v,%v]", lo, hi)
+	}
+	none := Proportion{Successes: 0, Trials: 50}
+	lo, hi = none.ConfidenceInterval(3)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("zero CI = [%v,%v]", lo, hi)
+	}
+}
+
+func TestProportionCICoverage(t *testing.T) {
+	// Statistical sanity: across many simulated experiments with true
+	// p = 0.4, the 3-sigma interval should almost always contain p.
+	r := rand.New(rand.NewSource(5))
+	misses := 0
+	const experiments = 500
+	for e := 0; e < experiments; e++ {
+		succ := 0
+		const trials = 400
+		for i := 0; i < trials; i++ {
+			if r.Float64() < 0.4 {
+				succ++
+			}
+		}
+		if !(Proportion{Successes: succ, Trials: trials}).Within(0.4, 3) {
+			misses++
+		}
+	}
+	if misses > 5 { // 3 sigma ⇒ ~0.3% expected
+		t.Fatalf("%d of %d experiments missed the 3σ interval", misses, experiments)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Fatalf("under=%d over=%d", h.Underflow, h.Overflow)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Fatalf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 || h.Buckets[4] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(5, 1, 5) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %v", med)
+	}
+	if h.Quantile(0) != 0 {
+		t.Fatalf("q0 = %v", h.Quantile(0))
+	}
+	if q := h.Quantile(1); q < 99 {
+		t.Fatalf("q1 = %v", q)
+	}
+	empty := NewHistogram(0, 1, 2)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should return Lo")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(1.5)
+	s := h.String()
+	if len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(xs, 0.5) != 3 {
+		t.Fatalf("median = %v", Percentile(xs, 0.5))
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Percentile(nil, 0.5)
+}

@@ -1,0 +1,174 @@
+// Package trapezoid implements the logical trapezoid topology and
+// quorum rules of the trapezoidal protocol (paper §III-B-2).
+//
+// Nodes are arranged on h+1 levels; level l (0 ≤ l ≤ h) holds
+// s_l = a·l + b nodes, with a ≥ 0 and b ≥ 1. A write quorum takes
+// w_0 = ⌊b/2⌋+1 nodes at level 0 — an absolute majority, which forces
+// any two write quorums to intersect there (equation 3) — plus w_l
+// arbitrary nodes at each higher level. A read quorum checks versions
+// on r_l = s_l − w_l + 1 nodes of some single level l, enough to be
+// guaranteed to overlap every write quorum at that level (equation 2).
+//
+// In the ERC instantiation, the trapezoid for data block b_i organises
+// the node N_i holding the original block (always placed at level 0,
+// position 0) together with the n−k parity nodes, so the total node
+// count is Nbnode = n−k+1 (equation 5).
+package trapezoid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadShape reports invalid (a, b, h) trapezoid parameters.
+var ErrBadShape = errors.New("trapezoid: invalid shape")
+
+// ErrBadQuorum reports write-quorum sizes violating 1 ≤ w_l ≤ s_l or
+// the mandatory level-0 majority.
+var ErrBadQuorum = errors.New("trapezoid: invalid write quorum sizes")
+
+// Shape is the geometric parameter triple of a trapezoid.
+type Shape struct {
+	// A is the per-level increment of the level width (a ≥ 0).
+	A int
+	// B is the width of level 0 (b ≥ 1).
+	B int
+	// H is the index of the last level; the trapezoid has H+1 levels.
+	H int
+}
+
+// Validate checks a ≥ 0, b ≥ 1, h ≥ 0.
+func (s Shape) Validate() error {
+	if s.A < 0 || s.B < 1 || s.H < 0 {
+		return fmt.Errorf("%w: a=%d b=%d h=%d (need a>=0, b>=1, h>=0)", ErrBadShape, s.A, s.B, s.H)
+	}
+	return nil
+}
+
+// LevelSize returns s_l = a·l + b. It panics on an out-of-range level.
+func (s Shape) LevelSize(l int) int {
+	if l < 0 || l > s.H {
+		panic(fmt.Sprintf("trapezoid: level %d out of [0,%d]", l, s.H))
+	}
+	return s.A*l + s.B
+}
+
+// Levels returns the number of levels, h+1.
+func (s Shape) Levels() int { return s.H + 1 }
+
+// NbNodes returns the total number of nodes Σ s_l (equation 4).
+func (s Shape) NbNodes() int {
+	total := 0
+	for l := 0; l <= s.H; l++ {
+		total += s.LevelSize(l)
+	}
+	return total
+}
+
+// Level0Majority returns ⌊b/2⌋+1, the mandatory write quorum at level 0.
+func (s Shape) Level0Majority() int { return s.B/2 + 1 }
+
+// String renders the shape as "a=.. b=.. h=..".
+func (s Shape) String() string {
+	return fmt.Sprintf("a=%d b=%d h=%d", s.A, s.B, s.H)
+}
+
+// Config is a fully parameterised trapezoid quorum system: a shape plus
+// the per-level write-quorum sizes.
+type Config struct {
+	Shape Shape
+	// W[l] is the number of successful node writes required at level l.
+	// W[0] is forced to the level-0 majority by the constructors.
+	W []int
+}
+
+// NewConfig builds a Config with the paper's equation (16) quorum
+// profile: w_0 = ⌊b/2⌋+1 and w_l = w for every 1 ≤ l ≤ h. w is
+// ignored when h = 0.
+func NewConfig(shape Shape, w int) (Config, error) {
+	if err := shape.Validate(); err != nil {
+		return Config{}, err
+	}
+	ws := make([]int, shape.Levels())
+	ws[0] = shape.Level0Majority()
+	for l := 1; l <= shape.H; l++ {
+		ws[l] = w
+	}
+	cfg := Config{Shape: shape, W: ws}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// NewConfigLevels builds a Config with explicit per-level write quorum
+// sizes for levels 1..h. Level 0 is always the mandatory majority and
+// must not be included in w.
+func NewConfigLevels(shape Shape, w []int) (Config, error) {
+	if err := shape.Validate(); err != nil {
+		return Config{}, err
+	}
+	if len(w) != shape.H {
+		return Config{}, fmt.Errorf("%w: got %d sizes for levels 1..%d", ErrBadQuorum, len(w), shape.H)
+	}
+	ws := make([]int, shape.Levels())
+	ws[0] = shape.Level0Majority()
+	copy(ws[1:], w)
+	cfg := Config{Shape: shape, W: ws}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the shape, the level-0 majority and 1 ≤ w_l ≤ s_l.
+func (c Config) Validate() error {
+	if err := c.Shape.Validate(); err != nil {
+		return err
+	}
+	if len(c.W) != c.Shape.Levels() {
+		return fmt.Errorf("%w: %d sizes for %d levels", ErrBadQuorum, len(c.W), c.Shape.Levels())
+	}
+	if c.W[0] != c.Shape.Level0Majority() {
+		return fmt.Errorf("%w: w_0=%d, must be the level-0 majority %d", ErrBadQuorum, c.W[0], c.Shape.Level0Majority())
+	}
+	for l := 1; l <= c.Shape.H; l++ {
+		if c.W[l] < 1 || c.W[l] > c.Shape.LevelSize(l) {
+			return fmt.Errorf("%w: w_%d=%d outside [1,%d]", ErrBadQuorum, l, c.W[l], c.Shape.LevelSize(l))
+		}
+	}
+	return nil
+}
+
+// WriteQuorumSize returns |WQ| = Σ w_l (equation 6).
+func (c Config) WriteQuorumSize() int {
+	total := 0
+	for _, w := range c.W {
+		total += w
+	}
+	return total
+}
+
+// ReadThreshold returns r_l = s_l − w_l + 1, the number of nodes whose
+// versions must be collected at level l to be certain of seeing the
+// latest version.
+func (c Config) ReadThreshold(l int) int {
+	return c.Shape.LevelSize(l) - c.W[l] + 1
+}
+
+// MinReadQuorumSize returns the smallest r_l over all levels: the
+// cheapest possible version check.
+func (c Config) MinReadQuorumSize() int {
+	best := c.ReadThreshold(0)
+	for l := 1; l <= c.Shape.H; l++ {
+		if r := c.ReadThreshold(l); r < best {
+			best = r
+		}
+	}
+	return best
+}
+
+// String renders the configuration compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("trapezoid{%s w=%v}", c.Shape, c.W)
+}

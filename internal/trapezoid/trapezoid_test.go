@@ -1,0 +1,453 @@
+package trapezoid
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustConfig(t testing.TB, shape Shape, w int) Config {
+	t.Helper()
+	cfg, err := NewConfig(shape, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func mustLayout(t testing.TB, cfg Config) *Layout {
+	t.Helper()
+	lay, err := NewLayout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay
+}
+
+func TestShapeValidate(t *testing.T) {
+	cases := []struct {
+		s  Shape
+		ok bool
+	}{
+		{Shape{A: 2, B: 3, H: 2}, true},
+		{Shape{A: 0, B: 1, H: 0}, true},
+		{Shape{A: 0, B: 5, H: 3}, true},
+		{Shape{A: -1, B: 3, H: 2}, false},
+		{Shape{A: 2, B: 0, H: 2}, false},
+		{Shape{A: 2, B: 3, H: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%v: err=%v want ok=%v", c.s, err, c.ok)
+		}
+		if err != nil && !errors.Is(err, ErrBadShape) {
+			t.Errorf("%v: err not ErrBadShape", c.s)
+		}
+	}
+}
+
+// TestPaperFigure1 pins the example of the paper's Figure 1:
+// s_l = 2l+3 (a=2, b=3, h=2) yields levels of 3, 5, 7 nodes and
+// Nbnode = 15 = n−k+1.
+func TestPaperFigure1(t *testing.T) {
+	s := Shape{A: 2, B: 3, H: 2}
+	if got := s.NbNodes(); got != 15 {
+		t.Fatalf("NbNodes = %d, want 15", got)
+	}
+	for l, want := range []int{3, 5, 7} {
+		if got := s.LevelSize(l); got != want {
+			t.Fatalf("s_%d = %d, want %d", l, got, want)
+		}
+	}
+	if s.Level0Majority() != 2 {
+		t.Fatalf("level-0 majority = %d, want 2", s.Level0Majority())
+	}
+	if s.Levels() != 3 {
+		t.Fatalf("levels = %d, want 3", s.Levels())
+	}
+}
+
+func TestLevelSizeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Shape{A: 1, B: 1, H: 1}.LevelSize(2)
+}
+
+func TestNewConfigEquation16(t *testing.T) {
+	cfg := mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3)
+	if cfg.W[0] != 2 {
+		t.Fatalf("w_0 = %d, want floor(3/2)+1 = 2", cfg.W[0])
+	}
+	if cfg.W[1] != 3 || cfg.W[2] != 3 {
+		t.Fatalf("W = %v, want uniform 3 above level 0", cfg.W)
+	}
+	if got := cfg.WriteQuorumSize(); got != 8 {
+		t.Fatalf("|WQ| = %d, want 8", got)
+	}
+}
+
+func TestNewConfigRejectsBadW(t *testing.T) {
+	if _, err := NewConfig(Shape{A: 2, B: 3, H: 2}, 0); !errors.Is(err, ErrBadQuorum) {
+		t.Fatalf("w=0: err = %v", err)
+	}
+	// s_1 = 5 is the binding constraint for w across levels 1..h.
+	if _, err := NewConfig(Shape{A: 2, B: 3, H: 2}, 6); !errors.Is(err, ErrBadQuorum) {
+		t.Fatalf("w=6: err = %v", err)
+	}
+	if _, err := NewConfig(Shape{A: 2, B: 3, H: 2}, 5); err != nil {
+		t.Fatalf("w=5 should be valid (s_1=5): %v", err)
+	}
+}
+
+func TestNewConfigLevels(t *testing.T) {
+	cfg, err := NewConfigLevels(Shape{A: 2, B: 3, H: 2}, []int{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.W[0] != 2 || cfg.W[1] != 4 || cfg.W[2] != 2 {
+		t.Fatalf("W = %v", cfg.W)
+	}
+	if _, err := NewConfigLevels(Shape{A: 2, B: 3, H: 2}, []int{4}); !errors.Is(err, ErrBadQuorum) {
+		t.Fatalf("short w accepted: %v", err)
+	}
+	if _, err := NewConfigLevels(Shape{A: 2, B: 3, H: 2}, []int{4, 8}); !errors.Is(err, ErrBadQuorum) {
+		t.Fatalf("w_2 > s_2 accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsTamperedW0(t *testing.T) {
+	cfg := mustConfig(t, Shape{A: 2, B: 3, H: 1}, 2)
+	cfg.W[0] = 1 // below majority: two write quorums could miss each other
+	if err := cfg.Validate(); !errors.Is(err, ErrBadQuorum) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadThreshold(t *testing.T) {
+	cfg := mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3)
+	// r_l = s_l - w_l + 1: level 0: 3-2+1=2, level 1: 5-3+1=3, level 2: 7-3+1=5.
+	for l, want := range []int{2, 3, 5} {
+		if got := cfg.ReadThreshold(l); got != want {
+			t.Fatalf("r_%d = %d, want %d", l, got, want)
+		}
+	}
+	if got := cfg.MinReadQuorumSize(); got != 2 {
+		t.Fatalf("min read quorum = %d, want 2", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cfg := mustConfig(t, Shape{A: 2, B: 3, H: 1}, 2)
+	if s := cfg.String(); !strings.Contains(s, "a=2 b=3 h=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestLayoutPositions(t *testing.T) {
+	lay := mustLayout(t, mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3))
+	if lay.NbNodes() != 15 {
+		t.Fatalf("NbNodes = %d", lay.NbNodes())
+	}
+	if got := lay.Level(0); len(got) != 3 || got[0] != 0 {
+		t.Fatalf("level 0 = %v", got)
+	}
+	if got := lay.Level(2); len(got) != 7 || got[6] != 14 {
+		t.Fatalf("level 2 = %v", got)
+	}
+	for pos := 0; pos < 15; pos++ {
+		want := 0
+		switch {
+		case pos >= 8:
+			want = 2
+		case pos >= 3:
+			want = 1
+		}
+		if lay.LevelOf(pos) != want {
+			t.Fatalf("LevelOf(%d) = %d, want %d", pos, lay.LevelOf(pos), want)
+		}
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	lay := mustLayout(t, mustConfig(t, Shape{A: 1, B: 1, H: 1}, 1))
+	for _, f := range []func(){
+		func() { lay.Level(-1) },
+		func() { lay.Level(2) },
+		func() { lay.LevelOf(-1) },
+		func() { lay.LevelOf(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewLayoutRejectsInvalid(t *testing.T) {
+	if _, err := NewLayout(Config{Shape: Shape{A: -1, B: 1, H: 0}, W: []int{1}}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func allUp(int) bool { return true }
+
+func TestWriteQuorumAllUp(t *testing.T) {
+	cfg := mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3)
+	lay := mustLayout(t, cfg)
+	q, ok := lay.WriteQuorum(allUp)
+	if !ok {
+		t.Fatal("quorum not found with all nodes up")
+	}
+	if len(q) != cfg.WriteQuorumSize() {
+		t.Fatalf("|q| = %d, want %d", len(q), cfg.WriteQuorumSize())
+	}
+	counts := map[int]int{}
+	for _, pos := range q {
+		counts[lay.LevelOf(pos)]++
+	}
+	for l, w := range cfg.W {
+		if counts[l] != w {
+			t.Fatalf("level %d has %d picks, want %d", l, counts[l], w)
+		}
+	}
+}
+
+func TestWriteQuorumFailsWhenLevelStarved(t *testing.T) {
+	lay := mustLayout(t, mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3))
+	// Kill all but 2 nodes of level 1 (positions 3..7): w_1 = 3 unreachable.
+	down := map[int]bool{3: true, 4: true, 5: true}
+	if _, ok := lay.WriteQuorum(func(p int) bool { return !down[p] }); ok {
+		t.Fatal("quorum assembled despite starved level")
+	}
+}
+
+func TestReadQuorumPrefersLowestLevel(t *testing.T) {
+	lay := mustLayout(t, mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3))
+	level, q, ok := lay.ReadQuorum(allUp)
+	if !ok || level != 0 {
+		t.Fatalf("level = %d ok=%v, want level 0", level, ok)
+	}
+	if len(q) != 2 { // r_0 = 2
+		t.Fatalf("|q| = %d, want 2", len(q))
+	}
+}
+
+func TestReadQuorumFallsThroughLevels(t *testing.T) {
+	lay := mustLayout(t, mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3))
+	// Level 0 has 3 nodes, r_0 = 2; kill 2 of them.
+	down := map[int]bool{0: true, 1: true}
+	level, q, ok := lay.ReadQuorum(func(p int) bool { return !down[p] })
+	if !ok {
+		t.Fatal("no quorum found")
+	}
+	if level != 1 {
+		t.Fatalf("level = %d, want 1", level)
+	}
+	if len(q) != 3 { // r_1 = 3
+		t.Fatalf("|q| = %d", len(q))
+	}
+}
+
+func TestReadQuorumTotalFailure(t *testing.T) {
+	lay := mustLayout(t, mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3))
+	if _, _, ok := lay.ReadQuorum(func(int) bool { return false }); ok {
+		t.Fatal("quorum found with all nodes down")
+	}
+}
+
+// TestWriteQuorumIntersection is the protocol's safety core
+// (equation 3): every pair of write quorums shares at least one node,
+// and the shared node can always be found at level 0.
+func TestWriteQuorumIntersection(t *testing.T) {
+	for _, cfg := range []Config{
+		mustConfig(t, Shape{A: 2, B: 3, H: 1}, 3),
+		mustConfig(t, Shape{A: 1, B: 1, H: 2}, 1),
+		mustConfig(t, Shape{A: 0, B: 5, H: 1}, 2),
+		mustConfig(t, Shape{A: 3, B: 1, H: 1}, 2),
+	} {
+		lay := mustLayout(t, cfg)
+		quorums := lay.AllWriteQuorums()
+		if len(quorums) < 2 {
+			t.Fatalf("%v: only %d quorums", cfg, len(quorums))
+		}
+		for x := 0; x < len(quorums); x++ {
+			for y := x; y < len(quorums); y++ {
+				if !intersectAtLevel(lay, quorums[x], quorums[y], 0) {
+					t.Fatalf("%v: write quorums %v and %v do not intersect at level 0",
+						cfg, quorums[x], quorums[y])
+				}
+			}
+		}
+	}
+}
+
+// TestReadWriteQuorumIntersection checks equation 2: every read quorum
+// intersects every write quorum.
+func TestReadWriteQuorumIntersection(t *testing.T) {
+	for _, cfg := range []Config{
+		mustConfig(t, Shape{A: 2, B: 3, H: 1}, 3),
+		mustConfig(t, Shape{A: 1, B: 2, H: 2}, 2),
+		mustConfig(t, Shape{A: 0, B: 3, H: 2}, 1),
+	} {
+		lay := mustLayout(t, cfg)
+		writes := lay.AllWriteQuorums()
+		reads := lay.AllReadQuorums()
+		for _, rq := range reads {
+			for _, wq := range writes {
+				if !intersects(rq, wq) {
+					t.Fatalf("%v: RQ %v misses WQ %v", cfg, rq, wq)
+				}
+			}
+		}
+	}
+}
+
+func intersects(a, b []int) bool {
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if set[y] {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectAtLevel(lay *Layout, a, b []int, level int) bool {
+	set := make(map[int]bool)
+	for _, x := range a {
+		if lay.LevelOf(x) == level {
+			set[x] = true
+		}
+	}
+	for _, y := range b {
+		if lay.LevelOf(y) == level && set[y] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGreedyQuorumIntersectionRandom drives the greedy pickers under
+// random availability and checks that whenever both a write and a read
+// quorum can be assembled, they intersect (the live-protocol analogue
+// of equations 2 and 3).
+func TestGreedyQuorumIntersectionRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	cfg := mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3)
+	lay := mustLayout(t, cfg)
+	n := lay.NbNodes()
+	for trial := 0; trial < 2000; trial++ {
+		up := make([]bool, n)
+		for i := range up {
+			up[i] = r.Float64() < 0.7
+		}
+		avail := func(p int) bool { return up[p] }
+		wq1, ok1 := lay.WriteQuorum(avail)
+		// A second, different availability mask for the second writer.
+		up2 := make([]bool, n)
+		for i := range up2 {
+			up2[i] = r.Float64() < 0.7
+		}
+		wq2, ok2 := lay.WriteQuorum(func(p int) bool { return up2[p] })
+		if ok1 && ok2 && !intersects(wq1, wq2) {
+			t.Fatalf("trial %d: write quorums %v and %v disjoint", trial, wq1, wq2)
+		}
+		if _, rq, okR := lay.ReadQuorum(avail); ok1 && okR {
+			// Same level scan order means rq comes from some level l;
+			// the write quorum has w_l there and rq has s_l-w_l+1.
+			if !intersects(rq, wq1) {
+				t.Fatalf("trial %d: read quorum %v misses write quorum %v", trial, rq, wq1)
+			}
+		}
+	}
+}
+
+func TestAllWriteQuorumsCount(t *testing.T) {
+	// Shape a=1,b=1,h=1: levels of 1 and 2 nodes; w = [1,1].
+	// C(1,1) * C(2,1) = 2 quorums.
+	lay := mustLayout(t, mustConfig(t, Shape{A: 1, B: 1, H: 1}, 1))
+	if got := len(lay.AllWriteQuorums()); got != 2 {
+		t.Fatalf("quorum count = %d, want 2", got)
+	}
+	// Figure-1 shape: C(3,2)*C(5,3)*C(7,3) = 3*10*35 = 1050.
+	lay2 := mustLayout(t, mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3))
+	if got := len(lay2.AllWriteQuorums()); got != 1050 {
+		t.Fatalf("quorum count = %d, want 1050", got)
+	}
+}
+
+func TestAllReadQuorumsCount(t *testing.T) {
+	// Figure-1 shape, w=3: r = [2,3,5] → C(3,2)+C(5,3)+C(7,5) = 3+10+21 = 34.
+	lay := mustLayout(t, mustConfig(t, Shape{A: 2, B: 3, H: 2}, 3))
+	if got := len(lay.AllReadQuorums()); got != 34 {
+		t.Fatalf("read quorum count = %d, want 34", got)
+	}
+}
+
+func TestEnumerateShapes(t *testing.T) {
+	shapes := EnumerateShapes(15, 4)
+	if len(shapes) == 0 {
+		t.Fatal("no shapes found for 15 nodes")
+	}
+	seen := map[string]bool{}
+	for _, s := range shapes {
+		if s.NbNodes() != 15 {
+			t.Fatalf("shape %v has %d nodes", s, s.NbNodes())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("shape %v invalid: %v", s, err)
+		}
+		if seen[s.String()] {
+			t.Fatalf("duplicate shape %v", s)
+		}
+		seen[s.String()] = true
+	}
+	// The Figure-1 shape must be among them.
+	if !seen["a=2 b=3 h=2"] {
+		t.Fatal("EnumerateShapes(15, 4) missing a=2 b=3 h=2")
+	}
+	// h=0 single-level shape (plain majority over 15 nodes).
+	if !seen["a=0 b=15 h=0"] {
+		t.Fatal("EnumerateShapes missing the flat shape")
+	}
+}
+
+func TestEnumerateShapesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nb := 1 + r.Intn(40)
+		for _, s := range EnumerateShapes(nb, 5) {
+			if s.NbNodes() != nb || s.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteQuorum(b *testing.B) {
+	cfg, _ := NewConfig(Shape{A: 2, B: 3, H: 2}, 3)
+	lay, _ := NewLayout(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := lay.WriteQuorum(allUp); !ok {
+			b.Fatal("no quorum")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package workload generates the block-access patterns the benchmark
+// harness and examples drive the storage system with: uniform, Zipf
+// (hot-spot) and sequential address streams combined with a read/write
+// operation mix. All generators are deterministic under a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind discriminates read and write operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	Read OpKind = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Op is one storage operation against a data block.
+type Op struct {
+	Kind  OpKind
+	Block int
+}
+
+// Pattern produces a stream of block indices.
+type Pattern interface {
+	// Next returns the next block index in [0, Blocks()).
+	Next() int
+	// Blocks returns the address-space size.
+	Blocks() int
+}
+
+// Uniform picks blocks independently and uniformly.
+type Uniform struct {
+	blocks int
+	r      *rand.Rand
+}
+
+// NewUniform builds a uniform pattern over `blocks` addresses.
+func NewUniform(blocks int, seed int64) (*Uniform, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("workload: need blocks >= 1, got %d", blocks)
+	}
+	return &Uniform{blocks: blocks, r: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next implements Pattern.
+func (u *Uniform) Next() int { return u.r.Intn(u.blocks) }
+
+// Blocks implements Pattern.
+func (u *Uniform) Blocks() int { return u.blocks }
+
+// Zipf skews accesses toward low-numbered blocks with the classic
+// Zipf(s) distribution — the hot-spot pattern virtual-disk workloads
+// exhibit (FS metadata blocks run hot).
+type Zipf struct {
+	blocks int
+	z      *rand.Zipf
+}
+
+// NewZipf builds a Zipf pattern with skew s > 1 over `blocks`
+// addresses.
+func NewZipf(blocks int, s float64, seed int64) (*Zipf, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("workload: need blocks >= 1, got %d", blocks)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: Zipf skew must exceed 1, got %v", s)
+	}
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, s, 1, uint64(blocks-1))
+	if z == nil {
+		return nil, fmt.Errorf("workload: invalid Zipf parameters (s=%v blocks=%d)", s, blocks)
+	}
+	return &Zipf{blocks: blocks, z: z}, nil
+}
+
+// Next implements Pattern.
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// Blocks implements Pattern.
+func (z *Zipf) Blocks() int { return z.blocks }
+
+// Sequential sweeps the address space in order, wrapping around — the
+// scan/backup pattern.
+type Sequential struct {
+	blocks int
+	next   int
+}
+
+// NewSequential builds a sequential pattern over `blocks` addresses.
+func NewSequential(blocks int) (*Sequential, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("workload: need blocks >= 1, got %d", blocks)
+	}
+	return &Sequential{blocks: blocks}, nil
+}
+
+// Next implements Pattern.
+func (s *Sequential) Next() int {
+	b := s.next
+	s.next = (s.next + 1) % s.blocks
+	return b
+}
+
+// Blocks implements Pattern.
+func (s *Sequential) Blocks() int { return s.blocks }
+
+// Mix generates operations over a Pattern with a fixed read fraction.
+type Mix struct {
+	pattern      Pattern
+	readFraction float64
+	r            *rand.Rand
+}
+
+// NewMix couples a pattern with a read/write ratio.
+// readFraction ∈ [0,1] is the probability an op is a read.
+func NewMix(pattern Pattern, readFraction float64, seed int64) (*Mix, error) {
+	if pattern == nil {
+		return nil, fmt.Errorf("workload: nil pattern")
+	}
+	if readFraction < 0 || readFraction > 1 {
+		return nil, fmt.Errorf("workload: read fraction %v outside [0,1]", readFraction)
+	}
+	return &Mix{pattern: pattern, readFraction: readFraction, r: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next returns the next operation.
+func (m *Mix) Next() Op {
+	kind := Write
+	if m.r.Float64() < m.readFraction {
+		kind = Read
+	}
+	return Op{Kind: kind, Block: m.pattern.Next()}
+}
+
+// Trace materialises n operations.
+func (m *Mix) Trace(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = m.Next()
+	}
+	return ops
+}
+
+// PayloadGenerator produces deterministic pseudo-random block payloads
+// for write operations.
+type PayloadGenerator struct {
+	size int
+	r    *rand.Rand
+}
+
+// NewPayloadGenerator builds a generator of `size`-byte payloads.
+func NewPayloadGenerator(size int, seed int64) (*PayloadGenerator, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("workload: payload size must be positive, got %d", size)
+	}
+	return &PayloadGenerator{size: size, r: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next returns a fresh payload; the caller owns the slice.
+func (g *PayloadGenerator) Next() []byte {
+	b := make([]byte, g.size)
+	g.r.Read(b)
+	return b
+}

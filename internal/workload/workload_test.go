@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestUniformRange(t *testing.T) {
+	u, err := NewUniform(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Blocks() != 10 {
+		t.Fatalf("Blocks = %d", u.Blocks())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		b := u.Next()
+		if b < 0 || b >= 10 {
+			t.Fatalf("out of range: %d", b)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d distinct blocks in 2000 draws", len(seen))
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, 1); err == nil {
+		t.Fatal("blocks=0 accepted")
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, _ := NewUniform(100, 7)
+	b, _ := NewUniform(100, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(100, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		b := z.Next()
+		if b < 0 || b >= 100 {
+			t.Fatalf("out of range: %d", b)
+		}
+		counts[b]++
+	}
+	// Block 0 must be much hotter than block 50.
+	if counts[0] < 5*counts[50]+1 {
+		t.Fatalf("no skew: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1.5, 1); err == nil {
+		t.Fatal("blocks=0 accepted")
+	}
+	if _, err := NewZipf(10, 1.0, 1); err == nil {
+		t.Fatal("s=1 accepted")
+	}
+	if _, err := NewZipf(10, 0.5, 1); err == nil {
+		t.Fatal("s<1 accepted")
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	s, err := NewSequential(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("step %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	if _, err := NewSequential(0); err == nil {
+		t.Fatal("blocks=0 accepted")
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	u, _ := NewUniform(10, 3)
+	m, err := NewMix(u, 0.7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		op := m.Next()
+		if op.Kind == Read {
+			reads++
+		}
+		if op.Block < 0 || op.Block >= 10 {
+			t.Fatalf("block out of range: %d", op.Block)
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.67 || frac > 0.73 {
+		t.Fatalf("read fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	u, _ := NewUniform(10, 3)
+	if _, err := NewMix(nil, 0.5, 1); err == nil {
+		t.Fatal("nil pattern accepted")
+	}
+	if _, err := NewMix(u, -0.1, 1); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := NewMix(u, 1.1, 1); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestMixExtremes(t *testing.T) {
+	u, _ := NewUniform(5, 3)
+	allReads, _ := NewMix(u, 1, 5)
+	for i := 0; i < 100; i++ {
+		if allReads.Next().Kind != Read {
+			t.Fatal("readFraction=1 produced a write")
+		}
+	}
+	u2, _ := NewUniform(5, 3)
+	allWrites, _ := NewMix(u2, 0, 5)
+	for i := 0; i < 100; i++ {
+		if allWrites.Next().Kind != Write {
+			t.Fatal("readFraction=0 produced a read")
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	u, _ := NewUniform(10, 3)
+	m, _ := NewMix(u, 0.5, 4)
+	ops := m.Trace(250)
+	if len(ops) != 250 {
+		t.Fatalf("trace length %d", len(ops))
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("OpKind strings wrong")
+	}
+}
+
+func TestPayloadGenerator(t *testing.T) {
+	g, err := NewPayloadGenerator(64, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.Next()
+	b := g.Next()
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatal("wrong payload size")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("consecutive payloads identical")
+	}
+	if _, err := NewPayloadGenerator(0, 1); err == nil {
+		t.Fatal("size=0 accepted")
+	}
+}

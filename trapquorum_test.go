@@ -1,0 +1,265 @@
+package trapquorum
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func fig3Store(t testing.TB) *Store {
+	t.Helper()
+	s, err := Open(Config{N: 15, K: 8, A: 2, B: 3, H: 1, W: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestOpenValidation(t *testing.T) {
+	cases := []Config{
+		{N: 15, K: 8, A: 2, B: 3, H: 2, W: 3}, // trapezoid holds 15, need 8
+		{N: 15, K: 0, A: 2, B: 3, H: 1, W: 3},
+		{N: 4, K: 8, A: 2, B: 3, H: 1, W: 3},
+		{N: 15, K: 8, A: 2, B: 3, H: 1, W: 9}, // w > s_1
+		{N: 15, K: 8, A: -1, B: 3, H: 1, W: 3},
+	}
+	for i, cfg := range cases {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	s := fig3Store(t)
+	payload := []byte("strict consistency over erasure-coded virtual disks")
+	if err := s.WriteObject(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadObject(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := s.ReadObject(2); !errors.Is(err, ErrUnknownStripe) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBlockLifecycle(t *testing.T) {
+	s := fig3Store(t)
+	blocks := make([][]byte, 8)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte{byte(i)}, 32)
+	}
+	if err := s.SeedStripe(5, blocks); err != nil {
+		t.Fatal(err)
+	}
+	x := bytes.Repeat([]byte{0xEE}, 32)
+	if err := s.WriteBlock(5, 3, x); err != nil {
+		t.Fatal(err)
+	}
+	got, version, err := s.ReadBlock(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, x) || version != 2 {
+		t.Fatalf("got v%d", version)
+	}
+}
+
+func TestFailureToleranceEndToEnd(t *testing.T) {
+	s := fig3Store(t)
+	payload := bytes.Repeat([]byte("virtualdisk!"), 100)
+	if err := s.WriteObject(9, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Crash nodes but keep the level-0 version check (shards 8, 9) up.
+	s.CrashNode(0)
+	s.CrashNode(5)
+	s.CrashNode(12)
+	if s.AliveNodes() != 12 {
+		t.Fatalf("alive = %d", s.AliveNodes())
+	}
+	got, err := s.ReadObject(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("degraded read corrupted data")
+	}
+	if m := s.Metrics(); m.DecodeReads == 0 {
+		t.Fatal("expected decode reads with data nodes down")
+	}
+}
+
+func TestRepairLifecycle(t *testing.T) {
+	s := fig3Store(t)
+	if err := s.WriteObject(3, bytes.Repeat([]byte{7}, 500)); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashNode(10)
+	s.RestartNode(10)
+	if err := s.WipeNode(10); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.RepairNode(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("repaired %d chunks", n)
+	}
+	if err := s.RepairStripeShard(3, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairStripePublicAPI(t *testing.T) {
+	s := fig3Store(t)
+	if err := s.WriteObject(4, bytes.Repeat([]byte{3}, 800)); err != nil {
+		t.Fatal(err)
+	}
+	// Degrade a write so two parity shards go stale, then heal.
+	s.CrashNode(10)
+	s.CrashNode(11)
+	blockData, _, err := s.ReadBlock(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockData[0] ^= 0xFF
+	if err := s.WriteBlock(4, 0, blockData); err != nil {
+		t.Fatal(err)
+	}
+	s.RestartNode(10)
+	s.RestartNode(11)
+	repaired, ahead, err := s.RepairStripe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired == 0 || len(ahead) != 0 {
+		t.Fatalf("repaired=%d ahead=%v", repaired, ahead)
+	}
+	got, _, err := s.ReadBlock(4, 0)
+	if err != nil || !bytes.Equal(got, blockData) {
+		t.Fatalf("post-repair read wrong (%v)", err)
+	}
+}
+
+func TestScrubPublicAPI(t *testing.T) {
+	s := fig3Store(t)
+	if err := s.WriteObject(6, bytes.Repeat([]byte{9}, 300)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.ScrubStripe(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("fresh object unhealthy: %v", rep)
+	}
+	s.CrashNode(13)
+	rep, err = s.ScrubStripe(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy || len(rep.UnreachableShards) != 1 {
+		t.Fatalf("scrub with a node down: %v", rep)
+	}
+}
+
+func TestAvailabilityAnalytics(t *testing.T) {
+	s := fig3Store(t)
+	// Paper-quoted values for this configuration.
+	fr := s.ReadAvailabilityFullReplication(0.5)
+	if math.Abs(fr-0.75) > 1e-12 {
+		t.Fatalf("FR read at 0.5 = %v", fr)
+	}
+	erc, err := s.ReadAvailability(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erc < 0.63 || erc > 0.64 {
+		t.Fatalf("ERC read at 0.5 = %v", erc)
+	}
+	if w := s.WriteAvailability(1); math.Abs(w-1) > 1e-12 {
+		t.Fatalf("write at p=1 = %v", w)
+	}
+	if got := s.StorageOverhead(); math.Abs(got-1.875) > 1e-12 {
+		t.Fatalf("overhead = %v", got)
+	}
+	if got := s.FullReplicationOverhead(); got != 8 {
+		t.Fatalf("FR overhead = %v", got)
+	}
+}
+
+func TestShapes(t *testing.T) {
+	shapes, err := Shapes(15, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range shapes {
+		if s == [3]int{2, 3, 1} {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shapes %v missing the Figure-3 shape", shapes)
+	}
+	if _, err := Shapes(3, 9, 2); err == nil {
+		t.Fatal("invalid n/k accepted")
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	s := fig3Store(t)
+	if s.NodeCount() != 15 || s.Config().K != 8 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestWriteFailsWithoutQuorumPublicAPI(t *testing.T) {
+	s := fig3Store(t)
+	if err := s.WriteObject(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Starve level 1: parity shards 10..14, w=3.
+	s.CrashNode(12)
+	s.CrashNode(13)
+	s.CrashNode(14)
+	err := s.WriteBlock(1, 0, bytes.Repeat([]byte{1}, 1))
+	if !errors.Is(err, ErrWriteFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// ExampleOpen demonstrates the quickstart flow: open a (15,8) store
+// with the paper's Figure-3 trapezoid, store an object, lose nodes,
+// and read it back intact.
+func ExampleOpen() {
+	store, err := Open(Config{N: 15, K: 8, A: 2, B: 3, H: 1, W: 3})
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+
+	if err := store.WriteObject(1, []byte("hello, trapezoid")); err != nil {
+		panic(err)
+	}
+	store.CrashNode(0) // lose a data node
+	store.CrashNode(9) // and a parity node
+
+	data, err := store.ReadObject(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s (overhead %.3fx vs %.0fx replicated)\n",
+		data, store.StorageOverhead(), store.FullReplicationOverhead())
+	// Output: hello, trapezoid (overhead 1.875x vs 8x replicated)
+}
