@@ -1,0 +1,147 @@
+package trapquorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trapquorum/client"
+	"trapquorum/internal/sim"
+)
+
+// Backend provisions the transport clients a store runs on. Implement
+// it (together with client.NodeClient) to put the protocol on any
+// storage fleet — network RPC nodes, local disks, cloud volumes. The
+// built-in SimBackend is the in-process reference implementation.
+type Backend interface {
+	// Open provisions clients for cluster nodes 0..n-1. It is called
+	// exactly once per store.
+	Open(ctx context.Context, n int) ([]client.NodeClient, error)
+	// Close releases every provisioned node. Called by the store's
+	// Close.
+	Close() error
+}
+
+// FaultInjector is the optional backend extension for failure
+// testing. The sim backend implements it; store-level CrashNode /
+// RestartNode / WipeNode / AliveNodes delegate to it and panic (or,
+// for WipeNode, return an error) when the configured backend does not
+// support fault injection.
+type FaultInjector interface {
+	Crash(node int)
+	Restart(node int)
+	AliveNodes() int
+	// Wipe erases node j's storage (media replacement). The node must
+	// be up.
+	Wipe(ctx context.Context, node int) error
+}
+
+// SimBackend runs the cluster as in-process simulated fail-stop nodes
+// — one goroutine actor each — with optional injected per-operation
+// latency. It is the default backend and implements FaultInjector.
+type SimBackend struct {
+	delay sim.DelayFunc
+
+	mu      sync.Mutex
+	cluster *sim.Cluster
+}
+
+// SimOption customises the simulated cluster.
+type SimOption func(*SimBackend)
+
+// WithFixedNodeDelay imposes the same latency on every node
+// operation (e.g. 200µs to emulate a LAN RPC).
+func WithFixedNodeDelay(d time.Duration) SimOption {
+	return func(b *SimBackend) { b.delay = sim.FixedDelay(d) }
+}
+
+// WithUniformNodeDelay draws per-operation latency uniformly from
+// [min, max).
+func WithUniformNodeDelay(min, max time.Duration, seed int64) SimOption {
+	return func(b *SimBackend) { b.delay = sim.UniformDelay(min, max, seed) }
+}
+
+// NewSimBackend builds the in-process simulated cluster backend. The
+// cluster itself is started by Open with the node count the store
+// derives from its configuration.
+func NewSimBackend(opts ...SimOption) *SimBackend {
+	b := &SimBackend{}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// Open implements Backend.
+func (b *SimBackend) Open(ctx context.Context, n int) ([]client.NodeClient, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cluster != nil {
+		return nil, errors.New("trapquorum: sim backend already opened; use one backend per store")
+	}
+	var copts []sim.Option
+	if b.delay != nil {
+		copts = append(copts, sim.WithDelay(b.delay))
+	}
+	cluster, err := sim.NewCluster(n, copts...)
+	if err != nil {
+		return nil, err
+	}
+	b.cluster = cluster
+	clients := make([]client.NodeClient, n)
+	for j := 0; j < n; j++ {
+		clients[j] = cluster.Node(j)
+	}
+	return clients, nil
+}
+
+// Close implements Backend: it stops every node actor.
+func (b *SimBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cluster != nil {
+		b.cluster.Close()
+	}
+	return nil
+}
+
+// live returns the running cluster or panics — fault injection before
+// Open is a programming error.
+func (b *SimBackend) live() *sim.Cluster {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cluster == nil {
+		panic("trapquorum: sim backend not opened yet")
+	}
+	return b.cluster
+}
+
+// Crash fail-stops node j. Data survives; operations against the node
+// fail until Restart.
+func (b *SimBackend) Crash(node int) { b.live().Crash(node) }
+
+// Restart revives node j with its chunks intact.
+func (b *SimBackend) Restart(node int) { b.live().Restart(node) }
+
+// AliveNodes returns how many nodes are currently up.
+func (b *SimBackend) AliveNodes() int { return b.live().AliveCount() }
+
+// Wipe erases node j's storage (media replacement). The node must be
+// up. Follow with a repair.
+func (b *SimBackend) Wipe(ctx context.Context, node int) error {
+	return b.live().Node(node).Wipe(ctx)
+}
+
+// faultInjector asserts the backend supports fault injection.
+func faultInjector(b Backend, op string) FaultInjector {
+	fi, ok := b.(FaultInjector)
+	if !ok {
+		panic(fmt.Sprintf("trapquorum: %s needs a fault-injecting backend (the sim backend); %T is not one", op, b))
+	}
+	return fi
+}

@@ -1,0 +1,353 @@
+package trapquorum_test
+
+// This file is the acceptance check that the v1 surface is
+// implementable outside internal/: it builds a complete in-memory
+// storage backend from the public client contract alone and runs the
+// protocol end to end on it. It compiles only against trapquorum,
+// trapquorum/client and trapquorum/placement.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"trapquorum"
+	"trapquorum/client"
+)
+
+// stubNode is a minimal external client.NodeClient: a mutex-guarded
+// chunk map with the version semantics the contract describes.
+type stubNode struct {
+	mu     sync.Mutex
+	chunks map[client.ChunkID]client.Chunk
+	// onOp, when set, runs before every operation — the fault/cancel
+	// injection hook used by the context tests.
+	onOp func(op string) error
+}
+
+// Compile-time check: the public contract is implementable outside
+// internal/.
+var _ client.NodeClient = (*stubNode)(nil)
+
+func newStubNode() *stubNode {
+	return &stubNode{chunks: make(map[client.ChunkID]client.Chunk)}
+}
+
+func (n *stubNode) begin(ctx context.Context, op string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n.onOp != nil {
+		if err := n.onOp(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *stubNode) ReadChunk(ctx context.Context, id client.ChunkID) (client.Chunk, error) {
+	if err := n.begin(ctx, "read"); err != nil {
+		return client.Chunk{}, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.chunks[id]
+	if !ok {
+		return client.Chunk{}, fmt.Errorf("%w: %s", client.ErrNotFound, id)
+	}
+	return c.Clone(), nil
+}
+
+func (n *stubNode) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, error) {
+	if err := n.begin(ctx, "version"); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.chunks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", client.ErrNotFound, id)
+	}
+	return append([]uint64(nil), c.Versions...), nil
+}
+
+func (n *stubNode) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+	if err := n.begin(ctx, "write"); err != nil {
+		return err
+	}
+	if len(versions) == 0 {
+		return fmt.Errorf("%w: empty version vector", client.ErrBadRequest)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chunks[id] = client.Chunk{
+		Data:     append([]byte(nil), data...),
+		Versions: append([]uint64(nil), versions...),
+	}
+	return nil
+}
+
+func (n *stubNode) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+	if err := n.begin(ctx, "write"); err != nil {
+		return err
+	}
+	if len(versions) == 0 {
+		return fmt.Errorf("%w: empty version vector", client.ErrBadRequest)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.chunks[id]; ok {
+		if len(c.Versions) != len(versions) {
+			return fmt.Errorf("%w: vector length %d vs %d", client.ErrBadRequest, len(versions), len(c.Versions))
+		}
+		for slot, v := range c.Versions {
+			if versions[slot] < v {
+				return fmt.Errorf("%w: slot %d regresses", client.ErrVersionMismatch, slot)
+			}
+		}
+	}
+	n.chunks[id] = client.Chunk{
+		Data:     append([]byte(nil), data...),
+		Versions: append([]uint64(nil), versions...),
+	}
+	return nil
+}
+
+func (n *stubNode) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte) error {
+	if err := n.begin(ctx, "write"); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.chunks[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", client.ErrNotFound, id)
+	}
+	if slot < 0 || slot >= len(c.Versions) {
+		return fmt.Errorf("%w: slot %d", client.ErrBadRequest, slot)
+	}
+	if c.Versions[slot] != expect {
+		return fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, c.Versions[slot], expect)
+	}
+	c.Data = append([]byte(nil), data...)
+	c.Versions[slot] = next
+	n.chunks[id] = c
+	return nil
+}
+
+func (n *stubNode) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte) error {
+	if err := n.begin(ctx, "add"); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.chunks[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", client.ErrNotFound, id)
+	}
+	if slot < 0 || slot >= len(c.Versions) {
+		return fmt.Errorf("%w: slot %d", client.ErrBadRequest, slot)
+	}
+	if len(delta) != len(c.Data) {
+		return fmt.Errorf("%w: delta size %d vs %d", client.ErrBadRequest, len(delta), len(c.Data))
+	}
+	if c.Versions[slot] != expect {
+		return fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, c.Versions[slot], expect)
+	}
+	for i := range c.Data {
+		c.Data[i] ^= delta[i]
+	}
+	c.Versions[slot] = next
+	n.chunks[id] = c
+	return nil
+}
+
+func (n *stubNode) DeleteChunk(ctx context.Context, id client.ChunkID) error {
+	if err := n.begin(ctx, "delete"); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.chunks, id)
+	return nil
+}
+
+// stubBackend provisions stubNodes.
+type stubBackend struct {
+	nodes []*stubNode
+}
+
+var _ trapquorum.Backend = (*stubBackend)(nil)
+
+func (b *stubBackend) Open(ctx context.Context, n int) ([]client.NodeClient, error) {
+	b.nodes = make([]*stubNode, n)
+	out := make([]client.NodeClient, n)
+	for i := range out {
+		b.nodes[i] = newStubNode()
+		out[i] = b.nodes[i]
+	}
+	return out, nil
+}
+
+func (b *stubBackend) Close() error { return nil }
+
+// TestExternalBackendStore runs the low-level protocol end to end on
+// the external backend: seed, quorum write, quorum read, decode after
+// chunk loss, repair.
+func TestExternalBackendStore(t *testing.T) {
+	ctx := context.Background()
+	backend := &stubBackend{}
+	store, err := trapquorum.OpenStore(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBackend(backend),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	payload := bytes.Repeat([]byte("external backend "), 64)
+	if err := store.WriteObject(ctx, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	x := bytes.Repeat([]byte{0xAB}, 136)
+	if err := store.WriteBlock(ctx, 1, 2, x); err != nil {
+		t.Fatal(err)
+	}
+	got, version, err := store.ReadBlock(ctx, 1, 2)
+	if err != nil || !bytes.Equal(got, x) || version != 2 {
+		t.Fatalf("read back v%d (%v)", version, err)
+	}
+
+	// Lose block 2's data chunk entirely: the read must decode.
+	if err := backend.nodes[2].DeleteChunk(ctx, client.ChunkID{Stripe: 1, Shard: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = store.ReadBlock(ctx, 1, 2)
+	if err != nil || !bytes.Equal(got, x) {
+		t.Fatalf("decode read failed (%v)", err)
+	}
+	if m := store.Metrics(); m.DecodeReads == 0 {
+		t.Fatal("expected a decode read")
+	}
+
+	// Exact repair puts the chunk back.
+	if err := store.RepairStripeShard(ctx, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.nodes[2].ReadChunk(ctx, client.ChunkID{Stripe: 1, Shard: 2}); err != nil {
+		t.Fatalf("repaired chunk missing: %v", err)
+	}
+
+	// Fault injection is a sim-backend feature: the stub must refuse.
+	if err := store.WipeNode(ctx, 0); err == nil {
+		t.Fatal("WipeNode on a non-sim backend should fail")
+	}
+}
+
+// TestExternalBackendObjectStore runs the keyed object store on the
+// external backend.
+func TestExternalBackendObjectStore(t *testing.T) {
+	ctx := context.Background()
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBlockSize(128),
+		trapquorum.WithBackend(&stubBackend{}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	payload := bytes.Repeat([]byte("keyed object over a custom transport. "), 80)
+	if err := store.Put(ctx, "obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	patch := []byte("PATCH")
+	if err := store.WriteAt(ctx, "obj", 1000, patch); err != nil {
+		t.Fatal(err)
+	}
+	copy(payload[1000:], patch)
+	got, err := store.Get(ctx, "obj")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip (%v)", err)
+	}
+}
+
+// TestExternalBackendCancelMidWrite cancels the context from inside a
+// node operation once the write has already applied part of its
+// footprint. The write must abort with context.Canceled, and the
+// rollback must restore the previous block state — nothing commits.
+func TestExternalBackendCancelMidWrite(t *testing.T) {
+	ctx := context.Background()
+	backend := &stubBackend{}
+	store, err := trapquorum.OpenStore(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBackend(backend),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	old := bytes.Repeat([]byte{0x11}, 136)
+	blocks := make([][]byte, 8)
+	for i := range blocks {
+		blocks[i] = old
+	}
+	if err := store.SeedStripe(ctx, 7, blocks); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel from inside the third parity add of the write: by then
+	// the data node and two parity nodes already applied the update.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	adds := 0
+	for _, node := range backend.nodes[8:] {
+		node.onOp = func(op string) error {
+			if op == "add" {
+				adds++
+				if adds == 3 {
+					cancel()
+					return wctx.Err()
+				}
+			}
+			return nil
+		}
+	}
+	werr := store.WriteBlock(wctx, 7, 0, bytes.Repeat([]byte{0x22}, 136))
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", werr)
+	}
+	var op *trapquorum.OpError
+	if !errors.As(werr, &op) || op.Op != "write" || op.Stripe != 7 {
+		t.Fatalf("cancel not wrapped in OpError detail: %v", werr)
+	}
+	for _, node := range backend.nodes {
+		node.onOp = nil
+	}
+
+	// The rollback must have restored version 1 with the old bytes on
+	// a fresh context.
+	got, version, err := store.ReadBlock(ctx, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || !bytes.Equal(got, old) {
+		t.Fatalf("cancelled write committed: v%d", version)
+	}
+	rep, err := store.ScrubStripe(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("stripe degraded after rollback: %v", rep)
+	}
+}

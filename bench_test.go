@@ -8,6 +8,7 @@ package trapquorum
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -194,7 +195,7 @@ func BenchmarkAblationUpdateCostReencode(b *testing.B) {
 // BenchmarkProtocolEndToEndWrite measures the A3 experiment: one
 // quorum block write (Algorithm 1) on a healthy (15,8) cluster.
 func BenchmarkProtocolEndToEndWrite(b *testing.B) {
-	store, err := Open(Config{N: 15, K: 8, A: 2, B: 3, H: 1, W: 3})
+	store, err := OpenStore(context.Background(), WithCode(15, 8), WithTrapezoid(2, 3, 1, 3))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -203,14 +204,14 @@ func BenchmarkProtocolEndToEndWrite(b *testing.B) {
 	for i := range blocks {
 		blocks[i] = bytes.Repeat([]byte{byte(i)}, 4096)
 	}
-	if err := store.SeedStripe(1, blocks); err != nil {
+	if err := store.SeedStripe(context.Background(), 1, blocks); err != nil {
 		b.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte{0xAB}, 4096)
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := store.WriteBlock(1, i%8, payload); err != nil {
+		if err := store.WriteBlock(context.Background(), 1, i%8, payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,7 +220,7 @@ func BenchmarkProtocolEndToEndWrite(b *testing.B) {
 // BenchmarkProtocolEndToEndRead measures one quorum block read
 // (Algorithm 2, Case 1 fast path) on a healthy cluster.
 func BenchmarkProtocolEndToEndRead(b *testing.B) {
-	store, err := Open(Config{N: 15, K: 8, A: 2, B: 3, H: 1, W: 3})
+	store, err := OpenStore(context.Background(), WithCode(15, 8), WithTrapezoid(2, 3, 1, 3))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -228,13 +229,13 @@ func BenchmarkProtocolEndToEndRead(b *testing.B) {
 	for i := range blocks {
 		blocks[i] = bytes.Repeat([]byte{byte(i)}, 4096)
 	}
-	if err := store.SeedStripe(1, blocks); err != nil {
+	if err := store.SeedStripe(context.Background(), 1, blocks); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := store.ReadBlock(1, i%8); err != nil {
+		if _, _, err := store.ReadBlock(context.Background(), 1, i%8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -243,7 +244,7 @@ func BenchmarkProtocolEndToEndRead(b *testing.B) {
 // BenchmarkProtocolDegradedRead measures the decode path (Algorithm 2
 // Case 2): the data node is down, the block is rebuilt from k shards.
 func BenchmarkProtocolDegradedRead(b *testing.B) {
-	store, err := Open(Config{N: 15, K: 8, A: 2, B: 3, H: 1, W: 3})
+	store, err := OpenStore(context.Background(), WithCode(15, 8), WithTrapezoid(2, 3, 1, 3))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -252,14 +253,14 @@ func BenchmarkProtocolDegradedRead(b *testing.B) {
 	for i := range blocks {
 		blocks[i] = bytes.Repeat([]byte{byte(i)}, 4096)
 	}
-	if err := store.SeedStripe(1, blocks); err != nil {
+	if err := store.SeedStripe(context.Background(), 1, blocks); err != nil {
 		b.Fatal(err)
 	}
 	store.CrashNode(2) // force Case 2 for block 2
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := store.ReadBlock(1, 2); err != nil {
+		if _, _, err := store.ReadBlock(context.Background(), 1, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -309,7 +310,7 @@ func BenchmarkLatencyDistribution(b *testing.B) {
 	}
 	var rep *latency.Report
 	for i := 0; i < b.N; i++ {
-		rep, err = latency.Measure(cfg)
+		rep, err = latency.Measure(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -327,7 +328,7 @@ func BenchmarkProtocolAvailabilityAtP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pe, err := montecarlo.NewProtocolEstimator(15, 8, cfg, 512, 3)
+	pe, err := montecarlo.NewProtocolEstimator(context.Background(), 15, 8, cfg, 512, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func BenchmarkProtocolAvailabilityAtP(b *testing.B) {
 	const trials = 400
 	var res montecarlo.Result
 	for i := 0; i < b.N; i++ {
-		res, err = pe.EstimateRead(0.85, trials, int64(i))
+		res, err = pe.EstimateRead(context.Background(), 0.85, trials, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}

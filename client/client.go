@@ -1,0 +1,109 @@
+// Package client defines the transport-level contract between the
+// TRAP-ERC quorum protocol and the storage nodes it runs on: the chunk
+// naming and version-vector model, the sentinel errors a node may
+// return, and the NodeClient interface every backend must implement.
+//
+// The protocol core is written entirely against NodeClient, so a
+// backend is free to put anything behind it — the in-process simulated
+// cluster this repository ships, a network RPC client, a local disk, a
+// cloud object store. Every method takes a context.Context: a backend
+// must give up promptly when the context is cancelled or its deadline
+// expires, returning the context's error (possibly wrapped). An
+// operation that fails with a context error must leave the node state
+// unchanged or report the partial effect through the usual sentinel
+// errors on the next call.
+//
+// Version semantics the protocol relies on:
+//
+//   - A data chunk (shard < k) carries exactly one version, that of
+//     the data block it stores.
+//   - A parity chunk (shard ≥ k) carries k versions — entry i says
+//     which version of data block i is folded into the parity bytes.
+//   - CompareAndPut / CompareAndAdd must check and update the
+//     addressed version slot atomically with the data mutation; the
+//     protocol's consistency argument depends on that per-node
+//     atomicity.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Transport-level errors. Backends must return these (or errors
+// wrapping them, testable with errors.Is) so the protocol can
+// distinguish a fail-stopped node from a version conflict.
+var (
+	// ErrNodeDown reports a node that is fail-stopped or unreachable.
+	ErrNodeDown = errors.New("client: node is down")
+	// ErrNotFound reports a chunk the node does not store.
+	ErrNotFound = errors.New("client: chunk not found")
+	// ErrVersionMismatch is the failed conditional of CompareAndPut,
+	// CompareAndAdd and PutChunkIfFresher: the stored version did not
+	// match, and the chunk was left untouched.
+	ErrVersionMismatch = errors.New("client: version mismatch")
+	// ErrBadRequest reports a malformed request (bad slot index,
+	// size-mismatched delta, empty version vector).
+	ErrBadRequest = errors.New("client: malformed request")
+)
+
+// ChunkID names one shard of one stripe: Shard is the position within
+// the stripe (0..n-1; positions < k hold original data blocks,
+// positions ≥ k hold parity).
+type ChunkID struct {
+	Stripe uint64
+	Shard  int
+}
+
+// String renders the id as "stripe/shard".
+func (id ChunkID) String() string { return fmt.Sprintf("%d/%d", id.Stripe, id.Shard) }
+
+// NoVersion marks an absent or invalid version, mirroring the
+// "version ← −1" sentinel of the paper's Algorithm 2.
+const NoVersion = ^uint64(0)
+
+// Chunk is one stored shard plus its version bookkeeping (see the
+// package comment for the data/parity version-vector model).
+type Chunk struct {
+	Data     []byte
+	Versions []uint64
+}
+
+// Clone deep-copies the chunk so backend-owned buffers never escape.
+func (c Chunk) Clone() Chunk {
+	return Chunk{
+		Data:     append([]byte(nil), c.Data...),
+		Versions: append([]uint64(nil), c.Versions...),
+	}
+}
+
+// NodeClient is the per-node RPC surface the protocol uses. The
+// in-process simulator's *sim.Node implements it; external backends
+// implement it over their own transport. All methods must be safe for
+// concurrent use and must honour context cancellation.
+type NodeClient interface {
+	// ReadChunk returns a copy of the chunk, or ErrNotFound.
+	ReadChunk(ctx context.Context, id ChunkID) (Chunk, error)
+	// ReadVersions returns a copy of the chunk's version vector, or
+	// ErrNotFound — the "u.version(id)" probe of Algorithms 1–2.
+	ReadVersions(ctx context.Context, id ChunkID) ([]uint64, error)
+	// PutChunk stores a full chunk, replacing any previous value.
+	PutChunk(ctx context.Context, id ChunkID, data []byte, versions []uint64) error
+	// PutChunkIfFresher installs the chunk only when the proposed
+	// version vector does not regress any stored slot
+	// (componentwise ≥); otherwise ErrVersionMismatch.
+	PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, versions []uint64) error
+	// CompareAndPut overwrites the data only when version slot `slot`
+	// holds expect, then sets it to next; otherwise
+	// ErrVersionMismatch. The check and the write are atomic.
+	CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, next uint64, data []byte) error
+	// CompareAndAdd XORs delta into the data when version slot `slot`
+	// holds expect, then advances it to next — the conditional
+	// "u.add(α_{i,j}·(x−chunk))" of Algorithm 1. The check and the
+	// add are atomic.
+	CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, next uint64, delta []byte) error
+	// DeleteChunk removes a chunk; deleting a missing chunk is a
+	// no-op.
+	DeleteChunk(ctx context.Context, id ChunkID) error
+}

@@ -1,0 +1,84 @@
+package trapquorum
+
+import (
+	"context"
+	"fmt"
+
+	"trapquorum/internal/availability"
+	"trapquorum/internal/trapezoid"
+)
+
+// clusterHandle is the node-management and availability-analytics
+// surface Store and ObjectStore share: both sit on one backend-provided
+// cluster and one (n,k)+trapezoid configuration.
+type clusterHandle struct {
+	n, k    int
+	tcfg    trapezoid.Config
+	backend Backend
+}
+
+func newClusterHandle(cfg *config, tcfg trapezoid.Config) clusterHandle {
+	return clusterHandle{n: cfg.n, k: cfg.k, tcfg: tcfg, backend: cfg.backend}
+}
+
+// Close releases the backend's nodes. The store is unusable
+// afterwards.
+func (h *clusterHandle) Close() error { return h.backend.Close() }
+
+// CodeParams returns the (n, k) MDS code parameters.
+func (h *clusterHandle) CodeParams() (n, k int) { return h.n, h.k }
+
+// CrashNode fail-stops cluster node j. Requires a fault-injecting
+// backend (the simulator); data survives, operations against the node
+// fail until RestartNode.
+func (h *clusterHandle) CrashNode(j int) { faultInjector(h.backend, "CrashNode").Crash(j) }
+
+// RestartNode revives cluster node j with its chunks intact.
+func (h *clusterHandle) RestartNode(j int) { faultInjector(h.backend, "RestartNode").Restart(j) }
+
+// AliveNodes returns how many cluster nodes are currently up.
+func (h *clusterHandle) AliveNodes() int { return faultInjector(h.backend, "AliveNodes").AliveNodes() }
+
+// WipeNode erases cluster node j's storage (media replacement).
+// Requires a fault-injecting backend. The node must be up. Follow
+// with RepairNode.
+func (h *clusterHandle) WipeNode(ctx context.Context, j int) error {
+	fi, ok := h.backend.(FaultInjector)
+	if !ok {
+		return fmt.Errorf("trapquorum: WipeNode needs a fault-injecting backend, have %T", h.backend)
+	}
+	return fi.Wipe(ctx, j)
+}
+
+// WriteAvailability evaluates the paper's equation (8)/(9): the
+// probability a block write succeeds when every node is independently
+// up with probability p. Identical for the erasure-coded and
+// full-replication variants.
+func (h *clusterHandle) WriteAvailability(p float64) float64 {
+	return availability.Write(h.tcfg, p)
+}
+
+// ReadAvailability evaluates the paper's equation (13): the
+// probability a block read succeeds at node availability p.
+func (h *clusterHandle) ReadAvailability(p float64) (float64, error) {
+	return availability.ReadERC(availability.ERCParams{Config: h.tcfg, N: h.n, K: h.k}, p)
+}
+
+// ReadAvailabilityFullReplication evaluates equation (10): what the
+// same trapezoid would deliver with full replicas instead of parity.
+func (h *clusterHandle) ReadAvailabilityFullReplication(p float64) float64 {
+	return availability.ReadFR(h.tcfg, p)
+}
+
+// StorageOverhead returns the disk used per data block in units of
+// block size: n/k (equation 15), versus n−k+1 under full replication
+// (equation 14).
+func (h *clusterHandle) StorageOverhead() float64 {
+	return availability.StorageERC(h.n, h.k)
+}
+
+// FullReplicationOverhead returns equation (14)'s n−k+1 for
+// comparison.
+func (h *clusterHandle) FullReplicationOverhead() float64 {
+	return availability.StorageFR(h.n, h.k)
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,7 +50,7 @@ func runLatency(seed int64) error {
 	if err != nil {
 		return err
 	}
-	rep, err := latency.Measure(latency.Config{
+	rep, err := latency.Measure(context.Background(), latency.Config{
 		N: figures.Fig3N, K: figures.Fig3K,
 		Trapezoid: tcfg,
 		BlockSize: 4096,

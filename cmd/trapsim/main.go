@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,7 +49,8 @@ func run(n, k, a, b, h, w int, p float64, trials, blockSize int, seed int64, ste
 	if got, want := shape.NbNodes(), n-k+1; got != want {
 		return fmt.Errorf("trapezoid holds %d nodes, need n-k+1 = %d", got, want)
 	}
-	pe, err := montecarlo.NewProtocolEstimator(n, k, cfg, blockSize, seed)
+	ctx := context.Background()
+	pe, err := montecarlo.NewProtocolEstimator(ctx, n, k, cfg, blockSize, seed)
 	if err != nil {
 		return err
 	}
@@ -57,7 +59,7 @@ func run(n, k, a, b, h, w int, p float64, trials, blockSize int, seed int64, ste
 	fmt.Printf("protocol Monte-Carlo: (n=%d,k=%d) trapezoid %s w=%d, p=%g, %d trials, %dB blocks\n",
 		n, k, shape, w, p, trials, blockSize)
 
-	read, err := pe.EstimateRead(p, trials, seed+10)
+	read, err := pe.EstimateRead(ctx, p, trials, seed+10)
 	if err != nil {
 		return err
 	}
@@ -76,9 +78,9 @@ func run(n, k, a, b, h, w int, p float64, trials, blockSize int, seed int64, ste
 
 	var write montecarlo.Result
 	if steady {
-		write, err = pe.EstimateWriteSteadyState(p, trials, seed+20)
+		write, err = pe.EstimateWriteSteadyState(ctx, p, trials, seed+20)
 	} else {
-		write, err = pe.EstimateWrite(p, trials, seed+20)
+		write, err = pe.EstimateWrite(ctx, p, trials, seed+20)
 	}
 	if err != nil {
 		return err

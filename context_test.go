@@ -1,0 +1,190 @@
+package trapquorum_test
+
+// Context-semantics acceptance tests: cancelled or expired contexts
+// abort quorum writes without committing, abort reads, and surface
+// context.Canceled / context.DeadlineExceeded through the error
+// taxonomy (errors.Is through OpError).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"trapquorum"
+)
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	t.Cleanup(cancel)
+	<-ctx.Done()
+	return ctx
+}
+
+func TestCancelledContextAbortsWriteWithoutCommitting(t *testing.T) {
+	ctx := context.Background()
+	store, err := trapquorum.OpenStore(ctx, trapquorum.WithCode(15, 8), trapquorum.WithTrapezoid(2, 3, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	old := []byte("the committed state before cancellation")
+	if err := store.WriteObject(ctx, 1, old); err != nil {
+		t.Fatal(err)
+	}
+	before, version, err := store.ReadBlock(ctx, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	werr := store.WriteBlock(cancelledCtx(), 1, 0, bytes.Repeat([]byte{0xFF}, len(before)))
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", werr)
+	}
+	var op *trapquorum.OpError
+	if !errors.As(werr, &op) {
+		t.Fatalf("context abort not wrapped in OpError: %v", werr)
+	}
+
+	after, v2, err := store.ReadBlock(ctx, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != version || !bytes.Equal(after, before) {
+		t.Fatalf("cancelled write committed: v%d -> v%d", version, v2)
+	}
+	if m := store.Metrics(); m.Writes != 0 {
+		t.Fatalf("metrics count a committed write after cancellation: %+v", m)
+	}
+}
+
+func TestCancelledContextAbortsRead(t *testing.T) {
+	ctx := context.Background()
+	store, err := trapquorum.OpenStore(ctx, trapquorum.WithCode(15, 8), trapquorum.WithTrapezoid(2, 3, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.WriteObject(ctx, 1, []byte("readable")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.ReadBlock(cancelledCtx(), 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := store.ReadObject(cancelledCtx(), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadObject: want context.Canceled, got %v", err)
+	}
+}
+
+func TestExpiredDeadlineSurfacesDeadlineExceeded(t *testing.T) {
+	ctx := context.Background()
+	store, err := trapquorum.OpenStore(ctx, trapquorum.WithCode(15, 8), trapquorum.WithTrapezoid(2, 3, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.WriteObject(ctx, 1, []byte("deadline")); err != nil {
+		t.Fatal(err)
+	}
+	dead := expiredCtx(t)
+	if _, _, err := store.ReadBlock(dead, 1, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("read: want DeadlineExceeded, got %v", err)
+	}
+	if err := store.WriteBlock(dead, 1, 0, bytes.Repeat([]byte{1}, 1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("write: want DeadlineExceeded, got %v", err)
+	}
+	if _, err := store.RepairNode(dead, 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("repair: want DeadlineExceeded, got %v", err)
+	}
+	if _, _, err := store.RepairStripe(dead, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("repair stripe: want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestDeadlineDuringInjectedLatency(t *testing.T) {
+	// Per-node operations take 20ms; the context expires after 5ms, so
+	// the very first node RPC of the quorum round aborts mid-delay and
+	// nothing reaches any node.
+	ctx := context.Background()
+	store, err := trapquorum.OpenStore(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBackend(trapquorum.NewSimBackend(
+			trapquorum.WithFixedNodeDelay(20*time.Millisecond))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	old := bytes.Repeat([]byte("slow-node cluster state "), 10)
+	if err := store.WriteObject(ctx, 1, old); err != nil {
+		t.Fatal(err)
+	}
+
+	short, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	werr := store.WriteBlock(short, 1, 0, bytes.Repeat([]byte{0xEE}, 30))
+	if !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", werr)
+	}
+	// A full healthy write touches ≥ 9 nodes at 20ms each; aborting
+	// during latency must come back far sooner.
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cancellation did not interrupt injected latency: took %v", elapsed)
+	}
+
+	got, err := store.ReadObject(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("deadline-aborted write committed")
+	}
+}
+
+func TestObjectStoreContextSemantics(t *testing.T) {
+	ctx := context.Background()
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBlockSize(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	payload := bytes.Repeat([]byte("object store context semantics "), 20)
+	if err := store.Put(ctx, "obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(cancelledCtx(), "other", payload); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put: want context.Canceled, got %v", err)
+	}
+	if _, err := store.Get(cancelledCtx(), "obj"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get: want context.Canceled, got %v", err)
+	}
+	if err := store.WriteAt(expiredCtx(t), "obj", 0, []byte("zz")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WriteAt: want DeadlineExceeded, got %v", err)
+	}
+	// The aborted Put must not have installed the key; the aborted
+	// WriteAt must not have changed the object.
+	if _, err := store.Get(ctx, "other"); !errors.Is(err, trapquorum.ErrUnknownKey) {
+		t.Fatalf("aborted Put left key behind: %v", err)
+	}
+	got, err := store.Get(ctx, "obj")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("aborted WriteAt changed object (%v)", err)
+	}
+}

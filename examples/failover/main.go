@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -14,10 +15,11 @@ import (
 )
 
 func main() {
-	store, err := trapquorum.Open(trapquorum.Config{
-		N: 15, K: 8,
-		A: 2, B: 3, H: 1, W: 3,
-	})
+	ctx := context.Background()
+	store, err := trapquorum.OpenStore(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +35,7 @@ func main() {
 		for i := range blocks {
 			blocks[i] = bytes.Repeat([]byte{byte(stripe), byte(i)}, 512)
 		}
-		if err := store.SeedStripe(stripe, blocks); err != nil {
+		if err := store.SeedStripe(ctx, stripe, blocks); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -42,7 +44,7 @@ func main() {
 	step("write load: bump every block of stripe 1")
 	for i := 0; i < 8; i++ {
 		x := bytes.Repeat([]byte{0xC0, byte(i)}, 512)
-		if err := store.WriteBlock(1, i, x); err != nil {
+		if err := store.WriteBlock(ctx, 1, i, x); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -51,7 +53,7 @@ func main() {
 	step("progressive failures: crash data nodes 0..3")
 	for j := 0; j <= 3; j++ {
 		store.CrashNode(j)
-		data, _, err := store.ReadBlock(1, j)
+		data, _, err := store.ReadBlock(ctx, 1, j)
 		if err != nil {
 			log.Fatalf("read block %d with its node down: %v", j, err)
 		}
@@ -68,12 +70,12 @@ func main() {
 	store.CrashNode(13)
 	store.CrashNode(14)
 	x := bytes.Repeat([]byte{0xEE, 0xEE}, 512)
-	if err := store.WriteBlock(1, 5, x); err != nil {
+	if err := store.WriteBlock(ctx, 1, 5, x); err != nil {
 		log.Fatalf("write with 2 level-1 nodes down should work: %v", err)
 	}
 	fmt.Println("write with 6 nodes down: committed (level 1 still has 3 of 5)")
 	store.CrashNode(12)
-	err = store.WriteBlock(1, 5, x)
+	err = store.WriteBlock(ctx, 1, 5, x)
 	if !errors.Is(err, trapquorum.ErrWriteFailed) {
 		log.Fatalf("expected quorum failure, got %v", err)
 	}
@@ -81,7 +83,7 @@ func main() {
 
 	step("reads keep working at 8/15 nodes")
 	for i := 0; i < 8; i++ {
-		if _, _, err := store.ReadBlock(1, i); err != nil {
+		if _, _, err := store.ReadBlock(ctx, 1, i); err != nil {
 			log.Fatalf("read %d: %v", i, err)
 		}
 	}
@@ -89,15 +91,15 @@ func main() {
 
 	step("disk replacement: node 2 returns empty and is repaired")
 	store.RestartNode(2)
-	if err := store.WipeNode(2); err != nil {
+	if err := store.WipeNode(ctx, 2); err != nil {
 		log.Fatal(err)
 	}
-	repaired, err := store.RepairNode(2)
+	repaired, err := store.RepairNode(ctx, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("node 2 wiped and repaired: %d chunks rebuilt by exact repair\n", repaired)
-	data, version, err := store.ReadBlock(1, 2)
+	data, version, err := store.ReadBlock(ctx, 1, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,11 +111,11 @@ func main() {
 	step("full recovery")
 	for _, j := range []int{0, 1, 3, 12, 13, 14} {
 		store.RestartNode(j)
-		if _, err := store.RepairNode(j); err != nil {
+		if _, err := store.RepairNode(ctx, j); err != nil {
 			log.Fatalf("repair node %d: %v", j, err)
 		}
 	}
-	if err := store.WriteBlock(1, 5, x); err != nil {
+	if err := store.WriteBlock(ctx, 1, 5, x); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("cluster healed (%d alive), writes flowing again\n", store.AliveNodes())

@@ -1,44 +1,41 @@
-// Objectstore: the storage-system layer. A keyed object store spreads
-// erasure-coded stripes across a 30-node cluster with consistent-hash
-// placement; objects larger than one stripe span several; reads and
-// in-place updates go through the quorum protocol block by block.
-// The demo stores a set of virtual-disk images, patches one in place,
-// survives a multi-node outage, replaces a disk, and repairs it.
+// Objectstore: the storage-system layer through the public v1 API. A
+// keyed object store spreads erasure-coded stripes across a 30-node
+// cluster with consistent-hash placement; objects larger than one
+// stripe span several; reads and in-place updates go through the
+// quorum protocol block by block. The demo stores a set of
+// virtual-disk images, patches one in place, survives a multi-node
+// outage, replaces a disk, repairs it, and scrubs the result.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"trapquorum/internal/placement"
-	"trapquorum/internal/service"
-	"trapquorum/internal/sim"
-	"trapquorum/internal/trapezoid"
+	"trapquorum"
+	"trapquorum/placement"
 )
 
 func main() {
+	ctx := context.Background()
 	const clusterSize = 30
-	cluster, err := sim.NewCluster(clusterSize)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer cluster.Close()
 
 	ring, err := placement.NewRing(clusterSize, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, err := service.New(cluster, service.Config{
-		N: 15, K: 8,
-		Shape: trapezoid.Shape{A: 2, B: 3, H: 1}, W: 3,
-		BlockSize: 1024,
-		Placement: ring,
-	})
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBlockSize(1024),
+		trapquorum.WithPlacement(ring),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer store.Close()
 
 	// Store three "disk images" of different sizes.
 	r := rand.New(rand.NewSource(1))
@@ -49,7 +46,7 @@ func main() {
 	}
 	for key, img := range images {
 		r.Read(img)
-		if err := store.Put(key, img); err != nil {
+		if err := store.Put(ctx, key, img); err != nil {
 			log.Fatalf("put %s: %v", key, err)
 		}
 		stripes, _ := store.StripesOf(key)
@@ -59,7 +56,7 @@ func main() {
 	// Patch a boot sector in place: only the affected blocks move
 	// through quorum writes; parity receives Galois deltas.
 	patch := bytes.Repeat([]byte{0x55, 0xAA}, 256)
-	if err := store.WriteAt("vm-beta.img", 512, patch); err != nil {
+	if err := store.WriteAt(ctx, "vm-beta.img", 512, patch); err != nil {
 		log.Fatal(err)
 	}
 	copy(images["vm-beta.img"][512:], patch)
@@ -68,11 +65,11 @@ func main() {
 	// Multi-node outage: each stripe loses at most a few of its 15
 	// shards, well inside the (15,8) tolerance.
 	for _, n := range []int{2, 9, 16, 23, 28} {
-		cluster.Crash(n)
+		store.CrashNode(n)
 	}
 	fmt.Printf("crashed 5 of %d nodes\n", clusterSize)
 	for key, want := range images {
-		got, err := store.Get(key)
+		got, err := store.Get(ctx, key)
 		if err != nil {
 			log.Fatalf("degraded get %s: %v", key, err)
 		}
@@ -84,18 +81,18 @@ func main() {
 
 	// Disk replacement on node 9: restart empty, rebuild every chunk
 	// the placement assigned to it.
-	cluster.Restart(9)
-	if err := cluster.Node(9).Wipe(); err != nil {
+	store.RestartNode(9)
+	if err := store.WipeNode(ctx, 9); err != nil {
 		log.Fatal(err)
 	}
-	rebuilt, err := store.RepairClusterNode(9)
+	rebuilt, err := store.RepairNode(ctx, 9)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("node 9 disk replaced: %d chunks rebuilt by exact repair\n", rebuilt)
 
 	// Partial reads hit only the blocks they need.
-	head, err := store.ReadAt("vm-gamma.img", 0, 64)
+	head, err := store.ReadAt(ctx, "vm-gamma.img", 0, 64)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,8 +101,23 @@ func main() {
 	}
 	fmt.Println("range read served from a single quorum block read")
 
+	// Scrub the repaired image: every stripe should be consistent
+	// again apart from the shards on still-crashed nodes.
+	reports, err := store.Scrub(ctx, "vm-beta.img")
+	if err != nil {
+		log.Fatal(err)
+	}
+	degraded := 0
+	for _, rep := range reports {
+		if !rep.Healthy {
+			degraded++
+		}
+	}
+	fmt.Printf("scrub: %d stripes audited, %d degraded (crashed nodes still hold shards)\n",
+		len(reports), degraded)
+
 	// Cleanup path.
-	if err := store.Delete("vm-alpha.img"); err != nil {
+	if err := store.Delete(ctx, "vm-alpha.img"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("deleted vm-alpha.img; remaining keys: %v\n", store.Keys())

@@ -1,23 +1,32 @@
-// Quickstart: open a TRAP-ERC store with the paper's (15,8)
-// configuration, store an object, update a block in place, lose nodes
-// up to the code's tolerance, and read everything back intact.
+// Quickstart: open a TRAP-ERC object store with the paper's (15,8)
+// configuration, store an object under a key, patch it in place, lose
+// nodes up to the code's tolerance, and read everything back intact —
+// every operation bounded by a context.
 package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"trapquorum"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// The paper's Figure-3 configuration: a (15,8) MDS code protected
 	// by a two-level trapezoid (levels of 3 and 5 nodes) with w = 3.
-	store, err := trapquorum.Open(trapquorum.Config{
-		N: 15, K: 8,
-		A: 2, B: 3, H: 1, W: 3,
-	})
+	// These are also the defaults — listed explicitly for the tour.
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBlockSize(512),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,48 +39,51 @@ func main() {
 		fmt.Printf("read availability at p=0.9:  %.4f\n\n", ra)
 	}
 
-	// Store an object: it is split into 8 data blocks and 7 parity
-	// blocks, spread over the 15 nodes.
+	// Store an object: it is split into 512-byte blocks, 8 data + 7
+	// parity per stripe, spread over the 15 nodes.
 	payload := bytes.Repeat([]byte("all virtual machines need strictly consistent disks. "), 40)
-	if err := store.WriteObject(1, payload); err != nil {
+	if err := store.Put(ctx, "vm-root.img", payload); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("stored object of %d bytes\n", len(payload))
+	fmt.Printf("stored %q: %d bytes\n", "vm-root.img", len(payload))
 
-	// Update one block in place: Algorithm 1 ships the Galois delta
+	// Patch 16 bytes in place: Algorithm 1 ships the Galois delta
 	// α·(new−old) to the parity quorum instead of re-encoding.
-	blockData, _, err := store.ReadBlock(1, 3)
-	if err != nil {
+	patch := []byte("UPDATED IN PLACE")
+	if err := store.WriteAt(ctx, "vm-root.img", 1024, patch); err != nil {
 		log.Fatal(err)
 	}
-	copy(blockData, []byte("UPDATED IN PLACE"))
-	if err := store.WriteBlock(1, 3, blockData); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("updated block 3 through the write quorum")
+	copy(payload[1024:], patch)
+	fmt.Println("patched 16 bytes through the write quorum")
 
 	// Fail nodes. The (15,8) code tolerates up to 7 lost shards; the
-	// protocol additionally needs a version-check quorum, so keep the
-	// level-0 parity nodes (shards 8 and 9) alive.
+	// protocol additionally needs a version-check quorum per stripe.
 	for _, node := range []int{0, 3, 5, 11, 14} {
 		store.CrashNode(node)
 	}
 	fmt.Printf("crashed 5 of 15 nodes (%d alive)\n", store.AliveNodes())
 
-	got, err := store.ReadObject(1)
+	got, err := store.Get(ctx, "vm-root.img")
 	if err != nil {
 		log.Fatal(err)
 	}
-	want := append([]byte(nil), payload...)
-	// Recompute the expected object after the block-3 update.
-	per := (len(payload) + 7) / 8
-	copy(want[3*per:], []byte("UPDATED IN PLACE"))
-	if !bytes.Equal(got, want) {
+	if !bytes.Equal(got, payload) {
 		log.Fatal("read returned wrong data")
 	}
 	fmt.Println("degraded read returned the correct, updated object")
 
-	m := store.Metrics()
-	fmt.Printf("\nprotocol metrics: %d direct reads, %d decode reads, %d writes\n",
-		m.DirectReads, m.DecodeReads, m.Writes)
+	// A context that has already expired aborts cleanly — nothing
+	// commits, and the error unwraps to context.DeadlineExceeded.
+	expired, cancel2 := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel2()
+	<-expired.Done()
+	err = store.WriteAt(expired, "vm-root.img", 0, patch)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Println("expired context rejected the write: deadline exceeded")
+	case err == nil:
+		log.Fatal("write with an expired context committed")
+	default:
+		log.Fatalf("unexpected error from expired-context write: %v", err)
+	}
 }

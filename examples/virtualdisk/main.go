@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -30,10 +31,11 @@ const (
 )
 
 func main() {
-	store, err := trapquorum.Open(trapquorum.Config{
-		N: nodeCount, K: dataBlockCount,
-		A: 2, B: 3, H: 1, W: 3,
-	})
+	ctx := context.Background()
+	store, err := trapquorum.OpenStore(ctx,
+		trapquorum.WithCode(nodeCount, dataBlockCount),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func main() {
 	for i := range initial {
 		initial[i] = bytes.Repeat([]byte{byte(i)}, blockSize)
 	}
-	if err := store.SeedStripe(1, initial); err != nil {
+	if err := store.SeedStripe(ctx, 1, initial); err != nil {
 		log.Fatal(err)
 	}
 
@@ -77,7 +79,7 @@ func main() {
 			time.Sleep(2 * time.Millisecond) // degraded window
 			store.RestartNode(victim)
 			for attempt := 0; attempt < 5; attempt++ {
-				if _, err := store.RepairNode(victim); err == nil {
+				if _, err := store.RepairNode(ctx, victim); err == nil {
 					break
 				}
 				repairRetries.Add(1)
@@ -111,7 +113,7 @@ func main() {
 				switch o.Kind {
 				case workload.Write:
 					data := payloads.Next()
-					err := store.WriteBlock(1, block, data)
+					err := store.WriteBlock(ctx, 1, block, data)
 					mu.Lock()
 					if err == nil {
 						last[block] = data
@@ -123,7 +125,7 @@ func main() {
 					}
 					mu.Unlock()
 				case workload.Read:
-					data, _, err := store.ReadBlock(1, block)
+					data, _, err := store.ReadBlock(ctx, 1, block)
 					mu.Lock()
 					switch {
 					case err == nil:

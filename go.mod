@@ -1,0 +1,3 @@
+module trapquorum
+
+go 1.22

@@ -25,11 +25,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"trapquorum/client"
 	"trapquorum/internal/erasure"
 	"trapquorum/internal/sim"
 	"trapquorum/internal/trapezoid"
@@ -56,19 +58,60 @@ var (
 	ErrSeedIncomplete = errors.New("core: seeding requires all stripe nodes up")
 )
 
-// NodeClient is the per-node RPC surface the protocol uses. *sim.Node
-// implements it; tests substitute fault-injecting fakes.
-type NodeClient interface {
-	ReadChunk(id sim.ChunkID) (sim.Chunk, error)
-	ReadVersions(id sim.ChunkID) ([]uint64, error)
-	PutChunk(id sim.ChunkID, data []byte, versions []uint64) error
-	PutChunkIfFresher(id sim.ChunkID, data []byte, versions []uint64) error
-	CompareAndPut(id sim.ChunkID, slot int, expect, next uint64, data []byte) error
-	CompareAndAdd(id sim.ChunkID, slot int, expect, next uint64, delta []byte) error
-}
+// NodeClient is the per-node RPC surface the protocol uses — the
+// public, transport-agnostic contract of the client package. *sim.Node
+// implements it; external backends implement it over their own
+// transport; tests substitute fault-injecting fakes.
+type NodeClient = client.NodeClient
 
 // Interface conformance check.
 var _ NodeClient = (*sim.Node)(nil)
+
+// OpError is the typed wrapper of the protocol's error taxonomy: it
+// records which operation failed and where (stripe, data block,
+// trapezoid level, node), while errors.Is keeps seeing the sentinel —
+// ErrWriteFailed, ErrNotReadable, context.Canceled,
+// context.DeadlineExceeded — through Unwrap.
+type OpError struct {
+	// Op names the protocol operation: "write", "read", "seed",
+	// "repair", "scrub".
+	Op string
+	// Stripe is the stripe the operation addressed.
+	Stripe uint64
+	// Block is the data block index, or -1 when not applicable.
+	Block int
+	// Level is the trapezoid level being serviced when the operation
+	// failed, or -1 when not applicable.
+	Level int
+	// Node is the stripe shard/node involved, or -1 when not
+	// applicable.
+	Node int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *OpError) Error() string {
+	msg := fmt.Sprintf("core: %s stripe %d", e.Op, e.Stripe)
+	if e.Block >= 0 {
+		msg += fmt.Sprintf(" block %d", e.Block)
+	}
+	if e.Level >= 0 {
+		msg += fmt.Sprintf(" level %d", e.Level)
+	}
+	if e.Node >= 0 {
+		msg += fmt.Sprintf(" node %d", e.Node)
+	}
+	return msg + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying cause to errors.Is/errors.As.
+func (e *OpError) Unwrap() error { return e.Err }
+
+// opErr builds an OpError with no block/level/node detail.
+func opErr(op string, stripe uint64, err error) *OpError {
+	return &OpError{Op: op, Stripe: stripe, Block: -1, Level: -1, Node: -1, Err: err}
+}
 
 // Metrics aggregates protocol-level counters. The split between
 // DirectReads and DecodeReads mirrors the P1/P2 decomposition of the
@@ -205,6 +248,23 @@ func (s *System) stripeBlockSize(stripe uint64) (int, error) {
 	return info.blockSize, nil
 }
 
+// ForgetStripe drops a stripe's registration — block size, per-block
+// write locks, object-size mapping — after its chunks have been
+// deleted, so a long-lived System does not accumulate dead entries
+// (stripe ids are never reused). Forgetting an unknown stripe is a
+// no-op.
+func (s *System) ForgetStripe(stripe uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.stripes, stripe)
+	delete(s.objectSizes, stripe)
+	for key := range s.locks {
+		if key.stripe == stripe {
+			delete(s.locks, key)
+		}
+	}
+}
+
 // Stripes returns the ids of every seeded stripe, in unspecified order.
 func (s *System) Stripes() []uint64 {
 	s.mu.Lock()
@@ -261,7 +321,7 @@ func (s *System) versionSlot(block, shard int) int {
 // installs every shard at version 1 on its node. All n nodes must be
 // reachable — initial placement is an allocation step, not a quorum
 // operation. Blocks must be non-empty and equally sized.
-func (s *System) SeedStripe(stripe uint64, data [][]byte) error {
+func (s *System) SeedStripe(ctx context.Context, stripe uint64, data [][]byte) error {
 	shards, err := s.code.Encode(data)
 	if err != nil {
 		return err
@@ -272,14 +332,18 @@ func (s *System) SeedStripe(stripe uint64, data [][]byte) error {
 		parityVersions[i] = 1
 	}
 	for j, shard := range shards {
+		if err := ctx.Err(); err != nil {
+			return opErr("seed", stripe, err)
+		}
 		var versions []uint64
 		if j < k {
 			versions = []uint64{1}
 		} else {
 			versions = parityVersions
 		}
-		if err := s.nodes[j].PutChunk(chunkID(stripe, j), shard, versions); err != nil {
-			return fmt.Errorf("%w: node %d: %v", ErrSeedIncomplete, j, err)
+		if err := s.nodes[j].PutChunk(ctx, chunkID(stripe, j), shard, versions); err != nil {
+			return &OpError{Op: "seed", Stripe: stripe, Block: -1, Level: -1, Node: j,
+				Err: fmt.Errorf("%w: node %d: %v", ErrSeedIncomplete, j, err)}
 		}
 	}
 	s.mu.Lock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -80,12 +81,12 @@ func (s *FRSystem) blockLock(id uint64) *sync.Mutex {
 
 // SeedBlock installs a block at version 1 on every replica. All nodes
 // must be up (initial placement).
-func (s *FRSystem) SeedBlock(id uint64, data []byte) error {
+func (s *FRSystem) SeedBlock(ctx context.Context, id uint64, data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("%w: empty block", ErrBlockSize)
 	}
 	for pos, n := range s.nodes {
-		if err := n.PutChunk(frChunk(id), data, []uint64{1}); err != nil {
+		if err := n.PutChunk(ctx, frChunk(id), data, []uint64{1}); err != nil {
 			return fmt.Errorf("%w: position %d: %v", ErrSeedIncomplete, pos, err)
 		}
 	}
@@ -97,14 +98,14 @@ func (s *FRSystem) SeedBlock(id uint64, data []byte) error {
 
 // checkVersion runs Step 1 of the read: scan levels until one yields
 // r_l version responses; the maximum is the latest version.
-func (s *FRSystem) checkVersion(id uint64) (version uint64, ok bool) {
+func (s *FRSystem) checkVersion(ctx context.Context, id uint64) (version uint64, ok bool) {
 	cfg := s.lay.Config()
 	for l := 0; l <= cfg.Shape.H; l++ {
 		need := cfg.ReadThreshold(l)
 		counter := 0
 		version = sim.NoVersion
 		for _, pos := range s.lay.Level(l) {
-			vers, err := s.nodes[pos].ReadVersions(frChunk(id))
+			vers, err := s.nodes[pos].ReadVersions(ctx, frChunk(id))
 			if err != nil || len(vers) != 1 {
 				continue
 			}
@@ -124,20 +125,25 @@ func (s *FRSystem) checkVersion(id uint64) (version uint64, ok bool) {
 // replica carrying the latest version (under full replication every
 // current replica serves the data directly — the paper's point that
 // FR reads need no reconstruction).
-func (s *FRSystem) ReadBlock(id uint64) ([]byte, uint64, error) {
+func (s *FRSystem) ReadBlock(ctx context.Context, id uint64) ([]byte, uint64, error) {
 	s.mu.Lock()
 	_, known := s.blocks[id]
 	s.mu.Unlock()
 	if !known {
 		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
 	}
-	version, ok := s.checkVersion(id)
+	version, ok := s.checkVersion(ctx, id)
 	if !ok {
+		if cerr := ctx.Err(); cerr != nil {
+			// Nodes stopped answering because the context died, not
+			// because the quorum degraded.
+			return nil, 0, opErr("read", id, cerr)
+		}
 		s.metrics.FailedReads.Add(1)
 		return nil, 0, fmt.Errorf("%w: no level reached its version check threshold", ErrNotReadable)
 	}
 	for pos := range s.nodes {
-		chunk, err := s.nodes[pos].ReadChunk(frChunk(id))
+		chunk, err := s.nodes[pos].ReadChunk(ctx, frChunk(id))
 		if err != nil || len(chunk.Versions) != 1 {
 			continue
 		}
@@ -146,13 +152,16 @@ func (s *FRSystem) ReadBlock(id uint64) ([]byte, uint64, error) {
 			return chunk.Data, chunk.Versions[0], nil
 		}
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, 0, opErr("read", id, cerr)
+	}
 	s.metrics.FailedReads.Add(1)
 	return nil, 0, fmt.Errorf("%w: no replica carries version %d", ErrNotReadable, version)
 }
 
 // WriteBlock writes the full block to at least w_l replicas on every
 // level, rolling back on failure like the ERC variant.
-func (s *FRSystem) WriteBlock(id uint64, data []byte) error {
+func (s *FRSystem) WriteBlock(ctx context.Context, id uint64, data []byte) error {
 	s.mu.Lock()
 	size, known := s.blocks[id]
 	s.mu.Unlock()
@@ -166,9 +175,12 @@ func (s *FRSystem) WriteBlock(id uint64, data []byte) error {
 	lock.Lock()
 	defer lock.Unlock()
 
-	old, oldVersion, err := s.readForUpdate(id)
+	old, oldVersion, err := s.readForUpdate(ctx, id)
 	if err != nil {
 		s.metrics.FailedWrites.Add(1)
+		if cerr := ctx.Err(); cerr != nil {
+			return &OpError{Op: "write", Stripe: id, Block: -1, Level: -1, Node: -1, Err: cerr}
+		}
 		return fmt.Errorf("%w: initial read failed: %v", ErrWriteFailed, err)
 	}
 	newVersion := oldVersion + 1
@@ -177,19 +189,20 @@ func (s *FRSystem) WriteBlock(id uint64, data []byte) error {
 	for l := 0; l <= cfg.Shape.H; l++ {
 		counter := 0
 		for _, pos := range s.lay.Level(l) {
-			if err := s.nodes[pos].PutChunk(frChunk(id), data, []uint64{newVersion}); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// Cancelled mid-quorum: abort without committing.
+				s.rollbackFR(id, updated, newVersion, oldVersion, old)
+				return &OpError{Op: "write", Stripe: id, Block: -1, Level: l, Node: -1, Err: cerr}
+			}
+			if err := s.nodes[pos].PutChunk(ctx, frChunk(id), data, []uint64{newVersion}); err != nil {
 				continue
 			}
 			updated = append(updated, pos)
 			counter++
 		}
 		if counter < cfg.W[l] {
-			s.metrics.FailedWrites.Add(1)
 			// Roll back our own footprint: restore the old replica.
-			for _, pos := range updated {
-				_ = s.nodes[pos].CompareAndPut(frChunk(id), 0, newVersion, oldVersion, old)
-			}
-			s.metrics.Rollbacks.Add(1)
+			s.rollbackFR(id, updated, newVersion, oldVersion, old)
 			return fmt.Errorf("%w: level %d reached %d of %d", ErrWriteFailed, l, counter, cfg.W[l])
 		}
 	}
@@ -197,15 +210,26 @@ func (s *FRSystem) WriteBlock(id uint64, data []byte) error {
 	return nil
 }
 
+// rollbackFR restores the old replica on every position this write
+// updated, on a detached context (cleanup must outlive the caller's
+// context), and counts the failed attempt.
+func (s *FRSystem) rollbackFR(id uint64, updated []int, newVersion, oldVersion uint64, old []byte) {
+	s.metrics.FailedWrites.Add(1)
+	for _, p := range updated {
+		_ = s.nodes[p].CompareAndPut(context.Background(), frChunk(id), 0, newVersion, oldVersion, old)
+	}
+	s.metrics.Rollbacks.Add(1)
+}
+
 // readForUpdate is ReadBlock without the metrics bump, used by the
 // write path's initial read.
-func (s *FRSystem) readForUpdate(id uint64) ([]byte, uint64, error) {
-	version, ok := s.checkVersion(id)
+func (s *FRSystem) readForUpdate(ctx context.Context, id uint64) ([]byte, uint64, error) {
+	version, ok := s.checkVersion(ctx, id)
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: version check failed", ErrNotReadable)
 	}
 	for pos := range s.nodes {
-		chunk, err := s.nodes[pos].ReadChunk(frChunk(id))
+		chunk, err := s.nodes[pos].ReadChunk(ctx, frChunk(id))
 		if err != nil || len(chunk.Versions) != 1 {
 			continue
 		}
@@ -218,7 +242,7 @@ func (s *FRSystem) readForUpdate(id uint64) ([]byte, uint64, error) {
 
 // RepairReplica refreshes the replica at a trapezoid position from the
 // freshest reachable copy (version-guarded, like the ERC repair).
-func (s *FRSystem) RepairReplica(id uint64, pos int) error {
+func (s *FRSystem) RepairReplica(ctx context.Context, id uint64, pos int) error {
 	if pos < 0 || pos >= len(s.nodes) {
 		return fmt.Errorf("%w: position %d of %d", ErrBadIndex, pos, len(s.nodes))
 	}
@@ -234,7 +258,7 @@ func (s *FRSystem) RepairReplica(id uint64, pos int) error {
 		if p == pos {
 			continue
 		}
-		chunk, err := s.nodes[p].ReadChunk(frChunk(id))
+		chunk, err := s.nodes[p].ReadChunk(ctx, frChunk(id))
 		if err != nil || len(chunk.Versions) != 1 {
 			continue
 		}
@@ -246,7 +270,7 @@ func (s *FRSystem) RepairReplica(id uint64, pos int) error {
 	if best == nil {
 		return fmt.Errorf("%w: no surviving replica", ErrNotReadable)
 	}
-	if err := s.nodes[pos].PutChunkIfFresher(frChunk(id), best, []uint64{bestVersion}); err != nil {
+	if err := s.nodes[pos].PutChunkIfFresher(ctx, frChunk(id), best, []uint64{bestVersion}); err != nil {
 		return err
 	}
 	s.metrics.Repairs.Add(1)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -59,10 +60,10 @@ func TestNewFRSystemValidation(t *testing.T) {
 func TestFRSeedReadWrite(t *testing.T) {
 	sys, _ := newFRSystem(t)
 	data := []byte("replicated block")
-	if err := sys.SeedBlock(1, data); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, data); err != nil {
 		t.Fatal(err)
 	}
-	got, version, err := sys.ReadBlock(1)
+	got, version, err := sys.ReadBlock(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +71,10 @@ func TestFRSeedReadWrite(t *testing.T) {
 		t.Fatalf("got v%d %q", version, got)
 	}
 	next := []byte("updated contents")
-	if err := sys.WriteBlock(1, next); err != nil {
+	if err := sys.WriteBlock(context.Background(), 1, next); err != nil {
 		t.Fatal(err)
 	}
-	got, version, err = sys.ReadBlock(1)
+	got, version, err = sys.ReadBlock(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,19 +85,19 @@ func TestFRSeedReadWrite(t *testing.T) {
 
 func TestFRValidationErrors(t *testing.T) {
 	sys, _ := newFRSystem(t)
-	if err := sys.SeedBlock(1, nil); !errors.Is(err, ErrBlockSize) {
+	if err := sys.SeedBlock(context.Background(), 1, nil); !errors.Is(err, ErrBlockSize) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, _, err := sys.ReadBlock(9); !errors.Is(err, ErrUnknownStripe) {
+	if _, _, err := sys.ReadBlock(context.Background(), 9); !errors.Is(err, ErrUnknownStripe) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := sys.WriteBlock(9, []byte{1}); !errors.Is(err, ErrUnknownStripe) {
+	if err := sys.WriteBlock(context.Background(), 9, []byte{1}); !errors.Is(err, ErrUnknownStripe) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := sys.SeedBlock(1, []byte{1, 2}); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, []byte{1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.WriteBlock(1, []byte{1}); !errors.Is(err, ErrBlockSize) {
+	if err := sys.WriteBlock(context.Background(), 1, []byte{1}); !errors.Is(err, ErrBlockSize) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -104,7 +105,7 @@ func TestFRValidationErrors(t *testing.T) {
 func TestFRSeedRequiresAllNodes(t *testing.T) {
 	sys, cluster := newFRSystem(t)
 	cluster.Crash(5)
-	if err := sys.SeedBlock(1, []byte{1}); !errors.Is(err, ErrSeedIncomplete) {
+	if err := sys.SeedBlock(context.Background(), 1, []byte{1}); !errors.Is(err, ErrSeedIncomplete) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -112,14 +113,14 @@ func TestFRSeedRequiresAllNodes(t *testing.T) {
 func TestFRReadSurvivesMinorityFailures(t *testing.T) {
 	sys, cluster := newFRSystem(t)
 	data := []byte("hold on")
-	if err := sys.SeedBlock(1, data); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, data); err != nil {
 		t.Fatal(err)
 	}
 	// Positions: level 0 = {0,1,2} (r_0=2), level 1 = {3..7} (r_1=3).
 	cluster.Crash(0)
 	cluster.Crash(3)
 	cluster.Crash(4)
-	got, _, err := sys.ReadBlock(1)
+	got, _, err := sys.ReadBlock(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +131,14 @@ func TestFRReadSurvivesMinorityFailures(t *testing.T) {
 
 func TestFRReadFailsWhenChecksStarved(t *testing.T) {
 	sys, cluster := newFRSystem(t)
-	if err := sys.SeedBlock(1, []byte{7}); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
 	// Break level 0 (need 2 of 3) and level 1 (need 3 of 5).
 	for _, p := range []int{0, 1, 3, 4, 5} {
 		cluster.Crash(p)
 	}
-	if _, _, err := sys.ReadBlock(1); !errors.Is(err, ErrNotReadable) {
+	if _, _, err := sys.ReadBlock(context.Background(), 1); !errors.Is(err, ErrNotReadable) {
 		t.Fatalf("err = %v", err)
 	}
 	if m := sys.Metrics(); m.FailedReads != 1 {
@@ -148,17 +149,17 @@ func TestFRReadFailsWhenChecksStarved(t *testing.T) {
 func TestFRWriteQuorumFailureRollsBack(t *testing.T) {
 	sys, cluster := newFRSystem(t)
 	data := []byte("stable")
-	if err := sys.SeedBlock(1, data); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, data); err != nil {
 		t.Fatal(err)
 	}
 	// Starve level 1: crash 3 of its 5 nodes (w_1 = 3).
 	cluster.Crash(5)
 	cluster.Crash(6)
 	cluster.Crash(7)
-	if err := sys.WriteBlock(1, []byte("newval")); !errors.Is(err, ErrWriteFailed) {
+	if err := sys.WriteBlock(context.Background(), 1, []byte("newval")); !errors.Is(err, ErrWriteFailed) {
 		t.Fatalf("err = %v", err)
 	}
-	got, version, err := sys.ReadBlock(1)
+	got, version, err := sys.ReadBlock(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,17 +173,17 @@ func TestFRWriteQuorumFailureRollsBack(t *testing.T) {
 
 func TestFRWriteToleratesPartialLevel(t *testing.T) {
 	sys, cluster := newFRSystem(t)
-	if err := sys.SeedBlock(1, []byte("aaaa")); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, []byte("aaaa")); err != nil {
 		t.Fatal(err)
 	}
 	// 2 of level 1 down: 3 remain = w_1. 1 of level 0 down: 2 = w_0.
 	cluster.Crash(2)
 	cluster.Crash(6)
 	cluster.Crash(7)
-	if err := sys.WriteBlock(1, []byte("bbbb")); err != nil {
+	if err := sys.WriteBlock(context.Background(), 1, []byte("bbbb")); err != nil {
 		t.Fatal(err)
 	}
-	got, version, err := sys.ReadBlock(1)
+	got, version, err := sys.ReadBlock(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFRWriteToleratesPartialLevel(t *testing.T) {
 	// Revived nodes are stale but reads still find the latest version
 	// through the quorum intersection.
 	cluster.Restart(2)
-	got, _, err = sys.ReadBlock(1)
+	got, _, err = sys.ReadBlock(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,28 +204,28 @@ func TestFRWriteToleratesPartialLevel(t *testing.T) {
 
 func TestFRRepairReplica(t *testing.T) {
 	sys, cluster := newFRSystem(t)
-	if err := sys.SeedBlock(1, []byte("v1data")); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, []byte("v1data")); err != nil {
 		t.Fatal(err)
 	}
 	cluster.Crash(4)
-	if err := sys.WriteBlock(1, []byte("v2data")); err != nil {
+	if err := sys.WriteBlock(context.Background(), 1, []byte("v2data")); err != nil {
 		t.Fatal(err)
 	}
 	cluster.Restart(4)
-	if err := sys.RepairReplica(1, 4); err != nil {
+	if err := sys.RepairReplica(context.Background(), 1, 4); err != nil {
 		t.Fatal(err)
 	}
-	chunk, err := cluster.Node(4).ReadChunk(sim.ChunkID{Stripe: 1})
+	chunk, err := cluster.Node(4).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(chunk.Data) != "v2data" || chunk.Versions[0] != 2 {
 		t.Fatalf("repaired replica = v%d %q", chunk.Versions[0], chunk.Data)
 	}
-	if err := sys.RepairReplica(1, 9); !errors.Is(err, ErrBadIndex) {
+	if err := sys.RepairReplica(context.Background(), 1, 9); !errors.Is(err, ErrBadIndex) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := sys.RepairReplica(7, 4); !errors.Is(err, ErrUnknownStripe) {
+	if err := sys.RepairReplica(context.Background(), 7, 4); !errors.Is(err, ErrUnknownStripe) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -236,7 +237,7 @@ func TestFRLinearizabilityUnderCrashSchedules(t *testing.T) {
 		sys, cluster := newFRSystem(t)
 		r := rand.New(rand.NewSource(seed))
 		expected := []byte("initial!")
-		if err := sys.SeedBlock(1, expected); err != nil {
+		if err := sys.SeedBlock(context.Background(), 1, expected); err != nil {
 			t.Fatal(err)
 		}
 		for op := 0; op < 200; op++ {
@@ -250,13 +251,13 @@ func TestFRLinearizabilityUnderCrashSchedules(t *testing.T) {
 			case 2, 3, 4:
 				x := make([]byte, 8)
 				r.Read(x)
-				if err := sys.WriteBlock(1, x); err == nil {
+				if err := sys.WriteBlock(context.Background(), 1, x); err == nil {
 					expected = x
 				} else if !errors.Is(err, ErrWriteFailed) {
 					t.Fatalf("unexpected write error %v", err)
 				}
 			default:
-				got, _, err := sys.ReadBlock(1)
+				got, _, err := sys.ReadBlock(context.Background(), 1)
 				if err != nil {
 					if !errors.Is(err, ErrNotReadable) {
 						t.Fatalf("unexpected read error %v", err)
@@ -278,13 +279,13 @@ func TestFRLinearizabilityUnderCrashSchedules(t *testing.T) {
 func BenchmarkFRWrite(b *testing.B) {
 	sys, _ := newFRSystem(b)
 	data := bytes.Repeat([]byte{1}, 4096)
-	if err := sys.SeedBlock(1, data); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, data); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := sys.WriteBlock(1, data); err != nil {
+		if err := sys.WriteBlock(context.Background(), 1, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -293,13 +294,13 @@ func BenchmarkFRWrite(b *testing.B) {
 func BenchmarkFRRead(b *testing.B) {
 	sys, _ := newFRSystem(b)
 	data := bytes.Repeat([]byte{1}, 4096)
-	if err := sys.SeedBlock(1, data); err != nil {
+	if err := sys.SeedBlock(context.Background(), 1, data); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sys.ReadBlock(1); err != nil {
+		if _, _, err := sys.ReadBlock(context.Background(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}

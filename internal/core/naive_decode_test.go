@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestNaiveSlotOnlyDecodeReturnsGarbage(t *testing.T) {
 	const size = 32
 	x0 := bytes.Repeat([]byte{0x10}, size)
 	x1 := bytes.Repeat([]byte{0x20}, size)
-	if err := sys.SeedStripe(1, [][]byte{x0, x1}); err != nil {
+	if err := sys.SeedStripe(context.Background(), 1, [][]byte{x0, x1}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -62,7 +63,7 @@ func TestNaiveSlotOnlyDecodeReturnsGarbage(t *testing.T) {
 	// Quorum: N0, P2, P3 (3 of the 4 trapezoid nodes).
 	x0new := bytes.Repeat([]byte{0x1F}, size)
 	cluster.Crash(4)
-	if err := sys.WriteBlock(1, 0, x0new); err != nil {
+	if err := sys.WriteBlock(context.Background(), 1, 0, x0new); err != nil {
 		t.Fatal(err)
 	}
 	cluster.Restart(4)
@@ -72,7 +73,7 @@ func TestNaiveSlotOnlyDecodeReturnsGarbage(t *testing.T) {
 	// (x0-old, x1new): both partially stale, differently.
 	x1new := bytes.Repeat([]byte{0x2F}, size)
 	cluster.Crash(2)
-	if err := sys.WriteBlock(1, 1, x1new); err != nil {
+	if err := sys.WriteBlock(context.Background(), 1, 1, x1new); err != nil {
 		t.Fatal(err)
 	}
 	cluster.Restart(2)
@@ -86,14 +87,14 @@ func TestNaiveSlotOnlyDecodeReturnsGarbage(t *testing.T) {
 	// Algorithm 2's V[i] check. Feeding them to the erasure decoder
 	// (which is version-blind) produces a block that is neither the
 	// old nor the new value: silent corruption.
-	p2chunk, err := cluster.Node(2).ReadChunk(sim.ChunkID{Stripe: 1, Shard: 2})
+	p2chunk, err := cluster.Node(2).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p2chunk.Versions[0] != 2 || p2chunk.Versions[1] != 1 {
 		t.Fatalf("setup drift: P2 versions = %v, want [2 1]", p2chunk.Versions)
 	}
-	n1chunk, err := cluster.Node(1).ReadChunk(sim.ChunkID{Stripe: 1, Shard: 1})
+	n1chunk, err := cluster.Node(1).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestNaiveSlotOnlyDecodeReturnsGarbage(t *testing.T) {
 	}
 
 	// The protocol's full-vector grouping refuses instead of lying.
-	_, _, err = sys.ReadBlock(1, 0)
+	_, _, err = sys.ReadBlock(context.Background(), 1, 0)
 	if !errors.Is(err, ErrNotReadable) {
 		t.Fatalf("err = %v, want ErrNotReadable (never garbage)", err)
 	}
@@ -117,7 +118,7 @@ func TestNaiveSlotOnlyDecodeReturnsGarbage(t *testing.T) {
 	// Bring the fresh parity back: the group {P3, N1} is consistent
 	// at the latest versions and the read returns the correct block.
 	cluster.Restart(3)
-	got, version, err := sys.ReadBlock(1, 0)
+	got, version, err := sys.ReadBlock(context.Background(), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestNaiveSlotOnlyDecodeReturnsGarbage(t *testing.T) {
 	// And RepairStripe converges the stragglers without regressing
 	// any committed write.
 	cluster.RestartAll()
-	if _, ahead, err := sys.RepairStripe(1); err != nil {
+	if _, ahead, err := sys.RepairStripe(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	} else if len(ahead) != 0 {
 		t.Fatalf("unexpected ahead shards %v after full heal", ahead)
@@ -137,7 +138,7 @@ func TestNaiveSlotOnlyDecodeReturnsGarbage(t *testing.T) {
 		idx  int
 		want []byte
 	}{{0, x0new}, {1, x1new}} {
-		got, _, err := sys.ReadBlock(1, blockCheck.idx)
+		got, _, err := sys.ReadBlock(context.Background(), 1, blockCheck.idx)
 		if err != nil || !bytes.Equal(got, blockCheck.want) {
 			t.Fatalf("post-repair block %d wrong (%v)", blockCheck.idx, err)
 		}

@@ -1,14 +1,17 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // WriteObject stores an arbitrary buffer as one stripe: the buffer is
 // split into k equally sized blocks (zero-padded), encoded, and seeded
 // across the nodes. It is the bootstrap path for whole objects; use
 // WriteBlock for subsequent in-place block updates.
-func (s *System) WriteObject(stripe uint64, payload []byte) error {
+func (s *System) WriteObject(ctx context.Context, stripe uint64, payload []byte) error {
 	blocks := s.code.Split(payload)
-	if err := s.SeedStripe(stripe, blocks); err != nil {
+	if err := s.SeedStripe(ctx, stripe, blocks); err != nil {
 		return err
 	}
 	s.setObjectSize(stripe, len(payload))
@@ -33,7 +36,7 @@ func (s *System) objectSize(stripe uint64) (int, bool) {
 
 // ReadObject reads back a buffer stored with WriteObject, issuing one
 // quorum read per data block and joining the results.
-func (s *System) ReadObject(stripe uint64) ([]byte, error) {
+func (s *System) ReadObject(ctx context.Context, stripe uint64) ([]byte, error) {
 	size, ok := s.objectSize(stripe)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d has no object mapping", ErrUnknownStripe, stripe)
@@ -41,7 +44,7 @@ func (s *System) ReadObject(stripe uint64) ([]byte, error) {
 	k := s.code.K()
 	blocks := make([][]byte, k)
 	for i := 0; i < k; i++ {
-		data, _, err := s.ReadBlock(stripe, i)
+		data, _, err := s.ReadBlock(ctx, stripe, i)
 		if err != nil {
 			return nil, fmt.Errorf("block %d: %w", i, err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -71,7 +72,7 @@ func runLifecycle(t *testing.T, r *rand.Rand, n, k int, cfg trapezoid.Config) {
 		data[i] = make([]byte, size)
 		r.Read(data[i])
 	}
-	if err := sys.SeedStripe(1, data); err != nil {
+	if err := sys.SeedStripe(context.Background(), 1, data); err != nil {
 		t.Fatalf("(%d,%d) %v: seed: %v", n, k, cfg, err)
 	}
 	expected := make([][]byte, k)
@@ -82,13 +83,13 @@ func runLifecycle(t *testing.T, r *rand.Rand, n, k int, cfg trapezoid.Config) {
 		i := r.Intn(k)
 		x := make([]byte, size)
 		r.Read(x)
-		if err := sys.WriteBlock(1, i, x); err != nil {
+		if err := sys.WriteBlock(context.Background(), 1, i, x); err != nil {
 			t.Fatalf("(%d,%d) %v: healthy write: %v", n, k, cfg, err)
 		}
 		expected[i] = x
 	}
 	for i := 0; i < k; i++ {
-		got, _, err := sys.ReadBlock(1, i)
+		got, _, err := sys.ReadBlock(context.Background(), 1, i)
 		if err != nil {
 			t.Fatalf("(%d,%d) %v: healthy read %d: %v", n, k, cfg, i, err)
 		}
@@ -109,7 +110,7 @@ func runLifecycle(t *testing.T, r *rand.Rand, n, k int, cfg trapezoid.Config) {
 			i := r.Intn(k)
 			x := make([]byte, size)
 			r.Read(x)
-			err := sys.WriteBlock(1, i, x)
+			err := sys.WriteBlock(context.Background(), 1, i, x)
 			if err == nil {
 				expected[i] = x
 			} else if !errors.Is(err, ErrWriteFailed) {
@@ -117,7 +118,7 @@ func runLifecycle(t *testing.T, r *rand.Rand, n, k int, cfg trapezoid.Config) {
 			}
 		default:
 			i := r.Intn(k)
-			got, _, err := sys.ReadBlock(1, i)
+			got, _, err := sys.ReadBlock(context.Background(), 1, i)
 			if err != nil {
 				if !errors.Is(err, ErrNotReadable) {
 					t.Fatalf("(%d,%d) %v: unexpected read error %v", n, k, cfg, err)
@@ -135,12 +136,12 @@ func runLifecycle(t *testing.T, r *rand.Rand, n, k int, cfg trapezoid.Config) {
 	// a data shard that missed a committed write needs fresh parity),
 	// which RepairStripe resolves by iterating.
 	cluster.RestartAll()
-	if _, _, err := sys.RepairStripe(1); err != nil {
+	if _, _, err := sys.RepairStripe(context.Background(), 1); err != nil {
 		t.Fatalf("(%d,%d) %v: RepairStripe: %v", n, k, cfg, err)
 	}
 	shards := make([][]byte, n)
 	for j := 0; j < n; j++ {
-		chunk, err := cluster.Node(j).ReadChunk(sim.ChunkID{Stripe: 1, Shard: j})
+		chunk, err := cluster.Node(j).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: j})
 		if err != nil {
 			t.Fatalf("(%d,%d) %v: chunk %d: %v", n, k, cfg, j, err)
 		}
@@ -154,7 +155,7 @@ func runLifecycle(t *testing.T, r *rand.Rand, n, k int, cfg trapezoid.Config) {
 		t.Fatalf("(%d,%d) %v: stripe violates code after lifecycle", n, k, cfg)
 	}
 	for i := 0; i < k; i++ {
-		got, _, err := sys.ReadBlock(1, i)
+		got, _, err := sys.ReadBlock(context.Background(), 1, i)
 		if err != nil || !bytes.Equal(got, expected[i]) {
 			t.Fatalf("(%d,%d) %v: final read %d wrong (%v)", n, k, cfg, i, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,14 +20,17 @@ import (
 // version the block is read from it directly (Case 1); otherwise the
 // block is decoded from k mutually consistent shards carrying the
 // latest version (Case 2).
-func (s *System) ReadBlock(stripe uint64, block int) ([]byte, uint64, error) {
+//
+// A cancelled or expired context aborts the read; the returned OpError
+// wraps the context's error.
+func (s *System) ReadBlock(ctx context.Context, stripe uint64, block int) ([]byte, uint64, error) {
 	if block < 0 || block >= s.code.K() {
 		return nil, 0, fmt.Errorf("%w: %d of k=%d", ErrBadIndex, block, s.code.K())
 	}
 	if _, err := s.stripeBlockSize(stripe); err != nil {
 		return nil, 0, err
 	}
-	data, version, err := s.readBlock(stripe, block)
+	data, version, err := s.readBlock(ctx, stripe, block)
 	if err != nil {
 		s.metrics.FailedReads.Add(1)
 		return nil, 0, err
@@ -49,23 +53,38 @@ const readRetryLimit = 4
 // stripe under relentless write pressure can still report
 // ErrNotReadable, which callers treat like any other transient quorum
 // failure.
-func (s *System) readBlock(stripe uint64, block int) ([]byte, uint64, error) {
+func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byte, uint64, error) {
+	// wrap keeps every failure of this read behind one OpError, so
+	// errors.As works uniformly across the version-check, decode and
+	// cancellation paths.
+	wrap := func(err error) error {
+		return &OpError{Op: "read", Stripe: stripe, Block: block, Level: -1, Node: -1, Err: err}
+	}
 	lastVersion := sim.NoVersion
 	var lastErr error
 	for attempt := 0; attempt < readRetryLimit; attempt++ {
-		version, niVersion, niResponded, ok := s.checkVersion(stripe, block)
+		if err := ctx.Err(); err != nil {
+			return nil, 0, wrap(err)
+		}
+		version, niVersion, niResponded, ok := s.checkVersion(ctx, stripe, block)
 		if !ok {
-			return nil, 0, fmt.Errorf("%w: no level reached its version check threshold", ErrNotReadable)
+			if err := ctx.Err(); err != nil {
+				return nil, 0, wrap(err)
+			}
+			return nil, 0, wrap(fmt.Errorf("%w: no level reached its version check threshold", ErrNotReadable))
 		}
 		if attempt > 0 && version == lastVersion {
 			// No concurrent progress: the previous decode failure was
 			// a genuine availability gap, not a race.
-			return nil, 0, lastErr
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, 0, wrap(cerr)
+			}
+			return nil, 0, wrap(lastErr)
 		}
 		lastVersion = version
 		// Case 1: the data node holds the latest version — read directly.
 		if niResponded && niVersion == version {
-			chunk, err := s.nodes[block].ReadChunk(chunkID(stripe, block))
+			chunk, err := s.nodes[block].ReadChunk(ctx, chunkID(stripe, block))
 			if err == nil && len(chunk.Versions) > 0 && chunk.Versions[0] >= version {
 				s.metrics.DirectReads.Add(1)
 				return chunk.Data, chunk.Versions[0], nil
@@ -74,21 +93,26 @@ func (s *System) readBlock(stripe uint64, block int) ([]byte, uint64, error) {
 			// fall through to the decode path.
 		}
 		// Case 2: decode from k consistent shards at the latest version.
-		data, err := s.decodeBlock(stripe, block, version)
+		data, err := s.decodeBlock(ctx, stripe, block, version)
 		if err == nil {
 			s.metrics.DecodeReads.Add(1)
 			return data, version, nil
 		}
 		lastErr = err
 	}
-	return nil, 0, lastErr
+	if cerr := ctx.Err(); cerr != nil {
+		// The shards stopped answering because the context died, not
+		// because the stripe degraded.
+		return nil, 0, wrap(cerr)
+	}
+	return nil, 0, wrap(lastErr)
 }
 
 // checkVersion performs Step 1 of Algorithm 2. It returns the latest
 // version found by the first level that reached its threshold, the
 // data node's own version (valid when niResponded), and ok=false when
 // every level failed.
-func (s *System) checkVersion(stripe uint64, block int) (version, niVersion uint64, niResponded, ok bool) {
+func (s *System) checkVersion(ctx context.Context, stripe uint64, block int) (version, niVersion uint64, niResponded, ok bool) {
 	cfg := s.lay.Config()
 	for l := 0; l <= cfg.Shape.H; l++ {
 		need := cfg.ReadThreshold(l)
@@ -96,7 +120,7 @@ func (s *System) checkVersion(stripe uint64, block int) (version, niVersion uint
 		version = sim.NoVersion
 		for _, pos := range s.lay.Level(l) {
 			shard := s.shardForPosition(block, pos)
-			versions, err := s.nodes[shard].ReadVersions(chunkID(stripe, shard))
+			versions, err := s.nodes[shard].ReadVersions(ctx, chunkID(stripe, shard))
 			if err != nil {
 				continue // down or missing: does not count
 			}
@@ -137,14 +161,14 @@ type shardCandidate struct {
 // own version equals the vector's component t. This prevents mixing
 // shards that fold different versions of *other* blocks, which would
 // decode garbage.
-func (s *System) decodeBlock(stripe uint64, block int, version uint64) ([]byte, error) {
+func (s *System) decodeBlock(ctx context.Context, stripe uint64, block int, version uint64) ([]byte, error) {
 	k := s.code.K()
 	n := s.code.N()
 	// Collect candidates from every reachable node.
 	var parity []shardCandidate
 	dataVersion := make(map[int]shardCandidate)
 	for shard := 0; shard < n; shard++ {
-		chunk, err := s.nodes[shard].ReadChunk(chunkID(stripe, shard))
+		chunk, err := s.nodes[shard].ReadChunk(ctx, chunkID(stripe, shard))
 		if err != nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,14 +25,14 @@ import (
 // be rebuilt from them; a data-shard rebuild, however, needs k
 // consistent survivors, which stale parities cannot supply until they
 // are refreshed.
-func (s *System) RepairShard(stripe uint64, shard int) error {
+func (s *System) RepairShard(ctx context.Context, stripe uint64, shard int) error {
 	if shard < 0 || shard >= s.code.N() {
 		return fmt.Errorf("%w: shard %d of n=%d", ErrBadIndex, shard, s.code.N())
 	}
 	if _, err := s.stripeBlockSize(stripe); err != nil {
 		return err
 	}
-	vector, shards, err := s.freshestConsistentSet(stripe, shard)
+	vector, shards, err := s.freshestConsistentSet(ctx, stripe, shard)
 	if err != nil {
 		return err
 	}
@@ -47,7 +48,7 @@ func (s *System) RepairShard(stripe uint64, shard int) error {
 	}
 	// Version-guarded install: a concurrent write may have advanced
 	// the shard since the survivors were gathered; never regress it.
-	if err := s.nodes[shard].PutChunkIfFresher(chunkID(stripe, shard), rebuilt, versions); err != nil {
+	if err := s.nodes[shard].PutChunkIfFresher(ctx, chunkID(stripe, shard), rebuilt, versions); err != nil {
 		return err
 	}
 	s.metrics.Repairs.Add(1)
@@ -67,7 +68,7 @@ func (s *System) RepairShard(stripe uint64, shard int) error {
 // shards intentionally left alone because they are ahead of (or
 // incomparable with) the freshest rebuildable state, and an error if
 // some shard could not be repaired for any other reason.
-func (s *System) RepairStripe(stripe uint64) (repaired int, ahead []int, err error) {
+func (s *System) RepairStripe(ctx context.Context, stripe uint64) (repaired int, ahead []int, err error) {
 	if _, err := s.stripeBlockSize(stripe); err != nil {
 		return 0, nil, err
 	}
@@ -78,7 +79,10 @@ func (s *System) RepairStripe(stripe uint64) (repaired int, ahead []int, err err
 		var failErr error
 		ahead = ahead[:0]
 		for shard := 0; shard < n; shard++ {
-			rerr := s.RepairShard(stripe, shard)
+			if cerr := ctx.Err(); cerr != nil {
+				return repaired, ahead, opErr("repair", stripe, cerr)
+			}
+			rerr := s.RepairShard(ctx, stripe, shard)
 			switch {
 			case rerr == nil:
 				repaired++
@@ -107,14 +111,14 @@ func (s *System) RepairStripe(stripe uint64) (repaired int, ahead []int, err err
 // quiesced, to clear failed-write residue whose version numbers run
 // *ahead* of the cluster's consistent state (the guarded repair
 // refuses to regress them).
-func (s *System) RepairShardForce(stripe uint64, shard int) error {
+func (s *System) RepairShardForce(ctx context.Context, stripe uint64, shard int) error {
 	if shard < 0 || shard >= s.code.N() {
 		return fmt.Errorf("%w: shard %d of n=%d", ErrBadIndex, shard, s.code.N())
 	}
 	if _, err := s.stripeBlockSize(stripe); err != nil {
 		return err
 	}
-	vector, shards, err := s.freshestConsistentSet(stripe, shard)
+	vector, shards, err := s.freshestConsistentSet(ctx, stripe, shard)
 	if err != nil {
 		return err
 	}
@@ -128,7 +132,7 @@ func (s *System) RepairShardForce(stripe uint64, shard int) error {
 	} else {
 		versions = vector
 	}
-	if err := s.nodes[shard].PutChunk(chunkID(stripe, shard), rebuilt, versions); err != nil {
+	if err := s.nodes[shard].PutChunk(ctx, chunkID(stripe, shard), rebuilt, versions); err != nil {
 		return err
 	}
 	s.metrics.Repairs.Add(1)
@@ -138,13 +142,16 @@ func (s *System) RepairShardForce(stripe uint64, shard int) error {
 // RepairNode repairs every seeded stripe's shard stored on node
 // `shard`. It returns the number of chunks rebuilt and the first
 // error encountered (continuing past per-stripe failures).
-func (s *System) RepairNode(shard int) (int, error) {
+func (s *System) RepairNode(ctx context.Context, shard int) (int, error) {
 	stripes := s.Stripes()
 	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
 	repaired := 0
 	var firstErr error
 	for _, stripe := range stripes {
-		if err := s.RepairShard(stripe, shard); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return repaired, opErr("repair", stripe, cerr)
+		}
+		if err := s.RepairShard(ctx, stripe, shard); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("stripe %d: %w", stripe, err)
 			}
@@ -160,7 +167,7 @@ func (s *System) RepairNode(shard int) (int, error) {
 // vector (componentwise max, ties broken deterministically) that has
 // at least k members, as a full n-slot shard array for the erasure
 // decoder plus the set's version vector.
-func (s *System) freshestConsistentSet(stripe uint64, exclude int) ([]uint64, [][]byte, error) {
+func (s *System) freshestConsistentSet(ctx context.Context, stripe uint64, exclude int) ([]uint64, [][]byte, error) {
 	k, n := s.code.K(), s.code.N()
 	type cand struct {
 		shard    int
@@ -173,7 +180,7 @@ func (s *System) freshestConsistentSet(stripe uint64, exclude int) ([]uint64, []
 		if j == exclude {
 			continue
 		}
-		chunk, err := s.nodes[j].ReadChunk(chunkID(stripe, j))
+		chunk, err := s.nodes[j].ReadChunk(ctx, chunkID(stripe, j))
 		if err != nil {
 			continue
 		}
@@ -251,6 +258,11 @@ func (s *System) freshestConsistentSet(stripe uint64, exclude int) ([]uint64, []
 		}
 	}
 	if bestVec == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// Nodes stopped answering because the context expired, not
+			// because the stripe degraded.
+			return nil, nil, opErr("repair", stripe, cerr)
+		}
 		return nil, nil, fmt.Errorf("%w: no %d consistent shards survive", ErrNotReadable, k)
 	}
 	shards := make([][]byte, n)

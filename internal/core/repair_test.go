@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -15,7 +16,7 @@ func TestRepairShardAfterWipe(t *testing.T) {
 	// Snapshot every chunk before the failure.
 	before := make([]sim.Chunk, ts.code.N())
 	for j := range before {
-		chunk, err := ts.shardNode(j).ReadChunk(sim.ChunkID{Stripe: 1, Shard: j})
+		chunk, err := ts.shardNode(j).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: j})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -24,13 +25,13 @@ func TestRepairShardAfterWipe(t *testing.T) {
 	for _, victim := range []int{0, 5, 8, 14} { // data and parity shards
 		ts.cluster.Crash(victim)
 		ts.cluster.Restart(victim)
-		if err := ts.shardNode(victim).Wipe(); err != nil {
+		if err := ts.shardNode(victim).Wipe(context.Background()); err != nil {
 			t.Fatal(err)
 		}
-		if err := ts.sys.RepairShard(1, victim); err != nil {
+		if err := ts.sys.RepairShard(context.Background(), 1, victim); err != nil {
 			t.Fatalf("repair %d: %v", victim, err)
 		}
-		after, err := ts.shardNode(victim).ReadChunk(sim.ChunkID{Stripe: 1, Shard: victim})
+		after, err := ts.shardNode(victim).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: victim})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,22 +59,22 @@ func TestRepairPicksUpLaterWrites(t *testing.T) {
 	for i := 0; i < ts.code.K(); i++ {
 		x := make([]byte, 64)
 		r.Read(x)
-		if err := ts.sys.WriteBlock(1, i, x); err != nil {
+		if err := ts.sys.WriteBlock(context.Background(), 1, i, x); err != nil {
 			t.Fatal(err)
 		}
 		want[i] = x
 	}
 	// Node returns with an empty disk and gets repaired.
 	ts.cluster.Restart(10)
-	if err := ts.shardNode(10).Wipe(); err != nil {
+	if err := ts.shardNode(10).Wipe(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := ts.sys.RepairShard(1, 10); err != nil {
+	if err := ts.sys.RepairShard(context.Background(), 1, 10); err != nil {
 		t.Fatal(err)
 	}
 	// The repaired parity must carry version 2 for every block and be
 	// code-consistent with the current data.
-	chunk, err := ts.shardNode(10).ReadChunk(sim.ChunkID{Stripe: 1, Shard: 10})
+	chunk, err := ts.shardNode(10).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRepairPicksUpLaterWrites(t *testing.T) {
 	}
 	shards := make([][]byte, ts.code.N())
 	for j := range shards {
-		c, err := ts.shardNode(j).ReadChunk(sim.ChunkID{Stripe: 1, Shard: j})
+		c, err := ts.shardNode(j).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: j})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func TestRepairPicksUpLaterWrites(t *testing.T) {
 	}
 	// And the repaired node participates in future writes: no more
 	// version rejects on it.
-	if err := ts.sys.WriteBlock(1, 0, want[0]); err != nil {
+	if err := ts.sys.WriteBlock(context.Background(), 1, 0, want[0]); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -111,10 +112,10 @@ func TestRepairNodeAcrossStripes(t *testing.T) {
 	}
 	ts.cluster.Crash(9)
 	ts.cluster.Restart(9)
-	if err := ts.shardNode(9).Wipe(); err != nil {
+	if err := ts.shardNode(9).Wipe(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	repaired, err := ts.sys.RepairNode(9)
+	repaired, err := ts.sys.RepairNode(context.Background(), 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestRepairNodeAcrossStripes(t *testing.T) {
 		t.Fatalf("repaired %d stripes, want 4", repaired)
 	}
 	for stripe := uint64(1); stripe <= 4; stripe++ {
-		if ok, _ := ts.shardNode(9).HasChunk(sim.ChunkID{Stripe: stripe, Shard: 9}); !ok {
+		if ok, _ := ts.shardNode(9).HasChunk(context.Background(), sim.ChunkID{Stripe: stripe, Shard: 9}); !ok {
 			t.Fatalf("stripe %d not repaired", stripe)
 		}
 	}
@@ -134,10 +135,10 @@ func TestRepairNodeAcrossStripes(t *testing.T) {
 func TestRepairValidation(t *testing.T) {
 	ts := fig3System(t, Options{})
 	ts.seed(t, 1, 32)
-	if err := ts.sys.RepairShard(1, 15); !errors.Is(err, ErrBadIndex) {
+	if err := ts.sys.RepairShard(context.Background(), 1, 15); !errors.Is(err, ErrBadIndex) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := ts.sys.RepairShard(9, 0); !errors.Is(err, ErrUnknownStripe) {
+	if err := ts.sys.RepairShard(context.Background(), 9, 0); !errors.Is(err, ErrUnknownStripe) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -149,7 +150,7 @@ func TestRepairFailsWithTooFewSurvivors(t *testing.T) {
 	for _, j := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
 		ts.cluster.Crash(j)
 	}
-	if err := ts.sys.RepairShard(1, 14); !errors.Is(err, ErrNotReadable) {
+	if err := ts.sys.RepairShard(context.Background(), 1, 14); !errors.Is(err, ErrNotReadable) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -158,7 +159,7 @@ func TestRepairTargetNodeMustBeUp(t *testing.T) {
 	ts := fig3System(t, Options{})
 	ts.seed(t, 1, 32)
 	ts.cluster.Crash(11)
-	if err := ts.sys.RepairShard(1, 11); err == nil {
+	if err := ts.sys.RepairShard(context.Background(), 1, 11); err == nil {
 		t.Fatal("repair onto a down node succeeded")
 	}
 }
@@ -172,18 +173,18 @@ func TestRepairNodePartialFailure(t *testing.T) {
 	// report the stripe-2 failure.
 	ts.cluster.Crash(14)
 	ts.cluster.Restart(14)
-	if err := ts.shardNode(14).Wipe(); err != nil {
+	if err := ts.shardNode(14).Wipe(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Make only stripe 2 unrecoverable by deleting its chunks from 8
 	// source nodes (nodes stay up so stripe 1 is unaffected): the six
 	// surviving parity chunks are fewer than k = 8.
 	for _, j := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
-		if err := ts.shardNode(j).DeleteChunk(sim.ChunkID{Stripe: 2, Shard: j}); err != nil {
+		if err := ts.shardNode(j).DeleteChunk(context.Background(), sim.ChunkID{Stripe: 2, Shard: j}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	repaired, err := ts.sys.RepairNode(14)
+	repaired, err := ts.sys.RepairNode(context.Background(), 14)
 	if err == nil {
 		t.Fatal("expected an error for the unrecoverable stripe")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -46,18 +47,18 @@ func (r ScrubReport) String() string {
 // corruption that version bookkeeping cannot see. The scrubber is the
 // read-only companion of RepairStripe: run it periodically, repair
 // when it reports degradation.
-func (s *System) ScrubStripe(stripe uint64) (ScrubReport, error) {
+func (s *System) ScrubStripe(ctx context.Context, stripe uint64) (ScrubReport, error) {
 	if _, err := s.stripeBlockSize(stripe); err != nil {
 		return ScrubReport{}, err
 	}
 	report := ScrubReport{Stripe: stripe}
 	n, k := s.code.N(), s.code.K()
 
-	vector, _, err := s.freshestConsistentSet(stripe, -1)
+	vector, _, err := s.freshestConsistentSet(ctx, stripe, -1)
 	if err != nil {
 		// No k consistent shards: classify reachability and give up.
 		for shard := 0; shard < n; shard++ {
-			if _, rerr := s.nodes[shard].ReadVersions(chunkID(stripe, shard)); rerr != nil {
+			if _, rerr := s.nodes[shard].ReadVersions(ctx, chunkID(stripe, shard)); rerr != nil {
 				report.UnreachableShards = append(report.UnreachableShards, shard)
 			}
 		}
@@ -69,7 +70,7 @@ func (s *System) ScrubStripe(stripe uint64) (ScrubReport, error) {
 	// byte content of matching shards for the parity re-derivation.
 	matching := make([][]byte, n)
 	for shard := 0; shard < n; shard++ {
-		chunk, rerr := s.nodes[shard].ReadChunk(chunkID(stripe, shard))
+		chunk, rerr := s.nodes[shard].ReadChunk(ctx, chunkID(stripe, shard))
 		if rerr != nil {
 			report.UnreachableShards = append(report.UnreachableShards, shard)
 			continue

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 func TestScrubHealthyStripe(t *testing.T) {
 	ts := fig3System(t, Options{})
 	ts.seed(t, 1, 64)
-	rep, err := ts.sys.ScrubStripe(1)
+	rep, err := ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestScrubHealthyStripe(t *testing.T) {
 
 func TestScrubUnknownStripe(t *testing.T) {
 	ts := fig3System(t, Options{})
-	if _, err := ts.sys.ScrubStripe(9); !errors.Is(err, ErrUnknownStripe) {
+	if _, err := ts.sys.ScrubStripe(context.Background(), 9); !errors.Is(err, ErrUnknownStripe) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -45,12 +46,12 @@ func TestScrubDetectsStaleShards(t *testing.T) {
 	// Degraded write: parity shards 13 and 14 miss the delta.
 	ts.cluster.Crash(13)
 	ts.cluster.Crash(14)
-	if err := ts.sys.WriteBlock(1, 2, bytes.Repeat([]byte{0xAB}, 64)); err != nil {
+	if err := ts.sys.WriteBlock(context.Background(), 1, 2, bytes.Repeat([]byte{0xAB}, 64)); err != nil {
 		t.Fatal(err)
 	}
 	ts.cluster.Restart(13)
 	ts.cluster.Restart(14)
-	rep, err := ts.sys.ScrubStripe(1)
+	rep, err := ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,10 +65,10 @@ func TestScrubDetectsStaleShards(t *testing.T) {
 		t.Fatalf("vector = %v, slot 2 should be 2", rep.FreshVector)
 	}
 	// RepairStripe clears the finding.
-	if _, _, err := ts.sys.RepairStripe(1); err != nil {
+	if _, _, err := ts.sys.RepairStripe(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = ts.sys.ScrubStripe(1)
+	rep, err = ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestScrubDetectsUnreachable(t *testing.T) {
 	ts.seed(t, 1, 64)
 	ts.cluster.Crash(4)
 	ts.cluster.Crash(11)
-	rep, err := ts.sys.ScrubStripe(1)
+	rep, err := ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +108,13 @@ func TestScrubFailedWriteResidueIsFreshest(t *testing.T) {
 	ts.cluster.Crash(12)
 	ts.cluster.Crash(13)
 	ts.cluster.Crash(14)
-	if err := ts.sys.WriteBlock(1, 2, bytes.Repeat([]byte{0x11}, 64)); !errors.Is(err, ErrWriteFailed) {
+	if err := ts.sys.WriteBlock(context.Background(), 1, 2, bytes.Repeat([]byte{0x11}, 64)); !errors.Is(err, ErrWriteFailed) {
 		t.Fatalf("err = %v", err)
 	}
 	ts.cluster.Restart(12)
 	ts.cluster.Restart(13)
 	ts.cluster.Restart(14)
-	rep, err := ts.sys.ScrubStripe(1)
+	rep, err := ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestScrubFailedWriteResidueIsFreshest(t *testing.T) {
 func TestScrubDetectsAheadResidue(t *testing.T) {
 	ts := fig3System(t, Options{})
 	ts.seed(t, 1, 64)
-	chunk, err := ts.shardNode(10).ReadChunk(sim.ChunkID{Stripe: 1, Shard: 10})
+	chunk, err := ts.shardNode(10).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,10 +148,10 @@ func TestScrubDetectsAheadResidue(t *testing.T) {
 	// cannot distinguish that from a real committed write.
 	chunk.Versions[3] = 99
 	chunk.Versions[5] = 99
-	if err := ts.shardNode(10).PutChunk(sim.ChunkID{Stripe: 1, Shard: 10}, chunk.Data, chunk.Versions); err != nil {
+	if err := ts.shardNode(10).PutChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: 10}, chunk.Data, chunk.Versions); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ts.sys.ScrubStripe(1)
+	rep, err := ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,15 +166,15 @@ func TestScrubDetectsAheadResidue(t *testing.T) {
 	}
 	// RepairStripe leaves the ahead shard alone (it cannot know the
 	// orphan version is garbage); force repair clears it.
-	if _, ahead, err := ts.sys.RepairStripe(1); err != nil {
+	if _, ahead, err := ts.sys.RepairStripe(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	} else if len(ahead) != 1 || ahead[0] != 10 {
 		t.Fatalf("RepairStripe ahead = %v", ahead)
 	}
-	if err := ts.sys.RepairShardForce(1, 10); err != nil {
+	if err := ts.sys.RepairShardForce(context.Background(), 1, 10); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = ts.sys.ScrubStripe(1)
+	rep, err = ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,15 +188,15 @@ func TestScrubDetectsSilentCorruption(t *testing.T) {
 	ts.seed(t, 1, 64)
 	// Flip bytes on a parity node without touching versions: only the
 	// byte-level parity re-derivation can catch this.
-	chunk, err := ts.shardNode(10).ReadChunk(sim.ChunkID{Stripe: 1, Shard: 10})
+	chunk, err := ts.shardNode(10).ReadChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	chunk.Data[5] ^= 0xFF
-	if err := ts.shardNode(10).PutChunk(sim.ChunkID{Stripe: 1, Shard: 10}, chunk.Data, chunk.Versions); err != nil {
+	if err := ts.shardNode(10).PutChunk(context.Background(), sim.ChunkID{Stripe: 1, Shard: 10}, chunk.Data, chunk.Versions); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ts.sys.ScrubStripe(1)
+	rep, err := ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,10 +206,10 @@ func TestScrubDetectsSilentCorruption(t *testing.T) {
 	// Force-repairing the corrupted shard clears it (the guarded
 	// repair also works here: versions are unchanged, so the rebuilt
 	// chunk installs over the corrupt bytes).
-	if err := ts.sys.RepairShard(1, 10); err != nil {
+	if err := ts.sys.RepairShard(context.Background(), 1, 10); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = ts.sys.ScrubStripe(1)
+	rep, err = ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestScrubNoConsistentSet(t *testing.T) {
 	for j := 0; j < 10; j++ {
 		ts.cluster.Crash(j)
 	}
-	rep, err := ts.sys.ScrubStripe(1)
+	rep, err := ts.sys.ScrubStripe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -35,8 +36,11 @@ type appliedUpdate struct {
 //
 // On failure this implementation rolls back the updates it applied
 // (best-effort; disabled by Options.DisableRollback for the faithful
-// paper behaviour).
-func (s *System) WriteBlock(stripe uint64, block int, x []byte) error {
+// paper behaviour). A context cancelled or expired mid-quorum aborts
+// the write the same way — the partial footprint is rolled back and
+// nothing commits — and the returned OpError wraps the context's
+// error.
+func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []byte) error {
 	if block < 0 || block >= s.code.K() {
 		return fmt.Errorf("%w: %d of k=%d", ErrBadIndex, block, s.code.K())
 	}
@@ -47,15 +51,34 @@ func (s *System) WriteBlock(stripe uint64, block int, x []byte) error {
 	if len(x) != size {
 		return fmt.Errorf("%w: got %d bytes, stripe uses %d", ErrBlockSize, len(x), size)
 	}
+	if err := ctx.Err(); err != nil {
+		// Counted like every other aborted write attempt, so the
+		// failed-write counter is consistent across abort points.
+		s.metrics.FailedWrites.Add(1)
+		return &OpError{Op: "write", Stripe: stripe, Block: block, Level: -1, Node: -1, Err: err}
+	}
 	lock := s.blockLock(stripe, block)
 	lock.Lock()
 	defer lock.Unlock()
 
+	// Re-validate under the lock: if ForgetStripe ran between the
+	// size check and the lock fetch, this lock is a fresh mutex that
+	// no longer serialises against earlier writers — the stripe is
+	// gone, so the write must not proceed.
+	if _, err := s.stripeBlockSize(stripe); err != nil {
+		s.metrics.FailedWrites.Add(1)
+		return err
+	}
+
 	// Algorithm 1 line 15: read the old value and version.
-	old, oldVersion, err := s.readBlock(stripe, block)
+	old, oldVersion, err := s.readBlock(ctx, stripe, block)
 	if err != nil {
 		s.metrics.FailedWrites.Add(1)
-		return fmt.Errorf("%w: initial read failed: %v", ErrWriteFailed, err)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return &OpError{Op: "write", Stripe: stripe, Block: block, Level: -1, Node: -1, Err: ctxErr}
+		}
+		return &OpError{Op: "write", Stripe: stripe, Block: block, Level: -1, Node: -1,
+			Err: fmt.Errorf("%w: initial read failed: %v", ErrWriteFailed, err)}
 	}
 	newVersion := oldVersion + 1
 	delta := erasure.DataDelta(old, x)
@@ -65,6 +88,14 @@ func (s *System) WriteBlock(stripe uint64, block int, x []byte) error {
 	for l := 0; l <= cfg.Shape.H; l++ {
 		counter := 0
 		for _, pos := range s.lay.Level(l) {
+			if err := ctx.Err(); err != nil {
+				// Cancelled mid-quorum: abort without committing.
+				s.metrics.FailedWrites.Add(1)
+				if !s.opts.DisableRollback {
+					s.rollback(stripe, block, applied)
+				}
+				return &OpError{Op: "write", Stripe: stripe, Block: block, Level: l, Node: -1, Err: err}
+			}
 			shard := s.shardForPosition(block, pos)
 			id := chunkID(stripe, shard)
 			if pos == 0 {
@@ -72,7 +103,7 @@ func (s *System) WriteBlock(stripe uint64, block int, x []byte) error {
 				// is unconditional (the per-block lock serialises
 				// writers), which also heals a stale or residue-
 				// poisoned data chunk.
-				if err := s.nodes[shard].PutChunk(id, x, []uint64{newVersion}); err != nil {
+				if err := s.nodes[shard].PutChunk(ctx, id, x, []uint64{newVersion}); err != nil {
 					continue
 				}
 				applied = append(applied, appliedUpdate{
@@ -86,7 +117,7 @@ func (s *System) WriteBlock(stripe uint64, block int, x []byte) error {
 			// CompareAndAdd folds the paper's separate version check
 			// and add into one atomic node operation.
 			adj := s.code.ParityAdjustment(shard, block, delta)
-			err := s.nodes[shard].CompareAndAdd(id, s.versionSlot(block, shard), oldVersion, newVersion, adj)
+			err := s.nodes[shard].CompareAndAdd(ctx, id, s.versionSlot(block, shard), oldVersion, newVersion, adj)
 			if err != nil {
 				continue // down, missing, or version mismatch: skip
 			}
@@ -101,7 +132,11 @@ func (s *System) WriteBlock(stripe uint64, block int, x []byte) error {
 			if !s.opts.DisableRollback {
 				s.rollback(stripe, block, applied)
 			}
-			return fmt.Errorf("%w: level %d reached %d of %d", ErrWriteFailed, l, counter, cfg.W[l])
+			cause := fmt.Errorf("%w: level %d reached %d of %d", ErrWriteFailed, l, counter, cfg.W[l])
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				cause = ctxErr
+			}
+			return &OpError{Op: "write", Stripe: stripe, Block: block, Level: l, Node: -1, Err: cause}
 		}
 	}
 	s.metrics.Writes.Add(1)
@@ -110,21 +145,24 @@ func (s *System) WriteBlock(stripe uint64, block int, x []byte) error {
 
 // rollback undoes the footprint of a failed write, best-effort: nodes
 // that crashed since their update keep the residue (the hazard the
-// test suite demonstrates with rollback disabled).
+// test suite demonstrates with rollback disabled). It runs on a
+// detached context — the cleanup must proceed even when the write was
+// aborted by the caller's context.
 func (s *System) rollback(stripe uint64, block int, applied []appliedUpdate) {
+	ctx := context.Background()
 	for _, u := range applied {
 		id := chunkID(stripe, u.shard)
 		if u.isData {
 			// Restore the old content conditionally on our own
 			// version still being in place.
-			err := s.nodes[u.shard].CompareAndPut(id, 0, u.newVersion, u.oldVersion, u.oldData)
+			err := s.nodes[u.shard].CompareAndPut(ctx, id, 0, u.newVersion, u.oldVersion, u.oldData)
 			if err != nil && !errors.Is(err, sim.ErrVersionMismatch) {
 				continue
 			}
 		} else {
 			// XOR is self-inverse: adding the same delta again while
 			// stepping the version back restores the parity chunk.
-			_ = s.nodes[u.shard].CompareAndAdd(id, s.versionSlot(block, u.shard), u.newVersion, u.oldVersion, u.delta)
+			_ = s.nodes[u.shard].CompareAndAdd(ctx, id, s.versionSlot(block, u.shard), u.newVersion, u.oldVersion, u.delta)
 		}
 	}
 	s.metrics.Rollbacks.Add(1)

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"trapquorum/internal/failsched"
 	"trapquorum/internal/montecarlo"
 	"trapquorum/internal/trapezoid"
@@ -31,11 +32,11 @@ func Endurance(horizon float64, windows int, seed int64) (*Figure, error) {
 	withRepair := base
 	withRepair.RepairEvery = 5
 
-	repNo, err := montecarlo.RunEndurance(noRepair)
+	repNo, err := montecarlo.RunEndurance(context.Background(), noRepair)
 	if err != nil {
 		return nil, err
 	}
-	repYes, err := montecarlo.RunEndurance(withRepair)
+	repYes, err := montecarlo.RunEndurance(context.Background(), withRepair)
 	if err != nil {
 		return nil, err
 	}

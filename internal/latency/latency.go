@@ -7,6 +7,7 @@
 package latency
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -60,7 +61,7 @@ type Report struct {
 }
 
 // Measure runs the three scenarios on a fresh simulated cluster.
-func Measure(cfg Config) (*Report, error) {
+func Measure(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Ops < 1 {
 		return nil, fmt.Errorf("latency: need ops >= 1, got %d", cfg.Ops)
 	}
@@ -87,7 +88,7 @@ func Measure(cfg Config) (*Report, error) {
 		data[i] = make([]byte, cfg.BlockSize)
 		r.Read(data[i])
 	}
-	if err := sys.SeedStripe(1, data); err != nil {
+	if err := sys.SeedStripe(ctx, 1, data); err != nil {
 		return nil, err
 	}
 	report := &Report{Config: cfg, Samples: make(map[Scenario]Sample)}
@@ -97,7 +98,7 @@ func Measure(cfg Config) (*Report, error) {
 	for i := 0; i < cfg.Ops; i++ {
 		block := r.Intn(cfg.K)
 		start := time.Now()
-		if _, _, err := sys.ReadBlock(1, block); err != nil {
+		if _, _, err := sys.ReadBlock(ctx, 1, block); err != nil {
 			return nil, fmt.Errorf("latency: healthy read: %w", err)
 		}
 		healthy = append(healthy, time.Since(start).Seconds())
@@ -111,7 +112,7 @@ func Measure(cfg Config) (*Report, error) {
 		block := r.Intn(cfg.K)
 		r.Read(buf)
 		start := time.Now()
-		if err := sys.WriteBlock(1, block, buf); err != nil {
+		if err := sys.WriteBlock(ctx, 1, block, buf); err != nil {
 			return nil, fmt.Errorf("latency: write: %w", err)
 		}
 		writes = append(writes, time.Since(start).Seconds())
@@ -124,7 +125,7 @@ func Measure(cfg Config) (*Report, error) {
 	degraded := make([]float64, 0, cfg.Ops)
 	for i := 0; i < cfg.Ops; i++ {
 		start := time.Now()
-		if _, _, err := sys.ReadBlock(1, victim); err != nil {
+		if _, _, err := sys.ReadBlock(ctx, 1, victim); err != nil {
 			return nil, fmt.Errorf("latency: degraded read: %w", err)
 		}
 		degraded = append(degraded, time.Since(start).Seconds())

@@ -1,6 +1,7 @@
 package latency
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -27,12 +28,12 @@ func testConfig(t testing.TB, delay sim.DelayFunc, ops int) Config {
 
 func TestMeasureValidation(t *testing.T) {
 	cfg := testConfig(t, nil, 0)
-	if _, err := Measure(cfg); err == nil {
+	if _, err := Measure(context.Background(), cfg); err == nil {
 		t.Fatal("ops=0 accepted")
 	}
 	cfg = testConfig(t, nil, 5)
 	cfg.K = 20
-	if _, err := Measure(cfg); err == nil {
+	if _, err := Measure(context.Background(), cfg); err == nil {
 		t.Fatal("invalid code accepted")
 	}
 }
@@ -42,7 +43,7 @@ func TestMeasureValidation(t *testing.T) {
 // reads, and quorum writes touch the most.
 func TestLatencyOrdering(t *testing.T) {
 	cfg := testConfig(t, sim.FixedDelay(200*time.Microsecond), 25)
-	rep, err := Measure(cfg)
+	rep, err := Measure(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestLatencyOrdering(t *testing.T) {
 
 func TestZeroDelayStillMeasures(t *testing.T) {
 	cfg := testConfig(t, nil, 10)
-	rep, err := Measure(cfg)
+	rep, err := Measure(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestZeroDelayStillMeasures(t *testing.T) {
 
 func TestReportTable(t *testing.T) {
 	cfg := testConfig(t, nil, 5)
-	rep, err := Measure(cfg)
+	rep, err := Measure(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func BenchmarkMeasureNoDelay(b *testing.B) {
 	cfg := testConfig(b, nil, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Measure(cfg); err != nil {
+		if _, err := Measure(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

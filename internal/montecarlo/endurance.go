@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -95,7 +96,7 @@ func (r *EnduranceReport) OverallReadRate() float64 {
 // RunEndurance executes the run: a live protocol instance under a
 // generated failure schedule, one write and one read attempt per unit
 // of virtual time, with the repair daemon running at its period.
-func RunEndurance(cfg EnduranceConfig) (*EnduranceReport, error) {
+func RunEndurance(ctx context.Context, cfg EnduranceConfig) (*EnduranceReport, error) {
 	if cfg.Windows < 1 {
 		return nil, fmt.Errorf("montecarlo: need at least one window, got %d", cfg.Windows)
 	}
@@ -106,7 +107,7 @@ func RunEndurance(cfg EnduranceConfig) (*EnduranceReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	pe, err := NewProtocolEstimator(cfg.N, cfg.K, cfg.Trapezoid, cfg.BlockSize, cfg.Seed+1)
+	pe, err := NewProtocolEstimator(ctx, cfg.N, cfg.K, cfg.Trapezoid, cfg.BlockSize, cfg.Seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +146,7 @@ func RunEndurance(cfg EnduranceConfig) (*EnduranceReport, error) {
 
 		// One read attempt.
 		block := blockPick.Intn(cfg.K)
-		_, _, rerr := pe.sys.ReadBlock(pe.stripe, block)
+		_, _, rerr := pe.sys.ReadBlock(ctx, pe.stripe, block)
 		w.ReadN++
 		switch {
 		case rerr == nil:
@@ -157,7 +158,7 @@ func RunEndurance(cfg EnduranceConfig) (*EnduranceReport, error) {
 		// One write attempt.
 		block = blockPick.Intn(cfg.K)
 		payload.Read(buf)
-		werr := pe.sys.WriteBlock(pe.stripe, block, buf)
+		werr := pe.sys.WriteBlock(ctx, pe.stripe, block, buf)
 		w.WriteN++
 		switch {
 		case werr == nil:
@@ -170,7 +171,7 @@ func RunEndurance(cfg EnduranceConfig) (*EnduranceReport, error) {
 		if cfg.RepairEvery > 0 && t >= nextRepair {
 			for shard := 0; shard < cfg.N; shard++ {
 				if mask[shard] {
-					if err := pe.sys.RepairShard(pe.stripe, shard); err == nil {
+					if err := pe.sys.RepairShard(ctx, pe.stripe, shard); err == nil {
 						w.RepairsPerformed++
 					}
 				}

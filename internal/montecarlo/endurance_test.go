@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,22 +24,22 @@ func enduranceBase(t testing.TB) EnduranceConfig {
 func TestEnduranceValidation(t *testing.T) {
 	cfg := enduranceBase(t)
 	cfg.Windows = 0
-	if _, err := RunEndurance(cfg); err == nil {
+	if _, err := RunEndurance(context.Background(), cfg); err == nil {
 		t.Error("windows=0 accepted")
 	}
 	cfg = enduranceBase(t)
 	cfg.Horizon = 0
-	if _, err := RunEndurance(cfg); err == nil {
+	if _, err := RunEndurance(context.Background(), cfg); err == nil {
 		t.Error("horizon=0 accepted")
 	}
 	cfg = enduranceBase(t)
 	cfg.Model = failsched.Model{}
-	if _, err := RunEndurance(cfg); err == nil {
+	if _, err := RunEndurance(context.Background(), cfg); err == nil {
 		t.Error("invalid model accepted")
 	}
 	cfg = enduranceBase(t)
 	cfg.K = 16
-	if _, err := RunEndurance(cfg); err == nil {
+	if _, err := RunEndurance(context.Background(), cfg); err == nil {
 		t.Error("invalid code accepted")
 	}
 }
@@ -52,7 +53,7 @@ func TestEnduranceValidation(t *testing.T) {
 func TestEnduranceDecayWithoutRepair(t *testing.T) {
 	cfg := enduranceBase(t)
 	cfg.RepairEvery = 0
-	rep, err := RunEndurance(cfg)
+	rep, err := RunEndurance(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestEnduranceDecayWithoutRepair(t *testing.T) {
 func TestEnduranceRepairHoldsAvailability(t *testing.T) {
 	cfg := enduranceBase(t)
 	cfg.RepairEvery = 5
-	rep, err := RunEndurance(cfg)
+	rep, err := RunEndurance(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestEnduranceWindowBookkeeping(t *testing.T) {
 	cfg := enduranceBase(t)
 	cfg.Horizon = 100
 	cfg.Windows = 4
-	rep, err := RunEndurance(cfg)
+	rep, err := RunEndurance(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

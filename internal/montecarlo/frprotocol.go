@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,7 +26,7 @@ type FREstimator struct {
 
 // NewFREstimator builds the harness: a cluster of Nbnode replicas and
 // one seeded block of blockSize bytes.
-func NewFREstimator(cfg trapezoid.Config, blockSize int, seed int64) (*FREstimator, error) {
+func NewFREstimator(ctx context.Context, cfg trapezoid.Config, blockSize int, seed int64) (*FREstimator, error) {
 	nb := cfg.Shape.NbNodes()
 	cluster, err := sim.NewCluster(nb)
 	if err != nil {
@@ -42,7 +43,7 @@ func NewFREstimator(cfg trapezoid.Config, blockSize int, seed int64) (*FREstimat
 	}
 	buf := make([]byte, blockSize)
 	rand.New(rand.NewSource(seed)).Read(buf)
-	if err := sys.SeedBlock(1, buf); err != nil {
+	if err := sys.SeedBlock(ctx, 1, buf); err != nil {
 		cluster.Close()
 		return nil, err
 	}
@@ -57,7 +58,7 @@ func (fe *FREstimator) System() *core.FRSystem { return fe.sys }
 
 // EstimateRead measures TRAP-FR read availability at node availability
 // p (the quantity equation 10 describes).
-func (fe *FREstimator) EstimateRead(p float64, trials int, seed int64) (Result, error) {
+func (fe *FREstimator) EstimateRead(ctx context.Context, p float64, trials int, seed int64) (Result, error) {
 	ms, err := newMaskSampler(p, seed)
 	if err != nil {
 		return Result{}, err
@@ -69,7 +70,7 @@ func (fe *FREstimator) EstimateRead(p float64, trials int, seed int64) (Result, 
 		if err := fe.cluster.ApplyMask(mask); err != nil {
 			return Result{}, err
 		}
-		_, _, rerr := fe.sys.ReadBlock(fe.block)
+		_, _, rerr := fe.sys.ReadBlock(ctx, fe.block)
 		switch {
 		case rerr == nil:
 			res.Successes++
@@ -88,7 +89,7 @@ func (fe *FREstimator) EstimateRead(p float64, trials int, seed int64) (Result, 
 // themselves (full blocks, unconditional), so trials stay identically
 // distributed without repair — but the read-before-write of the
 // protocol still prices in read availability, as with TRAP-ERC.
-func (fe *FREstimator) EstimateWrite(p float64, trials int, seed int64) (Result, error) {
+func (fe *FREstimator) EstimateWrite(ctx context.Context, p float64, trials int, seed int64) (Result, error) {
 	ms, err := newMaskSampler(p, seed)
 	if err != nil {
 		return Result{}, err
@@ -103,7 +104,7 @@ func (fe *FREstimator) EstimateWrite(p float64, trials int, seed int64) (Result,
 			return Result{}, err
 		}
 		payload.Read(buf)
-		werr := fe.sys.WriteBlock(fe.block, buf)
+		werr := fe.sys.WriteBlock(ctx, fe.block, buf)
 		switch {
 		case werr == nil:
 			res.Successes++

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"testing"
 
 	"trapquorum/internal/availability"
@@ -12,14 +13,14 @@ import (
 // as an upper bound for writes.
 func TestFREstimatorMatchesEq10(t *testing.T) {
 	cfg := fig3Config(t)
-	fe, err := NewFREstimator(cfg, 64, 3)
+	fe, err := NewFREstimator(context.Background(), cfg, 64, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer fe.Close()
 	const trials = 4000
 	for _, p := range []float64{0.4, 0.6, 0.8, 0.95} {
-		res, err := fe.EstimateRead(p, trials, 21)
+		res, err := fe.EstimateRead(context.Background(), p, trials, 21)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -27,7 +28,7 @@ func TestFREstimatorMatchesEq10(t *testing.T) {
 		if !res.WithinScore(want, 4) {
 			t.Fatalf("p=%v: FR read %v vs eq10 %v", p, res.Estimate(), want)
 		}
-		wres, err := fe.EstimateWrite(p, trials, 23)
+		wres, err := fe.EstimateWrite(context.Background(), p, trials, 23)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,17 +46,17 @@ func TestFREstimatorMatchesEq10(t *testing.T) {
 // halves of the run must be statistically indistinguishable.
 func TestFRNoStalenessDecay(t *testing.T) {
 	cfg := fig3Config(t)
-	fe, err := NewFREstimator(cfg, 64, 5)
+	fe, err := NewFREstimator(context.Background(), cfg, 64, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer fe.Close()
 	const trials = 4000
-	first, err := fe.EstimateWrite(0.85, trials, 31)
+	first, err := fe.EstimateWrite(context.Background(), 0.85, trials, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := fe.EstimateWrite(0.85, trials, 37)
+	second, err := fe.EstimateWrite(context.Background(), 0.85, trials, 37)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,18 +72,18 @@ func TestFRNoStalenessDecay(t *testing.T) {
 
 func TestFREstimatorValidation(t *testing.T) {
 	badCfg := trapezoid.Config{Shape: trapezoid.Shape{A: -1, B: 1, H: 0}, W: []int{1}}
-	if _, err := NewFREstimator(badCfg, 64, 1); err == nil {
+	if _, err := NewFREstimator(context.Background(), badCfg, 64, 1); err == nil {
 		t.Fatal("invalid trapezoid accepted")
 	}
-	fe, err := NewFREstimator(fig3Config(t), 64, 1)
+	fe, err := NewFREstimator(context.Background(), fig3Config(t), 64, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer fe.Close()
-	if _, err := fe.EstimateRead(-1, 10, 1); err == nil {
+	if _, err := fe.EstimateRead(context.Background(), -1, 10, 1); err == nil {
 		t.Fatal("p<0 accepted")
 	}
-	if _, err := fe.EstimateWrite(1.5, 10, 1); err == nil {
+	if _, err := fe.EstimateWrite(context.Background(), 1.5, 10, 1); err == nil {
 		t.Fatal("p>1 accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -121,7 +122,7 @@ func TestEdgeProbabilities(t *testing.T) {
 // (Algorithm 1's initial read is not in the formula).
 func TestProtocolEstimatorAgainstFormulas(t *testing.T) {
 	cfg := fig3Config(t)
-	pe, err := NewProtocolEstimator(15, 8, cfg, 32, 7)
+	pe, err := NewProtocolEstimator(context.Background(), 15, 8, cfg, 32, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestProtocolEstimatorAgainstFormulas(t *testing.T) {
 	e := availability.ERCParams{Config: cfg, N: 15, K: 8}
 	const trials = 3000
 	for _, p := range []float64{0.5, 0.8, 0.95} {
-		res, err := pe.EstimateRead(p, trials, 11)
+		res, err := pe.EstimateRead(context.Background(), p, trials, 11)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestProtocolEstimatorAgainstFormulas(t *testing.T) {
 		if !res.WithinScore(wantExact, 4) {
 			t.Fatalf("p=%v: protocol read %v vs exact %v (se %v)", p, res.Estimate(), wantExact, res.StdErr())
 		}
-		wres, err := pe.EstimateWrite(p, trials, 13)
+		wres, err := pe.EstimateWrite(context.Background(), p, trials, 13)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,18 +162,18 @@ func TestProtocolEstimatorAgainstFormulas(t *testing.T) {
 
 func TestProtocolEstimatorValidation(t *testing.T) {
 	cfg := fig3Config(t)
-	if _, err := NewProtocolEstimator(15, 9, cfg, 32, 1); err == nil {
+	if _, err := NewProtocolEstimator(context.Background(), 15, 9, cfg, 32, 1); err == nil {
 		t.Fatal("mismatched n/k accepted")
 	}
-	pe, err := NewProtocolEstimator(15, 8, cfg, 32, 1)
+	pe, err := NewProtocolEstimator(context.Background(), 15, 8, cfg, 32, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pe.Close()
-	if _, err := pe.EstimateRead(-1, 10, 1); err == nil {
+	if _, err := pe.EstimateRead(context.Background(), -1, 10, 1); err == nil {
 		t.Fatal("p<0 accepted")
 	}
-	if _, err := pe.EstimateWrite(2, 10, 1); err == nil {
+	if _, err := pe.EstimateWrite(context.Background(), 2, 10, 1); err == nil {
 		t.Fatal("p>1 accepted")
 	}
 }

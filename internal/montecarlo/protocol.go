@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -28,7 +29,7 @@ type ProtocolEstimator struct {
 // NewProtocolEstimator builds the harness for an (n,k) code and
 // trapezoid configuration, seeding one stripe of blockSize-byte
 // blocks. Close must be called when done.
-func NewProtocolEstimator(n, k int, cfg trapezoid.Config, blockSize int, seed int64) (*ProtocolEstimator, error) {
+func NewProtocolEstimator(ctx context.Context, n, k int, cfg trapezoid.Config, blockSize int, seed int64) (*ProtocolEstimator, error) {
 	code, err := erasure.New(n, k)
 	if err != nil {
 		return nil, err
@@ -53,7 +54,7 @@ func NewProtocolEstimator(n, k int, cfg trapezoid.Config, blockSize int, seed in
 		data[i] = make([]byte, blockSize)
 		r.Read(data[i])
 	}
-	if err := sys.SeedStripe(pe.stripe, data); err != nil {
+	if err := sys.SeedStripe(ctx, pe.stripe, data); err != nil {
 		cluster.Close()
 		return nil, err
 	}
@@ -68,7 +69,7 @@ func (pe *ProtocolEstimator) System() *core.System { return pe.sys }
 
 // EstimateRead measures protocol-level read availability at node
 // availability p.
-func (pe *ProtocolEstimator) EstimateRead(p float64, trials int, seed int64) (Result, error) {
+func (pe *ProtocolEstimator) EstimateRead(ctx context.Context, p float64, trials int, seed int64) (Result, error) {
 	ms, err := newMaskSampler(p, seed)
 	if err != nil {
 		return Result{}, err
@@ -82,7 +83,7 @@ func (pe *ProtocolEstimator) EstimateRead(p float64, trials int, seed int64) (Re
 			return Result{}, err
 		}
 		block := blockPick.Intn(pe.k)
-		_, _, err := pe.sys.ReadBlock(pe.stripe, block)
+		_, _, err := pe.sys.ReadBlock(ctx, pe.stripe, block)
 		switch {
 		case err == nil:
 			res.Successes++
@@ -104,19 +105,19 @@ func (pe *ProtocolEstimator) EstimateRead(p float64, trials int, seed int64) (Re
 // rejects all later deltas until repaired). It still includes
 // Algorithm 1's initial read, which equation (8) does not model;
 // EXPERIMENTS.md quantifies the resulting gap at low p.
-func (pe *ProtocolEstimator) EstimateWrite(p float64, trials int, seed int64) (Result, error) {
-	return pe.estimateWrite(p, trials, seed, true)
+func (pe *ProtocolEstimator) EstimateWrite(ctx context.Context, p float64, trials int, seed int64) (Result, error) {
+	return pe.estimateWrite(ctx, p, trials, seed, true)
 }
 
 // EstimateWriteSteadyState is the no-repair ablation: stale shards
 // accumulate across trials exactly as they would in a deployment
 // without a repair daemon, so measured availability decays below the
 // closed form. The cluster is healed and repaired before returning.
-func (pe *ProtocolEstimator) EstimateWriteSteadyState(p float64, trials int, seed int64) (Result, error) {
-	return pe.estimateWrite(p, trials, seed, false)
+func (pe *ProtocolEstimator) EstimateWriteSteadyState(ctx context.Context, p float64, trials int, seed int64) (Result, error) {
+	return pe.estimateWrite(ctx, p, trials, seed, false)
 }
 
-func (pe *ProtocolEstimator) estimateWrite(p float64, trials int, seed int64, repairBetween bool) (Result, error) {
+func (pe *ProtocolEstimator) estimateWrite(ctx context.Context, p float64, trials int, seed int64, repairBetween bool) (Result, error) {
 	ms, err := newMaskSampler(p, seed)
 	if err != nil {
 		return Result{}, err
@@ -133,7 +134,7 @@ func (pe *ProtocolEstimator) estimateWrite(p float64, trials int, seed int64, re
 		}
 		block := blockPick.Intn(pe.k)
 		payload.Read(buf)
-		err := pe.sys.WriteBlock(pe.stripe, block, buf)
+		err := pe.sys.WriteBlock(ctx, pe.stripe, block, buf)
 		succeeded := false
 		switch {
 		case err == nil:
@@ -152,7 +153,7 @@ func (pe *ProtocolEstimator) estimateWrite(p float64, trials int, seed int64, re
 			pe.cluster.RestartAll()
 			for shard := 0; shard < pe.n; shard++ {
 				if !mask[shard] {
-					if err := pe.sys.RepairShard(pe.stripe, shard); err != nil {
+					if err := pe.sys.RepairShard(ctx, pe.stripe, shard); err != nil {
 						return Result{}, fmt.Errorf("montecarlo: inter-trial repair: %w", err)
 					}
 				}
@@ -163,7 +164,7 @@ func (pe *ProtocolEstimator) estimateWrite(p float64, trials int, seed int64, re
 	// estimations start from a consistent state.
 	pe.cluster.RestartAll()
 	for shard := 0; shard < pe.n; shard++ {
-		_ = pe.sys.RepairShard(pe.stripe, shard)
+		_ = pe.sys.RepairShard(context.Background(), pe.stripe, shard)
 	}
 	return res, nil
 }

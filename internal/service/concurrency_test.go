@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -26,14 +27,14 @@ func TestConcurrentClients(t *testing.T) {
 			key := fmt.Sprintf("obj-%d", c)
 			payload := make([]byte, 700+137*c)
 			r.Read(payload)
-			if err := store.Put(key, payload); err != nil {
+			if err := store.Put(context.Background(), key, payload); err != nil {
 				errs <- fmt.Errorf("%s put: %w", key, err)
 				return
 			}
 			for round := 0; round < 15; round++ {
 				switch round % 3 {
 				case 0:
-					got, err := store.Get(key)
+					got, err := store.Get(context.Background(), key)
 					if err != nil {
 						errs <- fmt.Errorf("%s get: %w", key, err)
 						return
@@ -46,14 +47,14 @@ func TestConcurrentClients(t *testing.T) {
 					off := r.Intn(len(payload) - 50)
 					patch := make([]byte, 50)
 					r.Read(patch)
-					if err := store.WriteAt(key, off, patch); err != nil {
+					if err := store.WriteAt(context.Background(), key, off, patch); err != nil {
 						errs <- fmt.Errorf("%s writeAt: %w", key, err)
 						return
 					}
 					copy(payload[off:], patch)
 				case 2:
 					off := r.Intn(len(payload) - 20)
-					got, err := store.ReadAt(key, off, 20)
+					got, err := store.ReadAt(context.Background(), key, off, 20)
 					if err != nil {
 						errs <- fmt.Errorf("%s readAt: %w", key, err)
 						return

@@ -7,21 +7,24 @@
 // This is the layer a storage virtualization middleware (the paper's
 // target context) would embed: Put/Get/WriteAt over virtual-disk
 // images, strict consistency per block, per-node repair after
-// failures.
+// failures. The layer is transport-agnostic: it runs on any set of
+// client.NodeClient implementations — the in-process simulator, or a
+// fleet of network storage nodes.
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
+	"trapquorum/client"
 	"trapquorum/internal/core"
 	"trapquorum/internal/erasure"
-	"trapquorum/internal/placement"
-	"trapquorum/internal/sim"
 	"trapquorum/internal/trapezoid"
+	"trapquorum/placement"
 )
 
 // Service-level errors.
@@ -43,6 +46,10 @@ type Config struct {
 	// Placement maps stripes to cluster nodes; its node count must
 	// be at least N.
 	Placement placement.Strategy
+	// DisableRollback reproduces the paper's Algorithm 1 verbatim:
+	// failed writes leave their partial updates behind (see
+	// core.Options).
+	DisableRollback bool
 }
 
 // objectMeta records where an object lives.
@@ -53,31 +60,38 @@ type objectMeta struct {
 
 // Store is a keyed erasure-coded object store with quorum consistency.
 type Store struct {
-	cfg     Config
-	code    *erasure.Code
-	tcfg    trapezoid.Config
-	cluster *sim.Cluster
+	cfg   Config
+	code  *erasure.Code
+	tcfg  trapezoid.Config
+	nodes []core.NodeClient // cluster node j's transport client
 
 	mu         sync.Mutex
 	directory  map[string]*objectMeta
+	pending    map[string]bool         // keys reserved by in-flight Puts
 	systems    map[string]*core.System // keyed by placement signature
 	stripeSys  map[uint64]*core.System
 	stripeLoc  map[uint64][]int // stripe -> cluster nodes per shard
 	nextStripe uint64
 }
 
-// New builds a Store over an existing simulated cluster. The cluster
-// must have at least as many nodes as the placement strategy declares.
-func New(cluster *sim.Cluster, cfg Config) (*Store, error) {
+// New builds a Store over the given cluster of node clients; nodes[j]
+// is the transport to cluster node j. The cluster must have at least
+// as many nodes as the placement strategy declares.
+func New(nodes []core.NodeClient, cfg Config) (*Store, error) {
 	if cfg.Placement == nil {
 		return nil, errors.New("service: nil placement strategy")
 	}
 	if cfg.BlockSize < 1 {
 		return nil, fmt.Errorf("service: block size %d invalid", cfg.BlockSize)
 	}
-	if cluster.Size() < cfg.Placement.Nodes() {
+	for j, n := range nodes {
+		if n == nil {
+			return nil, fmt.Errorf("service: node %d is nil", j)
+		}
+	}
+	if len(nodes) < cfg.Placement.Nodes() {
 		return nil, fmt.Errorf("service: cluster has %d nodes, placement expects %d",
-			cluster.Size(), cfg.Placement.Nodes())
+			len(nodes), cfg.Placement.Nodes())
 	}
 	if cfg.Placement.Nodes() < cfg.N {
 		return nil, fmt.Errorf("service: placement over %d nodes cannot hold %d shards",
@@ -98,8 +112,9 @@ func New(cluster *sim.Cluster, cfg Config) (*Store, error) {
 		cfg:        cfg,
 		code:       code,
 		tcfg:       tcfg,
-		cluster:    cluster,
+		nodes:      append([]core.NodeClient(nil), nodes...),
 		directory:  make(map[string]*objectMeta),
+		pending:    make(map[string]bool),
 		systems:    make(map[string]*core.System),
 		stripeSys:  make(map[uint64]*core.System),
 		stripeLoc:  make(map[uint64][]int),
@@ -119,9 +134,9 @@ func (s *Store) systemFor(nodes []int) (*core.System, error) {
 	}
 	clients := make([]core.NodeClient, len(nodes))
 	for shard, node := range nodes {
-		clients[shard] = s.cluster.Node(node)
+		clients[shard] = s.nodes[node]
 	}
-	sys, err := core.NewSystem(s.code, s.tcfg, clients, core.Options{})
+	sys, err := core.NewSystem(s.code, s.tcfg, clients, core.Options{DisableRollback: s.cfg.DisableRollback})
 	if err != nil {
 		return nil, err
 	}
@@ -144,12 +159,23 @@ func placementKey(nodes []int) string {
 // immutable in extent; use WriteAt for in-place updates, or Delete
 // then Put to replace). All placed nodes must be up for the initial
 // seeding.
-func (s *Store) Put(key string, data []byte) error {
+func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 	s.mu.Lock()
-	if _, exists := s.directory[key]; exists {
+	if s.directory[key] != nil || s.pending[key] {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrExists, key)
 	}
+	// Reserve the key so a concurrent Put of the same key fails with
+	// ErrExists instead of silently overwriting the registration and
+	// orphaning the loser's stripes.
+	s.pending[key] = true
+	// Every exit path must release the reservation: success replaces
+	// it with the directory entry, failure frees the key for retry.
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, key)
+		s.mu.Unlock()
+	}()
 	capacity := s.stripeCapacity()
 	stripeCount := (len(data) + capacity - 1) / capacity
 	if stripeCount == 0 {
@@ -189,8 +215,19 @@ func (s *Store) Put(key string, data []byte) error {
 	s.mu.Unlock()
 
 	stripes := make([]uint64, 0, len(plan))
-	for _, p := range plan {
-		if err := p.sys.SeedStripe(p.id, p.blocks); err != nil {
+	for i, p := range plan {
+		if err := p.sys.SeedStripe(ctx, p.id, p.blocks); err != nil {
+			// Nothing of this Put must survive: the key was never
+			// registered, so already-seeded stripes would otherwise
+			// leak as unreachable chunks. Best-effort cleanup on a
+			// detached context (the caller's may be dead).
+			dctx := context.Background()
+			for _, done := range plan[:i+1] {
+				for shard, node := range done.nodes {
+					_ = s.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: done.id, Shard: shard})
+				}
+				done.sys.ForgetStripe(done.id)
+			}
 			return fmt.Errorf("stripe %d: %w", p.id, err)
 		}
 		stripes = append(stripes, p.id)
@@ -218,7 +255,7 @@ func (s *Store) meta(key string) (objectMeta, error) {
 }
 
 // Get reads the whole object through quorum reads.
-func (s *Store) Get(key string) ([]byte, error) {
+func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
 	m, err := s.meta(key)
 	if err != nil {
 		return nil, err
@@ -229,8 +266,12 @@ func (s *Store) Get(key string) ([]byte, error) {
 		s.mu.Lock()
 		sys := s.stripeSys[stripe]
 		s.mu.Unlock()
+		if sys == nil {
+			// The object was deleted concurrently.
+			return nil, fmt.Errorf("%w: %q", ErrUnknownKey, key)
+		}
 		for b := 0; b < s.cfg.K && remaining > 0; b++ {
-			data, _, err := sys.ReadBlock(stripe, b)
+			data, _, err := sys.ReadBlock(ctx, stripe, b)
 			if err != nil {
 				return nil, fmt.Errorf("stripe %d block %d: %w", stripe, b, err)
 			}
@@ -277,12 +318,16 @@ func (s *Store) locate(m objectMeta, logicalBlock int) (*core.System, uint64, in
 	s.mu.Lock()
 	sys := s.stripeSys[stripe]
 	s.mu.Unlock()
+	if sys == nil {
+		// The object was deleted concurrently.
+		return nil, 0, 0, fmt.Errorf("%w: stripe %d", ErrUnknownKey, stripe)
+	}
 	return sys, stripe, logicalBlock % s.cfg.K, nil
 }
 
 // ReadAt reads length bytes at the given offset through quorum reads
 // of only the affected blocks.
-func (s *Store) ReadAt(key string, offset, length int) ([]byte, error) {
+func (s *Store) ReadAt(ctx context.Context, key string, offset, length int) ([]byte, error) {
 	m, err := s.meta(key)
 	if err != nil {
 		return nil, err
@@ -298,7 +343,7 @@ func (s *Store) ReadAt(key string, offset, length int) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		data, _, err := sys.ReadBlock(stripe, idx)
+		data, _, err := sys.ReadBlock(ctx, stripe, idx)
 		if err != nil {
 			return nil, fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
 		}
@@ -316,8 +361,13 @@ func (s *Store) ReadAt(key string, offset, length int) ([]byte, error) {
 // WriteAt overwrites bytes [offset, offset+len(p)) in place through
 // quorum writes: each affected block is read, patched and written via
 // Algorithm 1, shipping only parity deltas. Writes cannot extend the
-// object.
-func (s *Store) WriteAt(key string, offset int, p []byte) error {
+// object. A context abort between blocks leaves earlier blocks
+// committed and later ones untouched (each block write is atomic; the
+// multi-block span is not). Two WriteAt calls overlapping on the same
+// block are independent read-modify-write cycles — last writer wins
+// at block granularity; overlapping writers need coordination above
+// this layer.
+func (s *Store) WriteAt(ctx context.Context, key string, offset int, p []byte) error {
 	m, err := s.meta(key)
 	if err != nil {
 		return err
@@ -332,17 +382,24 @@ func (s *Store) WriteAt(key string, offset int, p []byte) error {
 		if err != nil {
 			return err
 		}
-		data, _, err := sys.ReadBlock(stripe, idx)
-		if err != nil {
-			return fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
-		}
-		take := len(data) - within
+		var patched []byte
+		take := s.cfg.BlockSize - within
 		if take > len(p) {
 			take = len(p)
 		}
-		patched := append([]byte(nil), data...)
-		copy(patched[within:], p[:take])
-		if err := sys.WriteBlock(stripe, idx, patched); err != nil {
+		if within == 0 && take == s.cfg.BlockSize {
+			// The write covers the whole block: no need to pay a
+			// quorum read just to overwrite every byte of it.
+			patched = p[:take]
+		} else {
+			data, _, err := sys.ReadBlock(ctx, stripe, idx)
+			if err != nil {
+				return fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
+			}
+			patched = append([]byte(nil), data...)
+			copy(patched[within:], p[:take])
+		}
+		if err := sys.WriteBlock(ctx, stripe, idx, patched); err != nil {
 			return fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
 		}
 		offset += take
@@ -353,8 +410,14 @@ func (s *Store) WriteAt(key string, offset int, p []byte) error {
 
 // Delete removes the object from the directory and best-effort deletes
 // its chunks from the placed nodes (down nodes keep orphan chunks; a
-// later repair or re-placement overwrites them).
-func (s *Store) Delete(key string) error {
+// later repair or re-placement overwrites them). The context gates
+// entry only: once the key is unregistered the chunk removal runs on
+// a detached context, because stripe ids are never reused and chunks
+// skipped on a dead context would be orphaned forever.
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	m, ok := s.directory[key]
 	if !ok {
@@ -364,15 +427,21 @@ func (s *Store) Delete(key string) error {
 	delete(s.directory, key)
 	stripes := append([]uint64(nil), m.stripes...)
 	locs := make(map[uint64][]int, len(stripes))
+	systems := make(map[uint64]*core.System, len(stripes))
 	for _, st := range stripes {
 		locs[st] = s.stripeLoc[st]
+		systems[st] = s.stripeSys[st]
 		delete(s.stripeSys, st)
 		delete(s.stripeLoc, st)
 	}
 	s.mu.Unlock()
+	dctx := context.Background()
 	for _, st := range stripes {
 		for shard, node := range locs[st] {
-			_ = s.cluster.Node(node).DeleteChunk(sim.ChunkID{Stripe: st, Shard: shard})
+			_ = s.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: st, Shard: shard})
+		}
+		if sys := systems[st]; sys != nil {
+			sys.ForgetStripe(st)
 		}
 	}
 	return nil
@@ -381,7 +450,7 @@ func (s *Store) Delete(key string) error {
 // RepairClusterNode rebuilds every stripe shard placed on the given
 // cluster node (after the node returns, possibly with a fresh disk).
 // It returns how many chunks were rebuilt and the first error.
-func (s *Store) RepairClusterNode(node int) (int, error) {
+func (s *Store) RepairClusterNode(ctx context.Context, node int) (int, error) {
 	s.mu.Lock()
 	type task struct {
 		sys    *core.System
@@ -401,7 +470,13 @@ func (s *Store) RepairClusterNode(node int) (int, error) {
 	repaired := 0
 	var firstErr error
 	for _, t := range tasks {
-		if err := t.sys.RepairShard(t.stripe, t.shard); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			if firstErr == nil {
+				firstErr = cerr
+			}
+			break
+		}
+		if err := t.sys.RepairShard(ctx, t.stripe, t.shard); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("stripe %d shard %d: %w", t.stripe, t.shard, err)
 			}
@@ -410,6 +485,34 @@ func (s *Store) RepairClusterNode(node int) (int, error) {
 		repaired++
 	}
 	return repaired, firstErr
+}
+
+// Scrub audits every stripe of the object read-only, reporting the
+// freshest consistent version vector, stale/ahead/unreachable shards
+// and byte-level parity mismatches per stripe. Pair with
+// RepairClusterNode (or per-stripe repair) when it reports
+// degradation.
+func (s *Store) Scrub(ctx context.Context, key string) ([]core.ScrubReport, error) {
+	m, err := s.meta(key)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]core.ScrubReport, 0, len(m.stripes))
+	for _, stripe := range m.stripes {
+		s.mu.Lock()
+		sys := s.stripeSys[stripe]
+		s.mu.Unlock()
+		if sys == nil {
+			// The object was deleted concurrently.
+			return reports, fmt.Errorf("%w: %q", ErrUnknownKey, key)
+		}
+		rep, err := sys.ScrubStripe(ctx, stripe)
+		if err != nil {
+			return reports, fmt.Errorf("stripe %d: %w", stripe, err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
 }
 
 // StripesOf reports the stripe ids backing an object (diagnostics).

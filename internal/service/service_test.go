@@ -2,19 +2,31 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 
-	"trapquorum/internal/placement"
+	"trapquorum/internal/core"
 	"trapquorum/internal/sim"
 	"trapquorum/internal/trapezoid"
+	"trapquorum/placement"
 )
 
 const (
 	testClusterSize = 30
 	testBlockSize   = 64
 )
+
+// clientsOf adapts a simulated cluster to the transport-client slice
+// the service layer consumes.
+func clientsOf(cluster *sim.Cluster) []core.NodeClient {
+	nodes := make([]core.NodeClient, cluster.Size())
+	for j := range nodes {
+		nodes[j] = cluster.Node(j)
+	}
+	return nodes
+}
 
 func newTestStore(t testing.TB) (*Store, *sim.Cluster) {
 	t.Helper()
@@ -27,7 +39,7 @@ func newTestStore(t testing.TB) (*Store, *sim.Cluster) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store, err := New(cluster, Config{
+	store, err := New(clientsOf(cluster), Config{
 		N: 15, K: 8,
 		Shape: trapezoid.Shape{A: 2, B: 3, H: 1}, W: 3,
 		BlockSize: testBlockSize,
@@ -45,23 +57,23 @@ func TestNewValidation(t *testing.T) {
 	strat, _ := placement.NewRoundRobin(10)
 	base := Config{N: 15, K: 8, Shape: trapezoid.Shape{A: 2, B: 3, H: 1}, W: 3, BlockSize: 64, Placement: strat}
 
-	if _, err := New(cluster, base); err == nil {
+	if _, err := New(clientsOf(cluster), base); err == nil {
 		t.Error("placement narrower than n accepted")
 	}
 	cfg := base
 	cfg.Placement = nil
-	if _, err := New(cluster, cfg); err == nil {
+	if _, err := New(clientsOf(cluster), cfg); err == nil {
 		t.Error("nil placement accepted")
 	}
 	cfg = base
 	cfg.BlockSize = 0
-	if _, err := New(cluster, cfg); err == nil {
+	if _, err := New(clientsOf(cluster), cfg); err == nil {
 		t.Error("zero block size accepted")
 	}
 	bigStrat, _ := placement.NewRoundRobin(40)
 	cfg = base
 	cfg.Placement = bigStrat
-	if _, err := New(cluster, cfg); err == nil {
+	if _, err := New(clientsOf(cluster), cfg); err == nil {
 		t.Error("placement wider than cluster accepted")
 	}
 	cfg = base
@@ -69,7 +81,7 @@ func TestNewValidation(t *testing.T) {
 	cfg.Placement = strat9
 	cfg.N = 9
 	cfg.K = 8 // trapezoid (2,3,1) holds 8, needs n-k+1 = 2
-	if _, err := New(cluster, cfg); err == nil {
+	if _, err := New(clientsOf(cluster), cfg); err == nil {
 		t.Error("mismatched trapezoid accepted")
 	}
 }
@@ -77,10 +89,10 @@ func TestNewValidation(t *testing.T) {
 func TestPutGetSingleStripe(t *testing.T) {
 	store, _ := newTestStore(t)
 	payload := []byte("small object, fits one stripe")
-	if err := store.Put("obj", payload); err != nil {
+	if err := store.Put(context.Background(), "obj", payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := store.Get("obj")
+	got, err := store.Get(context.Background(), "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,14 +114,14 @@ func TestPutGetMultiStripe(t *testing.T) {
 	// Stripe capacity is k * blocksize = 512; use ~5 stripes.
 	payload := make([]byte, 512*4+100)
 	rand.New(rand.NewSource(1)).Read(payload)
-	if err := store.Put("big", payload); err != nil {
+	if err := store.Put(context.Background(), "big", payload); err != nil {
 		t.Fatal(err)
 	}
 	stripes, _ := store.StripesOf("big")
 	if len(stripes) != 5 {
 		t.Fatalf("stripes = %d, want 5", len(stripes))
 	}
-	got, err := store.Get("big")
+	got, err := store.Get(context.Background(), "big")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +132,10 @@ func TestPutGetMultiStripe(t *testing.T) {
 
 func TestPutEmptyObject(t *testing.T) {
 	store, _ := newTestStore(t)
-	if err := store.Put("empty", nil); err != nil {
+	if err := store.Put(context.Background(), "empty", nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := store.Get("empty")
+	got, err := store.Get(context.Background(), "empty")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,17 +146,17 @@ func TestPutEmptyObject(t *testing.T) {
 
 func TestPutDuplicateKeyRejected(t *testing.T) {
 	store, _ := newTestStore(t)
-	if err := store.Put("k", []byte("a")); err != nil {
+	if err := store.Put(context.Background(), "k", []byte("a")); err != nil {
 		t.Fatal(err)
 	}
-	if err := store.Put("k", []byte("b")); !errors.Is(err, ErrExists) {
+	if err := store.Put(context.Background(), "k", []byte("b")); !errors.Is(err, ErrExists) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestGetUnknownKey(t *testing.T) {
 	store, _ := newTestStore(t)
-	if _, err := store.Get("nope"); !errors.Is(err, ErrUnknownKey) {
+	if _, err := store.Get(context.Background(), "nope"); !errors.Is(err, ErrUnknownKey) {
 		t.Fatalf("err = %v", err)
 	}
 	if _, err := store.Size("nope"); !errors.Is(err, ErrUnknownKey) {
@@ -155,7 +167,7 @@ func TestGetUnknownKey(t *testing.T) {
 func TestKeysSorted(t *testing.T) {
 	store, _ := newTestStore(t)
 	for _, k := range []string{"zeta", "alpha", "mid"} {
-		if err := store.Put(k, []byte(k)); err != nil {
+		if err := store.Put(context.Background(), k, []byte(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -171,12 +183,12 @@ func TestReadAt(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	if err := store.Put("obj", payload); err != nil {
+	if err := store.Put(context.Background(), "obj", payload); err != nil {
 		t.Fatal(err)
 	}
 	cases := [][2]int{{0, 10}, {60, 10}, {64, 64}, {500, 600}, {1400, 100}, {0, 1500}, {700, 0}}
 	for _, c := range cases {
-		got, err := store.ReadAt("obj", c[0], c[1])
+		got, err := store.ReadAt(context.Background(), "obj", c[0], c[1])
 		if err != nil {
 			t.Fatalf("ReadAt(%d,%d): %v", c[0], c[1], err)
 		}
@@ -184,10 +196,10 @@ func TestReadAt(t *testing.T) {
 			t.Fatalf("ReadAt(%d,%d) wrong content", c[0], c[1])
 		}
 	}
-	if _, err := store.ReadAt("obj", 1499, 2); !errors.Is(err, ErrBadRange) {
+	if _, err := store.ReadAt(context.Background(), "obj", 1499, 2); !errors.Is(err, ErrBadRange) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := store.ReadAt("obj", -1, 2); !errors.Is(err, ErrBadRange) {
+	if _, err := store.ReadAt(context.Background(), "obj", -1, 2); !errors.Is(err, ErrBadRange) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -196,7 +208,7 @@ func TestWriteAtInPlace(t *testing.T) {
 	store, _ := newTestStore(t)
 	payload := make([]byte, 1500)
 	rand.New(rand.NewSource(2)).Read(payload)
-	if err := store.Put("disk", payload); err != nil {
+	if err := store.Put(context.Background(), "disk", payload); err != nil {
 		t.Fatal(err)
 	}
 	// Patch across a block boundary and across a stripe boundary
@@ -211,12 +223,12 @@ func TestWriteAtInPlace(t *testing.T) {
 		{1436, bytes.Repeat([]byte{0xCC}, 64)}, // tail block
 	}
 	for _, p := range patches {
-		if err := store.WriteAt("disk", p.off, p.data); err != nil {
+		if err := store.WriteAt(context.Background(), "disk", p.off, p.data); err != nil {
 			t.Fatalf("WriteAt(%d): %v", p.off, err)
 		}
 		copy(payload[p.off:], p.data)
 	}
-	got, err := store.Get("disk")
+	got, err := store.Get(context.Background(), "disk")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +236,7 @@ func TestWriteAtInPlace(t *testing.T) {
 		t.Fatal("WriteAt result mismatch")
 	}
 	// Out-of-range writes rejected.
-	if err := store.WriteAt("disk", 1499, []byte{1, 2}); !errors.Is(err, ErrBadRange) {
+	if err := store.WriteAt(context.Background(), "disk", 1499, []byte{1, 2}); !errors.Is(err, ErrBadRange) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -233,7 +245,7 @@ func TestDegradedOperations(t *testing.T) {
 	store, cluster := newTestStore(t)
 	payload := make([]byte, 2000)
 	rand.New(rand.NewSource(3)).Read(payload)
-	if err := store.Put("obj", payload); err != nil {
+	if err := store.Put(context.Background(), "obj", payload); err != nil {
 		t.Fatal(err)
 	}
 	// Crash a handful of the 30 nodes: each stripe loses at most a
@@ -241,7 +253,7 @@ func TestDegradedOperations(t *testing.T) {
 	for _, n := range []int{1, 7, 19, 25} {
 		cluster.Crash(n)
 	}
-	got, err := store.Get("obj")
+	got, err := store.Get(context.Background(), "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,11 +262,11 @@ func TestDegradedOperations(t *testing.T) {
 	}
 	// In-place update still works degraded.
 	patch := bytes.Repeat([]byte{0xEE}, 100)
-	if err := store.WriteAt("obj", 300, patch); err != nil {
+	if err := store.WriteAt(context.Background(), "obj", 300, patch); err != nil {
 		t.Fatal(err)
 	}
 	copy(payload[300:], patch)
-	got, err = store.Get("obj")
+	got, err = store.Get(context.Background(), "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,17 +279,17 @@ func TestRepairClusterNode(t *testing.T) {
 	store, cluster := newTestStore(t)
 	payload := make([]byte, 3000)
 	rand.New(rand.NewSource(4)).Read(payload)
-	if err := store.Put("obj", payload); err != nil {
+	if err := store.Put(context.Background(), "obj", payload); err != nil {
 		t.Fatal(err)
 	}
 	// Count chunks on node 5, then lose its disk.
 	victim := 5
 	cluster.Crash(victim)
 	cluster.Restart(victim)
-	if err := cluster.Node(victim).Wipe(); err != nil {
+	if err := cluster.Node(victim).Wipe(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	repaired, err := store.RepairClusterNode(victim)
+	repaired, err := store.RepairClusterNode(context.Background(), victim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +307,7 @@ func TestRepairClusterNode(t *testing.T) {
 	if repaired != onNode {
 		t.Fatalf("repaired %d, expected %d chunks on node %d", repaired, onNode, victim)
 	}
-	got, err := store.Get("obj")
+	got, err := store.Get(context.Background(), "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +318,7 @@ func TestRepairClusterNode(t *testing.T) {
 
 func TestDeleteRemovesChunks(t *testing.T) {
 	store, cluster := newTestStore(t)
-	if err := store.Put("obj", bytes.Repeat([]byte{1}, 600)); err != nil {
+	if err := store.Put(context.Background(), "obj", bytes.Repeat([]byte{1}, 600)); err != nil {
 		t.Fatal(err)
 	}
 	stripes, _ := store.StripesOf("obj")
@@ -316,24 +328,24 @@ func TestDeleteRemovesChunks(t *testing.T) {
 		locs[st] = append([]int(nil), store.stripeLoc[st]...)
 	}
 	store.mu.Unlock()
-	if err := store.Delete("obj"); err != nil {
+	if err := store.Delete(context.Background(), "obj"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Get("obj"); !errors.Is(err, ErrUnknownKey) {
+	if _, err := store.Get(context.Background(), "obj"); !errors.Is(err, ErrUnknownKey) {
 		t.Fatalf("err = %v", err)
 	}
 	for st, nodes := range locs {
 		for shard, node := range nodes {
-			if ok, _ := cluster.Node(node).HasChunk(sim.ChunkID{Stripe: st, Shard: shard}); ok {
+			if ok, _ := cluster.Node(node).HasChunk(context.Background(), sim.ChunkID{Stripe: st, Shard: shard}); ok {
 				t.Fatalf("chunk %d/%d survived delete on node %d", st, shard, node)
 			}
 		}
 	}
-	if err := store.Delete("obj"); !errors.Is(err, ErrUnknownKey) {
+	if err := store.Delete(context.Background(), "obj"); !errors.Is(err, ErrUnknownKey) {
 		t.Fatalf("double delete err = %v", err)
 	}
 	// Key is reusable after delete.
-	if err := store.Put("obj", []byte("new")); err != nil {
+	if err := store.Put(context.Background(), "obj", []byte("new")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -347,7 +359,7 @@ func TestSystemsReusedAcrossStripes(t *testing.T) {
 	// Round-robin over exactly n nodes: every stripe has the same
 	// placement, so exactly one protocol instance must be built.
 	strat, _ := placement.NewRoundRobin(15)
-	store, err := New(cluster, Config{
+	store, err := New(clientsOf(cluster), Config{
 		N: 15, K: 8,
 		Shape: trapezoid.Shape{A: 2, B: 3, H: 1}, W: 3,
 		BlockSize: 32,
@@ -357,7 +369,7 @@ func TestSystemsReusedAcrossStripes(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := make([]byte, 32*8*3) // 3 stripes
-	if err := store.Put("a", payload); err != nil {
+	if err := store.Put(context.Background(), "a", payload); err != nil {
 		t.Fatal(err)
 	}
 	store.mu.Lock()
@@ -373,7 +385,7 @@ func BenchmarkServiceWriteAt(b *testing.B) {
 	cluster, _ := sim.NewCluster(testClusterSize)
 	defer cluster.Close()
 	strat, _ := placement.NewRing(testClusterSize, 16)
-	store, err := New(cluster, Config{
+	store, err := New(clientsOf(cluster), Config{
 		N: 15, K: 8,
 		Shape: trapezoid.Shape{A: 2, B: 3, H: 1}, W: 3,
 		BlockSize: 4096,
@@ -383,15 +395,107 @@ func BenchmarkServiceWriteAt(b *testing.B) {
 		b.Fatal(err)
 	}
 	payload := make([]byte, 4096*8)
-	if err := store.Put("disk", payload); err != nil {
+	if err := store.Put(context.Background(), "disk", payload); err != nil {
 		b.Fatal(err)
 	}
 	patch := bytes.Repeat([]byte{0xAB}, 512)
 	b.SetBytes(512)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := store.WriteAt("disk", (i%8)*4096, patch); err != nil {
+		if err := store.WriteAt(context.Background(), "disk", (i%8)*4096, patch); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestPutFailureLeavesNoOrphanChunks forces a multi-stripe Put to
+// fail mid-seed (a node goes down) and checks that the chunks of the
+// stripes seeded before the failure were cleaned up — a failed Put
+// must leave nothing behind on any node.
+func TestPutFailureLeavesNoOrphanChunks(t *testing.T) {
+	ctx := context.Background()
+	store, cluster := newTestStore(t)
+	payload := make([]byte, 5*8*testBlockSize) // five stripes
+	rand.New(rand.NewSource(11)).Read(payload)
+
+	cluster.Crash(0) // every placement touches some nodes; ring spreads wide
+	err := store.Put(ctx, "doomed", payload)
+	if err == nil {
+		// The ring may have avoided node 0 entirely for all five
+		// stripes; crash everything to force the failure instead.
+		_ = store.Delete(ctx, "doomed")
+		for j := 0; j < cluster.Size(); j++ {
+			cluster.Crash(j)
+		}
+		if err = store.Put(ctx, "doomed", payload); err == nil {
+			t.Fatal("put with the whole cluster down succeeded")
+		}
+	}
+	cluster.RestartAll()
+
+	if _, err := store.Get(ctx, "doomed"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("failed put registered the key: %v", err)
+	}
+	orphans := 0
+	for j := 0; j < cluster.Size(); j++ {
+		n := cluster.Node(j)
+		for stripe := uint64(1); stripe <= 10; stripe++ {
+			for shard := 0; shard < 15; shard++ {
+				if ok, _ := n.HasChunk(ctx, sim.ChunkID{Stripe: stripe, Shard: shard}); ok {
+					orphans++
+				}
+			}
+		}
+	}
+	if orphans != 0 {
+		t.Fatalf("failed put left %d orphan chunks", orphans)
+	}
+}
+
+// TestConcurrentPutSameKey races two Puts of one key: exactly one may
+// win; the loser must see ErrExists and leave no trace.
+func TestConcurrentPutSameKey(t *testing.T) {
+	ctx := context.Background()
+	store, _ := newTestStore(t)
+	payload := make([]byte, 2*8*testBlockSize)
+	rand.New(rand.NewSource(21)).Read(payload)
+	errs := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		go func() { errs <- store.Put(ctx, "contested", payload) }()
+	}
+	var wins, exists int
+	for g := 0; g < 2; g++ {
+		switch err := <-errs; {
+		case err == nil:
+			wins++
+		case errors.Is(err, ErrExists):
+			exists++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if wins != 1 || exists != 1 {
+		t.Fatalf("wins=%d exists=%d", wins, exists)
+	}
+	if got, err := store.Get(ctx, "contested"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("winner's object unreadable (%v)", err)
+	}
+}
+
+// TestDeleteWithDeadContext verifies a cancelled context gates Delete
+// before anything is unregistered: the key must survive untouched.
+func TestDeleteWithDeadContext(t *testing.T) {
+	ctx := context.Background()
+	store, _ := newTestStore(t)
+	if err := store.Put(ctx, "keep", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := store.Delete(dead, "keep"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got, err := store.Get(ctx, "keep"); err != nil || string(got) != "payload" {
+		t.Fatalf("aborted delete damaged the object (%v)", err)
 	}
 }

@@ -1,38 +1,15 @@
 package sim
 
-import "fmt"
+import "trapquorum/client"
 
-// ChunkID names one shard of one stripe: Shard is the position within
-// the stripe (0..n-1; positions < k hold original data blocks,
-// positions ≥ k hold parity).
-type ChunkID struct {
-	Stripe uint64
-	Shard  int
-}
-
-// String renders the id as "stripe/shard".
-func (id ChunkID) String() string { return fmt.Sprintf("%d/%d", id.Stripe, id.Shard) }
+// ChunkID, Chunk and NoVersion are the transport-level types of the
+// public client package; the simulator stores exactly what the wire
+// contract describes.
+type (
+	ChunkID = client.ChunkID
+	Chunk   = client.Chunk
+)
 
 // NoVersion marks an absent or invalid version, mirroring the
 // "version ← −1" sentinel of Algorithm 2.
-const NoVersion = ^uint64(0)
-
-// Chunk is one stored shard plus its version bookkeeping.
-//
-// A data chunk (shard < k) carries one version: that of the block it
-// stores. A parity chunk (shard ≥ k) carries k versions — the paper's
-// matrix column V(:, j−k): entry i says which version of data block i
-// is folded into this parity block.
-type Chunk struct {
-	Data     []byte
-	Versions []uint64
-}
-
-// clone deep-copies a chunk so actor-owned state never escapes.
-func (c *Chunk) clone() Chunk {
-	out := Chunk{
-		Data:     append([]byte(nil), c.Data...),
-		Versions: append([]uint64(nil), c.Versions...),
-	}
-	return out
-}
+const NoVersion = client.NoVersion

@@ -7,19 +7,27 @@
 // protocol only ever observes per-request success/failure, returned
 // chunk contents and version numbers — all of which the simulator
 // reproduces exactly under the paper's §IV assumptions (independent
-// fail-stop nodes, reliable links).
+// fail-stop nodes, reliable links). It is the reference implementation
+// of the public client.NodeClient transport contract.
 package sim
 
-import "errors"
+import (
+	"errors"
 
-// Errors returned by node operations. The protocol layer treats
-// ErrNodeDown as the fail-stop signal of the paper's model;
-// ErrVersionMismatch is the failed conditional of Algorithm 1 line 26
-// (a stale parity node must not receive a delta).
+	"trapquorum/client"
+)
+
+// Errors returned by node operations, shared with every other backend
+// through the client package. The protocol layer treats ErrNodeDown as
+// the fail-stop signal of the paper's model; ErrVersionMismatch is the
+// failed conditional of Algorithm 1 line 26 (a stale parity node must
+// not receive a delta).
 var (
-	ErrNodeDown        = errors.New("sim: node is down")
-	ErrNotFound        = errors.New("sim: chunk not found")
-	ErrVersionMismatch = errors.New("sim: version mismatch")
-	ErrBadRequest      = errors.New("sim: malformed request")
-	ErrClusterClosed   = errors.New("sim: cluster closed")
+	ErrNodeDown        = client.ErrNodeDown
+	ErrNotFound        = client.ErrNotFound
+	ErrVersionMismatch = client.ErrVersionMismatch
+	ErrBadRequest      = client.ErrBadRequest
+	// ErrClusterClosed is simulator-specific: the cluster's actors
+	// were stopped underneath the operation.
+	ErrClusterClosed = errors.New("sim: cluster closed")
 )

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"trapquorum/client"
 )
 
 // NodeID identifies a storage node within a cluster.
@@ -22,13 +25,20 @@ type Metrics struct {
 	VersionQueries   atomic.Int64
 	VersionRejects   atomic.Int64
 	DownRejects      atomic.Int64
+	CtxAborts        atomic.Int64
 	ServedOperations atomic.Int64
 }
 
 // Node is one simulated storage server: a goroutine actor owning a
 // chunk store. All public methods are synchronous RPCs into the actor,
 // so per-node operations are serialised — the per-node atomicity the
-// protocol's conditional parity updates rely on.
+// protocol's conditional parity updates rely on. Node implements the
+// public client.NodeClient transport contract, including context
+// cancellation: an operation whose context expires before the request
+// reaches the actor (in particular, during injected latency) fails
+// with the context's error and leaves the store untouched; once the
+// request is accepted, the operation runs to completion, like an RPC
+// already on the wire.
 type Node struct {
 	id      NodeID
 	delay   DelayFunc
@@ -37,6 +47,9 @@ type Node struct {
 	down    atomic.Bool
 	metrics Metrics
 }
+
+// Compile-time transport conformance.
+var _ client.NodeClient = (*Node)(nil)
 
 type request struct {
 	op    func(store map[ChunkID]*Chunk) (any, error)
@@ -82,20 +95,41 @@ func (n *Node) serve() {
 }
 
 // call performs a synchronous request against the actor. op is the
-// operation label used by the latency model.
-func (n *Node) call(op string, f func(store map[ChunkID]*Chunk) (any, error)) (any, error) {
+// operation label used by the latency model. Cancellation is honoured
+// up to the moment the actor accepts the request — covering the
+// injected latency window — after which the operation completes and
+// its result is returned, so a call either fails with no node effect
+// or reports the node's actual answer.
+func (n *Node) call(ctx context.Context, op string, f func(store map[ChunkID]*Chunk) (any, error)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		n.metrics.CtxAborts.Add(1)
+		return nil, err
+	}
 	if n.down.Load() {
 		n.metrics.DownRejects.Add(1)
 		return nil, ErrNodeDown
 	}
 	if n.delay != nil {
 		if d := n.delay(op); d > 0 {
-			time.Sleep(d)
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				n.metrics.CtxAborts.Add(1)
+				return nil, ctx.Err()
+			case <-n.quit:
+				timer.Stop()
+				return nil, ErrClusterClosed
+			}
 		}
 	}
 	req := request{op: f, reply: make(chan response, 1)}
 	select {
 	case n.reqCh <- req:
+	case <-ctx.Done():
+		n.metrics.CtxAborts.Add(1)
+		return nil, ctx.Err()
 	case <-n.quit:
 		return nil, ErrClusterClosed
 	}
@@ -127,8 +161,8 @@ func (n *Node) Restart() { n.down.Store(false) }
 // Wipe erases the node's store, simulating media loss. The node must
 // be up; typically used right after Restart to model a replaced disk
 // before the repair protocol refills it.
-func (n *Node) Wipe() error {
-	_, err := n.call("wipe", func(store map[ChunkID]*Chunk) (any, error) {
+func (n *Node) Wipe(ctx context.Context) error {
+	_, err := n.call(ctx, "wipe", func(store map[ChunkID]*Chunk) (any, error) {
 		for k := range store {
 			delete(store, k)
 		}
@@ -138,14 +172,14 @@ func (n *Node) Wipe() error {
 }
 
 // ReadChunk returns a deep copy of the chunk, or ErrNotFound.
-func (n *Node) ReadChunk(id ChunkID) (Chunk, error) {
+func (n *Node) ReadChunk(ctx context.Context, id ChunkID) (Chunk, error) {
 	n.metrics.Reads.Add(1)
-	v, err := n.call("read", func(store map[ChunkID]*Chunk) (any, error) {
+	v, err := n.call(ctx, "read", func(store map[ChunkID]*Chunk) (any, error) {
 		c, ok := store[id]
 		if !ok {
 			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
 		}
-		return c.clone(), nil
+		return c.Clone(), nil
 	})
 	if err != nil {
 		return Chunk{}, err
@@ -155,9 +189,9 @@ func (n *Node) ReadChunk(id ChunkID) (Chunk, error) {
 
 // ReadVersions returns a copy of the chunk's version vector, or
 // ErrNotFound. This is the "u.version(id)" probe of Algorithms 1–2.
-func (n *Node) ReadVersions(id ChunkID) ([]uint64, error) {
+func (n *Node) ReadVersions(ctx context.Context, id ChunkID) ([]uint64, error) {
 	n.metrics.VersionQueries.Add(1)
-	v, err := n.call("version", func(store map[ChunkID]*Chunk) (any, error) {
+	v, err := n.call(ctx, "version", func(store map[ChunkID]*Chunk) (any, error) {
 		c, ok := store[id]
 		if !ok {
 			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
@@ -173,14 +207,14 @@ func (n *Node) ReadVersions(id ChunkID) ([]uint64, error) {
 // PutChunk stores a full chunk (data plus version vector), replacing
 // any previous value. Used for data-block writes, bootstrap and
 // repair. The inputs are copied.
-func (n *Node) PutChunk(id ChunkID, data []byte, versions []uint64) error {
+func (n *Node) PutChunk(ctx context.Context, id ChunkID, data []byte, versions []uint64) error {
 	n.metrics.Writes.Add(1)
 	if len(versions) == 0 {
 		return fmt.Errorf("%w: PutChunk needs at least one version", ErrBadRequest)
 	}
 	dataCopy := append([]byte(nil), data...)
 	verCopy := append([]uint64(nil), versions...)
-	_, err := n.call("write", func(store map[ChunkID]*Chunk) (any, error) {
+	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
 		store[id] = &Chunk{Data: dataCopy, Versions: verCopy}
 		return nil, nil
 	})
@@ -191,10 +225,10 @@ func (n *Node) PutChunk(id ChunkID, data []byte, versions []uint64) error {
 // `slot` currently holds expect, then sets it to next. It returns
 // ErrVersionMismatch otherwise. Used by data nodes so that a delayed
 // stale writer cannot clobber a newer block.
-func (n *Node) CompareAndPut(id ChunkID, slot int, expect, next uint64, data []byte) error {
+func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, next uint64, data []byte) error {
 	n.metrics.Writes.Add(1)
 	dataCopy := append([]byte(nil), data...)
-	_, err := n.call("write", func(store map[ChunkID]*Chunk) (any, error) {
+	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
 		c, ok := store[id]
 		if !ok {
 			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
@@ -218,10 +252,10 @@ func (n *Node) CompareAndPut(id ChunkID, slot int, expect, next uint64, data []b
 // the conditional "u.add(α_{i,j}·(x−chunk))" of Algorithm 1 lines
 // 26–28. A mismatch (stale or too-new parity) yields
 // ErrVersionMismatch and leaves the chunk untouched.
-func (n *Node) CompareAndAdd(id ChunkID, slot int, expect, next uint64, delta []byte) error {
+func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, next uint64, delta []byte) error {
 	n.metrics.Adds.Add(1)
 	deltaCopy := append([]byte(nil), delta...)
-	_, err := n.call("add", func(store map[ChunkID]*Chunk) (any, error) {
+	_, err := n.call(ctx, "add", func(store map[ChunkID]*Chunk) (any, error) {
 		c, ok := store[id]
 		if !ok {
 			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
@@ -252,14 +286,14 @@ func (n *Node) CompareAndAdd(id ChunkID, slot int, expect, next uint64, delta []
 // that a rebuild gathered before a concurrent write cannot overwrite
 // the write's newer state; the mismatch surfaces as
 // ErrVersionMismatch and the repair is retried.
-func (n *Node) PutChunkIfFresher(id ChunkID, data []byte, versions []uint64) error {
+func (n *Node) PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, versions []uint64) error {
 	n.metrics.Writes.Add(1)
 	if len(versions) == 0 {
 		return fmt.Errorf("%w: PutChunkIfFresher needs at least one version", ErrBadRequest)
 	}
 	dataCopy := append([]byte(nil), data...)
 	verCopy := append([]uint64(nil), versions...)
-	_, err := n.call("write", func(store map[ChunkID]*Chunk) (any, error) {
+	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
 		c, ok := store[id]
 		if ok {
 			if len(c.Versions) != len(verCopy) {
@@ -281,8 +315,8 @@ func (n *Node) PutChunkIfFresher(id ChunkID, data []byte, versions []uint64) err
 // DeleteChunk removes a chunk. Deleting a missing chunk is a no-op,
 // mirroring idempotent deletion (used by garbage collection and by
 // failure-injection tests).
-func (n *Node) DeleteChunk(id ChunkID) error {
-	_, err := n.call("delete", func(store map[ChunkID]*Chunk) (any, error) {
+func (n *Node) DeleteChunk(ctx context.Context, id ChunkID) error {
+	_, err := n.call(ctx, "delete", func(store map[ChunkID]*Chunk) (any, error) {
 		delete(store, id)
 		return nil, nil
 	})
@@ -290,8 +324,8 @@ func (n *Node) DeleteChunk(id ChunkID) error {
 }
 
 // HasChunk reports whether the node stores the chunk.
-func (n *Node) HasChunk(id ChunkID) (bool, error) {
-	v, err := n.call("stat", func(store map[ChunkID]*Chunk) (any, error) {
+func (n *Node) HasChunk(ctx context.Context, id ChunkID) (bool, error) {
+	v, err := n.call(ctx, "stat", func(store map[ChunkID]*Chunk) (any, error) {
 		_, ok := store[id]
 		return ok, nil
 	})

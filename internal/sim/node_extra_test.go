@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -10,22 +11,22 @@ func TestDeleteChunk(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 4, Shard: 2}
-	if err := n.PutChunk(id, []byte{1}, []uint64{1}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{1}, []uint64{1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.DeleteChunk(id); err != nil {
+	if err := n.DeleteChunk(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := n.HasChunk(id); ok {
+	if ok, _ := n.HasChunk(context.Background(), id); ok {
 		t.Fatal("chunk survived delete")
 	}
 	// Idempotent: deleting again succeeds.
-	if err := n.DeleteChunk(id); err != nil {
+	if err := n.DeleteChunk(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
 	// Down node rejects deletes.
 	n.Crash()
-	if err := n.DeleteChunk(id); !errors.Is(err, ErrNodeDown) {
+	if err := n.DeleteChunk(context.Background(), id); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -34,10 +35,10 @@ func TestPutChunkIfFresherInstallsOnMissing(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 1}
-	if err := n.PutChunkIfFresher(id, []byte{1}, []uint64{3}); err != nil {
+	if err := n.PutChunkIfFresher(context.Background(), id, []byte{1}, []uint64{3}); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := n.ReadChunk(id)
+	got, _ := n.ReadChunk(context.Background(), id)
 	if got.Versions[0] != 3 || got.Data[0] != 1 {
 		t.Fatalf("chunk = %+v", got)
 	}
@@ -47,28 +48,28 @@ func TestPutChunkIfFresherRefusesRegression(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 1}
-	if err := n.PutChunk(id, []byte{1, 1}, []uint64{5, 2}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{1, 1}, []uint64{5, 2}); err != nil {
 		t.Fatal(err)
 	}
 	// Slot 0 would regress 5 -> 4: reject, state unchanged.
-	err := n.PutChunkIfFresher(id, []byte{9, 9}, []uint64{4, 3})
+	err := n.PutChunkIfFresher(context.Background(), id, []byte{9, 9}, []uint64{4, 3})
 	if !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("err = %v", err)
 	}
-	got, _ := n.ReadChunk(id)
+	got, _ := n.ReadChunk(context.Background(), id)
 	if got.Data[0] != 1 || got.Versions[0] != 5 {
 		t.Fatal("rejected install mutated chunk")
 	}
 	// Componentwise >= accepted (equal in slot 0, ahead in slot 1).
-	if err := n.PutChunkIfFresher(id, []byte{7, 7}, []uint64{5, 3}); err != nil {
+	if err := n.PutChunkIfFresher(context.Background(), id, []byte{7, 7}, []uint64{5, 3}); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = n.ReadChunk(id)
+	got, _ = n.ReadChunk(context.Background(), id)
 	if got.Data[0] != 7 || got.Versions[1] != 3 {
 		t.Fatalf("fresher install skipped: %+v", got)
 	}
 	// Identical vector: idempotent overwrite accepted.
-	if err := n.PutChunkIfFresher(id, []byte{8, 8}, []uint64{5, 3}); err != nil {
+	if err := n.PutChunkIfFresher(context.Background(), id, []byte{8, 8}, []uint64{5, 3}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -77,14 +78,14 @@ func TestPutChunkIfFresherShapeChecks(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 1}
-	if err := n.PutChunkIfFresher(id, []byte{1}, nil); !errors.Is(err, ErrBadRequest) {
+	if err := n.PutChunkIfFresher(context.Background(), id, []byte{1}, nil); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := n.PutChunk(id, []byte{1}, []uint64{1, 2}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{1}, []uint64{1, 2}); err != nil {
 		t.Fatal(err)
 	}
 	// Vector length must match the stored chunk's.
-	if err := n.PutChunkIfFresher(id, []byte{2}, []uint64{3}); !errors.Is(err, ErrBadRequest) {
+	if err := n.PutChunkIfFresher(context.Background(), id, []byte{2}, []uint64{3}); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -96,7 +97,7 @@ func TestPutChunkIfFresherRace(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 1}
-	if err := n.PutChunk(id, []byte{0}, []uint64{0}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{0}, []uint64{0}); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -107,15 +108,15 @@ func TestPutChunkIfFresherRace(t *testing.T) {
 			for i := 1; i <= 100; i++ {
 				v := uint64(i)
 				if g%2 == 0 {
-					_ = n.PutChunkIfFresher(id, []byte{byte(i)}, []uint64{v})
+					_ = n.PutChunkIfFresher(context.Background(), id, []byte{byte(i)}, []uint64{v})
 				} else {
-					_ = n.PutChunk(id, []byte{byte(i)}, []uint64{v})
+					_ = n.PutChunk(context.Background(), id, []byte{byte(i)}, []uint64{v})
 				}
 			}
 		}(g)
 	}
 	wg.Wait()
-	got, err := n.ReadChunk(id)
+	got, err := n.ReadChunk(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -27,10 +28,10 @@ func TestNewClusterValidation(t *testing.T) {
 func TestPutReadRoundTrip(t *testing.T) {
 	c := newTestCluster(t, 3)
 	id := ChunkID{Stripe: 7, Shard: 2}
-	if err := c.Node(0).PutChunk(id, []byte{1, 2, 3}, []uint64{5}); err != nil {
+	if err := c.Node(0).PutChunk(context.Background(), id, []byte{1, 2, 3}, []uint64{5}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Node(0).ReadChunk(id)
+	got, err := c.Node(0).ReadChunk(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,10 +42,10 @@ func TestPutReadRoundTrip(t *testing.T) {
 
 func TestReadMissing(t *testing.T) {
 	c := newTestCluster(t, 1)
-	if _, err := c.Node(0).ReadChunk(ChunkID{}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Node(0).ReadChunk(context.Background(), ChunkID{}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := c.Node(0).ReadVersions(ChunkID{}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Node(0).ReadVersions(context.Background(), ChunkID{}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -54,12 +55,12 @@ func TestPutChunkCopiesInputs(t *testing.T) {
 	id := ChunkID{Stripe: 1}
 	data := []byte{9, 9}
 	vers := []uint64{1}
-	if err := c.Node(0).PutChunk(id, data, vers); err != nil {
+	if err := c.Node(0).PutChunk(context.Background(), id, data, vers); err != nil {
 		t.Fatal(err)
 	}
 	data[0] = 0
 	vers[0] = 0
-	got, _ := c.Node(0).ReadChunk(id)
+	got, _ := c.Node(0).ReadChunk(context.Background(), id)
 	if got.Data[0] != 9 || got.Versions[0] != 1 {
 		t.Fatal("PutChunk aliased caller memory")
 	}
@@ -68,13 +69,13 @@ func TestPutChunkCopiesInputs(t *testing.T) {
 func TestReadChunkReturnsCopy(t *testing.T) {
 	c := newTestCluster(t, 1)
 	id := ChunkID{Stripe: 1}
-	if err := c.Node(0).PutChunk(id, []byte{1}, []uint64{1}); err != nil {
+	if err := c.Node(0).PutChunk(context.Background(), id, []byte{1}, []uint64{1}); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := c.Node(0).ReadChunk(id)
+	got, _ := c.Node(0).ReadChunk(context.Background(), id)
 	got.Data[0] = 77
 	got.Versions[0] = 99
-	again, _ := c.Node(0).ReadChunk(id)
+	again, _ := c.Node(0).ReadChunk(context.Background(), id)
 	if again.Data[0] != 1 || again.Versions[0] != 1 {
 		t.Fatal("ReadChunk leaked internal state")
 	}
@@ -82,7 +83,7 @@ func TestReadChunkReturnsCopy(t *testing.T) {
 
 func TestPutChunkRequiresVersions(t *testing.T) {
 	c := newTestCluster(t, 1)
-	if err := c.Node(0).PutChunk(ChunkID{}, []byte{1}, nil); !errors.Is(err, ErrBadRequest) {
+	if err := c.Node(0).PutChunk(context.Background(), ChunkID{}, []byte{1}, nil); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -91,29 +92,29 @@ func TestCompareAndPut(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 3}
-	if err := n.PutChunk(id, []byte{1}, []uint64{4}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{1}, []uint64{4}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.CompareAndPut(id, 0, 4, 5, []byte{2}); err != nil {
+	if err := n.CompareAndPut(context.Background(), id, 0, 4, 5, []byte{2}); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := n.ReadChunk(id)
+	got, _ := n.ReadChunk(context.Background(), id)
 	if got.Data[0] != 2 || got.Versions[0] != 5 {
 		t.Fatalf("after CAP: %+v", got)
 	}
 	// Wrong expectation: rejected, state unchanged.
-	if err := n.CompareAndPut(id, 0, 4, 6, []byte{3}); !errors.Is(err, ErrVersionMismatch) {
+	if err := n.CompareAndPut(context.Background(), id, 0, 4, 6, []byte{3}); !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("err = %v", err)
 	}
-	got, _ = n.ReadChunk(id)
+	got, _ = n.ReadChunk(context.Background(), id)
 	if got.Data[0] != 2 || got.Versions[0] != 5 {
 		t.Fatalf("mismatch mutated chunk: %+v", got)
 	}
 	// Missing chunk and bad slot.
-	if err := n.CompareAndPut(ChunkID{Stripe: 99}, 0, 0, 1, []byte{1}); !errors.Is(err, ErrNotFound) {
+	if err := n.CompareAndPut(context.Background(), ChunkID{Stripe: 99}, 0, 0, 1, []byte{1}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := n.CompareAndPut(id, 3, 5, 6, []byte{1}); !errors.Is(err, ErrBadRequest) {
+	if err := n.CompareAndPut(context.Background(), id, 3, 5, 6, []byte{1}); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -123,13 +124,13 @@ func TestCompareAndAdd(t *testing.T) {
 	n := c.Node(0)
 	id := ChunkID{Stripe: 3, Shard: 8}
 	// Parity chunk for a k=3 stripe: three version slots.
-	if err := n.PutChunk(id, []byte{0xf0, 0x0f}, []uint64{1, 1, 1}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{0xf0, 0x0f}, []uint64{1, 1, 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.CompareAndAdd(id, 1, 1, 2, []byte{0x0f, 0x0f}); err != nil {
+	if err := n.CompareAndAdd(context.Background(), id, 1, 1, 2, []byte{0x0f, 0x0f}); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := n.ReadChunk(id)
+	got, _ := n.ReadChunk(context.Background(), id)
 	if got.Data[0] != 0xff || got.Data[1] != 0x00 {
 		t.Fatalf("XOR wrong: %v", got.Data)
 	}
@@ -137,19 +138,19 @@ func TestCompareAndAdd(t *testing.T) {
 		t.Fatalf("versions wrong: %v", got.Versions)
 	}
 	// Stale expectation rejected without mutation.
-	if err := n.CompareAndAdd(id, 1, 1, 3, []byte{1, 1}); !errors.Is(err, ErrVersionMismatch) {
+	if err := n.CompareAndAdd(context.Background(), id, 1, 1, 3, []byte{1, 1}); !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("err = %v", err)
 	}
-	again, _ := n.ReadChunk(id)
+	again, _ := n.ReadChunk(context.Background(), id)
 	if again.Data[0] != 0xff || again.Versions[1] != 2 {
 		t.Fatal("rejected add mutated chunk")
 	}
 	// Size mismatch.
-	if err := n.CompareAndAdd(id, 1, 2, 3, []byte{1}); !errors.Is(err, ErrBadRequest) {
+	if err := n.CompareAndAdd(context.Background(), id, 1, 2, 3, []byte{1}); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("err = %v", err)
 	}
 	// Missing chunk.
-	if err := n.CompareAndAdd(ChunkID{Stripe: 42}, 0, 0, 1, []byte{1}); !errors.Is(err, ErrNotFound) {
+	if err := n.CompareAndAdd(context.Background(), ChunkID{Stripe: 42}, 0, 0, 1, []byte{1}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -158,21 +159,21 @@ func TestCrashRestartSemantics(t *testing.T) {
 	c := newTestCluster(t, 2)
 	n := c.Node(1)
 	id := ChunkID{Stripe: 1}
-	if err := n.PutChunk(id, []byte{1}, []uint64{1}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{1}, []uint64{1}); err != nil {
 		t.Fatal(err)
 	}
 	n.Crash()
 	if !n.Down() {
 		t.Fatal("node not down after Crash")
 	}
-	if _, err := n.ReadChunk(id); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.ReadChunk(context.Background(), id); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := n.PutChunk(id, []byte{2}, []uint64{2}); !errors.Is(err, ErrNodeDown) {
+	if err := n.PutChunk(context.Background(), id, []byte{2}, []uint64{2}); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("err = %v", err)
 	}
 	n.Restart()
-	got, err := n.ReadChunk(id)
+	got, err := n.ReadChunk(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,13 +186,13 @@ func TestWipe(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 1}
-	if err := n.PutChunk(id, []byte{1}, []uint64{1}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{1}, []uint64{1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Wipe(); err != nil {
+	if err := n.Wipe(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := n.HasChunk(id); ok {
+	if ok, _ := n.HasChunk(context.Background(), id); ok {
 		t.Fatal("chunk survived Wipe")
 	}
 }
@@ -199,13 +200,13 @@ func TestWipe(t *testing.T) {
 func TestHasChunk(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
-	if ok, err := n.HasChunk(ChunkID{}); err != nil || ok {
+	if ok, err := n.HasChunk(context.Background(), ChunkID{}); err != nil || ok {
 		t.Fatalf("HasChunk empty = %v, %v", ok, err)
 	}
-	if err := n.PutChunk(ChunkID{}, []byte{1}, []uint64{1}); err != nil {
+	if err := n.PutChunk(context.Background(), ChunkID{}, []byte{1}, []uint64{1}); err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := n.HasChunk(ChunkID{}); err != nil || !ok {
+	if ok, err := n.HasChunk(context.Background(), ChunkID{}); err != nil || !ok {
 		t.Fatalf("HasChunk = %v, %v", ok, err)
 	}
 }
@@ -244,10 +245,10 @@ func TestMetricsCount(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 1}
-	_ = n.PutChunk(id, []byte{1}, []uint64{1})
-	_, _ = n.ReadChunk(id)
-	_, _ = n.ReadVersions(id)
-	_ = n.CompareAndAdd(id, 0, 99, 100, []byte{1}) // version reject
+	_ = n.PutChunk(context.Background(), id, []byte{1}, []uint64{1})
+	_, _ = n.ReadChunk(context.Background(), id)
+	_, _ = n.ReadVersions(context.Background(), id)
+	_ = n.CompareAndAdd(context.Background(), id, 0, 99, 100, []byte{1}) // version reject
 	m := n.Metrics()
 	if m.Writes.Load() != 1 || m.Reads.Load() != 1 || m.VersionQueries.Load() != 1 {
 		t.Fatalf("metrics = %+v", m)
@@ -265,7 +266,7 @@ func TestDownRejectCounted(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	n.Crash()
-	_, _ = n.ReadChunk(ChunkID{})
+	_, _ = n.ReadChunk(context.Background(), ChunkID{})
 	if n.Metrics().DownRejects.Load() == 0 {
 		t.Fatal("down rejection not counted")
 	}
@@ -279,7 +280,7 @@ func TestConcurrentAddsSerialise(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)
 	id := ChunkID{Stripe: 1, Shard: 3}
-	if err := n.PutChunk(id, []byte{0}, []uint64{0}); err != nil {
+	if err := n.PutChunk(context.Background(), id, []byte{0}, []uint64{0}); err != nil {
 		t.Fatal(err)
 	}
 	const writers = 32
@@ -290,7 +291,7 @@ func TestConcurrentAddsSerialise(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			// Each writer tries to advance version 0→1 exactly once.
-			if err := n.CompareAndAdd(id, 0, 0, 1, []byte{1}); err == nil {
+			if err := n.CompareAndAdd(context.Background(), id, 0, 0, 1, []byte{1}); err == nil {
 				successes.Add(1)
 			}
 		}()
@@ -299,7 +300,7 @@ func TestConcurrentAddsSerialise(t *testing.T) {
 	if got := successes.Load(); got != 1 {
 		t.Fatalf("%d writers won the 0→1 transition, want exactly 1", got)
 	}
-	chunk, _ := n.ReadChunk(id)
+	chunk, _ := n.ReadChunk(context.Background(), id)
 	if chunk.Versions[0] != 1 || chunk.Data[0] != 1 {
 		t.Fatalf("final chunk %+v", chunk)
 	}
@@ -311,7 +312,7 @@ func TestConcurrentMixedOpsRace(t *testing.T) {
 	c := newTestCluster(t, 4)
 	id := ChunkID{Stripe: 9}
 	for i := 0; i < 4; i++ {
-		if err := c.Node(i).PutChunk(id, []byte{0, 0, 0, 0}, []uint64{0}); err != nil {
+		if err := c.Node(i).PutChunk(context.Background(), id, []byte{0, 0, 0, 0}, []uint64{0}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -324,11 +325,11 @@ func TestConcurrentMixedOpsRace(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				switch i % 4 {
 				case 0:
-					_, _ = n.ReadChunk(id)
+					_, _ = n.ReadChunk(context.Background(), id)
 				case 1:
-					_ = n.PutChunk(id, []byte{byte(i), 0, 0, 0}, []uint64{uint64(i)})
+					_ = n.PutChunk(context.Background(), id, []byte{byte(i), 0, 0, 0}, []uint64{uint64(i)})
 				case 2:
-					_, _ = n.ReadVersions(id)
+					_, _ = n.ReadVersions(context.Background(), id)
 				case 3:
 					if g == 0 {
 						n.Crash()
@@ -345,7 +346,7 @@ func TestFixedDelayApplied(t *testing.T) {
 	c := newTestCluster(t, 1, WithDelay(FixedDelay(2*time.Millisecond)))
 	n := c.Node(0)
 	start := time.Now()
-	_ = n.PutChunk(ChunkID{}, []byte{1}, []uint64{1})
+	_ = n.PutChunk(context.Background(), ChunkID{}, []byte{1}, []uint64{1})
 	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
 		t.Fatalf("operation returned in %v, delay not applied", elapsed)
 	}
@@ -373,7 +374,7 @@ func TestClusterCloseIdempotent(t *testing.T) {
 	}
 	c.Close()
 	c.Close() // must not panic
-	if _, err := c.Node(0).ReadChunk(ChunkID{}); !errors.Is(err, ErrClusterClosed) {
+	if _, err := c.Node(0).ReadChunk(context.Background(), ChunkID{}); !errors.Is(err, ErrClusterClosed) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -386,7 +387,7 @@ func BenchmarkNodePut4K(b *testing.B) {
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := n.PutChunk(ChunkID{Stripe: uint64(i % 16)}, data, []uint64{uint64(i)}); err != nil {
+		if err := n.PutChunk(context.Background(), ChunkID{Stripe: uint64(i % 16)}, data, []uint64{uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -398,13 +399,13 @@ func BenchmarkNodeCompareAndAdd4K(b *testing.B) {
 	n := c.Node(0)
 	data := make([]byte, 4096)
 	id := ChunkID{Stripe: 1}
-	if err := n.PutChunk(id, data, []uint64{0}); err != nil {
+	if err := n.PutChunk(context.Background(), id, data, []uint64{0}); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := n.CompareAndAdd(id, 0, uint64(i), uint64(i+1), data); err != nil {
+		if err := n.CompareAndAdd(context.Background(), id, 0, uint64(i), uint64(i+1), data); err != nil {
 			b.Fatal(err)
 		}
 	}

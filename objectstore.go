@@ -1,0 +1,125 @@
+package trapquorum
+
+import (
+	"context"
+
+	"trapquorum/internal/service"
+)
+
+// ObjectStore is the headline API: a keyed erasure-coded object store
+// with quorum consistency, spreading stripes across a cluster larger
+// than one stripe by a placement strategy. Objects are chunked into
+// stripes of k fixed-size blocks; Get/ReadAt/WriteAt go through the
+// quorum protocol block by block, so reads stay strictly consistent
+// with in-place updates even while nodes fail. It is safe for
+// concurrent use; see WriteAt for the block-granularity semantics of
+// overlapping writers.
+type ObjectStore struct {
+	clusterHandle
+	clusterSize int
+	svc         *service.Store
+}
+
+// Open validates the configuration, asks the backend to provision the
+// cluster (sized by the placement strategy) and assembles the object
+// store. Close must be called when done.
+//
+// Defaults: the paper's Figure-3 configuration — WithCode(15, 8),
+// WithTrapezoid(2, 3, 1, 3) — 4 KiB blocks, round-robin placement
+// over exactly n nodes, and the in-process simulated cluster.
+func Open(ctx context.Context, opts ...Option) (*ObjectStore, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	tcfg, err := cfg.trapezoidConfig()
+	if err != nil {
+		return nil, err
+	}
+	clusterSize := cfg.place.Nodes()
+	nodes, err := cfg.backend.Open(ctx, clusterSize)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := service.New(nodes, service.Config{
+		N: cfg.n, K: cfg.k,
+		Shape: cfg.shape, W: cfg.w,
+		BlockSize:       cfg.blockSize,
+		Placement:       cfg.place,
+		DisableRollback: cfg.disableRollback,
+	})
+	if err != nil {
+		cfg.backend.Close()
+		return nil, err
+	}
+	return &ObjectStore{
+		clusterHandle: newClusterHandle(cfg, tcfg),
+		clusterSize:   clusterSize,
+		svc:           svc,
+	}, nil
+}
+
+// Put stores data under key. The key must not exist (ErrExists
+// otherwise): objects are immutable in extent — use WriteAt for
+// in-place updates, or Delete then Put to replace. All placed nodes
+// must be up for the initial seeding.
+func (s *ObjectStore) Put(ctx context.Context, key string, data []byte) error {
+	return s.svc.Put(ctx, key, data)
+}
+
+// Get reads the whole object back through quorum reads.
+func (s *ObjectStore) Get(ctx context.Context, key string) ([]byte, error) {
+	return s.svc.Get(ctx, key)
+}
+
+// ReadAt reads length bytes at the given offset through quorum reads
+// of only the affected blocks.
+func (s *ObjectStore) ReadAt(ctx context.Context, key string, offset, length int) ([]byte, error) {
+	return s.svc.ReadAt(ctx, key, offset, length)
+}
+
+// WriteAt overwrites bytes [offset, offset+len(p)) in place through
+// quorum writes, shipping only parity deltas for the affected blocks.
+// Writes cannot extend the object (ErrBadRange).
+//
+// Consistency granularity is the block: each block update is an
+// atomic quorum write, but a multi-block span is not a transaction,
+// and two WriteAt calls overlapping on the *same* block perform
+// independent read-modify-write cycles — the last writer wins at
+// block granularity. Callers updating overlapping ranges concurrently
+// need their own coordination (the paper assumes classical
+// concurrency control above the protocol).
+func (s *ObjectStore) WriteAt(ctx context.Context, key string, offset int, p []byte) error {
+	return s.svc.WriteAt(ctx, key, offset, p)
+}
+
+// Delete removes the object and best-effort deletes its chunks from
+// the placed nodes.
+func (s *ObjectStore) Delete(ctx context.Context, key string) error {
+	return s.svc.Delete(ctx, key)
+}
+
+// Size returns the object's byte size.
+func (s *ObjectStore) Size(key string) (int, error) { return s.svc.Size(key) }
+
+// Keys lists stored keys in sorted order.
+func (s *ObjectStore) Keys() []string { return s.svc.Keys() }
+
+// StripesOf reports the stripe ids backing an object (diagnostics).
+func (s *ObjectStore) StripesOf(key string) ([]uint64, error) { return s.svc.StripesOf(key) }
+
+// RepairNode rebuilds every stripe shard placed on the given cluster
+// node (after the node returns, possibly with a fresh disk). It
+// returns how many chunks were rebuilt.
+func (s *ObjectStore) RepairNode(ctx context.Context, node int) (int, error) {
+	return s.svc.RepairClusterNode(ctx, node)
+}
+
+// Scrub audits every stripe of the object read-only, one ScrubReport
+// per stripe. Pair with RepairNode when it reports degradation.
+func (s *ObjectStore) Scrub(ctx context.Context, key string) ([]ScrubReport, error) {
+	return s.svc.Scrub(ctx, key)
+}
+
+// NodeCount returns the cluster size the placement strategy spans.
+func (s *ObjectStore) NodeCount() int { return s.clusterSize }

@@ -1,0 +1,135 @@
+package trapquorum
+
+import (
+	"errors"
+	"fmt"
+
+	"trapquorum/internal/trapezoid"
+	"trapquorum/placement"
+)
+
+// Option configures Open and OpenStore. Options validate eagerly
+// where they can; all collected problems are reported together by the
+// constructor.
+type Option func(*config)
+
+// config is the resolved option set. The zero values of unset fields
+// are filled by defaults() before validation.
+type config struct {
+	n, k            int
+	shape           trapezoid.Shape
+	w               int
+	blockSize       int
+	place           placement.Strategy
+	backend         Backend
+	disableRollback bool
+	errs            []error
+}
+
+// newConfig applies the options over the paper's Figure-3 defaults:
+// a (15,8) MDS code under an a=2 b=3 h=1 trapezoid with w=3, 4 KiB
+// blocks, round-robin placement over exactly n nodes, and the
+// in-process simulated cluster as backend.
+func newConfig(opts []Option) (*config, error) {
+	cfg := &config{
+		n: 15, k: 8,
+		shape:     trapezoid.Shape{A: 2, B: 3, H: 1},
+		w:         3,
+		blockSize: 4096,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			cfg.errs = append(cfg.errs, errors.New("trapquorum: nil Option"))
+			continue
+		}
+		opt(cfg)
+	}
+	if cfg.k < 1 || cfg.n < cfg.k {
+		cfg.errs = append(cfg.errs, fmt.Errorf("trapquorum: need 1 <= k <= n, got (n=%d, k=%d)", cfg.n, cfg.k))
+	}
+	if cfg.blockSize < 1 {
+		cfg.errs = append(cfg.errs, fmt.Errorf("trapquorum: block size %d invalid", cfg.blockSize))
+	}
+	if got, want := cfg.shape.NbNodes(), cfg.n-cfg.k+1; len(cfg.errs) == 0 && got != want {
+		cfg.errs = append(cfg.errs, fmt.Errorf(
+			"trapquorum: trapezoid (a=%d b=%d h=%d) holds %d nodes; need n-k+1 = %d",
+			cfg.shape.A, cfg.shape.B, cfg.shape.H, got, want))
+	}
+	if cfg.place == nil {
+		rr, err := placement.NewRoundRobin(max(cfg.n, 1))
+		if err != nil {
+			cfg.errs = append(cfg.errs, err)
+		} else {
+			cfg.place = rr
+		}
+	}
+	if cfg.backend == nil {
+		cfg.backend = NewSimBackend()
+	}
+	if len(cfg.errs) > 0 {
+		return nil, errors.Join(cfg.errs...)
+	}
+	return cfg, nil
+}
+
+// trapezoidConfig validates and builds the quorum thresholds.
+func (c *config) trapezoidConfig() (trapezoid.Config, error) {
+	return trapezoid.NewConfig(c.shape, c.w)
+}
+
+// WithCode selects the (n,k) MDS erasure code: k data blocks and n−k
+// parity blocks per stripe (1 ≤ k ≤ n ≤ 256).
+func WithCode(n, k int) Option {
+	return func(c *config) { c.n, c.k = n, k }
+}
+
+// WithTrapezoid selects the trapezoid quorum geometry: level l of
+// levels 0..h holds a·l+b nodes, and Σ(a·l+b) must equal n−k+1; w is
+// the write-quorum size at levels 1..h (ignored when h = 0).
+func WithTrapezoid(a, b, h, w int) Option {
+	return func(c *config) {
+		c.shape = trapezoid.Shape{A: a, B: b, H: h}
+		c.w = w
+	}
+}
+
+// WithPlacement selects the strategy mapping stripes to cluster
+// nodes; the strategy's node count defines the cluster size the
+// backend is asked to provision. Only meaningful for Open (the
+// object store); OpenStore always uses exactly n nodes.
+func WithPlacement(p placement.Strategy) Option {
+	return func(c *config) {
+		if p == nil {
+			c.errs = append(c.errs, errors.New("trapquorum: WithPlacement(nil)"))
+			return
+		}
+		c.place = p
+	}
+}
+
+// WithBlockSize sets the fixed data-block size in bytes for the
+// object store's stripes (default 4096). Only meaningful for Open;
+// OpenStore derives block sizes from the payloads it is given.
+func WithBlockSize(bytes int) Option {
+	return func(c *config) { c.blockSize = bytes }
+}
+
+// WithBackend selects the transport backend providing the cluster's
+// node clients. The default is NewSimBackend(), the in-process
+// simulated fail-stop cluster.
+func WithBackend(b Backend) Option {
+	return func(c *config) {
+		if b == nil {
+			c.errs = append(c.errs, errors.New("trapquorum: WithBackend(nil)"))
+			return
+		}
+		c.backend = b
+	}
+}
+
+// WithDisableRollback reproduces the paper's Algorithm 1 verbatim:
+// failed writes leave their partial updates behind. Leave unset
+// unless studying the failed-write residue hazard.
+func WithDisableRollback() Option {
+	return func(c *config) { c.disableRollback = true }
+}

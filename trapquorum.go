@@ -3,42 +3,61 @@
 // and M'zoughi, "Trapezoid Quorum Protocol Dedicated to Erasure
 // Resilient Coding Based Schemes", IPDPSW 2015.
 //
-// A Store keeps each stripe as k original data blocks plus n−k parity
-// blocks of a systematic (n,k) MDS erasure code, spread over n
-// simulated fail-stop storage nodes. Strict consistency is maintained
-// by the trapezoid quorum protocol: writes must reach w_l nodes on
-// every level of a logical trapezoid laid over the block's data node
-// and the parity nodes; reads collect versions from s_l−w_l+1 nodes of
-// some level — guaranteed to overlap every write — then either read
-// the data node directly or decode from k consistent shards.
+// # The v1 surface
+//
+// The headline type is ObjectStore: a keyed erasure-coded object store
+// spreading stripes across a cluster by a placement strategy, with
+// strict per-block consistency through the trapezoid quorum protocol.
+// Every operation takes a context.Context and can be bounded or
+// cancelled mid-quorum:
+//
+//	store, err := trapquorum.Open(ctx,
+//	        trapquorum.WithCode(15, 8),
+//	        trapquorum.WithTrapezoid(2, 3, 1, 3),
+//	        trapquorum.WithBlockSize(4096),
+//	        trapquorum.WithPlacement(ring))
+//	if err != nil { ... }
+//	defer store.Close()
+//	err  = store.Put(ctx, "vm-alpha.img", image)
+//	data, err := store.Get(ctx, "vm-alpha.img")
+//	err  = store.WriteAt(ctx, "vm-alpha.img", 512, patch)
+//
+// The low-level single-stripe Store (via OpenStore) exposes the
+// protocol directly — SeedStripe, WriteBlock, ReadBlock — for
+// callers managing stripes themselves and for protocol experiments.
+//
+// Both run on any backend implementing the client.NodeClient transport
+// contract; the built-in SimBackend provides the in-process simulated
+// fail-stop cluster the paper's evaluation assumes.
+//
+// # Protocol
+//
+// A stripe keeps k original data blocks plus n−k parity blocks of a
+// systematic (n,k) MDS erasure code, spread over n storage nodes.
+// Strict consistency is maintained by the trapezoid quorum protocol:
+// writes must reach w_l nodes on every level of a logical trapezoid
+// laid over the block's data node and the parity nodes; reads collect
+// versions from s_l−w_l+1 nodes of some level — guaranteed to overlap
+// every write — then either read the data node directly or decode
+// from k consistent shards.
 //
 // Compared to keeping n−k+1 full replicas, the erasure-coded layout
 // stores n/k block-sizes instead of n−k+1 (a 4–8× saving at practical
 // parameters) at the same write availability and a read availability
 // that is indistinguishable for node availabilities above 0.8.
-//
-//	store, err := trapquorum.Open(trapquorum.Config{
-//	        N: 15, K: 8,
-//	        A: 2, B: 3, H: 1, W: 3,
-//	})
-//	if err != nil { ... }
-//	defer store.Close()
-//	err = store.WriteObject(1, payload)
-//	data, err := store.ReadObject(1)
 package trapquorum
 
 import (
 	"errors"
-	"fmt"
 
-	"trapquorum/internal/availability"
 	"trapquorum/internal/core"
-	"trapquorum/internal/erasure"
-	"trapquorum/internal/sim"
+	"trapquorum/internal/service"
 	"trapquorum/internal/trapezoid"
 )
 
-// Re-exported protocol errors; test with errors.Is.
+// Re-exported protocol errors; test with errors.Is. Context aborts
+// surface as context.Canceled / context.DeadlineExceeded, reachable
+// through errors.Is as well.
 var (
 	// ErrWriteFailed reports that some trapezoid level could not reach
 	// its write threshold w_l.
@@ -46,199 +65,39 @@ var (
 	// ErrNotReadable reports that no level reached its version-check
 	// threshold, or no k consistent shards were available to decode.
 	ErrNotReadable = core.ErrNotReadable
-	// ErrUnknownStripe reports an operation on an id that was never
-	// written.
+	// ErrUnknownStripe reports an operation on a stripe id that was
+	// never written.
 	ErrUnknownStripe = core.ErrUnknownStripe
+	// ErrUnknownKey reports an ObjectStore operation on a key that
+	// does not exist.
+	ErrUnknownKey = service.ErrUnknownKey
+	// ErrBadRange reports an ObjectStore range operation outside the
+	// object's extent.
+	ErrBadRange = service.ErrBadRange
+	// ErrExists reports a Put on a key that already exists.
+	ErrExists = service.ErrExists
 )
 
-// Config selects the erasure code and the trapezoid quorum geometry.
+// OpError is the typed error every failed quorum operation returns:
+// it carries the operation name and the stripe/block/level/node where
+// the failure occurred, and unwraps to the sentinel cause —
+// ErrWriteFailed, ErrNotReadable, context.Canceled,
+// context.DeadlineExceeded — so errors.Is and errors.As both work:
 //
-// The (n,k) MDS code stores k data blocks and n−k parity blocks per
-// stripe. The trapezoid has H+1 levels; level l holds A·l+B nodes, and
-// the total must equal n−k+1 (the data node plus the parity nodes).
-// Writes need ⌊B/2⌋+1 nodes at level 0 and W nodes at each level
-// above.
-type Config struct {
-	// N and K are the MDS code parameters (1 ≤ K ≤ N ≤ 256).
-	N, K int
-	// A, B, H are the trapezoid shape: level l holds A·l+B nodes,
-	// levels 0..H. Σ(A·l+B) must equal N−K+1.
-	A, B, H int
-	// W is the write-quorum size at levels 1..H (1 ≤ W ≤ level size).
-	// Ignored when H = 0.
-	W int
-	// DisableRollback reproduces the paper's Algorithm 1 verbatim:
-	// failed writes leave their partial updates behind. Leave false
-	// unless studying the failed-write residue hazard.
-	DisableRollback bool
-}
+//	var op *trapquorum.OpError
+//	if errors.As(err, &op) { log.Printf("stripe %d level %d", op.Stripe, op.Level) }
+//	if errors.Is(err, context.DeadlineExceeded) { retryLater() }
+type OpError = core.OpError
 
 // Metrics is a snapshot of protocol counters. DirectReads and
 // DecodeReads mirror the P1/P2 decomposition of the paper's
 // equation (13).
 type Metrics = core.MetricsSnapshot
 
-// Store is an erasure-coded quorum-replicated block store backed by an
-// in-process simulated cluster of N fail-stop nodes. It is safe for
-// concurrent use.
-type Store struct {
-	cfg     Config
-	code    *erasure.Code
-	tcfg    trapezoid.Config
-	cluster *sim.Cluster
-	sys     *core.System
-}
-
-// Open validates the configuration, starts the N simulated nodes and
-// assembles the protocol on top. Close must be called when done.
-func Open(cfg Config) (*Store, error) {
-	code, err := erasure.New(cfg.N, cfg.K)
-	if err != nil {
-		return nil, err
-	}
-	shape := trapezoid.Shape{A: cfg.A, B: cfg.B, H: cfg.H}
-	tcfg, err := trapezoid.NewConfig(shape, cfg.W)
-	if err != nil {
-		return nil, err
-	}
-	if got, want := shape.NbNodes(), cfg.N-cfg.K+1; got != want {
-		return nil, fmt.Errorf("trapquorum: trapezoid (a=%d b=%d h=%d) holds %d nodes; need n-k+1 = %d",
-			cfg.A, cfg.B, cfg.H, got, want)
-	}
-	cluster, err := sim.NewCluster(cfg.N)
-	if err != nil {
-		return nil, err
-	}
-	nodes := make([]core.NodeClient, cfg.N)
-	for j := 0; j < cfg.N; j++ {
-		nodes[j] = cluster.Node(j)
-	}
-	sys, err := core.NewSystem(code, tcfg, nodes, core.Options{DisableRollback: cfg.DisableRollback})
-	if err != nil {
-		cluster.Close()
-		return nil, err
-	}
-	return &Store{cfg: cfg, code: code, tcfg: tcfg, cluster: cluster, sys: sys}, nil
-}
-
-// Close stops the simulated nodes. The store is unusable afterwards.
-func (s *Store) Close() { s.cluster.Close() }
-
-// Config returns the configuration the store was opened with.
-func (s *Store) Config() Config { return s.cfg }
-
-// WriteObject stores a payload of arbitrary size under the given id,
-// splitting it into the stripe's k data blocks. All N nodes must be up
-// (initial placement is allocation, not a quorum operation).
-func (s *Store) WriteObject(id uint64, payload []byte) error {
-	return s.sys.WriteObject(id, payload)
-}
-
-// ReadObject reads a payload back through one quorum read per block.
-func (s *Store) ReadObject(id uint64) ([]byte, error) {
-	return s.sys.ReadObject(id)
-}
-
-// SeedStripe installs k explicit equally-sized data blocks as stripe
-// id, for callers managing blocks directly.
-func (s *Store) SeedStripe(id uint64, blocks [][]byte) error {
-	return s.sys.SeedStripe(id, blocks)
-}
-
-// WriteBlock updates data block index (0 ≤ index < K) of a stripe via
-// Algorithm 1: the quorum write with in-place parity deltas.
-func (s *Store) WriteBlock(id uint64, index int, data []byte) error {
-	return s.sys.WriteBlock(id, index, data)
-}
-
-// ReadBlock reads one data block via Algorithm 2 and reports the
-// version served.
-func (s *Store) ReadBlock(id uint64, index int) ([]byte, uint64, error) {
-	return s.sys.ReadBlock(id, index)
-}
-
-// NodeCount returns N, the number of storage nodes.
-func (s *Store) NodeCount() int { return s.cfg.N }
-
-// CrashNode fail-stops node j (0 ≤ j < N). Data survives; operations
-// against the node fail until RestartNode.
-func (s *Store) CrashNode(j int) { s.cluster.Crash(j) }
-
-// RestartNode revives node j with its chunks intact.
-func (s *Store) RestartNode(j int) { s.cluster.Restart(j) }
-
-// WipeNode erases node j's storage (media replacement). The node must
-// be up. Follow with RepairNode.
-func (s *Store) WipeNode(j int) error { return s.cluster.Node(j).Wipe() }
-
-// RepairNode rebuilds every stripe shard assigned to node j from the
-// surviving nodes (exact repair). It returns how many chunks were
-// rebuilt.
-func (s *Store) RepairNode(j int) (int, error) { return s.sys.RepairNode(j) }
-
-// RepairStripeShard rebuilds a single shard of a single stripe.
-func (s *Store) RepairStripeShard(id uint64, shard int) error {
-	return s.sys.RepairShard(id, shard)
-}
-
-// RepairStripe repairs every stale shard of a stripe, iterating to a
-// fixpoint (stale parity needs fresh data shards and vice versa; see
-// the core package's ordering discussion). It returns how many repair
-// calls succeeded and which shards were left untouched because they
-// are ahead of every rebuildable state.
-func (s *Store) RepairStripe(id uint64) (repaired int, ahead []int, err error) {
-	return s.sys.RepairStripe(id)
-}
-
-// AliveNodes returns how many nodes are currently up.
-func (s *Store) AliveNodes() int { return s.cluster.AliveCount() }
-
-// ScrubReport re-exports the stripe audit result of the core package.
+// ScrubReport is the stripe audit result of a scrub: the freshest
+// consistent version vector plus the stale/ahead/unreachable shard
+// classification and byte-level parity verification.
 type ScrubReport = core.ScrubReport
-
-// ScrubStripe audits a stripe read-only: it reports the freshest
-// consistent version vector, stale/ahead/unreachable shards, and
-// byte-level parity mismatches (silent corruption). Pair with
-// RepairStripe when it reports degradation.
-func (s *Store) ScrubStripe(id uint64) (ScrubReport, error) {
-	return s.sys.ScrubStripe(id)
-}
-
-// Metrics returns a snapshot of the protocol counters.
-func (s *Store) Metrics() Metrics { return s.sys.Metrics() }
-
-// WriteAvailability evaluates the paper's equation (8)/(9): the
-// probability a block write succeeds when every node is independently
-// up with probability p. Identical for the erasure-coded and
-// full-replication variants.
-func (s *Store) WriteAvailability(p float64) float64 {
-	return availability.Write(s.tcfg, p)
-}
-
-// ReadAvailability evaluates the paper's equation (13): the
-// probability a block read succeeds at node availability p.
-func (s *Store) ReadAvailability(p float64) (float64, error) {
-	return availability.ReadERC(availability.ERCParams{Config: s.tcfg, N: s.cfg.N, K: s.cfg.K}, p)
-}
-
-// ReadAvailabilityFullReplication evaluates equation (10): what the
-// same trapezoid would deliver with full replicas instead of parity.
-func (s *Store) ReadAvailabilityFullReplication(p float64) float64 {
-	return availability.ReadFR(s.tcfg, p)
-}
-
-// StorageOverhead returns the disk used per data block in units of
-// block size: n/k for this store (equation 15), versus n−k+1 under
-// full replication (equation 14).
-func (s *Store) StorageOverhead() float64 {
-	return availability.StorageERC(s.cfg.N, s.cfg.K)
-}
-
-// FullReplicationOverhead returns equation (14)'s n−k+1 for
-// comparison.
-func (s *Store) FullReplicationOverhead() float64 {
-	return availability.StorageFR(s.cfg.N, s.cfg.K)
-}
 
 // Shapes lists every valid trapezoid shape (a, b, h triple with
 // h ≤ maxH) for an (n,k) code, to explore the design space.

@@ -2,6 +2,7 @@ package trapquorum
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,61 +11,91 @@ import (
 
 func fig3Store(t testing.TB) *Store {
 	t.Helper()
-	s, err := Open(Config{N: 15, K: 8, A: 2, B: 3, H: 1, W: 3})
+	s, err := OpenStore(context.Background(), WithCode(15, 8), WithTrapezoid(2, 3, 1, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.Close)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func fig3ObjectStore(t testing.TB, opts ...Option) *ObjectStore {
+	t.Helper()
+	s, err := Open(context.Background(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
 	return s
 }
 
 func TestOpenValidation(t *testing.T) {
-	cases := []Config{
-		{N: 15, K: 8, A: 2, B: 3, H: 2, W: 3}, // trapezoid holds 15, need 8
-		{N: 15, K: 0, A: 2, B: 3, H: 1, W: 3},
-		{N: 4, K: 8, A: 2, B: 3, H: 1, W: 3},
-		{N: 15, K: 8, A: 2, B: 3, H: 1, W: 9}, // w > s_1
-		{N: 15, K: 8, A: -1, B: 3, H: 1, W: 3},
+	ctx := context.Background()
+	cases := [][]Option{
+		{WithCode(15, 8), WithTrapezoid(2, 3, 2, 3)}, // trapezoid holds 15, need 8
+		{WithCode(15, 0), WithTrapezoid(2, 3, 1, 3)},
+		{WithCode(4, 8), WithTrapezoid(2, 3, 1, 3)},
+		{WithCode(15, 8), WithTrapezoid(2, 3, 1, 9)}, // w > s_1
+		{WithCode(15, 8), WithTrapezoid(-1, 3, 1, 3)},
+		{WithBlockSize(0)},
+		{WithPlacement(nil)},
+		{WithBackend(nil)},
+		{nil},
 	}
-	for i, cfg := range cases {
-		if _, err := Open(cfg); err == nil {
-			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+	for i, opts := range cases {
+		if _, err := Open(ctx, opts...); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+		if _, err := OpenStore(ctx, opts...); err == nil && i < 5 {
+			t.Errorf("case %d: OpenStore accepted invalid options", i)
 		}
 	}
 }
 
+func TestOpenDefaultsAreFig3(t *testing.T) {
+	s := fig3ObjectStore(t)
+	if n, k := s.CodeParams(); n != 15 || k != 8 {
+		t.Fatalf("default code (%d,%d)", n, k)
+	}
+	if s.NodeCount() != 15 {
+		t.Fatalf("default cluster size %d", s.NodeCount())
+	}
+}
+
 func TestObjectLifecycle(t *testing.T) {
+	ctx := context.Background()
 	s := fig3Store(t)
 	payload := []byte("strict consistency over erasure-coded virtual disks")
-	if err := s.WriteObject(1, payload); err != nil {
+	if err := s.WriteObject(ctx, 1, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.ReadObject(1)
+	got, err := s.ReadObject(ctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatal("round trip mismatch")
 	}
-	if _, err := s.ReadObject(2); !errors.Is(err, ErrUnknownStripe) {
+	if _, err := s.ReadObject(ctx, 2); !errors.Is(err, ErrUnknownStripe) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestBlockLifecycle(t *testing.T) {
+	ctx := context.Background()
 	s := fig3Store(t)
 	blocks := make([][]byte, 8)
 	for i := range blocks {
 		blocks[i] = bytes.Repeat([]byte{byte(i)}, 32)
 	}
-	if err := s.SeedStripe(5, blocks); err != nil {
+	if err := s.SeedStripe(ctx, 5, blocks); err != nil {
 		t.Fatal(err)
 	}
 	x := bytes.Repeat([]byte{0xEE}, 32)
-	if err := s.WriteBlock(5, 3, x); err != nil {
+	if err := s.WriteBlock(ctx, 5, 3, x); err != nil {
 		t.Fatal(err)
 	}
-	got, version, err := s.ReadBlock(5, 3)
+	got, version, err := s.ReadBlock(ctx, 5, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,9 +105,10 @@ func TestBlockLifecycle(t *testing.T) {
 }
 
 func TestFailureToleranceEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	s := fig3Store(t)
 	payload := bytes.Repeat([]byte("virtualdisk!"), 100)
-	if err := s.WriteObject(9, payload); err != nil {
+	if err := s.WriteObject(ctx, 9, payload); err != nil {
 		t.Fatal(err)
 	}
 	// Crash nodes but keep the level-0 version check (shards 8, 9) up.
@@ -86,7 +118,7 @@ func TestFailureToleranceEndToEnd(t *testing.T) {
 	if s.AliveNodes() != 12 {
 		t.Fatalf("alive = %d", s.AliveNodes())
 	}
-	got, err := s.ReadObject(9)
+	got, err := s.ReadObject(ctx, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,64 +131,67 @@ func TestFailureToleranceEndToEnd(t *testing.T) {
 }
 
 func TestRepairLifecycle(t *testing.T) {
+	ctx := context.Background()
 	s := fig3Store(t)
-	if err := s.WriteObject(3, bytes.Repeat([]byte{7}, 500)); err != nil {
+	if err := s.WriteObject(ctx, 3, bytes.Repeat([]byte{7}, 500)); err != nil {
 		t.Fatal(err)
 	}
 	s.CrashNode(10)
 	s.RestartNode(10)
-	if err := s.WipeNode(10); err != nil {
+	if err := s.WipeNode(ctx, 10); err != nil {
 		t.Fatal(err)
 	}
-	n, err := s.RepairNode(10)
+	n, err := s.RepairNode(ctx, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("repaired %d chunks", n)
 	}
-	if err := s.RepairStripeShard(3, 10); err != nil {
+	if err := s.RepairStripeShard(ctx, 3, 10); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRepairStripePublicAPI(t *testing.T) {
+	ctx := context.Background()
 	s := fig3Store(t)
-	if err := s.WriteObject(4, bytes.Repeat([]byte{3}, 800)); err != nil {
+	if err := s.WriteObject(ctx, 4, bytes.Repeat([]byte{3}, 800)); err != nil {
 		t.Fatal(err)
 	}
 	// Degrade a write so two parity shards go stale, then heal.
 	s.CrashNode(10)
 	s.CrashNode(11)
-	blockData, _, err := s.ReadBlock(4, 0)
+	blockData, _, err := s.ReadBlock(ctx, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	blockData[0] ^= 0xFF
-	if err := s.WriteBlock(4, 0, blockData); err != nil {
+	if err := s.WriteBlock(ctx, 4, 0, blockData); err != nil {
 		t.Fatal(err)
 	}
 	s.RestartNode(10)
 	s.RestartNode(11)
-	repaired, ahead, err := s.RepairStripe(4)
+	repaired, ahead, err := s.RepairStripe(ctx, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if repaired == 0 || len(ahead) != 0 {
 		t.Fatalf("repaired=%d ahead=%v", repaired, ahead)
 	}
-	got, _, err := s.ReadBlock(4, 0)
+	got, _, err := s.ReadBlock(ctx, 4, 0)
 	if err != nil || !bytes.Equal(got, blockData) {
 		t.Fatalf("post-repair read wrong (%v)", err)
 	}
 }
 
 func TestScrubPublicAPI(t *testing.T) {
+	ctx := context.Background()
 	s := fig3Store(t)
-	if err := s.WriteObject(6, bytes.Repeat([]byte{9}, 300)); err != nil {
+	if err := s.WriteObject(ctx, 6, bytes.Repeat([]byte{9}, 300)); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.ScrubStripe(6)
+	rep, err := s.ScrubStripe(ctx, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +199,7 @@ func TestScrubPublicAPI(t *testing.T) {
 		t.Fatalf("fresh object unhealthy: %v", rep)
 	}
 	s.CrashNode(13)
-	rep, err = s.ScrubStripe(6)
+	rep, err = s.ScrubStripe(ctx, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,43 +254,113 @@ func TestShapes(t *testing.T) {
 
 func TestConfigAccessors(t *testing.T) {
 	s := fig3Store(t)
-	if s.NodeCount() != 15 || s.Config().K != 8 {
+	n, k := s.CodeParams()
+	if s.NodeCount() != 15 || n != 15 || k != 8 {
 		t.Fatal("accessors wrong")
 	}
 }
 
 func TestWriteFailsWithoutQuorumPublicAPI(t *testing.T) {
+	ctx := context.Background()
 	s := fig3Store(t)
-	if err := s.WriteObject(1, []byte("x")); err != nil {
+	if err := s.WriteObject(ctx, 1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	// Starve level 1: parity shards 10..14, w=3.
 	s.CrashNode(12)
 	s.CrashNode(13)
 	s.CrashNode(14)
-	err := s.WriteBlock(1, 0, bytes.Repeat([]byte{1}, 1))
+	err := s.WriteBlock(ctx, 1, 0, bytes.Repeat([]byte{1}, 1))
 	if !errors.Is(err, ErrWriteFailed) {
 		t.Fatalf("err = %v", err)
 	}
+	var op *OpError
+	if !errors.As(err, &op) {
+		t.Fatalf("quorum failure not an OpError: %v", err)
+	}
+	if op.Op != "write" || op.Stripe != 1 || op.Block != 0 || op.Level != 1 {
+		t.Fatalf("OpError detail wrong: %+v", op)
+	}
 }
 
-// ExampleOpen demonstrates the quickstart flow: open a (15,8) store
-// with the paper's Figure-3 trapezoid, store an object, lose nodes,
-// and read it back intact.
+func TestObjectStoreLifecycle(t *testing.T) {
+	ctx := context.Background()
+	s := fig3ObjectStore(t, WithBlockSize(256))
+	payload := bytes.Repeat([]byte("the paper's target context is storage virtualization. "), 100)
+	if err := s.Put(ctx, "disk.img", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "disk.img", payload); !errors.Is(err, ErrExists) {
+		t.Fatalf("double put: %v", err)
+	}
+	got, err := s.Get(ctx, "disk.img")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("get mismatch (%v)", err)
+	}
+	// In-place patch plus range read.
+	patch := []byte("QUORUM-PATCHED")
+	if err := s.WriteAt(ctx, "disk.img", 300, patch); err != nil {
+		t.Fatal(err)
+	}
+	copy(payload[300:], patch)
+	mid, err := s.ReadAt(ctx, "disk.img", 290, 40)
+	if err != nil || !bytes.Equal(mid, payload[290:330]) {
+		t.Fatalf("ReadAt mismatch (%v)", err)
+	}
+	if sz, err := s.Size("disk.img"); err != nil || sz != len(payload) {
+		t.Fatalf("size %d (%v)", sz, err)
+	}
+	// Survive node loss, repair a wiped disk, scrub.
+	s.CrashNode(2)
+	s.CrashNode(7)
+	if got, err := s.Get(ctx, "disk.img"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("degraded get (%v)", err)
+	}
+	s.RestartNode(2)
+	if err := s.WipeNode(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RepairNode(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := s.Scrub(ctx, "disk.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripes, _ := s.StripesOf("disk.img")
+	if len(reports) != len(stripes) || len(stripes) < 2 {
+		t.Fatalf("%d reports for %d stripes", len(reports), len(stripes))
+	}
+	// Delete and verify gone.
+	if err := s.Delete(ctx, "disk.img"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "disk.img"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	if keys := s.Keys(); len(keys) != 0 {
+		t.Fatalf("keys after delete: %v", keys)
+	}
+}
+
+// ExampleOpen demonstrates the quickstart flow: open an object store
+// with the paper's Figure-3 configuration, store an object, lose
+// nodes, and read it back intact.
 func ExampleOpen() {
-	store, err := Open(Config{N: 15, K: 8, A: 2, B: 3, H: 1, W: 3})
+	ctx := context.Background()
+	store, err := Open(ctx, WithCode(15, 8), WithTrapezoid(2, 3, 1, 3))
 	if err != nil {
 		panic(err)
 	}
 	defer store.Close()
 
-	if err := store.WriteObject(1, []byte("hello, trapezoid")); err != nil {
+	if err := store.Put(ctx, "greeting", []byte("hello, trapezoid")); err != nil {
 		panic(err)
 	}
 	store.CrashNode(0) // lose a data node
 	store.CrashNode(9) // and a parity node
 
-	data, err := store.ReadObject(1)
+	data, err := store.Get(ctx, "greeting")
 	if err != nil {
 		panic(err)
 	}
