@@ -30,8 +30,11 @@ type Backend interface {
 // for WipeNode, return an error) when the configured backend does not
 // support fault injection.
 type FaultInjector interface {
+	// Crash fail-stops node j; its data survives.
 	Crash(node int)
+	// Restart revives node j with its chunks intact.
 	Restart(node int)
+	// AliveNodes returns how many nodes are currently up.
 	AliveNodes() int
 	// Wipe erases node j's storage (media replacement). The node must
 	// be up.
@@ -135,6 +138,19 @@ func (b *SimBackend) AliveNodes() int { return b.live().AliveCount() }
 // up. Follow with a repair.
 func (b *SimBackend) Wipe(ctx context.Context, node int) error {
 	return b.live().Node(node).Wipe(ctx)
+}
+
+// SetNodeDelay turns node j into a straggler: every operation on it
+// takes the given fixed latency instead of the cluster-wide model
+// (d = 0 restores zero latency). Operations already in their delay
+// window keep the old latency. Used to demonstrate first-k early
+// termination and hedging against slow nodes.
+func (b *SimBackend) SetNodeDelay(node int, d time.Duration) {
+	if d <= 0 {
+		b.live().SetNodeDelay(node, nil)
+		return
+	}
+	b.live().SetNodeDelay(node, sim.FixedDelay(d))
 }
 
 // faultInjector asserts the backend supports fault injection.

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"trapquorum"
@@ -305,19 +306,19 @@ func TestExternalBackendCancelMidWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Cancel from inside the third parity add of the write: by then
-	// the data node and two parity nodes already applied the update.
+	// Cancel from inside the third parity add of the write: some
+	// subset of the nodes has applied the update by then (the fan-out
+	// runs the adds concurrently, so exactly which subset varies), and
+	// the rollback must undo whatever landed. The counter is atomic
+	// because the hooks now run from parallel RPCs.
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	adds := 0
+	var adds atomic.Int64
 	for _, node := range backend.nodes[8:] {
 		node.onOp = func(op string) error {
-			if op == "add" {
-				adds++
-				if adds == 3 {
-					cancel()
-					return wctx.Err()
-				}
+			if op == "add" && adds.Add(1) == 3 {
+				cancel()
+				return wctx.Err()
 			}
 			return nil
 		}

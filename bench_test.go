@@ -2,9 +2,12 @@ package trapquorum
 
 // One benchmark per experiment of DESIGN.md §3. Each regenerates the
 // corresponding figure's data (F2–F5), validates closed forms by
-// Monte-Carlo (V1), or measures the ablations (A1–A3). Key scalar
-// outputs are attached via b.ReportMetric so `go test -bench` output
-// doubles as the numeric record EXPERIMENTS.md cites.
+// Monte-Carlo (V1), or measures the ablations (A1–A4) and the
+// concurrent-engine experiments (A8: sequential vs parallel latency,
+// straggler isolation, hedged tails — recorded in
+// docs/PERFORMANCE.md). Key scalar outputs are attached via
+// b.ReportMetric so `go test -bench` output doubles as the numeric
+// record the docs cite.
 
 import (
 	"bytes"
@@ -318,6 +321,144 @@ func BenchmarkLatencyDistribution(b *testing.B) {
 	b.ReportMetric(1e3*rep.Samples[latency.HealthyRead].Percentile(0.5), "readP50ms")
 	b.ReportMetric(1e3*rep.Samples[latency.DegradedRead].Percentile(0.5), "degradedP50ms")
 	b.ReportMetric(1e3*rep.Samples[latency.QuorumWrite].Percentile(0.5), "writeP50ms")
+}
+
+// lanBackend is the default fixture backend of the A8 concurrency
+// benchmarks: every simulated node imposes a fixed 200µs
+// per-operation latency (a LAN RPC).
+func lanBackend() *SimBackend {
+	return NewSimBackend(WithFixedNodeDelay(200 * time.Microsecond))
+}
+
+// benchDelayedStore opens a seeded (15,8) store on the given simulated
+// backend, plus any extra options.
+func benchDelayedStore(b *testing.B, backend *SimBackend, extra ...Option) *Store {
+	b.Helper()
+	opts := append([]Option{
+		WithCode(15, 8),
+		WithTrapezoid(2, 3, 1, 3),
+		WithBackend(backend),
+	}, extra...)
+	store, err := OpenStore(context.Background(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	blocks := make([][]byte, 8)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte{byte(i)}, 4096)
+	}
+	if err := store.SeedStripe(context.Background(), 1, blocks); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// BenchmarkQuorumReadSequential measures a healthy quorum read under a
+// 200µs per-node delay with the sequential engine (concurrency 1):
+// latency is the *sum* of the version probes plus the chunk read.
+func BenchmarkQuorumReadSequential(b *testing.B) {
+	store := benchDelayedStore(b, lanBackend(), WithConcurrency(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.ReadBlock(context.Background(), 1, i%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuorumReadParallel is BenchmarkQuorumReadSequential on the
+// default parallel fan-out: all probes fly at once and the read
+// terminates at the first level quorum, so latency tracks the *max*
+// per-level RPC latency. The A8 experiment is the ratio of the two.
+func BenchmarkQuorumReadParallel(b *testing.B) {
+	store := benchDelayedStore(b, lanBackend())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.ReadBlock(context.Background(), 1, i%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuorumWriteSequential measures a quorum write (initial
+// read + 8 node updates) under a 200µs per-node delay, one RPC at a
+// time.
+func BenchmarkQuorumWriteSequential(b *testing.B) {
+	store := benchDelayedStore(b, lanBackend(), WithConcurrency(1))
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.WriteBlock(context.Background(), 1, i%8, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuorumWriteParallel is the same write on the parallel
+// engine: the whole trapezoid is updated in one fan-out round.
+func BenchmarkQuorumWriteParallel(b *testing.B) {
+	store := benchDelayedStore(b, lanBackend())
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.WriteBlock(context.Background(), 1, i%8, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFirstKDecodeUnderStraggler measures the degraded-read
+// decode path with one surviving parity node 100× slower than the
+// rest: first-k termination decodes from the 13 prompt shards and
+// cancels the straggler, so the extra latency never lands on the
+// read. (On the sequential engine the same read would serialise
+// behind the straggler.)
+func BenchmarkFirstKDecodeUnderStraggler(b *testing.B) {
+	backend := lanBackend()
+	store := benchDelayedStore(b, backend)
+	store.CrashNode(2)                           // force Case 2 for block 2
+	backend.SetNodeDelay(9, 20*time.Millisecond) // parity shard 9 lags
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.ReadBlock(context.Background(), 1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnhedgedReadTailLatency is the no-hedging baseline of
+// BenchmarkHedgedReadTailLatency: healthy reads under the same
+// heavy-tailed per-node delay (uniform 100µs–8ms), where a slow draw
+// on a needed node lands directly on the read latency.
+func BenchmarkUnhedgedReadTailLatency(b *testing.B) {
+	store := benchDelayedStore(b,
+		NewSimBackend(WithUniformNodeDelay(100*time.Microsecond, 8*time.Millisecond, 7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.ReadBlock(context.Background(), 1, i%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHedgedReadTailLatency measures healthy reads under a heavy-
+// tailed per-node delay (uniform 100µs–8ms) with adaptive hedging at
+// the 0.25 window quantile (floored at 500µs) — aggressive on purpose,
+// since under this distribution most of a read's latency is one slow
+// draw and a fresh draw usually lands first. Reported: how many RPCs
+// the run hedged.
+func BenchmarkHedgedReadTailLatency(b *testing.B) {
+	store := benchDelayedStore(b,
+		NewSimBackend(WithUniformNodeDelay(100*time.Microsecond, 8*time.Millisecond, 7)),
+		WithHedging(500*time.Microsecond, 0.25))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.ReadBlock(context.Background(), 1, i%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(store.Metrics().HedgedRPCs), "hedgedRPCs")
 }
 
 // BenchmarkProtocolAvailabilityAtP measures protocol-level Monte-Carlo

@@ -1,28 +1,3 @@
-// Package client defines the transport-level contract between the
-// TRAP-ERC quorum protocol and the storage nodes it runs on: the chunk
-// naming and version-vector model, the sentinel errors a node may
-// return, and the NodeClient interface every backend must implement.
-//
-// The protocol core is written entirely against NodeClient, so a
-// backend is free to put anything behind it — the in-process simulated
-// cluster this repository ships, a network RPC client, a local disk, a
-// cloud object store. Every method takes a context.Context: a backend
-// must give up promptly when the context is cancelled or its deadline
-// expires, returning the context's error (possibly wrapped). An
-// operation that fails with a context error must leave the node state
-// unchanged or report the partial effect through the usual sentinel
-// errors on the next call.
-//
-// Version semantics the protocol relies on:
-//
-//   - A data chunk (shard < k) carries exactly one version, that of
-//     the data block it stores.
-//   - A parity chunk (shard ≥ k) carries k versions — entry i says
-//     which version of data block i is folded into the parity bytes.
-//   - CompareAndPut / CompareAndAdd must check and update the
-//     addressed version slot atomically with the data mutation; the
-//     protocol's consistency argument depends on that per-node
-//     atomicity.
 package client
 
 import (
@@ -52,8 +27,10 @@ var (
 // the stripe (0..n-1; positions < k hold original data blocks,
 // positions ≥ k hold parity).
 type ChunkID struct {
+	// Stripe is the stripe the shard belongs to.
 	Stripe uint64
-	Shard  int
+	// Shard is the position within the stripe, 0..n-1.
+	Shard int
 }
 
 // String renders the id as "stripe/shard".
@@ -66,7 +43,10 @@ const NoVersion = ^uint64(0)
 // Chunk is one stored shard plus its version bookkeeping (see the
 // package comment for the data/parity version-vector model).
 type Chunk struct {
-	Data     []byte
+	// Data is the shard's byte content.
+	Data []byte
+	// Versions is the shard's version vector: one entry for a data
+	// chunk, k entries for a parity chunk.
 	Versions []uint64
 }
 

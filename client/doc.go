@@ -1,0 +1,51 @@
+// Package client defines the transport contract between the TRAP-ERC
+// quorum protocol and the storage nodes it runs on: the chunk naming
+// and version-vector model, the sentinel errors a node may return, and
+// the NodeClient interface every backend must implement.
+//
+// The protocol core is written entirely against NodeClient, so a
+// backend is free to put anything behind it — the in-process simulated
+// cluster this repository ships, a network RPC client, a local disk, a
+// cloud object store.
+//
+// # Concurrency and cancellation
+//
+// The protocol's dispatch engine issues many RPCs against one node
+// concurrently — every node operation of a quorum read or write is in
+// flight at once, and hedged reads can put two identical RPCs on the
+// wire. A NodeClient therefore must be safe for concurrent use, and
+// the conditional operations (CompareAndPut, CompareAndAdd,
+// PutChunkIfFresher) must make their version check atomic with the
+// data mutation; the protocol's consistency argument depends on that
+// per-node atomicity.
+//
+// Every method takes a context.Context, and the engine leans on two
+// cancellation guarantees:
+//
+//   - Promptness: a backend must give up quickly when the context is
+//     cancelled or its deadline expires, returning the context's error
+//     (possibly wrapped). First-k reads cancel straggler RPCs and then
+//     wait for them to settle, so a backend that ignores cancellation
+//     re-introduces the straggler latency the engine exists to remove.
+//   - All-or-nothing reporting: an operation that fails with a context
+//     error must have left the node state unchanged. An operation that
+//     was cancelled *after* taking effect must report its real outcome
+//     (success or a non-context error), like an RPC already on the
+//     wire. The write path's rollback decides what to undo from
+//     exactly this distinction.
+//
+// Hedging only ever duplicates read-only RPCs (ReadChunk,
+// ReadVersions), so a backend needs no idempotency beyond what the
+// interface already states.
+//
+// # Version semantics
+//
+// The version model the protocol relies on:
+//
+//   - A data chunk (shard < k) carries exactly one version, that of
+//     the data block it stores.
+//   - A parity chunk (shard ≥ k) carries k versions — entry i says
+//     which version of data block i is folded into the parity bytes.
+//
+// See the NodeClient method comments for the per-operation contract.
+package client

@@ -44,25 +44,41 @@ func main() {
 	}
 }
 
-// runLatency prints the A7 latency table on the Figure-3 configuration.
+// runLatency prints the A7 latency tables on the Figure-3
+// configuration: the sequential engine (concurrency 1, the paper's
+// implicit one-RPC-at-a-time reading of Algorithms 1–2) against the
+// parallel fan-out engine, under the same 200µs per-node delay. The
+// gap is the sum-of-nodes vs max-of-level difference DESIGN.md §2 and
+// docs/PERFORMANCE.md derive.
 func runLatency(seed int64) error {
 	tcfg, err := trapezoid.NewConfig(figures.Fig3Shape, figures.Fig3W)
 	if err != nil {
 		return err
 	}
-	rep, err := latency.Measure(context.Background(), latency.Config{
+	base := latency.Config{
 		N: figures.Fig3N, K: figures.Fig3K,
 		Trapezoid: tcfg,
 		BlockSize: 4096,
 		Delay:     sim.FixedDelay(200 * time.Microsecond),
 		Ops:       50,
 		Seed:      seed,
-	})
-	if err != nil {
-		return err
 	}
-	fmt.Println("A7 — operation latency (200µs per node op, (15,8), a=2 b=3 h=1, w=3)")
-	fmt.Println(rep.Table())
+	for _, run := range []struct {
+		title string
+		mut   func(*latency.Config)
+	}{
+		{"sequential engine (concurrency=1)", func(c *latency.Config) { c.Concurrency = 1 }},
+		{"parallel fan-out (default)", func(*latency.Config) {}},
+	} {
+		cfg := base
+		run.mut(&cfg)
+		rep, err := latency.Measure(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("A7 — operation latency, %s (200µs per node op, (15,8), a=2 b=3 h=1, w=3)\n", run.title)
+		fmt.Println(rep.Table())
+	}
 	return nil
 }
 

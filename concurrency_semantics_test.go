@@ -1,0 +1,101 @@
+package trapquorum_test
+
+// Public-surface acceptance tests for the concurrent quorum engine:
+// the WithConcurrency / WithHedging knobs validate, a straggling node
+// never gates a first-k read, and the sequential (concurrency=1)
+// engine remains a working protocol — the property the A8 benchmarks
+// compare against.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"trapquorum"
+)
+
+func TestEngineOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	for name, opts := range map[string][]trapquorum.Option{
+		"negative concurrency": {trapquorum.WithConcurrency(-1)},
+		"no-op hedging":        {trapquorum.WithHedging(0, 0)},
+		"negative hedge delay": {trapquorum.WithHedging(-time.Second, 0)},
+		"quantile out of range": {
+			trapquorum.WithHedging(time.Millisecond, 1.0)},
+	} {
+		if _, err := trapquorum.OpenStore(ctx, opts...); err == nil {
+			t.Errorf("%s: OpenStore accepted invalid option", name)
+		}
+		if _, err := trapquorum.Open(ctx, opts...); err == nil {
+			t.Errorf("%s: Open accepted invalid option", name)
+		}
+	}
+}
+
+// TestReadIgnoresStragglerThroughPublicAPI turns one parity node into
+// a 30s straggler through the SimBackend knob: quorum reads must keep
+// serving at full speed from the prompt nodes, with the straggler's
+// RPCs cancelled by the first-k termination.
+func TestReadIgnoresStragglerThroughPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend()
+	store, err := trapquorum.OpenStore(ctx,
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBackend(backend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	payload := bytes.Repeat([]byte("straggler-proof "), 64)
+	if err := store.WriteObject(ctx, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	backend.SetNodeDelay(14, 30*time.Second)
+	start := time.Now()
+	got, err := store.ReadObject(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("read blocked on straggler: %v", elapsed)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read returned wrong data")
+	}
+	backend.SetNodeDelay(14, 0) // restore for Close
+}
+
+// TestObjectStoreOnSequentialEngine drives the keyed object store with
+// concurrency 1 and hedging enabled together — the full option
+// surface on one store — through a write/patch/degraded-read cycle.
+func TestObjectStoreOnSequentialEngine(t *testing.T) {
+	ctx := context.Background()
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithBlockSize(256),
+		trapquorum.WithConcurrency(1),
+		trapquorum.WithHedging(50*time.Millisecond, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	payload := bytes.Repeat([]byte("sequential engine check "), 100)
+	if err := store.Put(ctx, "obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	patch := []byte("PATCHED")
+	if err := store.WriteAt(ctx, "obj", 300, patch); err != nil {
+		t.Fatal(err)
+	}
+	copy(payload[300:], patch)
+	store.CrashNode(0)
+	store.CrashNode(7)
+	got, err := store.Get(ctx, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("sequential-engine store returned wrong data")
+	}
+}

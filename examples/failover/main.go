@@ -23,7 +23,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer store.Close()
+	defer func() {
+		if cerr := store.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
+	}()
 
 	step := func(format string, args ...any) {
 		fmt.Printf("\n== "+format+"\n", args...)

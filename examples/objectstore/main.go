@@ -49,7 +49,10 @@ func main() {
 		if err := store.Put(ctx, key, img); err != nil {
 			log.Fatalf("put %s: %v", key, err)
 		}
-		stripes, _ := store.StripesOf(key)
+		stripes, err := store.StripesOf(key)
+		if err != nil {
+			log.Fatalf("stripes of %s: %v", key, err)
+		}
 		fmt.Printf("stored %-13s %6d bytes in %d stripe(s)\n", key, len(img), len(stripes))
 	}
 

@@ -30,14 +30,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer store.Close()
+	defer func() {
+		if cerr := store.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
+	}()
 
 	fmt.Printf("storage overhead: %.3fx block size (full replication would use %.0fx)\n",
 		store.StorageOverhead(), store.FullReplicationOverhead())
 	fmt.Printf("write availability at p=0.9: %.4f\n", store.WriteAvailability(0.9))
-	if ra, err := store.ReadAvailability(0.9); err == nil {
-		fmt.Printf("read availability at p=0.9:  %.4f\n\n", ra)
+	ra, err := store.ReadAvailability(0.9)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("read availability at p=0.9:  %.4f\n\n", ra)
 
 	// Store an object: it is split into 512-byte blocks, 8 data + 7
 	// parity per stripe, spread over the 15 nodes.

@@ -124,6 +124,7 @@ type Metrics struct {
 	FailedReads  atomic.Int64
 	Rollbacks    atomic.Int64
 	Repairs      atomic.Int64
+	HedgedRPCs   atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -135,6 +136,7 @@ type MetricsSnapshot struct {
 	FailedReads  int64
 	Rollbacks    int64
 	Repairs      int64
+	HedgedRPCs   int64
 }
 
 // Options configures a System.
@@ -143,6 +145,14 @@ type Options struct {
 	// writes, reproducing the paper's Algorithm 1 verbatim. Used by
 	// the residue-hazard tests and ablation benches.
 	DisableRollback bool
+	// Concurrency bounds the in-flight per-node RPCs of one quorum
+	// operation. 0 (the default) contacts every node of the operation
+	// at once; 1 serialises RPCs, reproducing the pre-concurrent
+	// engine for comparison benchmarks.
+	Concurrency int
+	// Hedge enables tail-latency hedging of read-path RPCs; the zero
+	// value disables it. See HedgeConfig.
+	Hedge HedgeConfig
 }
 
 type stripeInfo struct {
@@ -166,6 +176,7 @@ type System struct {
 	objectSizes map[uint64]int
 
 	metrics Metrics
+	hedge   *hedger // nil when hedging is disabled
 }
 
 type blockKey struct {
@@ -179,6 +190,13 @@ type blockKey struct {
 func NewSystem(code *erasure.Code, cfg trapezoid.Config, nodes []NodeClient, opts Options) (*System, error) {
 	if code == nil {
 		return nil, errors.New("core: nil code")
+	}
+	if opts.Concurrency < 0 {
+		return nil, fmt.Errorf("core: concurrency %d invalid (need >= 0)", opts.Concurrency)
+	}
+	if opts.Hedge.Quantile < 0 || opts.Hedge.Quantile >= 1 || opts.Hedge.Delay < 0 {
+		return nil, fmt.Errorf("core: hedge config delay=%v quantile=%v invalid (need delay >= 0, 0 <= quantile < 1)",
+			opts.Hedge.Delay, opts.Hedge.Quantile)
 	}
 	lay, err := trapezoid.NewLayout(cfg)
 	if err != nil {
@@ -195,14 +213,16 @@ func NewSystem(code *erasure.Code, cfg trapezoid.Config, nodes []NodeClient, opt
 			return nil, fmt.Errorf("core: node %d is nil", idx)
 		}
 	}
-	return &System{
+	s := &System{
 		code:    code,
 		lay:     lay,
 		nodes:   append([]NodeClient(nil), nodes...),
 		opts:    opts,
 		stripes: make(map[uint64]stripeInfo),
 		locks:   make(map[blockKey]*sync.Mutex),
-	}, nil
+	}
+	s.hedge = newHedger(opts.Hedge, &s.metrics.HedgedRPCs)
+	return s, nil
 }
 
 // Code returns the system's erasure code.
@@ -221,6 +241,7 @@ func (s *System) Metrics() MetricsSnapshot {
 		FailedReads:  s.metrics.FailedReads.Load(),
 		Rollbacks:    s.metrics.Rollbacks.Load(),
 		Repairs:      s.metrics.Repairs.Load(),
+		HedgedRPCs:   s.metrics.HedgedRPCs.Load(),
 	}
 }
 
@@ -318,9 +339,11 @@ func (s *System) versionSlot(block, shard int) int {
 }
 
 // SeedStripe bootstraps a stripe: it encodes the k data blocks and
-// installs every shard at version 1 on its node. All n nodes must be
-// reachable — initial placement is an allocation step, not a quorum
-// operation. Blocks must be non-empty and equally sized.
+// installs every shard at version 1 on its node, all installs issued
+// in parallel. All n nodes must be reachable — initial placement is an
+// allocation step, not a quorum operation. Blocks must be non-empty
+// and equally sized. On failure some shards may already be installed;
+// the caller owns cleanup (the service layer deletes them).
 func (s *System) SeedStripe(ctx context.Context, stripe uint64, data [][]byte) error {
 	shards, err := s.code.Encode(data)
 	if err != nil {
@@ -331,20 +354,36 @@ func (s *System) SeedStripe(ctx context.Context, stripe uint64, data [][]byte) e
 	for i := range parityVersions {
 		parityVersions[i] = 1
 	}
-	for j, shard := range shards {
-		if err := ctx.Err(); err != nil {
-			return opErr("seed", stripe, err)
-		}
-		var versions []uint64
+	errNode := -1
+	var nodeErr error
+	Fanout(ctx, s.opLimit(), len(shards), func(cctx context.Context, j int) (struct{}, error) {
+		versions := parityVersions
 		if j < k {
 			versions = []uint64{1}
-		} else {
-			versions = parityVersions
 		}
-		if err := s.nodes[j].PutChunk(ctx, chunkID(stripe, j), shard, versions); err != nil {
-			return &OpError{Op: "seed", Stripe: stripe, Block: -1, Level: -1, Node: j,
-				Err: fmt.Errorf("%w: node %d: %v", ErrSeedIncomplete, j, err)}
+		return struct{}{}, s.nodes[j].PutChunk(cctx, chunkID(stripe, j), shards[j], versions)
+	}, func(j int, _ struct{}, err error) bool {
+		if err == nil {
+			return true
 		}
+		// Report the lowest-numbered genuinely failing node (matching
+		// the deterministic error selection of the repair sweeps), not
+		// whichever failure settled first; installs cancelled by our
+		// own early stop are collateral, not the cause.
+		if !errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			if errNode < 0 || j < errNode {
+				errNode = j
+				nodeErr = err
+			}
+		}
+		return false // a seed needs every node: abort the rest
+	})
+	if errNode >= 0 || ctx.Err() != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return opErr("seed", stripe, cerr)
+		}
+		return &OpError{Op: "seed", Stripe: stripe, Block: -1, Level: -1, Node: errNode,
+			Err: fmt.Errorf("%w: node %d: %v", ErrSeedIncomplete, errNode, nodeErr)}
 	}
 	s.mu.Lock()
 	s.stripes[stripe] = stripeInfo{blockSize: len(shards[0])}

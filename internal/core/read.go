@@ -3,23 +3,25 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"time"
 
+	"trapquorum/client"
 	"trapquorum/internal/sim"
 )
 
 // ReadBlock implements Algorithm 2: read data block `block` of a
 // stripe. It returns the block content and the version it carries.
 //
-// Step 1 (checking version): levels are scanned from 0 to h; at each
-// level the version of the block is collected from responding nodes
-// until r_l = s_l−w_l+1 answers arrive. The first level to do so
-// determines the latest version.
+// Step 1 (checking version): every level's version probes are issued
+// in parallel through the dispatch engine; the first level to collect
+// r_l = s_l−w_l+1 answers determines the latest version, and the
+// remaining probes are cancelled ("first-quorum" early termination).
 //
 // Step 2 (read or decode): if the data node N_i holds the latest
 // version the block is read from it directly (Case 1); otherwise the
 // block is decoded from k mutually consistent shards carrying the
-// latest version (Case 2).
+// latest version (Case 2), gathered in parallel and terminated as soon
+// as a decodable set is in hand ("first-k").
 //
 // A cancelled or expired context aborts the read; the returned OpError
 // wraps the context's error.
@@ -41,6 +43,23 @@ func (s *System) ReadBlock(ctx context.Context, stripe uint64, block int) ([]byt
 // readRetryLimit bounds how often a read chases a version that
 // concurrent writes moved past mid-flight.
 const readRetryLimit = 4
+
+// dataNodeState classifies what the version check learned about the
+// data node N_i relative to the winning version.
+type dataNodeState int
+
+const (
+	// dataNodeUnknown: the probe was cancelled by the early
+	// termination before it settled — freshness unknown, the direct
+	// read is attempted optimistically (the chunk read re-verifies).
+	dataNodeUnknown dataNodeState = iota
+	// dataNodeFresh: N_i answered with the winning version.
+	dataNodeFresh
+	// dataNodeStale: N_i answered with an older version.
+	dataNodeStale
+	// dataNodeFailed: N_i's probe errored (down or missing chunk).
+	dataNodeFailed
+)
 
 // readBlock is ReadBlock without metrics/validation, shared with the
 // write path's initial read.
@@ -66,7 +85,9 @@ func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byt
 		if err := ctx.Err(); err != nil {
 			return nil, 0, wrap(err)
 		}
-		version, niVersion, niResponded, ok := s.checkVersion(ctx, stripe, block)
+		checkStart := time.Now()
+		version, ni, ok := s.checkVersion(ctx, stripe, block)
+		quorumElapsed := time.Since(checkStart)
 		if !ok {
 			if err := ctx.Err(); err != nil {
 				return nil, 0, wrap(err)
@@ -82,15 +103,41 @@ func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byt
 			return nil, 0, wrap(lastErr)
 		}
 		lastVersion = version
-		// Case 1: the data node holds the latest version — read directly.
-		if niResponded && niVersion == version {
-			chunk, err := s.nodes[block].ReadChunk(ctx, chunkID(stripe, block))
-			if err == nil && len(chunk.Versions) > 0 && chunk.Versions[0] >= version {
+		// Case 1: read directly from the data node when its probe
+		// settled with (at least) the latest version — it just
+		// answered the quorum promptly, so a blocking read is safe.
+		if ni == dataNodeFresh {
+			if data, served, ok := s.tryDirectRead(ctx, stripe, block, version); ok {
 				s.metrics.DirectReads.Add(1)
-				return chunk.Data, chunk.Versions[0], nil
+				return data, served, nil
 			}
-			// The node failed between the version check and the read;
-			// fall through to the decode path.
+			// The node failed or lagged between the version check and
+			// the read; fall through to the decode path.
+		}
+		// The data node's probe never settled (cancelled by the early
+		// termination): attempt the direct read optimistically — the
+		// chunk read re-verifies the version, so it can never serve
+		// stale data — but only trust the node for a grace period
+		// scaled to how fast the rest of the quorum answered; past it
+		// the node is treated as a straggler and the decode path races
+		// the still-pending read, so a slow data node never gates the
+		// block (the first-k guarantee).
+		if ni == dataNodeUnknown {
+			grace := 2 * quorumElapsed
+			if grace < directReadGraceFloor {
+				grace = directReadGraceFloor
+			}
+			data, served, direct, derr := s.directOrDecode(ctx, stripe, block, version, grace)
+			if derr == nil {
+				if direct {
+					s.metrics.DirectReads.Add(1)
+				} else {
+					s.metrics.DecodeReads.Add(1)
+				}
+				return data, served, nil
+			}
+			lastErr = derr
+			continue
 		}
 		// Case 2: decode from k consistent shards at the latest version.
 		data, err := s.decodeBlock(ctx, stripe, block, version)
@@ -108,40 +155,195 @@ func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byt
 	return nil, 0, wrap(lastErr)
 }
 
-// checkVersion performs Step 1 of Algorithm 2. It returns the latest
-// version found by the first level that reached its threshold, the
-// data node's own version (valid when niResponded), and ok=false when
-// every level failed.
-func (s *System) checkVersion(ctx context.Context, stripe uint64, block int) (version, niVersion uint64, niResponded, ok bool) {
-	cfg := s.lay.Config()
-	for l := 0; l <= cfg.Shape.H; l++ {
-		need := cfg.ReadThreshold(l)
-		counter := 0
-		version = sim.NoVersion
-		for _, pos := range s.lay.Level(l) {
-			shard := s.shardForPosition(block, pos)
-			versions, err := s.nodes[shard].ReadVersions(ctx, chunkID(stripe, shard))
-			if err != nil {
-				continue // down or missing: does not count
+// tryDirectRead is the Case-1 primitive shared by the fresh path and
+// the optimistic race: read the block from its data node (hedged) and
+// accept only a chunk carrying at least the target version. The ≥
+// acceptance mirrors the sequential engine: a node ahead of the
+// pinned version holds either a concurrent writer's in-flight update
+// or unrepaired residue, both of which the sequential scan — which
+// always counted N_i's probe into the version maximum — served the
+// same way (the residue anomaly is documented and demonstrated in the
+// safety tests; the paper assumes concurrency control above the
+// protocol).
+func (s *System) tryDirectRead(ctx context.Context, stripe uint64, block int, version uint64) ([]byte, uint64, bool) {
+	chunk, err := hedged(ctx, s.hedge, func(hctx context.Context) (client.Chunk, error) {
+		return s.nodes[block].ReadChunk(hctx, chunkID(stripe, block))
+	})
+	if err == nil && len(chunk.Versions) > 0 && chunk.Versions[0] >= version {
+		return chunk.Data, chunk.Versions[0], true
+	}
+	return nil, 0, false
+}
+
+// directReadGraceFloor is the minimum time a read with an unsettled
+// data-node probe trusts the optimistic direct read before racing the
+// decode path against it. Generous on purpose: on a healthy cluster
+// the direct read settles orders of magnitude sooner, so the decode
+// race — whose outcome depends on scheduling — practically never
+// starts unless the node really is a straggler.
+const directReadGraceFloor = 50 * time.Millisecond
+
+// directOrDecode resolves Case 1 vs Case 2 of Algorithm 2 when the
+// data node's freshness is unknown (its probe was cancelled by the
+// version check's early termination). The direct read is issued
+// immediately; if it settles within the grace period the result
+// decides the case on its own (success: direct; stale or error:
+// plain decode). Past the grace the node is suspected of straggling
+// and the decode runs concurrently — the first usable result wins and
+// the loser is cancelled. direct reports which path served the block.
+func (s *System) directOrDecode(ctx context.Context, stripe uint64, block int, version uint64, grace time.Duration) (data []byte, served uint64, direct bool, err error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type directRes struct {
+		data    []byte
+		version uint64
+		ok      bool
+	}
+	directCh := make(chan directRes, 1)
+	go func() {
+		d, v, ok := s.tryDirectRead(cctx, stripe, block, version)
+		directCh <- directRes{data: d, version: v, ok: ok}
+	}()
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case r := <-directCh:
+		if r.ok {
+			return r.data, r.version, true, nil
+		}
+		// The node answered promptly but stale/failed: normal decode.
+		data, err = s.decodeBlock(ctx, stripe, block, version)
+		return data, version, false, err
+	case <-timer.C:
+	}
+	// Straggler suspected: race the decode against the pending read.
+	type decodeRes struct {
+		data []byte
+		err  error
+	}
+	decodeCh := make(chan decodeRes, 1)
+	go func() {
+		d, derr := s.decodeBlock(cctx, stripe, block, version)
+		decodeCh <- decodeRes{data: d, err: derr}
+	}()
+	var decodeErr error
+	directDone, decodeDone := false, false
+	for !directDone || !decodeDone {
+		select {
+		case r := <-directCh:
+			directDone = true
+			if r.ok {
+				return r.data, r.version, true, nil
 			}
-			v, valid := s.versionOfShard(block, shard, versions)
-			if !valid {
-				continue
+		case r := <-decodeCh:
+			decodeDone = true
+			if r.err == nil {
+				return r.data, version, false, nil
 			}
-			if pos == 0 {
-				niVersion = v
-				niResponded = true
-			}
-			if version == sim.NoVersion || v > version {
-				version = v
-			}
-			counter++
-			if counter == need {
-				return version, niVersion, niResponded, true
+			decodeErr = r.err
+			// Decode failed. Under write contention this is usually
+			// the pinned-version race that readBlock's retry loop
+			// exists to absorb — so give the pending direct read only
+			// a bounded extension (it is the last hope if the gap is
+			// genuine), then return the decode error and let the
+			// caller re-check the version instead of stalling behind
+			// the straggler.
+			timer.Reset(4 * grace)
+		case <-timer.C:
+			if decodeDone {
+				return nil, 0, false, decodeErr
 			}
 		}
 	}
-	return 0, 0, false, false
+	return nil, 0, false, decodeErr
+}
+
+// checkVersion performs Step 1 of Algorithm 2 concurrently: one
+// version probe per trapezoid position, all levels in flight at once.
+// The first level to reach its read threshold wins (any level's
+// threshold guarantees overlap with every committed write at that
+// level, so racing the levels is sound); the winner's version is the
+// maximum among its first r_l valid answers, exactly as the
+// sequential scan took the max of the first r_l responders. ok=false
+// means every level settled without reaching its threshold.
+func (s *System) checkVersion(ctx context.Context, stripe uint64, block int) (version uint64, ni dataNodeState, ok bool) {
+	cfg := s.lay.Config()
+	type probe struct {
+		level int
+		pos   int
+		shard int
+	}
+	var probes []probe
+	type levelState struct {
+		need    int
+		total   int
+		counted int
+		settled int
+		dead    bool
+		version uint64
+	}
+	levels := make([]levelState, cfg.Shape.H+1)
+	for l := 0; l <= cfg.Shape.H; l++ {
+		positions := s.lay.Level(l)
+		levels[l] = levelState{need: cfg.ReadThreshold(l), total: len(positions), version: sim.NoVersion}
+		for _, pos := range positions {
+			probes = append(probes, probe{level: l, pos: pos, shard: s.shardForPosition(block, pos)})
+		}
+	}
+	winner := -1
+	dead := 0
+	var niVersion uint64
+	niState := dataNodeUnknown
+	Fanout(ctx, s.opLimit(), len(probes), func(cctx context.Context, i int) ([]uint64, error) {
+		return hedged(cctx, s.hedge, func(hctx context.Context) ([]uint64, error) {
+			return s.nodes[probes[i].shard].ReadVersions(hctx, chunkID(stripe, probes[i].shard))
+		})
+	}, func(i int, versions []uint64, err error) bool {
+		if winner >= 0 || dead > cfg.Shape.H {
+			return true // decided; late stragglers carry no new information
+		}
+		p := probes[i]
+		lv := &levels[p.level]
+		lv.settled++
+		v, valid := uint64(0), false
+		if err == nil {
+			v, valid = s.versionOfShard(block, p.shard, versions)
+		}
+		if valid {
+			if p.pos == 0 {
+				niState = dataNodeFresh // refined against the winner below
+				niVersion = v
+			}
+			if lv.counted == 0 || v > lv.version {
+				lv.version = v
+			}
+			lv.counted++
+			if lv.counted == lv.need {
+				winner = p.level
+				return false // quorum in hand: cancel the stragglers
+			}
+		} else {
+			if p.pos == 0 {
+				niState = dataNodeFailed
+			}
+			if !lv.dead && lv.counted+(lv.total-lv.settled) < lv.need {
+				lv.dead = true
+				dead++
+				if dead > cfg.Shape.H {
+					return false // no level can reach its threshold any more
+				}
+			}
+		}
+		return true
+	})
+	if winner < 0 {
+		return 0, dataNodeUnknown, false
+	}
+	version = levels[winner].version
+	if niState == dataNodeFresh && niVersion < version {
+		niState = dataNodeStale
+	}
+	return version, niState, true
 }
 
 // shardCandidate is one shard available for decoding: its stripe
@@ -150,6 +352,16 @@ type shardCandidate struct {
 	shard    int
 	data     []byte
 	versions []uint64
+}
+
+// decodeGroup collects the parity shards sharing one version vector
+// whose component for the target block equals the target version, plus
+// the data shards consistent with that vector.
+type decodeGroup struct {
+	vector  []uint64
+	parity  []shardCandidate
+	data    map[int]shardCandidate
+	matches int // parity members + consistent data shards
 }
 
 // decodeBlock implements Case 2 of Algorithm 2: reconstruct data block
@@ -161,77 +373,83 @@ type shardCandidate struct {
 // own version equals the vector's component t. This prevents mixing
 // shards that fold different versions of *other* blocks, which would
 // decode garbage.
+//
+// All n chunk reads are issued in parallel and grouped incrementally
+// as they settle; the first group to reach k members stops the fan-out
+// ("first-k"), cancelling the straggler reads. Any k mutually
+// consistent shards of an MDS code decode the same bytes, so taking
+// the first viable set instead of the largest changes nothing but the
+// latency.
 func (s *System) decodeBlock(ctx context.Context, stripe uint64, block int, version uint64) ([]byte, error) {
 	k := s.code.K()
 	n := s.code.N()
-	// Collect candidates from every reachable node.
-	var parity []shardCandidate
-	dataVersion := make(map[int]shardCandidate)
-	for shard := 0; shard < n; shard++ {
-		chunk, err := s.nodes[shard].ReadChunk(ctx, chunkID(stripe, shard))
+	groups := make(map[string]*decodeGroup)
+	dataCands := make(map[int]shardCandidate)
+	var winner *decodeGroup
+	// tryExtend folds one data-shard candidate into one group when the
+	// shard's own version matches the group vector's component.
+	tryExtend := func(g *decodeGroup, cand shardCandidate) {
+		if cand.shard == block {
+			return // the target block's own shard is stale here (Case 1 handles fresh)
+		}
+		if _, have := g.data[cand.shard]; have || cand.versions[0] != g.vector[cand.shard] {
+			return
+		}
+		g.data[cand.shard] = cand
+		g.matches++
+	}
+	Fanout(ctx, s.opLimit(), n, func(cctx context.Context, shard int) (client.Chunk, error) {
+		return hedged(cctx, s.hedge, func(hctx context.Context) (client.Chunk, error) {
+			return s.nodes[shard].ReadChunk(hctx, chunkID(stripe, shard))
+		})
+	}, func(shard int, chunk client.Chunk, err error) bool {
+		if winner != nil {
+			return true
+		}
 		if err != nil {
-			continue
+			return true
 		}
 		cand := shardCandidate{shard: shard, data: chunk.Data, versions: chunk.Versions}
-		if shard < k {
-			if len(chunk.Versions) == 1 {
-				dataVersion[shard] = cand
+		switch {
+		case shard < k && len(chunk.Versions) == 1:
+			dataCands[shard] = cand
+			for _, g := range groups {
+				tryExtend(g, cand)
+				if g.matches >= k {
+					winner = g
+					return false
+				}
 			}
-		} else if len(chunk.Versions) == k {
-			parity = append(parity, cand)
-		}
-	}
-	// Group parity shards by identical version vectors whose component
-	// for `block` equals the target version.
-	type group struct {
-		vector  []uint64
-		members []shardCandidate
-	}
-	groups := make(map[string]*group)
-	for _, cand := range parity {
-		if cand.versions[block] != version {
-			continue
-		}
-		key := vectorKey(cand.versions)
-		g, ok := groups[key]
-		if !ok {
-			g = &group{vector: cand.versions}
-			groups[key] = g
-		}
-		g.members = append(g.members, cand)
-	}
-	// The all-data group: if the data shard for `block` itself is at
-	// the target version we never get here (Case 1 handles it), so a
-	// viable decode set always includes at least one parity shard.
-	var keys []string
-	for key := range groups {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys) // deterministic choice among viable groups
-	var best []shardCandidate
-	for _, key := range keys {
-		g := groups[key]
-		members := append([]shardCandidate(nil), g.members...)
-		// Extend with data shards consistent with the group vector.
-		for t := 0; t < k; t++ {
-			if t == block {
-				continue // target block's own shard is stale here
+		case shard >= k && len(chunk.Versions) == k && chunk.Versions[block] == version:
+			key := vectorKey(chunk.Versions)
+			g, have := groups[key]
+			if !have {
+				g = &decodeGroup{vector: chunk.Versions, data: make(map[int]shardCandidate)}
+				groups[key] = g
+				for _, cand := range dataCands {
+					tryExtend(g, cand)
+				}
 			}
-			cand, ok := dataVersion[t]
-			if !ok || cand.versions[0] != g.vector[t] {
-				continue
+			g.parity = append(g.parity, cand)
+			g.matches++
+			if g.matches >= k {
+				winner = g
+				return false
 			}
-			members = append(members, cand)
 		}
-		if len(members) >= k && len(best) < len(members) {
-			best = members
+		return true
+	})
+	if winner == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
 		}
-	}
-	if len(best) < k {
 		return nil, fmt.Errorf("%w: no %d consistent shards at version %d", ErrNotReadable, k, version)
 	}
 	shards := make([][]byte, n)
-	for _, cand := range best {
+	for _, cand := range winner.parity {
+		shards[cand.shard] = cand.data
+	}
+	for _, cand := range winner.data {
 		shards[cand.shard] = cand.data
 	}
 	return s.code.DecodeBlock(block, shards)

@@ -6,8 +6,13 @@ import (
 	"fmt"
 	"sort"
 
+	"trapquorum/client"
 	"trapquorum/internal/sim"
 )
+
+// errShardExcluded marks the self-slot of a repair's survivor gather;
+// it never escapes freshestConsistentSet.
+var errShardExcluded = errors.New("core: shard excluded from gather")
 
 // RepairShard reconstructs stripe shard j from the surviving nodes and
 // reinstalls it on node j (which must be reachable again). This is the
@@ -64,6 +69,13 @@ func (s *System) RepairShard(ctx context.Context, stripe uint64, shard int) erro
 // consistent group (it holds a committed write its peers missed) must
 // not be touched at all, or the write would be lost.
 //
+// Within one round every shard's repair runs concurrently (bounded by
+// the configured concurrency): per-shard repairs are independent —
+// each gathers its own survivor set excluding itself and installs
+// through the version-guarded put, so racing repairs can at worst
+// observe each other's already-atomic installs. Rounds remain
+// barriers, preserving the fixpoint argument.
+//
 // It returns the number of shards whose repair call succeeded, the
 // shards intentionally left alone because they are ahead of (or
 // incomparable with) the freshest rebuildable state, and an error if
@@ -75,14 +87,15 @@ func (s *System) RepairStripe(ctx context.Context, stripe uint64) (repaired int,
 	n := s.code.N()
 	lastFailed := n + 1
 	for round := 0; round < n+1; round++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return repaired, ahead, opErr("repair", stripe, cerr)
+		}
 		var failed []int
 		var failErr error
 		ahead = ahead[:0]
-		for shard := 0; shard < n; shard++ {
-			if cerr := ctx.Err(); cerr != nil {
-				return repaired, ahead, opErr("repair", stripe, cerr)
-			}
-			rerr := s.RepairShard(ctx, stripe, shard)
+		Fanout(ctx, s.bulkLimit(), n, func(cctx context.Context, shard int) (struct{}, error) {
+			return struct{}{}, s.RepairShard(cctx, stripe, shard)
+		}, func(shard int, _ struct{}, rerr error) bool {
 			switch {
 			case rerr == nil:
 				repaired++
@@ -94,9 +107,15 @@ func (s *System) RepairStripe(ctx context.Context, stripe uint64) (repaired int,
 				failed = append(failed, shard)
 				failErr = rerr
 			}
-		}
+			return true
+		})
+		sort.Ints(ahead)
+		sort.Ints(failed)
 		if len(failed) == 0 {
 			return repaired, ahead, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return repaired, ahead, opErr("repair", stripe, cerr)
 		}
 		if len(failed) >= lastFailed {
 			return repaired, ahead, fmt.Errorf("core: repair stalled on shards %v: %w", failed, failErr)
@@ -140,26 +159,37 @@ func (s *System) RepairShardForce(ctx context.Context, stripe uint64, shard int)
 }
 
 // RepairNode repairs every seeded stripe's shard stored on node
-// `shard`. It returns the number of chunks rebuilt and the first
-// error encountered (continuing past per-stripe failures).
+// `shard`, fanning the per-stripe repairs out in parallel (bounded, so
+// a node-wide rebuild does not starve foreground traffic). It returns
+// the number of chunks rebuilt and the error of the lowest-numbered
+// failing stripe (continuing past per-stripe failures, as the
+// sequential sweep did).
 func (s *System) RepairNode(ctx context.Context, shard int) (int, error) {
 	stripes := s.Stripes()
 	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
 	repaired := 0
-	var firstErr error
-	for _, stripe := range stripes {
+	errIdx := -1
+	var errAt error
+	Fanout(ctx, s.bulkLimit(), len(stripes), func(cctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, s.RepairShard(cctx, stripes[i], shard)
+	}, func(i int, _ struct{}, err error) bool {
+		if err == nil {
+			repaired++
+			return true
+		}
+		if errIdx < 0 || i < errIdx {
+			errIdx = i
+			errAt = fmt.Errorf("stripe %d: %w", stripes[i], err)
+		}
+		return true
+	})
+	if errAt != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			return repaired, opErr("repair", stripe, cerr)
+			return repaired, opErr("repair", stripes[errIdx], cerr)
 		}
-		if err := s.RepairShard(ctx, stripe, shard); err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("stripe %d: %w", stripe, err)
-			}
-			continue
-		}
-		repaired++
+		return repaired, errAt
 	}
-	return repaired, firstErr
+	return repaired, nil
 }
 
 // freshestConsistentSet gathers every reachable shard except `exclude`
@@ -174,15 +204,19 @@ func (s *System) freshestConsistentSet(ctx context.Context, stripe uint64, exclu
 		data     []byte
 		versions []uint64
 	}
+	// Gather every reachable shard in parallel; no early termination —
+	// repair wants the *freshest* consistent set, so every survivor's
+	// answer matters.
 	var parity []cand
 	data := make(map[int]cand)
-	for j := 0; j < n; j++ {
+	Fanout(ctx, s.opLimit(), n, func(cctx context.Context, j int) (client.Chunk, error) {
 		if j == exclude {
-			continue
+			return client.Chunk{}, errShardExcluded
 		}
-		chunk, err := s.nodes[j].ReadChunk(ctx, chunkID(stripe, j))
+		return s.nodes[j].ReadChunk(cctx, chunkID(stripe, j))
+	}, func(j int, chunk client.Chunk, err error) bool {
 		if err != nil {
-			continue
+			return true
 		}
 		c := cand{shard: j, data: chunk.Data, versions: chunk.Versions}
 		if j < k {
@@ -192,7 +226,10 @@ func (s *System) freshestConsistentSet(ctx context.Context, stripe uint64, exclu
 		} else if len(chunk.Versions) == k {
 			parity = append(parity, c)
 		}
-	}
+		return true
+	})
+	// Deterministic grouping regardless of arrival order.
+	sort.Slice(parity, func(i, j int) bool { return parity[i].shard < parity[j].shard })
 	// Candidate vectors: each distinct parity vector, plus the vector
 	// assembled purely from data shards when all k-1..k of them agree
 	// (needed when no parity survives).

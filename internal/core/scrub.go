@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"trapquorum/client"
 )
 
 // ScrubReport is the outcome of a stripe consistency scan.
@@ -57,20 +59,35 @@ func (s *System) ScrubStripe(ctx context.Context, stripe uint64) (ScrubReport, e
 	vector, _, err := s.freshestConsistentSet(ctx, stripe, -1)
 	if err != nil {
 		// No k consistent shards: classify reachability and give up.
-		for shard := 0; shard < n; shard++ {
-			if _, rerr := s.nodes[shard].ReadVersions(ctx, chunkID(stripe, shard)); rerr != nil {
+		Fanout(ctx, s.opLimit(), n, func(cctx context.Context, shard int) (struct{}, error) {
+			_, rerr := s.nodes[shard].ReadVersions(cctx, chunkID(stripe, shard))
+			return struct{}{}, rerr
+		}, func(shard int, _ struct{}, rerr error) bool {
+			if rerr != nil {
 				report.UnreachableShards = append(report.UnreachableShards, shard)
 			}
-		}
+			return true
+		})
+		sort.Ints(report.UnreachableShards)
 		return report, nil
 	}
 	report.FreshVector = vector
 
-	// Classify every shard against the fresh vector and collect the
-	// byte content of matching shards for the parity re-derivation.
+	// Fetch every shard in parallel (no early stop: the audit wants
+	// the full picture), then classify against the fresh vector in
+	// shard order and collect the byte content of matching shards for
+	// the parity re-derivation.
+	chunks := make([]client.Chunk, n)
+	fetchErrs := make([]error, n)
+	Fanout(ctx, s.opLimit(), n, func(cctx context.Context, shard int) (client.Chunk, error) {
+		return s.nodes[shard].ReadChunk(cctx, chunkID(stripe, shard))
+	}, func(shard int, chunk client.Chunk, rerr error) bool {
+		chunks[shard], fetchErrs[shard] = chunk, rerr
+		return true
+	})
 	matching := make([][]byte, n)
 	for shard := 0; shard < n; shard++ {
-		chunk, rerr := s.nodes[shard].ReadChunk(ctx, chunkID(stripe, shard))
+		chunk, rerr := chunks[shard], fetchErrs[shard]
 		if rerr != nil {
 			report.UnreachableShards = append(report.UnreachableShards, shard)
 			continue

@@ -28,11 +28,19 @@ type appliedUpdate struct {
 //
 // The protocol first performs a full read of the block (line 15) to
 // learn the current version and content, computes the parity delta
-// α_{j,i}·(x−old), then walks levels 0..h updating nodes: the data
-// node receives the new block outright, each parity node receives the
-// delta conditionally on its version matching the version just read.
-// A level that cannot reach w_l successful updates fails the write
-// (lines 35–37).
+// α_{j,i}·(x−old), then updates the trapezoid nodes — the data node
+// receives the new block outright, each parity node receives the delta
+// conditionally on its version matching the version just read. Every
+// node update, across all levels, is issued in parallel through the
+// dispatch engine, so write latency tracks the slowest individual node
+// RPC instead of the sum over the quorum. A level that cannot reach
+// w_l successful updates fails the write (lines 35–37); the failure is
+// detected as soon as enough of the level's RPCs have settled to rule
+// the threshold out, and the remaining in-flight updates are
+// cancelled. The fan-out waits for every issued RPC to settle before
+// deciding, so the rollback bookkeeping sees exactly the updates that
+// took effect (the client contract guarantees an RPC settling with a
+// context error left its node unchanged).
 //
 // On failure this implementation rolls back the updates it applied
 // (best-effort; disabled by Options.DisableRollback for the faithful
@@ -83,61 +91,119 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 	newVersion := oldVersion + 1
 	delta := erasure.DataDelta(old, x)
 
-	var applied []appliedUpdate
+	// One update task per trapezoid position, all levels at once.
 	cfg := s.lay.Config()
+	type task struct {
+		level int
+		pos   int
+		shard int
+	}
+	var tasks []task
+	type levelState struct {
+		need    int
+		total   int
+		ok      int
+		settled int
+	}
+	levels := make([]levelState, cfg.Shape.H+1)
 	for l := 0; l <= cfg.Shape.H; l++ {
-		counter := 0
-		for _, pos := range s.lay.Level(l) {
-			if err := ctx.Err(); err != nil {
-				// Cancelled mid-quorum: abort without committing.
-				s.metrics.FailedWrites.Add(1)
-				if !s.opts.DisableRollback {
-					s.rollback(stripe, block, applied)
-				}
-				return &OpError{Op: "write", Stripe: stripe, Block: block, Level: l, Node: -1, Err: err}
-			}
-			shard := s.shardForPosition(block, pos)
-			id := chunkID(stripe, shard)
-			if pos == 0 {
-				// Line 20: write x into the data node N_i. The write
-				// is unconditional (the per-block lock serialises
-				// writers), which also heals a stale or residue-
-				// poisoned data chunk.
-				if err := s.nodes[shard].PutChunk(ctx, id, x, []uint64{newVersion}); err != nil {
-					continue
-				}
-				applied = append(applied, appliedUpdate{
-					shard: shard, isData: true,
-					oldData: old, oldVersion: oldVersion, newVersion: newVersion,
-				})
-				counter++
-				continue
-			}
-			// Lines 25–31: conditional delta add on the parity node.
-			// CompareAndAdd folds the paper's separate version check
-			// and add into one atomic node operation.
-			adj := s.code.ParityAdjustment(shard, block, delta)
-			err := s.nodes[shard].CompareAndAdd(ctx, id, s.versionSlot(block, shard), oldVersion, newVersion, adj)
-			if err != nil {
-				continue // down, missing, or version mismatch: skip
-			}
-			applied = append(applied, appliedUpdate{
-				shard: shard, oldVersion: oldVersion, newVersion: newVersion, delta: adj,
-			})
-			counter++
+		positions := s.lay.Level(l)
+		levels[l] = levelState{need: cfg.W[l], total: len(positions)}
+		for _, pos := range positions {
+			tasks = append(tasks, task{level: l, pos: pos, shard: s.shardForPosition(block, pos)})
 		}
-		if counter < cfg.W[l] {
-			// Lines 35–37: FAIL.
-			s.metrics.FailedWrites.Add(1)
-			if !s.opts.DisableRollback {
-				s.rollback(stripe, block, applied)
+	}
+	var applied []appliedUpdate
+	failLevel := -1
+	issue := func(cctx context.Context, t task) (appliedUpdate, error) {
+		id := chunkID(stripe, t.shard)
+		if t.pos == 0 {
+			// Line 20: write x into the data node N_i. The write is
+			// unconditional (the per-block lock serialises writers),
+			// which also heals a stale or residue-poisoned data chunk.
+			if err := s.nodes[t.shard].PutChunk(cctx, id, x, []uint64{newVersion}); err != nil {
+				return appliedUpdate{}, err
 			}
-			cause := fmt.Errorf("%w: level %d reached %d of %d", ErrWriteFailed, l, counter, cfg.W[l])
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				cause = ctxErr
-			}
-			return &OpError{Op: "write", Stripe: stripe, Block: block, Level: l, Node: -1, Err: cause}
+			return appliedUpdate{
+				shard: t.shard, isData: true,
+				oldData: old, oldVersion: oldVersion, newVersion: newVersion,
+			}, nil
 		}
+		// Lines 25–31: conditional delta add on the parity node.
+		// CompareAndAdd folds the paper's separate version check and
+		// add into one atomic node operation. The Galois adjustment is
+		// computed here, inside the worker, so the per-parity GF(256)
+		// multiplies run in parallel too.
+		adj := s.code.ParityAdjustment(t.shard, block, delta)
+		if err := s.nodes[t.shard].CompareAndAdd(cctx, id, s.versionSlot(block, t.shard), oldVersion, newVersion, adj); err != nil {
+			return appliedUpdate{}, err
+		}
+		return appliedUpdate{
+			shard: t.shard, oldVersion: oldVersion, newVersion: newVersion, delta: adj,
+		}, nil
+	}
+	// runUpdates fans a task subset out and accounts per level. With
+	// failFast it records failLevel as soon as some level provably
+	// cannot reach w_l, which also cancels the subset's outstanding
+	// updates; without it every update of the subset runs to its own
+	// conclusion and the caller evaluates the threshold afterwards.
+	runUpdates := func(subset []task, failFast bool) {
+		Fanout(ctx, s.opLimit(), len(subset), func(cctx context.Context, i int) (appliedUpdate, error) {
+			return issue(cctx, subset[i])
+		}, func(i int, upd appliedUpdate, err error) bool {
+			// Track every settled update, even ones landing after a
+			// failure decision: rollback must know the full footprint.
+			lv := &levels[subset[i].level]
+			lv.settled++
+			if err == nil {
+				applied = append(applied, upd)
+				lv.ok++
+				return true
+			}
+			// Down, missing, version mismatch, or cancelled: the node
+			// did not apply. Fail fast once the level cannot reach w_l.
+			if failFast && failLevel < 0 && lv.ok+(lv.total-lv.settled) < lv.need {
+				failLevel = subset[i].level
+				return false
+			}
+			return true
+		})
+	}
+	if s.opts.DisableRollback {
+		// Paper-faithful mode: Algorithm 1 walks levels 0..h in order,
+		// attempts the update on *every* node of a level, and FAILs at
+		// the first level missing w_l — never touching the levels
+		// above it. That exact residue footprint is what the ablation
+		// studies measure, so this mode keeps the level walk (parallel
+		// within each level, no early cancellation): an all-levels
+		// fan-out or a mid-level abort would strew residue across
+		// nodes the published algorithm never reached, or skip nodes
+		// it did reach.
+		for start := 0; start < len(tasks) && failLevel < 0; {
+			end := start
+			for end < len(tasks) && tasks[end].level == tasks[start].level {
+				end++
+			}
+			runUpdates(tasks[start:end], false)
+			if l := tasks[start].level; levels[l].ok < levels[l].need {
+				failLevel = l
+			}
+			start = end
+		}
+	} else {
+		runUpdates(tasks, true)
+	}
+	if failLevel >= 0 {
+		// Lines 35–37: FAIL.
+		s.metrics.FailedWrites.Add(1)
+		if !s.opts.DisableRollback {
+			s.rollback(stripe, block, applied)
+		}
+		cause := fmt.Errorf("%w: level %d reached %d of %d", ErrWriteFailed, failLevel, levels[failLevel].ok, levels[failLevel].need)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			cause = ctxErr
+		}
+		return &OpError{Op: "write", Stripe: stripe, Block: block, Level: failLevel, Node: -1, Err: cause}
 	}
 	s.metrics.Writes.Add(1)
 	return nil
@@ -145,25 +211,27 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 
 // rollback undoes the footprint of a failed write, best-effort: nodes
 // that crashed since their update keep the residue (the hazard the
-// test suite demonstrates with rollback disabled). It runs on a
-// detached context — the cleanup must proceed even when the write was
-// aborted by the caller's context.
+// test suite demonstrates with rollback disabled). The undo RPCs are
+// issued in parallel and run on a detached context — the cleanup must
+// proceed even when the write was aborted by the caller's context.
 func (s *System) rollback(stripe uint64, block int, applied []appliedUpdate) {
 	ctx := context.Background()
-	for _, u := range applied {
+	Fanout(ctx, s.opLimit(), len(applied), func(_ context.Context, i int) (struct{}, error) {
+		u := applied[i]
 		id := chunkID(stripe, u.shard)
 		if u.isData {
 			// Restore the old content conditionally on our own
 			// version still being in place.
 			err := s.nodes[u.shard].CompareAndPut(ctx, id, 0, u.newVersion, u.oldVersion, u.oldData)
 			if err != nil && !errors.Is(err, sim.ErrVersionMismatch) {
-				continue
+				return struct{}{}, err
 			}
-		} else {
-			// XOR is self-inverse: adding the same delta again while
-			// stepping the version back restores the parity chunk.
-			_ = s.nodes[u.shard].CompareAndAdd(ctx, id, s.versionSlot(block, u.shard), u.newVersion, u.oldVersion, u.delta)
+			return struct{}{}, nil
 		}
-	}
+		// XOR is self-inverse: adding the same delta again while
+		// stepping the version back restores the parity chunk.
+		_ = s.nodes[u.shard].CompareAndAdd(ctx, id, s.versionSlot(block, u.shard), u.newVersion, u.oldVersion, u.delta)
+		return struct{}{}, nil
+	}, func(int, struct{}, error) bool { return true })
 	s.metrics.Rollbacks.Add(1)
 }

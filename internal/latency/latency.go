@@ -30,6 +30,14 @@ type Config struct {
 	// Ops is the number of operations measured per scenario.
 	Ops  int
 	Seed int64
+	// Concurrency bounds the in-flight per-node RPCs of one quorum
+	// operation (0 = all at once, 1 = the sequential engine; see
+	// core.Options). Comparing 1 against 0 under a fixed per-node
+	// delay is the sum-of-nodes vs max-of-level experiment.
+	Concurrency int
+	// Hedge enables tail-latency hedging of read-path RPCs (see
+	// core.HedgeConfig).
+	Hedge core.HedgeConfig
 }
 
 // Scenario names one measured operation type.
@@ -78,7 +86,10 @@ func Measure(ctx context.Context, cfg Config) (*Report, error) {
 	for j := 0; j < cfg.N; j++ {
 		nodes[j] = cluster.Node(j)
 	}
-	sys, err := core.NewSystem(code, cfg.Trapezoid, nodes, core.Options{})
+	sys, err := core.NewSystem(code, cfg.Trapezoid, nodes, core.Options{
+		Concurrency: cfg.Concurrency,
+		Hedge:       cfg.Hedge,
+	})
 	if err != nil {
 		return nil, err
 	}

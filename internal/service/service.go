@@ -50,6 +50,13 @@ type Config struct {
 	// failed writes leave their partial updates behind (see
 	// core.Options).
 	DisableRollback bool
+	// Concurrency bounds the in-flight per-node RPCs of one quorum
+	// operation, and the parallel per-stripe repairs of a node-wide
+	// repair (0 = engine defaults; see core.Options).
+	Concurrency int
+	// Hedge enables tail-latency hedging of read-path RPCs (see
+	// core.HedgeConfig).
+	Hedge core.HedgeConfig
 }
 
 // objectMeta records where an object lives.
@@ -136,7 +143,11 @@ func (s *Store) systemFor(nodes []int) (*core.System, error) {
 	for shard, node := range nodes {
 		clients[shard] = s.nodes[node]
 	}
-	sys, err := core.NewSystem(s.code, s.tcfg, clients, core.Options{DisableRollback: s.cfg.DisableRollback})
+	sys, err := core.NewSystem(s.code, s.tcfg, clients, core.Options{
+		DisableRollback: s.cfg.DisableRollback,
+		Concurrency:     s.cfg.Concurrency,
+		Hedge:           s.cfg.Hedge,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -448,8 +459,10 @@ func (s *Store) Delete(ctx context.Context, key string) error {
 }
 
 // RepairClusterNode rebuilds every stripe shard placed on the given
-// cluster node (after the node returns, possibly with a fresh disk).
-// It returns how many chunks were rebuilt and the first error.
+// cluster node (after the node returns, possibly with a fresh disk),
+// running the per-stripe repairs in parallel with bounded fan-out. It
+// returns how many chunks were rebuilt and the error of the
+// lowest-numbered failing stripe.
 func (s *Store) RepairClusterNode(ctx context.Context, node int) (int, error) {
 	s.mu.Lock()
 	type task struct {
@@ -468,21 +481,28 @@ func (s *Store) RepairClusterNode(ctx context.Context, node int) (int, error) {
 	s.mu.Unlock()
 	sort.Slice(tasks, func(i, j int) bool { return tasks[i].stripe < tasks[j].stripe })
 	repaired := 0
+	errIdx := -1
 	var firstErr error
-	for _, t := range tasks {
+	core.Fanout(ctx, core.BulkLimit(s.cfg.Concurrency), len(tasks), func(cctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, tasks[i].sys.RepairShard(cctx, tasks[i].stripe, tasks[i].shard)
+	}, func(i int, _ struct{}, err error) bool {
+		if err == nil {
+			repaired++
+			return true
+		}
+		if errIdx < 0 || i < errIdx {
+			errIdx = i
+			firstErr = fmt.Errorf("stripe %d shard %d: %w", tasks[i].stripe, tasks[i].shard, err)
+		}
+		return true
+	})
+	if firstErr != nil {
+		// Report cancellation the way core.RepairNode does: the sweep
+		// stopped because the context died, not because the stripe
+		// degraded.
 		if cerr := ctx.Err(); cerr != nil {
-			if firstErr == nil {
-				firstErr = cerr
-			}
-			break
+			return repaired, fmt.Errorf("stripe %d shard %d: %w", tasks[errIdx].stripe, tasks[errIdx].shard, cerr)
 		}
-		if err := t.sys.RepairShard(ctx, t.stripe, t.shard); err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("stripe %d shard %d: %w", t.stripe, t.shard, err)
-			}
-			continue
-		}
-		repaired++
 	}
 	return repaired, firstErr
 }

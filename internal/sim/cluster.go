@@ -78,6 +78,11 @@ func (c *Cluster) Node(i int) *Node {
 // Nodes returns all nodes in id order. The slice must not be modified.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
+// SetNodeDelay replaces node i's latency model (nil restores zero
+// latency), leaving every other node on the cluster-wide model. Used
+// to inject per-node stragglers for tail-latency experiments.
+func (c *Cluster) SetNodeDelay(i int, d DelayFunc) { c.Node(i).SetDelay(d) }
+
 // Crash fail-stops node i.
 func (c *Cluster) Crash(i int) { c.Node(i).Crash() }
 

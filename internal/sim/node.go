@@ -30,8 +30,11 @@ type Metrics struct {
 }
 
 // Node is one simulated storage server: a goroutine actor owning a
-// chunk store. All public methods are synchronous RPCs into the actor,
-// so per-node operations are serialised — the per-node atomicity the
+// chunk store. All public methods are synchronous RPCs into the actor
+// and are safe for concurrent use — any number of callers may have
+// requests in flight against one node at once; their injected latency
+// windows overlap like network transit, and the operations themselves
+// serialise at the actor, which is the per-node atomicity the
 // protocol's conditional parity updates rely on. Node implements the
 // public client.NodeClient transport contract, including context
 // cancellation: an operation whose context expires before the request
@@ -41,7 +44,7 @@ type Metrics struct {
 // already on the wire.
 type Node struct {
 	id      NodeID
-	delay   DelayFunc
+	delay   atomic.Pointer[DelayFunc]
 	reqCh   chan request
 	quit    chan struct{}
 	down    atomic.Bool
@@ -65,12 +68,25 @@ type response struct {
 func newNode(id NodeID, delay DelayFunc) *Node {
 	n := &Node{
 		id:    id,
-		delay: delay,
 		reqCh: make(chan request),
 		quit:  make(chan struct{}),
 	}
+	n.SetDelay(delay)
 	go n.serve()
 	return n
+}
+
+// SetDelay installs (or, with nil, removes) this node's latency model,
+// replacing any cluster-wide model for this node. Safe to call while
+// operations are in flight; calls already inside their delay window
+// keep the old model. Used to turn one node into a straggler for
+// tail-latency and hedging experiments.
+func (n *Node) SetDelay(d DelayFunc) {
+	if d == nil {
+		n.delay.Store(nil)
+		return
+	}
+	n.delay.Store(&d)
 }
 
 func (n *Node) serve() {
@@ -109,8 +125,8 @@ func (n *Node) call(ctx context.Context, op string, f func(store map[ChunkID]*Ch
 		n.metrics.DownRejects.Add(1)
 		return nil, ErrNodeDown
 	}
-	if n.delay != nil {
-		if d := n.delay(op); d > 0 {
+	if dp := n.delay.Load(); dp != nil {
+		if d := (*dp)(op); d > 0 {
 			timer := time.NewTimer(d)
 			select {
 			case <-timer.C:

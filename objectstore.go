@@ -47,6 +47,8 @@ func Open(ctx context.Context, opts ...Option) (*ObjectStore, error) {
 		BlockSize:       cfg.blockSize,
 		Placement:       cfg.place,
 		DisableRollback: cfg.disableRollback,
+		Concurrency:     cfg.concurrency,
+		Hedge:           cfg.hedge,
 	})
 	if err != nil {
 		cfg.backend.Close()

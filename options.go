@@ -3,7 +3,9 @@ package trapquorum
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"trapquorum/internal/core"
 	"trapquorum/internal/trapezoid"
 	"trapquorum/placement"
 )
@@ -23,6 +25,8 @@ type config struct {
 	place           placement.Strategy
 	backend         Backend
 	disableRollback bool
+	concurrency     int
+	hedge           core.HedgeConfig
 	errs            []error
 }
 
@@ -132,4 +136,48 @@ func WithBackend(b Backend) Option {
 // unless studying the failed-write residue hazard.
 func WithDisableRollback() Option {
 	return func(c *config) { c.disableRollback = true }
+}
+
+// WithConcurrency bounds the number of in-flight per-node RPCs a
+// single quorum operation issues. The default (0) contacts every node
+// of the operation at once, so operation latency tracks the slowest
+// individual RPC instead of the sum over the quorum.
+// WithConcurrency(1) serialises the RPCs, reproducing the sequential
+// engine for comparison benchmarks. The same limit also caps how many
+// per-stripe repairs a node-wide repair sweep keeps in flight.
+func WithConcurrency(limit int) Option {
+	return func(c *config) {
+		if limit < 0 {
+			c.errs = append(c.errs, fmt.Errorf("trapquorum: WithConcurrency(%d): need >= 0", limit))
+			return
+		}
+		c.concurrency = limit
+	}
+}
+
+// WithHedging enables tail-latency hedging of read-path RPCs (version
+// probes and chunk reads): an RPC that has not settled after the hedge
+// delay is re-issued once and the first result wins, so one slow node
+// does not drag a read to its tail latency. Hedging costs duplicate
+// RPCs on the hedged fraction of requests and never touches mutating
+// RPCs, so it is safe with any backend honouring the client contract.
+//
+// delay is the fixed hedge delay (and the floor under the adaptive
+// delay). quantile, when in (0, 1), adapts the delay to that quantile
+// of recently observed read-RPC latencies — e.g. 0.95 hedges only the
+// slowest ~5% of RPCs once enough samples exist. Set quantile to 0
+// for a purely fixed delay.
+func WithHedging(delay time.Duration, quantile float64) Option {
+	return func(c *config) {
+		if delay < 0 || quantile < 0 || quantile >= 1 {
+			c.errs = append(c.errs, fmt.Errorf(
+				"trapquorum: WithHedging(%v, %v): need delay >= 0 and 0 <= quantile < 1", delay, quantile))
+			return
+		}
+		if delay == 0 && quantile == 0 {
+			c.errs = append(c.errs, errors.New("trapquorum: WithHedging(0, 0) enables nothing; omit the option instead"))
+			return
+		}
+		c.hedge = core.HedgeConfig{Delay: delay, Quantile: quantile}
+	}
 }

@@ -1,0 +1,29 @@
+// Package placement maps stripes onto the nodes of a cluster that is
+// larger than one stripe's n shards — the layer that turns the
+// single-stripe trapezoid protocol into a storage system.
+//
+// # The placement model
+//
+// The quorum protocol operates on one stripe at a time: n shards (k
+// data + n−k parity), each on its own node. A cluster serving real
+// traffic holds many stripes over M ≥ n nodes, and a Strategy decides
+// which M-sized cluster node stores each of a stripe's n shards. The
+// contract is pure and deterministic: Place(stripe, n) must always
+// return the same n distinct cluster nodes for the same stripe, so
+// that every reader, writer and repairer derives the identical layout
+// without coordination, and Nodes() declares the cluster size the
+// backend is asked to provision.
+//
+// Spreading stripes matters for two reasons. Load: rotating placements
+// level both foreground I/O and repair traffic across the cluster
+// instead of hammering the first n nodes. Fault domains: when one node
+// fails, the shards it held belong to many different stripes, so the
+// repair work fans out across the whole cluster rather than
+// serialising behind n−1 fixed peers.
+//
+// Two strategies are provided: RoundRobin rotation (balanced,
+// trivially debuggable) and the consistent-hash Ring (stable under
+// cluster growth: adding a node moves only the stripes that hash next
+// to it). Implement Strategy to bring your own layout — e.g.
+// rack-aware spreading.
+package placement

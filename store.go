@@ -39,7 +39,11 @@ func OpenStore(ctx context.Context, opts ...Option) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, err := core.NewSystem(code, tcfg, nodes, core.Options{DisableRollback: cfg.disableRollback})
+	sys, err := core.NewSystem(code, tcfg, nodes, core.Options{
+		DisableRollback: cfg.disableRollback,
+		Concurrency:     cfg.concurrency,
+		Hedge:           cfg.hedge,
+	})
 	if err != nil {
 		cfg.backend.Close()
 		return nil, err
