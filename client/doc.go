@@ -38,6 +38,18 @@
 // ReadVersions), so a backend needs no idempotency beyond what the
 // interface already states.
 //
+// # Buffer ownership
+//
+// Request buffers (the data of PutChunk/CompareAndPut/
+// PutChunkIfFresher, the delta of CompareAndAdd) are only valid for
+// the duration of the call: the protocol core runs its data plane
+// over pooled buffers and recycles them once the RPC has settled, so
+// a backend must copy what it needs before returning and must never
+// retain a reference past the call. Symmetrically, a Chunk returned
+// by ReadChunk is owned by the caller — the backend must not alias it
+// to state it might mutate later. (DESIGN.md "Buffer ownership" has
+// the full data-plane rules.)
+//
 // # Version semantics
 //
 // The version model the protocol relies on:

@@ -1,0 +1,160 @@
+// Package blockpool provides size-classed, sync.Pool-backed arenas for
+// the data plane's block and accumulator buffers, so steady-state
+// encode/decode/delta traffic performs no per-block heap allocation.
+//
+// Buffers are handed out as handles (Block, Words) rather than raw
+// slices: the handle owns the backing array's pooling identity, which
+// keeps Get/Release allocation-free (a raw []byte round-tripped
+// through sync.Pool would box a fresh slice header on every Put).
+//
+// Ownership rules (see DESIGN.md "Buffer ownership"):
+//
+//   - Release returns the buffer to the pool; the caller must not touch
+//     the slice afterwards. Releasing is optional — an unreleased
+//     buffer is simply garbage collected — and Release(nil) is a no-op,
+//     so error paths can release unconditionally.
+//   - A buffer that escapes to user code (a read result, a stored
+//     chunk) must NOT be released; allocate-and-copy or skip pooling
+//     for anything whose lifetime you do not control.
+//   - Buffers come back with undefined contents. Kernels that overwrite
+//     their destination (Mul, ExtractLane, copy) need no clearing;
+//     accumulating kernels must clear first or use an overwriting first
+//     pass.
+package blockpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// minClassBits is the smallest pooled size class (256 B); requests
+// below it are rounded up — the waste is bounded and tiny.
+const minClassBits = 8
+
+// maxClassBits is the largest pooled size class (64 MiB); larger
+// requests fall through to plain allocation and Release discards them.
+const maxClassBits = 26
+
+var (
+	bytePools  [maxClassBits + 1]sync.Pool
+	wordPools  [maxClassBits + 1]sync.Pool
+	shardPools [maxClassBits + 1]sync.Pool
+)
+
+// Block is a pooled byte buffer. B has exactly the requested length;
+// the backing array is the size class.
+type Block struct {
+	B     []byte
+	class int8
+}
+
+// Words is a pooled uint64 buffer — the packed-lane accumulator shape.
+type Words struct {
+	W     []uint64
+	class int8
+}
+
+// classFor returns the size-class exponent for a request of n elements,
+// or -1 when the request is out of the pooled range.
+func classFor(n int) int {
+	if n <= 0 {
+		return minClassBits
+	}
+	c := bits.Len(uint(n - 1))
+	if c < minClassBits {
+		c = minClassBits
+	}
+	if c > maxClassBits {
+		return -1
+	}
+	return c
+}
+
+// GetBlock returns a pooled byte buffer of length n with undefined
+// contents. n may be zero; the buffer is still pooled.
+func GetBlock(n int) *Block {
+	c := classFor(n)
+	if c < 0 {
+		return &Block{B: make([]byte, n), class: -1}
+	}
+	if v := bytePools[c].Get(); v != nil {
+		blk := v.(*Block)
+		blk.B = blk.B[:n]
+		return blk
+	}
+	return &Block{B: make([]byte, n, 1<<c), class: int8(c)}
+}
+
+// Release returns the buffer to its pool. The caller must not use
+// blk.B afterwards. Safe on nil and on oversized (unpooled) blocks.
+func (blk *Block) Release() {
+	if blk == nil || blk.class < 0 {
+		return
+	}
+	blk.B = blk.B[:cap(blk.B)]
+	bytePools[blk.class].Put(blk)
+}
+
+// ShardList is a pooled [][]byte — the shard-header scratch shape of
+// the erasure decode paths. Entries are nil on Get and cleared on
+// Release so a pooled list never retains block references.
+type ShardList struct {
+	S     [][]byte
+	class int8
+}
+
+// GetShardList returns a pooled [][]byte of length n with all entries
+// nil.
+func GetShardList(n int) *ShardList {
+	c := classFor(n)
+	if c < 0 {
+		return &ShardList{S: make([][]byte, n), class: -1}
+	}
+	if v := shardPools[c].Get(); v != nil {
+		l := v.(*ShardList)
+		l.S = l.S[:n]
+		return l
+	}
+	return &ShardList{S: make([][]byte, n, 1<<c), class: int8(c)}
+}
+
+// Release clears the entries (dropping block references for the GC)
+// and returns the list to its pool. Safe on nil.
+func (l *ShardList) Release() {
+	if l == nil {
+		return
+	}
+	l.S = l.S[:cap(l.S)]
+	for i := range l.S {
+		l.S[i] = nil
+	}
+	if l.class < 0 {
+		return
+	}
+	shardPools[l.class].Put(l)
+}
+
+// GetWords returns a pooled uint64 buffer of length n with undefined
+// contents.
+func GetWords(n int) *Words {
+	c := classFor(n)
+	if c < 0 {
+		return &Words{W: make([]uint64, n), class: -1}
+	}
+	if v := wordPools[c].Get(); v != nil {
+		w := v.(*Words)
+		w.W = w.W[:n]
+		return w
+	}
+	return &Words{W: make([]uint64, n, 1<<c), class: int8(c)}
+}
+
+// Release returns the buffer to its pool. The caller must not use
+// w.W afterwards. Safe on nil and on oversized (unpooled) buffers.
+func (w *Words) Release() {
+	if w == nil || w.class < 0 {
+		return
+	}
+	w.W = w.W[:cap(w.W)]
+	wordPools[w.class].Put(w)
+}

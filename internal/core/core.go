@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"trapquorum/client"
+	"trapquorum/internal/blockpool"
 	"trapquorum/internal/erasure"
 	"trapquorum/internal/sim"
 	"trapquorum/internal/trapezoid"
@@ -338,30 +339,51 @@ func (s *System) versionSlot(block, shard int) int {
 	return 0
 }
 
-// SeedStripe bootstraps a stripe: it encodes the k data blocks and
-// installs every shard at version 1 on its node, all installs issued
-// in parallel. All n nodes must be reachable — initial placement is an
-// allocation step, not a quorum operation. Blocks must be non-empty
-// and equally sized. On failure some shards may already be installed;
-// the caller owns cleanup (the service layer deletes them).
+// SeedStripe bootstraps a stripe: it encodes the k data blocks into
+// pooled parity buffers and installs every shard at version 1 on its
+// node, all installs issued in parallel. All n nodes must be reachable
+// — initial placement is an allocation step, not a quorum operation.
+// Blocks must be non-empty and equally sized. On failure some shards
+// may already be installed; the caller owns cleanup (the service layer
+// deletes them).
 func (s *System) SeedStripe(ctx context.Context, stripe uint64, data [][]byte) error {
-	shards, err := s.code.Encode(data)
+	k, n := s.code.K(), s.code.N()
+	size, err := s.code.DataSize(data)
 	if err != nil {
 		return err
 	}
-	k := s.code.K()
+	parity := make([][]byte, n-k)
+	blks := make([]*blockpool.Block, n-k)
+	defer func() {
+		for _, b := range blks {
+			b.Release()
+		}
+	}()
+	for j := range parity {
+		blks[j] = blockpool.GetBlock(size)
+		parity[j] = blks[j].B
+	}
+	if err := s.code.EncodeInto(parity, data); err != nil {
+		return err
+	}
+	shard := func(j int) []byte {
+		if j < k {
+			return data[j]
+		}
+		return parity[j-k]
+	}
 	parityVersions := make([]uint64, k)
 	for i := range parityVersions {
 		parityVersions[i] = 1
 	}
 	errNode := -1
 	var nodeErr error
-	Fanout(ctx, s.opLimit(), len(shards), func(cctx context.Context, j int) (struct{}, error) {
+	Fanout(ctx, s.opLimit(), n, func(cctx context.Context, j int) (struct{}, error) {
 		versions := parityVersions
 		if j < k {
 			versions = []uint64{1}
 		}
-		return struct{}{}, s.nodes[j].PutChunk(cctx, chunkID(stripe, j), shards[j], versions)
+		return struct{}{}, s.nodes[j].PutChunk(cctx, chunkID(stripe, j), shard(j), versions)
 	}, func(j int, _ struct{}, err error) bool {
 		if err == nil {
 			return true
@@ -386,7 +408,7 @@ func (s *System) SeedStripe(ctx context.Context, stripe uint64, data [][]byte) e
 			Err: fmt.Errorf("%w: node %d: %v", ErrSeedIncomplete, errNode, nodeErr)}
 	}
 	s.mu.Lock()
-	s.stripes[stripe] = stripeInfo{blockSize: len(shards[0])}
+	s.stripes[stripe] = stripeInfo{blockSize: size}
 	s.mu.Unlock()
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"trapquorum/internal/dispatch"
 )
 
 // This file is the concurrent dispatch engine shared by the protocol's
@@ -17,76 +19,22 @@ import (
 // path's rollback bookkeeping depends on. Read-only RPCs can
 // additionally be hedged: re-issued once after a configurable delay so
 // one slow node does not drag the whole operation to its tail latency.
-
-// outcome is one settled node RPC, delivered to the fan-out collector.
-type outcome[T any] struct {
-	idx int
-	val T
-	err error
-}
-
-// Fanout issues calls 0..n-1 concurrently, keeping at most limit in
-// flight (limit <= 0 issues all at once), and reports every call's
-// final outcome to observe in completion order. observe runs in the
-// collector goroutine only, so it may mutate shared state without
-// locking. Returning false from observe stops the operation early:
-// outstanding calls are cancelled (and calls not yet issued are settled
-// immediately with the cancellation error, without running). Exported
-// so sibling internal layers (the service store's bulk repair) dispatch
-// through the same engine instead of hand-rolling worker pools.
 //
-// Fanout returns only after all n outcomes have been observed. observe
-// keeps being invoked for late-settling calls after an early stop —
-// its return value is simply ignored from then on — so callers that
-// track side effects (the write path's applied-update log) see every
-// RPC that actually took effect, even ones that raced the
-// cancellation. That is the engine's contract with the client
-// transport: an RPC that settles with a context error has left the
-// node unchanged, and one that settles with any other outcome reports
-// what the node really did.
+// The generic fan-out itself lives in internal/dispatch so that leaf
+// layers (the erasure data plane's stripe-parallel coder) share the
+// same engine without an import cycle; this wrapper is the protocol's
+// front door to it and keeps the core API stable for the sibling
+// internal layers (the service store's bulk repair) that dispatch
+// through core.Fanout.
+
+// Fanout issues calls 0..n-1 concurrently through the shared dispatch
+// engine. See dispatch.Fanout for the full contract: bounded in-flight
+// RPCs, completion-order observation, early termination on observe
+// returning false, and settle-before-return — an RPC that settles with
+// a context error has left the node unchanged, and one that settles
+// with any other outcome reports what the node really did.
 func Fanout[T any](ctx context.Context, limit, n int, call func(context.Context, int) (T, error), observe func(idx int, val T, err error) bool) {
-	if n <= 0 {
-		return
-	}
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	if limit <= 0 || limit > n {
-		limit = n
-	}
-	// min(limit, n) workers drain a shared index stream, so a bounded
-	// sweep over thousands of tasks costs `limit` goroutines, not n
-	// parked ones. After an early stop, workers keep draining the
-	// stream but settle the remaining indices with the cancellation
-	// error without running them.
-	results := make(chan outcome[T], n)
-	indices := make(chan int)
-	for w := 0; w < limit; w++ {
-		go func() {
-			for i := range indices {
-				if err := cctx.Err(); err != nil {
-					var zero T
-					results <- outcome[T]{idx: i, val: zero, err: err}
-					continue
-				}
-				v, err := call(cctx, i)
-				results <- outcome[T]{idx: i, val: v, err: err}
-			}
-		}()
-	}
-	go func() {
-		for i := 0; i < n; i++ {
-			indices <- i
-		}
-		close(indices)
-	}()
-	stopped := false
-	for done := 0; done < n; done++ {
-		r := <-results
-		if !observe(r.idx, r.val, r.err) && !stopped {
-			stopped = true
-			cancel()
-		}
-	}
+	dispatch.Fanout(ctx, limit, n, call, observe)
 }
 
 // HedgeConfig enables tail-latency hedging of read-path RPCs: a

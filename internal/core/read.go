@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"trapquorum/client"
+	"trapquorum/internal/blockpool"
 	"trapquorum/internal/sim"
 )
 
@@ -445,14 +446,17 @@ func (s *System) decodeBlock(ctx context.Context, stripe uint64, block int, vers
 		}
 		return nil, fmt.Errorf("%w: no %d consistent shards at version %d", ErrNotReadable, k, version)
 	}
-	shards := make([][]byte, n)
+	// The n-slot shard view is pooled scratch; the decoded block itself
+	// is the user-facing result and stays a plain allocation.
+	sl := blockpool.GetShardList(n)
+	defer sl.Release()
 	for _, cand := range winner.parity {
-		shards[cand.shard] = cand.data
+		sl.S[cand.shard] = cand.data
 	}
 	for _, cand := range winner.data {
-		shards[cand.shard] = cand.data
+		sl.S[cand.shard] = cand.data
 	}
-	return s.code.DecodeBlock(block, shards)
+	return s.code.DecodeBlock(block, sl.S)
 }
 
 // vectorKey renders a version vector as a map key.

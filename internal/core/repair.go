@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"trapquorum/client"
+	"trapquorum/internal/blockpool"
 	"trapquorum/internal/sim"
 )
 
@@ -41,8 +42,12 @@ func (s *System) RepairShard(ctx context.Context, stripe uint64, shard int) erro
 	if err != nil {
 		return err
 	}
-	rebuilt, err := s.code.RepairShard(shard, shards)
-	if err != nil {
+	// The rebuilt shard lives in a pooled buffer: the node install
+	// snapshots what it stores (client contract), so the buffer is
+	// release-safe once the RPC settles.
+	rebuilt := blockpool.GetBlock(len(shards[firstPresent(shards)]))
+	defer rebuilt.Release()
+	if err := s.code.RepairShardInto(rebuilt.B, shard, shards); err != nil {
 		return err
 	}
 	var versions []uint64
@@ -53,11 +58,22 @@ func (s *System) RepairShard(ctx context.Context, stripe uint64, shard int) erro
 	}
 	// Version-guarded install: a concurrent write may have advanced
 	// the shard since the survivors were gathered; never regress it.
-	if err := s.nodes[shard].PutChunkIfFresher(ctx, chunkID(stripe, shard), rebuilt, versions); err != nil {
+	if err := s.nodes[shard].PutChunkIfFresher(ctx, chunkID(stripe, shard), rebuilt.B, versions); err != nil {
 		return err
 	}
 	s.metrics.Repairs.Add(1)
 	return nil
+}
+
+// firstPresent returns the index of the first non-nil shard; the
+// callers' survivor sets always hold at least k ≥ 1 members.
+func firstPresent(shards [][]byte) int {
+	for i, s := range shards {
+		if s != nil {
+			return i
+		}
+	}
+	return 0
 }
 
 // RepairStripe brings every stale shard of a stripe back to a mutually
@@ -141,8 +157,9 @@ func (s *System) RepairShardForce(ctx context.Context, stripe uint64, shard int)
 	if err != nil {
 		return err
 	}
-	rebuilt, err := s.code.RepairShard(shard, shards)
-	if err != nil {
+	rebuilt := blockpool.GetBlock(len(shards[firstPresent(shards)]))
+	defer rebuilt.Release()
+	if err := s.code.RepairShardInto(rebuilt.B, shard, shards); err != nil {
 		return err
 	}
 	var versions []uint64
@@ -151,7 +168,7 @@ func (s *System) RepairShardForce(ctx context.Context, stripe uint64, shard int)
 	} else {
 		versions = vector
 	}
-	if err := s.nodes[shard].PutChunk(ctx, chunkID(stripe, shard), rebuilt, versions); err != nil {
+	if err := s.nodes[shard].PutChunk(ctx, chunkID(stripe, shard), rebuilt.B, versions); err != nil {
 		return err
 	}
 	s.metrics.Repairs.Add(1)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"trapquorum/internal/blockpool"
 	"trapquorum/internal/erasure"
 	"trapquorum/internal/sim"
 )
@@ -21,6 +22,10 @@ type appliedUpdate struct {
 	oldVersion uint64
 	newVersion uint64
 	delta      []byte
+	// adjBlk is the pooled buffer backing delta; released by the write
+	// once the update can no longer be rolled back (success, or after
+	// the rollback fan-out settled).
+	adjBlk *blockpool.Block
 }
 
 // WriteBlock implements Algorithm 1: write value x into data block
@@ -89,7 +94,13 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 			Err: fmt.Errorf("%w: initial read failed: %v", ErrWriteFailed, err)}
 	}
 	newVersion := oldVersion + 1
-	delta := erasure.DataDelta(old, x)
+	// The delta x−old and the per-parity adjustments α·delta live in
+	// pooled buffers: the transports snapshot what they send (client
+	// contract), so a healthy write allocates no blocks of its own.
+	deltaBlk := blockpool.GetBlock(size)
+	defer deltaBlk.Release()
+	delta := deltaBlk.B
+	erasure.DataDeltaInto(delta, old, x)
 
 	// One update task per trapezoid position, all levels at once.
 	cfg := s.lay.Config()
@@ -133,13 +144,16 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 		// CompareAndAdd folds the paper's separate version check and
 		// add into one atomic node operation. The Galois adjustment is
 		// computed here, inside the worker, so the per-parity GF(256)
-		// multiplies run in parallel too.
-		adj := s.code.ParityAdjustment(t.shard, block, delta)
-		if err := s.nodes[t.shard].CompareAndAdd(cctx, id, s.versionSlot(block, t.shard), oldVersion, newVersion, adj); err != nil {
+		// multiplies run in parallel too — into a pooled buffer that is
+		// kept alive while a rollback might need to re-send it.
+		adjBlk := blockpool.GetBlock(size)
+		s.code.ParityAdjustmentInto(adjBlk.B, t.shard, block, delta)
+		if err := s.nodes[t.shard].CompareAndAdd(cctx, id, s.versionSlot(block, t.shard), oldVersion, newVersion, adjBlk.B); err != nil {
+			adjBlk.Release()
 			return appliedUpdate{}, err
 		}
 		return appliedUpdate{
-			shard: t.shard, oldVersion: oldVersion, newVersion: newVersion, delta: adj,
+			shard: t.shard, oldVersion: oldVersion, newVersion: newVersion, delta: adjBlk.B, adjBlk: adjBlk,
 		}, nil
 	}
 	// runUpdates fans a task subset out and accounts per level. With
@@ -193,12 +207,25 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 	} else {
 		runUpdates(tasks, true)
 	}
+	// releaseAdjustments returns the pooled adjustment buffers once no
+	// rollback can reference them any more. The fan-out (and, on
+	// failure, the rollback fan-out) has fully settled by the time it
+	// runs, and the transports snapshot outgoing buffers, so nothing
+	// aliases them past this point.
+	releaseAdjustments := func() {
+		for i := range applied {
+			applied[i].adjBlk.Release()
+			applied[i].adjBlk = nil
+			applied[i].delta = nil
+		}
+	}
 	if failLevel >= 0 {
 		// Lines 35–37: FAIL.
 		s.metrics.FailedWrites.Add(1)
 		if !s.opts.DisableRollback {
 			s.rollback(stripe, block, applied)
 		}
+		releaseAdjustments()
 		cause := fmt.Errorf("%w: level %d reached %d of %d", ErrWriteFailed, failLevel, levels[failLevel].ok, levels[failLevel].need)
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			cause = ctxErr
@@ -206,6 +233,7 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 		return &OpError{Op: "write", Stripe: stripe, Block: block, Level: failLevel, Node: -1, Err: cause}
 	}
 	s.metrics.Writes.Add(1)
+	releaseAdjustments()
 	return nil
 }
 

@@ -1,0 +1,75 @@
+// Package dispatch is the shared bounded fan-out engine of the
+// concurrent hot paths. It was carved out of internal/core so that
+// leaf layers — the erasure data plane's stripe-parallel coder, the
+// service store's bulk repair — can dispatch through the same engine
+// without importing the protocol (core imports erasure; erasure
+// importing core back would cycle).
+package dispatch
+
+import "context"
+
+// outcome is one settled task, delivered to the fan-out collector.
+type outcome[T any] struct {
+	idx int
+	val T
+	err error
+}
+
+// Fanout issues calls 0..n-1 concurrently, keeping at most limit in
+// flight (limit <= 0 issues all at once), and reports every call's
+// final outcome to observe in completion order. observe runs in the
+// collector goroutine only, so it may mutate shared state without
+// locking. Returning false from observe stops the operation early:
+// outstanding calls are cancelled (and calls not yet issued are settled
+// immediately with the cancellation error, without running).
+//
+// Fanout returns only after all n outcomes have been observed. observe
+// keeps being invoked for late-settling calls after an early stop —
+// its return value is simply ignored from then on — so callers that
+// track side effects (the write path's applied-update log) see every
+// call that actually took effect, even ones that raced the
+// cancellation.
+func Fanout[T any](ctx context.Context, limit, n int, call func(context.Context, int) (T, error), observe func(idx int, val T, err error) bool) {
+	if n <= 0 {
+		return
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	// min(limit, n) workers drain a shared index stream, so a bounded
+	// sweep over thousands of tasks costs `limit` goroutines, not n
+	// parked ones. After an early stop, workers keep draining the
+	// stream but settle the remaining indices with the cancellation
+	// error without running them.
+	results := make(chan outcome[T], n)
+	indices := make(chan int)
+	for w := 0; w < limit; w++ {
+		go func() {
+			for i := range indices {
+				if err := cctx.Err(); err != nil {
+					var zero T
+					results <- outcome[T]{idx: i, val: zero, err: err}
+					continue
+				}
+				v, err := call(cctx, i)
+				results <- outcome[T]{idx: i, val: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			indices <- i
+		}
+		close(indices)
+	}()
+	stopped := false
+	for done := 0; done < n; done++ {
+		r := <-results
+		if !observe(r.idx, r.val, r.err) && !stopped {
+			stopped = true
+			cancel()
+		}
+	}
+}

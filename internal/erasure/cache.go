@@ -1,0 +1,71 @@
+package erasure
+
+import (
+	"container/list"
+
+	"trapquorum/internal/matrix"
+)
+
+// decodeEntry is one cached decode inverse: the k×k inverse of the
+// generator rows selected by a survivor set, plus the survivor indices
+// themselves so the fast path never rebuilds them. Entries are
+// immutable once inserted; callers must not mutate inv or use.
+type decodeEntry struct {
+	key string
+	inv *matrix.Matrix
+	use []int
+}
+
+// decodeCache is a plain LRU over decodeEntry, keyed by the packed
+// survivor-index string. It deliberately evicts the coldest failure
+// pattern when full — the previous design stopped caching new patterns
+// at the limit, which made long-lived clusters with churning failure
+// sets regress to re-inverting their *current* pattern on every decode
+// while the cache sat full of stale ones. Not safe for concurrent use;
+// the Code serialises access behind cacheMu.
+type decodeCache struct {
+	limit   int
+	order   *list.List // front = most recently used; values are *decodeEntry
+	entries map[string]*list.Element
+}
+
+func newDecodeCache(limit int) *decodeCache {
+	return &decodeCache{
+		limit:   limit,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, limit),
+	}
+}
+
+// lookup fetches the entry for a packed key, refreshing its recency.
+// The key is passed as a byte slice so hit-path lookups stay
+// allocation-free (the map index expression below does not copy).
+func (dc *decodeCache) lookup(key []byte) (*decodeEntry, bool) {
+	el, ok := dc.entries[string(key)]
+	if !ok {
+		return nil, false
+	}
+	dc.order.MoveToFront(el)
+	return el.Value.(*decodeEntry), true
+}
+
+// insert adds an entry, evicting the least recently used one when the
+// cache is full. Inserting an existing key refreshes it.
+func (dc *decodeCache) insert(e *decodeEntry) {
+	if el, ok := dc.entries[e.key]; ok {
+		el.Value = e
+		dc.order.MoveToFront(el)
+		return
+	}
+	if dc.order.Len() >= dc.limit {
+		oldest := dc.order.Back()
+		if oldest != nil {
+			dc.order.Remove(oldest)
+			delete(dc.entries, oldest.Value.(*decodeEntry).key)
+		}
+	}
+	dc.entries[e.key] = dc.order.PushFront(e)
+}
+
+// len reports the number of cached entries.
+func (dc *decodeCache) len() int { return dc.order.Len() }

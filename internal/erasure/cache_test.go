@@ -7,6 +7,12 @@ import (
 	"testing"
 )
 
+func cacheEntries(c *Code) int {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	return c.decodeCache.len()
+}
+
 func TestDecodeCacheCorrectness(t *testing.T) {
 	r := rand.New(rand.NewSource(30))
 	c := mustCode(t, 12, 7)
@@ -28,10 +34,7 @@ func TestDecodeCacheCorrectness(t *testing.T) {
 			}
 		}
 	}
-	c.cacheMu.RLock()
-	entries := len(c.decodeCache)
-	c.cacheMu.RUnlock()
-	if entries != 1 {
+	if entries := cacheEntries(c); entries != 1 {
 		t.Fatalf("cache holds %d entries, want 1", entries)
 	}
 }
@@ -50,11 +53,133 @@ func TestDecodeCacheDistinctPatterns(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	c.cacheMu.RLock()
-	entries := len(c.decodeCache)
-	c.cacheMu.RUnlock()
-	if entries != len(patterns) {
+	if entries := cacheEntries(c); entries != len(patterns) {
 		t.Fatalf("cache holds %d entries, want %d", entries, len(patterns))
+	}
+}
+
+// cacheHasSurvivors reports whether the decode cache currently holds
+// the entry for the given first-k survivor set.
+func cacheHasSurvivors(c *Code, use []int) bool {
+	key := make([]byte, len(use))
+	for i, idx := range use {
+		key[i] = byte(idx)
+	}
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	_, ok := c.decodeCache.lookup(key)
+	return ok
+}
+
+// firstKSurvivors returns the first k shard indices not in the erased
+// set — the decode cache key the reconstruct will use.
+func firstKSurvivors(n, k int, erased []int) []int {
+	gone := make(map[int]bool, len(erased))
+	for _, e := range erased {
+		gone[e] = true
+	}
+	use := make([]int, 0, k)
+	for i := 0; i < n && len(use) < k; i++ {
+		if !gone[i] {
+			use = append(use, i)
+		}
+	}
+	return use
+}
+
+// TestDecodeCacheChurnEvicts is the regression test for the LRU
+// semantics: churning through more *distinct survivor sets* than the
+// limit must keep the cache bounded AND keep the patterns currently in
+// rotation cached — the old stop-at-limit design filled up once and
+// then refused every later pattern forever, so the most recent pattern
+// would be absent. Distinctness matters: the cache key is the first-k
+// survivor set, so the erasures are drawn as 5-subsets of the first 13
+// shards, giving C(13,5) = 1287 distinct keys > decodeCacheLimit.
+func TestDecodeCacheChurnEvicts(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	const n, k = 16, 8
+	c := mustCode(t, n, k)
+	orig, err := c.Encode(randStripeData(r, k, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := 0
+	var lastErased []int
+	for a := 0; a < 13; a++ {
+		for b := a + 1; b < 13; b++ {
+			for d := b + 1; d < 13; d++ {
+				for e := d + 1; e < 13; e++ {
+					for f := e + 1; f < 13; f++ {
+						erased := []int{a, b, d, e, f}
+						shards := cloneShards(orig)
+						for _, idx := range erased {
+							shards[idx] = nil
+						}
+						if err := c.Reconstruct(shards); err != nil {
+							t.Fatalf("erase %v: %v", erased, err)
+						}
+						for idx := range shards {
+							if !bytes.Equal(shards[idx], orig[idx]) {
+								t.Fatalf("erase %v: shard %d wrong", erased, idx)
+							}
+						}
+						distinct++
+						lastErased = erased
+					}
+				}
+			}
+		}
+	}
+	if distinct <= decodeCacheLimit {
+		t.Fatalf("churned only %d distinct patterns, need > %d for the regression to bite", distinct, decodeCacheLimit)
+	}
+	if entries := cacheEntries(c); entries > decodeCacheLimit {
+		t.Fatalf("cache grew to %d entries, limit %d", entries, decodeCacheLimit)
+	}
+	// The discriminating assertion: under LRU the most recently used
+	// survivor set is cached; under the old stop-at-limit design every
+	// pattern after the 1024th was refused, so it would be absent.
+	if !cacheHasSurvivors(c, firstKSurvivors(n, k, lastErased)) {
+		t.Fatalf("most recent survivor set not cached after churn — stop-at-limit regression")
+	}
+	// And the very first pattern must have been evicted, proving the
+	// cache turned over rather than pinning the earliest entries.
+	if cacheHasSurvivors(c, firstKSurvivors(n, k, []int{0, 1, 2, 3, 4})) {
+		t.Fatalf("oldest survivor set still cached after churning %d patterns past the limit", distinct)
+	}
+}
+
+// TestDecodeCacheLRUEviction pins the eviction order at the unit
+// level: the least recently used entry goes first, and a lookup
+// refreshes recency.
+func TestDecodeCacheLRUEviction(t *testing.T) {
+	dc := newDecodeCache(2)
+	e1 := &decodeEntry{key: "a"}
+	e2 := &decodeEntry{key: "b"}
+	e3 := &decodeEntry{key: "c"}
+	dc.insert(e1)
+	dc.insert(e2)
+	if _, ok := dc.lookup([]byte("a")); !ok {
+		t.Fatal("entry a missing")
+	}
+	// a was just used; inserting c must evict b, not a.
+	dc.insert(e3)
+	if _, ok := dc.lookup([]byte("b")); ok {
+		t.Fatal("LRU kept b, should have evicted it")
+	}
+	if _, ok := dc.lookup([]byte("a")); !ok {
+		t.Fatal("LRU evicted a, the recently used entry")
+	}
+	if _, ok := dc.lookup([]byte("c")); !ok {
+		t.Fatal("entry c missing")
+	}
+	if dc.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", dc.len())
+	}
+	// Re-inserting an existing key refreshes, not duplicates.
+	dc.insert(&decodeEntry{key: "c"})
+	if dc.len() != 2 {
+		t.Fatalf("re-insert duplicated: %d entries", dc.len())
 	}
 }
 
@@ -93,10 +218,12 @@ func BenchmarkDecodeBlockCacheHit(b *testing.B) {
 	orig, _ := c.Encode(randStripeData(r, 8, 4096))
 	shards := cloneShards(orig)
 	shards[3] = nil
+	dst := make([]byte, 4096)
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.DecodeBlock(3, shards); err != nil {
+		if err := c.DecodeBlockInto(dst, 3, shards); err != nil {
 			b.Fatal(err)
 		}
 	}

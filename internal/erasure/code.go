@@ -11,13 +11,27 @@
 // applies b_j ^= α_{j,i}·(x − old), which commutes with concurrent
 // updates of other data blocks — the reason Galois-field codes admit
 // quorum-style partial writes.
+//
+// Data-plane layout. The coding kernels run word-wise (gf256's packed
+// lane tables: one table lookup per source byte feeds up to 8 parity
+// rows), blocks are processed in cache-sized segments that can be
+// fanned across a bounded worker set (WithParallelism), and every hot
+// operation has a destination-buffer variant (EncodeInto,
+// ReconstructInto, RepairShardInto, DecodeBlockInto) so steady-state
+// traffic runs allocation-free over pooled buffers. See DESIGN.md
+// "Buffer ownership" for the aliasing and retention rules.
 package erasure
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
+	"trapquorum/internal/blockpool"
+	"trapquorum/internal/dispatch"
+	"trapquorum/internal/gf256"
 	"trapquorum/internal/matrix"
 )
 
@@ -29,25 +43,63 @@ var (
 	ErrEmptyShards = errors.New("erasure: no shard data present")
 )
 
-// decodeCacheLimit bounds the number of cached decode inverses; each
-// failure pattern seen in practice is one entry, so the bound only
-// matters for adversarial churn.
+// decodeCacheLimit bounds the number of cached decode inverses. The
+// cache is an LRU: each failure pattern seen in practice is one entry,
+// and churn beyond the limit evicts the coldest pattern instead of
+// refusing to cache new ones, so long-lived clusters never regress to
+// re-inverting matrices for their current failure pattern.
 const decodeCacheLimit = 1024
 
-// Code is a systematic (n,k) MDS erasure code. The generator matrix is
-// immutable; a bounded cache of decode-matrix inverses (keyed by the
-// survivor set) is maintained behind a lock, so the type is safe for
-// concurrent use.
-type Code struct {
-	n, k int
-	gen  *matrix.Matrix // n×k systematic generator; top k×k = I
+// segmentSize is the number of positions one coding segment covers.
+// The packed-lane accumulator for a segment is 8× that in bytes
+// (32 KiB), which keeps the accumulator plus the k source segments
+// resident in L1/L2 across the k accumulation passes — the cache
+// blocking that makes the lane kernels stream at word speed — and is
+// also the fan-out grain of the stripe-parallel coder.
+const segmentSize = 4096
 
-	cacheMu     sync.RWMutex
-	decodeCache map[string]*matrix.Matrix
+// Option configures a Code at construction.
+type Option func(*Code)
+
+// WithParallelism bounds the worker set the stripe-parallel coder fans
+// block segments across. 1 (the default) keeps coding on the calling
+// goroutine; p > 1 allows up to p concurrent segment workers for
+// blocks large enough to split (≥ 2 segments); 0 resolves to
+// runtime.GOMAXPROCS(0). Negative values panic.
+func WithParallelism(p int) Option {
+	if p < 0 {
+		panic(fmt.Sprintf("erasure: WithParallelism(%d): need >= 0", p))
+	}
+	return func(c *Code) {
+		if p == 0 {
+			c.parallel = runtime.GOMAXPROCS(0)
+			return
+		}
+		c.parallel = p
+	}
+}
+
+// Code is a systematic (n,k) MDS erasure code. The generator matrix is
+// immutable; a bounded LRU cache of decode-matrix inverses (keyed by
+// the survivor set) is maintained behind a lock, so the type is safe
+// for concurrent use.
+type Code struct {
+	n, k     int
+	gen      *matrix.Matrix // n×k systematic generator; top k×k = I
+	parallel int            // segment-worker bound (≥ 1)
+
+	// encOnce guards the lazily built packed-lane encode tables:
+	// encBanks[b][i] packs, for data column i, the coefficients of the
+	// ≤8 parity rows of bank b (rows k+8b .. min(k+8b+8, n)).
+	encOnce  sync.Once
+	encBanks [][]*gf256.LaneTable
+
+	cacheMu     sync.Mutex
+	decodeCache *decodeCache
 }
 
 // New constructs an (n,k) code. Requirements: 1 ≤ k ≤ n ≤ 256.
-func New(n, k int) (*Code, error) {
+func New(n, k int, opts ...Option) (*Code, error) {
 	if k < 1 || n < k || n > 256 {
 		return nil, fmt.Errorf("erasure: invalid parameters n=%d k=%d (need 1 <= k <= n <= 256)", n, k)
 	}
@@ -55,7 +107,11 @@ func New(n, k int) (*Code, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Code{n: n, k: k, gen: gen, decodeCache: make(map[string]*matrix.Matrix)}, nil
+	c := &Code{n: n, k: k, gen: gen, parallel: 1, decodeCache: newDecodeCache(decodeCacheLimit)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // N returns the total number of blocks per stripe.
@@ -66,6 +122,9 @@ func (c *Code) K() int { return c.k }
 
 // ParityCount returns n − k, the number of redundant blocks.
 func (c *Code) ParityCount() int { return c.n - c.k }
+
+// Parallelism returns the configured segment-worker bound.
+func (c *Code) Parallelism() int { return c.parallel }
 
 // Coefficient returns α_{j,i}: the generator coefficient applied to
 // data block i (0-based, 0 ≤ i < k) in the encoding of block j
@@ -111,52 +170,189 @@ func (c *Code) checkShape(shards [][]byte) (int, error) {
 	return size, nil
 }
 
+// DataSize validates that data holds exactly k non-nil, equally sized,
+// non-empty blocks — the encode-input contract — and returns the
+// common block size. Callers that must size destination buffers before
+// calling EncodeInto (the protocol's pooled seeding path) use it so
+// validation lives in one place.
+func (c *Code) DataSize(data [][]byte) (int, error) { return c.checkData(data) }
+
+// checkData validates the k data blocks of an encode and returns the
+// common block size.
+func (c *Code) checkData(data [][]byte) (int, error) {
+	if len(data) != c.k {
+		return 0, fmt.Errorf("%w: got %d data blocks, want %d", ErrShardCount, len(data), c.k)
+	}
+	size := -1
+	for i, d := range data {
+		if d == nil {
+			return 0, fmt.Errorf("erasure: data block %d is nil", i)
+		}
+		if size == -1 {
+			size = len(d)
+		} else if len(d) != size {
+			return 0, fmt.Errorf("%w: data block %d has %d bytes, expected %d", ErrShardSize, i, len(d), size)
+		}
+	}
+	if size == 0 {
+		return 0, ErrEmptyShards
+	}
+	return size, nil
+}
+
+// encTables returns the lazily built packed-lane encode tables, one
+// bank of ≤8 parity rows per entry, one LaneTable per data column
+// within a bank. Built once per Code; safe for concurrent use.
+func (c *Code) encTables() [][]*gf256.LaneTable {
+	c.encOnce.Do(func() {
+		parity := c.n - c.k
+		nbanks := (parity + gf256.MaxLanes - 1) / gf256.MaxLanes
+		banks := make([][]*gf256.LaneTable, nbanks)
+		for b := 0; b < nbanks; b++ {
+			rows := gf256.MaxLanes
+			if rem := parity - b*gf256.MaxLanes; rem < rows {
+				rows = rem
+			}
+			tables := make([]*gf256.LaneTable, c.k)
+			coeffs := make([]byte, rows)
+			for i := 0; i < c.k; i++ {
+				for r := 0; r < rows; r++ {
+					coeffs[r] = c.gen.At(c.k+b*gf256.MaxLanes+r, i)
+				}
+				tables[i] = gf256.NewLaneTable(coeffs)
+			}
+			banks[b] = tables
+		}
+		c.encBanks = banks
+	})
+	return c.encBanks
+}
+
+// parallelSegments reports whether a block of the given size gets its
+// segments fanned across workers (rather than walked serially on the
+// calling goroutine).
+func (c *Code) parallelSegments(size int) bool {
+	return c.parallel > 1 && size > segmentSize
+}
+
+// forEachSegment fans f over the segment ranges [lo,hi) covering
+// [0,size) with at most `parallel` workers. Callers on the serial path
+// walk the segments inline instead — a closure-free loop — so the
+// steady state allocates nothing; this helper is the parallel arm.
+func (c *Code) forEachSegment(size int, f func(lo, hi int)) {
+	nseg := (size + segmentSize - 1) / segmentSize
+	// Coding segments are pure CPU work that always runs to completion,
+	// so the fan-out gets a never-cancelled context.
+	dispatch.Fanout(context.Background(), c.parallel, nseg, func(_ context.Context, seg int) (struct{}, error) {
+		lo := seg * segmentSize
+		hi := lo + segmentSize
+		if hi > size {
+			hi = size
+		}
+		f(lo, hi)
+		return struct{}{}, nil
+	}, func(int, struct{}, error) bool { return true })
+}
+
+// encodeSegment computes every parity row over positions [lo,hi):
+// one packed-lane accumulation pass per bank (k lookups per position
+// feeding the bank's ≤8 rows at once), then a word-wise lane extraction
+// into each parity block.
+func (c *Code) encodeSegment(parity [][]byte, data [][]byte, lo, hi int) {
+	banks := c.encTables()
+	acc := blockpool.GetWords(hi - lo)
+	var dsts [gf256.MaxLanes][]byte
+	for b, tables := range banks {
+		tables[0].Mul(acc.W, data[0][lo:hi])
+		for i := 1; i < len(tables); i++ {
+			tables[i].MulAdd(acc.W, data[i][lo:hi])
+		}
+		base := b * gf256.MaxLanes
+		lanes := tables[0].Lanes()
+		for lane := 0; lane < lanes; lane++ {
+			dsts[lane] = parity[base+lane][lo:hi]
+		}
+		gf256.ExtractLanes(dsts[:lanes], acc.W)
+	}
+	acc.Release()
+}
+
+// EncodeInto computes the n−k parity blocks of the stripe into the
+// caller-provided destination blocks: parity[j] receives stripe block
+// k+j. Every destination must be non-nil with exactly the data block
+// size and must not alias any data block. The destinations are fully
+// overwritten, so pooled buffers need no clearing. EncodeInto performs
+// no allocation beyond pooled scratch.
+func (c *Code) EncodeInto(parity [][]byte, data [][]byte) error {
+	size, err := c.checkData(data)
+	if err != nil {
+		return err
+	}
+	if len(parity) != c.n-c.k {
+		return fmt.Errorf("%w: got %d parity blocks, want %d", ErrShardCount, len(parity), c.n-c.k)
+	}
+	for j, p := range parity {
+		if p == nil {
+			return fmt.Errorf("erasure: parity destination %d is nil", j)
+		}
+		if len(p) != size {
+			return fmt.Errorf("%w: parity destination %d has %d bytes, expected %d", ErrShardSize, j, len(p), size)
+		}
+	}
+	if c.parallelSegments(size) {
+		c.forEachSegment(size, func(lo, hi int) {
+			c.encodeSegment(parity, data, lo, hi)
+		})
+		return nil
+	}
+	for lo := 0; lo < size; lo += segmentSize {
+		hi := lo + segmentSize
+		if hi > size {
+			hi = size
+		}
+		c.encodeSegment(parity, data, lo, hi)
+	}
+	return nil
+}
+
 // Encode computes the n−k parity blocks for the given k data blocks
 // and returns the full stripe of n shards. The returned slice aliases
 // the input data blocks (they are stored verbatim — the code is
 // systematic) and owns freshly allocated parity blocks. All data
 // blocks must be non-nil and the same size.
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
-	if len(data) != c.k {
-		return nil, fmt.Errorf("%w: got %d data blocks, want %d", ErrShardCount, len(data), c.k)
-	}
-	size := -1
-	for i, d := range data {
-		if d == nil {
-			return nil, fmt.Errorf("erasure: data block %d is nil", i)
-		}
-		if size == -1 {
-			size = len(d)
-		} else if len(d) != size {
-			return nil, fmt.Errorf("%w: data block %d has %d bytes, expected %d", ErrShardSize, i, len(d), size)
-		}
-	}
-	if size == 0 {
-		return nil, ErrEmptyShards
+	size, err := c.checkData(data)
+	if err != nil {
+		return nil, err
 	}
 	shards := make([][]byte, c.n)
 	copy(shards, data)
 	for j := c.k; j < c.n; j++ {
 		shards[j] = make([]byte, size)
-		c.encodeRowInto(shards[j], j, data)
+	}
+	if err := c.EncodeInto(shards[c.k:], data); err != nil {
+		return nil, err
 	}
 	return shards, nil
 }
 
-// encodeRowInto writes block j of the stripe (Σ α_{j,i}·data[i]) into dst.
+// encodeRowInto writes block j of the stripe (Σ α_{j,i}·data[i]) into
+// dst, overwriting it. Row-wise: the single-row path used by repair and
+// reconstruction, where only one output row is needed and the lane
+// layout would waste its fan-out.
 func (c *Code) encodeRowInto(dst []byte, j int, data [][]byte) {
 	row := c.gen.Row(j)
-	for i := range dst {
-		dst[i] = 0
-	}
-	for i, coeff := range row {
-		mulAdd(coeff, dst, data[i])
+	gf256.MulSlice(row[0], dst, data[0])
+	for i := 1; i < len(row); i++ {
+		gf256.MulAddSlice(row[i], dst, data[i])
 	}
 }
 
 // Verify checks that the parity blocks are consistent with the data
 // blocks. All n shards must be present (non-nil); use Reconstruct
-// first if some are missing.
+// first if some are missing. Verification re-derives the parity
+// word-wise per segment and compares lanes in place, allocating
+// nothing beyond pooled scratch.
 func (c *Code) Verify(shards [][]byte) (bool, error) {
 	size, err := c.checkShape(shards)
 	if err != nil {
@@ -167,24 +363,34 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 			return false, errors.New("erasure: Verify requires all shards present")
 		}
 	}
-	buf := make([]byte, size)
-	for j := c.k; j < c.n; j++ {
-		c.encodeRowInto(buf, j, shards[:c.k])
-		if !bytesEqual(buf, shards[j]) {
-			return false, nil
+	banks := c.encTables()
+	data := shards[:c.k]
+	ok := true
+	// Serial segment walk: verification short-circuits on the first
+	// mismatch, which a parallel fan-out would give up.
+	for lo := 0; lo < size && ok; lo += segmentSize {
+		hi := lo + segmentSize
+		if hi > size {
+			hi = size
 		}
-	}
-	return true, nil
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+		acc := blockpool.GetWords(hi - lo)
+		var wants [gf256.MaxLanes][]byte
+		for b, tables := range banks {
+			tables[0].Mul(acc.W, data[0][lo:hi])
+			for i := 1; i < len(tables); i++ {
+				tables[i].MulAdd(acc.W, data[i][lo:hi])
+			}
+			base := c.k + b*gf256.MaxLanes
+			lanes := tables[0].Lanes()
+			for lane := 0; lane < lanes; lane++ {
+				wants[lane] = shards[base+lane][lo:hi]
+			}
+			if !gf256.LanesEqual(wants[:lanes], acc.W) {
+				ok = false
+				break
+			}
 		}
+		acc.Release()
 	}
-	return true
+	return ok, nil
 }

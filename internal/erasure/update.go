@@ -3,6 +3,7 @@ package erasure
 import (
 	"fmt"
 
+	"trapquorum/internal/blockpool"
 	"trapquorum/internal/gf256"
 )
 
@@ -10,25 +11,39 @@ import (
 // the quantity (x − chunk) of Algorithm 1 line 27. Both slices must
 // have equal length.
 func DataDelta(oldData, newData []byte) []byte {
-	if len(oldData) != len(newData) {
-		panic(fmt.Sprintf("erasure: DataDelta length mismatch %d vs %d", len(oldData), len(newData)))
-	}
 	out := make([]byte, len(newData))
-	copy(out, newData)
-	gf256.XorSlice(out, oldData)
+	DataDeltaInto(out, oldData, newData)
 	return out
+}
+
+// DataDeltaInto computes newData − oldData into dst, overwriting it.
+// All three slices must have equal length; dst may alias newData (the
+// in-place delta of a buffer being replaced) but not oldData.
+func DataDeltaInto(dst, oldData, newData []byte) {
+	if len(oldData) != len(newData) || len(dst) != len(newData) {
+		panic(fmt.Sprintf("erasure: DataDeltaInto length mismatch %d/%d/%d", len(dst), len(oldData), len(newData)))
+	}
+	copy(dst, newData)
+	gf256.XorSlice(dst, oldData)
 }
 
 // ParityAdjustment returns α_{j,i}·delta: the buffer a parity node j
 // adds to its block when data block i changed by delta. j must index a
 // parity row (k ≤ j < n).
 func (c *Code) ParityAdjustment(j, i int, delta []byte) []byte {
+	out := make([]byte, len(delta))
+	c.ParityAdjustmentInto(out, j, i, delta)
+	return out
+}
+
+// ParityAdjustmentInto computes α_{j,i}·delta into dst, overwriting
+// it; dst must have the delta's length and may alias delta. The
+// allocation-free write-path primitive over pooled buffers.
+func (c *Code) ParityAdjustmentInto(dst []byte, j, i int, delta []byte) {
 	if j < c.k || j >= c.n {
 		panic(fmt.Sprintf("erasure: ParityAdjustment row %d is not a parity row of (%d,%d)", j, c.n, c.k))
 	}
-	out := make([]byte, len(delta))
-	gf256.MulSlice(c.Coefficient(j, i), out, delta)
-	return out
+	gf256.MulSlice(c.Coefficient(j, i), dst, delta)
 }
 
 // ApplyAdjustment performs the node-side operation of Algorithm 1
@@ -42,9 +57,13 @@ func ApplyAdjustment(block, adjustment []byte) {
 
 // UpdateParity is the full update pipeline for one parity block:
 // it computes α_{j,i}·(new−old) and applies it to parity in place.
-// Equivalent to, but cheaper than, re-encoding the stripe.
+// Equivalent to, but cheaper than, re-encoding the stripe; runs over
+// pooled scratch, allocating nothing.
 func (c *Code) UpdateParity(parity []byte, j, i int, oldData, newData []byte) {
-	delta := DataDelta(oldData, newData)
-	adj := c.ParityAdjustment(j, i, delta)
-	ApplyAdjustment(parity, adj)
+	scratch := blockpool.GetBlock(len(newData))
+	DataDeltaInto(scratch.B, oldData, newData)
+	// parity ^= α·delta is a single fused multiply-accumulate; no
+	// separate adjustment buffer needed.
+	gf256.MulAddSlice(c.Coefficient(j, i), parity, scratch.B)
+	scratch.Release()
 }

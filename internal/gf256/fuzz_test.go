@@ -1,0 +1,105 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Differential fuzzing: the word-wise kernels and the packed-lane
+// tables must match the scalar references on arbitrary inputs. The
+// seed corpus covers the structural boundaries — empty input, word
+// tails, the wordCutover and laneExpandCutover thresholds, and the
+// special coefficients 0/1/generator/0xff.
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{1}, byte(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, byte(2))
+	f.Add([]byte{0xff, 0, 0xff, 0, 0xff, 0, 0xff, 0}, byte(0xff))
+	f.Add(bytes.Repeat([]byte{0xa5}, wordCutover-1), byte(0x1d))
+	f.Add(bytes.Repeat([]byte{0x5a}, wordCutover), byte(0x1d))
+	f.Add(bytes.Repeat([]byte{7}, 257), byte(0x80))
+	f.Add(bytes.Repeat([]byte{0xee}, laneExpandCutover+1), byte(3))
+}
+
+func FuzzMulSlice(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src []byte, c byte) {
+		want := make([]byte, len(src))
+		MulSliceRef(c, want, src)
+		got := make([]byte, len(src))
+		MulSlice(c, got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulSlice(c=%#x, n=%d) diverges from scalar reference", c, len(src))
+		}
+		// In-place application must match the out-of-place result.
+		inPlace := append([]byte(nil), src...)
+		MulSlice(c, inPlace, inPlace)
+		if !bytes.Equal(inPlace, want) {
+			t.Fatalf("MulSlice(c=%#x, n=%d) in-place diverges", c, len(src))
+		}
+	})
+}
+
+func FuzzMulAddSlice(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src []byte, c byte) {
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i*37 + 11)
+		}
+		want := append([]byte(nil), dst...)
+		MulAddSliceRef(c, want, src)
+		got := append([]byte(nil), dst...)
+		MulAddSlice(c, got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulAddSlice(c=%#x, n=%d) diverges from scalar reference", c, len(src))
+		}
+	})
+}
+
+func FuzzXorSlice(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src []byte, fill byte) {
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = fill ^ byte(i)
+		}
+		want := append([]byte(nil), dst...)
+		XorSliceRef(want, src)
+		got := append([]byte(nil), dst...)
+		XorSlice(got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("XorSlice(n=%d) diverges from scalar reference", len(src))
+		}
+	})
+}
+
+func FuzzLaneTable(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src []byte, c byte) {
+		// Derive a deterministic 8-coefficient column from the fuzzed
+		// byte so the whole coefficient space gets explored.
+		coeffs := make([]byte, MaxLanes)
+		for j := range coeffs {
+			coeffs[j] = c + byte(j*29)
+		}
+		tab := NewLaneTable(coeffs)
+		acc := make([]uint64, len(src))
+		tab.Mul(acc, src)
+		tab.MulAdd(acc, src) // self-cancel: lanes must come back zero...
+		tab.MulAdd(acc, src) // ...and a third add restores the products
+		lane := make([]byte, len(src))
+		for j, cj := range coeffs {
+			want := make([]byte, len(src))
+			MulSliceRef(cj, want, src)
+			ExtractLane(lane, acc, j)
+			if !bytes.Equal(lane, want) {
+				t.Fatalf("lane %d (coeff %#x, n=%d) diverges from scalar reference", j, cj, len(src))
+			}
+			if !LaneEqual(want, acc, j) {
+				t.Fatalf("LaneEqual rejects correct lane %d (n=%d)", j, len(src))
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package gf256
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Data-plane kernel benchmarks. Every benchmark here carries the GF
+// prefix so the CI bench-smoke step (-bench=BenchmarkGF -benchtime=1x)
+// compiles and runs each one; the *Ref variants are the scalar
+// baselines the word-wise speedup claims in docs/PERFORMANCE.md are
+// measured against, at identical SetBytes accounting.
+
+var gfBenchSizes = []int{1 << 10, 64 << 10, 1 << 20}
+
+func gfBenchName(size int) string {
+	switch {
+	case size >= 1<<20:
+		return fmt.Sprintf("%dM", size>>20)
+	case size >= 1<<10:
+		return fmt.Sprintf("%dK", size>>10)
+	default:
+		return fmt.Sprintf("%dB", size)
+	}
+}
+
+func benchPair(b *testing.B, f func(c byte, dst, src []byte)) {
+	for _, size := range gfBenchSizes {
+		b.Run(gfBenchName(size), func(b *testing.B) {
+			src := make([]byte, size)
+			dst := make([]byte, size)
+			rand.New(rand.NewSource(42)).Read(src)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f(0x9c, dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkGFMulSlice(b *testing.B)    { benchPair(b, MulSlice) }
+func BenchmarkGFMulSliceRef(b *testing.B) { benchPair(b, MulSliceRef) }
+
+func BenchmarkGFMulAddSlice(b *testing.B)    { benchPair(b, MulAddSlice) }
+func BenchmarkGFMulAddSliceRef(b *testing.B) { benchPair(b, MulAddSliceRef) }
+
+func BenchmarkGFXorSlice(b *testing.B) {
+	benchPair(b, func(_ byte, dst, src []byte) { XorSlice(dst, src) })
+}
+func BenchmarkGFXorSliceRef(b *testing.B) {
+	benchPair(b, func(_ byte, dst, src []byte) { XorSliceRef(dst, src) })
+}
+
+// The 8-lane fan-out pair: produce the products of 8 coefficients for
+// one source block. The packed-lane kernel does it in one pass with one
+// lookup per source byte; the scalar reference is the row-wise
+// equivalent — 8 MulAddSliceRef passes. Both account 8·size processed
+// bytes, so the MB/s figures compare directly.
+var gfBenchCoeffs = []byte{3, 9, 0x55, 0xd1, 7, 2, 0xfe, 0x80}
+
+func BenchmarkGFLane8(b *testing.B) {
+	for _, size := range gfBenchSizes {
+		b.Run(gfBenchName(size), func(b *testing.B) {
+			src := make([]byte, size)
+			rand.New(rand.NewSource(43)).Read(src)
+			tab := NewLaneTable(gfBenchCoeffs)
+			acc := make([]uint64, size)
+			b.SetBytes(int64(8 * size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab.MulAdd(acc, src)
+			}
+		})
+	}
+}
+
+func BenchmarkGFLane8Ref(b *testing.B) {
+	for _, size := range gfBenchSizes {
+		b.Run(gfBenchName(size), func(b *testing.B) {
+			src := make([]byte, size)
+			rand.New(rand.NewSource(43)).Read(src)
+			dsts := make([][]byte, 8)
+			for j := range dsts {
+				dsts[j] = make([]byte, size)
+			}
+			b.SetBytes(int64(8 * size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, c := range gfBenchCoeffs {
+					MulAddSliceRef(c, dsts[j], src)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGFExtractLane(b *testing.B) {
+	for _, size := range gfBenchSizes {
+		b.Run(gfBenchName(size), func(b *testing.B) {
+			acc := make([]uint64, size)
+			for i := range acc {
+				acc[i] = uint64(i) * 0x9e3779b97f4a7c15
+			}
+			dst := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ExtractLane(dst, acc, 3)
+			}
+		})
+	}
+}

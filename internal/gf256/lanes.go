@@ -1,0 +1,340 @@
+package gf256
+
+// Packed-lane kernels: the throughput core of the word-wise data plane.
+//
+// Row-wise stripe encoding performs, per parity row j, a full pass
+// dst_j[m] ^= α_{j,i}·src_i[m] over every (row, column) pair — for an
+// (n,k) code that is (n−k)·k table lookups and (n−k)·k block passes.
+// The lane layout transposes the work: a LaneTable packs, for one data
+// column i, the products α_{j,i}·v of up to 8 parity rows j into the 8
+// byte lanes of a uint64, so ONE lookup per source byte feeds all
+// (n−k ≤ 8 of the bank's) destination rows at once, and the
+// accumulator is touched word-wise. Parity rows beyond 8 are handled
+// by banking (the erasure layer groups rows into banks of 8).
+//
+// The tables themselves are built split by nibble: lane-packed
+// low/high 4-bit tables lo[v] = Σ_j α_j·v<<lane(j) (v in 0..15) and
+// hi[v] = Σ_j α_j·(v<<4)<<lane(j). The split build costs 32 packed
+// entries instead of 256, which is what makes per-call construction
+// affordable for small blocks; for large blocks the split tables are
+// expanded once into a byte-indexed table (lo[v&15]^hi[v>>4] for all
+// 256 v), halving the per-byte lookups. Accumulate selects between the
+// two per call by length, and the expansion is cached — a LaneTable
+// retained by an erasure code amortises it across every stripe.
+//
+// Everything here is plain Go over uint64 words: no assembly, no
+// unsafe, byte order fixed by encoding/binary on the extract side.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// MaxLanes is the number of destination rows one LaneTable packs — the
+// byte lanes of a uint64.
+const MaxLanes = 8
+
+// LaneTable maps one source byte to the packed products of up to
+// MaxLanes coefficients. Safe for concurrent use once built.
+type LaneTable struct {
+	lanes int
+	// Split 4-bit tables: lo indexes the low nibble of a source byte,
+	// hi the high nibble; their XOR is the packed product.
+	lo, hi [16]uint64
+
+	// full is the byte-indexed expansion, built lazily on the first
+	// long-enough Accumulate (expandOnce) so tables used only for
+	// small blocks never pay for it.
+	expandOnce sync.Once
+	full       *[256]uint64
+}
+
+// NewLaneTable builds the packed product table of the given
+// coefficients: lane j of every entry carries products of coeffs[j].
+// Between 1 and MaxLanes coefficients are accepted. Construction cost
+// is 32 packed entries (the 4-bit split build); the byte-indexed
+// expansion happens lazily when a large block first needs it.
+func NewLaneTable(coeffs []byte) *LaneTable {
+	if len(coeffs) == 0 || len(coeffs) > MaxLanes {
+		panic(fmt.Sprintf("gf256: NewLaneTable with %d coefficients (need 1..%d)", len(coeffs), MaxLanes))
+	}
+	t := &LaneTable{lanes: len(coeffs)}
+	for j, c := range coeffs {
+		row := &mulTable[c]
+		sh := uint(8 * j)
+		for v := 0; v < 16; v++ {
+			t.lo[v] |= uint64(row[v]) << sh
+			t.hi[v] |= uint64(row[v<<4]) << sh
+		}
+	}
+	return t
+}
+
+// Lanes returns the number of packed destination rows.
+func (t *LaneTable) Lanes() int { return t.lanes }
+
+// laneExpandCutover is the source length at which Accumulate expands
+// (and caches) the byte-indexed table: below it the 256-entry
+// expansion costs more than the second nibble lookup it saves.
+const laneExpandCutover = 1024
+
+// expand builds the byte-indexed table from the split tables, once.
+func (t *LaneTable) expand() *[256]uint64 {
+	t.expandOnce.Do(func() {
+		var full [256]uint64
+		for v := 0; v < 256; v++ {
+			full[v] = t.lo[v&15] ^ t.hi[v>>4]
+		}
+		t.full = &full
+	})
+	return t.full
+}
+
+// Mul sets acc[m] = products(src[m]) for every position: lane j of
+// acc[m] becomes coeffs[j]·src[m]. len(acc) must equal len(src).
+func (t *LaneTable) Mul(acc []uint64, src []byte) {
+	if len(acc) != len(src) {
+		panic("gf256: LaneTable.Mul length mismatch")
+	}
+	if len(src) >= laneExpandCutover {
+		t.mulFull(t.expand(), acc, src)
+		return
+	}
+	t.mulSplit(acc, src)
+}
+
+// MulAdd sets acc[m] ^= products(src[m]) for every position,
+// accumulating into the packed lanes. len(acc) must equal len(src).
+func (t *LaneTable) MulAdd(acc []uint64, src []byte) {
+	if len(acc) != len(src) {
+		panic("gf256: LaneTable.MulAdd length mismatch")
+	}
+	if len(src) >= laneExpandCutover {
+		t.mulAddFull(t.expand(), acc, src)
+		return
+	}
+	t.mulAddSplit(acc, src)
+}
+
+func (t *LaneTable) mulFull(full *[256]uint64, acc []uint64, src []byte) {
+	n := len(acc)
+	m := 0
+	for ; m+4 <= n; m += 4 {
+		s := src[m : m+4 : m+4]
+		a := acc[m : m+4 : m+4]
+		a[0] = full[s[0]]
+		a[1] = full[s[1]]
+		a[2] = full[s[2]]
+		a[3] = full[s[3]]
+	}
+	for ; m < n; m++ {
+		acc[m] = full[src[m]]
+	}
+}
+
+func (t *LaneTable) mulAddFull(full *[256]uint64, acc []uint64, src []byte) {
+	n := len(acc)
+	m := 0
+	for ; m+4 <= n; m += 4 {
+		s := src[m : m+4 : m+4]
+		a := acc[m : m+4 : m+4]
+		a[0] ^= full[s[0]]
+		a[1] ^= full[s[1]]
+		a[2] ^= full[s[2]]
+		a[3] ^= full[s[3]]
+	}
+	for ; m < n; m++ {
+		acc[m] ^= full[src[m]]
+	}
+}
+
+func (t *LaneTable) mulSplit(acc []uint64, src []byte) {
+	lo, hi := &t.lo, &t.hi
+	n := len(acc)
+	m := 0
+	for ; m+4 <= n; m += 4 {
+		s := src[m : m+4 : m+4]
+		a := acc[m : m+4 : m+4]
+		a[0] = lo[s[0]&15] ^ hi[s[0]>>4]
+		a[1] = lo[s[1]&15] ^ hi[s[1]>>4]
+		a[2] = lo[s[2]&15] ^ hi[s[2]>>4]
+		a[3] = lo[s[3]&15] ^ hi[s[3]>>4]
+	}
+	for ; m < n; m++ {
+		acc[m] = lo[src[m]&15] ^ hi[src[m]>>4]
+	}
+}
+
+func (t *LaneTable) mulAddSplit(acc []uint64, src []byte) {
+	lo, hi := &t.lo, &t.hi
+	n := len(acc)
+	m := 0
+	for ; m+4 <= n; m += 4 {
+		s := src[m : m+4 : m+4]
+		a := acc[m : m+4 : m+4]
+		a[0] ^= lo[s[0]&15] ^ hi[s[0]>>4]
+		a[1] ^= lo[s[1]&15] ^ hi[s[1]>>4]
+		a[2] ^= lo[s[2]&15] ^ hi[s[2]>>4]
+		a[3] ^= lo[s[3]&15] ^ hi[s[3]>>4]
+	}
+	for ; m < n; m++ {
+		acc[m] ^= lo[src[m]&15] ^ hi[src[m]>>4]
+	}
+}
+
+// ExtractLane writes byte lane `lane` of every accumulator word into
+// dst, 8 output bytes per step. len(dst) must equal len(acc).
+func ExtractLane(dst []byte, acc []uint64, lane int) {
+	if len(dst) != len(acc) {
+		panic("gf256: ExtractLane length mismatch")
+	}
+	if lane < 0 || lane >= MaxLanes {
+		panic(fmt.Sprintf("gf256: ExtractLane lane %d out of [0,%d)", lane, MaxLanes))
+	}
+	sh := uint(8 * lane)
+	n := len(dst)
+	m := 0
+	for ; m+8 <= n; m += 8 {
+		a := acc[m : m+8 : m+8]
+		w := ((a[0] >> sh) & 0xff) |
+			((a[1]>>sh)&0xff)<<8 |
+			((a[2]>>sh)&0xff)<<16 |
+			((a[3]>>sh)&0xff)<<24 |
+			((a[4]>>sh)&0xff)<<32 |
+			((a[5]>>sh)&0xff)<<40 |
+			((a[6]>>sh)&0xff)<<48 |
+			((a[7]>>sh)&0xff)<<56
+		binary.LittleEndian.PutUint64(dst[m:], w)
+	}
+	for ; m < n; m++ {
+		dst[m] = byte(acc[m] >> sh)
+	}
+}
+
+// transpose8 transposes an 8×8 byte matrix held in 8 uint64 rows, in
+// place, by three rounds of masked delta-swaps (the byte-granular
+// analogue of Hacker's Delight transpose8): 4-byte blocks, then
+// 2-byte, then single bytes. ~1 op per byte instead of the 8 shifts a
+// per-lane walk costs, and — the real win — each accumulator word is
+// loaded once for all 8 lanes instead of once per lane.
+func transpose8(a *[8]uint64) {
+	const (
+		m4 = 0x00000000ffffffff
+		m2 = 0x0000ffff0000ffff
+		m1 = 0x00ff00ff00ff00ff
+	)
+	for i := 0; i < 4; i++ {
+		t := ((a[i] >> 32) ^ a[i+4]) & m4
+		a[i+4] ^= t
+		a[i] ^= t << 32
+	}
+	for _, i := range [4]int{0, 1, 4, 5} {
+		t := ((a[i] >> 16) ^ a[i+2]) & m2
+		a[i+2] ^= t
+		a[i] ^= t << 16
+	}
+	for _, i := range [4]int{0, 2, 4, 6} {
+		t := ((a[i] >> 8) ^ a[i+1]) & m1
+		a[i+1] ^= t
+		a[i] ^= t << 8
+	}
+}
+
+// ExtractLanes writes every byte lane of the accumulator into its
+// destination in one pass: dsts[j] receives lane j. Destinations may
+// be nil to skip a lane; non-nil ones must have len(acc) bytes. One
+// 8×8 transpose per 8 accumulator words replaces len(dsts) separate
+// ExtractLane walks, so the accumulator is loaded once instead of once
+// per lane — the difference between the extraction dominating a
+// multi-parity encode and it costing a fraction of the accumulation.
+func ExtractLanes(dsts [][]byte, acc []uint64) {
+	if len(dsts) == 0 || len(dsts) > MaxLanes {
+		panic(fmt.Sprintf("gf256: ExtractLanes with %d destinations (need 1..%d)", len(dsts), MaxLanes))
+	}
+	n := len(acc)
+	for _, d := range dsts {
+		if d != nil && len(d) != n {
+			panic("gf256: ExtractLanes length mismatch")
+		}
+	}
+	var blk [8]uint64
+	m := 0
+	for ; m+8 <= n; m += 8 {
+		copy(blk[:], acc[m:m+8])
+		transpose8(&blk)
+		for j, d := range dsts {
+			if d != nil {
+				binary.LittleEndian.PutUint64(d[m:], blk[j])
+			}
+		}
+	}
+	for j, d := range dsts {
+		if d == nil {
+			continue
+		}
+		sh := uint(8 * j)
+		for i := m; i < n; i++ {
+			d[i] = byte(acc[i] >> sh)
+		}
+	}
+}
+
+// LanesEqual reports whether every byte lane of the accumulator equals
+// its expected block: wants[j] against lane j, nil entries skipped.
+// The transpose-per-8-words walk of ExtractLanes, fused with the
+// compare so the parity verifier touches the accumulator once for all
+// lanes and materialises nothing.
+func LanesEqual(wants [][]byte, acc []uint64) bool {
+	if len(wants) == 0 || len(wants) > MaxLanes {
+		panic(fmt.Sprintf("gf256: LanesEqual with %d blocks (need 1..%d)", len(wants), MaxLanes))
+	}
+	n := len(acc)
+	for _, w := range wants {
+		if w != nil && len(w) != n {
+			panic("gf256: LanesEqual length mismatch")
+		}
+	}
+	var blk [8]uint64
+	m := 0
+	for ; m+8 <= n; m += 8 {
+		copy(blk[:], acc[m:m+8])
+		transpose8(&blk)
+		for j, w := range wants {
+			if w != nil && binary.LittleEndian.Uint64(w[m:]) != blk[j] {
+				return false
+			}
+		}
+	}
+	for j, w := range wants {
+		if w == nil {
+			continue
+		}
+		sh := uint(8 * j)
+		for i := m; i < n; i++ {
+			if byte(acc[i]>>sh) != w[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LaneEqual reports whether byte lane `lane` of every accumulator word
+// equals want, without materialising the lane — the scratch-free
+// compare the parity verifier runs on.
+func LaneEqual(want []byte, acc []uint64, lane int) bool {
+	if len(want) != len(acc) {
+		panic("gf256: LaneEqual length mismatch")
+	}
+	if lane < 0 || lane >= MaxLanes {
+		panic(fmt.Sprintf("gf256: LaneEqual lane %d out of [0,%d)", lane, MaxLanes))
+	}
+	sh := uint(8 * lane)
+	for m, a := range acc {
+		if byte(a>>sh) != want[m] {
+			return false
+		}
+	}
+	return true
+}

@@ -2,9 +2,10 @@ package gf256
 
 // The slice kernels below are the hot path of stripe encoding, decoding
 // and delta updates: every parity byte is a sum of products
-// α_{j,i}·b_i[m] across the k data blocks. Each kernel processes one
-// (coefficient, block) pair over a whole block with a single 256-byte
-// table row, which keeps the inner loop branch-free.
+// α_{j,i}·b_i[m] across the k data blocks. Each kernel selects per call
+// by length between a scalar reference body (short slices, and the
+// differential baseline the tests pin against — see slices_ref.go) and
+// a word-wise body processing 8 bytes per uint64 step (words.go).
 
 // MulSlice sets dst[m] = c * src[m] for every m. dst and src must have
 // the same length; they may alias. A zero coefficient zeroes dst, and a
@@ -24,19 +25,11 @@ func MulSlice(c byte, dst, src []byte) {
 		return
 	}
 	row := &mulTable[c]
-	// Unroll by 4: blocks are large (KiB-scale) and this measurably
-	// reduces loop overhead without the complexity of assembly.
-	n := len(src)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		dst[i] = row[src[i]]
-		dst[i+1] = row[src[i+1]]
-		dst[i+2] = row[src[i+2]]
-		dst[i+3] = row[src[i+3]]
+	if len(src) < wordCutover {
+		mulRef(row, dst, src)
+		return
 	}
-	for ; i < n; i++ {
-		dst[i] = row[src[i]]
-	}
+	mulWords(row, dst, src)
 }
 
 // MulAddSlice sets dst[m] ^= c * src[m] for every m, accumulating the
@@ -53,17 +46,11 @@ func MulAddSlice(c byte, dst, src []byte) {
 		return
 	}
 	row := &mulTable[c]
-	n := len(src)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		dst[i] ^= row[src[i]]
-		dst[i+1] ^= row[src[i+1]]
-		dst[i+2] ^= row[src[i+2]]
-		dst[i+3] ^= row[src[i+3]]
+	if len(src) < wordCutover {
+		mulAddRef(row, dst, src)
+		return
 	}
-	for ; i < n; i++ {
-		dst[i] ^= row[src[i]]
-	}
+	mulAddWords(row, dst, src)
 }
 
 // XorSlice sets dst[m] ^= src[m] for every m. In GF(2^8) this is both
@@ -72,21 +59,13 @@ func XorSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: XorSlice length mismatch")
 	}
-	n := len(src)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		dst[i] ^= src[i]
-		dst[i+1] ^= src[i+1]
-		dst[i+2] ^= src[i+2]
-		dst[i+3] ^= src[i+3]
-		dst[i+4] ^= src[i+4]
-		dst[i+5] ^= src[i+5]
-		dst[i+6] ^= src[i+6]
-		dst[i+7] ^= src[i+7]
+	if len(src) < wordCutover {
+		for i := range src {
+			dst[i] ^= src[i]
+		}
+		return
 	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
+	xorWords(dst, src)
 }
 
 // DotProduct returns Σ coeffs[t]·vecs[t][m] for every position m,

@@ -1,0 +1,98 @@
+package gf256
+
+// Scalar reference kernels: the original byte-at-a-time slice loops.
+// They serve three purposes — the short-input path of the public
+// kernels (word packing costs more than it saves below wordCutover),
+// the differential baseline the fuzz and property tests pin the
+// word-wise kernels against byte for byte, and the "before" side of
+// the data-plane throughput benchmarks.
+
+// MulSliceRef is the scalar reference for MulSlice: dst[m] = c*src[m],
+// one 256-byte table row, unrolled by 4.
+func MulSliceRef(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSliceRef length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	mulRef(&mulTable[c], dst, src)
+}
+
+// MulAddSliceRef is the scalar reference for MulAddSlice:
+// dst[m] ^= c*src[m].
+func MulAddSliceRef(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSliceRef length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XorSliceRef(dst, src)
+		return
+	}
+	mulAddRef(&mulTable[c], dst, src)
+}
+
+// XorSliceRef is the scalar reference for XorSlice: dst[m] ^= src[m],
+// unrolled by 8 but byte at a time.
+func XorSliceRef(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: XorSliceRef length mismatch")
+	}
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// mulRef is the scalar body shared by MulSlice (short inputs) and
+// MulSliceRef.
+func mulRef(row *[256]byte, dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] = row[src[i]]
+		dst[i+1] = row[src[i+1]]
+		dst[i+2] = row[src[i+2]]
+		dst[i+3] = row[src[i+3]]
+	}
+	for ; i < n; i++ {
+		dst[i] = row[src[i]]
+	}
+}
+
+// mulAddRef is the scalar body shared by MulAddSlice (short inputs) and
+// MulAddSliceRef.
+func mulAddRef(row *[256]byte, dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] ^= row[src[i]]
+		dst[i+1] ^= row[src[i+1]]
+		dst[i+2] ^= row[src[i+2]]
+		dst[i+3] ^= row[src[i+3]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= row[src[i]]
+	}
+}

@@ -1,0 +1,251 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The word-wise kernels must be byte-for-byte identical to the scalar
+// references for every length (covering word tails) and for unaligned
+// slice offsets (uint64 loads through encoding/binary must not care
+// about alignment). Lengths 0..257 cross every cutover — wordCutover,
+// the 4/8/32-byte unroll boundaries — and the offsets shift the slices
+// off 8-byte alignment.
+
+func TestMulSliceMatchesRefAllLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	backing := make([]byte, 300)
+	r.Read(backing)
+	for n := 0; n <= 257; n++ {
+		for _, off := range []int{0, 1, 3, 7} {
+			src := backing[off : off+n]
+			for _, c := range []byte{0, 1, 2, 0x1d, 0x80, 0xff} {
+				want := make([]byte, n)
+				MulSliceRef(c, want, src)
+				got := make([]byte, n)
+				MulSlice(c, got, src)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulSlice(c=%#x, n=%d, off=%d) diverges from reference", c, n, off)
+				}
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesRefAllLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	backing := make([]byte, 300)
+	r.Read(backing)
+	seed := make([]byte, 300)
+	r.Read(seed)
+	for n := 0; n <= 257; n++ {
+		for _, off := range []int{0, 1, 3, 7} {
+			src := backing[off : off+n]
+			for _, c := range []byte{0, 1, 2, 0x1d, 0x80, 0xff} {
+				want := append([]byte(nil), seed[:n]...)
+				MulAddSliceRef(c, want, src)
+				got := append([]byte(nil), seed[:n]...)
+				MulAddSlice(c, got, src)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulAddSlice(c=%#x, n=%d, off=%d) diverges from reference", c, n, off)
+				}
+			}
+		}
+	}
+}
+
+func TestXorSliceMatchesRefAllLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	backing := make([]byte, 300)
+	r.Read(backing)
+	seed := make([]byte, 300)
+	r.Read(seed)
+	for n := 0; n <= 257; n++ {
+		for _, off := range []int{0, 1, 3, 7} {
+			src := backing[off : off+n]
+			want := append([]byte(nil), seed[:n]...)
+			XorSliceRef(want, src)
+			got := append([]byte(nil), seed[:n]...)
+			XorSlice(got, src)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("XorSlice(n=%d, off=%d) diverges from reference", n, off)
+			}
+		}
+	}
+}
+
+func TestLaneTableMatchesRefAllLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	backing := make([]byte, 1300)
+	r.Read(backing)
+	coeffSets := [][]byte{
+		{5},
+		{0, 1},
+		{3, 9, 0x55, 0xd1},
+		{3, 9, 0x55, 0xd1, 7, 2, 0xfe, 0x80},
+	}
+	// Lengths straddle laneExpandCutover so both the split and the
+	// expanded body are exercised.
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 63, 64, 65, 255, 256, 257, 1023, 1024, 1057} {
+		for _, off := range []int{0, 3} {
+			src := backing[off : off+n]
+			for _, coeffs := range coeffSets {
+				tab := NewLaneTable(coeffs)
+				acc := make([]uint64, n)
+				for m := range acc {
+					acc[m] = r.Uint64() // Mul must overwrite garbage
+				}
+				tab.Mul(acc, src)
+				for lane, c := range coeffs {
+					want := make([]byte, n)
+					MulSliceRef(c, want, src)
+					got := make([]byte, n)
+					ExtractLane(got, acc, lane)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("LaneTable.Mul lane %d (coeffs %v, n=%d, off=%d) diverges", lane, coeffs, n, off)
+					}
+					if !LaneEqual(want, acc, lane) {
+						t.Fatalf("LaneEqual rejects correct lane %d (n=%d)", lane, n)
+					}
+					if n > 0 {
+						bad := append([]byte(nil), want...)
+						bad[n/2] ^= 1
+						if LaneEqual(bad, acc, lane) {
+							t.Fatalf("LaneEqual accepts corrupted lane %d (n=%d)", lane, n)
+						}
+					}
+				}
+				// MulAdd over a second source must equal ref accumulation.
+				src2 := backing[off+1 : off+1+n]
+				tab.MulAdd(acc, src2)
+				for lane, c := range coeffs {
+					want := make([]byte, n)
+					MulSliceRef(c, want, src)
+					MulAddSliceRef(c, want, src2)
+					got := make([]byte, n)
+					ExtractLane(got, acc, lane)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("LaneTable.MulAdd lane %d (n=%d, off=%d) diverges", lane, n, off)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLaneTableSplitAndFullAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	src := make([]byte, 257)
+	r.Read(src)
+	coeffs := []byte{3, 9, 0x55, 0xd1, 7, 2, 0xfe, 0x80}
+	tab := NewLaneTable(coeffs)
+	split := make([]uint64, len(src))
+	tab.mulSplit(split, src)
+	full := make([]uint64, len(src))
+	tab.mulFull(tab.expand(), full, src)
+	for m := range split {
+		if split[m] != full[m] {
+			t.Fatalf("split/full tables disagree at %d: %#x vs %#x", m, split[m], full[m])
+		}
+	}
+}
+
+func TestNewLaneTableValidation(t *testing.T) {
+	for _, bad := range [][]byte{nil, {}, make([]byte, 9)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewLaneTable(%d coeffs) did not panic", len(bad))
+				}
+			}()
+			NewLaneTable(bad)
+		}()
+	}
+	if got := NewLaneTable([]byte{1, 2, 3}).Lanes(); got != 3 {
+		t.Fatalf("Lanes() = %d, want 3", got)
+	}
+}
+
+func TestLaneKernelMismatchPanics(t *testing.T) {
+	tab := NewLaneTable([]byte{5})
+	for name, f := range map[string]func(){
+		"Mul":         func() { tab.Mul(make([]uint64, 2), make([]byte, 3)) },
+		"MulAdd":      func() { tab.MulAdd(make([]uint64, 2), make([]byte, 3)) },
+		"ExtractLane": func() { ExtractLane(make([]byte, 2), make([]uint64, 3), 0) },
+		"LaneEqual":   func() { LaneEqual(make([]byte, 2), make([]uint64, 3), 0) },
+		"ExtractOOB":  func() { ExtractLane(make([]byte, 2), make([]uint64, 2), 8) },
+		"EqualOOB":    func() { LaneEqual(make([]byte, 2), make([]uint64, 2), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExtractLanesMatchesExtractLane(t *testing.T) {
+	r := rand.New(rand.NewSource(106))
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 63, 64, 65, 257} {
+		acc := make([]uint64, n)
+		for i := range acc {
+			acc[i] = r.Uint64()
+		}
+		for lanes := 1; lanes <= MaxLanes; lanes++ {
+			dsts := make([][]byte, lanes)
+			for j := range dsts {
+				if lanes > 2 && j == 1 {
+					continue // nil lanes must be skipped
+				}
+				dsts[j] = make([]byte, n)
+			}
+			ExtractLanes(dsts, acc)
+			want := make([]byte, n)
+			for j, d := range dsts {
+				if d == nil {
+					continue
+				}
+				ExtractLane(want, acc, j)
+				if !bytes.Equal(d, want) {
+					t.Fatalf("n=%d lanes=%d: lane %d differs from ExtractLane", n, lanes, j)
+				}
+			}
+			if !LanesEqual(dsts, acc) {
+				t.Fatalf("n=%d lanes=%d: LanesEqual rejects correct lanes", n, lanes)
+			}
+			for j, d := range dsts {
+				if d == nil || n == 0 {
+					continue
+				}
+				d[n-1] ^= 1
+				if LanesEqual(dsts, acc) {
+					t.Fatalf("n=%d lanes=%d: LanesEqual accepted corrupt lane %d", n, lanes, j)
+				}
+				d[n-1] ^= 1
+			}
+		}
+	}
+}
+
+func TestExtractLanesValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"none":     func() { ExtractLanes(nil, make([]uint64, 4)) },
+		"toomany":  func() { ExtractLanes(make([][]byte, 9), make([]uint64, 4)) },
+		"mismatch": func() { ExtractLanes([][]byte{make([]byte, 3)}, make([]uint64, 4)) },
+		"eqnone":   func() { LanesEqual(nil, make([]uint64, 4)) },
+		"eqshort":  func() { LanesEqual([][]byte{make([]byte, 3)}, make([]uint64, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

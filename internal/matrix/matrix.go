@@ -95,6 +95,16 @@ func (m *Matrix) rowView(r int) []byte {
 	return m.data[r*m.cols : (r+1)*m.cols]
 }
 
+// RowView returns row r as a view into the matrix, without copying.
+// The caller must treat it as read-only: mutating it mutates the
+// matrix. The allocation-free companion of Row for hot decode paths.
+func (m *Matrix) RowView(r int) []byte {
+	if r < 0 || r >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of %d", r, m.rows))
+	}
+	return m.rowView(r)
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c := New(m.rows, m.cols)

@@ -54,6 +54,12 @@ type Config struct {
 	// operation, and the parallel per-stripe repairs of a node-wide
 	// repair (0 = engine defaults; see core.Options).
 	Concurrency int
+	// CodingParallelism bounds the worker set the erasure data plane
+	// fans block segments across. The zero value and 1 both keep
+	// coding serial on the calling goroutine (matching the package
+	// default); pass an explicit count — e.g. runtime.GOMAXPROCS(0) —
+	// to fan segments out (see erasure.WithParallelism).
+	CodingParallelism int
 	// Hedge enables tail-latency hedging of read-path RPCs (see
 	// core.HedgeConfig).
 	Hedge core.HedgeConfig
@@ -104,7 +110,14 @@ func New(nodes []core.NodeClient, cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("service: placement over %d nodes cannot hold %d shards",
 			cfg.Placement.Nodes(), cfg.N)
 	}
-	code, err := erasure.New(cfg.N, cfg.K)
+	if cfg.CodingParallelism < 0 {
+		return nil, fmt.Errorf("service: coding parallelism %d invalid (need >= 0)", cfg.CodingParallelism)
+	}
+	codeOpts := []erasure.Option{}
+	if cfg.CodingParallelism > 1 {
+		codeOpts = append(codeOpts, erasure.WithParallelism(cfg.CodingParallelism))
+	}
+	code, err := erasure.New(cfg.N, cfg.K, codeOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -2,11 +2,14 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"trapquorum/client"
+	"trapquorum/internal/blockpool"
+	"trapquorum/internal/gf256"
 )
 
 // NodeID identifies a storage node within a cluster.
@@ -220,6 +223,39 @@ func (n *Node) ReadVersions(ctx context.Context, id ChunkID) ([]uint64, error) {
 	return v.([]uint64), nil
 }
 
+// snapshot takes a pooled copy of an outgoing buffer. The caller's
+// buffer may be pooled itself and released right after the RPC
+// settles, so the node must never hold it past the call; the snapshot
+// is what crosses into the actor. releaseSnapshot returns it unless
+// the cluster shut down mid-operation — in that race the actor may
+// still be reading the snapshot, so it is left to the GC.
+func snapshot(data []byte) *blockpool.Block {
+	blk := blockpool.GetBlock(len(data))
+	copy(blk.B, data)
+	return blk
+}
+
+func releaseSnapshot(blk *blockpool.Block, err error) {
+	if errors.Is(err, ErrClusterClosed) {
+		return
+	}
+	blk.Release()
+}
+
+// storeChunkData installs snapshot bytes as chunk content: in place
+// when a chunk of the same size exists (its buffer is owned by the
+// store and no reader aliases it — reads return clones), freshly
+// allocated otherwise (the store retains it, so it cannot come from
+// the pool).
+func storeChunkData(store map[ChunkID]*Chunk, id ChunkID, data []byte, versions []uint64) {
+	if c, ok := store[id]; ok && len(c.Data) == len(data) {
+		copy(c.Data, data)
+		c.Versions = append(c.Versions[:0], versions...)
+		return
+	}
+	store[id] = &Chunk{Data: append([]byte(nil), data...), Versions: append([]uint64(nil), versions...)}
+}
+
 // PutChunk stores a full chunk (data plus version vector), replacing
 // any previous value. Used for data-block writes, bootstrap and
 // repair. The inputs are copied.
@@ -228,12 +264,13 @@ func (n *Node) PutChunk(ctx context.Context, id ChunkID, data []byte, versions [
 	if len(versions) == 0 {
 		return fmt.Errorf("%w: PutChunk needs at least one version", ErrBadRequest)
 	}
-	dataCopy := append([]byte(nil), data...)
+	snap := snapshot(data)
 	verCopy := append([]uint64(nil), versions...)
 	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
-		store[id] = &Chunk{Data: dataCopy, Versions: verCopy}
+		storeChunkData(store, id, snap.B, verCopy)
 		return nil, nil
 	})
+	releaseSnapshot(snap, err)
 	return err
 }
 
@@ -243,7 +280,7 @@ func (n *Node) PutChunk(ctx context.Context, id ChunkID, data []byte, versions [
 // stale writer cannot clobber a newer block.
 func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, next uint64, data []byte) error {
 	n.metrics.Writes.Add(1)
-	dataCopy := append([]byte(nil), data...)
+	snap := snapshot(data)
 	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
 		c, ok := store[id]
 		if !ok {
@@ -256,10 +293,15 @@ func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, 
 			n.metrics.VersionRejects.Add(1)
 			return nil, fmt.Errorf("%w: slot %d holds %d, expected %d", ErrVersionMismatch, slot, c.Versions[slot], expect)
 		}
-		c.Data = dataCopy
+		if len(c.Data) == len(snap.B) {
+			copy(c.Data, snap.B)
+		} else {
+			c.Data = append([]byte(nil), snap.B...)
+		}
 		c.Versions[slot] = next
 		return nil, nil
 	})
+	releaseSnapshot(snap, err)
 	return err
 }
 
@@ -270,7 +312,7 @@ func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, 
 // ErrVersionMismatch and leaves the chunk untouched.
 func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, next uint64, delta []byte) error {
 	n.metrics.Adds.Add(1)
-	deltaCopy := append([]byte(nil), delta...)
+	snap := snapshot(delta)
 	_, err := n.call(ctx, "add", func(store map[ChunkID]*Chunk) (any, error) {
 		c, ok := store[id]
 		if !ok {
@@ -279,19 +321,18 @@ func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, 
 		if slot < 0 || slot >= len(c.Versions) {
 			return nil, fmt.Errorf("%w: version slot %d of %d", ErrBadRequest, slot, len(c.Versions))
 		}
-		if len(deltaCopy) != len(c.Data) {
-			return nil, fmt.Errorf("%w: delta size %d, chunk size %d", ErrBadRequest, len(deltaCopy), len(c.Data))
+		if len(snap.B) != len(c.Data) {
+			return nil, fmt.Errorf("%w: delta size %d, chunk size %d", ErrBadRequest, len(snap.B), len(c.Data))
 		}
 		if c.Versions[slot] != expect {
 			n.metrics.VersionRejects.Add(1)
 			return nil, fmt.Errorf("%w: slot %d holds %d, expected %d", ErrVersionMismatch, slot, c.Versions[slot], expect)
 		}
-		for i := range c.Data {
-			c.Data[i] ^= deltaCopy[i]
-		}
+		gf256.XorSlice(c.Data, snap.B)
 		c.Versions[slot] = next
 		return nil, nil
 	})
+	releaseSnapshot(snap, err)
 	return err
 }
 
@@ -307,7 +348,7 @@ func (n *Node) PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, v
 	if len(versions) == 0 {
 		return fmt.Errorf("%w: PutChunkIfFresher needs at least one version", ErrBadRequest)
 	}
-	dataCopy := append([]byte(nil), data...)
+	snap := snapshot(data)
 	verCopy := append([]uint64(nil), versions...)
 	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
 		c, ok := store[id]
@@ -322,9 +363,10 @@ func (n *Node) PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, v
 				}
 			}
 		}
-		store[id] = &Chunk{Data: dataCopy, Versions: verCopy}
+		storeChunkData(store, id, snap.B, verCopy)
 		return nil, nil
 	})
+	releaseSnapshot(snap, err)
 	return err
 }
 

@@ -44,11 +44,12 @@ func Open(ctx context.Context, opts ...Option) (*ObjectStore, error) {
 	svc, err := service.New(nodes, service.Config{
 		N: cfg.n, K: cfg.k,
 		Shape: cfg.shape, W: cfg.w,
-		BlockSize:       cfg.blockSize,
-		Placement:       cfg.place,
-		DisableRollback: cfg.disableRollback,
-		Concurrency:     cfg.concurrency,
-		Hedge:           cfg.hedge,
+		BlockSize:         cfg.blockSize,
+		Placement:         cfg.place,
+		DisableRollback:   cfg.disableRollback,
+		Concurrency:       cfg.concurrency,
+		CodingParallelism: cfg.codingParallel,
+		Hedge:             cfg.hedge,
 	})
 	if err != nil {
 		cfg.backend.Close()

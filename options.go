@@ -3,6 +3,7 @@ package trapquorum
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"trapquorum/internal/core"
@@ -26,6 +27,7 @@ type config struct {
 	backend         Backend
 	disableRollback bool
 	concurrency     int
+	codingParallel  int
 	hedge           core.HedgeConfig
 	errs            []error
 }
@@ -37,9 +39,10 @@ type config struct {
 func newConfig(opts []Option) (*config, error) {
 	cfg := &config{
 		n: 15, k: 8,
-		shape:     trapezoid.Shape{A: 2, B: 3, H: 1},
-		w:         3,
-		blockSize: 4096,
+		shape:          trapezoid.Shape{A: 2, B: 3, H: 1},
+		w:              3,
+		blockSize:      4096,
+		codingParallel: 1,
 	}
 	for _, opt := range opts {
 		if opt == nil {
@@ -152,6 +155,31 @@ func WithConcurrency(limit int) Option {
 			return
 		}
 		c.concurrency = limit
+	}
+}
+
+// WithCodingParallelism bounds the worker set the erasure data plane
+// fans block segments across: large blocks are split into cache-sized
+// segments and encoded/rebuilt by up to `workers` goroutines, the
+// stripe-parallel sibling of the quorum engine's WithConcurrency knob.
+// The default (1) keeps all coding on the calling goroutine, which is
+// right for small blocks and for servers running many operations
+// concurrently; use >1 (or 0 for GOMAXPROCS) to accelerate individual
+// large-block operations — a virtual-disk or large-object workload —
+// on multi-core hardware.
+func WithCodingParallelism(workers int) Option {
+	return func(c *config) {
+		if workers < 0 {
+			c.errs = append(c.errs, fmt.Errorf("trapquorum: WithCodingParallelism(%d): need >= 0", workers))
+			return
+		}
+		if workers == 0 {
+			// Resolve the auto value here so every layer below sees an
+			// explicit worker count (the zero value stays "serial" for
+			// raw internal configs).
+			workers = runtime.GOMAXPROCS(0)
+		}
+		c.codingParallel = workers
 	}
 }
 

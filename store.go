@@ -27,7 +27,7 @@ func OpenStore(ctx context.Context, opts ...Option) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	code, err := erasure.New(cfg.n, cfg.k)
+	code, err := erasure.New(cfg.n, cfg.k, erasure.WithParallelism(cfg.codingParallel))
 	if err != nil {
 		return nil, err
 	}

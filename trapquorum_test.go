@@ -368,3 +368,58 @@ func ExampleOpen() {
 		data, store.StorageOverhead(), store.FullReplicationOverhead())
 	// Output: hello, trapezoid (overhead 1.875x vs 8x replicated)
 }
+
+func TestCodingParallelismOption(t *testing.T) {
+	ctx := context.Background()
+	// Negative worker counts are a configuration error.
+	if _, err := Open(ctx, WithCodingParallelism(-1)); err == nil {
+		t.Fatal("WithCodingParallelism(-1) accepted")
+	}
+	// A parallel-coding store must behave identically through the full
+	// object lifecycle (the differential tests pin the kernels; this
+	// pins the public plumbing).
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	for _, workers := range []int{0, 1, 3} {
+		s := fig3ObjectStore(t, WithCodingParallelism(workers))
+		if err := s.Put(ctx, "obj", payload); err != nil {
+			t.Fatalf("workers=%d: Put: %v", workers, err)
+		}
+		got, err := s.Get(ctx, "obj")
+		if err != nil {
+			t.Fatalf("workers=%d: Get: %v", workers, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("workers=%d: payload mismatch", workers)
+		}
+		patch := []byte("parallel-coding-patch")
+		if err := s.WriteAt(ctx, "obj", 12345, patch); err != nil {
+			t.Fatalf("workers=%d: WriteAt: %v", workers, err)
+		}
+		back, err := s.ReadAt(ctx, "obj", 12345, len(patch))
+		if err != nil {
+			t.Fatalf("workers=%d: ReadAt: %v", workers, err)
+		}
+		if !bytes.Equal(back, patch) {
+			t.Fatalf("workers=%d: patch mismatch", workers)
+		}
+	}
+	// The low-level store takes the knob too.
+	s, err := OpenStore(ctx, WithCode(9, 6), WithTrapezoid(2, 1, 1, 2), WithCodingParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteObject(ctx, 1, payload[:8192]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadObject(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:8192]) {
+		t.Fatal("store payload mismatch")
+	}
+}
