@@ -26,9 +26,9 @@ type Backend interface {
 
 // FaultInjector is the optional backend extension for failure
 // testing. The sim backend implements it; store-level CrashNode /
-// RestartNode / WipeNode / AliveNodes delegate to it and panic (or,
-// for WipeNode, return an error) when the configured backend does not
-// support fault injection.
+// RestartNode / WipeNode / AliveNodes delegate to it and return an
+// error wrapping ErrNotSupported when the configured backend (for
+// example NetBackend) does not support fault injection.
 type FaultInjector interface {
 	// Crash fail-stops node j; its data survives.
 	Crash(node int)
@@ -154,10 +154,10 @@ func (b *SimBackend) SetNodeDelay(node int, d time.Duration) {
 }
 
 // faultInjector asserts the backend supports fault injection.
-func faultInjector(b Backend, op string) FaultInjector {
+func faultInjector(b Backend, op string) (FaultInjector, error) {
 	fi, ok := b.(FaultInjector)
 	if !ok {
-		panic(fmt.Sprintf("trapquorum: %s needs a fault-injecting backend (the sim backend); %T is not one", op, b))
+		return nil, fmt.Errorf("%w: %s needs a fault-injecting backend (the sim backend); %T is not one", ErrNotSupported, op, b)
 	}
-	return fi
+	return fi, nil
 }

@@ -244,9 +244,19 @@ func TestExternalBackendStore(t *testing.T) {
 		t.Fatalf("repaired chunk missing: %v", err)
 	}
 
-	// Fault injection is a sim-backend feature: the stub must refuse.
-	if err := store.WipeNode(ctx, 0); err == nil {
-		t.Fatal("WipeNode on a non-sim backend should fail")
+	// Fault injection is a sim-backend feature: the stub must refuse
+	// with the typed ErrNotSupported, not panic.
+	if err := store.WipeNode(ctx, 0); !errors.Is(err, trapquorum.ErrNotSupported) {
+		t.Fatalf("WipeNode on a non-sim backend: %v, want ErrNotSupported", err)
+	}
+	if err := store.CrashNode(0); !errors.Is(err, trapquorum.ErrNotSupported) {
+		t.Fatalf("CrashNode on a non-sim backend: %v, want ErrNotSupported", err)
+	}
+	if err := store.RestartNode(0); !errors.Is(err, trapquorum.ErrNotSupported) {
+		t.Fatalf("RestartNode on a non-sim backend: %v, want ErrNotSupported", err)
+	}
+	if _, err := store.AliveNodes(); !errors.Is(err, trapquorum.ErrNotSupported) {
+		t.Fatalf("AliveNodes on a non-sim backend: %v, want ErrNotSupported", err)
 	}
 }
 

@@ -59,9 +59,10 @@ func (c Chunk) Clone() Chunk {
 }
 
 // NodeClient is the per-node RPC surface the protocol uses. The
-// in-process simulator's *sim.Node implements it; external backends
-// implement it over their own transport. All methods must be safe for
-// concurrent use and must honour context cancellation.
+// in-process simulator's *sim.Node and the TCP transport's
+// *tcp.NodeClient implement it; external backends implement it over
+// their own transport. All methods must be safe for concurrent use
+// and must honour context cancellation.
 type NodeClient interface {
 	// ReadChunk returns a copy of the chunk, or ErrNotFound.
 	ReadChunk(ctx context.Context, id ChunkID) (Chunk, error)

@@ -4,9 +4,25 @@
 // the NodeClient interface every backend must implement.
 //
 // The protocol core is written entirely against NodeClient, so a
-// backend is free to put anything behind it — the in-process simulated
-// cluster this repository ships, a network RPC client, a local disk, a
-// cloud object store.
+// backend is free to put anything behind it. This repository ships
+// two: the in-process simulated cluster (internal/sim) and the TCP
+// node client (transport/tcp) that talks to cmd/trapnode daemons.
+// Both run the same node-side state machine — internal/nodeengine
+// implements the chunk table, version vectors and atomic conditional
+// operations once, over pluggable chunk stores (in-memory, on-disk) —
+// so "implementing a backend" means carrying these operations to an
+// engine, not re-implementing their semantics.
+//
+// # Fault injection
+//
+// Crash/restart/wipe fault injection is an optional backend extension
+// (trapquorum.FaultInjector), implemented by the simulator. Backends
+// without it — a network backend cannot crash a remote machine — make
+// the store-level CrashNode/RestartNode/AliveNodes/WipeNode calls
+// fail with an error wrapping trapquorum.ErrNotSupported; a node that
+// is genuinely down simply answers every operation with ErrNodeDown
+// (an unreachable node and a fail-stopped node are indistinguishable
+// on the wire, which is exactly the protocol's fail-stop model).
 //
 // # Concurrency and cancellation
 //
@@ -33,6 +49,17 @@
 //     (success or a non-context error), like an RPC already on the
 //     wire. The write path's rollback decides what to undo from
 //     exactly this distinction.
+//
+// The in-process simulator meets the all-or-nothing rule exactly. A
+// networked backend cannot: once a request has reached the wire, a
+// cancellation races the node's apply, and the client must report the
+// context error without knowing whether the mutation landed. The
+// protocol absorbs this the same way it absorbs a crash between a
+// write's sub-operations — the rollback may skip an applied update,
+// leaving residue that version vectors classify as stale-or-ahead and
+// that RepairStripe/Scrub reconcile. Deployments that cancel writes
+// mid-flight should scrub, exactly as they should after client
+// crashes.
 //
 // Hedging only ever duplicates read-only RPCs (ReadChunk,
 // ReadVersions), so a backend needs no idempotency beyond what the

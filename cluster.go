@@ -2,7 +2,6 @@ package trapquorum
 
 import (
 	"context"
-	"fmt"
 
 	"trapquorum/internal/availability"
 	"trapquorum/internal/trapezoid"
@@ -28,24 +27,50 @@ func (h *clusterHandle) Close() error { return h.backend.Close() }
 // CodeParams returns the (n, k) MDS code parameters.
 func (h *clusterHandle) CodeParams() (n, k int) { return h.n, h.k }
 
-// CrashNode fail-stops cluster node j. Requires a fault-injecting
-// backend (the simulator); data survives, operations against the node
-// fail until RestartNode.
-func (h *clusterHandle) CrashNode(j int) { faultInjector(h.backend, "CrashNode").Crash(j) }
+// CrashNode fail-stops cluster node j: data survives, operations
+// against the node fail until RestartNode. It requires a
+// fault-injecting backend (the simulator) and returns an
+// ErrNotSupported wrap otherwise — a real fleet's nodes crash on
+// their own, they cannot be crashed through the client.
+func (h *clusterHandle) CrashNode(j int) error {
+	fi, err := faultInjector(h.backend, "CrashNode")
+	if err != nil {
+		return err
+	}
+	fi.Crash(j)
+	return nil
+}
 
-// RestartNode revives cluster node j with its chunks intact.
-func (h *clusterHandle) RestartNode(j int) { faultInjector(h.backend, "RestartNode").Restart(j) }
+// RestartNode revives cluster node j with its chunks intact. Requires
+// a fault-injecting backend (ErrNotSupported otherwise).
+func (h *clusterHandle) RestartNode(j int) error {
+	fi, err := faultInjector(h.backend, "RestartNode")
+	if err != nil {
+		return err
+	}
+	fi.Restart(j)
+	return nil
+}
 
 // AliveNodes returns how many cluster nodes are currently up.
-func (h *clusterHandle) AliveNodes() int { return faultInjector(h.backend, "AliveNodes").AliveNodes() }
+// Requires a fault-injecting backend (ErrNotSupported otherwise —
+// over a real transport, liveness is an observation, not a census;
+// probe the nodes or scrub instead).
+func (h *clusterHandle) AliveNodes() (int, error) {
+	fi, err := faultInjector(h.backend, "AliveNodes")
+	if err != nil {
+		return 0, err
+	}
+	return fi.AliveNodes(), nil
+}
 
 // WipeNode erases cluster node j's storage (media replacement).
-// Requires a fault-injecting backend. The node must be up. Follow
-// with RepairNode.
+// Requires a fault-injecting backend (ErrNotSupported otherwise). The
+// node must be up. Follow with RepairNode.
 func (h *clusterHandle) WipeNode(ctx context.Context, j int) error {
-	fi, ok := h.backend.(FaultInjector)
-	if !ok {
-		return fmt.Errorf("trapquorum: WipeNode needs a fault-injecting backend, have %T", h.backend)
+	fi, err := faultInjector(h.backend, "WipeNode")
+	if err != nil {
+		return err
 	}
 	return fi.Wipe(ctx, j)
 }

@@ -32,6 +32,16 @@ func main() {
 	step := func(format string, args ...any) {
 		fmt.Printf("\n== "+format+"\n", args...)
 	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	alive := func() int {
+		n, err := store.AliveNodes()
+		must(err)
+		return n
+	}
 
 	step("healthy cluster: seed 3 stripes")
 	for stripe := uint64(1); stripe <= 3; stripe++ {
@@ -56,7 +66,7 @@ func main() {
 
 	step("progressive failures: crash data nodes 0..3")
 	for j := 0; j <= 3; j++ {
-		store.CrashNode(j)
+		must(store.CrashNode(j))
 		data, _, err := store.ReadBlock(ctx, 1, j)
 		if err != nil {
 			log.Fatalf("read block %d with its node down: %v", j, err)
@@ -65,20 +75,20 @@ func main() {
 			log.Fatalf("block %d decoded wrong", j)
 		}
 		fmt.Printf("node %d down -> block %d decoded from parity: ok (%d alive)\n",
-			j, j, store.AliveNodes())
+			j, j, alive())
 	}
 
 	step("push to the protocol's write limit")
 	// Level 1 = parity shards 10..14 with w = 3: after two of them
 	// fail, writes still work; after three, they must fail.
-	store.CrashNode(13)
-	store.CrashNode(14)
+	must(store.CrashNode(13))
+	must(store.CrashNode(14))
 	x := bytes.Repeat([]byte{0xEE, 0xEE}, 512)
 	if err := store.WriteBlock(ctx, 1, 5, x); err != nil {
 		log.Fatalf("write with 2 level-1 nodes down should work: %v", err)
 	}
 	fmt.Println("write with 6 nodes down: committed (level 1 still has 3 of 5)")
-	store.CrashNode(12)
+	must(store.CrashNode(12))
 	err = store.WriteBlock(ctx, 1, 5, x)
 	if !errors.Is(err, trapquorum.ErrWriteFailed) {
 		log.Fatalf("expected quorum failure, got %v", err)
@@ -94,7 +104,7 @@ func main() {
 	fmt.Println("all 8 blocks readable through decode (k = 8 shards survive)")
 
 	step("disk replacement: node 2 returns empty and is repaired")
-	store.RestartNode(2)
+	must(store.RestartNode(2))
 	if err := store.WipeNode(ctx, 2); err != nil {
 		log.Fatal(err)
 	}
@@ -114,7 +124,7 @@ func main() {
 
 	step("full recovery")
 	for _, j := range []int{0, 1, 3, 12, 13, 14} {
-		store.RestartNode(j)
+		must(store.RestartNode(j))
 		if _, err := store.RepairNode(ctx, j); err != nil {
 			log.Fatalf("repair node %d: %v", j, err)
 		}
@@ -122,7 +132,7 @@ func main() {
 	if err := store.WriteBlock(ctx, 1, 5, x); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cluster healed (%d alive), writes flowing again\n", store.AliveNodes())
+	fmt.Printf("cluster healed (%d alive), writes flowing again\n", alive())
 
 	m := store.Metrics()
 	fmt.Printf("\nprotocol metrics: writes=%d failedWrites=%d directReads=%d decodeReads=%d rollbacks=%d repairs=%d\n",

@@ -68,7 +68,9 @@ func main() {
 	// Multi-node outage: each stripe loses at most a few of its 15
 	// shards, well inside the (15,8) tolerance.
 	for _, n := range []int{2, 9, 16, 23, 28} {
-		store.CrashNode(n)
+		if err := store.CrashNode(n); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("crashed 5 of %d nodes\n", clusterSize)
 	for key, want := range images {
@@ -84,7 +86,9 @@ func main() {
 
 	// Disk replacement on node 9: restart empty, rebuild every chunk
 	// the placement assigned to it.
-	store.RestartNode(9)
+	if err := store.RestartNode(9); err != nil {
+		log.Fatal(err)
+	}
 	if err := store.WipeNode(ctx, 9); err != nil {
 		log.Fatal(err)
 	}

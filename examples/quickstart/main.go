@@ -65,9 +65,15 @@ func main() {
 	// Fail nodes. The (15,8) code tolerates up to 7 lost shards; the
 	// protocol additionally needs a version-check quorum per stripe.
 	for _, node := range []int{0, 3, 5, 11, 14} {
-		store.CrashNode(node)
+		if err := store.CrashNode(node); err != nil {
+			log.Fatal(err)
+		}
 	}
-	fmt.Printf("crashed 5 of 15 nodes (%d alive)\n", store.AliveNodes())
+	alive, err := store.AliveNodes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crashed 5 of 15 nodes (%d alive)\n", alive)
 
 	got, err := store.Get(ctx, "vm-root.img")
 	if err != nil {

@@ -75,9 +75,13 @@ func main() {
 			default:
 			}
 			victim := candidates[r.Intn(len(candidates))]
-			store.CrashNode(victim)
+			if err := store.CrashNode(victim); err != nil {
+				log.Fatal(err)
+			}
 			time.Sleep(2 * time.Millisecond) // degraded window
-			store.RestartNode(victim)
+			if err := store.RestartNode(victim); err != nil {
+				log.Fatal(err)
+			}
 			for attempt := 0; attempt < 5; attempt++ {
 				if _, err := store.RepairNode(ctx, victim); err == nil {
 					break

@@ -405,7 +405,7 @@ func (s *System) SeedStripe(ctx context.Context, stripe uint64, data [][]byte) e
 			return opErr("seed", stripe, cerr)
 		}
 		return &OpError{Op: "seed", Stripe: stripe, Block: -1, Level: -1, Node: errNode,
-			Err: fmt.Errorf("%w: node %d: %v", ErrSeedIncomplete, errNode, nodeErr)}
+			Err: fmt.Errorf("%w: node %d: %w", ErrSeedIncomplete, errNode, nodeErr)}
 	}
 	s.mu.Lock()
 	s.stripes[stripe] = stripeInfo{blockSize: size}

@@ -87,7 +87,7 @@ func (s *FRSystem) SeedBlock(ctx context.Context, id uint64, data []byte) error 
 	}
 	for pos, n := range s.nodes {
 		if err := n.PutChunk(ctx, frChunk(id), data, []uint64{1}); err != nil {
-			return fmt.Errorf("%w: position %d: %v", ErrSeedIncomplete, pos, err)
+			return fmt.Errorf("%w: position %d: %w", ErrSeedIncomplete, pos, err)
 		}
 	}
 	s.mu.Lock()

@@ -1,0 +1,568 @@
+// Package diskstore is the durable ChunkStore: one directory per
+// storage node, one file per chunk with the version vector persisted
+// alongside the data, and a write-ahead log that makes every mutation
+// atomic across crashes.
+//
+// # Durability protocol
+//
+// Every mutation follows the same two-phase discipline:
+//
+//  1. Intent: the full mutation (operation, chunk id, version vector,
+//     data) is appended to the write-ahead log and fsynced. From this
+//     moment the mutation survives a crash.
+//  2. Apply: the chunk file is rewritten via write-to-temp + fsync +
+//     atomic rename (+ directory fsync), or removed for deletes. Then
+//     the WAL is reset.
+//
+// Open replays the WAL tail: a complete record whose apply may have
+// been lost is re-applied (idempotent), while a torn record — the
+// crash hit mid-append, so the mutation was never acknowledged — is
+// discarded. Chunk files themselves are self-describing (magic,
+// chunk id, version vector, data, CRC), so recovery is a directory
+// scan; file names are only a lookup convenience.
+//
+// The store keeps an in-memory mirror of the durable state, making
+// reads memory-speed; the disk is only touched on mutations and at
+// startup.
+package diskstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"trapquorum/client"
+	"trapquorum/internal/memstore"
+)
+
+const (
+	// chunkMagic heads every chunk file and WAL record payload carrying
+	// chunk content.
+	chunkMagic = 0x54514331 // "TQC1"
+	// maxRecord bounds a WAL record or chunk file payload; anything
+	// larger is treated as corruption rather than allocated.
+	maxRecord = 1 << 28
+
+	opPut    = 1
+	opDelete = 2
+	opWipe   = 3
+)
+
+// ErrCorrupt reports an unreadable chunk file — torn WAL tails are
+// silently discarded (the mutation was never acknowledged), but a
+// chunk file that fails its checksum is real media corruption and is
+// surfaced rather than dropped.
+var ErrCorrupt = errors.New("diskstore: corrupt chunk file")
+
+// ErrLocked reports a node directory already held by another live
+// store (for example a second daemon started on the same -dir).
+var ErrLocked = errors.New("diskstore: directory locked by another process")
+
+// Store implements nodeengine.ChunkStore over a per-node directory.
+// It is not safe for concurrent use on its own; the node engine
+// serialises all access.
+type Store struct {
+	dir       string
+	chunksDir string
+	wal       *os.File
+	lock      *os.File        // flock'd while open; auto-released on process death
+	mem       *memstore.Store // in-memory mirror of the durable state
+	sync      bool
+	scratch   []byte // WAL record staging
+	fscratch  []byte // chunk-file image staging
+	// failed poisons the store after a mutation error of unknown
+	// durability: the disk and the in-memory mirror may disagree, so
+	// every further operation refuses until a reopen reconverges them
+	// through recovery.
+	failed error
+	// crashAfterWAL, when set (tests only), aborts the next mutation
+	// with this error after the WAL intent is durable but before it is
+	// applied — the "power cut between append and apply" window.
+	crashAfterWAL error
+}
+
+// Option customises a Store.
+type Option func(*Store)
+
+// WithSyncWrites controls whether every mutation fsyncs the WAL and
+// chunk files (the default). Disabling trades crash durability for
+// speed; the write ordering and atomic renames are kept, so a clean
+// process exit still leaves a consistent directory.
+func WithSyncWrites(sync bool) Option {
+	return func(s *Store) { s.sync = sync }
+}
+
+// Open loads (or initialises) the per-node directory: it scans the
+// chunk files, replays any complete write-ahead intent whose apply was
+// lost, and discards a torn WAL tail.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:       dir,
+		chunksDir: filepath.Join(dir, "chunks"),
+		mem:       memstore.New(),
+		sync:      true,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := os.MkdirAll(s.chunksDir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	lock, err := acquireDirLock(filepath.Join(dir, "lock"))
+	if err != nil {
+		return nil, err
+	}
+	s.lock = lock
+	wal, err := os.OpenFile(filepath.Join(dir, "wal"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	s.wal = wal
+	// Make the directory skeleton itself durable: without this, a
+	// power cut after the first acknowledged mutation on a fresh
+	// directory could drop the just-created chunks/ and wal entries
+	// along with everything in them.
+	if err := s.syncDir(dir); err != nil {
+		wal.Close()
+		lock.Close()
+		return nil, err
+	}
+	if err := s.recover(); err != nil {
+		wal.Close()
+		lock.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get implements nodeengine.ChunkStore from the in-memory mirror.
+func (s *Store) Get(id client.ChunkID) (data []byte, versions []uint64, ok bool, err error) {
+	if s.failed != nil {
+		return nil, nil, false, s.failed
+	}
+	return s.mem.Get(id)
+}
+
+// poison marks the store unusable after a mutation error of unknown
+// durability (a torn WAL append, an apply that stopped half way): the
+// disk and the mirror may now disagree, and only a reopen's recovery
+// scan can reconverge them. It returns err for the caller to surface.
+func (s *Store) poison(err error) error {
+	if s.failed == nil {
+		s.failed = fmt.Errorf("diskstore: unusable after failed mutation (reopen to recover): %w", err)
+	}
+	return err
+}
+
+// Put implements nodeengine.ChunkStore: WAL intent first, then the
+// chunk file via atomic rename, then the in-memory mirror.
+func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	payload := appendPutRecord(s.scratch[:0], id, data, versions)
+	s.scratch = payload[:0]
+	if err := s.walAppend(payload); err != nil {
+		return s.poison(err)
+	}
+	if s.crashAfterWAL != nil {
+		return s.poison(s.crashAfterWAL)
+	}
+	if err := s.applyPut(id, data, versions); err != nil {
+		return s.poison(err)
+	}
+	return s.walResetOrPoison()
+}
+
+// Delete implements nodeengine.ChunkStore.
+func (s *Store) Delete(id client.ChunkID) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	payload := appendDeleteRecord(s.scratch[:0], id)
+	s.scratch = payload[:0]
+	if err := s.walAppend(payload); err != nil {
+		return s.poison(err)
+	}
+	if s.crashAfterWAL != nil {
+		return s.poison(s.crashAfterWAL)
+	}
+	if err := s.applyDelete(id); err != nil {
+		return s.poison(err)
+	}
+	return s.walResetOrPoison()
+}
+
+// Wipe implements nodeengine.ChunkStore: media replacement, every
+// chunk file removed.
+func (s *Store) Wipe() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := s.walAppend([]byte{opWipe}); err != nil {
+		return s.poison(err)
+	}
+	if s.crashAfterWAL != nil {
+		return s.poison(s.crashAfterWAL)
+	}
+	if err := s.applyWipe(); err != nil {
+		return s.poison(err)
+	}
+	return s.walResetOrPoison()
+}
+
+func (s *Store) walResetOrPoison() error {
+	if err := s.walReset(); err != nil {
+		return s.poison(err)
+	}
+	return nil
+}
+
+// Len implements nodeengine.ChunkStore.
+func (s *Store) Len() (int, error) {
+	if s.failed != nil {
+		return 0, s.failed
+	}
+	return s.mem.Len()
+}
+
+// Close implements nodeengine.ChunkStore: it closes the WAL handle
+// and releases the directory lock. All acknowledged mutations are
+// already durable.
+func (s *Store) Close() error {
+	err := s.wal.Close()
+	if cerr := s.lock.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- apply phase -------------------------------------------------
+
+func (s *Store) applyPut(id client.ChunkID, data []byte, versions []uint64) error {
+	final := filepath.Join(s.chunksDir, chunkFileName(id))
+	tmp := final + ".tmp"
+	payload := appendChunkFile(s.fscratch[:0], id, data, versions)
+	s.fscratch = payload[:0]
+	if err := writeFileDurable(tmp, payload, s.sync); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := s.syncDir(s.chunksDir); err != nil {
+		return err
+	}
+	return s.mem.Put(id, data, versions)
+}
+
+func (s *Store) applyDelete(id client.ChunkID) error {
+	if err := os.Remove(filepath.Join(s.chunksDir, chunkFileName(id))); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := s.syncDir(s.chunksDir); err != nil {
+		return err
+	}
+	return s.mem.Delete(id)
+}
+
+func (s *Store) applyWipe() error {
+	entries, err := os.ReadDir(s.chunksDir)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	for _, ent := range entries {
+		if err := os.Remove(filepath.Join(s.chunksDir, ent.Name())); err != nil {
+			return fmt.Errorf("diskstore: %w", err)
+		}
+	}
+	if err := s.syncDir(s.chunksDir); err != nil {
+		return err
+	}
+	return s.mem.Wipe()
+}
+
+// ---- write-ahead log ---------------------------------------------
+
+// walAppend frames and appends one record: length, CRC, payload.
+func (s *Store) walAppend(payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := s.wal.Write(hdr[:]); err != nil {
+		return fmt.Errorf("diskstore: wal append: %w", err)
+	}
+	if _, err := s.wal.Write(payload); err != nil {
+		return fmt.Errorf("diskstore: wal append: %w", err)
+	}
+	if s.sync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("diskstore: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// walReset empties the log once its intents are applied.
+func (s *Store) walReset() error {
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("diskstore: wal reset: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("diskstore: wal reset: %w", err)
+	}
+	// No sync needed: replaying an already-applied record is
+	// idempotent, so a stale-but-valid WAL after a crash is harmless.
+	return nil
+}
+
+// ---- recovery ----------------------------------------------------
+
+func (s *Store) recover() error {
+	if err := s.loadChunkFiles(); err != nil {
+		return err
+	}
+	if err := s.replayWAL(); err != nil {
+		return err
+	}
+	return s.walReset()
+}
+
+// loadChunkFiles scans the chunks directory, removing orphaned temp
+// files (a crash mid-apply) and loading every committed chunk.
+func (s *Store) loadChunkFiles() error {
+	entries, err := os.ReadDir(s.chunksDir)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		path := filepath.Join(s.chunksDir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			// Incomplete apply: the WAL intent (if fully appended)
+			// will redo it.
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("diskstore: %w", err)
+			}
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("diskstore: %w", err)
+		}
+		id, data, versions, err := decodeChunkFile(raw)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+		if err := s.mem.Put(id, data, versions); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayWAL re-applies every complete record in order and stops at the
+// first torn one (short frame or checksum mismatch): everything after
+// a torn record was never acknowledged.
+func (s *Store) replayWAL() error {
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	raw, err := io.ReadAll(s.wal)
+	if err != nil {
+		return fmt.Errorf("diskstore: wal read: %w", err)
+	}
+	for len(raw) > 0 {
+		if len(raw) < 8 {
+			return nil // torn header
+		}
+		size := binary.BigEndian.Uint32(raw[0:4])
+		sum := binary.BigEndian.Uint32(raw[4:8])
+		if size > maxRecord || len(raw) < 8+int(size) {
+			return nil // torn or garbage tail
+		}
+		payload := raw[8 : 8+size]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil // torn payload
+		}
+		if err := s.replayRecord(payload); err != nil {
+			return err
+		}
+		raw = raw[8+size:]
+	}
+	return nil
+}
+
+func (s *Store) replayRecord(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty wal record", ErrCorrupt)
+	}
+	switch payload[0] {
+	case opPut:
+		id, data, versions, err := decodePutRecord(payload)
+		if err != nil {
+			return fmt.Errorf("%w: wal put record: %v", ErrCorrupt, err)
+		}
+		return s.applyPut(id, data, versions)
+	case opDelete:
+		id, err := decodeDeleteRecord(payload)
+		if err != nil {
+			return fmt.Errorf("%w: wal delete record: %v", ErrCorrupt, err)
+		}
+		return s.applyDelete(id)
+	case opWipe:
+		return s.applyWipe()
+	default:
+		return fmt.Errorf("%w: wal op %d", ErrCorrupt, payload[0])
+	}
+}
+
+// ---- encoding ----------------------------------------------------
+
+func chunkFileName(id client.ChunkID) string {
+	return fmt.Sprintf("%016x-%08x.chunk", id.Stripe, uint32(id.Shard))
+}
+
+// appendChunkBody encodes id + versions + data (shared by chunk files
+// and WAL put records).
+func appendChunkBody(dst []byte, id client.ChunkID, data []byte, versions []uint64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, id.Stripe)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(id.Shard))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(versions)))
+	for _, v := range versions {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(data)))
+	return append(dst, data...)
+}
+
+func decodeChunkBody(p []byte) (id client.ChunkID, data []byte, versions []uint64, err error) {
+	if len(p) < 16 {
+		return id, nil, nil, fmt.Errorf("short body")
+	}
+	id.Stripe = binary.BigEndian.Uint64(p[0:8])
+	id.Shard = int(int32(binary.BigEndian.Uint32(p[8:12])))
+	nver := binary.BigEndian.Uint32(p[12:16])
+	p = p[16:]
+	if uint64(nver)*8 > uint64(len(p)) {
+		return id, nil, nil, fmt.Errorf("truncated versions")
+	}
+	versions = make([]uint64, nver)
+	for i := range versions {
+		versions[i] = binary.BigEndian.Uint64(p[8*i:])
+	}
+	p = p[8*nver:]
+	if len(p) < 4 {
+		return id, nil, nil, fmt.Errorf("missing data length")
+	}
+	dlen := binary.BigEndian.Uint32(p[0:4])
+	p = p[4:]
+	if uint64(dlen) != uint64(len(p)) {
+		return id, nil, nil, fmt.Errorf("data length %d, have %d bytes", dlen, len(p))
+	}
+	return id, append([]byte(nil), p...), versions, nil
+}
+
+func appendPutRecord(dst []byte, id client.ChunkID, data []byte, versions []uint64) []byte {
+	dst = append(dst, opPut)
+	return appendChunkBody(dst, id, data, versions)
+}
+
+func decodePutRecord(p []byte) (id client.ChunkID, data []byte, versions []uint64, err error) {
+	if len(p) < 1 || p[0] != opPut {
+		return id, nil, nil, fmt.Errorf("not a put record")
+	}
+	return decodeChunkBody(p[1:])
+}
+
+func appendDeleteRecord(dst []byte, id client.ChunkID) []byte {
+	dst = append(dst, opDelete)
+	dst = binary.BigEndian.AppendUint64(dst, id.Stripe)
+	return binary.BigEndian.AppendUint32(dst, uint32(id.Shard))
+}
+
+func decodeDeleteRecord(p []byte) (id client.ChunkID, err error) {
+	if len(p) != 13 || p[0] != opDelete {
+		return id, fmt.Errorf("malformed delete record")
+	}
+	id.Stripe = binary.BigEndian.Uint64(p[1:9])
+	id.Shard = int(int32(binary.BigEndian.Uint32(p[9:13])))
+	return id, nil
+}
+
+// appendChunkFile encodes a self-describing chunk file: magic, body,
+// CRC over the body.
+func appendChunkFile(dst []byte, id client.ChunkID, data []byte, versions []uint64) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, chunkMagic)
+	dst = appendChunkBody(dst, id, data, versions)
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start+4:]))
+}
+
+func decodeChunkFile(raw []byte) (id client.ChunkID, data []byte, versions []uint64, err error) {
+	if len(raw) < 8 {
+		return id, nil, nil, fmt.Errorf("short file")
+	}
+	if binary.BigEndian.Uint32(raw[0:4]) != chunkMagic {
+		return id, nil, nil, fmt.Errorf("bad magic")
+	}
+	body := raw[4 : len(raw)-4]
+	sum := binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return id, nil, nil, fmt.Errorf("checksum mismatch")
+	}
+	return decodeChunkBody(body)
+}
+
+// ---- filesystem helpers ------------------------------------------
+
+func writeFileDurable(path string, payload []byte, sync bool) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("diskstore: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-removed entry
+// survives power loss.
+func (s *Store) syncDir(dir string) error {
+	if !s.sync {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return fmt.Errorf("diskstore: dir sync: %w", err)
+	}
+	if cerr != nil {
+		return fmt.Errorf("diskstore: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package diskstore_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trapquorum/client"
+	"trapquorum/internal/diskstore"
+	"trapquorum/internal/nodeengine"
+)
+
+// Interface conformance with the engine's store contract.
+var _ nodeengine.ChunkStore = (*diskstore.Store)(nil)
+
+func openTestStore(t *testing.T, dir string) *diskstore.Store {
+	t.Helper()
+	s, err := diskstore.Open(dir, diskstore.WithSyncWrites(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetDeleteRoundTrip(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	defer s.Close()
+	id := client.ChunkID{Stripe: 7, Shard: 2}
+	if err := s.Put(id, []byte{1, 2, 3}, []uint64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	data, versions, ok, err := s.Get(id)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if string(data) != "\x01\x02\x03" || versions[0] != 5 || versions[1] != 6 {
+		t.Fatalf("got %v %v", data, versions)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("len = %d", n)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := s.Get(id); ok {
+		t.Fatal("chunk survived delete")
+	}
+	// Idempotent delete.
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenRecoversChunks(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	a := client.ChunkID{Stripe: 1, Shard: 0}
+	b := client.ChunkID{Stripe: 2, Shard: 9}
+	if err := s.Put(a, []byte{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, []byte{2, 2}, []uint64{3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(a, []byte{9}, []uint64{2}); err != nil { // overwrite
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := openTestStore(t, dir)
+	defer r.Close()
+	if n, _ := r.Len(); n != 2 {
+		t.Fatalf("recovered %d chunks", n)
+	}
+	data, versions, ok, _ := r.Get(a)
+	if !ok || data[0] != 9 || versions[0] != 2 {
+		t.Fatalf("chunk a = %v %v %v", data, versions, ok)
+	}
+	data, versions, ok, _ = r.Get(b)
+	if !ok || len(data) != 2 || len(versions) != 3 || versions[2] != 5 {
+		t.Fatalf("chunk b = %v %v %v", data, versions, ok)
+	}
+}
+
+func TestWipeIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wipe(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r := openTestStore(t, dir)
+	defer r.Close()
+	if n, _ := r.Len(); n != 0 {
+		t.Fatalf("wipe did not survive reopen: %d chunks", n)
+	}
+}
+
+// TestCrashBetweenWALAppendAndApply kills the store in the window
+// where the intent is durable but not applied, reopens the directory,
+// and asserts the engine serves the intended (consistent) chunk and
+// version view: the WAL replay finishes the mutation.
+func TestCrashBetweenWALAppendAndApply(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	id := client.ChunkID{Stripe: 4, Shard: 1}
+	if err := s.Put(id, []byte{1, 1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	crash := errors.New("power cut")
+	s.SetCrashAfterWAL(crash)
+	if err := s.Put(id, []byte{2, 2}, []uint64{2}); !errors.Is(err, crash) {
+		t.Fatalf("err = %v", err)
+	}
+	// The process dies here: no Close, no walReset. The old chunk file
+	// still holds version 1; the WAL holds the durable intent for
+	// version 2.
+	s.Close() // only releases the fd; the WAL content remains
+
+	e := nodeengine.New(openTestStore(t, dir))
+	defer e.Close()
+	got, err := e.ReadChunk(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 2 || got.Versions[0] != 2 {
+		t.Fatalf("recovered chunk %+v, want the WAL-committed v2", got)
+	}
+}
+
+// TestCrashBeforeWALCompletes models the other side of the window: a
+// torn WAL tail (the append itself was cut short) is discarded, and
+// the pre-crash state is served.
+func TestCrashBeforeWALCompletes(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	id := client.ChunkID{Stripe: 4, Shard: 1}
+	if err := s.Put(id, []byte{1, 1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a torn append: garbage that is not a complete record.
+	wal := filepath.Join(dir, "wal")
+	if err := os.WriteFile(wal, []byte{0, 0, 0, 99, 1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openTestStore(t, dir)
+	defer r.Close()
+	data, versions, ok, _ := r.Get(id)
+	if !ok || data[0] != 1 || versions[0] != 1 {
+		t.Fatalf("pre-crash state lost: %v %v %v", data, versions, ok)
+	}
+}
+
+func TestCrashedDeleteReplays(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	id := client.ChunkID{Stripe: 9, Shard: 3}
+	if err := s.Put(id, []byte{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	crash := errors.New("power cut")
+	s.SetCrashAfterWAL(crash)
+	if err := s.Delete(id); !errors.Is(err, crash) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Close()
+	r := openTestStore(t, dir)
+	defer r.Close()
+	if _, _, ok, _ := r.Get(id); ok {
+		t.Fatal("WAL-committed delete not replayed")
+	}
+}
+
+func TestOrphanTempFilesCleaned(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	tmp := filepath.Join(dir, "chunks", "deadbeef.chunk.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openTestStore(t, dir)
+	defer r.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("orphan temp file survived recovery")
+	}
+	if n, _ := r.Len(); n != 1 {
+		t.Fatalf("len = %d", n)
+	}
+}
+
+func TestCorruptChunkFileSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	id := client.ChunkID{Stripe: 1}
+	if err := s.Put(id, []byte{1, 2, 3, 4}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Flip a data byte inside the single chunk file.
+	entries, err := os.ReadDir(filepath.Join(dir, "chunks"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, %v", entries, err)
+	}
+	path := filepath.Join(dir, "chunks", entries[0].Name())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-6] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diskstore.Open(dir, diskstore.WithSyncWrites(false)); !errors.Is(err, diskstore.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestEngineOverDiskStore runs the protocol-critical conditional ops
+// through a real on-disk store, across a reopen.
+func TestEngineOverDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	e := nodeengine.New(openTestStore(t, dir))
+	id := client.ChunkID{Stripe: 3, Shard: 8}
+	if err := e.PutChunk(ctx, id, []byte{0xf0, 0x0f}, []uint64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompareAndAdd(ctx, id, 1, 1, 2, []byte{0x0f, 0x0f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompareAndAdd(ctx, id, 1, 1, 3, []byte{1, 1}); !errors.Is(err, client.ErrVersionMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := nodeengine.New(openTestStore(t, dir))
+	defer r.Close()
+	got, err := r.ReadChunk(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 0xff || got.Data[1] != 0x00 || got.Versions[1] != 2 {
+		t.Fatalf("reopened chunk %+v", got)
+	}
+	if err := r.CompareAndPut(ctx, id, 0, 1, 2, []byte{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectoryLockExcludesSecondOpen: two stores on one directory
+// would corrupt each other's WAL; the second Open must fail fast.
+func TestDirectoryLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	if _, err := diskstore.Open(dir, diskstore.WithSyncWrites(false)); !errors.Is(err, diskstore.ErrLocked) {
+		t.Fatalf("second open = %v, want ErrLocked", err)
+	}
+	s.Close()
+	// Released on close: reopening now succeeds.
+	r := openTestStore(t, dir)
+	r.Close()
+}
+
+// TestPoisonedAfterFailedMutation: once a mutation dies between its
+// durable intent and its apply, the store's mirror is of unknown
+// accuracy — every further operation must refuse until a reopen
+// reconverges through recovery.
+func TestPoisonedAfterFailedMutation(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	id := client.ChunkID{Stripe: 1}
+	if err := s.Put(id, []byte{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	crash := errors.New("power cut")
+	s.SetCrashAfterWAL(crash)
+	if err := s.Put(id, []byte{2}, []uint64{2}); !errors.Is(err, crash) {
+		t.Fatalf("err = %v", err)
+	}
+	s.SetCrashAfterWAL(nil)
+	// Poisoned: reads and writes refuse rather than serve a mirror
+	// that may disagree with disk.
+	if _, _, _, err := s.Get(id); err == nil {
+		t.Fatal("poisoned store served a read")
+	}
+	if err := s.Put(id, []byte{3}, []uint64{3}); err == nil {
+		t.Fatal("poisoned store accepted a write")
+	}
+	if _, err := s.Len(); err == nil {
+		t.Fatal("poisoned store answered Len")
+	}
+	s.Close()
+	// Reopen reconverges (the WAL intent is replayed) and serves.
+	r := openTestStore(t, dir)
+	defer r.Close()
+	data, versions, ok, err := r.Get(id)
+	if err != nil || !ok || data[0] != 2 || versions[0] != 2 {
+		t.Fatalf("recovered chunk = %v %v %v %v", data, versions, ok, err)
+	}
+}
+
+func TestSyncWritesOn(t *testing.T) {
+	// Smoke the default (sync) path once so fsync plumbing is covered.
+	s, err := diskstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(client.ChunkID{Stripe: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wipe(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+package diskstore
+
+// SetCrashAfterWAL arms the crash fault point: the next mutations
+// append and fsync their WAL intent, then fail with err instead of
+// applying — the on-disk state a power cut between the two phases
+// leaves behind. Passing nil disarms it.
+func (s *Store) SetCrashAfterWAL(err error) { s.crashAfterWAL = err }

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// acquireDirLock on platforms without flock only keeps the lock file
+// open: single-process exclusion is not enforced there.
+func acquireDirLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return f, nil
+}

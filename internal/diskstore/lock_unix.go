@@ -1,0 +1,26 @@
+//go:build unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive flock on the node directory's
+// lock file, failing fast with ErrLocked when another live process
+// holds it (two daemons on one -dir would corrupt each other's WAL).
+// The kernel releases the lock on process death, so a SIGKILLed
+// daemon never wedges its directory.
+func acquireDirLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, path)
+	}
+	return f, nil
+}

@@ -1,0 +1,81 @@
+// Package memstore is the in-memory ChunkStore: the chunk map the
+// simulator's nodes always had, refactored behind the
+// nodeengine.ChunkStore interface so the same protocol engine can run
+// on it or on a durable store. "Durable" here means surviving until
+// the process exits; a Wipe or a dropped store loses everything, which
+// is exactly the media-loss model the simulator's fault injection
+// wants.
+package memstore
+
+import "trapquorum/client"
+
+// chunk is one stored shard. Buffers are owned by the store and
+// recycled in place across overwrites of the same size, so steady-state
+// protocol traffic (CompareAndPut/CompareAndAdd at fixed block size)
+// does not allocate.
+type chunk struct {
+	data     []byte
+	versions []uint64
+}
+
+// Store maps chunk ids to chunks in process memory. It is not safe for
+// concurrent use on its own; the node engine serialises all access.
+type Store struct {
+	chunks map[client.ChunkID]*chunk
+}
+
+// New returns an empty in-memory store.
+func New() *Store {
+	return &Store{chunks: make(map[client.ChunkID]*chunk)}
+}
+
+// Get implements nodeengine.ChunkStore. The returned slices are the
+// store's own buffers.
+func (s *Store) Get(id client.ChunkID) (data []byte, versions []uint64, ok bool, err error) {
+	c, ok := s.chunks[id]
+	if !ok {
+		return nil, nil, false, nil
+	}
+	return c.data, c.versions, true, nil
+}
+
+// Put implements nodeengine.ChunkStore: it copies both slices,
+// overwriting an existing same-sized buffer in place.
+func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64) error {
+	if c, ok := s.chunks[id]; ok {
+		if len(c.data) == len(data) {
+			copy(c.data, data)
+		} else {
+			c.data = append([]byte(nil), data...)
+		}
+		c.versions = append(c.versions[:0], versions...)
+		return nil
+	}
+	s.chunks[id] = &chunk{
+		data:     append([]byte(nil), data...),
+		versions: append([]uint64(nil), versions...),
+	}
+	return nil
+}
+
+// Delete implements nodeengine.ChunkStore; deleting a missing chunk is
+// a no-op.
+func (s *Store) Delete(id client.ChunkID) error {
+	delete(s.chunks, id)
+	return nil
+}
+
+// Wipe implements nodeengine.ChunkStore: it drops every chunk.
+func (s *Store) Wipe() error {
+	for id := range s.chunks {
+		delete(s.chunks, id)
+	}
+	return nil
+}
+
+// Len implements nodeengine.ChunkStore.
+func (s *Store) Len() (int, error) { return len(s.chunks), nil }
+
+// Close implements nodeengine.ChunkStore; an in-memory store holds no
+// external resources.
+func (s *Store) Close() error { return nil }

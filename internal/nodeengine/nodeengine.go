@@ -1,0 +1,356 @@
+// Package nodeengine implements the storage-node side of the TRAP-ERC
+// protocol once, independently of any transport: the chunk table with
+// its version vectors and the atomic conditional operations of
+// Algorithms 1–2 (CompareAndPut, CompareAndAdd, PutChunkIfFresher),
+// plus the unconditional put/read/delete/wipe surface.
+//
+// An Engine implements the full client.NodeClient semantics over a
+// pluggable ChunkStore, so every deployment shape shares the same
+// protocol state machine and differs only in how requests arrive and
+// where chunks rest:
+//
+//   - the in-process simulator (internal/sim) wraps an Engine with
+//     injected latency and fail-stop fault injection;
+//   - the TCP node server (transport/tcp) serves an Engine over real
+//     sockets, as run by the cmd/trapnode daemon;
+//   - memstore keeps chunks in memory, diskstore makes every mutation
+//     durable on disk.
+//
+// The engine serialises all operations with an internal lock — that
+// per-node atomicity is what the protocol's conditional parity updates
+// rely on — so a ChunkStore never sees concurrent calls and needs no
+// locking of its own.
+package nodeengine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"trapquorum/client"
+	"trapquorum/internal/blockpool"
+	"trapquorum/internal/gf256"
+)
+
+// ChunkStore is the persistence layer under an Engine: a mapping from
+// chunk id to (data, version vector). The engine serialises every call,
+// so implementations need no internal locking; they decide only where
+// the bytes live (memory, disk) and what "durable" means. A mutation
+// (Put, Delete, Wipe) must be durable by the time it returns — the
+// engine acknowledges the operation to the protocol immediately after.
+type ChunkStore interface {
+	// Get returns the chunk stored under id, or ok == false. The
+	// returned slices are owned by the store: the caller must not
+	// mutate them, and they are only valid until the next mutating
+	// call for the same id.
+	Get(id client.ChunkID) (data []byte, versions []uint64, ok bool, err error)
+	// Put stores the chunk, replacing any previous value. The store
+	// copies both slices; the caller keeps ownership of its buffers.
+	Put(id client.ChunkID, data []byte, versions []uint64) error
+	// Delete removes the chunk. Deleting a missing chunk is a no-op.
+	Delete(id client.ChunkID) error
+	// Wipe removes every chunk (media replacement).
+	Wipe() error
+	// Len reports how many chunks are stored.
+	Len() (int, error)
+	// Close releases the store's resources. Mutations are durable
+	// when they return, so Close has nothing to flush.
+	Close() error
+}
+
+// Metrics counts the operations an engine served. The protocol
+// counters (reads, writes, adds, version queries/rejects, served
+// operations) are maintained by the engine itself; the transport
+// counters DownRejects and CtxAborts are maintained by whatever wraps
+// the engine (the simulator's fail-stop switch, a network server's
+// admission path). All fields are safe for concurrent reads while the
+// engine runs.
+type Metrics struct {
+	Reads            atomic.Int64
+	Writes           atomic.Int64
+	Adds             atomic.Int64
+	VersionQueries   atomic.Int64
+	VersionRejects   atomic.Int64
+	DownRejects      atomic.Int64
+	CtxAborts        atomic.Int64
+	ServedOperations atomic.Int64
+}
+
+// Engine is the transport-neutral node runtime. It is safe for
+// concurrent use; operations serialise on an internal lock, giving the
+// per-node atomicity the protocol's conditional updates require.
+//
+// Context handling follows the client contract's all-or-nothing rule
+// the way a local call can: an engine operation whose context is
+// already cancelled on entry fails with the context's error and leaves
+// the store untouched; once an operation starts it runs to completion
+// and reports its real outcome. Transports layer their own
+// cancellation windows (latency injection, sockets) on top.
+type Engine struct {
+	name    string
+	mu      sync.Mutex
+	store   ChunkStore
+	scratch []uint64 // version-vector scratch, guarded by mu
+	metrics Metrics
+}
+
+// Compile-time conformance with the public transport contract.
+var _ client.NodeClient = (*Engine)(nil)
+
+// Option customises an Engine.
+type Option func(*Engine)
+
+// WithName sets the label the engine uses in error messages (for
+// example "node 3" or a listen address). The default is "node".
+func WithName(name string) Option {
+	return func(e *Engine) { e.name = name }
+}
+
+// New builds an engine over the given store. The caller hands the
+// store to the engine; Close closes it.
+func New(store ChunkStore, opts ...Option) *Engine {
+	e := &Engine{name: "node", store: store}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Name returns the engine's error-message label.
+func (e *Engine) Name() string { return e.name }
+
+// Metrics exposes the engine's operation counters.
+func (e *Engine) Metrics() *Metrics { return &e.metrics }
+
+// Close closes the underlying store. The engine is unusable
+// afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Close()
+}
+
+// begin is the common entry gate: it rejects an already-expired
+// context, then takes the engine lock and counts the operation.
+func (e *Engine) begin(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		e.metrics.CtxAborts.Add(1)
+		return err
+	}
+	e.mu.Lock()
+	e.metrics.ServedOperations.Add(1)
+	return nil
+}
+
+// ReadChunk returns a deep copy of the chunk, or client.ErrNotFound.
+func (e *Engine) ReadChunk(ctx context.Context, id client.ChunkID) (client.Chunk, error) {
+	e.metrics.Reads.Add(1)
+	if err := e.begin(ctx); err != nil {
+		return client.Chunk{}, err
+	}
+	defer e.mu.Unlock()
+	data, versions, ok, err := e.store.Get(id)
+	if err != nil {
+		return client.Chunk{}, err
+	}
+	if !ok {
+		return client.Chunk{}, e.notFound(id)
+	}
+	return client.Chunk{
+		Data:     append([]byte(nil), data...),
+		Versions: append([]uint64(nil), versions...),
+	}, nil
+}
+
+// ReadVersions returns a copy of the chunk's version vector, or
+// client.ErrNotFound. This is the "u.version(id)" probe of
+// Algorithms 1–2.
+func (e *Engine) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, error) {
+	e.metrics.VersionQueries.Add(1)
+	if err := e.begin(ctx); err != nil {
+		return nil, err
+	}
+	defer e.mu.Unlock()
+	_, versions, ok, err := e.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, e.notFound(id)
+	}
+	return append([]uint64(nil), versions...), nil
+}
+
+// PutChunk stores a full chunk (data plus version vector), replacing
+// any previous value. Used for data-block writes, bootstrap and
+// repair. The inputs are copied.
+func (e *Engine) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+	e.metrics.Writes.Add(1)
+	if len(versions) == 0 {
+		return fmt.Errorf("%w: PutChunk needs at least one version", client.ErrBadRequest)
+	}
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	return e.store.Put(id, data, versions)
+}
+
+// CompareAndPut overwrites the chunk's data only when version slot
+// `slot` currently holds expect, then sets it to next. It returns
+// client.ErrVersionMismatch otherwise. Used by data nodes so that a
+// delayed stale writer cannot clobber a newer block. The check and the
+// write are atomic under the engine lock.
+func (e *Engine) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte) error {
+	e.metrics.Writes.Add(1)
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	_, versions, ok, err := e.store.Get(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return e.notFound(id)
+	}
+	if slot < 0 || slot >= len(versions) {
+		return fmt.Errorf("%w: version slot %d of %d", client.ErrBadRequest, slot, len(versions))
+	}
+	if versions[slot] != expect {
+		e.metrics.VersionRejects.Add(1)
+		return fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, versions[slot], expect)
+	}
+	vers := e.stageVersions(versions)
+	vers[slot] = next
+	return e.store.Put(id, data, vers)
+}
+
+// CompareAndAdd XORs delta into the chunk's data when version slot
+// `slot` currently holds expect, then advances the slot to next — the
+// conditional "u.add(α_{i,j}·(x−chunk))" of Algorithm 1 lines 26–28.
+// A mismatch (stale or too-new parity) yields
+// client.ErrVersionMismatch and leaves the chunk untouched.
+func (e *Engine) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte) error {
+	e.metrics.Adds.Add(1)
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	data, versions, ok, err := e.store.Get(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return e.notFound(id)
+	}
+	if slot < 0 || slot >= len(versions) {
+		return fmt.Errorf("%w: version slot %d of %d", client.ErrBadRequest, slot, len(versions))
+	}
+	if len(delta) != len(data) {
+		return fmt.Errorf("%w: delta size %d, chunk size %d", client.ErrBadRequest, len(delta), len(data))
+	}
+	if versions[slot] != expect {
+		e.metrics.VersionRejects.Add(1)
+		return fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, versions[slot], expect)
+	}
+	// The summed bytes are staged in a pooled buffer so the store's
+	// current data stays untouched until Put commits the mutation —
+	// a durable store that fails mid-write must not have corrupted
+	// its in-memory view.
+	sum := blockpool.GetBlock(len(data))
+	copy(sum.B, data)
+	gf256.XorSlice(sum.B, delta)
+	vers := e.stageVersions(versions)
+	vers[slot] = next
+	err = e.store.Put(id, sum.B, vers)
+	sum.Release()
+	return err
+}
+
+// PutChunkIfFresher installs a chunk only when it does not regress any
+// version slot of an existing chunk: the proposed version vector must
+// be componentwise ≥ the stored one (a missing chunk always accepts;
+// an identical vector is an idempotent no-op). Repair uses this so
+// that a rebuild gathered before a concurrent write cannot overwrite
+// the write's newer state; the mismatch surfaces as
+// client.ErrVersionMismatch and the repair is retried.
+func (e *Engine) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+	e.metrics.Writes.Add(1)
+	if len(versions) == 0 {
+		return fmt.Errorf("%w: PutChunkIfFresher needs at least one version", client.ErrBadRequest)
+	}
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	_, stored, ok, err := e.store.Get(id)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if len(stored) != len(versions) {
+			return fmt.Errorf("%w: version vector length %d vs stored %d", client.ErrBadRequest, len(versions), len(stored))
+		}
+		for slot, v := range stored {
+			if versions[slot] < v {
+				e.metrics.VersionRejects.Add(1)
+				return fmt.Errorf("%w: slot %d would regress %d -> %d", client.ErrVersionMismatch, slot, v, versions[slot])
+			}
+		}
+	}
+	return e.store.Put(id, data, versions)
+}
+
+// DeleteChunk removes a chunk. Deleting a missing chunk is a no-op,
+// mirroring idempotent deletion (used by garbage collection and by
+// failure-injection tests).
+func (e *Engine) DeleteChunk(ctx context.Context, id client.ChunkID) error {
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	return e.store.Delete(id)
+}
+
+// HasChunk reports whether the node stores the chunk.
+func (e *Engine) HasChunk(ctx context.Context, id client.ChunkID) (bool, error) {
+	if err := e.begin(ctx); err != nil {
+		return false, err
+	}
+	defer e.mu.Unlock()
+	_, _, ok, err := e.store.Get(id)
+	return ok, err
+}
+
+// ChunkCount reports how many chunks the node stores.
+func (e *Engine) ChunkCount(ctx context.Context) (int, error) {
+	if err := e.begin(ctx); err != nil {
+		return 0, err
+	}
+	defer e.mu.Unlock()
+	return e.store.Len()
+}
+
+// Wipe erases the node's store, simulating media loss; typically
+// followed by the repair protocol refilling the node.
+func (e *Engine) Wipe(ctx context.Context) error {
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	return e.store.Wipe()
+}
+
+// stageVersions copies a version vector into the engine's scratch
+// slice (valid until the next engine operation — safe because the
+// engine lock is held until the store call returns).
+func (e *Engine) stageVersions(versions []uint64) []uint64 {
+	e.scratch = append(e.scratch[:0], versions...)
+	return e.scratch
+}
+
+func (e *Engine) notFound(id client.ChunkID) error {
+	return fmt.Errorf("%w: %s on %s", client.ErrNotFound, id, e.name)
+}

@@ -1,7 +1,11 @@
 // Package sim implements the simulated distributed storage cluster the
-// TRAP-ERC protocol runs on: one goroutine actor per storage node, a
-// versioned chunk store per node, fail-stop failure injection and an
-// optional latency model.
+// TRAP-ERC protocol runs on: each node is the shared
+// nodeengine.Engine over an in-memory chunk store, wrapped with what a
+// simulated network adds — fail-stop failure injection and an optional
+// per-operation latency model. The protocol semantics themselves
+// (version vectors, atomic conditional updates) live in
+// internal/nodeengine and are shared with the real network node
+// (transport/tcp, cmd/trapnode).
 //
 // The simulator substitutes for the paper's physical testbed. The
 // protocol only ever observes per-request success/failure, returned

@@ -2,14 +2,13 @@ package sim
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"trapquorum/client"
-	"trapquorum/internal/blockpool"
-	"trapquorum/internal/gf256"
+	"trapquorum/internal/memstore"
+	"trapquorum/internal/nodeengine"
 )
 
 // NodeID identifies a storage node within a cluster.
@@ -19,65 +18,52 @@ type NodeID int
 // means zero latency (the default in tests).
 type DelayFunc func(op string) time.Duration
 
-// Metrics counts the operations a node served. All fields are safe for
-// concurrent reads while the cluster runs.
-type Metrics struct {
-	Reads            atomic.Int64
-	Writes           atomic.Int64
-	Adds             atomic.Int64
-	VersionQueries   atomic.Int64
-	VersionRejects   atomic.Int64
-	DownRejects      atomic.Int64
-	CtxAborts        atomic.Int64
-	ServedOperations atomic.Int64
-}
+// Metrics counts the operations a node served; it is the shared
+// nodeengine counter block. The protocol counters are maintained by
+// the node's engine, DownRejects and CtxAborts by the simulator's
+// admission gate. All fields are safe for concurrent reads while the
+// cluster runs.
+type Metrics = nodeengine.Metrics
 
-// Node is one simulated storage server: a goroutine actor owning a
-// chunk store. All public methods are synchronous RPCs into the actor
-// and are safe for concurrent use — any number of callers may have
-// requests in flight against one node at once; their injected latency
-// windows overlap like network transit, and the operations themselves
-// serialise at the actor, which is the per-node atomicity the
-// protocol's conditional parity updates rely on. Node implements the
-// public client.NodeClient transport contract, including context
-// cancellation: an operation whose context expires before the request
-// reaches the actor (in particular, during injected latency) fails
-// with the context's error and leaves the store untouched; once the
-// request is accepted, the operation runs to completion, like an RPC
-// already on the wire.
+// Node is one simulated storage server: the transport-neutral
+// nodeengine.Engine over an in-memory store, wrapped with what a
+// simulated network adds — injected per-operation latency, fail-stop
+// crash/restart switches, and cluster shutdown. All methods are safe
+// for concurrent use — any number of callers may have requests in
+// flight against one node at once; their injected latency windows
+// overlap like network transit, and the operations themselves
+// serialise at the engine, which is the per-node atomicity the
+// protocol's conditional parity updates rely on.
+//
+// Node implements the public client.NodeClient transport contract,
+// including context cancellation: an operation whose context expires
+// before it reaches the engine (in particular, during injected
+// latency) fails with the context's error and leaves the store
+// untouched; once the engine accepts it, the operation runs to
+// completion, like an RPC already on the wire.
 type Node struct {
-	id      NodeID
-	delay   atomic.Pointer[DelayFunc]
-	reqCh   chan request
-	quit    chan struct{}
-	down    atomic.Bool
-	metrics Metrics
+	id     NodeID
+	engine *nodeengine.Engine
+	delay  atomic.Pointer[DelayFunc]
+	down   atomic.Bool
+	quit   chan struct{}
 }
 
 // Compile-time transport conformance.
 var _ client.NodeClient = (*Node)(nil)
 
-type request struct {
-	op    func(store map[ChunkID]*Chunk) (any, error)
-	reply chan response
-}
-
-type response struct {
-	value any
-	err   error
-}
-
-// newNode spins up the actor goroutine.
+// newNode builds a node around a fresh engine+memstore.
 func newNode(id NodeID, delay DelayFunc) *Node {
 	n := &Node{
-		id:    id,
-		reqCh: make(chan request),
-		quit:  make(chan struct{}),
+		id:     id,
+		engine: nodeengine.New(memstore.New(), nodeengine.WithName(nodeName(id))),
+		quit:   make(chan struct{}),
 	}
 	n.SetDelay(delay)
-	go n.serve()
 	return n
 }
+
+func nodeName(id NodeID) string { return fmt.Sprintf("node %d", id) }
 
 // SetDelay installs (or, with nil, removes) this node's latency model,
 // replacing any cluster-wide model for this node. Safe to call while
@@ -92,41 +78,25 @@ func (n *Node) SetDelay(d DelayFunc) {
 	n.delay.Store(&d)
 }
 
-func (n *Node) serve() {
-	store := make(map[ChunkID]*Chunk)
-	for {
-		select {
-		case <-n.quit:
-			return
-		case req := <-n.reqCh:
-			if n.down.Load() {
-				// Fail-stop: a crashed node answers nothing; the
-				// caller's transport surfaces ErrNodeDown.
-				n.metrics.DownRejects.Add(1)
-				req.reply <- response{err: ErrNodeDown}
-				continue
-			}
-			v, err := req.op(store)
-			n.metrics.ServedOperations.Add(1)
-			req.reply <- response{value: v, err: err}
-		}
+// gate is the simulated network in front of the engine: it rejects
+// operations on a closed cluster or a crashed node, then serves the
+// injected latency window, during which cancellation and shutdown are
+// still honoured. A nil error means the engine may run the operation.
+func (n *Node) gate(ctx context.Context, op string) error {
+	select {
+	case <-n.quit:
+		return ErrClusterClosed
+	default:
 	}
-}
-
-// call performs a synchronous request against the actor. op is the
-// operation label used by the latency model. Cancellation is honoured
-// up to the moment the actor accepts the request — covering the
-// injected latency window — after which the operation completes and
-// its result is returned, so a call either fails with no node effect
-// or reports the node's actual answer.
-func (n *Node) call(ctx context.Context, op string, f func(store map[ChunkID]*Chunk) (any, error)) (any, error) {
 	if err := ctx.Err(); err != nil {
-		n.metrics.CtxAborts.Add(1)
-		return nil, err
+		n.engine.Metrics().CtxAborts.Add(1)
+		return err
 	}
 	if n.down.Load() {
-		n.metrics.DownRejects.Add(1)
-		return nil, ErrNodeDown
+		// Fail-stop: a crashed node answers nothing; the caller's
+		// transport surfaces ErrNodeDown.
+		n.engine.Metrics().DownRejects.Add(1)
+		return ErrNodeDown
 	}
 	if dp := n.delay.Load(); dp != nil {
 		if d := (*dp)(op); d > 0 {
@@ -135,36 +105,33 @@ func (n *Node) call(ctx context.Context, op string, f func(store map[ChunkID]*Ch
 			case <-timer.C:
 			case <-ctx.Done():
 				timer.Stop()
-				n.metrics.CtxAborts.Add(1)
-				return nil, ctx.Err()
+				n.engine.Metrics().CtxAborts.Add(1)
+				return ctx.Err()
 			case <-n.quit:
 				timer.Stop()
-				return nil, ErrClusterClosed
+				return ErrClusterClosed
+			}
+			// Fail-stop can land while the request is in flight:
+			// re-check at "accept time", after the latency window,
+			// like the actor loop used to — a node crashed mid-delay
+			// must answer nothing.
+			if n.down.Load() {
+				n.engine.Metrics().DownRejects.Add(1)
+				return ErrNodeDown
 			}
 		}
 	}
-	req := request{op: f, reply: make(chan response, 1)}
-	select {
-	case n.reqCh <- req:
-	case <-ctx.Done():
-		n.metrics.CtxAborts.Add(1)
-		return nil, ctx.Err()
-	case <-n.quit:
-		return nil, ErrClusterClosed
-	}
-	select {
-	case resp := <-req.reply:
-		return resp.value, resp.err
-	case <-n.quit:
-		return nil, ErrClusterClosed
-	}
+	return nil
 }
 
 // ID returns the node's identifier.
 func (n *Node) ID() NodeID { return n.id }
 
 // Metrics exposes the node's operation counters.
-func (n *Node) Metrics() *Metrics { return &n.metrics }
+func (n *Node) Metrics() *Metrics { return n.engine.Metrics() }
+
+// Engine exposes the node's protocol engine (diagnostics and tests).
+func (n *Node) Engine() *nodeengine.Engine { return n.engine }
 
 // Down reports whether the node is currently failed.
 func (n *Node) Down() bool { return n.down.Load() }
@@ -181,97 +148,40 @@ func (n *Node) Restart() { n.down.Store(false) }
 // be up; typically used right after Restart to model a replaced disk
 // before the repair protocol refills it.
 func (n *Node) Wipe(ctx context.Context) error {
-	_, err := n.call(ctx, "wipe", func(store map[ChunkID]*Chunk) (any, error) {
-		for k := range store {
-			delete(store, k)
-		}
-		return nil, nil
-	})
-	return err
+	if err := n.gate(ctx, "wipe"); err != nil {
+		return err
+	}
+	return n.engine.Wipe(ctx)
 }
 
 // ReadChunk returns a deep copy of the chunk, or ErrNotFound.
 func (n *Node) ReadChunk(ctx context.Context, id ChunkID) (Chunk, error) {
-	n.metrics.Reads.Add(1)
-	v, err := n.call(ctx, "read", func(store map[ChunkID]*Chunk) (any, error) {
-		c, ok := store[id]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
-		}
-		return c.Clone(), nil
-	})
-	if err != nil {
+	if err := n.gate(ctx, "read"); err != nil {
+		n.engine.Metrics().Reads.Add(1)
 		return Chunk{}, err
 	}
-	return v.(Chunk), nil
+	return n.engine.ReadChunk(ctx, id)
 }
 
 // ReadVersions returns a copy of the chunk's version vector, or
 // ErrNotFound. This is the "u.version(id)" probe of Algorithms 1–2.
 func (n *Node) ReadVersions(ctx context.Context, id ChunkID) ([]uint64, error) {
-	n.metrics.VersionQueries.Add(1)
-	v, err := n.call(ctx, "version", func(store map[ChunkID]*Chunk) (any, error) {
-		c, ok := store[id]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
-		}
-		return append([]uint64(nil), c.Versions...), nil
-	})
-	if err != nil {
+	if err := n.gate(ctx, "version"); err != nil {
+		n.engine.Metrics().VersionQueries.Add(1)
 		return nil, err
 	}
-	return v.([]uint64), nil
-}
-
-// snapshot takes a pooled copy of an outgoing buffer. The caller's
-// buffer may be pooled itself and released right after the RPC
-// settles, so the node must never hold it past the call; the snapshot
-// is what crosses into the actor. releaseSnapshot returns it unless
-// the cluster shut down mid-operation — in that race the actor may
-// still be reading the snapshot, so it is left to the GC.
-func snapshot(data []byte) *blockpool.Block {
-	blk := blockpool.GetBlock(len(data))
-	copy(blk.B, data)
-	return blk
-}
-
-func releaseSnapshot(blk *blockpool.Block, err error) {
-	if errors.Is(err, ErrClusterClosed) {
-		return
-	}
-	blk.Release()
-}
-
-// storeChunkData installs snapshot bytes as chunk content: in place
-// when a chunk of the same size exists (its buffer is owned by the
-// store and no reader aliases it — reads return clones), freshly
-// allocated otherwise (the store retains it, so it cannot come from
-// the pool).
-func storeChunkData(store map[ChunkID]*Chunk, id ChunkID, data []byte, versions []uint64) {
-	if c, ok := store[id]; ok && len(c.Data) == len(data) {
-		copy(c.Data, data)
-		c.Versions = append(c.Versions[:0], versions...)
-		return
-	}
-	store[id] = &Chunk{Data: append([]byte(nil), data...), Versions: append([]uint64(nil), versions...)}
+	return n.engine.ReadVersions(ctx, id)
 }
 
 // PutChunk stores a full chunk (data plus version vector), replacing
 // any previous value. Used for data-block writes, bootstrap and
 // repair. The inputs are copied.
 func (n *Node) PutChunk(ctx context.Context, id ChunkID, data []byte, versions []uint64) error {
-	n.metrics.Writes.Add(1)
-	if len(versions) == 0 {
-		return fmt.Errorf("%w: PutChunk needs at least one version", ErrBadRequest)
+	if err := n.gate(ctx, "write"); err != nil {
+		n.engine.Metrics().Writes.Add(1)
+		return err
 	}
-	snap := snapshot(data)
-	verCopy := append([]uint64(nil), versions...)
-	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
-		storeChunkData(store, id, snap.B, verCopy)
-		return nil, nil
-	})
-	releaseSnapshot(snap, err)
-	return err
+	return n.engine.PutChunk(ctx, id, data, versions)
 }
 
 // CompareAndPut overwrites the chunk's data only when version slot
@@ -279,30 +189,11 @@ func (n *Node) PutChunk(ctx context.Context, id ChunkID, data []byte, versions [
 // ErrVersionMismatch otherwise. Used by data nodes so that a delayed
 // stale writer cannot clobber a newer block.
 func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, next uint64, data []byte) error {
-	n.metrics.Writes.Add(1)
-	snap := snapshot(data)
-	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
-		c, ok := store[id]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
-		}
-		if slot < 0 || slot >= len(c.Versions) {
-			return nil, fmt.Errorf("%w: version slot %d of %d", ErrBadRequest, slot, len(c.Versions))
-		}
-		if c.Versions[slot] != expect {
-			n.metrics.VersionRejects.Add(1)
-			return nil, fmt.Errorf("%w: slot %d holds %d, expected %d", ErrVersionMismatch, slot, c.Versions[slot], expect)
-		}
-		if len(c.Data) == len(snap.B) {
-			copy(c.Data, snap.B)
-		} else {
-			c.Data = append([]byte(nil), snap.B...)
-		}
-		c.Versions[slot] = next
-		return nil, nil
-	})
-	releaseSnapshot(snap, err)
-	return err
+	if err := n.gate(ctx, "write"); err != nil {
+		n.engine.Metrics().Writes.Add(1)
+		return err
+	}
+	return n.engine.CompareAndPut(ctx, id, slot, expect, next, data)
 }
 
 // CompareAndAdd XORs delta into the chunk's data when version slot
@@ -311,29 +202,11 @@ func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, 
 // 26–28. A mismatch (stale or too-new parity) yields
 // ErrVersionMismatch and leaves the chunk untouched.
 func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, next uint64, delta []byte) error {
-	n.metrics.Adds.Add(1)
-	snap := snapshot(delta)
-	_, err := n.call(ctx, "add", func(store map[ChunkID]*Chunk) (any, error) {
-		c, ok := store[id]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s on node %d", ErrNotFound, id, n.id)
-		}
-		if slot < 0 || slot >= len(c.Versions) {
-			return nil, fmt.Errorf("%w: version slot %d of %d", ErrBadRequest, slot, len(c.Versions))
-		}
-		if len(snap.B) != len(c.Data) {
-			return nil, fmt.Errorf("%w: delta size %d, chunk size %d", ErrBadRequest, len(snap.B), len(c.Data))
-		}
-		if c.Versions[slot] != expect {
-			n.metrics.VersionRejects.Add(1)
-			return nil, fmt.Errorf("%w: slot %d holds %d, expected %d", ErrVersionMismatch, slot, c.Versions[slot], expect)
-		}
-		gf256.XorSlice(c.Data, snap.B)
-		c.Versions[slot] = next
-		return nil, nil
-	})
-	releaseSnapshot(snap, err)
-	return err
+	if err := n.gate(ctx, "add"); err != nil {
+		n.engine.Metrics().Adds.Add(1)
+		return err
+	}
+	return n.engine.CompareAndAdd(ctx, id, slot, expect, next, delta)
 }
 
 // PutChunkIfFresher installs a chunk only when it does not regress any
@@ -344,56 +217,33 @@ func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, 
 // the write's newer state; the mismatch surfaces as
 // ErrVersionMismatch and the repair is retried.
 func (n *Node) PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, versions []uint64) error {
-	n.metrics.Writes.Add(1)
-	if len(versions) == 0 {
-		return fmt.Errorf("%w: PutChunkIfFresher needs at least one version", ErrBadRequest)
+	if err := n.gate(ctx, "write"); err != nil {
+		n.engine.Metrics().Writes.Add(1)
+		return err
 	}
-	snap := snapshot(data)
-	verCopy := append([]uint64(nil), versions...)
-	_, err := n.call(ctx, "write", func(store map[ChunkID]*Chunk) (any, error) {
-		c, ok := store[id]
-		if ok {
-			if len(c.Versions) != len(verCopy) {
-				return nil, fmt.Errorf("%w: version vector length %d vs stored %d", ErrBadRequest, len(verCopy), len(c.Versions))
-			}
-			for slot, v := range c.Versions {
-				if verCopy[slot] < v {
-					n.metrics.VersionRejects.Add(1)
-					return nil, fmt.Errorf("%w: slot %d would regress %d -> %d", ErrVersionMismatch, slot, v, verCopy[slot])
-				}
-			}
-		}
-		storeChunkData(store, id, snap.B, verCopy)
-		return nil, nil
-	})
-	releaseSnapshot(snap, err)
-	return err
+	return n.engine.PutChunkIfFresher(ctx, id, data, versions)
 }
 
 // DeleteChunk removes a chunk. Deleting a missing chunk is a no-op,
 // mirroring idempotent deletion (used by garbage collection and by
 // failure-injection tests).
 func (n *Node) DeleteChunk(ctx context.Context, id ChunkID) error {
-	_, err := n.call(ctx, "delete", func(store map[ChunkID]*Chunk) (any, error) {
-		delete(store, id)
-		return nil, nil
-	})
-	return err
+	if err := n.gate(ctx, "delete"); err != nil {
+		return err
+	}
+	return n.engine.DeleteChunk(ctx, id)
 }
 
 // HasChunk reports whether the node stores the chunk.
 func (n *Node) HasChunk(ctx context.Context, id ChunkID) (bool, error) {
-	v, err := n.call(ctx, "stat", func(store map[ChunkID]*Chunk) (any, error) {
-		_, ok := store[id]
-		return ok, nil
-	})
-	if err != nil {
+	if err := n.gate(ctx, "stat"); err != nil {
 		return false, err
 	}
-	return v.(bool), nil
+	return n.engine.HasChunk(ctx, id)
 }
 
-// stop terminates the actor goroutine. Called by Cluster.Close.
+// stop marks the cluster closed for this node. Called by
+// Cluster.Close.
 func (n *Node) stop() {
 	select {
 	case <-n.quit:

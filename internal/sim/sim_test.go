@@ -182,6 +182,28 @@ func TestCrashRestartSemantics(t *testing.T) {
 	}
 }
 
+// TestCrashDuringDelayRejects: a node that fail-stops while a request
+// is inside its latency window must reject it at accept time — the
+// mutation must not land on a crashed node.
+func TestCrashDuringDelayRejects(t *testing.T) {
+	c := newTestCluster(t, 1, WithDelay(FixedDelay(100*time.Millisecond)))
+	n := c.Node(0)
+	id := ChunkID{Stripe: 1}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- n.PutChunk(context.Background(), id, []byte{1}, []uint64{1})
+	}()
+	time.Sleep(20 * time.Millisecond) // request is inside its delay window
+	n.Crash()
+	if err := <-errCh; !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	n.Restart()
+	if ok, _ := n.HasChunk(context.Background(), id); ok {
+		t.Fatal("mutation landed on a crashed node")
+	}
+}
+
 func TestWipe(t *testing.T) {
 	c := newTestCluster(t, 1)
 	n := c.Node(0)

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the request decoder: it
+// must never panic, and whatever it accepts must re-encode to the
+// exact same payload (canonical encoding).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, req := range requestFixtures() {
+		f.Add(AppendRequest(nil, &req))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		again := AppendRequest(nil, &req)
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", payload, again)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, resp := range responseFixtures() {
+		f.Add(AppendResponse(nil, &resp))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 32))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			return
+		}
+		again := AppendResponse(nil, &resp)
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", payload, again)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary streams to the frame reader with a
+// small limit: it must never allocate beyond the limit nor panic, and
+// an accepted frame must round-trip through WriteFrame.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte("hello"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		const max = 1 << 16
+		payload, err := ReadFrame(bytes.NewReader(stream), nil, max)
+		if err != nil {
+			return
+		}
+		if len(payload) > max {
+			t.Fatalf("frame of %d bytes exceeds limit %d", len(payload), max)
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, payload); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), stream[:4+len(payload)]) {
+			t.Fatal("frame did not round-trip")
+		}
+	})
+}

@@ -1,0 +1,398 @@
+// Package wire is the binary codec of the node protocol: the framing
+// and message formats a network transport uses to carry the
+// client.NodeClient operations to a remote node engine.
+//
+// # Framing
+//
+// Every message travels as one length-prefixed frame:
+//
+//	uint32 big-endian payload length | payload
+//
+// A reader enforces a maximum payload length *before* allocating, so a
+// corrupt or hostile peer cannot trigger an allocation blow-up; a
+// frame longer than the limit fails with ErrFrameTooLarge and the
+// connection should be dropped.
+//
+// # Messages
+//
+// A request payload is a fixed header followed by the variable parts:
+//
+//	op(1) stripe(8) shard(4) slot(4) expect(8) next(8)
+//	nver(4) versions(8·nver) dlen(4) data(dlen)
+//
+// Fields an operation does not use are zero; every request uses the
+// same layout so the decoder is a single bounds-checked pass. A
+// response payload is:
+//
+//	status(1) flag(1) dlen... detail(len-prefixed string)
+//	nver(4) versions(8·nver) dlen(4) data(dlen)
+//
+// Status carries the sentinel error taxonomy of the client package
+// across the wire; Status.Err and StatusOf convert in both directions
+// so a remote ErrVersionMismatch still satisfies
+// errors.Is(err, client.ErrVersionMismatch) at the protocol layer.
+//
+// Decoded requests and responses alias the frame buffer for their Data
+// field (versions are decoded into fresh slices); callers that retain
+// the bytes past the next read must copy.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"trapquorum/client"
+)
+
+// Op identifies one node operation on the wire.
+type Op uint8
+
+// The node protocol operations. OpPing is a transport-level health
+// probe answered without touching the store.
+const (
+	OpPing Op = iota + 1
+	OpReadChunk
+	OpReadVersions
+	OpPutChunk
+	OpPutChunkIfFresher
+	OpCompareAndPut
+	OpCompareAndAdd
+	OpDeleteChunk
+	OpHasChunk
+	OpWipe
+	opMax
+)
+
+// String names the operation for diagnostics.
+func (op Op) String() string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpReadChunk:
+		return "read-chunk"
+	case OpReadVersions:
+		return "read-versions"
+	case OpPutChunk:
+		return "put-chunk"
+	case OpPutChunkIfFresher:
+		return "put-chunk-if-fresher"
+	case OpCompareAndPut:
+		return "compare-and-put"
+	case OpCompareAndAdd:
+		return "compare-and-add"
+	case OpDeleteChunk:
+		return "delete-chunk"
+	case OpHasChunk:
+		return "has-chunk"
+	case OpWipe:
+		return "wipe"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// ReplaySafe reports whether the operation may be sent again when the
+// first attempt's fate is ambiguous (the request reached the wire but
+// no response came back). That is stricter than idempotence against a
+// quiet node: other writers can land between the lost first copy and
+// the replay, so an unconditional mutation (PutChunk, DeleteChunk,
+// Wipe) could silently roll their update back, and a conditional one
+// (CompareAndPut, CompareAndAdd) would mis-report its applied first
+// copy as a version mismatch. Only the read-only operations and the
+// version-guarded PutChunkIfFresher — whose guard re-evaluates
+// against the node's current state on every attempt — are safe.
+func (op Op) ReplaySafe() bool {
+	switch op {
+	case OpPing, OpReadChunk, OpReadVersions, OpHasChunk, OpPutChunkIfFresher:
+		return true
+	default:
+		return false
+	}
+}
+
+// Status is the result class of a response, carrying the client
+// package's sentinel taxonomy across the wire.
+type Status uint8
+
+// Response statuses. StatusInternal covers node-side failures outside
+// the protocol taxonomy (for example a disk error); the client
+// surfaces them as opaque errors.
+const (
+	StatusOK Status = iota + 1
+	StatusNotFound
+	StatusVersionMismatch
+	StatusBadRequest
+	StatusInternal
+	statusMax
+)
+
+// Framing and decoding errors.
+var (
+	// ErrFrameTooLarge reports a frame whose declared payload exceeds
+	// the reader's limit; it is returned before any allocation.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrMalformed reports a payload that does not parse.
+	ErrMalformed = errors.New("wire: malformed message")
+)
+
+// DefaultMaxFrame bounds a frame's payload unless the caller chooses
+// otherwise: large enough for a 16 MiB chunk plus headers, small
+// enough that a corrupt length prefix cannot exhaust memory.
+const DefaultMaxFrame = 16<<20 + 4096
+
+// Request is one decoded node operation.
+type Request struct {
+	Op     Op
+	ID     client.ChunkID
+	Slot   int
+	Expect uint64
+	Next   uint64
+	// Versions is the proposed version vector of the put-family
+	// operations (decoded into a fresh slice).
+	Versions []uint64
+	// Data is the chunk payload or delta. Decoding aliases the frame
+	// buffer; copy before the next read if retained.
+	Data []byte
+}
+
+// Response is one decoded node answer.
+type Response struct {
+	Status Status
+	// Detail is the node's human-readable error detail (empty on OK).
+	Detail string
+	// Flag answers boolean queries (OpHasChunk).
+	Flag bool
+	// Versions carries the version vector of OpReadChunk and
+	// OpReadVersions responses.
+	Versions []uint64
+	// Data carries the chunk bytes of OpReadChunk responses. Decoding
+	// aliases the frame buffer; copy before the next read if retained.
+	Data []byte
+}
+
+const requestHeaderLen = 1 + 8 + 4 + 4 + 8 + 8 + 4 // up to and including nver
+
+// EncodedRequestSize returns the exact payload length AppendRequest
+// produces for req, letting a sender validate against its frame limit
+// before touching the wire.
+func EncodedRequestSize(req *Request) int {
+	return requestHeaderLen + 8*len(req.Versions) + 4 + len(req.Data)
+}
+
+// AppendRequest encodes req after dst and returns the extended slice.
+func AppendRequest(dst []byte, req *Request) []byte {
+	dst = append(dst, byte(req.Op))
+	dst = binary.BigEndian.AppendUint64(dst, req.ID.Stripe)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(req.ID.Shard))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(req.Slot))
+	dst = binary.BigEndian.AppendUint64(dst, req.Expect)
+	dst = binary.BigEndian.AppendUint64(dst, req.Next)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Versions)))
+	for _, v := range req.Versions {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Data)))
+	return append(dst, req.Data...)
+}
+
+// DecodeRequest parses a request payload. The returned request's Data
+// aliases p.
+func DecodeRequest(p []byte) (Request, error) {
+	var req Request
+	if len(p) < requestHeaderLen {
+		return req, fmt.Errorf("%w: request header truncated (%d bytes)", ErrMalformed, len(p))
+	}
+	op := Op(p[0])
+	if op == 0 || op >= opMax {
+		return req, fmt.Errorf("%w: unknown op %d", ErrMalformed, p[0])
+	}
+	req.Op = op
+	req.ID.Stripe = binary.BigEndian.Uint64(p[1:9])
+	req.ID.Shard = int(int32(binary.BigEndian.Uint32(p[9:13])))
+	req.Slot = int(int32(binary.BigEndian.Uint32(p[13:17])))
+	req.Expect = binary.BigEndian.Uint64(p[17:25])
+	req.Next = binary.BigEndian.Uint64(p[25:33])
+	nver := binary.BigEndian.Uint32(p[33:37])
+	p = p[requestHeaderLen:]
+	if uint64(nver)*8 > uint64(len(p)) {
+		return req, fmt.Errorf("%w: versions truncated (%d declared, %d bytes left)", ErrMalformed, nver, len(p))
+	}
+	if nver > 0 {
+		req.Versions = make([]uint64, nver)
+		for i := range req.Versions {
+			req.Versions[i] = binary.BigEndian.Uint64(p[8*i:])
+		}
+		p = p[8*nver:]
+	}
+	if len(p) < 4 {
+		return req, fmt.Errorf("%w: data length truncated", ErrMalformed)
+	}
+	dlen := binary.BigEndian.Uint32(p[0:4])
+	p = p[4:]
+	if uint64(dlen) != uint64(len(p)) {
+		return req, fmt.Errorf("%w: data length %d, %d bytes left", ErrMalformed, dlen, len(p))
+	}
+	if dlen > 0 {
+		req.Data = p
+	}
+	return req, nil
+}
+
+// AppendResponse encodes resp after dst and returns the extended
+// slice.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = append(dst, byte(resp.Status))
+	var flag byte
+	if resp.Flag {
+		flag = 1
+	}
+	dst = append(dst, flag)
+	detail := resp.Detail
+	if len(detail) > 0xffff {
+		detail = detail[:0xffff]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(detail)))
+	dst = append(dst, detail...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Versions)))
+	for _, v := range resp.Versions {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Data)))
+	return append(dst, resp.Data...)
+}
+
+// DecodeResponse parses a response payload. The returned response's
+// Data aliases p.
+func DecodeResponse(p []byte) (Response, error) {
+	var resp Response
+	if len(p) < 4 {
+		return resp, fmt.Errorf("%w: response header truncated", ErrMalformed)
+	}
+	status := Status(p[0])
+	if status == 0 || status >= statusMax {
+		return resp, fmt.Errorf("%w: unknown status %d", ErrMalformed, p[0])
+	}
+	resp.Status = status
+	switch p[1] {
+	case 0:
+	case 1:
+		resp.Flag = true
+	default:
+		return resp, fmt.Errorf("%w: flag byte %d", ErrMalformed, p[1])
+	}
+	detailLen := binary.BigEndian.Uint16(p[2:4])
+	p = p[4:]
+	if int(detailLen) > len(p) {
+		return resp, fmt.Errorf("%w: detail truncated", ErrMalformed)
+	}
+	resp.Detail = string(p[:detailLen])
+	p = p[detailLen:]
+	if len(p) < 4 {
+		return resp, fmt.Errorf("%w: version count truncated", ErrMalformed)
+	}
+	nver := binary.BigEndian.Uint32(p[0:4])
+	p = p[4:]
+	if uint64(nver)*8 > uint64(len(p)) {
+		return resp, fmt.Errorf("%w: versions truncated (%d declared, %d bytes left)", ErrMalformed, nver, len(p))
+	}
+	if nver > 0 {
+		resp.Versions = make([]uint64, nver)
+		for i := range resp.Versions {
+			resp.Versions[i] = binary.BigEndian.Uint64(p[8*i:])
+		}
+		p = p[8*nver:]
+	}
+	if len(p) < 4 {
+		return resp, fmt.Errorf("%w: data length truncated", ErrMalformed)
+	}
+	dlen := binary.BigEndian.Uint32(p[0:4])
+	p = p[4:]
+	if uint64(dlen) != uint64(len(p)) {
+		return resp, fmt.Errorf("%w: data length %d, %d bytes left", ErrMalformed, dlen, len(p))
+	}
+	if dlen > 0 {
+		resp.Data = p
+	}
+	return resp, nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf when it is large enough, and
+// returns the payload. A declared length above max fails with
+// ErrFrameTooLarge before any allocation. io.EOF is returned
+// unwrapped when the stream ends cleanly between frames.
+func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("wire: truncated frame header: %w", err)
+		}
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if int64(size) > int64(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, size, max)
+	}
+	if int(size) > cap(buf) {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame payload: %w", err)
+	}
+	return buf, nil
+}
+
+// Err converts a response status (plus its detail) back into the
+// client package's sentinel taxonomy. StatusOK yields nil.
+func (s Status) Err(detail string) error {
+	var base error
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		base = client.ErrNotFound
+	case StatusVersionMismatch:
+		base = client.ErrVersionMismatch
+	case StatusBadRequest:
+		base = client.ErrBadRequest
+	default:
+		if detail == "" {
+			detail = "internal node error"
+		}
+		return fmt.Errorf("wire: remote node: %s", detail)
+	}
+	if detail == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, detail)
+}
+
+// StatusOf classifies a node-side error for the wire. A nil error is
+// StatusOK.
+func StatusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, client.ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, client.ErrVersionMismatch):
+		return StatusVersionMismatch
+	case errors.Is(err, client.ErrBadRequest):
+		return StatusBadRequest
+	default:
+		return StatusInternal
+	}
+}

@@ -1,0 +1,100 @@
+package trapquorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"trapquorum/client"
+	"trapquorum/transport/tcp"
+)
+
+// NetBackend runs the store on a fleet of real network storage nodes:
+// one TCP node client per address, each talking to a node daemon
+// (cmd/trapnode, or any server built on transport/tcp over a node
+// engine). It is the production counterpart of SimBackend.
+//
+// NetBackend intentionally does not implement FaultInjector: a real
+// fleet's nodes crash on their own, and an unreachable node already
+// surfaces as client.ErrNodeDown through the protocol. Store-level
+// CrashNode/RestartNode/AliveNodes/WipeNode therefore return
+// ErrNotSupported wraps on this backend.
+type NetBackend struct {
+	addrs []string
+	opts  []tcp.ClientOption
+
+	mu      sync.Mutex
+	clients []*tcp.NodeClient
+	opened  bool
+	closed  bool
+}
+
+// NewNetBackend builds a backend over the given node addresses, in
+// cluster-node order: address i serves cluster node i, so the list's
+// length must equal the cluster size the store derives from its
+// placement. The options apply to every per-node client.
+func NewNetBackend(addrs []string, opts ...tcp.ClientOption) *NetBackend {
+	return &NetBackend{addrs: append([]string(nil), addrs...), opts: opts}
+}
+
+// Open implements Backend.
+func (b *NetBackend) Open(ctx context.Context, n int) ([]client.NodeClient, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.opened || b.closed {
+		return nil, errors.New("trapquorum: net backend already opened; use one backend per store")
+	}
+	if n != len(b.addrs) {
+		return nil, fmt.Errorf("trapquorum: cluster needs %d nodes, NetBackend has %d addresses", n, len(b.addrs))
+	}
+	b.clients = make([]*tcp.NodeClient, n)
+	nodes := make([]client.NodeClient, n)
+	for i, addr := range b.addrs {
+		cl := tcp.NewClient(addr, b.opts...)
+		b.clients[i] = cl
+		nodes[i] = cl
+	}
+	b.opened = true
+	return nodes, nil
+}
+
+// Close implements Backend: it closes every node client's connection
+// pool. The remote daemons keep running — their lifecycle belongs to
+// whoever deployed them.
+func (b *NetBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	var first error
+	for _, cl := range b.clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.clients = nil
+	return first
+}
+
+// Ping probes every node address once, returning the first failure
+// (wrapped client.ErrNodeDown for unreachable nodes). Useful as a
+// deployment smoke check before opening a store; the protocol itself
+// needs no pre-flight.
+func (b *NetBackend) Ping(ctx context.Context) error {
+	b.mu.Lock()
+	clients := b.clients
+	usable := b.opened && !b.closed
+	b.mu.Unlock()
+	if !usable {
+		return errors.New("trapquorum: net backend not open")
+	}
+	for i, cl := range clients {
+		if err := cl.Ping(ctx); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,7 +1,8 @@
 // Command doccheck is the repository's godoc-coverage lint: it fails
 // when any exported identifier of the public packages (the root
-// trapquorum package, client, placement) lacks a doc comment, keeping
-// the public surface fully documented as CI enforces.
+// trapquorum package, client, placement, transport/tcp) lacks a doc
+// comment, keeping the public surface fully documented as CI
+// enforces.
 //
 // Usage:
 //
@@ -25,7 +26,7 @@ import (
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = []string{".", "./client", "./placement"}
+		dirs = []string{".", "./client", "./placement", "./transport/tcp"}
 	}
 	var missing []string
 	for _, dir := range dirs {

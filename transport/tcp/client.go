@@ -1,0 +1,385 @@
+package tcp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"trapquorum/client"
+	"trapquorum/internal/wire"
+)
+
+// ErrClientClosed reports an operation on a closed NodeClient.
+var ErrClientClosed = errors.New("tcp: client closed")
+
+// ClientOption customises a NodeClient.
+type ClientOption func(*NodeClient)
+
+// WithDialTimeout bounds each connection attempt (default 5s). The
+// operation context can always cut it shorter.
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *NodeClient) { c.dialTimeout = d }
+}
+
+// WithMaxIdleConns caps the pooled idle connections per node (default
+// 8 — enough for the dispatch engine's default fan-out against one
+// node). Extra connections are closed on release.
+func WithMaxIdleConns(n int) ClientOption {
+	return func(c *NodeClient) { c.maxIdle = n }
+}
+
+// WithClientMaxFrame caps the response frames the client accepts
+// (default wire.DefaultMaxFrame).
+func WithClientMaxFrame(max int) ClientOption {
+	return func(c *NodeClient) { c.maxFrame = max }
+}
+
+// conn is one pooled connection with its per-connection buffers.
+type conn struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	sbuf []byte // request encode scratch
+	rbuf []byte // response frame scratch
+}
+
+// NodeClient implements the public client.NodeClient contract over
+// TCP against one node address. Connections are dialed on demand,
+// pooled while idle, and dropped on any error, so a node restart heals
+// transparently on the next operation.
+//
+// # Error taxonomy
+//
+// Node-side results travel as wire statuses and come back as the
+// client package's sentinels (a remote version conflict still
+// satisfies errors.Is(err, client.ErrVersionMismatch)). Transport
+// failures — connection refused, reset, timeout — surface as
+// client.ErrNodeDown wraps: on the wire, an unreachable node and a
+// fail-stopped node are indistinguishable, which is exactly the
+// protocol's fail-stop model. A cancelled or expired context surfaces
+// as the context's error.
+//
+// # Cancellation
+//
+// Deadlines map onto socket deadlines; a cancellation mid-flight
+// unblocks the socket immediately. One weakening of the in-process
+// contract is inherent to real networks: an operation cancelled after
+// the request reached the wire may or may not have taken effect on
+// the node — the client cannot know, and reports the context error.
+// See the client package's transport contract for how the protocol
+// layers (rollback, repair, scrub) absorb that ambiguity.
+type NodeClient struct {
+	addr        string
+	dialTimeout time.Duration
+	maxIdle     int
+	maxFrame    int
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+}
+
+// Compile-time conformance: the TCP client is a full node client and
+// a servable Service (so proxies compose).
+var (
+	_ client.NodeClient = (*NodeClient)(nil)
+	_ Service           = (*NodeClient)(nil)
+)
+
+// NewClient builds a client for one node address. No connection is
+// made until the first operation.
+func NewClient(addr string, opts ...ClientOption) *NodeClient {
+	c := &NodeClient{
+		addr:        addr,
+		dialTimeout: 5 * time.Second,
+		maxIdle:     8,
+		maxFrame:    wire.DefaultMaxFrame,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Addr returns the node address this client dials.
+func (c *NodeClient) Addr() string { return c.addr }
+
+// Close drops the idle pool. In-flight operations finish; their
+// connections are closed on release.
+func (c *NodeClient) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.nc.Close()
+	}
+	return nil
+}
+
+// getConn pops an idle connection (pooled == true) or dials a new
+// one.
+func (c *NodeClient) getConn(ctx context.Context) (cn *conn, pooled bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, true, nil
+	}
+	c.mu.Unlock()
+	cn, err = c.dial(ctx)
+	return cn, false, err
+}
+
+// dial opens a fresh connection, bypassing the pool.
+func (c *NodeClient) dial(ctx context.Context) (*conn, error) {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+}
+
+// maxPooledScratch caps the per-connection frame buffers an idle
+// connection may keep: one large transfer must not pin
+// maxIdle × maxFrame of heap for the pool's lifetime.
+const maxPooledScratch = 64 << 10
+
+// putConn returns a healthy connection to the pool.
+func (c *NodeClient) putConn(cn *conn) {
+	// Clear any per-operation deadline before the connection rests.
+	if err := cn.nc.SetDeadline(time.Time{}); err != nil {
+		cn.nc.Close()
+		return
+	}
+	if cap(cn.sbuf) > maxPooledScratch {
+		cn.sbuf = nil
+	}
+	if cap(cn.rbuf) > maxPooledScratch {
+		cn.rbuf = nil
+	}
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.maxIdle {
+		c.mu.Unlock()
+		cn.nc.Close()
+		return
+	}
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+}
+
+// aLongTimeAgo is the deadline used to unblock socket IO on
+// cancellation (the net package treats any past deadline as
+// "interrupt now").
+var aLongTimeAgo = time.Unix(1, 0)
+
+// do performs one request/response exchange, mapping every failure
+// into the transport taxonomy. The returned response's Data is copied
+// out of connection-owned buffers and safe to retain.
+//
+// A pooled connection can be stale — the node restarted while it
+// rested, and the first use discovers the broken pipe. So that a
+// restart heals on the next operation instead of burning one spurious
+// node-down per idle connection, a failure on a *reused* connection is
+// retried once on a fresh dial — but only when the retry cannot
+// duplicate an applied mutation: either the request never finished
+// reaching the wire, or the operation is replay-safe under concurrent
+// writers (see wire.Op.ReplaySafe).
+func (c *NodeClient) do(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Response{}, err
+	}
+	// An oversized request would just make the server drop the
+	// connection, reading as a phantom node-down; reject it here with
+	// an honest error instead.
+	if size := wire.EncodedRequestSize(req); size > c.maxFrame {
+		return wire.Response{}, fmt.Errorf(
+			"%w: encoded %s request is %d bytes, frame limit %d — raise the frame limit on client and server, or use smaller blocks",
+			client.ErrBadRequest, req.Op, size, c.maxFrame)
+	}
+	cn, pooled, err := c.getConn(ctx)
+	if err != nil {
+		if errors.Is(err, ErrClientClosed) {
+			return wire.Response{}, err
+		}
+		return wire.Response{}, c.mapErr(ctx, req.Op, err)
+	}
+	resp, wrote, err := c.exchange(ctx, cn, req)
+	if err != nil {
+		// The connection's state is unknown (a response may be in
+		// flight, a frame half-written): never reuse it.
+		cn.nc.Close()
+		if pooled && ctx.Err() == nil && (!wrote || req.Op.ReplaySafe()) {
+			fresh, derr := c.dial(ctx)
+			if derr != nil {
+				return wire.Response{}, c.mapErr(ctx, req.Op, derr)
+			}
+			resp, _, err = c.exchange(ctx, fresh, req)
+			if err != nil {
+				fresh.nc.Close()
+				return wire.Response{}, c.mapErr(ctx, req.Op, err)
+			}
+			c.putConn(fresh)
+			return resp, nil
+		}
+		return wire.Response{}, c.mapErr(ctx, req.Op, err)
+	}
+	c.putConn(cn)
+	return resp, nil
+}
+
+// exchange runs the frame round trip on one connection, honouring the
+// context through socket deadlines plus a cancellation watcher. wrote
+// reports whether the request frame completely reached the socket —
+// before that point the node cannot have applied anything, so the
+// caller may retry any operation on a fresh connection.
+func (c *NodeClient) exchange(ctx context.Context, cn *conn, req *wire.Request) (resp wire.Response, wrote bool, err error) {
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := cn.nc.SetDeadline(deadline); err != nil {
+			return wire.Response{}, false, err
+		}
+	}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		parked := make(chan struct{})
+		go func() {
+			defer close(parked)
+			select {
+			case <-ctx.Done():
+				cn.nc.SetDeadline(aLongTimeAgo)
+			case <-stop:
+			}
+		}()
+		// Wait the watcher out so a late cancellation cannot poison
+		// the connection after it returns to the pool.
+		defer func() { close(stop); <-parked }()
+	}
+
+	cn.sbuf = wire.AppendRequest(cn.sbuf[:0], req)
+	if err := wire.WriteFrame(cn.bw, cn.sbuf); err != nil {
+		return wire.Response{}, false, err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return wire.Response{}, false, err
+	}
+	wrote = true
+	payload, err := wire.ReadFrame(cn.br, cn.rbuf, c.maxFrame)
+	if err != nil {
+		return wire.Response{}, wrote, err
+	}
+	cn.rbuf = payload[:0]
+	resp, err = wire.DecodeResponse(payload)
+	if err != nil {
+		return wire.Response{}, wrote, err
+	}
+	// The response data aliases the connection's frame buffer; copy it
+	// before the connection serves anyone else.
+	if len(resp.Data) > 0 {
+		resp.Data = append([]byte(nil), resp.Data...)
+	}
+	return resp, wrote, nil
+}
+
+// mapErr folds a transport failure into the protocol's taxonomy: the
+// context's own error when the caller gave up, client.ErrNodeDown for
+// everything else (refused, reset, timed out, torn frames — on the
+// wire they are all "the node did not answer").
+func (c *NodeClient) mapErr(ctx context.Context, op wire.Op, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("tcp: %s %s: %w", op, c.addr, ctxErr)
+	}
+	return fmt.Errorf("%w: %s %s: %v", client.ErrNodeDown, op, c.addr, err)
+}
+
+// call runs an exchange and surfaces the node's status as an error.
+func (c *NodeClient) call(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	resp, err := c.do(ctx, req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if err := resp.Status.Err(resp.Detail); err != nil {
+		return wire.Response{}, err
+	}
+	return resp, nil
+}
+
+// Ping checks the node answers on the wire (a transport health probe;
+// no store access).
+func (c *NodeClient) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// ReadChunk implements client.NodeClient.
+func (c *NodeClient) ReadChunk(ctx context.Context, id client.ChunkID) (client.Chunk, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpReadChunk, ID: id})
+	if err != nil {
+		return client.Chunk{}, err
+	}
+	return client.Chunk{Data: resp.Data, Versions: resp.Versions}, nil
+}
+
+// ReadVersions implements client.NodeClient.
+func (c *NodeClient) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpReadVersions, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Versions, nil
+}
+
+// PutChunk implements client.NodeClient.
+func (c *NodeClient) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpPutChunk, ID: id, Data: data, Versions: versions})
+	return err
+}
+
+// PutChunkIfFresher implements client.NodeClient.
+func (c *NodeClient) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpPutChunkIfFresher, ID: id, Data: data, Versions: versions})
+	return err
+}
+
+// CompareAndPut implements client.NodeClient.
+func (c *NodeClient) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpCompareAndPut, ID: id, Slot: slot, Expect: expect, Next: next, Data: data})
+	return err
+}
+
+// CompareAndAdd implements client.NodeClient.
+func (c *NodeClient) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpCompareAndAdd, ID: id, Slot: slot, Expect: expect, Next: next, Data: delta})
+	return err
+}
+
+// DeleteChunk implements client.NodeClient.
+func (c *NodeClient) DeleteChunk(ctx context.Context, id client.ChunkID) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpDeleteChunk, ID: id})
+	return err
+}
+
+// HasChunk reports whether the node stores the chunk.
+func (c *NodeClient) HasChunk(ctx context.Context, id client.ChunkID) (bool, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpHasChunk, ID: id})
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Wipe erases the remote node's store (media replacement).
+func (c *NodeClient) Wipe(ctx context.Context) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpWipe})
+	return err
+}

@@ -1,0 +1,290 @@
+// Package tcp puts the TRAP-ERC node protocol on real sockets: a
+// NodeServer that serves any node engine over length-prefixed binary
+// frames (see internal/wire), and a pooling NodeClient that implements
+// the public client.NodeClient transport contract against such a
+// server. The cmd/trapnode daemon is a thin wrapper around NodeServer;
+// the trapquorum.NetBackend assembles one NodeClient per address into
+// a Backend.
+//
+// One connection carries one request at a time (the client pools
+// connections for concurrency), so the protocol needs no request ids
+// and a broken frame can simply drop the connection.
+package tcp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"trapquorum/client"
+	"trapquorum/internal/wire"
+)
+
+// Service is the node surface a server exposes on the wire: the
+// public transport contract plus the maintenance operations
+// (existence probe, media wipe). *nodeengine.Engine implements it.
+type Service interface {
+	client.NodeClient
+	// HasChunk reports whether the node stores the chunk.
+	HasChunk(ctx context.Context, id client.ChunkID) (bool, error)
+	// Wipe erases the node's store (media replacement).
+	Wipe(ctx context.Context) error
+}
+
+// ServerOption customises a NodeServer.
+type ServerOption func(*NodeServer)
+
+// WithServerMaxFrame caps the request frames the server accepts.
+// Larger frames drop the connection. The default is
+// wire.DefaultMaxFrame.
+func WithServerMaxFrame(max int) ServerOption {
+	return func(s *NodeServer) { s.maxFrame = max }
+}
+
+// NodeServer serves one node engine to any number of TCP clients. It
+// is transport plumbing only: every operation, including its
+// concurrency and atomicity guarantees, is delegated to the Service.
+type NodeServer struct {
+	svc      Service
+	maxFrame int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server around the given service.
+func NewServer(svc Service, opts ...ServerOption) *NodeServer {
+	s := &NodeServer{
+		svc:      svc,
+		maxFrame: wire.DefaultMaxFrame,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// Close, or the listener's error otherwise. The listener is owned by
+// the server from this point on.
+func (s *NodeServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("tcp: server closed")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("tcp: server already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			if errors.Is(err, net.ErrClosed) {
+				// The listener died underneath us without a Close —
+				// nothing left to accept from.
+				return fmt.Errorf("tcp: accept: %w", err)
+			}
+			// Transient accept failures (fd exhaustion, aborted
+			// handshakes) must not take the node down: back off and
+			// keep accepting, like a daemon should.
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			select {
+			case <-time.After(backoff):
+			case <-s.ctx.Done():
+				return nil
+			}
+			continue
+		}
+		backoff = 0
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *NodeServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("tcp: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting, drops every open connection and cancels the
+// contexts of in-flight operations, then waits for the connection
+// handlers to drain. The wrapped Service is not closed — the caller
+// owns it (so a store can be reopened or served again after a
+// simulated crash).
+func (s *NodeServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn answers requests on one connection until it breaks or the
+// server closes. Requests are served strictly in order — the per-node
+// atomicity lives in the Service, but frame handling reuses one buffer
+// per connection, so responses must not interleave.
+func (s *NodeServer) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	// Frame buffers are reused across requests but trimmed after
+	// oversized ones, so one large transfer does not pin
+	// frame-sized heap for the connection's lifetime (mirrors the
+	// client pool's maxPooledScratch).
+	const maxKeptScratch = 64 << 10
+	var readBuf, writeBuf []byte
+	for {
+		payload, err := wire.ReadFrame(br, readBuf, s.maxFrame)
+		if err != nil {
+			// Clean EOF, a broken peer or an oversized frame: the
+			// connection is unusable either way.
+			return
+		}
+		readBuf = payload[:0]
+		req, err := wire.DecodeRequest(payload)
+		var resp wire.Response
+		if err != nil {
+			// The framing survived but the payload did not parse:
+			// answer the error, then drop the connection (the peer's
+			// encoder is broken).
+			resp = wire.Response{Status: wire.StatusBadRequest, Detail: err.Error()}
+			writeBuf = wire.AppendResponse(writeBuf[:0], &resp)
+			if wire.WriteFrame(bw, writeBuf) == nil {
+				bw.Flush()
+			}
+			return
+		}
+		resp = s.handle(&req)
+		writeBuf = wire.AppendResponse(writeBuf[:0], &resp)
+		if err := wire.WriteFrame(bw, writeBuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if cap(readBuf) > maxKeptScratch {
+			readBuf = nil
+		}
+		if cap(writeBuf) > maxKeptScratch {
+			writeBuf = nil
+		}
+	}
+}
+
+// handle executes one decoded request against the service. The
+// server's context is the operation context: Close cancels it, so
+// in-flight operations abort promptly when the node shuts down.
+func (s *NodeServer) handle(req *wire.Request) wire.Response {
+	ctx := s.ctx
+	switch req.Op {
+	case wire.OpPing:
+		return wire.Response{Status: wire.StatusOK}
+	case wire.OpReadChunk:
+		chunk, err := s.svc.ReadChunk(ctx, req.ID)
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Data: chunk.Data, Versions: chunk.Versions}
+	case wire.OpReadVersions:
+		versions, err := s.svc.ReadVersions(ctx, req.ID)
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Versions: versions}
+	case wire.OpPutChunk:
+		return errResponse(s.svc.PutChunk(ctx, req.ID, req.Data, req.Versions))
+	case wire.OpPutChunkIfFresher:
+		return errResponse(s.svc.PutChunkIfFresher(ctx, req.ID, req.Data, req.Versions))
+	case wire.OpCompareAndPut:
+		return errResponse(s.svc.CompareAndPut(ctx, req.ID, req.Slot, req.Expect, req.Next, req.Data))
+	case wire.OpCompareAndAdd:
+		return errResponse(s.svc.CompareAndAdd(ctx, req.ID, req.Slot, req.Expect, req.Next, req.Data))
+	case wire.OpDeleteChunk:
+		return errResponse(s.svc.DeleteChunk(ctx, req.ID))
+	case wire.OpHasChunk:
+		ok, err := s.svc.HasChunk(ctx, req.ID)
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Flag: ok}
+	case wire.OpWipe:
+		return errResponse(s.svc.Wipe(ctx))
+	default:
+		return wire.Response{Status: wire.StatusBadRequest, Detail: fmt.Sprintf("unhandled op %s", req.Op)}
+	}
+}
+
+// errResponse folds a service result into a response: the sentinel
+// taxonomy travels as a status, everything else as an internal error
+// with the message preserved.
+func errResponse(err error) wire.Response {
+	if err == nil {
+		return wire.Response{Status: wire.StatusOK}
+	}
+	return wire.Response{Status: wire.StatusOf(err), Detail: err.Error()}
+}

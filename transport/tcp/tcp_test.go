@@ -1,0 +1,387 @@
+package tcp_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"trapquorum/client"
+	"trapquorum/internal/memstore"
+	"trapquorum/internal/nodeengine"
+	"trapquorum/transport/tcp"
+)
+
+// startNode serves a fresh engine on a loopback listener and returns
+// the client plus the server handle.
+func startNode(t *testing.T) (*tcp.NodeClient, *tcp.NodeServer, *nodeengine.Engine) {
+	t.Helper()
+	engine := nodeengine.New(memstore.New(), nodeengine.WithName("tcp test node"))
+	t.Cleanup(func() { engine.Close() })
+	srv := tcp.NewServer(engine)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	cl := tcp.NewClient(ln.Addr().String())
+	t.Cleanup(func() { cl.Close() })
+	return cl, srv, engine
+}
+
+func TestAllOpsRoundTrip(t *testing.T) {
+	cl, _, _ := startNode(t)
+	ctx := context.Background()
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	id := client.ChunkID{Stripe: 7, Shard: 12}
+	if err := cl.PutChunk(ctx, id, []byte{0xf0, 0x0f}, []uint64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadChunk(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 0xf0 || len(got.Versions) != 2 {
+		t.Fatalf("chunk = %+v", got)
+	}
+	vers, err := cl.ReadVersions(ctx, id)
+	if err != nil || len(vers) != 2 || vers[0] != 1 {
+		t.Fatalf("versions = %v, %v", vers, err)
+	}
+	if err := cl.CompareAndPut(ctx, id, 0, 1, 2, []byte{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CompareAndAdd(ctx, id, 1, 1, 2, []byte{0x0f, 0x0f}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = cl.ReadChunk(ctx, id)
+	if got.Data[0] != 0x0e || got.Data[1] != 0x0e {
+		t.Fatalf("data after CAP+CAA = %v", got.Data)
+	}
+	if got.Versions[0] != 2 || got.Versions[1] != 2 {
+		t.Fatalf("versions after CAP+CAA = %v", got.Versions)
+	}
+	if err := cl.PutChunkIfFresher(ctx, id, []byte{9, 9}, []uint64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := cl.HasChunk(ctx, id)
+	if err != nil || !ok {
+		t.Fatalf("HasChunk = %v, %v", ok, err)
+	}
+	if err := cl.DeleteChunk(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := cl.HasChunk(ctx, id); ok {
+		t.Fatal("chunk survived delete")
+	}
+	if err := cl.PutChunk(ctx, id, []byte{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wipe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := cl.HasChunk(ctx, id); ok {
+		t.Fatal("chunk survived wipe")
+	}
+}
+
+// TestSentinelTaxonomyOverTheWire: remote protocol errors must come
+// back as the same sentinels the in-process simulator returns.
+func TestSentinelTaxonomyOverTheWire(t *testing.T) {
+	cl, _, _ := startNode(t)
+	ctx := context.Background()
+	id := client.ChunkID{Stripe: 1}
+	if _, err := cl.ReadChunk(ctx, id); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := cl.PutChunk(ctx, id, []byte{1}, nil); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := cl.PutChunk(ctx, id, []byte{1}, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CompareAndPut(ctx, id, 0, 4, 6, []byte{2}); !errors.Is(err, client.ErrVersionMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := cl.CompareAndAdd(ctx, id, 0, 5, 6, []byte{1, 2}); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("size-mismatch err = %v", err)
+	}
+}
+
+// TestConcurrentClientsSerialiseAtEngine: the per-node atomicity must
+// hold across many TCP connections — exactly one CompareAndAdd may win
+// each version transition.
+func TestConcurrentClientsSerialiseAtEngine(t *testing.T) {
+	cl, _, _ := startNode(t)
+	ctx := context.Background()
+	id := client.ChunkID{Stripe: 1, Shard: 3}
+	if err := cl.PutChunk(ctx, id, []byte{0}, []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wins := make(chan struct{}, 32)
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cl.CompareAndAdd(ctx, id, 0, 0, 1, []byte{1}); err == nil {
+				wins <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d writers won the 0→1 transition, want exactly 1", n)
+	}
+	got, _ := cl.ReadChunk(ctx, id)
+	if got.Versions[0] != 1 || got.Data[0] != 1 {
+		t.Fatalf("final chunk %+v", got)
+	}
+}
+
+// TestServerClosedMidRunSurfacesNodeDown: killing the node's listener
+// and connections must surface as ErrNodeDown on the next operation —
+// promptly, not as a hang.
+func TestServerClosedMidRunSurfacesNodeDown(t *testing.T) {
+	cl, srv, _ := startNode(t)
+	ctx := context.Background()
+	id := client.ChunkID{Stripe: 2}
+	if err := cl.PutChunk(ctx, id, []byte{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.ReadChunk(ctx, id)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, client.ErrNodeDown) {
+			t.Fatalf("err = %v, want ErrNodeDown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("operation against a closed server hung")
+	}
+}
+
+// TestServerRestartHeals: a new server on the same address (same
+// engine) is reachable through the same client — the pool redials.
+func TestServerRestartHeals(t *testing.T) {
+	engine := nodeengine.New(memstore.New())
+	defer engine.Close()
+	srv := tcp.NewServer(engine)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+	cl := tcp.NewClient(addr)
+	defer cl.Close()
+	ctx := context.Background()
+	id := client.ChunkID{Stripe: 1}
+	if err := cl.PutChunk(ctx, id, []byte{7}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := cl.ReadChunk(ctx, id); !errors.Is(err, client.ErrNodeDown) {
+		t.Fatalf("down err = %v", err)
+	}
+	srv2 := tcp.NewServer(engine)
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+	got, err := cl.ReadChunk(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 7 {
+		t.Fatalf("chunk lost across server restart: %+v", got)
+	}
+}
+
+// TestStalePooledConnHealsTransparently: a node restart while the
+// client holds idle pooled connections must not cost a spurious
+// node-down — the first operation after the restart retries the dead
+// pooled connection on a fresh dial and succeeds.
+func TestStalePooledConnHealsTransparently(t *testing.T) {
+	engine := nodeengine.New(memstore.New())
+	defer engine.Close()
+	srv := tcp.NewServer(engine)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+	cl := tcp.NewClient(addr)
+	defer cl.Close()
+	ctx := context.Background()
+	id := client.ChunkID{Stripe: 5}
+	if err := cl.PutChunk(ctx, id, []byte{3}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// The pool now holds the connection that served the put. Restart
+	// the node before the client touches it again.
+	srv.Close()
+	srv2 := tcp.NewServer(engine)
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+	got, err := cl.ReadChunk(ctx, id)
+	if err != nil {
+		t.Fatalf("read after node restart: %v (stale pooled conn not retried)", err)
+	}
+	if got.Data[0] != 3 {
+		t.Fatalf("chunk = %+v", got)
+	}
+}
+
+// stallService delays every ReadChunk until released, for cancellation
+// tests.
+type stallService struct {
+	tcp.Service
+	gate chan struct{}
+}
+
+func (s *stallService) ReadChunk(ctx context.Context, id client.ChunkID) (client.Chunk, error) {
+	select {
+	case <-s.gate:
+	case <-ctx.Done():
+		return client.Chunk{}, ctx.Err()
+	}
+	return s.Service.ReadChunk(ctx, id)
+}
+
+// TestCancellationUnblocksPromptly: a context cancelled while the node
+// is stalling must unblock the client with the context's error, well
+// before the node answers.
+func TestCancellationUnblocksPromptly(t *testing.T) {
+	engine := nodeengine.New(memstore.New())
+	defer engine.Close()
+	stall := &stallService{Service: engine, gate: make(chan struct{})}
+	srv := tcp.NewServer(stall)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	defer close(stall.gate)
+	cl := tcp.NewClient(ln.Addr().String())
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.ReadChunk(ctx, client.ChunkID{Stripe: 1})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not unblock the client")
+	}
+}
+
+// TestDeadlineExpiresAsDeadlineError: an already-short deadline must
+// come back as context.DeadlineExceeded, not ErrNodeDown.
+func TestDeadlineExpiresAsDeadlineError(t *testing.T) {
+	engine := nodeengine.New(memstore.New())
+	defer engine.Close()
+	stall := &stallService{Service: engine, gate: make(chan struct{})}
+	srv := tcp.NewServer(stall)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	defer close(stall.gate)
+	cl := tcp.NewClient(ln.Addr().String())
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := cl.ReadChunk(ctx, client.ChunkID{Stripe: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestUnreachableAddressIsNodeDown(t *testing.T) {
+	// Reserve a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	cl := tcp.NewClient(addr, tcp.WithDialTimeout(time.Second))
+	defer cl.Close()
+	if err := cl.Ping(context.Background()); !errors.Is(err, client.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestClosedClientRefusesOps(t *testing.T) {
+	cl, _, _ := startNode(t)
+	cl.Close()
+	if err := cl.Ping(context.Background()); !errors.Is(err, tcp.ErrClientClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestOversizedRequestRejectedAsBadRequest: a request that cannot fit
+// the frame limit must fail honestly as ErrBadRequest before touching
+// the wire — not as a phantom node-down after the server drops the
+// connection.
+func TestOversizedRequestRejectedAsBadRequest(t *testing.T) {
+	cl, _, _ := startNode(t)
+	small := tcp.NewClient(cl.Addr(), tcp.WithClientMaxFrame(64))
+	defer small.Close()
+	err := small.PutChunk(context.Background(), client.ChunkID{Stripe: 1}, make([]byte, 4096), []uint64{1})
+	if !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestOversizedResponseLimit: a client with a tiny frame limit drops
+// the connection instead of allocating the oversized response, and the
+// failure is classified as node-down (the reply was unusable).
+func TestOversizedResponseLimit(t *testing.T) {
+	cl, _, _ := startNode(t)
+	ctx := context.Background()
+	id := client.ChunkID{Stripe: 3}
+	if err := cl.PutChunk(ctx, id, make([]byte, 4096), []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	small := tcp.NewClient(cl.Addr(), tcp.WithClientMaxFrame(64))
+	defer small.Close()
+	if _, err := small.ReadChunk(ctx, id); !errors.Is(err, client.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}

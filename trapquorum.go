@@ -78,6 +78,12 @@ var (
 	ErrExists = service.ErrExists
 )
 
+// ErrNotSupported reports an operation the configured backend cannot
+// perform — fault injection (CrashNode, RestartNode, AliveNodes,
+// WipeNode) on a backend that does not implement FaultInjector, such
+// as NetBackend. Test with errors.Is.
+var ErrNotSupported = errors.New("trapquorum: operation not supported by backend")
+
 // OpError is the typed error every failed quorum operation returns:
 // it carries the operation name and the stripe/block/level/node where
 // the failure occurred, and unwraps to the sentinel cause —

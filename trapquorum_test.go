@@ -115,8 +115,8 @@ func TestFailureToleranceEndToEnd(t *testing.T) {
 	s.CrashNode(0)
 	s.CrashNode(5)
 	s.CrashNode(12)
-	if s.AliveNodes() != 12 {
-		t.Fatalf("alive = %d", s.AliveNodes())
+	if alive, err := s.AliveNodes(); err != nil || alive != 12 {
+		t.Fatalf("alive = %d, %v", alive, err)
 	}
 	got, err := s.ReadObject(ctx, 9)
 	if err != nil {
