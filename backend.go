@@ -140,6 +140,28 @@ func (b *SimBackend) Wipe(ctx context.Context, node int) error {
 	return b.live().Node(node).Wipe(ctx)
 }
 
+// ProbeNode implements NodeProber for the self-healing monitor: a
+// crashed node reports client.ErrNodeDown, an up node reports nil —
+// the simulator's equivalent of the network plane's per-node ping.
+func (b *SimBackend) ProbeNode(ctx context.Context, node int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	cluster := b.cluster
+	b.mu.Unlock()
+	if cluster == nil {
+		return errors.New("trapquorum: sim backend not open")
+	}
+	if node < 0 || node >= cluster.Size() {
+		return fmt.Errorf("trapquorum: probe of node %d outside [0,%d)", node, cluster.Size())
+	}
+	if cluster.Node(node).Down() {
+		return fmt.Errorf("node %d: %w", node, sim.ErrNodeDown)
+	}
+	return nil
+}
+
 // SetNodeDelay turns node j into a straggler: every operation on it
 // takes the given fixed latency instead of the cluster-wide model
 // (d = 0 restores zero latency). Operations already in their delay

@@ -14,15 +14,25 @@ type clusterHandle struct {
 	n, k    int
 	tcfg    trapezoid.Config
 	backend Backend
+	heal    *healer // nil unless WithSelfHeal was configured
 }
 
 func newClusterHandle(cfg *config, tcfg trapezoid.Config) clusterHandle {
 	return clusterHandle{n: cfg.n, k: cfg.k, tcfg: tcfg, backend: cfg.backend}
 }
 
-// Close releases the backend's nodes. The store is unusable
-// afterwards.
-func (h *clusterHandle) Close() error { return h.backend.Close() }
+// Close stops the self-healing subsystem (when enabled) and releases
+// the backend's nodes. The store is unusable afterwards.
+func (h *clusterHandle) Close() error {
+	h.heal.Close()
+	return h.backend.Close()
+}
+
+// Health returns the self-healing subsystem's snapshot: per-node
+// liveness state, the repair backlog and the anti-entropy scrub
+// position. On a store opened without WithSelfHeal it returns the
+// zero report (Enabled false).
+func (h *clusterHandle) Health() HealthReport { return h.heal.report() }
 
 // CodeParams returns the (n, k) MDS code parameters.
 func (h *clusterHandle) CodeParams() (n, k int) { return h.n, h.k }

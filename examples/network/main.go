@@ -3,8 +3,14 @@
 // same engine+diskstore+server stack the cmd/trapnode daemon runs —
 // then drives an ObjectStore through a NetBackend: put/get, an
 // in-place patch, a node crash mid-run (degraded reads, typed
-// fault-injection refusal), disk replacement and exact repair over
-// the wire.
+// fault-injection refusal), disk replacement and repair over the
+// wire.
+//
+// By default the client runs in self-heal mode (-selfheal=true): the
+// store's own monitor notices the dead daemon, and when it returns on
+// an empty disk the repair orchestrator rebuilds its chunks with no
+// RepairNode call. Run with -selfheal=false for the manual
+// disk-replacement runbook (explicit RepairNode) instead.
 //
 // In a real deployment the nodes are separate processes or machines:
 //
@@ -17,6 +23,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -67,6 +74,8 @@ func (n *node) stop() {
 }
 
 func main() {
+	selfheal := flag.Bool("selfheal", true, "let the store detect the dead node and repair it itself")
+	flag.Parse()
 	ctx := context.Background()
 	base, err := os.MkdirTemp("", "trapnet-example-")
 	if err != nil {
@@ -93,12 +102,25 @@ func main() {
 
 	// The client side: a NetBackend instead of the simulator — the
 	// only line that changes between a simulation and a deployment.
-	store, err := trapquorum.Open(ctx,
+	// In self-heal mode the store also probes every daemon and
+	// repairs returning nodes on its own.
+	opts := []trapquorum.Option{
 		trapquorum.WithBackend(trapquorum.NewNetBackend(addrs, tcp.WithDialTimeout(2*time.Second))),
 		trapquorum.WithCode(15, 8),
 		trapquorum.WithTrapezoid(2, 3, 1, 3),
 		trapquorum.WithBlockSize(4096),
-	)
+	}
+	if *selfheal {
+		opts = append(opts, trapquorum.WithSelfHeal(trapquorum.SelfHeal{
+			ProbeInterval:      20 * time.Millisecond,
+			SuspicionThreshold: 2,
+			ScrubInterval:      100 * time.Millisecond,
+			OnTransition: func(tr trapquorum.NodeTransition) {
+				fmt.Printf("  health: %s\n", tr)
+			},
+		}))
+	}
+	store, err := trapquorum.Open(ctx, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,28 +157,68 @@ func main() {
 	}
 	fmt.Println("node 4 killed; reads continue, decoding around the dead socket")
 
-	// Replace its disk and repair over the wire.
+	if *selfheal {
+		// Let the failure detector confirm the death before the disk
+		// swap, like a real replacement would.
+		deadline := time.Now().Add(30 * time.Second)
+		for store.Health().Nodes[4].State != trapquorum.NodeDown {
+			if time.Now().After(deadline) {
+				log.Fatal("monitor never marked node 4 down")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Replace its disk and bring the daemon back empty.
 	if err := os.RemoveAll(nodes[4].dir); err != nil {
 		log.Fatal(err)
 	}
 	if err := nodes[4].start(); err != nil {
 		log.Fatal(err)
 	}
-	rebuilt, err := store.RepairNode(ctx, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("node 4 back on an empty disk: %d chunks rebuilt by exact repair\n", rebuilt)
 
-	reports, err := store.Scrub(ctx, "vm-root.img")
-	if err != nil {
-		log.Fatal(err)
-	}
-	healthy := 0
-	for _, r := range reports {
-		if r.Healthy {
-			healthy++
+	if *selfheal {
+		// No RepairNode here: the monitor sees the daemon answering
+		// again and the orchestrator rebuilds everything it held.
+		deadline := time.Now().Add(60 * time.Second)
+		for store.Health().Nodes[4].State != trapquorum.NodeUp {
+			if time.Now().After(deadline) {
+				log.Fatal("node 4 did not heal")
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
+		m := store.Metrics()
+		fmt.Printf("node 4 back on an empty disk: %d chunks rebuilt automatically (%d probes, %d down events)\n",
+			m.AutoRepairs, m.Probes, m.DownEvents)
+	} else {
+		rebuilt, err := store.RepairNode(ctx, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node 4 back on an empty disk: %d chunks rebuilt by explicit RepairNode\n", rebuilt)
 	}
-	fmt.Printf("scrub: %d/%d stripes healthy after repair\n", healthy, len(reports))
+
+	// Either way, full redundancy must be back (in self-heal mode the
+	// anti-entropy scrubber closes any remaining gap).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		reports, err := store.Scrub(ctx, "vm-root.img")
+		if err != nil {
+			log.Fatal(err)
+		}
+		healthy := 0
+		for _, r := range reports {
+			if r.Healthy {
+				healthy++
+			}
+		}
+		if healthy == len(reports) {
+			fmt.Printf("scrub: %d/%d stripes healthy after repair\n", healthy, len(reports))
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("scrub: only %d/%d stripes healthy", healthy, len(reports))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }

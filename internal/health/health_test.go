@@ -1,0 +1,292 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errProbe = errors.New("probe failed")
+
+// fakeFleet is a concurrency-safe up/down switchboard for probes.
+type fakeFleet struct {
+	mu   sync.Mutex
+	down map[int]bool
+}
+
+func newFakeFleet() *fakeFleet { return &fakeFleet{down: make(map[int]bool)} }
+
+func (f *fakeFleet) set(node int, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down[node] = down
+}
+
+func (f *fakeFleet) probe(_ context.Context, node int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[node] {
+		return errProbe
+	}
+	return nil
+}
+
+// transitionLog collects transitions via the synchronous callback.
+type transitionLog struct {
+	mu  sync.Mutex
+	trs []Transition
+}
+
+func (l *transitionLog) add(tr Transition) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.trs = append(l.trs, tr)
+}
+
+func (l *transitionLog) snapshot() []Transition {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Transition(nil), l.trs...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newTestMonitor(t *testing.T, n int, fleet *fakeFleet, log *transitionLog, threshold int) *Monitor {
+	t.Helper()
+	cfg := Config{Interval: 2 * time.Millisecond, Threshold: threshold}
+	if log != nil {
+		cfg.OnTransition = log.add
+	}
+	m, err := New(n, fleet.probe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	// Drain the channel so blocking emits never stall the loop in
+	// tests that only watch the callback log.
+	go func() {
+		for range m.Transitions() {
+		}
+	}()
+	m.Start()
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, func(context.Context, int) error { return nil }, Config{}); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if _, err := New(3, nil, Config{}); err == nil {
+		t.Fatal("want error for nil probe")
+	}
+}
+
+func TestStateMachineDownAndBack(t *testing.T) {
+	fleet := newFakeFleet()
+	log := &transitionLog{}
+	m := newTestMonitor(t, 3, fleet, log, 3)
+
+	waitFor(t, "first probe round", func() bool {
+		return m.Counters().Probes >= 3
+	})
+	for _, st := range m.Snapshot() {
+		if st.State != Up {
+			t.Fatalf("node %d starts %v, want up", st.Node, st.State)
+		}
+	}
+
+	fleet.set(1, true)
+	waitFor(t, "node 1 down", func() bool { return m.NodeState(1) == Down })
+
+	// The path there must have visited Suspect first (the observer is
+	// dispatched asynchronously: wait for it to catch up).
+	node1Path := func() []State {
+		var saw []State
+		for _, tr := range log.snapshot() {
+			if tr.Node == 1 {
+				saw = append(saw, tr.To)
+			}
+		}
+		return saw
+	}
+	waitFor(t, "down transition observed", func() bool {
+		saw := node1Path()
+		return len(saw) > 0 && saw[len(saw)-1] == Down
+	})
+	saw := node1Path()
+	if len(saw) < 2 || saw[0] != Suspect || saw[len(saw)-1] != Down {
+		t.Fatalf("node 1 transitions %v, want suspect then down", saw)
+	}
+	if m.NodeState(0) != Up || m.NodeState(2) != Up {
+		t.Fatal("unrelated nodes must stay up")
+	}
+
+	// Node answers again: down -> repairing, and it stays there until
+	// the orchestrator reports the repair done.
+	fleet.set(1, false)
+	waitFor(t, "node 1 repairing", func() bool { return m.NodeState(1) == Repairing })
+	time.Sleep(10 * time.Millisecond)
+	if got := m.NodeState(1); got != Repairing {
+		t.Fatalf("node 1 left repairing without RepairDone: %v", got)
+	}
+
+	m.RepairDone(1, false)
+	if got := m.NodeState(1); got != Repairing {
+		t.Fatalf("failed RepairDone moved state to %v", got)
+	}
+	m.RepairDone(1, true)
+	if got := m.NodeState(1); got != Up {
+		t.Fatalf("node 1 after RepairDone: %v, want up", got)
+	}
+	if c := m.Counters(); c.Recoveries != 1 || c.DownEvents != 1 || c.Suspicions != 1 {
+		t.Fatalf("counters %+v, want 1 suspicion, 1 down, 1 recovery", c)
+	}
+}
+
+func TestSuspectRecoversWithoutDown(t *testing.T) {
+	fleet := newFakeFleet()
+	log := &transitionLog{}
+	m := newTestMonitor(t, 1, fleet, log, 50) // high threshold: never Down
+
+	fleet.set(0, true)
+	waitFor(t, "node 0 suspect", func() bool { return m.NodeState(0) == Suspect })
+	fleet.set(0, false)
+	waitFor(t, "node 0 recovered", func() bool { return m.NodeState(0) == Up })
+
+	for _, tr := range log.snapshot() {
+		if tr.To == Down || tr.To == Repairing {
+			t.Fatalf("unexpected transition %v", tr)
+		}
+	}
+	if c := m.Counters(); c.DownEvents != 0 {
+		t.Fatalf("DownEvents = %d, want 0", c.DownEvents)
+	}
+}
+
+func TestThresholdOneGoesStraightThroughSuspect(t *testing.T) {
+	fleet := newFakeFleet()
+	log := &transitionLog{}
+	m := newTestMonitor(t, 1, fleet, log, 1)
+
+	fleet.set(0, true)
+	waitFor(t, "node 0 down", func() bool { return m.NodeState(0) == Down })
+	waitFor(t, "down observed", func() bool { return len(log.snapshot()) >= 2 })
+	var saw []State
+	for _, tr := range log.snapshot() {
+		saw = append(saw, tr.To)
+	}
+	if saw[0] != Suspect || saw[1] != Down {
+		t.Fatalf("transitions %v, want suspect immediately followed by down", saw)
+	}
+}
+
+func TestRepairingNodeFallsBackToDown(t *testing.T) {
+	fleet := newFakeFleet()
+	m := newTestMonitor(t, 1, fleet, nil, 2)
+
+	fleet.set(0, true)
+	waitFor(t, "down", func() bool { return m.NodeState(0) == Down })
+	fleet.set(0, false)
+	waitFor(t, "repairing", func() bool { return m.NodeState(0) == Repairing })
+	fleet.set(0, true)
+	waitFor(t, "down again", func() bool { return m.NodeState(0) == Down })
+	if c := m.Counters(); c.DownEvents != 2 {
+		t.Fatalf("DownEvents = %d, want 2", c.DownEvents)
+	}
+}
+
+func TestCountersMonotoneUnderConcurrentReads(t *testing.T) {
+	fleet := newFakeFleet()
+	m := newTestMonitor(t, 4, fleet, nil, 2)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last CountersSnapshot
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := m.Counters()
+				if c.Probes < last.Probes || c.ProbeFailures < last.ProbeFailures ||
+					c.Suspicions < last.Suspicions || c.DownEvents < last.DownEvents ||
+					c.Recoveries < last.Recoveries {
+					t.Error("counters regressed")
+					return
+				}
+				last = c
+				m.Snapshot()
+			}
+		}()
+	}
+	// Flap nodes while readers sample.
+	for i := 0; i < 20; i++ {
+		fleet.set(i%4, i%3 == 0)
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEmitNeverBlocksWithoutConsumer pins the non-blocking emission
+// contract: with nobody draining Transitions, the probe loop (and
+// RepairDone, which the orchestrator calls from the consumer
+// goroutine itself) must keep running far past the channel's buffer.
+func TestEmitNeverBlocksWithoutConsumer(t *testing.T) {
+	fleet := newFakeFleet()
+	m, err := New(1, fleet.probe, Config{Interval: time.Millisecond, Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	m.Start() // note: no drain goroutine
+
+	// Flap the node: every round emits transitions into the undrained
+	// channel. Far more transitions than any buffer could hold.
+	for i := 0; i < 200; i++ {
+		fleet.set(0, i%2 == 0)
+		time.Sleep(time.Millisecond)
+		if i == 100 {
+			m.RepairDone(0, true) // must not block either
+		}
+	}
+	before := m.Counters().Probes
+	time.Sleep(20 * time.Millisecond)
+	if after := m.Counters().Probes; after <= before {
+		t.Fatalf("probe loop stalled with an undrained transition channel (%d -> %d probes)", before, after)
+	}
+}
+
+func TestCloseIsIdempotentAndClosesTransitions(t *testing.T) {
+	fleet := newFakeFleet()
+	m, err := New(2, fleet.probe, Config{Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	m.Close()
+	m.Close()
+	if _, ok := <-m.Transitions(); ok {
+		// Draining any buffered transitions is fine; the channel must
+		// eventually report closed.
+		for range m.Transitions() {
+		}
+	}
+}

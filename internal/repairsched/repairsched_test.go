@@ -1,0 +1,385 @@
+package repairsched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"trapquorum/internal/health"
+)
+
+var errRepair = errors.New("repair failed")
+
+// fakeTarget is a scriptable store: a set of chunks per node, a
+// switch to fail repairs, and a log of executed repairs.
+type fakeTarget struct {
+	mu        sync.Mutex
+	plans     map[int][]Task
+	stripes   []uint64
+	scrubbed  map[uint64]int
+	scrubOut  map[uint64][]Task
+	failNext  int // fail this many repairs before succeeding
+	repairs   []Task
+	repairGap time.Duration
+}
+
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{
+		plans:    make(map[int][]Task),
+		scrubbed: make(map[uint64]int),
+		scrubOut: make(map[uint64][]Task),
+	}
+}
+
+func (f *fakeTarget) PlanNodeRepairs(node int, down func(int) bool) []Task {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Task(nil), f.plans[node]...)
+}
+
+func (f *fakeTarget) Repair(ctx context.Context, t Task) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	gap := f.repairGap
+	fail := f.failNext > 0
+	if fail {
+		f.failNext--
+	}
+	f.mu.Unlock()
+	if gap > 0 {
+		time.Sleep(gap)
+	}
+	if fail {
+		return errRepair
+	}
+	f.mu.Lock()
+	f.repairs = append(f.repairs, t)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeTarget) Stripes() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]uint64(nil), f.stripes...)
+}
+
+func (f *fakeTarget) ScrubStripe(ctx context.Context, stripe uint64, down func(int) bool) ([]Task, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scrubbed[stripe]++
+	return append([]Task(nil), f.scrubOut[stripe]...), nil
+}
+
+func (f *fakeTarget) executed() []Task {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Task(nil), f.repairs...)
+}
+
+// fleet mirrors the health test's probe switchboard.
+type fleet struct {
+	mu   sync.Mutex
+	down map[int]bool
+}
+
+func (f *fleet) set(node int, d bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down[node] = d
+}
+
+func (f *fleet) probe(_ context.Context, node int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[node] {
+		return errors.New("down")
+	}
+	return nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// rig assembles a monitor + orchestrator over a fake fleet/target.
+func rig(t *testing.T, n int, target *fakeTarget, cfg Config) (*fleet, *health.Monitor, *Orchestrator) {
+	t.Helper()
+	fl := &fleet{down: make(map[int]bool)}
+	mon, err := health.New(n, fl.probe, health.Config{Interval: 2 * time.Millisecond, Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := New(target, mon, cfg)
+	orc.Start()
+	mon.Start()
+	t.Cleanup(func() {
+		orc.Close()
+		mon.Close()
+	})
+	return fl, mon, orc
+}
+
+func TestNodePlanRunsOnRepairingAndMarksUp(t *testing.T) {
+	target := newFakeTarget()
+	target.plans[1] = []Task{
+		{Stripe: 7, Shard: 1, Priority: 1},
+		{Stripe: 9, Shard: 1, Priority: 2},
+	}
+	fl, mon, orc := rig(t, 3, target, Config{ScrubInterval: -1})
+
+	fl.set(1, true)
+	waitFor(t, "node 1 down", func() bool { return mon.NodeState(1) == health.Down })
+	fl.set(1, false)
+	waitFor(t, "node 1 healed", func() bool { return mon.NodeState(1) == health.Up })
+
+	got := target.executed()
+	if len(got) != 2 {
+		t.Fatalf("executed %d repairs, want 2", len(got))
+	}
+	// Priority 2 (more redundancy lost) must run before priority 1.
+	if got[0].Stripe != 9 || got[1].Stripe != 7 {
+		t.Fatalf("execution order %v, want stripe 9 before 7", got)
+	}
+	for _, task := range got {
+		if task.Node != 1 {
+			t.Fatalf("task %v not retargeted at node 1", task)
+		}
+	}
+	if c := orc.Counters(); c.Repairs != 2 || c.PlansExecuted != 1 {
+		t.Fatalf("counters %+v, want 2 repairs / 1 plan", c)
+	}
+}
+
+func TestEmptyPlanHealsImmediately(t *testing.T) {
+	target := newFakeTarget()
+	fl, mon, _ := rig(t, 2, target, Config{ScrubInterval: -1})
+	fl.set(0, true)
+	waitFor(t, "down", func() bool { return mon.NodeState(0) == health.Down })
+	fl.set(0, false)
+	waitFor(t, "up", func() bool { return mon.NodeState(0) == health.Up })
+	if got := target.executed(); len(got) != 0 {
+		t.Fatalf("executed %v on an empty plan", got)
+	}
+}
+
+func TestFailedPlanRetriesUntilHealed(t *testing.T) {
+	target := newFakeTarget()
+	target.plans[0] = []Task{{Stripe: 1, Shard: 0, Priority: 1}}
+	target.failNext = 1 // first repair attempt fails, retry succeeds
+	fl, mon, orc := rig(t, 2, target, Config{ScrubInterval: -1, RetryInterval: 5 * time.Millisecond})
+
+	fl.set(0, true)
+	waitFor(t, "down", func() bool { return mon.NodeState(0) == health.Down })
+	fl.set(0, false)
+	waitFor(t, "healed after retry", func() bool { return mon.NodeState(0) == health.Up })
+	c := orc.Counters()
+	if c.RepairFailures != 1 || c.Repairs != 1 {
+		t.Fatalf("counters %+v, want exactly 1 failure then 1 success", c)
+	}
+	if c.PlansExecuted != 2 {
+		t.Fatalf("PlansExecuted = %d, want 2 (original + retry)", c.PlansExecuted)
+	}
+}
+
+func TestDownDropsQueuedWork(t *testing.T) {
+	target := newFakeTarget()
+	var tasks []Task
+	for i := 0; i < 50; i++ {
+		tasks = append(tasks, Task{Stripe: uint64(i + 1), Shard: 0, Priority: 1})
+	}
+	target.plans[0] = tasks
+	target.repairGap = 2 * time.Millisecond // slow workers: the queue stays deep
+	fl, mon, orc := rig(t, 2, target, Config{ScrubInterval: -1, RepairConcurrency: 1})
+
+	fl.set(0, true)
+	waitFor(t, "down", func() bool { return mon.NodeState(0) == health.Down })
+	fl.set(0, false)
+	waitFor(t, "repairing with backlog", func() bool {
+		return mon.NodeState(0) == health.Repairing && orc.Status().Backlog > 10
+	})
+	fl.set(0, true)
+	waitFor(t, "down again", func() bool { return mon.NodeState(0) == health.Down })
+	waitFor(t, "queue drained by drop", func() bool {
+		s := orc.Status()
+		return s.Backlog == 0 && s.InFlight == 0
+	})
+	if got := len(target.executed()); got >= 50 {
+		t.Fatalf("executed %d repairs, want the drop to cancel most of 50", got)
+	}
+}
+
+// gateTarget blocks the first repair of stripe 1 until released, and
+// makes it fail — the in-flight straggler of a dropped plan.
+type gateTarget struct {
+	*fakeTarget
+	gateOnce sync.Once
+	entered  chan struct{}
+	release  chan struct{}
+}
+
+func (g *gateTarget) Repair(ctx context.Context, t Task) error {
+	gated := false
+	if t.Stripe == 1 {
+		g.gateOnce.Do(func() { gated = true })
+	}
+	if gated {
+		close(g.entered)
+		<-g.release
+		return errRepair
+	}
+	return g.fakeTarget.Repair(ctx, t)
+}
+
+// TestStaleInFlightTaskDoesNotCorruptSuccessorPlan: a repair still in
+// flight when its node goes Down (dropping the plan) settles only
+// after the node returned and a new plan was issued. Its failure must
+// not be charged to the new plan — the node heals on the new plan's
+// own all-success completion, with no retry round.
+func TestStaleInFlightTaskDoesNotCorruptSuccessorPlan(t *testing.T) {
+	inner := newFakeTarget()
+	inner.plans[0] = []Task{
+		{Stripe: 1, Shard: 0, Priority: 9}, // gated: highest priority, picked first
+		{Stripe: 2, Shard: 0, Priority: 1},
+		{Stripe: 3, Shard: 0, Priority: 1},
+	}
+	target := &gateTarget{fakeTarget: inner, entered: make(chan struct{}), release: make(chan struct{})}
+	fl, mon, orc := rig2(t, target, Config{ScrubInterval: -1, RepairConcurrency: 1, RetryInterval: time.Hour})
+
+	// Plan A starts; its first task (stripe 1) blocks in flight.
+	fl.set(0, true)
+	waitFor(t, "down", func() bool { return mon.NodeState(0) == health.Down })
+	fl.set(0, false)
+	<-target.entered
+
+	// The node dies again (plan A dropped, stripe-1 task still in
+	// flight), then returns: plan B is issued.
+	fl.set(0, true)
+	waitFor(t, "down again", func() bool { return mon.NodeState(0) == health.Down })
+	fl.set(0, false)
+	waitFor(t, "plan B queued behind the straggler", func() bool {
+		return mon.NodeState(0) == health.Repairing && orc.Status().Backlog == 3
+	})
+
+	// The stale task settles — with an error. Plan B's three repairs
+	// then run and succeed; the node must go Up on B's completion
+	// (RetryInterval is an hour: any retry round would hang the test).
+	close(target.release)
+	waitFor(t, "healed by plan B alone", func() bool { return mon.NodeState(0) == health.Up })
+	if c := orc.Counters(); c.PlansExecuted != 1 || c.RepairFailures != 1 || c.Repairs != 3 {
+		t.Fatalf("counters %+v, want exactly plan B executed (1), 1 stale failure, 3 repairs", c)
+	}
+}
+
+// rig2 is rig for a Target that is not a *fakeTarget.
+func rig2(t *testing.T, target Target, cfg Config) (*fleet, *health.Monitor, *Orchestrator) {
+	t.Helper()
+	fl := &fleet{down: make(map[int]bool)}
+	mon, err := health.New(2, fl.probe, health.Config{Interval: 2 * time.Millisecond, Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := New(target, mon, cfg)
+	orc.Start()
+	mon.Start()
+	t.Cleanup(func() {
+		orc.Close()
+		mon.Close()
+	})
+	return fl, mon, orc
+}
+
+func TestScrubFindsAndRepairsDegradation(t *testing.T) {
+	target := newFakeTarget()
+	target.stripes = []uint64{1, 2, 3}
+	target.scrubOut[2] = []Task{{Stripe: 2, Shard: 4, Node: 4, Priority: 1}}
+	_, _, orc := rig(t, 5, target, Config{
+		ScrubInterval: 5 * time.Millisecond,
+		ScrubPace:     time.Millisecond,
+	})
+
+	waitFor(t, "scrub pass + repair", func() bool {
+		c := orc.Counters()
+		return c.ScrubPasses >= 1 && c.Repairs >= 1
+	})
+	target.mu.Lock()
+	audited := target.scrubbed[1] > 0 && target.scrubbed[2] > 0 && target.scrubbed[3] > 0
+	target.mu.Unlock()
+	if !audited {
+		t.Fatal("scrub pass skipped stripes")
+	}
+	got := target.executed()
+	if len(got) == 0 || got[0].Stripe != 2 || got[0].Shard != 4 {
+		t.Fatalf("scrub repairs %v, want stripe 2 shard 4", got)
+	}
+	if c := orc.Counters(); c.ScrubDegraded < 1 {
+		t.Fatalf("ScrubDegraded = %d, want >= 1", c.ScrubDegraded)
+	}
+}
+
+// TestDropNodeDiscardsAllTasksTargetingNode: a Down drop removes the
+// node's plan tasks AND scrub-found tasks aimed at it, while leaving
+// work for other nodes queued.
+func TestDropNodeDiscardsAllTasksTargetingNode(t *testing.T) {
+	mon, err := health.New(3, func(context.Context, int) error { return nil }, health.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(newFakeTarget(), mon, Config{}) // never started: direct queue surgery
+	o.mu.Lock()
+	o.pushLocked(item{Task: Task{Stripe: 1, Shard: 0, Node: 1}, forNode: -1})        // scrub task on node 1
+	o.pushLocked(item{Task: Task{Stripe: 2, Shard: 0, Node: 2}, forNode: -1})        // scrub task on node 2
+	o.pushLocked(item{Task: Task{Stripe: 3, Shard: 1, Node: 1}, forNode: 1, gen: 1}) // plan task on node 1
+	o.plans[1] = &nodeRepair{gen: 1, outstanding: 1}
+	o.mu.Unlock()
+
+	o.dropNode(1)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.queue) != 1 || o.queue[0].Node != 2 {
+		t.Fatalf("queue after drop: %+v, want only the node-2 scrub task", o.queue)
+	}
+	if len(o.queued) != 1 || !o.queued[itemKey{2, 0, -1}] {
+		t.Fatalf("dedupe map after drop: %+v, want only the node-2 key", o.queued)
+	}
+	if o.plans[1] != nil {
+		t.Fatal("plan for the dropped node survived")
+	}
+}
+
+func TestScrubDisabled(t *testing.T) {
+	target := newFakeTarget()
+	target.stripes = []uint64{1}
+	_, _, orc := rig(t, 2, target, Config{ScrubInterval: -1})
+	time.Sleep(20 * time.Millisecond)
+	if c := orc.Counters(); c.ScrubStripes != 0 {
+		t.Fatalf("scrubbed %d stripes with scrubbing disabled", c.ScrubStripes)
+	}
+}
+
+func TestCloseIsIdempotentAndStopsWork(t *testing.T) {
+	target := newFakeTarget()
+	target.stripes = []uint64{1, 2}
+	_, _, orc := rig(t, 2, target, Config{ScrubInterval: 2 * time.Millisecond})
+	time.Sleep(10 * time.Millisecond)
+	orc.Close()
+	orc.Close()
+	before := orc.Counters().ScrubStripes
+	time.Sleep(15 * time.Millisecond)
+	if after := orc.Counters().ScrubStripes; after != before {
+		t.Fatalf("scrubbing continued after Close: %d -> %d", before, after)
+	}
+}

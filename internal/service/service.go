@@ -23,9 +23,14 @@ import (
 	"trapquorum/client"
 	"trapquorum/internal/core"
 	"trapquorum/internal/erasure"
+	"trapquorum/internal/repairsched"
 	"trapquorum/internal/trapezoid"
 	"trapquorum/placement"
 )
+
+// The store is the placement-aware repair target of the self-healing
+// orchestrator.
+var _ repairsched.Target = (*Store)(nil)
 
 // Service-level errors.
 var (
@@ -477,21 +482,7 @@ func (s *Store) Delete(ctx context.Context, key string) error {
 // returns how many chunks were rebuilt and the error of the
 // lowest-numbered failing stripe.
 func (s *Store) RepairClusterNode(ctx context.Context, node int) (int, error) {
-	s.mu.Lock()
-	type task struct {
-		sys    *core.System
-		stripe uint64
-		shard  int
-	}
-	var tasks []task
-	for stripe, nodes := range s.stripeLoc {
-		for shard, placedNode := range nodes {
-			if placedNode == node {
-				tasks = append(tasks, task{sys: s.stripeSys[stripe], stripe: stripe, shard: shard})
-			}
-		}
-	}
-	s.mu.Unlock()
+	tasks := s.chunksOnNode(node)
 	sort.Slice(tasks, func(i, j int) bool { return tasks[i].stripe < tasks[j].stripe })
 	repaired := 0
 	errIdx := -1
@@ -555,4 +546,134 @@ func (s *Store) StripesOf(key string) ([]uint64, error) {
 		return nil, err
 	}
 	return m.stripes, nil
+}
+
+// Metrics aggregates the protocol counters across every placement's
+// protocol instance into one store-level snapshot.
+func (s *Store) Metrics() core.MetricsSnapshot {
+	s.mu.Lock()
+	systems := make([]*core.System, 0, len(s.systems))
+	for _, sys := range s.systems {
+		systems = append(systems, sys)
+	}
+	s.mu.Unlock()
+	var total core.MetricsSnapshot
+	for _, sys := range systems {
+		m := sys.Metrics()
+		total.Writes += m.Writes
+		total.FailedWrites += m.FailedWrites
+		total.DirectReads += m.DirectReads
+		total.DecodeReads += m.DecodeReads
+		total.FailedReads += m.FailedReads
+		total.Rollbacks += m.Rollbacks
+		total.Repairs += m.Repairs
+		total.HedgedRPCs += m.HedgedRPCs
+	}
+	return total
+}
+
+// chunkLoc names one chunk placed on a cluster node, carrying its
+// stripe's placement and protocol instance.
+type chunkLoc struct {
+	stripe uint64
+	shard  int
+	nodes  []int
+	sys    *core.System
+}
+
+// chunksOnNode lists every chunk the placement assigns to the given
+// cluster node — the one traversal both the manual node repair and
+// the self-heal planner build on.
+func (s *Store) chunksOnNode(node int) []chunkLoc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []chunkLoc
+	for stripe, nodes := range s.stripeLoc {
+		for shard, placed := range nodes {
+			if placed == node {
+				out = append(out, chunkLoc{stripe: stripe, shard: shard, nodes: nodes, sys: s.stripeSys[stripe]})
+			}
+		}
+	}
+	return out
+}
+
+// PlanNodeRepairs implements repairsched.Target: one repair task per
+// chunk placed on the given cluster node, prioritised by how many of
+// each stripe's placements the down predicate reports lost (a stripe
+// missing two nodes is rebuilt before a stripe missing one).
+func (s *Store) PlanNodeRepairs(node int, down func(int) bool) []repairsched.Task {
+	entries := s.chunksOnNode(node)
+	tasks := make([]repairsched.Task, 0, len(entries))
+	for _, e := range entries {
+		nodes := e.nodes
+		lost := repairsched.LostCount(len(nodes), func(shard int) int { return nodes[shard] }, down)
+		tasks = append(tasks, repairsched.Task{Stripe: e.stripe, Shard: e.shard, Node: node, Priority: lost})
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].Priority != tasks[j].Priority {
+			return tasks[i].Priority > tasks[j].Priority
+		}
+		if tasks[i].Stripe != tasks[j].Stripe {
+			return tasks[i].Stripe < tasks[j].Stripe
+		}
+		return tasks[i].Shard < tasks[j].Shard
+	})
+	return tasks
+}
+
+// Repair implements repairsched.Target: rebuild one chunk through the
+// version-guarded repair path. A stripe deleted since planning is a
+// no-op success.
+func (s *Store) Repair(ctx context.Context, t repairsched.Task) error {
+	s.mu.Lock()
+	sys := s.stripeSys[t.Stripe]
+	s.mu.Unlock()
+	if sys == nil {
+		return nil
+	}
+	err := sys.RepairShard(ctx, t.Stripe, t.Shard)
+	if errors.Is(err, core.ErrUnknownStripe) {
+		return nil
+	}
+	return err
+}
+
+// Stripes implements repairsched.Target: every live stripe id, in
+// ascending order.
+func (s *Store) Stripes() []uint64 {
+	s.mu.Lock()
+	out := make([]uint64, 0, len(s.stripeLoc))
+	for stripe := range s.stripeLoc {
+		out = append(out, stripe)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ScrubStripe implements repairsched.Target: audit one stripe and
+// return repair tasks for its repairable degradation — stale shards,
+// plus shards the scrub could not reach on nodes the down predicate
+// reports up (a wiped or corrupted disk behind a live process). Ahead
+// shards are deliberately left alone: the guarded repair would refuse
+// to regress them, and clearing failed-write residue is an operator
+// decision (see core.RepairShardForce).
+func (s *Store) ScrubStripe(ctx context.Context, stripe uint64, down func(int) bool) ([]repairsched.Task, error) {
+	s.mu.Lock()
+	sys := s.stripeSys[stripe]
+	nodes := s.stripeLoc[stripe]
+	s.mu.Unlock()
+	if sys == nil {
+		return nil, nil
+	}
+	rep, err := sys.ScrubStripe(ctx, stripe)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownStripe) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return repairsched.DegradationTasks(stripe, len(nodes), rep.StaleShards, rep.UnreachableShards,
+		func(shard int) int { return nodes[shard] }, down), nil
 }

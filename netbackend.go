@@ -79,6 +79,26 @@ func (b *NetBackend) Close() error {
 	return first
 }
 
+// ProbeNode implements NodeProber for the self-healing monitor: one
+// TCP ping against the node's address. An unreachable daemon reports
+// an error wrapping client.ErrNodeDown.
+func (b *NetBackend) ProbeNode(ctx context.Context, node int) error {
+	b.mu.Lock()
+	usable := b.opened && !b.closed
+	var cl *tcp.NodeClient
+	if usable && node >= 0 && node < len(b.clients) {
+		cl = b.clients[node]
+	}
+	b.mu.Unlock()
+	if !usable {
+		return errors.New("trapquorum: net backend not open")
+	}
+	if cl == nil {
+		return fmt.Errorf("trapquorum: probe of unknown node %d", node)
+	}
+	return cl.Ping(ctx)
+}
+
 // Ping probes every node address once, returning the first failure
 // (wrapped client.ErrNodeDown for unreachable nodes). Useful as a
 // deployment smoke check before opening a store; the protocol itself

@@ -55,11 +55,20 @@ func Open(ctx context.Context, opts ...Option) (*ObjectStore, error) {
 		cfg.backend.Close()
 		return nil, err
 	}
-	return &ObjectStore{
+	store := &ObjectStore{
 		clusterHandle: newClusterHandle(cfg, tcfg),
 		clusterSize:   clusterSize,
 		svc:           svc,
-	}, nil
+	}
+	if cfg.selfHeal != nil {
+		heal, err := startSelfHeal(cfg, clusterSize, svc)
+		if err != nil {
+			cfg.backend.Close()
+			return nil, err
+		}
+		store.heal = heal
+	}
+	return store, nil
 }
 
 // Put stores data under key. The key must not exist (ErrExists
@@ -126,3 +135,12 @@ func (s *ObjectStore) Scrub(ctx context.Context, key string) ([]ScrubReport, err
 
 // NodeCount returns the cluster size the placement strategy spans.
 func (s *ObjectStore) NodeCount() int { return s.clusterSize }
+
+// Metrics returns a snapshot of the store-level counters: the
+// protocol counters aggregated across every placement, plus the
+// self-heal counters when WithSelfHeal is enabled.
+func (s *ObjectStore) Metrics() Metrics {
+	m := metricsFromCore(s.svc.Metrics())
+	s.heal.fold(&m)
+	return m
+}

@@ -29,6 +29,7 @@ type config struct {
 	concurrency     int
 	codingParallel  int
 	hedge           core.HedgeConfig
+	selfHeal        *SelfHeal
 	errs            []error
 }
 

@@ -1,0 +1,327 @@
+package trapquorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"trapquorum/internal/core"
+	"trapquorum/internal/health"
+	"trapquorum/internal/repairsched"
+)
+
+// NodeProber is the optional Backend extension the self-healing
+// monitor probes liveness through: ProbeNode answers nil when cluster
+// node `node` is reachable and an error (conventionally wrapping
+// client.ErrNodeDown) when it is not. The probe must be cheap — it is
+// issued for every node on every probe interval — and must honour the
+// context, which carries the per-probe timeout.
+//
+// SimBackend implements it from the simulator's fail-stop flags;
+// NetBackend implements it as a per-node TCP ping. WithSelfHeal
+// requires the configured backend to implement this interface and
+// Open fails with an ErrNotSupported wrap otherwise.
+type NodeProber interface {
+	// ProbeNode checks that cluster node `node` is reachable.
+	ProbeNode(ctx context.Context, node int) error
+}
+
+// NodeState is a position of the per-node liveness state machine the
+// self-healing monitor maintains: NodeUp → NodeSuspect → NodeDown →
+// NodeRepairing → NodeUp. See DESIGN.md "Self-healing" for the full
+// transition diagram.
+type NodeState = health.State
+
+// The liveness states of a monitored node.
+const (
+	// NodeUp: the node answers probes; no background work is needed.
+	NodeUp NodeState = health.Up
+	// NodeSuspect: recent probes failed but fewer than the suspicion
+	// threshold in a row; the protocol still talks to the node.
+	NodeSuspect NodeState = health.Suspect
+	// NodeDown: the suspicion threshold was reached; the node is
+	// considered failed until it answers again.
+	NodeDown NodeState = health.Down
+	// NodeRepairing: the node answers again after being down and the
+	// orchestrator is rebuilding the chunks placed on it.
+	NodeRepairing NodeState = health.Repairing
+)
+
+// NodeTransition is one state-machine edge of one node, delivered to
+// the SelfHeal.OnTransition observer.
+type NodeTransition = health.Transition
+
+// NodeHealth is the externally visible liveness status of one node,
+// as reported by Health().
+type NodeHealth = health.NodeStatus
+
+// SelfHeal configures the self-healing subsystem enabled by
+// WithSelfHeal: a failure-detecting monitor probing every cluster
+// node, and a repair orchestrator that rebuilds the chunks of
+// returned nodes and runs periodic anti-entropy scrubs. Zero fields
+// take the documented defaults, so WithSelfHeal(trapquorum.SelfHeal{})
+// enables the subsystem fully tuned for a LAN fleet.
+type SelfHeal struct {
+	// ProbeInterval is the pause between liveness probe rounds
+	// (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each individual probe (default:
+	// ProbeInterval).
+	ProbeTimeout time.Duration
+	// SuspicionThreshold is how many consecutive probes must fail
+	// before a node is declared down (default 3). Raise it on flaky
+	// networks to trade detection latency for fewer false alarms.
+	SuspicionThreshold int
+	// RepairConcurrency bounds the in-flight background chunk repairs
+	// (default 2), keeping reconvergence I/O off the foreground path.
+	RepairConcurrency int
+	// RepairRetry is the pause before retrying a node whose repair
+	// plan had failures (default 2s).
+	RepairRetry time.Duration
+	// ScrubInterval is the pause between anti-entropy scrub passes
+	// (default 1m). Negative disables scrubbing; the monitor and
+	// node-repair orchestration keep running.
+	ScrubInterval time.Duration
+	// ScrubJitter randomises each scrub pause by ±Jitter·Interval
+	// (default 0.2) so stores sharing a fleet do not scrub in
+	// lockstep.
+	ScrubJitter float64
+	// ScrubPace is the minimum gap between consecutive stripe audits
+	// within a pass (default 2ms) — the rate limit on scrub reads.
+	ScrubPace time.Duration
+	// OnTransition, when non-nil, observes every liveness transition
+	// in application order (logging, tests). It is invoked from one
+	// dedicated goroutine — never concurrently with itself — and may
+	// call back into the store (Health, Metrics). Keep it fast.
+	OnTransition func(NodeTransition)
+}
+
+// WithSelfHeal enables the self-healing subsystem: liveness
+// monitoring of every cluster node, automatic repair of nodes that
+// return after a failure (fresh disk included), and periodic
+// anti-entropy scrubs that find and heal degradation probes cannot
+// see. Requires a backend implementing NodeProber (SimBackend and
+// NetBackend both do); Open fails with an ErrNotSupported wrap
+// otherwise. Inspect the subsystem at runtime through Health() and
+// the self-heal counters folded into Metrics().
+func WithSelfHeal(sh SelfHeal) Option {
+	return func(c *config) {
+		if sh.ProbeInterval < 0 || sh.ProbeTimeout < 0 || sh.RepairRetry < 0 || sh.ScrubPace < 0 {
+			c.errs = append(c.errs, fmt.Errorf(
+				"trapquorum: WithSelfHeal: negative durations (probe %v/%v, retry %v, pace %v)",
+				sh.ProbeInterval, sh.ProbeTimeout, sh.RepairRetry, sh.ScrubPace))
+			return
+		}
+		if sh.SuspicionThreshold < 0 || sh.RepairConcurrency < 0 {
+			c.errs = append(c.errs, fmt.Errorf(
+				"trapquorum: WithSelfHeal: negative threshold (%d) or concurrency (%d)",
+				sh.SuspicionThreshold, sh.RepairConcurrency))
+			return
+		}
+		if sh.ScrubJitter < 0 || sh.ScrubJitter >= 1 {
+			c.errs = append(c.errs, fmt.Errorf(
+				"trapquorum: WithSelfHeal: scrub jitter %v outside [0, 1)", sh.ScrubJitter))
+			return
+		}
+		c.selfHeal = &sh
+	}
+}
+
+// ScrubProgress reports the anti-entropy scrubber's position, inside
+// a Health() snapshot.
+type ScrubProgress struct {
+	// Passes counts completed anti-entropy passes.
+	Passes int64
+	// Audited is the number of stripes audited so far in the
+	// in-progress pass (0 when no pass is running).
+	Audited int
+	// Total is the stripe count of the in-progress pass (0 when no
+	// pass is running).
+	Total int
+	// DegradedFound counts repair tasks found by scrubbing, across
+	// all passes.
+	DegradedFound int64
+}
+
+// HealthReport is the Health() snapshot of the self-healing
+// subsystem: per-node liveness, the repair backlog and the scrub
+// position. The zero value (Enabled false) is returned when the store
+// was opened without WithSelfHeal.
+type HealthReport struct {
+	// Enabled reports whether WithSelfHeal was configured.
+	Enabled bool
+	// Nodes is the per-node liveness status, indexed by cluster node.
+	Nodes []NodeHealth
+	// RepairBacklog is the number of repair tasks queued or
+	// executing.
+	RepairBacklog int
+	// Scrub is the anti-entropy scrubber's position.
+	Scrub ScrubProgress
+}
+
+// Degraded lists the nodes currently not NodeUp — the one-line answer
+// to "is the fleet healthy".
+func (r HealthReport) Degraded() []int {
+	var out []int
+	for _, n := range r.Nodes {
+		if n.State != NodeUp {
+			out = append(out, n.Node)
+		}
+	}
+	return out
+}
+
+// healer bundles the monitor and orchestrator a self-healing store
+// runs; nil when self-healing is disabled.
+type healer struct {
+	mon *health.Monitor
+	orc *repairsched.Orchestrator
+}
+
+// startSelfHeal assembles and starts the subsystem for a store whose
+// cluster has clusterSize nodes, repairing through target.
+func startSelfHeal(cfg *config, clusterSize int, target repairsched.Target) (*healer, error) {
+	prober, ok := cfg.backend.(NodeProber)
+	if !ok {
+		return nil, fmt.Errorf(
+			"%w: WithSelfHeal needs a backend implementing NodeProber; %T is not one",
+			ErrNotSupported, cfg.backend)
+	}
+	sh := cfg.selfHeal
+	mon, err := health.New(clusterSize, prober.ProbeNode, health.Config{
+		Interval:     sh.ProbeInterval,
+		Timeout:      sh.ProbeTimeout,
+		Threshold:    sh.SuspicionThreshold,
+		OnTransition: sh.OnTransition,
+	})
+	if err != nil {
+		return nil, err
+	}
+	orc := repairsched.New(target, mon, repairsched.Config{
+		RepairConcurrency: sh.RepairConcurrency,
+		RetryInterval:     sh.RepairRetry,
+		ScrubInterval:     sh.ScrubInterval,
+		ScrubJitter:       sh.ScrubJitter,
+		ScrubPace:         sh.ScrubPace,
+	})
+	orc.Start()
+	mon.Start()
+	return &healer{mon: mon, orc: orc}, nil
+}
+
+// Close stops the orchestrator (no new repairs, in-flight ones
+// settle) and then the monitor. Nil-safe.
+func (h *healer) Close() {
+	if h == nil {
+		return
+	}
+	h.orc.Close()
+	h.mon.Close()
+}
+
+// report builds the public Health snapshot. Nil-safe.
+func (h *healer) report() HealthReport {
+	if h == nil {
+		return HealthReport{}
+	}
+	st := h.orc.Status()
+	return HealthReport{
+		Enabled:       true,
+		Nodes:         h.mon.Snapshot(),
+		RepairBacklog: st.Backlog + st.InFlight,
+		Scrub: ScrubProgress{
+			Passes:        st.ScrubPasses,
+			Audited:       st.ScrubAudited,
+			Total:         st.ScrubTotal,
+			DegradedFound: st.ScrubDegraded,
+		},
+	}
+}
+
+// fold adds the self-heal counters into a Metrics snapshot. Nil-safe.
+func (h *healer) fold(m *Metrics) {
+	if h == nil {
+		return
+	}
+	mc := h.mon.Counters()
+	m.Probes = mc.Probes
+	m.ProbeFailures = mc.ProbeFailures
+	m.Suspicions = mc.Suspicions
+	m.DownEvents = mc.DownEvents
+	m.Recoveries = mc.Recoveries
+	oc := h.orc.Counters()
+	m.AutoRepairs = oc.Repairs
+	m.AutoRepairFailures = oc.RepairFailures
+	m.ScrubPasses = oc.ScrubPasses
+	m.ScrubStripes = oc.ScrubStripes
+	m.ScrubDegraded = oc.ScrubDegraded
+}
+
+// metricsFromCore copies the protocol counters into the public
+// Metrics shape (the self-heal counters are folded in separately).
+func metricsFromCore(m core.MetricsSnapshot) Metrics {
+	return Metrics{
+		Writes:       m.Writes,
+		FailedWrites: m.FailedWrites,
+		DirectReads:  m.DirectReads,
+		DecodeReads:  m.DecodeReads,
+		FailedReads:  m.FailedReads,
+		Rollbacks:    m.Rollbacks,
+		Repairs:      m.Repairs,
+		HedgedRPCs:   m.HedgedRPCs,
+	}
+}
+
+// coreTarget adapts the single-stripe-set core.System behind
+// OpenStore to the repair orchestrator: the placement is the
+// identity, stripe shard j lives on cluster node j.
+type coreTarget struct{ sys *core.System }
+
+var _ repairsched.Target = coreTarget{}
+
+// identityNode maps a shard index to itself — the low-level store's
+// placement, where stripe shard j always lives on cluster node j.
+func identityNode(shard int) int { return shard }
+
+// PlanNodeRepairs implements repairsched.Target.
+func (t coreTarget) PlanNodeRepairs(node int, down func(int) bool) []repairsched.Task {
+	stripes := t.Stripes()
+	lost := repairsched.LostCount(t.sys.Code().N(), identityNode, down)
+	tasks := make([]repairsched.Task, 0, len(stripes))
+	for _, stripe := range stripes {
+		tasks = append(tasks, repairsched.Task{Stripe: stripe, Shard: node, Node: node, Priority: lost})
+	}
+	return tasks
+}
+
+// Repair implements repairsched.Target.
+func (t coreTarget) Repair(ctx context.Context, task repairsched.Task) error {
+	err := t.sys.RepairShard(ctx, task.Stripe, task.Shard)
+	if errors.Is(err, core.ErrUnknownStripe) {
+		return nil
+	}
+	return err
+}
+
+// Stripes implements repairsched.Target.
+func (t coreTarget) Stripes() []uint64 {
+	out := t.sys.Stripes()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ScrubStripe implements repairsched.Target through the shared
+// repairable-degradation policy (repairsched.DegradationTasks).
+func (t coreTarget) ScrubStripe(ctx context.Context, stripe uint64, down func(int) bool) ([]repairsched.Task, error) {
+	rep, err := t.sys.ScrubStripe(ctx, stripe)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownStripe) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return repairsched.DegradationTasks(stripe, t.sys.Code().N(),
+		rep.StaleShards, rep.UnreachableShards, identityNode, down), nil
+}

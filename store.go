@@ -48,7 +48,16 @@ func OpenStore(ctx context.Context, opts ...Option) (*Store, error) {
 		cfg.backend.Close()
 		return nil, err
 	}
-	return &Store{clusterHandle: newClusterHandle(cfg, tcfg), sys: sys}, nil
+	store := &Store{clusterHandle: newClusterHandle(cfg, tcfg), sys: sys}
+	if cfg.selfHeal != nil {
+		heal, err := startSelfHeal(cfg, cfg.n, coreTarget{sys: sys})
+		if err != nil {
+			cfg.backend.Close()
+			return nil, err
+		}
+		store.heal = heal
+	}
+	return store, nil
 }
 
 // WriteObject stores a payload of arbitrary size under the given id,
@@ -113,5 +122,11 @@ func (s *Store) ScrubStripe(ctx context.Context, id uint64) (ScrubReport, error)
 	return s.sys.ScrubStripe(ctx, id)
 }
 
-// Metrics returns a snapshot of the protocol counters.
-func (s *Store) Metrics() Metrics { return s.sys.Metrics() }
+// Metrics returns a snapshot of the store-level counters: the
+// protocol counters, plus the self-heal counters when WithSelfHeal
+// is enabled.
+func (s *Store) Metrics() Metrics {
+	m := metricsFromCore(s.sys.Metrics())
+	s.heal.fold(&m)
+	return m
+}

@@ -1,30 +1,50 @@
-// Command doccheck is the repository's godoc-coverage lint: it fails
-// when any exported identifier of the public packages (the root
-// trapquorum package, client, placement, transport/tcp) lacks a doc
-// comment, keeping the public surface fully documented as CI
-// enforces.
+// Command doccheck is the repository's documentation lint, with two
+// modes CI runs both of:
+//
+// Godoc coverage (the default): it fails when any exported
+// identifier of the public packages (the root trapquorum package,
+// client, placement, transport/tcp) lacks a doc comment, keeping the
+// public surface fully documented.
+//
+// Markdown link check (-md): it fails when any intra-repository
+// markdown link — [text](relative/path), with an optional #fragment —
+// points at a file that does not exist, keeping README/DESIGN/
+// OPERATIONS/PERFORMANCE from referencing documents that moved or
+// were renamed. External links (a scheme like https:) and pure
+// in-page fragments (#section) are skipped: the lint is about repo
+// files dangling, not the web or heading spelling.
 //
 // Usage:
 //
 //	go run ./tools/doccheck [package-dir ...]
+//	go run ./tools/doccheck -md file.md [file.md ...]
 //
 // With no arguments it checks the default public packages relative to
 // the current directory. Exit status 1 lists every undocumented
-// exported symbol.
+// exported symbol (or dangling link).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
 
 func main() {
-	dirs := os.Args[1:]
+	mdMode := flag.Bool("md", false, "check intra-repo markdown links instead of godoc coverage")
+	flag.Parse()
+	if *mdMode {
+		checkMarkdown(flag.Args())
+		return
+	}
+	dirs := flag.Args()
 	if len(dirs) == 0 {
 		dirs = []string{".", "./client", "./placement", "./transport/tcp"}
 	}
@@ -45,6 +65,77 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// mdLink matches inline markdown links and images: [text](target)
+// with no whitespace in the target (titles are not used in this
+// repository's docs).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdown verifies every relative link of the given markdown
+// files resolves, reporting dangling ones and exiting non-zero.
+func checkMarkdown(files []string) {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: -md needs at least one markdown file")
+		os.Exit(2)
+	}
+	dangling, err := findDangling(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if len(dangling) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d dangling markdown links:\n", len(dangling))
+		for _, d := range dangling {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		os.Exit(1)
+	}
+}
+
+// findDangling scans markdown files for intra-repo links whose target
+// (resolved relative to the linking file's own directory, fragment
+// stripped) does not exist, returning one "file:line: ..." string per
+// dangling link.
+func findDangling(files []string) ([]string, error) {
+	var dangling []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipLink(target) {
+					continue
+				}
+				// A fragment on a file link: the file must exist; the
+				// heading is not checked.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					dangling = append(dangling,
+						fmt.Sprintf("%s:%d: link (%s) dangles: %s missing", file, lineNo+1, m[1], resolved))
+				}
+			}
+		}
+	}
+	return dangling, nil
+}
+
+// skipLink reports whether a link target is outside this lint's
+// scope: absolute URLs (any scheme), mail links, and pure in-page
+// fragments.
+func skipLink(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
 }
 
 // check parses one package directory (tests excluded) and returns the

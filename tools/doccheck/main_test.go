@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFindDangling pins the link lint both ways: a dangling relative
+// link is reported (the lint cannot vacuously pass), while existing
+// files, fragments, subdirectory targets and external URLs are not.
+func TestFindDangling(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(rel, content string) string {
+		path := filepath.Join(dir, rel)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	write("exists.md", "target\n")
+	write("docs/sub.md", "see [root](../exists.md)\n")
+	main := write("main.md", strings.Join([]string{
+		"[ok](exists.md) and [dir](docs/)",
+		"[frag](exists.md#some-heading) [inpage](#local) [ext](https://example.com/x.md)",
+		"[broken](missing.md) then [also broken](docs/nope.md#frag)",
+	}, "\n"))
+
+	got, err := findDangling([]string{main, filepath.Join(dir, "docs", "sub.md")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("found %d dangling links %v, want 2", len(got), got)
+	}
+	if !strings.Contains(got[0], "missing.md") || !strings.Contains(got[0], ":3:") {
+		t.Fatalf("first finding %q, want missing.md at line 3", got[0])
+	}
+	if !strings.Contains(got[1], "docs/nope.md") {
+		t.Fatalf("second finding %q, want docs/nope.md", got[1])
+	}
+}
+
+// TestFindDanglingReadError: unreadable inputs are an error, not a
+// silent pass.
+func TestFindDanglingReadError(t *testing.T) {
+	if _, err := findDangling([]string{filepath.Join(t.TempDir(), "absent.md")}); err == nil {
+		t.Fatal("want error for unreadable file")
+	}
+}

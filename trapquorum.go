@@ -95,10 +95,61 @@ var ErrNotSupported = errors.New("trapquorum: operation not supported by backend
 //	if errors.Is(err, context.DeadlineExceeded) { retryLater() }
 type OpError = core.OpError
 
-// Metrics is a snapshot of protocol counters. DirectReads and
-// DecodeReads mirror the P1/P2 decomposition of the paper's
-// equation (13).
-type Metrics = core.MetricsSnapshot
+// Metrics is a snapshot of store-level counters: the protocol
+// counters (DirectReads and DecodeReads mirror the P1/P2
+// decomposition of the paper's equation 13) plus, when WithSelfHeal
+// is enabled, the failure detector's and repair orchestrator's
+// counters. Every counter is cumulative and monotone over the
+// store's lifetime; self-heal counters stay zero on stores opened
+// without WithSelfHeal.
+type Metrics struct {
+	// Writes counts committed quorum writes.
+	Writes int64
+	// FailedWrites counts writes that could not reach their quorum.
+	FailedWrites int64
+	// DirectReads counts reads served by the block's data node (the
+	// paper's P1 path).
+	DirectReads int64
+	// DecodeReads counts reads decoded from k consistent shards (the
+	// paper's P2 path).
+	DecodeReads int64
+	// FailedReads counts reads no level could serve.
+	FailedReads int64
+	// Rollbacks counts failed writes whose partial updates were
+	// rolled back.
+	Rollbacks int64
+	// Repairs counts chunk rebuilds that succeeded, whoever asked for
+	// them (manual RepairNode calls and the self-heal orchestrator
+	// both land here).
+	Repairs int64
+	// HedgedRPCs counts read-path RPCs re-issued by hedging.
+	HedgedRPCs int64
+
+	// Probes counts liveness probes issued by the health monitor.
+	Probes int64
+	// ProbeFailures counts probes that returned an error.
+	ProbeFailures int64
+	// Suspicions counts up→suspect transitions.
+	Suspicions int64
+	// DownEvents counts transitions into the down state.
+	DownEvents int64
+	// Recoveries counts repairing→up transitions — nodes restored to
+	// full redundancy by the orchestrator.
+	Recoveries int64
+
+	// AutoRepairs counts chunk repairs executed by the self-heal
+	// orchestrator that succeeded.
+	AutoRepairs int64
+	// AutoRepairFailures counts orchestrator repairs that failed (they
+	// are retried).
+	AutoRepairFailures int64
+	// ScrubPasses counts completed anti-entropy scrub passes.
+	ScrubPasses int64
+	// ScrubStripes counts stripes audited across all scrub passes.
+	ScrubStripes int64
+	// ScrubDegraded counts repair tasks the scrubber found.
+	ScrubDegraded int64
+}
 
 // ScrubReport is the stripe audit result of a scrub: the freshest
 // consistent version vector plus the stale/ahead/unreachable shard
