@@ -21,6 +21,17 @@ var (
 	// ErrBadRequest reports a malformed request (bad slot index,
 	// size-mismatched delta, empty version vector).
 	ErrBadRequest = errors.New("client: malformed request")
+	// ErrOverloaded is explicit backpressure: the serving side refused
+	// to queue the request because its bounded queues (worker pool,
+	// per-connection in-flight window) are full. The request was not
+	// executed; retry after backing off. Both wire codecs carry it as
+	// a dedicated status so pushback survives the network.
+	ErrOverloaded = errors.New("client: server overloaded")
+	// ErrQuotaExceeded reports a mutation that would push a tenant's
+	// namespace past its configured object-count or byte quota. The
+	// mutation was not applied; free space (Delete) or raise the
+	// quota. Both wire codecs carry it as a dedicated status.
+	ErrQuotaExceeded = errors.New("client: tenant quota exceeded")
 )
 
 // ChunkID names one shard of one stripe: Shard is the position within

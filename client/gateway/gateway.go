@@ -1,0 +1,417 @@
+// Package gateway is the dial-in client of the gateway tier: a thin,
+// pipelined connection to a trapgate process (see cmd/trapgate),
+// speaking the object-level gateway protocol. Where the root
+// trapquorum package embeds the whole protocol engine — erasure
+// coding, placement, quorum I/O against every storage node — this
+// client holds exactly one TCP connection and lets the gateway do the
+// rest, which is what thin clients (containers, functions, sidecars)
+// want: thousands of them can share one fleet through a handful of
+// gateways.
+//
+// A Conn is safe for concurrent use: calls from any number of
+// goroutines are pipelined onto the single connection and matched to
+// their responses by sequence number, so one slow operation does not
+// serialise the rest.
+//
+//	conn, err := gateway.Dial(ctx, "gate-1:9040", "tenant-a")
+//	if err != nil { ... }
+//	defer conn.Close()
+//	err  = conn.Put(ctx, "vm.img", image)
+//	data, err := conn.Get(ctx, "vm.img")
+//
+// Errors returned by the remote side satisfy errors.Is against the
+// public taxonomy (trapquorum.ErrUnknownKey, trapquorum.ErrOverloaded,
+// trapquorum.ErrQuotaExceeded, ErrDraining, ...): the wire protocol
+// carries the sentinel classification in both directions.
+//
+// Watch subscribes to the tenant's object-change feed; events are
+// delivered best-effort (a consumer that stops reading drops events
+// rather than stalling the connection's reader).
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"trapquorum/internal/gwire"
+)
+
+// ErrDraining reports a request refused because the gateway is
+// shutting down gracefully: reconnect to another gateway. Test with
+// errors.Is.
+var ErrDraining = gwire.ErrDraining
+
+// ErrClosed reports an operation on a connection that is closed —
+// locally via Close, or remotely (the gateway went away). Test with
+// errors.Is.
+var ErrClosed = errors.New("gateway: connection closed")
+
+// EventKind classifies a Watch notification.
+type EventKind uint8
+
+// Watch event kinds. EventDrain is the gateway's goodbye: the event
+// channel is closed right after delivering it.
+const (
+	EventPut EventKind = iota + 1
+	EventWrite
+	EventDelete
+	EventDrain
+)
+
+// String names the event kind for diagnostics.
+func (k EventKind) String() string {
+	switch k {
+	case EventPut:
+		return "put"
+	case EventWrite:
+		return "write"
+	case EventDelete:
+		return "delete"
+	case EventDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one object-change notification from a Watch subscription.
+type Event struct {
+	// Kind says how the object changed; EventDrain carries no key.
+	Kind EventKind
+	// Key is the changed object's key.
+	Key string
+}
+
+// Conn is one pipelined client connection to a gateway, bound to a
+// tenant namespace by the dial-time handshake.
+type Conn struct {
+	nc net.Conn
+
+	// wmu serialises request writes (and guards scratch).
+	wmu     sync.Mutex
+	scratch []byte
+
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	watch   chan Event
+	err     error // sticky transport error, set once the reader exits
+
+	done chan struct{}
+
+	maxFrame int
+}
+
+// response is one answer routed to its waiting caller; data is copied
+// out of the read buffer.
+type response struct {
+	status gwire.Status
+	flag   bool
+	detail string
+	data   []byte
+}
+
+// Dial connects to a gateway and binds the connection to the tenant
+// namespace. The context governs dialing and the handshake only.
+func Dial(ctx context.Context, addr, tenant string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(ctx, nc, tenant)
+}
+
+// NewConn runs the tenant handshake over an already-established
+// connection — any net.Conn works, which is how tests and custom
+// transports (TLS, in-memory pipes) plug in. The Conn owns nc from
+// here on, including on handshake error.
+func NewConn(ctx context.Context, nc net.Conn, tenant string) (*Conn, error) {
+	c := &Conn{
+		nc:       nc,
+		pending:  make(map[uint64]chan response),
+		done:     make(chan struct{}),
+		maxFrame: gwire.DefaultMaxFrame,
+	}
+	go c.readLoop()
+	resp, err := c.call(ctx, &gwire.Request{Op: gwire.OpHello, Key: []byte(tenant)})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("gateway: hello: %w", err)
+	}
+	if err := resp.status.Err(resp.detail); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("gateway: hello: %w", err)
+	}
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail with
+// ErrClosed. Closing twice is a no-op.
+func (c *Conn) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+// fail marks the connection dead, fails every in-flight call and
+// closes the watch feed.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pending := c.pending
+	c.pending = nil
+	watch := c.watch
+	c.watch = nil
+	close(c.done)
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+	if watch != nil {
+		close(watch)
+	}
+}
+
+// readLoop demultiplexes the connection: answers go to their waiting
+// callers by sequence number, events go to the watch feed.
+func (c *Conn) readLoop() {
+	var buf []byte
+	for {
+		payload, err := gwire.ReadFrame(c.nc, buf, c.maxFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		buf = payload[:0]
+		resp, err := gwire.DecodeResponse(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		if resp.Status == gwire.StatusEvent {
+			c.deliverEvent(&resp)
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if ch == nil {
+			// The caller gave up (context expired); drop the late
+			// answer.
+			continue
+		}
+		ch <- response{
+			status: resp.Status,
+			flag:   resp.Flag,
+			detail: resp.Detail,
+			data:   append([]byte(nil), resp.Data...),
+		}
+	}
+}
+
+// deliverEvent routes one StatusEvent frame to the watch feed,
+// best-effort.
+func (c *Conn) deliverEvent(resp *gwire.Response) {
+	ev, err := gwire.DecodeEvent(resp.Data)
+	if err != nil {
+		return
+	}
+	out := Event{Kind: EventKind(ev.Kind), Key: string(ev.Key)}
+	c.mu.Lock()
+	watch := c.watch
+	if out.Kind == EventDrain {
+		// The gateway is saying goodbye: deliver, then end the feed.
+		c.watch = nil
+	}
+	c.mu.Unlock()
+	if watch == nil {
+		return
+	}
+	select {
+	case watch <- out:
+	default:
+		// Slow consumer: drop rather than stall the demultiplexer.
+	}
+	if out.Kind == EventDrain {
+		close(watch)
+	}
+}
+
+// call sends one request and waits for its answer, the context, or
+// connection death.
+func (c *Conn) call(ctx context.Context, req *gwire.Request) (response, error) {
+	req.Seq = c.seq.Add(1)
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return response{}, err
+	}
+	c.pending[req.Seq] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.scratch = append(c.scratch[:0], 0, 0, 0, 0)
+	c.scratch = gwire.AppendRequest(c.scratch, req)
+	n := len(c.scratch) - 4
+	c.scratch[0], c.scratch[1], c.scratch[2], c.scratch[3] =
+		byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	_, err := c.nc.Write(c.scratch)
+	c.wmu.Unlock()
+	if err != nil {
+		c.unregister(req.Seq)
+		c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+		return response{}, c.stickyErr()
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return response{}, c.stickyErr()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.unregister(req.Seq)
+		return response{}, ctx.Err()
+	case <-c.done:
+		return response{}, c.stickyErr()
+	}
+}
+
+func (c *Conn) unregister(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+func (c *Conn) stickyErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClosed
+}
+
+// do runs one request and maps the response status through the error
+// taxonomy.
+func (c *Conn) do(ctx context.Context, req *gwire.Request) (response, error) {
+	resp, err := c.call(ctx, req)
+	if err != nil {
+		return response{}, err
+	}
+	if err := resp.status.Err(resp.detail); err != nil {
+		return response{}, err
+	}
+	return resp, nil
+}
+
+// Put stores data under key in the tenant's namespace. The key must
+// not exist (trapquorum.ErrExists otherwise); a quota the object
+// would overflow fails with trapquorum.ErrQuotaExceeded.
+func (c *Conn) Put(ctx context.Context, key string, data []byte) error {
+	_, err := c.do(ctx, &gwire.Request{Op: gwire.OpPut, Key: []byte(key), Data: data})
+	return err
+}
+
+// Get reads the whole object.
+func (c *Conn) Get(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.do(ctx, &gwire.Request{Op: gwire.OpGet, Key: []byte(key)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.data, nil
+}
+
+// ReadAt reads length bytes at the given offset.
+func (c *Conn) ReadAt(ctx context.Context, key string, offset, length int) ([]byte, error) {
+	resp, err := c.do(ctx, &gwire.Request{
+		Op: gwire.OpReadAt, Key: []byte(key),
+		Offset: int64(offset), Length: int64(length),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.data, nil
+}
+
+// WriteAt overwrites bytes [offset, offset+len(p)) of the object in
+// place; it cannot extend the object (trapquorum.ErrBadRange).
+func (c *Conn) WriteAt(ctx context.Context, key string, offset int, p []byte) error {
+	_, err := c.do(ctx, &gwire.Request{
+		Op: gwire.OpWriteAt, Key: []byte(key),
+		Offset: int64(offset), Data: p,
+	})
+	return err
+}
+
+// Delete removes the object.
+func (c *Conn) Delete(ctx context.Context, key string) error {
+	_, err := c.do(ctx, &gwire.Request{Op: gwire.OpDelete, Key: []byte(key)})
+	return err
+}
+
+// Scrub audits the object's stripes read-only and returns the
+// gateway's one-line report.
+func (c *Conn) Scrub(ctx context.Context, key string) (string, error) {
+	resp, err := c.do(ctx, &gwire.Request{Op: gwire.OpScrub, Key: []byte(key)})
+	if err != nil {
+		return "", err
+	}
+	return string(resp.data), nil
+}
+
+// Health probes the gateway: serving is false once the gateway is
+// draining; summary is its one-line stats report.
+func (c *Conn) Health(ctx context.Context) (serving bool, summary string, err error) {
+	resp, err := c.do(ctx, &gwire.Request{Op: gwire.OpHealth})
+	if err != nil {
+		return false, "", err
+	}
+	return resp.flag, string(resp.data), nil
+}
+
+// Watch subscribes to the tenant's object-change feed. The returned
+// channel carries events until the connection closes or the gateway
+// drains (an EventDrain is delivered, then the channel is closed).
+// Delivery is best-effort: events are dropped when the consumer lags.
+// A second Watch on the same Conn returns the same feed.
+func (c *Conn) Watch(ctx context.Context) (<-chan Event, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.watch != nil {
+		ch := c.watch
+		c.mu.Unlock()
+		return ch, nil
+	}
+	// Create the feed before the request is acknowledged so no event
+	// between the gateway's registration and our bookkeeping is lost.
+	ch := make(chan Event, 64)
+	c.watch = ch
+	c.mu.Unlock()
+	if _, err := c.do(ctx, &gwire.Request{Op: gwire.OpWatch}); err != nil {
+		c.mu.Lock()
+		if c.watch == ch {
+			c.watch = nil
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}

@@ -1,0 +1,215 @@
+// Command trapgate runs the TRAP-ERC gateway daemon: one process that
+// owns a quorum fleet (remote trapnode daemons, or an in-process
+// simulated cluster for demos) and serves thousands of persistent
+// client connections over the lightweight gateway protocol
+// (internal/gwire, client/gateway).
+//
+// Clients bind to a tenant at hello time; every tenant gets an
+// isolated namespace over the shared fleet, bounded by the default
+// quota flags. The serve path is pooled and pipelined: requests from
+// all connections share one bounded worker pool, and a connection
+// exceeding its in-flight window — or a full pool queue — is pushed
+// back immediately with an overloaded status rather than queueing
+// without bound.
+//
+//	trapgate -addr :7440 -nodes host1:7420,host2:7420,... -n 5 -k 3 -a 0 -b 3 -hh 0 -w 2
+//	trapgate -addr :7440 -sim 10                       # demo: simulated fleet
+//
+// On SIGINT/SIGTERM the daemon drains: listeners close so new dials
+// are refused, watchers receive a drain notice, in-flight requests
+// run to completion (bounded by -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"trapquorum/internal/core"
+	"trapquorum/internal/gateway"
+	"trapquorum/internal/service"
+	"trapquorum/internal/sim"
+	"trapquorum/internal/trapezoid"
+	"trapquorum/placement"
+	"trapquorum/transport/tcp"
+)
+
+type config struct {
+	addr  string
+	nodes string
+	sim   int
+
+	n, k       int
+	a, b, h, w int
+	block      int
+
+	workers  int
+	queue    int
+	inflight int
+
+	maxObjects int64
+	maxBytes   int64
+
+	drainTimeout time.Duration
+	simDelay     time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":7440", "TCP address to listen on for gateway clients")
+	flag.StringVar(&cfg.nodes, "nodes", "", "comma-separated trapnode addresses (the storage fleet)")
+	flag.IntVar(&cfg.sim, "sim", 0, "run against this many simulated in-process nodes instead of -nodes")
+	flag.IntVar(&cfg.n, "n", 5, "MDS code length n")
+	flag.IntVar(&cfg.k, "k", 3, "MDS code dimension k")
+	flag.IntVar(&cfg.a, "a", 0, "trapezoid slope a")
+	flag.IntVar(&cfg.b, "b", 3, "trapezoid base b (level-0 width)")
+	flag.IntVar(&cfg.h, "hh", 0, "trapezoid top level h (h+1 levels)")
+	flag.IntVar(&cfg.w, "w", 2, "write quorum size")
+	flag.IntVar(&cfg.block, "block", 64<<10, "erasure block size in bytes")
+	flag.IntVar(&cfg.workers, "workers", 0, "shared worker pool size (0: gateway default)")
+	flag.IntVar(&cfg.queue, "queue", 0, "worker queue depth (0: gateway default)")
+	flag.IntVar(&cfg.inflight, "inflight", 0, "per-connection in-flight request window (0: gateway default)")
+	flag.Int64Var(&cfg.maxObjects, "max-objects", 0, "default per-tenant object quota (0: unlimited)")
+	flag.Int64Var(&cfg.maxBytes, "max-bytes", 0, "default per-tenant byte quota (0: unlimited)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	flag.DurationVar(&cfg.simDelay, "sim-delay", 0, "per-operation latency of simulated nodes (with -sim)")
+	flag.Parse()
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("trapgate: %v, draining", s)
+		close(stop)
+	}()
+
+	if err := run(cfg, stop, nil); err != nil {
+		log.Fatalf("trapgate: %v", err)
+	}
+}
+
+// testHookServer, when non-nil, receives the gateway server right
+// before it starts accepting — tests use it to watch Stats.
+var testHookServer func(*gateway.Server)
+
+// run builds the fleet + gateway stack and serves until stop closes
+// or the listener fails. started, when non-nil, receives the bound
+// address once the gateway is accepting connections.
+func run(cfg config, stop <-chan struct{}, started func(net.Addr)) error {
+	nodes, desc, cleanup, err := buildNodes(cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	strat, err := placement.NewRing(len(nodes), 16)
+	if err != nil {
+		return err
+	}
+	fleet, err := service.NewFleet(nodes, service.Config{
+		N: cfg.n, K: cfg.k,
+		Shape: trapezoid.Shape{A: cfg.a, B: cfg.b, H: cfg.h}, W: cfg.w,
+		BlockSize: cfg.block,
+		Placement: strat,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := gateway.NewServer(gateway.FleetTenants{
+		Fleet: fleet,
+		Quota: service.Quota{MaxObjects: cfg.maxObjects, MaxBytes: cfg.maxBytes},
+	}, gateway.Config{
+		Workers:     cfg.workers,
+		QueueDepth:  cfg.queue,
+		MaxInflight: cfg.inflight,
+	})
+	if testHookServer != nil {
+		testHookServer(srv)
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("trapgate: serving on %s (%s, (%d,%d) code, trapezoid %s w=%d)",
+		ln.Addr(), desc, cfg.n, cfg.k, trapezoid.Shape{A: cfg.a, B: cfg.b, H: cfg.h}, cfg.w)
+	if started != nil {
+		started(ln.Addr())
+	}
+
+	select {
+	case <-stop:
+		dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("trapgate: drain timed out, closing: %v", err)
+			srv.Close()
+		}
+		return <-serveErr
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	}
+}
+
+// buildNodes resolves the fleet flags into transport clients: either
+// dial-out clients for every -nodes address, or an in-process
+// simulated cluster with -sim.
+func buildNodes(cfg config) (nodes []core.NodeClient, desc string, cleanup func(), err error) {
+	switch {
+	case cfg.sim > 0 && cfg.nodes != "":
+		return nil, "", nil, fmt.Errorf("-sim and -nodes are mutually exclusive")
+	case cfg.sim > 0:
+		opts := []sim.Option{}
+		if cfg.simDelay > 0 {
+			opts = append(opts, sim.WithDelay(sim.FixedDelay(cfg.simDelay)))
+		}
+		cluster, err := sim.NewCluster(cfg.sim, opts...)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		nodes = make([]core.NodeClient, cluster.Size())
+		for j := range nodes {
+			nodes[j] = cluster.Node(j)
+		}
+		return nodes, fmt.Sprintf("%d simulated nodes", cfg.sim), cluster.Close, nil
+	case cfg.nodes != "":
+		addrs := strings.Split(cfg.nodes, ",")
+		clients := make([]*tcp.NodeClient, 0, len(addrs))
+		for _, a := range addrs {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			clients = append(clients, tcp.NewClient(a))
+		}
+		if len(clients) == 0 {
+			return nil, "", nil, fmt.Errorf("-nodes lists no addresses")
+		}
+		nodes = make([]core.NodeClient, len(clients))
+		for j, c := range clients {
+			nodes[j] = c
+		}
+		cleanup = func() {
+			for _, c := range clients {
+				c.Close()
+			}
+		}
+		return nodes, fmt.Sprintf("%d storage nodes", len(clients)), cleanup, nil
+	default:
+		return nil, "", nil, fmt.Errorf("either -nodes or -sim is required")
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	gwclient "trapquorum/client/gateway"
+	"trapquorum/internal/gateway"
+)
+
+// startDaemon runs the gateway daemon on a loopback port with a
+// simulated fleet and returns its address, the stop channel and the
+// exit channel. The caller owns shutdown.
+func startDaemon(t *testing.T, cfg config) (addr string, srv *gateway.Server, stop chan struct{}, done chan error) {
+	t.Helper()
+	cfg.addr = "127.0.0.1:0"
+	if cfg.sim == 0 && cfg.nodes == "" {
+		cfg.sim = 10
+	}
+	if cfg.n == 0 {
+		cfg.n, cfg.k = 5, 3
+		cfg.a, cfg.b, cfg.h, cfg.w = 0, 3, 0, 2
+		cfg.block = 1 << 10
+	}
+	if cfg.drainTimeout == 0 {
+		cfg.drainTimeout = 10 * time.Second
+	}
+	stop = make(chan struct{})
+	done = make(chan error, 1)
+	addrCh := make(chan net.Addr, 1)
+	srvCh := make(chan *gateway.Server, 1)
+	testHookServer = func(s *gateway.Server) { srvCh <- s }
+	t.Cleanup(func() { testHookServer = nil })
+	go func() { done <- run(cfg, stop, func(a net.Addr) { addrCh <- a }) }()
+	select {
+	case a := <-addrCh:
+		return a.String(), <-srvCh, stop, done
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	panic("unreachable")
+}
+
+func TestDaemonServes(t *testing.T) {
+	addr, _, stop, done := startDaemon(t, config{})
+	t.Cleanup(func() {
+		close(stop)
+		if err := <-done; err != nil {
+			t.Errorf("daemon shutdown: %v", err)
+		}
+	})
+	ctx := context.Background()
+	conn, err := gwclient.Dial(ctx, addr, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	data := bytes.Repeat([]byte{7}, 3000)
+	if err := conn.Put(ctx, "obj", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Get(ctx, "obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get = %d bytes, %v", len(got), err)
+	}
+	serving, summary, err := conn.Health(ctx)
+	if err != nil || !serving {
+		t.Fatalf("health = %v %q %v", serving, summary, err)
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	if err := run(config{}, nil, nil); err == nil {
+		t.Fatal("no fleet flags: want error")
+	}
+	if err := run(config{sim: 4, nodes: "x:1"}, nil, nil); err == nil {
+		t.Fatal("-sim with -nodes: want error")
+	}
+	if err := run(config{nodes: " , "}, nil, nil); err == nil {
+		t.Fatal("empty -nodes: want error")
+	}
+}
+
+// TestDaemonGracefulDrain is the daemon-level shutdown-under-load
+// test: with mutations in flight against a deliberately slow fleet,
+// stopping the daemon (what SIGTERM does) must let the in-flight
+// requests finish, push a drain notice to watchers, refuse new dials,
+// and then exit cleanly.
+func TestDaemonGracefulDrain(t *testing.T) {
+	addr, srv, stop, done := startDaemon(t, config{
+		simDelay: 20 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	watcher, err := gwclient.Dial(ctx, addr, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watcher.Close()
+	events, err := watcher.Watch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := gwclient.Dial(ctx, addr, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	// Load: puts crossing several slow stripes, still in flight when
+	// the stop signal lands.
+	base := srv.Stats().Requests
+	payload := bytes.Repeat([]byte{0xee}, 6<<10)
+	var wg sync.WaitGroup
+	putErrs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := []string{"a", "b", "c", "d"}[i]
+			putErrs <- writer.Put(ctx, key, payload)
+		}(i)
+	}
+	// Wait until the daemon has admitted all four puts, then stop it
+	// while they are wedged in the slow quorum layer.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Requests < base+4 {
+		if time.Now().After(deadline) {
+			t.Fatal("puts never reached the workers")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+
+	// The watcher hears the drain notice.
+	select {
+	case ev := <-events:
+		if ev.Kind != gwclient.EventDrain {
+			t.Fatalf("event = %+v, want drain", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no drain notice")
+	}
+
+	// Every in-flight put completed despite the shutdown.
+	wg.Wait()
+	close(putErrs)
+	for err := range putErrs {
+		if err != nil {
+			t.Fatalf("in-flight put failed during drain: %v", err)
+		}
+	}
+
+	// The daemon exits cleanly...
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit = %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after drain")
+	}
+	// ...and new dials are refused.
+	if conn, err := gwclient.Dial(ctx, addr, "acme"); err == nil {
+		conn.Close()
+		t.Fatal("dial accepted after drain")
+	}
+}

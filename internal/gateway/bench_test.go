@@ -1,0 +1,267 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"trapquorum/client"
+	gwclient "trapquorum/client/gateway"
+	"trapquorum/internal/gwire"
+)
+
+// nullStore is the no-op tenant backend: it isolates the gateway's
+// connection plane (framing, dispatch, pooling, backpressure) from
+// the quorum engine, which is what the zero-alloc benchmark pins.
+type nullStore struct{ payload []byte }
+
+func (n nullStore) Put(context.Context, string, []byte) error { return nil }
+func (n nullStore) GetAppend(_ context.Context, _ string, dst []byte) ([]byte, error) {
+	return append(dst, n.payload...), nil
+}
+func (n nullStore) ReadAtAppend(_ context.Context, _ string, _, length int, dst []byte) ([]byte, error) {
+	take := length
+	if take > len(n.payload) {
+		take = len(n.payload)
+	}
+	return append(dst, n.payload[:take]...), nil
+}
+func (n nullStore) WriteAt(context.Context, string, int, []byte) error { return nil }
+func (n nullStore) Delete(context.Context, string) error               { return nil }
+func (n nullStore) ScrubSummary(context.Context, string) (string, error) {
+	return "stripes=0", nil
+}
+
+// rawConn is a minimal allocation-free gateway client: reused request
+// and response buffers, sequential request/response. The public
+// client allocates per call (result copies, pending-map bookkeeping);
+// this one exists so the benchmark measures the server, not the
+// client.
+type rawConn struct {
+	nc      net.Conn
+	reqBuf  []byte
+	respBuf []byte
+	seq     uint64
+}
+
+func newRawConn(t testing.TB, l *pipeListener, tenant string) *rawConn {
+	t.Helper()
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	rc := &rawConn{nc: nc, reqBuf: make([]byte, 0, 8192), respBuf: make([]byte, 0, 8192)}
+	resp, err := rc.roundTrip(&gwire.Request{Op: gwire.OpHello, Key: []byte(tenant)})
+	if err != nil || resp.Status != gwire.StatusOK {
+		t.Fatalf("hello: %v (status %d)", err, resp.Status)
+	}
+	return rc
+}
+
+// roundTrip sends one request and reads one response, reusing both
+// buffers. Zero allocations in steady state.
+func (rc *rawConn) roundTrip(req *gwire.Request) (gwire.Response, error) {
+	rc.seq++
+	req.Seq = rc.seq
+	buf := append(rc.reqBuf[:0], 0, 0, 0, 0)
+	buf = gwire.AppendRequest(buf, req)
+	n := len(buf) - 4
+	buf[0], buf[1], buf[2], buf[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	rc.reqBuf = buf
+	if _, err := rc.nc.Write(buf); err != nil {
+		return gwire.Response{}, err
+	}
+	payload, err := gwire.ReadFrame(rc.nc, rc.respBuf[:0], gwire.DefaultMaxFrame)
+	if err != nil {
+		return gwire.Response{}, err
+	}
+	rc.respBuf = payload
+	return gwire.DecodeResponse(payload)
+}
+
+// BenchmarkServePathAllocs drives Put and Get through the whole
+// connection plane — frame read, decode, admission, worker dispatch,
+// handler, response encode, frame write — over a null backend, and
+// pins the steady-state serve path at 0 allocs/op (the allocs column
+// of this benchmark is the regression gate).
+func BenchmarkServePathAllocs(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xa5}, 4096)
+	_, l := startServer(b, staticTenants{nullStore{payload: payload}}, Config{Workers: 2})
+	rc := newRawConn(b, l, "bench")
+
+	get := gwire.Request{Op: gwire.OpGet, Key: []byte("obj")}
+	put := gwire.Request{Op: gwire.OpPut, Key: []byte("obj"), Data: payload}
+	// Warm the pools, the intern table and the buffer growth.
+	for i := 0; i < 64; i++ {
+		if _, err := rc.roundTrip(&get); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rc.roundTrip(&put); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var req *gwire.Request
+		if i%2 == 0 {
+			req = &get
+		} else {
+			req = &put
+		}
+		resp, err := rc.roundTrip(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Status != gwire.StatusOK {
+			b.Fatalf("status %d: %s", resp.Status, resp.Detail)
+		}
+	}
+}
+
+// TestServePathZeroAlloc is the test-suite twin of the benchmark: the
+// whole process must average out to (almost) zero allocations per
+// request once warm. The bound is loose only to tolerate scheduler
+// noise from the server goroutines.
+func TestServePathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the serve path")
+	}
+	payload := bytes.Repeat([]byte{0xa5}, 4096)
+	_, l := startServer(t, staticTenants{nullStore{payload: payload}}, Config{Workers: 2})
+	rc := newRawConn(t, l, "bench")
+	get := gwire.Request{Op: gwire.OpGet, Key: []byte("obj")}
+	for i := 0; i < 64; i++ {
+		if _, err := rc.roundTrip(&get); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := rc.roundTrip(&get); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("serve path allocates %.2f times per request, want ~0", allocs)
+	}
+}
+
+// Benchmark10kConnections holds 10 000 concurrent client connections
+// (in-memory pipes: the whole stack minus the kernel socket, chosen
+// because the container's fd ceiling cannot hold 10k TCP pairs) over
+// a shared null-backend gateway and, per iteration, runs one
+// pipelined Get+Put pair on every connection. It reports the held
+// connection count, aggregate request rate and p99 latency — the
+// numbers BENCH_gateway.json carries.
+func Benchmark10kConnections(b *testing.B) {
+	const conns = 10_000
+	payload := bytes.Repeat([]byte{0x3c}, 1024)
+	_, l := startServer(b, staticTenants{nullStore{payload: payload}}, Config{
+		Workers:     128,
+		QueueDepth:  4 * conns,
+		MaxInflight: 8,
+	})
+
+	ctx := context.Background()
+	clients := make([]*gwclient.Conn, conns)
+	var dialWG sync.WaitGroup
+	dialErr := make(chan error, 16)
+	for i := range clients {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			nc, err := l.Dial()
+			if err != nil {
+				select {
+				case dialErr <- err:
+				default:
+				}
+				return
+			}
+			c, err := gwclient.NewConn(ctx, nc, "load")
+			if err != nil {
+				select {
+				case dialErr <- err:
+				default:
+				}
+				return
+			}
+			clients[i] = c
+		}(i)
+	}
+	dialWG.Wait()
+	select {
+	case err := <-dialErr:
+		b.Fatal(err)
+	default:
+	}
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	lat := make([]time.Duration, conns)
+	var latencies []time.Duration
+	totalOps := 0
+	start := time.Now()
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		var wg sync.WaitGroup
+		opErr := make(chan error, 16)
+		for i, c := range clients {
+			wg.Add(1)
+			go func(i int, c *gwclient.Conn) {
+				defer wg.Done()
+				key := fmt.Sprintf("obj-%d", i)
+				t0 := time.Now()
+				// Pipelined pair: Put and Get in flight together on the
+				// same connection.
+				var inner sync.WaitGroup
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					if err := c.Put(ctx, key, payload[:128]); err != nil && !errors.Is(err, client.ErrOverloaded) {
+						select {
+						case opErr <- err:
+						default:
+						}
+					}
+				}()
+				if _, err := c.Get(ctx, key); err != nil && !errors.Is(err, client.ErrOverloaded) {
+					select {
+					case opErr <- err:
+					default:
+					}
+				}
+				inner.Wait()
+				lat[i] = time.Since(t0)
+			}(i, c)
+		}
+		wg.Wait()
+		select {
+		case err := <-opErr:
+			b.Fatal(err)
+		default:
+		}
+		latencies = append(latencies, lat...)
+		totalOps += 2 * conns
+	}
+	b.StopTimer()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	b.ReportMetric(float64(conns), "conns")
+	b.ReportMetric(float64(totalOps)/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
+}

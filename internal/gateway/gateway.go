@@ -1,0 +1,796 @@
+// Package gateway is the connection tier in front of a storage fleet:
+// one process accepting thousands of persistent client connections
+// and multiplexing their object operations onto a shared
+// service.Fleet. It exists because the quorum protocol's natural
+// clients are few and fat (hypervisors, virtualization middleware)
+// while real deployments are many and thin — a fleet of n storage
+// nodes should not see n×clients TCP connections, and clients should
+// not each need the placement tables and protocol engine in process.
+//
+// # Design
+//
+// Each accepted connection gets one reader goroutine and no writer
+// goroutine: responses are written directly by whichever worker
+// finished the request, serialised by a per-session write mutex. All
+// sessions share one bounded worker pool; a request that finds the
+// pool's queue full — or its own connection over the per-connection
+// in-flight window — is refused immediately with StatusOverloaded
+// instead of queueing without bound. That makes overload explicit
+// backpressure the client can act on (back off, spread load) rather
+// than silent latency growth.
+//
+// Frame buffers are pooled and responses are encoded straight into
+// the outgoing buffer (object bytes appended in place via the
+// service layer's append-style reads), so the steady-state serve
+// path allocates nothing per request.
+//
+// Connections bind to a tenant namespace with a Hello handshake;
+// tenants are isolated namespaces with quotas on one shared fleet
+// (see service.Fleet). Watch subscriptions receive object-change
+// events for their tenant, delivered best-effort through a small
+// per-watcher buffer — a slow watcher drops events rather than
+// stalling the data path.
+//
+// Shutdown is graceful: Drain stops accepting, tells every watcher
+// (EventDrain), refuses new requests with StatusDraining, and waits
+// for in-flight requests to finish before closing connections.
+package gateway
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trapquorum/internal/gwire"
+	"trapquorum/internal/service"
+)
+
+// TenantStore is the per-tenant backend surface the gateway serves.
+// *service.Store provides everything but the scrub summary; see
+// FleetTenants for the adapter.
+type TenantStore interface {
+	Put(ctx context.Context, key string, data []byte) error
+	GetAppend(ctx context.Context, key string, dst []byte) ([]byte, error)
+	ReadAtAppend(ctx context.Context, key string, offset, length int, dst []byte) ([]byte, error)
+	WriteAt(ctx context.Context, key string, offset int, data []byte) error
+	Delete(ctx context.Context, key string) error
+	// ScrubSummary audits the object and returns a one-line report.
+	ScrubSummary(ctx context.Context, key string) (string, error)
+}
+
+// TenantProvider resolves a tenant name (from the Hello handshake) to
+// its backend store.
+type TenantProvider interface {
+	Tenant(name string) (TenantStore, error)
+}
+
+// FleetTenants adapts a service.Fleet to the TenantProvider surface:
+// every tenant that says Hello gets a namespace on the fleet, created
+// on first use with the configured quota.
+type FleetTenants struct {
+	Fleet *service.Fleet
+	// Quota caps each newly created tenant namespace (zero fields are
+	// unlimited). Tenants created earlier keep their creation-time
+	// quota.
+	Quota service.Quota
+}
+
+// Tenant implements TenantProvider.
+func (f FleetTenants) Tenant(name string) (TenantStore, error) {
+	s, err := f.Fleet.Tenant(name, f.Quota)
+	if err != nil {
+		return nil, err
+	}
+	return fleetStore{s}, nil
+}
+
+// fleetStore adds the scrub summary to a service.Store.
+type fleetStore struct{ *service.Store }
+
+func (s fleetStore) ScrubSummary(ctx context.Context, key string) (string, error) {
+	reports, err := s.Store.Scrub(ctx, key)
+	if err != nil {
+		return "", err
+	}
+	stale, ahead, unreachable, mismatched := 0, 0, 0, 0
+	for _, r := range reports {
+		stale += len(r.StaleShards)
+		ahead += len(r.AheadShards)
+		unreachable += len(r.UnreachableShards)
+		if r.ParityMismatch {
+			mismatched++
+		}
+	}
+	return fmt.Sprintf("stripes=%d stale=%d ahead=%d unreachable=%d parity-mismatched=%d",
+		len(reports), stale, ahead, unreachable, mismatched), nil
+}
+
+// Config parameterises a gateway server. The zero value of each field
+// selects the default.
+type Config struct {
+	// Workers is the size of the shared worker pool executing requests
+	// (default 64).
+	Workers int
+	// QueueDepth bounds the worker pool's request queue; a submit that
+	// finds it full is refused with StatusOverloaded (default
+	// 4×Workers).
+	QueueDepth int
+	// MaxInflight bounds one connection's outstanding requests; the
+	// excess is refused with StatusOverloaded (default 32).
+	MaxInflight int
+	// MaxFrame bounds a request frame's payload, enforced before
+	// allocation (default gwire.DefaultMaxFrame).
+	MaxFrame int
+	// WatchBuffer bounds each watcher's event buffer; a full buffer
+	// drops events rather than stalling writers (default 64).
+	WatchBuffer int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 32
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = gwire.DefaultMaxFrame
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 64
+	}
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// Accepted counts connections accepted over the server's lifetime;
+	// Active is the number currently open.
+	Accepted, Active int64
+	// Requests counts requests that reached a worker; Overloads counts
+	// requests refused by backpressure (queue or in-flight window).
+	Requests, Overloads int64
+	// EventsDropped counts watch events discarded because a watcher's
+	// buffer was full.
+	EventsDropped int64
+}
+
+// frameBuf boxes a pooled buffer behind a stable pointer so pool
+// round-trips never re-box a slice header (a []byte stored directly
+// in a sync.Pool allocates on every Put).
+type frameBuf struct{ b []byte }
+
+// task is one request handed to the worker pool. The frame buffer
+// travels with it (req's Key and Data alias fb.b) and returns to the
+// read pool when the worker is done.
+type task struct {
+	s   *session
+	fb  *frameBuf
+	req gwire.Request
+}
+
+// Server is one gateway process: an accept loop, a shared worker
+// pool, and the session/watcher registries.
+type Server struct {
+	tenants TenantProvider
+	cfg     Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	tasks    chan task
+	draining atomic.Bool
+	inflight atomic.Int64 // requests handed to the pool, not yet answered
+
+	accepted      atomic.Int64
+	requests      atomic.Int64
+	overloads     atomic.Int64
+	eventsDropped atomic.Int64
+
+	workers sync.WaitGroup
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	sessions  map[*session]struct{}
+	watchers  map[string]map[*session]struct{} // tenant -> watching sessions
+
+	readPool sync.Pool
+	outPool  sync.Pool
+}
+
+// NewServer builds a gateway over the given tenant backends.
+func NewServer(tenants TenantProvider, cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &Server{
+		tenants:   tenants,
+		cfg:       cfg,
+		ctx:       ctx,
+		cancel:    cancel,
+		tasks:     make(chan task, cfg.QueueDepth),
+		listeners: make(map[net.Listener]struct{}),
+		sessions:  make(map[*session]struct{}),
+		watchers:  make(map[string]map[*session]struct{}),
+	}
+	srv.readPool.New = func() any { return &frameBuf{b: make([]byte, 0, 4096)} }
+	srv.outPool.New = func() any { return &frameBuf{b: make([]byte, 0, 4096)} }
+	srv.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go srv.worker()
+	}
+	return srv
+}
+
+// Stats snapshots the server's counters.
+func (srv *Server) Stats() Stats {
+	srv.mu.Lock()
+	active := int64(len(srv.sessions))
+	srv.mu.Unlock()
+	return Stats{
+		Accepted:      srv.accepted.Load(),
+		Active:        active,
+		Requests:      srv.requests.Load(),
+		Overloads:     srv.overloads.Load(),
+		EventsDropped: srv.eventsDropped.Load(),
+	}
+}
+
+// Serve accepts connections on l until the listener is closed (by
+// Drain or Close). It returns nil on a drain/close shutdown.
+func (srv *Server) Serve(l net.Listener) error {
+	if srv.draining.Load() {
+		l.Close()
+		return gwire.ErrDraining
+	}
+	srv.mu.Lock()
+	srv.listeners[l] = struct{}{}
+	srv.mu.Unlock()
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.listeners, l)
+		srv.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if srv.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		srv.accepted.Add(1)
+		s := &session{srv: srv, conn: conn}
+		srv.mu.Lock()
+		if srv.draining.Load() {
+			srv.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		srv.sessions[s] = struct{}{}
+		srv.mu.Unlock()
+		go s.readLoop()
+	}
+}
+
+// Drain shuts the gateway down gracefully: stop accepting, notify
+// watchers (EventDrain), refuse new requests with StatusDraining,
+// wait for in-flight requests to complete, then close connections.
+// The context bounds the wait; on expiry remaining connections are
+// closed anyway and the context's error is returned.
+func (srv *Server) Drain(ctx context.Context) error {
+	if !srv.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	srv.mu.Lock()
+	for l := range srv.listeners {
+		l.Close()
+	}
+	// Tell every watcher goodbye before the data path stops.
+	var targets []*session
+	for _, subs := range srv.watchers {
+		for s := range subs {
+			targets = append(targets, s)
+		}
+	}
+	srv.mu.Unlock()
+	for _, s := range targets {
+		s.enqueueEvent(gwire.EventDrain, "")
+	}
+
+	// Readers stop admitting once draining is set, so the in-flight
+	// count only falls from here; poll it to zero (drain is not a hot
+	// path, and polling avoids the Add-vs-Wait race a WaitGroup would
+	// have against the admission fast path).
+	var err error
+	for srv.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+		case <-time.After(time.Millisecond):
+			continue
+		}
+		break
+	}
+	srv.shutdown()
+	return err
+}
+
+// Close shuts the gateway down immediately: listeners and connections
+// are closed with no grace for in-flight requests.
+func (srv *Server) Close() {
+	srv.draining.Store(true)
+	srv.mu.Lock()
+	for l := range srv.listeners {
+		l.Close()
+	}
+	srv.mu.Unlock()
+	srv.shutdown()
+}
+
+// shutdown closes every session and stops the worker pool. Watcher
+// notifiers get a bounded grace to flush queued events (the drain
+// notice in particular) before their connections are cut.
+func (srv *Server) shutdown() {
+	srv.cancel()
+	srv.mu.Lock()
+	sessions := make([]*session, 0, len(srv.sessions))
+	for s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *session) {
+			defer wg.Done()
+			s.stopNotifier()
+			s.waitNotifier(time.Second)
+			s.conn.Close()
+		}(s)
+	}
+	wg.Wait()
+	srv.workers.Wait()
+}
+
+// worker executes pool tasks until shutdown.
+func (srv *Server) worker() {
+	defer srv.workers.Done()
+	for {
+		select {
+		case t := <-srv.tasks:
+			t.s.handle(&t.req)
+			srv.putReadBuf(t.fb)
+			t.s.inflight.Add(-1)
+			srv.inflight.Add(-1)
+		case <-srv.ctx.Done():
+			return
+		}
+	}
+}
+
+// maxKeptScratch bounds pooled buffers: one giant frame must not pin
+// its buffer forever.
+const maxKeptScratch = 64 << 10
+
+func (srv *Server) getReadBuf() *frameBuf { return srv.readPool.Get().(*frameBuf) }
+func (srv *Server) getOutBuf() *frameBuf  { return srv.outPool.Get().(*frameBuf) }
+
+func (srv *Server) putReadBuf(fb *frameBuf) { putBuf(&srv.readPool, fb) }
+func (srv *Server) putOutBuf(fb *frameBuf)  { putBuf(&srv.outPool, fb) }
+
+func putBuf(p *sync.Pool, fb *frameBuf) {
+	if cap(fb.b) > maxKeptScratch {
+		fb.b = make([]byte, 0, 4096)
+	}
+	fb.b = fb.b[:0]
+	p.Put(fb)
+}
+
+// registerWatch subscribes a session to its tenant's object-change
+// events. The latest Watch request's seq wins when a session
+// subscribes twice.
+func (srv *Server) registerWatch(s *session, seq uint64) {
+	s.watchSeq.Store(seq)
+	s.startNotifier()
+	srv.mu.Lock()
+	subs := srv.watchers[s.tenant]
+	if subs == nil {
+		subs = make(map[*session]struct{})
+		srv.watchers[s.tenant] = subs
+	}
+	subs[s] = struct{}{}
+	srv.mu.Unlock()
+}
+
+// unregister removes a closed session from the registries.
+func (srv *Server) unregister(s *session) {
+	srv.mu.Lock()
+	delete(srv.sessions, s)
+	if subs, ok := srv.watchers[s.tenant]; ok {
+		delete(subs, s)
+		if len(subs) == 0 {
+			delete(srv.watchers, s.tenant)
+		}
+	}
+	srv.mu.Unlock()
+}
+
+// notify fans an object-change event out to the tenant's watchers
+// (excluding the mutating session itself: it knows what it did).
+func (srv *Server) notify(origin *session, tenant string, kind gwire.EventKind, key string) {
+	srv.mu.Lock()
+	var targets []*session
+	for s := range srv.watchers[tenant] {
+		if s != origin {
+			targets = append(targets, s)
+		}
+	}
+	srv.mu.Unlock()
+	for _, s := range targets {
+		s.enqueueEvent(kind, key)
+	}
+}
+
+// event is one queued watch notification.
+type event struct {
+	kind gwire.EventKind
+	key  string
+}
+
+// session is one accepted connection: its reader goroutine, write
+// mutex, tenant binding and watch state.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	inflight atomic.Int64
+
+	// Bound by the Hello handshake in the reader goroutine; workers
+	// only see these after admission, which happens after binding.
+	tenant string
+	store  TenantStore
+
+	// names interns this session's object keys so the steady-state
+	// path does not allocate a string per request. Guarded by writeMu
+	// (workers of the same session run concurrently). Bounded by
+	// wholesale reset: a session cycling through unbounded distinct
+	// keys trades the zero-alloc lookup for churn.
+	names map[string]string
+
+	watchSeq     atomic.Uint64
+	watchMu      sync.Mutex
+	events       chan event
+	notifierDone chan struct{}
+}
+
+// maxInternedKeys bounds the per-session key intern table.
+const maxInternedKeys = 4096
+
+// internKey returns a stable string for the key bytes without
+// allocating on the hit path (a map lookup indexed by string(b) does
+// not materialise the string).
+func (s *session) internKey(b []byte) string {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if v, ok := s.names[string(b)]; ok {
+		return v
+	}
+	if s.names == nil || len(s.names) >= maxInternedKeys {
+		s.names = make(map[string]string, 64)
+	}
+	k := string(b)
+	s.names[k] = k
+	return k
+}
+
+// readLoop is the session's reader goroutine: read frame, decode,
+// admit, hand to the pool.
+func (s *session) readLoop() {
+	defer func() {
+		s.conn.Close()
+		s.srv.unregister(s)
+		s.stopNotifier()
+	}()
+	srv := s.srv
+	fb := srv.getReadBuf()
+	for {
+		payload, err := gwire.ReadFrame(s.conn, fb.b[:0], srv.cfg.MaxFrame)
+		if err != nil {
+			// EOF, torn frame, oversized frame or a closed connection:
+			// in every case the stream is unusable — drop the session.
+			srv.putReadBuf(fb)
+			return
+		}
+		fb.b = payload
+		req, err := gwire.DecodeRequest(payload)
+		if err != nil {
+			// A peer speaking garbage gets disconnected, not parsed
+			// charitably.
+			srv.putReadBuf(fb)
+			return
+		}
+		switch {
+		case req.Op == gwire.OpHello:
+			// Bind synchronously: the handshake must win any race with
+			// pipelined requests arriving behind it.
+			s.handleHello(&req)
+			continue
+		case req.Op == gwire.OpHealth:
+			// Health stays answerable during drain and before Hello —
+			// it is how operators and balancers probe the gateway.
+			s.handleHealth(req.Seq)
+			continue
+		case s.store == nil:
+			s.respondErr(req.Seq, gwire.StatusBadRequest, "hello required before any other op")
+			continue
+		}
+		if srv.draining.Load() {
+			s.respondErr(req.Seq, gwire.StatusDraining, "gateway is draining")
+			continue
+		}
+		if s.inflight.Add(1) > int64(srv.cfg.MaxInflight) {
+			s.inflight.Add(-1)
+			srv.overloads.Add(1)
+			s.respondErr(req.Seq, gwire.StatusOverloaded, "connection in-flight window full")
+			continue
+		}
+		srv.inflight.Add(1)
+		select {
+		case srv.tasks <- task{s: s, fb: fb, req: req}:
+			srv.requests.Add(1)
+			// The frame buffer now belongs to the worker; read the next
+			// frame into a fresh one.
+			fb = srv.getReadBuf()
+		default:
+			s.inflight.Add(-1)
+			srv.inflight.Add(-1)
+			srv.overloads.Add(1)
+			s.respondErr(req.Seq, gwire.StatusOverloaded, "worker queue full")
+		}
+	}
+}
+
+// handleHello binds the session to its tenant namespace.
+func (s *session) handleHello(req *gwire.Request) {
+	if s.store != nil {
+		s.respondErr(req.Seq, gwire.StatusBadRequest, "connection already bound to a tenant")
+		return
+	}
+	if len(req.Key) == 0 {
+		s.respondErr(req.Seq, gwire.StatusBadRequest, "empty tenant name")
+		return
+	}
+	store, err := s.srv.tenants.Tenant(string(req.Key))
+	if err != nil {
+		s.respondErr(req.Seq, gwire.StatusOf(err), err.Error())
+		return
+	}
+	s.tenant = string(req.Key)
+	s.store = store
+	s.respondOK(req.Seq)
+}
+
+// handleHealth answers the health probe: Flag reports serving (true)
+// vs draining, Data carries a one-line stats summary.
+func (s *session) handleHealth(seq uint64) {
+	srv := s.srv
+	st := srv.Stats()
+	summary := fmt.Sprintf("conns=%d requests=%d overloads=%d events-dropped=%d",
+		st.Active, st.Requests, st.Overloads, st.EventsDropped)
+	fb := srv.getOutBuf()
+	body, dlenOff := gwire.BeginResponse(append(fb.b, 0, 0, 0, 0), seq, gwire.StatusOK, !srv.draining.Load(), "")
+	body = append(body, summary...)
+	gwire.FinishResponse(body, dlenOff)
+	s.send(body, fb)
+}
+
+// handle executes one admitted request on a pool worker.
+func (s *session) handle(req *gwire.Request) {
+	srv := s.srv
+	ctx := srv.ctx
+	switch req.Op {
+	case gwire.OpPut:
+		key := s.internKey(req.Key)
+		err := s.store.Put(ctx, key, req.Data)
+		if err == nil {
+			srv.notify(s, s.tenant, gwire.EventPut, key)
+		}
+		s.respondStatus(req.Seq, err)
+	case gwire.OpGet:
+		key := s.internKey(req.Key)
+		fb := srv.getOutBuf()
+		hdr, dlenOff := gwire.BeginResponse(append(fb.b, 0, 0, 0, 0), req.Seq, gwire.StatusOK, false, "")
+		body, err := s.store.GetAppend(ctx, key, hdr)
+		if err != nil {
+			fb.b = hdr
+			srv.putOutBuf(fb)
+			s.respondStatus(req.Seq, err)
+			return
+		}
+		gwire.FinishResponse(body, dlenOff)
+		s.send(body, fb)
+	case gwire.OpReadAt:
+		key := s.internKey(req.Key)
+		if req.Offset < 0 || req.Length < 0 || req.Length > int64(srv.cfg.MaxFrame) {
+			s.respondErr(req.Seq, gwire.StatusBadRange, "offset/length out of range")
+			return
+		}
+		fb := srv.getOutBuf()
+		hdr, dlenOff := gwire.BeginResponse(append(fb.b, 0, 0, 0, 0), req.Seq, gwire.StatusOK, false, "")
+		body, err := s.store.ReadAtAppend(ctx, key, int(req.Offset), int(req.Length), hdr)
+		if err != nil {
+			fb.b = hdr
+			srv.putOutBuf(fb)
+			s.respondStatus(req.Seq, err)
+			return
+		}
+		gwire.FinishResponse(body, dlenOff)
+		s.send(body, fb)
+	case gwire.OpWriteAt:
+		key := s.internKey(req.Key)
+		if req.Offset < 0 {
+			s.respondErr(req.Seq, gwire.StatusBadRange, "negative offset")
+			return
+		}
+		err := s.store.WriteAt(ctx, key, int(req.Offset), req.Data)
+		if err == nil {
+			srv.notify(s, s.tenant, gwire.EventWrite, key)
+		}
+		s.respondStatus(req.Seq, err)
+	case gwire.OpDelete:
+		key := s.internKey(req.Key)
+		err := s.store.Delete(ctx, key)
+		if err == nil {
+			srv.notify(s, s.tenant, gwire.EventDelete, key)
+		}
+		s.respondStatus(req.Seq, err)
+	case gwire.OpScrub:
+		key := s.internKey(req.Key)
+		summary, err := s.store.ScrubSummary(ctx, key)
+		if err != nil {
+			s.respondStatus(req.Seq, err)
+			return
+		}
+		s.respondData(req.Seq, []byte(summary))
+	case gwire.OpWatch:
+		srv.registerWatch(s, req.Seq)
+		s.respondOK(req.Seq)
+	default:
+		s.respondErr(req.Seq, gwire.StatusBadRequest, "unhandled op")
+	}
+}
+
+// respondStatus maps err through the wire taxonomy and answers.
+func (s *session) respondStatus(seq uint64, err error) {
+	if err == nil {
+		s.respondOK(seq)
+		return
+	}
+	status := gwire.StatusOf(err)
+	detail := err.Error()
+	if status == gwire.StatusInternal && errors.Is(err, context.Canceled) {
+		// Shutdown raced the request: report drain, not an internal
+		// fault.
+		status = gwire.StatusDraining
+		detail = "gateway is draining"
+	}
+	s.respondErr(seq, status, detail)
+}
+
+func (s *session) respondOK(seq uint64) {
+	fb := s.srv.getOutBuf()
+	body, dlenOff := gwire.BeginResponse(append(fb.b, 0, 0, 0, 0), seq, gwire.StatusOK, false, "")
+	gwire.FinishResponse(body, dlenOff)
+	s.send(body, fb)
+}
+
+func (s *session) respondData(seq uint64, data []byte) {
+	fb := s.srv.getOutBuf()
+	body, dlenOff := gwire.BeginResponse(append(fb.b, 0, 0, 0, 0), seq, gwire.StatusOK, false, "")
+	body = append(body, data...)
+	gwire.FinishResponse(body, dlenOff)
+	s.send(body, fb)
+}
+
+func (s *session) respondErr(seq uint64, status gwire.Status, detail string) {
+	fb := s.srv.getOutBuf()
+	body, dlenOff := gwire.BeginResponse(append(fb.b, 0, 0, 0, 0), seq, status, false, detail)
+	gwire.FinishResponse(body, dlenOff)
+	s.send(body, fb)
+}
+
+// send writes one response frame and returns its buffer to the pool.
+// The buffer's first four bytes are reserved for the frame header
+// (the layout every respond* helper and the zero-copy read path
+// build): patch the length in and write the whole thing with a single
+// conn.Write under the session's write mutex.
+func (s *session) send(body []byte, fb *frameBuf) {
+	binary.BigEndian.PutUint32(body[:4], uint32(len(body)-4))
+	s.writeMu.Lock()
+	_, err := s.conn.Write(body)
+	s.writeMu.Unlock()
+	if err != nil {
+		// The reader will observe the dead connection and tear the
+		// session down; nothing to recover here.
+		_ = err
+	}
+	fb.b = body
+	s.srv.putOutBuf(fb)
+}
+
+// enqueueEvent queues a watch notification, dropping it if the
+// watcher's buffer is full (best-effort delivery; see package doc).
+func (s *session) enqueueEvent(kind gwire.EventKind, key string) {
+	s.watchMu.Lock()
+	ch := s.events
+	s.watchMu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- event{kind: kind, key: key}:
+	default:
+		s.srv.eventsDropped.Add(1)
+	}
+}
+
+// startNotifier lazily starts the session's event-writer goroutine on
+// the first Watch: events are written off the data path, so a slow
+// watcher connection never stalls the worker that performed the
+// mutation.
+func (s *session) startNotifier() {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if s.notifierDone != nil {
+		return
+	}
+	s.notifierDone = make(chan struct{})
+	s.events = make(chan event, s.srv.cfg.WatchBuffer)
+	go func(ch chan event, done chan struct{}) {
+		defer close(done)
+		for ev := range ch {
+			seq := s.watchSeq.Load()
+			fb := s.srv.getOutBuf()
+			body, dlenOff := gwire.BeginResponse(append(fb.b, 0, 0, 0, 0), seq, gwire.StatusEvent, false, "")
+			body = gwire.AppendEvent(body, &gwire.Event{Kind: ev.kind, Key: []byte(ev.key)})
+			gwire.FinishResponse(body, dlenOff)
+			s.send(body, fb)
+		}
+	}(s.events, s.notifierDone)
+}
+
+// waitNotifier blocks until the notifier goroutine has flushed its
+// queue and exited, or the grace period expires (a watcher that has
+// stopped reading must not hold up shutdown).
+func (s *session) waitNotifier(grace time.Duration) {
+	s.watchMu.Lock()
+	done := s.notifierDone
+	s.watchMu.Unlock()
+	if done == nil {
+		return
+	}
+	select {
+	case <-done:
+	case <-time.After(grace):
+	}
+}
+
+// stopNotifier closes the event channel so the notifier goroutine
+// exits once it has drained.
+func (s *session) stopNotifier() {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if s.events != nil {
+		close(s.events)
+		s.events = nil
+	}
+}

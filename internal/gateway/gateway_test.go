@@ -1,0 +1,564 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trapquorum/client"
+	gwclient "trapquorum/client/gateway"
+	"trapquorum/internal/core"
+	"trapquorum/internal/gwire"
+	"trapquorum/internal/service"
+	"trapquorum/internal/sim"
+	"trapquorum/internal/trapezoid"
+	"trapquorum/placement"
+)
+
+// newTestFleet builds a small sim-backed fleet: (5,3) code over 10
+// nodes keeps quorum I/O cheap enough for gateway-focused tests.
+func newTestFleet(t testing.TB) *service.Fleet {
+	t.Helper()
+	cluster, err := sim.NewCluster(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	nodes := make([]core.NodeClient, cluster.Size())
+	for j := range nodes {
+		nodes[j] = cluster.Node(j)
+	}
+	strat, err := placement.NewRing(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := service.NewFleet(nodes, service.Config{
+		N: 5, K: 3,
+		Shape: trapezoid.Shape{A: 0, B: 3, H: 0}, W: 2,
+		BlockSize: 64,
+		Placement: strat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+// startServer runs a gateway over an in-memory listener and returns a
+// dialer for it.
+func startServer(t testing.TB, tenants TenantProvider, cfg Config) (*Server, *pipeListener) {
+	t.Helper()
+	srv := NewServer(tenants, cfg)
+	l := newPipeListener()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-served; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return srv, l
+}
+
+func dialTenant(t testing.TB, l *pipeListener, tenant string) *gwclient.Conn {
+	t.Helper()
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := gwclient.NewConn(context.Background(), nc, tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// TestEndToEnd drives every op through the full stack: client →
+// gateway → multi-tenant service → sim cluster.
+func TestEndToEnd(t *testing.T) {
+	fleet := newTestFleet(t)
+	_, l := startServer(t, FleetTenants{Fleet: fleet}, Config{Workers: 4})
+	conn := dialTenant(t, l, "acme")
+	ctx := context.Background()
+
+	payload := bytes.Repeat([]byte{0xab, 0xcd}, 300)
+	if err := conn.Put(ctx, "vm.img", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Put(ctx, "vm.img", payload); !errors.Is(err, service.ErrExists) {
+		t.Fatalf("double put err = %v", err)
+	}
+	got, err := conn.Get(ctx, "vm.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("get mismatch")
+	}
+	part, err := conn.ReadAt(ctx, "vm.img", 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, payload[100:150]) {
+		t.Fatal("read-at mismatch")
+	}
+	patch := bytes.Repeat([]byte{0x11}, 40)
+	if err := conn.WriteAt(ctx, "vm.img", 64, patch); err != nil {
+		t.Fatal(err)
+	}
+	copy(payload[64:], patch)
+	got, err = conn.Get(ctx, "vm.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("get after write-at mismatch")
+	}
+	if _, err := conn.ReadAt(ctx, "vm.img", len(payload)-10, 20); !errors.Is(err, service.ErrBadRange) {
+		t.Fatalf("out-of-range err = %v", err)
+	}
+	summary, err := conn.Scrub(ctx, "vm.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "stale=0") {
+		t.Fatalf("scrub summary = %q", summary)
+	}
+	serving, health, err := conn.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serving || !strings.Contains(health, "conns=") {
+		t.Fatalf("health = %v %q", serving, health)
+	}
+	if err := conn.Delete(ctx, "vm.img"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Get(ctx, "vm.img"); !errors.Is(err, service.ErrUnknownKey) {
+		t.Fatalf("get after delete err = %v", err)
+	}
+}
+
+// TestTenantIsolationOverWire: two connections bound to different
+// tenants cannot see each other's objects.
+func TestTenantIsolationOverWire(t *testing.T) {
+	fleet := newTestFleet(t)
+	_, l := startServer(t, FleetTenants{Fleet: fleet}, Config{Workers: 4})
+	a := dialTenant(t, l, "alpha")
+	b := dialTenant(t, l, "beta")
+	ctx := context.Background()
+	if err := a.Put(ctx, "secret", []byte("alpha data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(ctx, "secret"); !errors.Is(err, service.ErrUnknownKey) {
+		t.Fatalf("cross-tenant get err = %v", err)
+	}
+	if err := b.Put(ctx, "secret", []byte("beta data")); err != nil {
+		t.Fatalf("same key, different namespace: %v", err)
+	}
+	got, err := a.Get(ctx, "secret")
+	if err != nil || !bytes.Equal(got, []byte("alpha data")) {
+		t.Fatalf("alpha read %q, %v", got, err)
+	}
+}
+
+// TestQuotaOverWire: a tenant quota surfaces to the dialing client as
+// trapquorum.ErrQuotaExceeded through the wire status.
+func TestQuotaOverWire(t *testing.T) {
+	fleet := newTestFleet(t)
+	_, l := startServer(t, FleetTenants{Fleet: fleet, Quota: service.Quota{MaxObjects: 1}}, Config{Workers: 2})
+	conn := dialTenant(t, l, "capped")
+	ctx := context.Background()
+	if err := conn.Put(ctx, "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Put(ctx, "b", []byte("y")); !errors.Is(err, client.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+// blockingStore blocks every Get until released — the tool for
+// wedging the worker pool.
+type blockingStore struct {
+	nullStore
+	release chan struct{}
+	entered chan struct{} // optional: non-blocking signal per Get entry
+}
+
+func (b *blockingStore) GetAppend(ctx context.Context, key string, dst []byte) ([]byte, error) {
+	if b.entered != nil {
+		select {
+		case b.entered <- struct{}{}:
+		default:
+		}
+	}
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+	}
+	return append(dst, 'x'), nil
+}
+
+type staticTenants struct{ store TenantStore }
+
+func (s staticTenants) Tenant(string) (TenantStore, error) { return s.store, nil }
+
+// TestOverloadPushback wedges a 1-worker, depth-1 pool and asserts
+// the excess requests are refused with ErrOverloaded instead of
+// queueing, and that service resumes once the pool unblocks.
+func TestOverloadPushback(t *testing.T) {
+	bs := &blockingStore{release: make(chan struct{})}
+	srv, l := startServer(t, staticTenants{bs}, Config{
+		Workers: 1, QueueDepth: 1, MaxInflight: 64,
+	})
+	conn := dialTenant(t, l, "t")
+	ctx := context.Background()
+
+	results := make(chan error, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := conn.Get(ctx, "k")
+			results <- err
+		}()
+	}
+	// Wait until the pushback shows up in the counters, then release
+	// the wedged worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Overloads == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no overload pushback observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(bs.release)
+	wg.Wait()
+	close(results)
+	overloaded, ok := 0, 0
+	for err := range results {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, client.ErrOverloaded):
+			overloaded++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if overloaded == 0 {
+		t.Fatal("no request surfaced ErrOverloaded")
+	}
+	if ok == 0 {
+		t.Fatal("no request survived the overload")
+	}
+	// The pool recovered: a fresh request succeeds.
+	if _, err := conn.Get(ctx, "k"); err != nil {
+		t.Fatalf("post-overload get: %v", err)
+	}
+}
+
+// TestInflightWindowPushback: a connection exceeding its own
+// in-flight window is refused even when the pool has capacity.
+func TestInflightWindowPushback(t *testing.T) {
+	bs := &blockingStore{release: make(chan struct{})}
+	srv, l := startServer(t, staticTenants{bs}, Config{
+		Workers: 8, QueueDepth: 64, MaxInflight: 1,
+	})
+	conn := dialTenant(t, l, "t")
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	results := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := conn.Get(ctx, "k")
+			results <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Overloads == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no in-flight pushback observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(bs.release)
+	wg.Wait()
+	close(results)
+	overloaded := 0
+	for err := range results {
+		if errors.Is(err, client.ErrOverloaded) {
+			overloaded++
+		}
+	}
+	if overloaded == 0 {
+		t.Fatal("no request surfaced ErrOverloaded")
+	}
+}
+
+// TestHelloRequired: any op before Hello is refused. Uses a raw
+// connection — the client package always handshakes.
+func TestHelloRequired(t *testing.T) {
+	fleet := newTestFleet(t)
+	_, l := startServer(t, FleetTenants{Fleet: fleet}, Config{Workers: 2})
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	req := gwire.AppendRequest(nil, &gwire.Request{Seq: 1, Op: gwire.OpGet, Key: []byte("k")})
+	if err := gwire.WriteFrame(nc, req); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := gwire.ReadFrame(nc, nil, gwire.DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := gwire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != gwire.StatusBadRequest {
+		t.Fatalf("status = %d, want bad-request", resp.Status)
+	}
+}
+
+// TestWatchBroadcast: a watcher sees the tenant's mutations (from
+// another connection), does not see other tenants', and the mutating
+// connection itself is not echoed its own events.
+func TestWatchBroadcast(t *testing.T) {
+	fleet := newTestFleet(t)
+	_, l := startServer(t, FleetTenants{Fleet: fleet}, Config{Workers: 4})
+	watcher := dialTenant(t, l, "acme")
+	writer := dialTenant(t, l, "acme")
+	stranger := dialTenant(t, l, "other")
+	ctx := context.Background()
+
+	events, err := watcher.Watch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Put(ctx, "obj", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := stranger.Put(ctx, "noise", []byte("zz")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.WriteAt(ctx, "obj", 0, []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Delete(ctx, "obj"); err != nil {
+		t.Fatal(err)
+	}
+	want := []gwclient.Event{
+		{Kind: gwclient.EventPut, Key: "obj"},
+		{Kind: gwclient.EventWrite, Key: "obj"},
+		{Kind: gwclient.EventDelete, Key: "obj"},
+	}
+	for i, w := range want {
+		select {
+		case ev := <-events:
+			if ev != w {
+				t.Fatalf("event %d = %+v, want %+v", i, ev, w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for event %d", i)
+		}
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected extra event %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestDrain: in-flight requests complete, new requests are refused
+// with ErrDraining, new dials are refused, and watchers get the drain
+// notice.
+func TestDrain(t *testing.T) {
+	bs := &blockingStore{release: make(chan struct{}), entered: make(chan struct{}, 1)}
+	srv, l := startServer(t, staticTenants{bs}, Config{Workers: 4})
+	conn := dialTenant(t, l, "t")
+	ctx := context.Background()
+
+	events, err := conn.Watch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One request in flight, wedged on the blocking store. Wait until
+	// the handler has actually entered the store before draining.
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := conn.Get(ctx, "k")
+		inflight <- err
+	}()
+	select {
+	case <-bs.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached a worker")
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Drain(dctx)
+	}()
+
+	// The watcher hears the drain notice while the request is still in
+	// flight.
+	select {
+	case ev := <-events:
+		if ev.Kind != gwclient.EventDrain {
+			t.Fatalf("event = %+v, want drain", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no drain notice")
+	}
+	// New requests are refused while draining.
+	reqDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := conn.Health(ctx); err != nil {
+			t.Fatalf("health during drain: %v", err)
+		}
+		_, err := conn.Scrub(ctx, "k")
+		if errors.Is(err, gwclient.ErrDraining) {
+			break
+		}
+		if err != nil && !errors.Is(err, gwclient.ErrClosed) {
+			t.Fatalf("scrub during drain err = %v", err)
+		}
+		if time.Now().After(reqDeadline) {
+			t.Fatal("draining status never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Release the wedged request: it must complete successfully.
+	close(bs.release)
+	select {
+	case err := <-inflight:
+		if err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never finished")
+	}
+	// New dials are refused after drain.
+	if nc, err := l.Dial(); err == nil {
+		if _, err := gwclient.NewConn(context.Background(), nc, "t"); err == nil {
+			t.Fatal("dial accepted after drain")
+		}
+	}
+}
+
+// TestHealthDuringDrainReportsNotServing: Health stays answerable
+// while draining and flips its serving flag. Checked through a raw
+// wedge: drain in background, probe health on the existing conn.
+func TestHealthFlag(t *testing.T) {
+	fleet := newTestFleet(t)
+	srv, l := startServer(t, FleetTenants{Fleet: fleet}, Config{Workers: 2})
+	conn := dialTenant(t, l, "t")
+	ctx := context.Background()
+	serving, _, err := conn.Health(ctx)
+	if err != nil || !serving {
+		t.Fatalf("health = %v, %v", serving, err)
+	}
+	done := make(chan struct{})
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(dctx)
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		serving, _, err = conn.Health(ctx)
+		if err != nil {
+			// Drain finished and closed the connection before we saw
+			// the flag flip — acceptable shutdown race.
+			break
+		}
+		if !serving {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("health never reported draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+}
+
+// TestMalformedFrameDropsConnection: a garbage payload closes the
+// session rather than being parsed charitably.
+func TestMalformedFrameDropsConnection(t *testing.T) {
+	fleet := newTestFleet(t)
+	_, l := startServer(t, FleetTenants{Fleet: fleet}, Config{Workers: 2})
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := gwire.WriteFrame(nc, []byte{0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := gwire.ReadFrame(nc, nil, gwire.DefaultMaxFrame); err == nil {
+		t.Fatal("connection survived a malformed frame")
+	}
+}
+
+// TestConcurrentClientsSmallFleet hammers the gateway from several
+// pipelined connections at once (race-detector food).
+func TestConcurrentClients(t *testing.T) {
+	fleet := newTestFleet(t)
+	_, l := startServer(t, FleetTenants{Fleet: fleet}, Config{Workers: 8})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for c := 0; c < 4; c++ {
+		conn := dialTenant(t, l, "t"+string(rune('0'+c%2)))
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(conn *gwclient.Conn, id int) {
+				defer wg.Done()
+				key := "obj-" + string(rune('a'+id))
+				data := bytes.Repeat([]byte{byte(id)}, 200)
+				if err := conn.Put(ctx, key, data); err != nil && !errors.Is(err, service.ErrExists) {
+					errs <- err
+					return
+				}
+				got, err := conn.Get(ctx, key)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- errors.New("read mismatch")
+				}
+			}(conn, c*4+g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package gateway
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation allocates on the serve path and would fail the
+// zero-alloc pin for reasons unrelated to the gateway.
+const raceEnabled = true

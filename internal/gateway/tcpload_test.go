@@ -1,0 +1,120 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	gwclient "trapquorum/client/gateway"
+)
+
+// TestManyTCPConnections holds ~2000 real kernel TCP connections —
+// the most that fits comfortably under the container's fd ceiling —
+// open simultaneously against a sim-backed gateway, then runs a
+// Put/Get on every one of them. The in-memory 10k benchmark covers
+// scale; this covers the actual socket path end to end.
+func TestManyTCPConnections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2000 TCP connections is not a -short test")
+	}
+	const conns = 2000
+	fleet := newTestFleet(t)
+	srv := NewServer(FleetTenants{Fleet: fleet}, Config{
+		Workers:     64,
+		QueueDepth:  4 * conns,
+		MaxInflight: 8,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-served; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	addr := l.Addr().String()
+	ctx := context.Background()
+
+	// Phase 1: open every connection and keep it open.
+	clients := make([]*gwclient.Conn, conns)
+	var dialWG sync.WaitGroup
+	errs := make(chan error, 16)
+	sem := make(chan struct{}, 256) // bound concurrent dial handshakes
+	for i := 0; i < conns; i++ {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			conn, err := gwclient.Dial(ctx, addr, "load")
+			if err != nil {
+				select {
+				case errs <- fmt.Errorf("dial %d: %w", i, err):
+				default:
+				}
+				return
+			}
+			clients[i] = conn
+		}(i)
+	}
+	dialWG.Wait()
+	t.Cleanup(func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if got := srv.Stats().Active; got != conns {
+		t.Fatalf("holding %d connections, want %d", got, conns)
+	}
+
+	// Phase 2: every held connection does a Put and reads it back.
+	var opWG sync.WaitGroup
+	for i, conn := range clients {
+		opWG.Add(1)
+		go func(i int, conn *gwclient.Conn) {
+			defer opWG.Done()
+			key := fmt.Sprintf("obj-%d", i)
+			data := bytes.Repeat([]byte{byte(i)}, 64)
+			if err := conn.Put(ctx, key, data); err != nil {
+				select {
+				case errs <- fmt.Errorf("put %d: %w", i, err):
+				default:
+				}
+				return
+			}
+			got, err := conn.Get(ctx, key)
+			if err != nil {
+				select {
+				case errs <- fmt.Errorf("get %d: %w", i, err):
+				default:
+				}
+				return
+			}
+			if !bytes.Equal(got, data) {
+				select {
+				case errs <- fmt.Errorf("conn %d: read mismatch", i):
+				default:
+				}
+			}
+		}(i, conn)
+	}
+	opWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

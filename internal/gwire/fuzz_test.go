@@ -1,0 +1,56 @@
+package gwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the request decoder: it
+// must never panic, and whatever it accepts must re-encode to the
+// exact same payload (canonical encoding).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, req := range requestFixtures() {
+		f.Add(AppendRequest(nil, &req))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		again := AppendRequest(nil, &req)
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", payload, again)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+// An accepted StatusEvent response additionally exercises the event
+// decoder, which must never panic on its Data.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, resp := range responseFixtures() {
+		f.Add(AppendResponse(nil, &resp))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 32))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			return
+		}
+		again := AppendResponse(nil, &resp)
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", payload, again)
+		}
+		if resp.Status == StatusEvent {
+			if ev, err := DecodeEvent(resp.Data); err == nil {
+				evAgain := AppendEvent(nil, &ev)
+				if !bytes.Equal(evAgain, resp.Data) {
+					t.Fatalf("accepted event is not canonical:\n in: %x\nout: %x", resp.Data, evAgain)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package gwire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trapquorum/client"
+	"trapquorum/internal/core"
+	"trapquorum/internal/service"
+)
+
+func requestFixtures() []Request {
+	return []Request{
+		{Seq: 1, Op: OpHello, Key: []byte("tenant-a")},
+		{Seq: 2, Op: OpPut, Key: []byte("vm.img"), Data: bytes.Repeat([]byte{0xaa}, 4096)},
+		{Seq: 1 << 60, Op: OpGet, Key: []byte("vm.img")},
+		{Seq: 4, Op: OpReadAt, Key: []byte("vm.img"), Offset: 512, Length: 1024},
+		{Seq: 5, Op: OpWriteAt, Key: []byte("vm.img"), Offset: 4096, Data: []byte{1, 2, 3}},
+		{Seq: 6, Op: OpDelete, Key: []byte("vm.img")},
+		{Seq: 7, Op: OpScrub, Key: []byte("vm.img")},
+		{Seq: 8, Op: OpHealth},
+		{Seq: 9, Op: OpWatch},
+	}
+}
+
+func responseFixtures() []Response {
+	return []Response{
+		{Seq: 1, Status: StatusOK},
+		{Seq: 2, Status: StatusOK, Flag: true},
+		{Seq: 3, Status: StatusOK, Data: bytes.Repeat([]byte{7}, 4096)},
+		{Seq: 4, Status: StatusUnknownKey, Detail: `key "gone"`},
+		{Seq: 5, Status: StatusOverloaded, Detail: "worker queue full"},
+		{Seq: 6, Status: StatusQuotaExceeded, Detail: "tenant a: 10 of 10 objects"},
+		{Seq: 7, Status: StatusDraining, Detail: "gateway shutting down"},
+		{Seq: 9, Status: StatusEvent, Data: AppendEvent(nil, &Event{Kind: EventPut, Key: []byte("vm.img")})},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range requestFixtures() {
+		payload := AppendRequest(nil, &req)
+		if got, want := len(payload), EncodedRequestSize(&req); got != want {
+			t.Fatalf("%s: encoded %d bytes, EncodedRequestSize says %d", req.Op, got, want)
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", req.Op, err)
+		}
+		// Normalise the nil-vs-empty distinction the codec does not
+		// preserve.
+		if len(got.Data) == 0 {
+			got.Data = nil
+		}
+		if len(got.Key) == 0 {
+			got.Key = nil
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Fatalf("%s round trip:\n in: %+v\nout: %+v", req.Op, req, got)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for i, resp := range responseFixtures() {
+		payload := AppendResponse(nil, &resp)
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		if len(got.Data) == 0 {
+			got.Data = nil
+		}
+		if len(resp.Data) == 0 {
+			resp.Data = nil
+		}
+		if !reflect.DeepEqual(resp, got) {
+			t.Fatalf("fixture %d round trip:\n in: %+v\nout: %+v", i, resp, got)
+		}
+	}
+}
+
+// TestBeginFinishResponse pins the zero-copy path: append object
+// bytes directly after the header, patch the length, and the result
+// decodes identically to the one-shot encoder.
+func TestBeginFinishResponse(t *testing.T) {
+	data := bytes.Repeat([]byte{0x5a}, 1000)
+	buf, dlenOff := BeginResponse(nil, 42, StatusOK, false, "")
+	buf = append(buf, data...)
+	FinishResponse(buf, dlenOff)
+	want := AppendResponse(nil, &Response{Seq: 42, Status: StatusOK, Data: data})
+	if !bytes.Equal(buf, want) {
+		t.Fatal("BeginResponse/FinishResponse diverges from AppendResponse")
+	}
+	got, err := DecodeResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 42 || !bytes.Equal(got.Data, data) {
+		t.Fatalf("decoded %+v", got)
+	}
+	// With a frame-header prefix in the same buffer (the serve loop's
+	// layout), the offset bookkeeping must still hold.
+	buf2, off2 := BeginResponse(make([]byte, 4), 7, StatusOK, true, "d")
+	buf2 = append(buf2, 1, 2, 3)
+	FinishResponse(buf2, off2)
+	got2, err := DecodeResponse(buf2[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Seq != 7 || !got2.Flag || got2.Detail != "d" || !bytes.Equal(got2.Data, []byte{1, 2, 3}) {
+		t.Fatalf("decoded %+v", got2)
+	}
+}
+
+func TestTruncatedRequestsRejected(t *testing.T) {
+	for _, req := range requestFixtures() {
+		payload := AppendRequest(nil, &req)
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeRequest(payload[:cut]); err == nil {
+				t.Fatalf("%s: truncation to %d/%d bytes accepted", req.Op, cut, len(payload))
+			}
+		}
+	}
+}
+
+func TestTruncatedResponsesRejected(t *testing.T) {
+	for i, resp := range responseFixtures() {
+		payload := AppendResponse(nil, &resp)
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeResponse(payload[:cut]); err == nil {
+				t.Fatalf("fixture %d: truncation to %d/%d bytes accepted", i, cut, len(payload))
+			}
+		}
+	}
+}
+
+func TestUnknownOpStatusAndEventRejected(t *testing.T) {
+	req := Request{Seq: 1, Op: OpHealth}
+	payload := AppendRequest(nil, &req)
+	payload[8] = byte(opMax)
+	if _, err := DecodeRequest(payload); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+	payload[8] = 0
+	if _, err := DecodeRequest(payload); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+	resp := Response{Seq: 1, Status: StatusOK}
+	rp := AppendResponse(nil, &resp)
+	rp[8] = byte(statusMax)
+	if _, err := DecodeResponse(rp); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+	ev := AppendEvent(nil, &Event{Kind: EventDrain})
+	ev[0] = byte(eventMax)
+	if _, err := DecodeEvent(ev); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	for _, ev := range []Event{
+		{Kind: EventPut, Key: []byte("a/b/c")},
+		{Kind: EventWrite, Key: []byte("x")},
+		{Kind: EventDelete, Key: bytes.Repeat([]byte{'k'}, 300)},
+		{Kind: EventDrain},
+	} {
+		p := AppendEvent(nil, &ev)
+		got, err := DecodeEvent(p)
+		if err != nil {
+			t.Fatalf("%s: %v", ev.Kind, err)
+		}
+		if got.Kind != ev.Kind || !bytes.Equal(got.Key, ev.Key) {
+			t.Fatalf("%s round trip: %+v", ev.Kind, got)
+		}
+		for cut := 0; cut < len(p); cut++ {
+			if _, err := DecodeEvent(p[:cut]); err == nil {
+				t.Fatalf("%s: truncation to %d/%d accepted", ev.Kind, cut, len(p))
+			}
+		}
+	}
+}
+
+// TestStatusErrTaxonomy pins the status ↔ sentinel mapping in both
+// directions: an error classified for the wire decodes back to
+// something errors.Is-equal.
+func TestStatusErrTaxonomy(t *testing.T) {
+	cases := []struct {
+		status Status
+		want   error
+	}{
+		{StatusUnknownKey, service.ErrUnknownKey},
+		{StatusExists, service.ErrExists},
+		{StatusBadRange, service.ErrBadRange},
+		{StatusBadRequest, client.ErrBadRequest},
+		{StatusQuotaExceeded, client.ErrQuotaExceeded},
+		{StatusOverloaded, client.ErrOverloaded},
+		{StatusWriteFailed, core.ErrWriteFailed},
+		{StatusNotReadable, core.ErrNotReadable},
+		{StatusDraining, ErrDraining},
+	}
+	for _, c := range cases {
+		if err := c.status.Err("detail"); !errors.Is(err, c.want) {
+			t.Fatalf("status %d → %v, want %v", c.status, err, c.want)
+		}
+		if got := StatusOf(c.want); got != c.status {
+			t.Fatalf("StatusOf(%v) = %d, want %d", c.want, got, c.status)
+		}
+	}
+	if err := StatusOK.Err(""); err != nil {
+		t.Fatalf("StatusOK err = %v", err)
+	}
+	if StatusOf(nil) != StatusOK {
+		t.Fatal("StatusOf(nil) != StatusOK")
+	}
+	if err := StatusInternal.Err("store on fire"); err == nil || !strings.Contains(err.Error(), "store on fire") {
+		t.Fatalf("internal err = %v", err)
+	}
+	if StatusOf(errors.New("weird")) != StatusInternal {
+		t.Fatal("unclassified error must map to StatusInternal")
+	}
+	if err := StatusEvent.Err(""); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("StatusEvent.Err = %v, want malformed-stream error", err)
+	}
+}
+
+func TestMutatingClassification(t *testing.T) {
+	mutating := map[Op]bool{OpPut: true, OpWriteAt: true, OpDelete: true}
+	for op := Op(1); op < opMax; op++ {
+		if got, want := op.Mutating(), mutating[op]; got != want {
+			t.Fatalf("%s.Mutating() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+// TestHugeDeclaredKeyRejected feeds a header declaring a key longer
+// than the payload: the decoder must fail on the bounds check, not
+// read out of range.
+func TestHugeDeclaredKeyRejected(t *testing.T) {
+	req := Request{Seq: 1, Op: OpGet, Key: []byte("k")}
+	payload := AppendRequest(nil, &req)
+	payload[9] = 0xff // klen high byte: declare a 65281-byte key
+	if _, err := DecodeRequest(payload); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+}

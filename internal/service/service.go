@@ -10,6 +10,18 @@
 // failures. The layer is transport-agnostic: it runs on any set of
 // client.NodeClient implementations — the in-process simulator, or a
 // fleet of network storage nodes.
+//
+// # Multi-tenancy
+//
+// One Fleet owns the cluster substrate — the node clients, the
+// protocol instances per placement, and the global stripe-id
+// allocator — and any number of tenant Stores share it. Each Store is
+// an isolated keyed namespace with its own directory, optional
+// object-count/byte quotas, and per-tenant operation counters; the
+// stripes of every tenant draw from the fleet's single allocator, so
+// chunk ids never collide across tenants. Repair, scrub and the
+// self-healing orchestrator operate at fleet scope: a node repair
+// rebuilds every tenant's chunks placed there.
 package service
 
 import (
@@ -19,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"trapquorum/client"
 	"trapquorum/internal/core"
@@ -28,9 +41,13 @@ import (
 	"trapquorum/placement"
 )
 
-// The store is the placement-aware repair target of the self-healing
-// orchestrator.
-var _ repairsched.Target = (*Store)(nil)
+// Both the fleet and each tenant store are placement-aware repair
+// targets of the self-healing orchestrator (the store delegates to
+// its fleet: repair scope is the cluster, not the namespace).
+var (
+	_ repairsched.Target = (*Fleet)(nil)
+	_ repairsched.Target = (*Store)(nil)
+)
 
 // Service-level errors.
 var (
@@ -39,7 +56,8 @@ var (
 	ErrExists     = errors.New("service: key already exists")
 )
 
-// Config parameterises a Store.
+// Config parameterises a Fleet (and therefore every tenant Store on
+// it).
 type Config struct {
 	// N, K are the erasure-code parameters per stripe.
 	N, K int
@@ -70,32 +88,90 @@ type Config struct {
 	Hedge core.HedgeConfig
 }
 
+// Quota caps one tenant's namespace. A zero field is unlimited.
+type Quota struct {
+	// MaxObjects caps how many keys the tenant may hold at once
+	// (including in-flight Puts).
+	MaxObjects int64
+	// MaxBytes caps the tenant's total logical object bytes
+	// (including in-flight Puts). Parity overhead is not counted:
+	// the quota is on the namespace the tenant sees, not the raw
+	// disk the code expands it to.
+	MaxBytes int64
+}
+
+// TenantMetrics is a snapshot of one tenant's operation counters and
+// usage gauges. Counters are cumulative over the store's lifetime.
+type TenantMetrics struct {
+	// Puts..Scrubs count successful operations of each kind.
+	Puts, Gets, ReadAts, WriteAts, Deletes, Scrubs int64
+	// BytesIn counts logical bytes accepted by Put and WriteAt;
+	// BytesOut counts logical bytes served by Get and ReadAt.
+	BytesIn, BytesOut int64
+	// QuotaRejections counts mutations refused by the tenant's quota.
+	QuotaRejections int64
+	// Objects and UsedBytes are the namespace's current size (gauges,
+	// not counters).
+	Objects, UsedBytes int64
+}
+
+// tenantCounters is the hot-path half of TenantMetrics: plain atomics
+// so counting never takes the fleet lock.
+type tenantCounters struct {
+	puts, gets, readAts, writeAts, deletes, scrubs atomic.Int64
+	bytesIn, bytesOut                              atomic.Int64
+	quotaRejections                                atomic.Int64
+}
+
 // objectMeta records where an object lives.
 type objectMeta struct {
 	size    int
 	stripes []uint64
 }
 
-// Store is a keyed erasure-coded object store with quorum consistency.
-type Store struct {
+// Fleet is the shared substrate tenant stores run on: the cluster's
+// node clients, the protocol instance per placement, the stripe
+// tables and the global stripe-id allocator. One mutex guards all of
+// it (including every tenant's directory): the layer's critical
+// sections are directory bookkeeping only — quorum I/O never runs
+// under the lock — so a single lock keeps cross-tenant invariants
+// (unique stripe ids, shared placement tables) trivially correct.
+type Fleet struct {
 	cfg   Config
 	code  *erasure.Code
 	tcfg  trapezoid.Config
 	nodes []core.NodeClient // cluster node j's transport client
 
 	mu         sync.Mutex
-	directory  map[string]*objectMeta
-	pending    map[string]bool         // keys reserved by in-flight Puts
+	tenants    map[string]*Store
 	systems    map[string]*core.System // keyed by placement signature
 	stripeSys  map[uint64]*core.System
 	stripeLoc  map[uint64][]int // stripe -> cluster nodes per shard
 	nextStripe uint64
 }
 
-// New builds a Store over the given cluster of node clients; nodes[j]
-// is the transport to cluster node j. The cluster must have at least
-// as many nodes as the placement strategy declares.
-func New(nodes []core.NodeClient, cfg Config) (*Store, error) {
+// Store is one tenant's keyed erasure-coded object store with quorum
+// consistency: an isolated namespace (directory, quota, counters)
+// over a shared Fleet.
+type Store struct {
+	fleet  *Fleet
+	tenant string
+	quota  Quota
+
+	// Guarded by fleet.mu.
+	directory      map[string]*objectMeta
+	pending        map[string]bool // keys reserved by in-flight Puts
+	pendingObjects int64
+	pendingBytes   int64
+	usedBytes      int64
+
+	ctr tenantCounters
+}
+
+// NewFleet builds the shared substrate over the given cluster of node
+// clients; nodes[j] is the transport to cluster node j. The cluster
+// must have at least as many nodes as the placement strategy declares.
+func NewFleet(nodes []core.NodeClient, cfg Config) (*Fleet, error) {
 	if cfg.Placement == nil {
 		return nil, errors.New("service: nil placement strategy")
 	}
@@ -133,13 +209,12 @@ func New(nodes []core.NodeClient, cfg Config) (*Store, error) {
 	if got, want := cfg.Shape.NbNodes(), cfg.N-cfg.K+1; got != want {
 		return nil, fmt.Errorf("service: trapezoid holds %d nodes, need n-k+1 = %d", got, want)
 	}
-	return &Store{
+	return &Fleet{
 		cfg:        cfg,
 		code:       code,
 		tcfg:       tcfg,
 		nodes:      append([]core.NodeClient(nil), nodes...),
-		directory:  make(map[string]*objectMeta),
-		pending:    make(map[string]bool),
+		tenants:    make(map[string]*Store),
 		systems:    make(map[string]*core.System),
 		stripeSys:  make(map[uint64]*core.System),
 		stripeLoc:  make(map[uint64][]int),
@@ -147,29 +222,123 @@ func New(nodes []core.NodeClient, cfg Config) (*Store, error) {
 	}, nil
 }
 
+// DefaultTenant is the namespace New binds single-tenant callers to.
+const DefaultTenant = "default"
+
+// New builds a single-tenant store — a Fleet with one namespace named
+// DefaultTenant and no quota. It is the constructor the embedding
+// library API uses; multi-tenant callers (the gateway tier) use
+// NewFleet plus Tenant.
+func New(nodes []core.NodeClient, cfg Config) (*Store, error) {
+	fleet, err := NewFleet(nodes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.Tenant(DefaultTenant, Quota{})
+}
+
+// Tenant returns the named tenant's store, creating it (with the
+// given quota) on first use. On an existing tenant the quota argument
+// is ignored — the creation-time quota stands.
+func (f *Fleet) Tenant(name string, quota Quota) (*Store, error) {
+	if name == "" {
+		return nil, errors.New("service: empty tenant name")
+	}
+	if quota.MaxObjects < 0 || quota.MaxBytes < 0 {
+		return nil, fmt.Errorf("service: tenant %q: negative quota", name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.tenants[name]; ok {
+		return s, nil
+	}
+	s := &Store{
+		fleet:     f,
+		tenant:    name,
+		quota:     quota,
+		directory: make(map[string]*objectMeta),
+		pending:   make(map[string]bool),
+	}
+	f.tenants[name] = s
+	return s, nil
+}
+
+// Tenants lists the fleet's tenant names in sorted order.
+func (f *Fleet) Tenants() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.tenants))
+	for name := range f.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TenantMetrics snapshots every tenant's counters and usage gauges.
+func (f *Fleet) TenantMetrics() map[string]TenantMetrics {
+	f.mu.Lock()
+	stores := make([]*Store, 0, len(f.tenants))
+	for _, s := range f.tenants {
+		stores = append(stores, s)
+	}
+	f.mu.Unlock()
+	out := make(map[string]TenantMetrics, len(stores))
+	for _, s := range stores {
+		out[s.tenant] = s.TenantMetrics()
+	}
+	return out
+}
+
+// TenantMetrics snapshots this tenant's counters and usage gauges.
+func (s *Store) TenantMetrics() TenantMetrics {
+	m := TenantMetrics{
+		Puts:            s.ctr.puts.Load(),
+		Gets:            s.ctr.gets.Load(),
+		ReadAts:         s.ctr.readAts.Load(),
+		WriteAts:        s.ctr.writeAts.Load(),
+		Deletes:         s.ctr.deletes.Load(),
+		Scrubs:          s.ctr.scrubs.Load(),
+		BytesIn:         s.ctr.bytesIn.Load(),
+		BytesOut:        s.ctr.bytesOut.Load(),
+		QuotaRejections: s.ctr.quotaRejections.Load(),
+	}
+	s.fleet.mu.Lock()
+	m.Objects = int64(len(s.directory))
+	m.UsedBytes = s.usedBytes
+	s.fleet.mu.Unlock()
+	return m
+}
+
+// Tenant returns the namespace name this store serves.
+func (s *Store) Tenant() string { return s.tenant }
+
+// Fleet returns the shared substrate this store runs on.
+func (s *Store) Fleet() *Fleet { return s.fleet }
+
 // stripeCapacity returns the payload bytes one stripe holds.
-func (s *Store) stripeCapacity() int { return s.cfg.K * s.cfg.BlockSize }
+func (f *Fleet) stripeCapacity() int { return f.cfg.K * f.cfg.BlockSize }
 
 // systemFor returns (building if needed) the protocol instance bound
-// to the given node placement. Caller holds s.mu.
-func (s *Store) systemFor(nodes []int) (*core.System, error) {
+// to the given node placement. Caller holds f.mu.
+func (f *Fleet) systemFor(nodes []int) (*core.System, error) {
 	key := placementKey(nodes)
-	if sys, ok := s.systems[key]; ok {
+	if sys, ok := f.systems[key]; ok {
 		return sys, nil
 	}
 	clients := make([]core.NodeClient, len(nodes))
 	for shard, node := range nodes {
-		clients[shard] = s.nodes[node]
+		clients[shard] = f.nodes[node]
 	}
-	sys, err := core.NewSystem(s.code, s.tcfg, clients, core.Options{
-		DisableRollback: s.cfg.DisableRollback,
-		Concurrency:     s.cfg.Concurrency,
-		Hedge:           s.cfg.Hedge,
+	sys, err := core.NewSystem(f.code, f.tcfg, clients, core.Options{
+		DisableRollback: f.cfg.DisableRollback,
+		Concurrency:     f.cfg.Concurrency,
+		Hedge:           f.cfg.Hedge,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.systems[key] = sys
+	f.systems[key] = sys
 	return sys, nil
 }
 
@@ -184,28 +353,54 @@ func placementKey(nodes []int) string {
 	return b.String()
 }
 
+// checkQuota enforces the tenant's limits against the namespace's
+// committed plus in-flight footprint. Caller holds fleet.mu.
+func (s *Store) checkQuota(addBytes int) error {
+	if s.quota.MaxObjects > 0 && int64(len(s.directory))+s.pendingObjects+1 > s.quota.MaxObjects {
+		s.ctr.quotaRejections.Add(1)
+		return fmt.Errorf("%w: tenant %q holds %d of %d objects",
+			client.ErrQuotaExceeded, s.tenant, int64(len(s.directory))+s.pendingObjects, s.quota.MaxObjects)
+	}
+	if s.quota.MaxBytes > 0 && s.usedBytes+s.pendingBytes+int64(addBytes) > s.quota.MaxBytes {
+		s.ctr.quotaRejections.Add(1)
+		return fmt.Errorf("%w: tenant %q uses %d of %d bytes, put of %d refused",
+			client.ErrQuotaExceeded, s.tenant, s.usedBytes+s.pendingBytes, s.quota.MaxBytes, addBytes)
+	}
+	return nil
+}
+
 // Put stores data under key. The key must not exist (objects are
 // immutable in extent; use WriteAt for in-place updates, or Delete
 // then Put to replace). All placed nodes must be up for the initial
-// seeding.
+// seeding. A tenant quota that the new object would overflow fails
+// the Put with client.ErrQuotaExceeded before any node is touched.
 func (s *Store) Put(ctx context.Context, key string, data []byte) error {
-	s.mu.Lock()
+	f := s.fleet
+	f.mu.Lock()
 	if s.directory[key] != nil || s.pending[key] {
-		s.mu.Unlock()
+		f.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrExists, key)
 	}
-	// Reserve the key so a concurrent Put of the same key fails with
-	// ErrExists instead of silently overwriting the registration and
-	// orphaning the loser's stripes.
+	if err := s.checkQuota(len(data)); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	// Reserve the key (and its quota footprint) so a concurrent Put of
+	// the same key fails with ErrExists instead of silently overwriting
+	// the registration and orphaning the loser's stripes.
 	s.pending[key] = true
+	s.pendingObjects++
+	s.pendingBytes += int64(len(data))
 	// Every exit path must release the reservation: success replaces
 	// it with the directory entry, failure frees the key for retry.
 	defer func() {
-		s.mu.Lock()
+		f.mu.Lock()
 		delete(s.pending, key)
-		s.mu.Unlock()
+		s.pendingObjects--
+		s.pendingBytes -= int64(len(data))
+		f.mu.Unlock()
 	}()
-	capacity := s.stripeCapacity()
+	capacity := f.stripeCapacity()
 	stripeCount := (len(data) + capacity - 1) / capacity
 	if stripeCount == 0 {
 		stripeCount = 1 // empty objects still own one stripe for WriteAt growth semantics
@@ -218,22 +413,22 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 	}
 	plan := make([]planned, 0, stripeCount)
 	for i := 0; i < stripeCount; i++ {
-		id := s.nextStripe
-		s.nextStripe++
-		nodes, err := s.cfg.Placement.Place(id, s.cfg.N)
+		id := f.nextStripe
+		f.nextStripe++
+		nodes, err := f.cfg.Placement.Place(id, f.cfg.N)
 		if err != nil {
-			s.mu.Unlock()
+			f.mu.Unlock()
 			return err
 		}
-		sys, err := s.systemFor(nodes)
+		sys, err := f.systemFor(nodes)
 		if err != nil {
-			s.mu.Unlock()
+			f.mu.Unlock()
 			return err
 		}
-		blocks := make([][]byte, s.cfg.K)
+		blocks := make([][]byte, f.cfg.K)
 		for b := range blocks {
-			block := make([]byte, s.cfg.BlockSize)
-			off := i*capacity + b*s.cfg.BlockSize
+			block := make([]byte, f.cfg.BlockSize)
+			off := i*capacity + b*f.cfg.BlockSize
 			if off < len(data) {
 				copy(block, data[off:])
 			}
@@ -241,7 +436,7 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 		}
 		plan = append(plan, planned{id: id, sys: sys, blocks: blocks, nodes: nodes})
 	}
-	s.mu.Unlock()
+	f.mu.Unlock()
 
 	stripes := make([]uint64, 0, len(plan))
 	for i, p := range plan {
@@ -253,7 +448,7 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 			dctx := context.Background()
 			for _, done := range plan[:i+1] {
 				for shard, node := range done.nodes {
-					_ = s.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: done.id, Shard: shard})
+					_ = f.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: done.id, Shard: shard})
 				}
 				done.sys.ForgetStripe(done.id)
 			}
@@ -262,20 +457,23 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 		stripes = append(stripes, p.id)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, p := range plan {
-		s.stripeSys[p.id] = p.sys
-		s.stripeLoc[p.id] = p.nodes
+		f.stripeSys[p.id] = p.sys
+		f.stripeLoc[p.id] = p.nodes
 	}
 	s.directory[key] = &objectMeta{size: len(data), stripes: stripes}
+	s.usedBytes += int64(len(data))
+	s.ctr.puts.Add(1)
+	s.ctr.bytesIn.Add(int64(len(data)))
 	return nil
 }
 
 // meta returns a copy of the object's metadata.
 func (s *Store) meta(key string) (objectMeta, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fleet.mu.Lock()
+	defer s.fleet.mu.Unlock()
 	m, ok := s.directory[key]
 	if !ok {
 		return objectMeta{}, fmt.Errorf("%w: %q", ErrUnknownKey, key)
@@ -285,24 +483,34 @@ func (s *Store) meta(key string) (objectMeta, error) {
 
 // Get reads the whole object through quorum reads.
 func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
+	return s.GetAppend(ctx, key, nil)
+}
+
+// GetAppend reads the whole object through quorum reads, appending its
+// bytes to dst (which may be nil) and returning the extended slice —
+// the destination-buffer variant the gateway's pooled serve path uses:
+// with enough capacity in dst, the service layer adds no allocation of
+// its own.
+func (s *Store) GetAppend(ctx context.Context, key string, dst []byte) ([]byte, error) {
+	f := s.fleet
 	m, err := s.meta(key)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	out := make([]byte, 0, m.size)
+	out := dst
 	remaining := m.size
 	for _, stripe := range m.stripes {
-		s.mu.Lock()
-		sys := s.stripeSys[stripe]
-		s.mu.Unlock()
+		f.mu.Lock()
+		sys := f.stripeSys[stripe]
+		f.mu.Unlock()
 		if sys == nil {
 			// The object was deleted concurrently.
-			return nil, fmt.Errorf("%w: %q", ErrUnknownKey, key)
+			return dst, fmt.Errorf("%w: %q", ErrUnknownKey, key)
 		}
-		for b := 0; b < s.cfg.K && remaining > 0; b++ {
+		for b := 0; b < f.cfg.K && remaining > 0; b++ {
 			data, _, err := sys.ReadBlock(ctx, stripe, b)
 			if err != nil {
-				return nil, fmt.Errorf("stripe %d block %d: %w", stripe, b, err)
+				return dst, fmt.Errorf("stripe %d block %d: %w", stripe, b, err)
 			}
 			take := len(data)
 			if take > remaining {
@@ -312,6 +520,8 @@ func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
 			remaining -= take
 		}
 	}
+	s.ctr.gets.Add(1)
+	s.ctr.bytesOut.Add(int64(m.size))
 	return out, nil
 }
 
@@ -326,8 +536,8 @@ func (s *Store) Size(key string) (int, error) {
 
 // Keys lists stored keys in sorted order.
 func (s *Store) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fleet.mu.Lock()
+	defer s.fleet.mu.Unlock()
 	out := make([]string, 0, len(s.directory))
 	for k := range s.directory {
 		out = append(out, k)
@@ -339,42 +549,56 @@ func (s *Store) Keys() []string {
 // locate maps a logical block index of an object to its stripe,
 // in-stripe block index and owning system.
 func (s *Store) locate(m objectMeta, logicalBlock int) (*core.System, uint64, int, error) {
-	stripeIdx := logicalBlock / s.cfg.K
+	f := s.fleet
+	stripeIdx := logicalBlock / f.cfg.K
 	if stripeIdx >= len(m.stripes) {
 		return nil, 0, 0, fmt.Errorf("%w: block %d beyond object", ErrBadRange, logicalBlock)
 	}
 	stripe := m.stripes[stripeIdx]
-	s.mu.Lock()
-	sys := s.stripeSys[stripe]
-	s.mu.Unlock()
+	f.mu.Lock()
+	sys := f.stripeSys[stripe]
+	f.mu.Unlock()
 	if sys == nil {
 		// The object was deleted concurrently.
 		return nil, 0, 0, fmt.Errorf("%w: stripe %d", ErrUnknownKey, stripe)
 	}
-	return sys, stripe, logicalBlock % s.cfg.K, nil
+	return sys, stripe, logicalBlock % f.cfg.K, nil
 }
 
 // ReadAt reads length bytes at the given offset through quorum reads
 // of only the affected blocks.
 func (s *Store) ReadAt(ctx context.Context, key string, offset, length int) ([]byte, error) {
-	m, err := s.meta(key)
+	out, err := s.ReadAtAppend(ctx, key, offset, length, nil)
 	if err != nil {
 		return nil, err
 	}
-	if offset < 0 || length < 0 || offset+length > m.size {
-		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrBadRange, offset, offset+length, m.size)
+	return out, nil
+}
+
+// ReadAtAppend reads length bytes at the given offset, appending them
+// to dst (which may be nil) and returning the extended slice — the
+// destination-buffer variant of ReadAt (see GetAppend).
+func (s *Store) ReadAtAppend(ctx context.Context, key string, offset, length int, dst []byte) ([]byte, error) {
+	f := s.fleet
+	m, err := s.meta(key)
+	if err != nil {
+		return dst, err
 	}
-	out := make([]byte, 0, length)
+	if offset < 0 || length < 0 || offset+length > m.size {
+		return dst, fmt.Errorf("%w: [%d,%d) of %d", ErrBadRange, offset, offset+length, m.size)
+	}
+	out := out0(dst, length)
+	served := length
 	for length > 0 {
-		logical := offset / s.cfg.BlockSize
-		within := offset % s.cfg.BlockSize
+		logical := offset / f.cfg.BlockSize
+		within := offset % f.cfg.BlockSize
 		sys, stripe, idx, err := s.locate(m, logical)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		data, _, err := sys.ReadBlock(ctx, stripe, idx)
 		if err != nil {
-			return nil, fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
+			return dst, fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
 		}
 		take := len(data) - within
 		if take > length {
@@ -384,7 +608,18 @@ func (s *Store) ReadAt(ctx context.Context, key string, offset, length int) ([]b
 		offset += take
 		length -= take
 	}
+	s.ctr.readAts.Add(1)
+	s.ctr.bytesOut.Add(int64(served))
 	return out, nil
+}
+
+// out0 sizes the append destination: reuse dst when it exists,
+// otherwise start a fresh slice with the exact capacity.
+func out0(dst []byte, length int) []byte {
+	if dst == nil {
+		return make([]byte, 0, length)
+	}
+	return dst
 }
 
 // WriteAt overwrites bytes [offset, offset+len(p)) in place through
@@ -397,6 +632,7 @@ func (s *Store) ReadAt(ctx context.Context, key string, offset, length int) ([]b
 // at block granularity; overlapping writers need coordination above
 // this layer.
 func (s *Store) WriteAt(ctx context.Context, key string, offset int, p []byte) error {
+	f := s.fleet
 	m, err := s.meta(key)
 	if err != nil {
 		return err
@@ -404,19 +640,20 @@ func (s *Store) WriteAt(ctx context.Context, key string, offset int, p []byte) e
 	if offset < 0 || offset+len(p) > m.size {
 		return fmt.Errorf("%w: [%d,%d) of %d", ErrBadRange, offset, offset+len(p), m.size)
 	}
+	written := len(p)
 	for len(p) > 0 {
-		logical := offset / s.cfg.BlockSize
-		within := offset % s.cfg.BlockSize
+		logical := offset / f.cfg.BlockSize
+		within := offset % f.cfg.BlockSize
 		sys, stripe, idx, err := s.locate(m, logical)
 		if err != nil {
 			return err
 		}
 		var patched []byte
-		take := s.cfg.BlockSize - within
+		take := f.cfg.BlockSize - within
 		if take > len(p) {
 			take = len(p)
 		}
-		if within == 0 && take == s.cfg.BlockSize {
+		if within == 0 && take == f.cfg.BlockSize {
 			// The write covers the whole block: no need to pay a
 			// quorum read just to overwrite every byte of it.
 			patched = p[:take]
@@ -434,6 +671,8 @@ func (s *Store) WriteAt(ctx context.Context, key string, offset int, p []byte) e
 		offset += take
 		p = p[take:]
 	}
+	s.ctr.writeAts.Add(1)
+	s.ctr.bytesIn.Add(int64(written))
 	return nil
 }
 
@@ -447,47 +686,49 @@ func (s *Store) Delete(ctx context.Context, key string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.mu.Lock()
+	f := s.fleet
+	f.mu.Lock()
 	m, ok := s.directory[key]
 	if !ok {
-		s.mu.Unlock()
+		f.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownKey, key)
 	}
 	delete(s.directory, key)
+	s.usedBytes -= int64(m.size)
 	stripes := append([]uint64(nil), m.stripes...)
 	locs := make(map[uint64][]int, len(stripes))
 	systems := make(map[uint64]*core.System, len(stripes))
 	for _, st := range stripes {
-		locs[st] = s.stripeLoc[st]
-		systems[st] = s.stripeSys[st]
-		delete(s.stripeSys, st)
-		delete(s.stripeLoc, st)
+		locs[st] = f.stripeLoc[st]
+		systems[st] = f.stripeSys[st]
+		delete(f.stripeSys, st)
+		delete(f.stripeLoc, st)
 	}
-	s.mu.Unlock()
+	f.mu.Unlock()
 	dctx := context.Background()
 	for _, st := range stripes {
 		for shard, node := range locs[st] {
-			_ = s.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: st, Shard: shard})
+			_ = f.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: st, Shard: shard})
 		}
 		if sys := systems[st]; sys != nil {
 			sys.ForgetStripe(st)
 		}
 	}
+	s.ctr.deletes.Add(1)
 	return nil
 }
 
 // RepairClusterNode rebuilds every stripe shard placed on the given
-// cluster node (after the node returns, possibly with a fresh disk),
-// running the per-stripe repairs in parallel with bounded fan-out. It
-// returns how many chunks were rebuilt and the error of the
-// lowest-numbered failing stripe.
-func (s *Store) RepairClusterNode(ctx context.Context, node int) (int, error) {
-	tasks := s.chunksOnNode(node)
+// cluster node — across all tenants — running the per-stripe repairs
+// in parallel with bounded fan-out. It returns how many chunks were
+// rebuilt and the error of the lowest-numbered failing stripe.
+func (f *Fleet) RepairClusterNode(ctx context.Context, node int) (int, error) {
+	tasks := f.chunksOnNode(node)
 	sort.Slice(tasks, func(i, j int) bool { return tasks[i].stripe < tasks[j].stripe })
 	repaired := 0
 	errIdx := -1
 	var firstErr error
-	core.Fanout(ctx, core.BulkLimit(s.cfg.Concurrency), len(tasks), func(cctx context.Context, i int) (struct{}, error) {
+	core.Fanout(ctx, core.BulkLimit(f.cfg.Concurrency), len(tasks), func(cctx context.Context, i int) (struct{}, error) {
 		return struct{}{}, tasks[i].sys.RepairShard(cctx, tasks[i].stripe, tasks[i].shard)
 	}, func(i int, _ struct{}, err error) bool {
 		if err == nil {
@@ -511,21 +752,29 @@ func (s *Store) RepairClusterNode(ctx context.Context, node int) (int, error) {
 	return repaired, firstErr
 }
 
+// RepairClusterNode delegates to the fleet: repair scope is the
+// cluster, so repairing "through" any tenant rebuilds every tenant's
+// chunks on the node.
+func (s *Store) RepairClusterNode(ctx context.Context, node int) (int, error) {
+	return s.fleet.RepairClusterNode(ctx, node)
+}
+
 // Scrub audits every stripe of the object read-only, reporting the
 // freshest consistent version vector, stale/ahead/unreachable shards
 // and byte-level parity mismatches per stripe. Pair with
 // RepairClusterNode (or per-stripe repair) when it reports
 // degradation.
 func (s *Store) Scrub(ctx context.Context, key string) ([]core.ScrubReport, error) {
+	f := s.fleet
 	m, err := s.meta(key)
 	if err != nil {
 		return nil, err
 	}
 	reports := make([]core.ScrubReport, 0, len(m.stripes))
 	for _, stripe := range m.stripes {
-		s.mu.Lock()
-		sys := s.stripeSys[stripe]
-		s.mu.Unlock()
+		f.mu.Lock()
+		sys := f.stripeSys[stripe]
+		f.mu.Unlock()
 		if sys == nil {
 			// The object was deleted concurrently.
 			return reports, fmt.Errorf("%w: %q", ErrUnknownKey, key)
@@ -536,6 +785,7 @@ func (s *Store) Scrub(ctx context.Context, key string) ([]core.ScrubReport, erro
 		}
 		reports = append(reports, rep)
 	}
+	s.ctr.scrubs.Add(1)
 	return reports, nil
 }
 
@@ -549,14 +799,14 @@ func (s *Store) StripesOf(key string) ([]uint64, error) {
 }
 
 // Metrics aggregates the protocol counters across every placement's
-// protocol instance into one store-level snapshot.
-func (s *Store) Metrics() core.MetricsSnapshot {
-	s.mu.Lock()
-	systems := make([]*core.System, 0, len(s.systems))
-	for _, sys := range s.systems {
+// protocol instance into one fleet-level snapshot.
+func (f *Fleet) Metrics() core.MetricsSnapshot {
+	f.mu.Lock()
+	systems := make([]*core.System, 0, len(f.systems))
+	for _, sys := range f.systems {
 		systems = append(systems, sys)
 	}
-	s.mu.Unlock()
+	f.mu.Unlock()
 	var total core.MetricsSnapshot
 	for _, sys := range systems {
 		m := sys.Metrics()
@@ -572,6 +822,11 @@ func (s *Store) Metrics() core.MetricsSnapshot {
 	return total
 }
 
+// Metrics delegates to the fleet: the protocol counters are shared
+// substrate, not per-tenant state (per-tenant counters live in
+// TenantMetrics).
+func (s *Store) Metrics() core.MetricsSnapshot { return s.fleet.Metrics() }
+
 // chunkLoc names one chunk placed on a cluster node, carrying its
 // stripe's placement and protocol instance.
 type chunkLoc struct {
@@ -584,14 +839,14 @@ type chunkLoc struct {
 // chunksOnNode lists every chunk the placement assigns to the given
 // cluster node — the one traversal both the manual node repair and
 // the self-heal planner build on.
-func (s *Store) chunksOnNode(node int) []chunkLoc {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (f *Fleet) chunksOnNode(node int) []chunkLoc {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var out []chunkLoc
-	for stripe, nodes := range s.stripeLoc {
+	for stripe, nodes := range f.stripeLoc {
 		for shard, placed := range nodes {
 			if placed == node {
-				out = append(out, chunkLoc{stripe: stripe, shard: shard, nodes: nodes, sys: s.stripeSys[stripe]})
+				out = append(out, chunkLoc{stripe: stripe, shard: shard, nodes: nodes, sys: f.stripeSys[stripe]})
 			}
 		}
 	}
@@ -602,8 +857,8 @@ func (s *Store) chunksOnNode(node int) []chunkLoc {
 // chunk placed on the given cluster node, prioritised by how many of
 // each stripe's placements the down predicate reports lost (a stripe
 // missing two nodes is rebuilt before a stripe missing one).
-func (s *Store) PlanNodeRepairs(node int, down func(int) bool) []repairsched.Task {
-	entries := s.chunksOnNode(node)
+func (f *Fleet) PlanNodeRepairs(node int, down func(int) bool) []repairsched.Task {
+	entries := f.chunksOnNode(node)
 	tasks := make([]repairsched.Task, 0, len(entries))
 	for _, e := range entries {
 		nodes := e.nodes
@@ -622,13 +877,19 @@ func (s *Store) PlanNodeRepairs(node int, down func(int) bool) []repairsched.Tas
 	return tasks
 }
 
+// PlanNodeRepairs delegates to the fleet (repair scope is the
+// cluster).
+func (s *Store) PlanNodeRepairs(node int, down func(int) bool) []repairsched.Task {
+	return s.fleet.PlanNodeRepairs(node, down)
+}
+
 // Repair implements repairsched.Target: rebuild one chunk through the
 // version-guarded repair path. A stripe deleted since planning is a
 // no-op success.
-func (s *Store) Repair(ctx context.Context, t repairsched.Task) error {
-	s.mu.Lock()
-	sys := s.stripeSys[t.Stripe]
-	s.mu.Unlock()
+func (f *Fleet) Repair(ctx context.Context, t repairsched.Task) error {
+	f.mu.Lock()
+	sys := f.stripeSys[t.Stripe]
+	f.mu.Unlock()
 	if sys == nil {
 		return nil
 	}
@@ -639,18 +900,26 @@ func (s *Store) Repair(ctx context.Context, t repairsched.Task) error {
 	return err
 }
 
-// Stripes implements repairsched.Target: every live stripe id, in
-// ascending order.
-func (s *Store) Stripes() []uint64 {
-	s.mu.Lock()
-	out := make([]uint64, 0, len(s.stripeLoc))
-	for stripe := range s.stripeLoc {
+// Repair delegates to the fleet (repair scope is the cluster).
+func (s *Store) Repair(ctx context.Context, t repairsched.Task) error {
+	return s.fleet.Repair(ctx, t)
+}
+
+// Stripes implements repairsched.Target: every live stripe id across
+// all tenants, in ascending order.
+func (f *Fleet) Stripes() []uint64 {
+	f.mu.Lock()
+	out := make([]uint64, 0, len(f.stripeLoc))
+	for stripe := range f.stripeLoc {
 		out = append(out, stripe)
 	}
-	s.mu.Unlock()
+	f.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// Stripes delegates to the fleet (scrub scope is the cluster).
+func (s *Store) Stripes() []uint64 { return s.fleet.Stripes() }
 
 // ScrubStripe implements repairsched.Target: audit one stripe and
 // return repair tasks for its repairable degradation — stale shards,
@@ -659,11 +928,11 @@ func (s *Store) Stripes() []uint64 {
 // shards are deliberately left alone: the guarded repair would refuse
 // to regress them, and clearing failed-write residue is an operator
 // decision (see core.RepairShardForce).
-func (s *Store) ScrubStripe(ctx context.Context, stripe uint64, down func(int) bool) ([]repairsched.Task, error) {
-	s.mu.Lock()
-	sys := s.stripeSys[stripe]
-	nodes := s.stripeLoc[stripe]
-	s.mu.Unlock()
+func (f *Fleet) ScrubStripe(ctx context.Context, stripe uint64, down func(int) bool) ([]repairsched.Task, error) {
+	f.mu.Lock()
+	sys := f.stripeSys[stripe]
+	nodes := f.stripeLoc[stripe]
+	f.mu.Unlock()
 	if sys == nil {
 		return nil, nil
 	}
@@ -676,4 +945,9 @@ func (s *Store) ScrubStripe(ctx context.Context, stripe uint64, down func(int) b
 	}
 	return repairsched.DegradationTasks(stripe, len(nodes), rep.StaleShards, rep.UnreachableShards,
 		func(shard int) int { return nodes[shard] }, down), nil
+}
+
+// ScrubStripe delegates to the fleet (scrub scope is the cluster).
+func (s *Store) ScrubStripe(ctx context.Context, stripe uint64, down func(int) bool) ([]repairsched.Task, error) {
+	return s.fleet.ScrubStripe(ctx, stripe, down)
 }

@@ -296,13 +296,13 @@ func TestRepairClusterNode(t *testing.T) {
 	stripes, _ := store.StripesOf("obj")
 	onNode := 0
 	for _, st := range stripes {
-		store.mu.Lock()
-		for _, n := range store.stripeLoc[st] {
+		store.fleet.mu.Lock()
+		for _, n := range store.fleet.stripeLoc[st] {
 			if n == victim {
 				onNode++
 			}
 		}
-		store.mu.Unlock()
+		store.fleet.mu.Unlock()
 	}
 	if repaired != onNode {
 		t.Fatalf("repaired %d, expected %d chunks on node %d", repaired, onNode, victim)
@@ -322,12 +322,12 @@ func TestDeleteRemovesChunks(t *testing.T) {
 		t.Fatal(err)
 	}
 	stripes, _ := store.StripesOf("obj")
-	store.mu.Lock()
+	store.fleet.mu.Lock()
 	locs := make(map[uint64][]int)
 	for _, st := range stripes {
-		locs[st] = append([]int(nil), store.stripeLoc[st]...)
+		locs[st] = append([]int(nil), store.fleet.stripeLoc[st]...)
 	}
-	store.mu.Unlock()
+	store.fleet.mu.Unlock()
 	if err := store.Delete(context.Background(), "obj"); err != nil {
 		t.Fatal(err)
 	}
@@ -372,12 +372,12 @@ func TestSystemsReusedAcrossStripes(t *testing.T) {
 	if err := store.Put(context.Background(), "a", payload); err != nil {
 		t.Fatal(err)
 	}
-	store.mu.Lock()
-	defer store.mu.Unlock()
+	store.fleet.mu.Lock()
+	defer store.fleet.mu.Unlock()
 	// Placement rotates by stripe id, so ids 1,2,3 give 3 rotations;
 	// but ids repeat placements every 15 stripes — at most 3 here.
-	if len(store.systems) > 3 {
-		t.Fatalf("built %d systems for 3 stripes", len(store.systems))
+	if len(store.fleet.systems) > 3 {
+		t.Fatalf("built %d systems for 3 stripes", len(store.fleet.systems))
 	}
 }
 

@@ -1,0 +1,355 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"trapquorum/client"
+	"trapquorum/internal/sim"
+	"trapquorum/internal/trapezoid"
+	"trapquorum/placement"
+)
+
+func newTestFleet(t testing.TB) (*Fleet, *sim.Cluster) {
+	t.Helper()
+	cluster, err := sim.NewCluster(testClusterSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	strat, err := placement.NewRing(testClusterSize, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewFleet(clientsOf(cluster), Config{
+		N: 15, K: 8,
+		Shape: trapezoid.Shape{A: 2, B: 3, H: 1}, W: 3,
+		BlockSize: testBlockSize,
+		Placement: strat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet, cluster
+}
+
+// TestTenantIsolation: two tenants on one fleet see disjoint
+// namespaces — same key, different objects, and neither tenant's
+// Keys/Get can observe the other's.
+func TestTenantIsolation(t *testing.T) {
+	fleet, _ := newTestFleet(t)
+	ctx := context.Background()
+	alpha, err := fleet.Tenant("alpha", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := fleet.Tenant("beta", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alpha.Put(ctx, "disk.img", []byte("alpha bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.Put(ctx, "disk.img", []byte("beta bytes, different")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := alpha.Get(ctx, "disk.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("alpha bytes")) {
+		t.Fatalf("alpha read %q", got)
+	}
+	got, err = beta.Get(ctx, "disk.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("beta bytes, different")) {
+		t.Fatalf("beta read %q", got)
+	}
+	if err := alpha.Delete(ctx, "disk.img"); err != nil {
+		t.Fatal(err)
+	}
+	// Beta's object must survive alpha's delete of the same key.
+	if _, err := beta.Get(ctx, "disk.img"); err != nil {
+		t.Fatalf("beta object lost: %v", err)
+	}
+	if _, err := alpha.Get(ctx, "disk.img"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("err = %v", err)
+	}
+	names := fleet.Tenants()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("tenants = %v", names)
+	}
+}
+
+// TestTenantIdempotent: Tenant is create-or-get; the same name
+// returns the same store and keeps the creation-time quota.
+func TestTenantIdempotent(t *testing.T) {
+	fleet, _ := newTestFleet(t)
+	a, err := fleet.Tenant("t", Quota{MaxObjects: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fleet.Tenant("t", Quota{MaxObjects: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Tenant returned distinct stores for one name")
+	}
+	if a.quota.MaxObjects != 1 {
+		t.Fatalf("quota = %+v, creation-time quota must stand", a.quota)
+	}
+	if _, err := fleet.Tenant("", Quota{}); err == nil {
+		t.Fatal("empty tenant name accepted")
+	}
+	if _, err := fleet.Tenant("x", Quota{MaxBytes: -1}); err == nil {
+		t.Fatal("negative quota accepted")
+	}
+}
+
+// TestQuotaObjects: the object-count quota refuses the Put that would
+// overflow it, with client.ErrQuotaExceeded, before touching nodes.
+func TestQuotaObjects(t *testing.T) {
+	fleet, _ := newTestFleet(t)
+	ctx := context.Background()
+	s, err := fleet.Tenant("capped", Quota{MaxObjects: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "c", []byte("3")); !errors.Is(err, client.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+	// Delete frees the slot.
+	if err := s.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "c", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	m := s.TenantMetrics()
+	if m.QuotaRejections != 1 {
+		t.Fatalf("QuotaRejections = %d, want 1", m.QuotaRejections)
+	}
+	if m.Objects != 2 {
+		t.Fatalf("Objects = %d, want 2", m.Objects)
+	}
+}
+
+// TestQuotaBytes: the byte quota counts logical object bytes, is
+// checked against committed + in-flight usage, and is released by
+// Delete.
+func TestQuotaBytes(t *testing.T) {
+	fleet, _ := newTestFleet(t)
+	ctx := context.Background()
+	s, err := fleet.Tenant("capped", Quota{MaxBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "a", make([]byte, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "b", make([]byte, 600)); !errors.Is(err, client.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+	if err := s.Put(ctx, "b", make([]byte, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.TenantMetrics(); m.UsedBytes != 1000 {
+		t.Fatalf("UsedBytes = %d, want 1000", m.UsedBytes)
+	}
+	if err := s.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "c", make([]byte, 600)); err != nil {
+		t.Fatalf("put after delete: %v", err)
+	}
+}
+
+// TestStripeIDsUniqueAcrossTenants: stripes of different tenants draw
+// from the fleet's single allocator — no chunk-id collisions.
+func TestStripeIDsUniqueAcrossTenants(t *testing.T) {
+	fleet, _ := newTestFleet(t)
+	ctx := context.Background()
+	seen := map[uint64]string{}
+	for _, name := range []string{"a", "b", "c"} {
+		s, err := fleet.Tenant(name, Quota{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(ctx, "obj", make([]byte, 3*testBlockSize*8)); err != nil {
+			t.Fatal(err)
+		}
+		stripes, err := s.StripesOf("obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range stripes {
+			if owner, dup := seen[st]; dup {
+				t.Fatalf("stripe %d owned by both %q and %q", st, owner, name)
+			}
+			seen[st] = name
+		}
+	}
+}
+
+// TestFleetRepairSpansTenants: a node repair rebuilds chunks of every
+// tenant placed there, and reads of all tenants succeed after losing
+// the node's disk.
+func TestFleetRepairSpansTenants(t *testing.T) {
+	fleet, cluster := newTestFleet(t)
+	ctx := context.Background()
+	payloads := map[string][]byte{}
+	for _, name := range []string{"a", "b"} {
+		s, err := fleet.Tenant(name, Quota{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := bytes.Repeat([]byte(name), 1500)
+		payloads[name] = p
+		if err := s.Put(ctx, "obj", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := 3
+	cluster.Crash(victim)
+	cluster.Restart(victim)
+	if err := cluster.Node(victim).Wipe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.RepairClusterNode(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		s, _ := fleet.Tenant(name, Quota{})
+		got, err := s.Get(ctx, "obj")
+		if err != nil {
+			t.Fatalf("tenant %s: %v", name, err)
+		}
+		if !bytes.Equal(got, payloads[name]) {
+			t.Fatalf("tenant %s: post-repair mismatch", name)
+		}
+	}
+}
+
+// TestTenantMetricsCounters: the per-tenant counters track each
+// operation kind and the byte totals.
+func TestTenantMetricsCounters(t *testing.T) {
+	fleet, _ := newTestFleet(t)
+	ctx := context.Background()
+	s, err := fleet.Tenant("m", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 200)
+	if err := s.Put(ctx, "k", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadAt(ctx, "k", 10, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(ctx, "k", 0, make([]byte, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Scrub(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	m := s.TenantMetrics()
+	want := TenantMetrics{
+		Puts: 1, Gets: 1, ReadAts: 1, WriteAts: 1, Deletes: 1, Scrubs: 1,
+		BytesIn: 230, BytesOut: 250,
+	}
+	if m != want {
+		t.Fatalf("metrics = %+v, want %+v", m, want)
+	}
+	all := fleet.TenantMetrics()
+	if all["m"] != want {
+		t.Fatalf("fleet metrics[m] = %+v", all["m"])
+	}
+}
+
+// TestGetAppendReusesBuffer: with enough capacity in dst, GetAppend
+// fills the caller's buffer instead of allocating a fresh one.
+func TestGetAppendReusesBuffer(t *testing.T) {
+	store, _ := newTestStore(t)
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte{0x5a}, 500)
+	if err := store.Put(ctx, "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, 1024)
+	out, err := store.GetAppend(ctx, "k", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, payload) {
+		t.Fatal("GetAppend content mismatch")
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("GetAppend re-allocated despite sufficient capacity")
+	}
+	// ReadAtAppend likewise.
+	out2, err := store.ReadAtAppend(ctx, "k", 100, 100, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out2, payload[100:200]) {
+		t.Fatal("ReadAtAppend content mismatch")
+	}
+	if &out2[0] != &dst[:1][0] {
+		t.Fatal("ReadAtAppend re-allocated despite sufficient capacity")
+	}
+}
+
+// TestConcurrentTenantPuts hammers one fleet from several tenants at
+// once — with the race detector on, this pins the locking discipline
+// of the shared substrate.
+func TestConcurrentTenantPuts(t *testing.T) {
+	fleet, _ := newTestFleet(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		s, err := fleet.Tenant(name, Quota{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(s *Store, i int) {
+				defer wg.Done()
+				key := []byte{'k', byte('0' + i)}
+				if err := s.Put(ctx, string(key), bytes.Repeat(key, 300)); err != nil {
+					errs <- err
+				}
+			}(s, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		s, _ := fleet.Tenant(name, Quota{})
+		if got := len(s.Keys()); got != 3 {
+			t.Fatalf("tenant %s holds %d keys, want 3", name, got)
+		}
+	}
+}

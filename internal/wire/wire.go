@@ -125,6 +125,8 @@ const (
 	StatusVersionMismatch
 	StatusBadRequest
 	StatusInternal
+	StatusOverloaded
+	StatusQuotaExceeded
 	statusMax
 )
 
@@ -334,14 +336,20 @@ func WriteFrame(w io.Writer, payload []byte) error {
 // ErrFrameTooLarge before any allocation. io.EOF is returned
 // unwrapped when the stream ends cleanly between frames.
 func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header is staged in buf itself rather than a local array: a
+	// stack [4]byte passed through the io.Reader interface escapes,
+	// which would put one small allocation on every frame read.
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, fmt.Errorf("wire: truncated frame header: %w", err)
 		}
 		return nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr[:])
+	size := binary.BigEndian.Uint32(hdr)
 	if int64(size) > int64(max) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, size, max)
 	}
@@ -368,6 +376,10 @@ func (s Status) Err(detail string) error {
 		base = client.ErrVersionMismatch
 	case StatusBadRequest:
 		base = client.ErrBadRequest
+	case StatusOverloaded:
+		base = client.ErrOverloaded
+	case StatusQuotaExceeded:
+		base = client.ErrQuotaExceeded
 	default:
 		if detail == "" {
 			detail = "internal node error"
@@ -392,6 +404,10 @@ func StatusOf(err error) Status {
 		return StatusVersionMismatch
 	case errors.Is(err, client.ErrBadRequest):
 		return StatusBadRequest
+	case errors.Is(err, client.ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, client.ErrQuotaExceeded):
+		return StatusQuotaExceeded
 	default:
 		return StatusInternal
 	}

@@ -215,6 +215,8 @@ func TestStatusErrTaxonomy(t *testing.T) {
 		{StatusNotFound, client.ErrNotFound},
 		{StatusVersionMismatch, client.ErrVersionMismatch},
 		{StatusBadRequest, client.ErrBadRequest},
+		{StatusOverloaded, client.ErrOverloaded},
+		{StatusQuotaExceeded, client.ErrQuotaExceeded},
 	}
 	for _, c := range cases {
 		if err := c.status.Err("detail"); !errors.Is(err, c.want) {

@@ -6,6 +6,11 @@
 //	go test -run=NONE -bench=. -benchmem ./internal/gf256/ ./internal/erasure/ |
 //	    go run ./tools/benchjson -o BENCH_dataplane.json
 //
+// The four standard columns (ns/op, MB/s, B/op, allocs/op) map to
+// named fields; any other unit — the custom metrics benchmarks emit
+// via b.ReportMetric, like conns, req/s or p99-ms — lands in the
+// extra map keyed by its unit string.
+//
 // Lines that are not benchmark results (headers, PASS/ok, logs) are
 // ignored, so the raw `go test` stream can be piped in unfiltered.
 package main
@@ -15,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,63 +28,22 @@ import (
 
 // Result is one benchmark measurement.
 type Result struct {
-	Name        string  `json:"name"`
-	Package     string  `json:"package,omitempty"`
-	Iters       int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerSec    float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Iters       int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	var results []Result
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
-			pkg = strings.TrimSpace(rest)
-			continue
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 3 {
-			continue
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		r := Result{Name: fields[0], Package: pkg, Iters: iters}
-		for i := 2; i+1 < len(fields); i += 2 {
-			val, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				r.NsPerOp = val
-			case "MB/s":
-				r.MBPerSec = val
-			case "B/op":
-				r.BytesPerOp = int64(val)
-			case "allocs/op":
-				r.AllocsPerOp = int64(val)
-			}
-		}
-		if r.NsPerOp == 0 {
-			continue
-		}
-		results = append(results, r)
-	}
-	if err := sc.Err(); err != nil {
+	results, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
@@ -97,4 +62,58 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// parse scans a `go test -bench` stream and returns one Result per
+// benchmark line, attributing each to the most recent `pkg:` header.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Package: pkg, Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "MB/s":
+				res.MBPerSec = val
+			case "B/op":
+				res.BytesPerOp = int64(val)
+			case "allocs/op":
+				res.AllocsPerOp = int64(val)
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = val
+			}
+		}
+		if res.NsPerOp == 0 {
+			continue
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParse feeds a realistic mixed `go test -bench` stream — headers,
+// noise, standard columns and custom ReportMetric units — and checks
+// every field lands where the JSON consumers expect it.
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: trapquorum/internal/gf256
+cpu: Intel(R) Xeon(R)
+BenchmarkMulSlice 	  500000	      2100 ns/op	19500.00 MB/s	       0 B/op	       0 allocs/op
+some unrelated log line
+pkg: trapquorum/internal/gateway
+BenchmarkServePathAllocs 	   20000	      5613 ns/op	       0 B/op	       0 allocs/op
+Benchmark10kConnections 	       3	 365779254 ns/op	     10000 conns	       360.9 p99-ms	     54676 req/s
+BenchmarkBogusIters 	notanumber	      10 ns/op
+PASS
+ok  	trapquorum/internal/gateway	2.5s
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Result{
+		{
+			Name: "BenchmarkMulSlice", Package: "trapquorum/internal/gf256",
+			Iters: 500000, NsPerOp: 2100, MBPerSec: 19500,
+		},
+		{
+			Name: "BenchmarkServePathAllocs", Package: "trapquorum/internal/gateway",
+			Iters: 20000, NsPerOp: 5613,
+		},
+		{
+			Name: "Benchmark10kConnections", Package: "trapquorum/internal/gateway",
+			Iters: 3, NsPerOp: 365779254,
+			Extra: map[string]float64{"conns": 10000, "p99-ms": 360.9, "req/s": 54676},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse =\n%+v\nwant\n%+v", got, want)
+	}
+}
+
+// TestParseEmpty: a stream with no benchmark lines yields no results
+// and no error.
+func TestParseEmpty(t *testing.T) {
+	got, err := parse(strings.NewReader("PASS\nok \tx\t0.1s\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("parse = %v, %v; want empty, nil", got, err)
+	}
+}

@@ -3,7 +3,8 @@
 //
 // Godoc coverage (the default): it fails when any exported
 // identifier of the public packages (the root trapquorum package,
-// client, placement, transport/tcp) lacks a doc comment, keeping the
+// client, client/gateway, placement, transport/tcp) lacks a doc
+// comment, keeping the
 // public surface fully documented.
 //
 // Markdown link check (-md): it fails when any intra-repository
@@ -46,7 +47,7 @@ func main() {
 	}
 	dirs := flag.Args()
 	if len(dirs) == 0 {
-		dirs = []string{".", "./client", "./placement", "./transport/tcp"}
+		dirs = []string{".", "./client", "./client/gateway", "./placement", "./transport/tcp"}
 	}
 	var missing []string
 	for _, dir := range dirs {

@@ -50,6 +50,7 @@ package trapquorum
 import (
 	"errors"
 
+	"trapquorum/client"
 	"trapquorum/internal/core"
 	"trapquorum/internal/service"
 	"trapquorum/internal/trapezoid"
@@ -76,6 +77,18 @@ var (
 	ErrBadRange = service.ErrBadRange
 	// ErrExists reports a Put on a key that already exists.
 	ErrExists = service.ErrExists
+	// ErrOverloaded is explicit backpressure from a bounded queue: the
+	// serving side (typically the gateway tier's worker pool or a
+	// connection's in-flight window) refused to queue the request
+	// instead of letting queues grow without bound. The request was
+	// not executed — back off and retry. Carried by both wire codecs
+	// as a dedicated status, so errors.Is works across the network.
+	ErrOverloaded = client.ErrOverloaded
+	// ErrQuotaExceeded reports a mutation that would push a tenant's
+	// namespace past its configured object-count or byte quota (see
+	// the gateway tier's per-tenant quotas). The mutation was not
+	// applied. Carried by both wire codecs as a dedicated status.
+	ErrQuotaExceeded = client.ErrQuotaExceeded
 )
 
 // ErrNotSupported reports an operation the configured backend cannot
