@@ -37,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"trapquorum/client"
 	"trapquorum/internal/gwire"
 )
 
@@ -249,8 +250,20 @@ func (c *Conn) deliverEvent(resp *gwire.Response) {
 }
 
 // call sends one request and waits for its answer, the context, or
-// connection death.
+// connection death. Requests the wire cannot carry faithfully are
+// refused locally with trapquorum.ErrBadRequest: an over-long key
+// would be silently truncated by the codec (colliding with a shorter
+// key), and an over-size frame would make the gateway drop the whole
+// session — failing every pipelined call — instead of just this one.
 func (c *Conn) call(ctx context.Context, req *gwire.Request) (response, error) {
+	if len(req.Key) > gwire.MaxKeyLen {
+		return response{}, fmt.Errorf("%w: key length %d exceeds the wire limit %d",
+			client.ErrBadRequest, len(req.Key), gwire.MaxKeyLen)
+	}
+	if n := gwire.EncodedRequestSize(req); n > c.maxFrame {
+		return response{}, fmt.Errorf("%w: encoded request (%d bytes) exceeds the frame limit %d",
+			client.ErrBadRequest, n, c.maxFrame)
+	}
 	req.Seq = c.seq.Add(1)
 	ch := make(chan response, 1)
 	c.mu.Lock()

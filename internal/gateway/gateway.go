@@ -129,6 +129,12 @@ type Config struct {
 	// WatchBuffer bounds each watcher's event buffer; a full buffer
 	// drops events rather than stalling writers (default 64).
 	WatchBuffer int
+	// WriteTimeout bounds each response write. Responses are written by
+	// shared pool workers, so a client that stops reading (full TCP
+	// send buffer) would otherwise pin a worker indefinitely; on
+	// timeout the connection is closed and the session torn down
+	// (default 10s).
+	WriteTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -146,6 +152,9 @@ func (c *Config) fill() {
 	}
 	if c.WatchBuffer <= 0 {
 		c.WatchBuffer = 64
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
 	}
 }
 
@@ -304,10 +313,13 @@ func (srv *Server) Drain(ctx context.Context) error {
 		s.enqueueEvent(gwire.EventDrain, "")
 	}
 
-	// Readers stop admitting once draining is set, so the in-flight
-	// count only falls from here; poll it to zero (drain is not a hot
-	// path, and polling avoids the Add-vs-Wait race a WaitGroup would
-	// have against the admission fast path).
+	// Readers increment the in-flight count before they check the
+	// drain flag (and decrement again on refusal), so once this poll
+	// observes zero no request can still be headed for the queue: a
+	// reader the poll missed has not incremented yet and will see the
+	// flag, set above, and refuse. Polling avoids the Add-vs-Wait race
+	// a WaitGroup would have against the admission fast path; drain is
+	// not a hot path.
 	var err error
 	for srv.inflight.Load() > 0 {
 		select {
@@ -451,6 +463,11 @@ type session struct {
 	conn net.Conn
 
 	writeMu sync.Mutex
+	// wdeadline is the write deadline currently armed on conn, guarded
+	// by writeMu. It is refreshed lazily (see send) so the hot path
+	// does not pay a deadline update — which allocates a timer on some
+	// net.Conn implementations — per response.
+	wdeadline time.Time
 
 	inflight atomic.Int64
 
@@ -533,17 +550,23 @@ func (s *session) readLoop() {
 			s.respondErr(req.Seq, gwire.StatusBadRequest, "hello required before any other op")
 			continue
 		}
-		if srv.draining.Load() {
-			s.respondErr(req.Seq, gwire.StatusDraining, "gateway is draining")
-			continue
-		}
 		if s.inflight.Add(1) > int64(srv.cfg.MaxInflight) {
 			s.inflight.Add(-1)
 			srv.overloads.Add(1)
 			s.respondErr(req.Seq, gwire.StatusOverloaded, "connection in-flight window full")
 			continue
 		}
+		// Count the request in-flight before checking the drain flag:
+		// Drain sets the flag and then polls the counter, so a request
+		// it does not observe here is guaranteed to observe draining
+		// and be refused before reaching the queue.
 		srv.inflight.Add(1)
+		if srv.draining.Load() {
+			s.inflight.Add(-1)
+			srv.inflight.Add(-1)
+			s.respondErr(req.Seq, gwire.StatusDraining, "gateway is draining")
+			continue
+		}
 		select {
 		case srv.tasks <- task{s: s, fb: fb, req: req}:
 			srv.requests.Add(1)
@@ -716,12 +739,23 @@ func (s *session) respondErr(seq uint64, status gwire.Status, detail string) {
 func (s *session) send(body []byte, fb *frameBuf) {
 	binary.BigEndian.PutUint32(body[:4], uint32(len(body)-4))
 	s.writeMu.Lock()
+	// Arm the write deadline, refreshing only once the remaining
+	// margin falls below half the timeout: the deadline is a stall
+	// backstop, not a per-write precision timer, so every write is
+	// still granted at least WriteTimeout/2 and the steady-state path
+	// skips the update (which allocates on timer-based conns like
+	// net.Pipe).
+	if now := time.Now(); s.wdeadline.Sub(now) < s.srv.cfg.WriteTimeout/2 {
+		s.wdeadline = now.Add(s.srv.cfg.WriteTimeout)
+		s.conn.SetWriteDeadline(s.wdeadline)
+	}
 	_, err := s.conn.Write(body)
 	s.writeMu.Unlock()
 	if err != nil {
-		// The reader will observe the dead connection and tear the
-		// session down; nothing to recover here.
-		_ = err
+		// A dead peer — or one that stopped reading until the write
+		// deadline fired — must not keep pinning pool workers: close
+		// the connection so the reader tears the session down.
+		s.conn.Close()
 	}
 	fb.b = body
 	s.srv.putOutBuf(fb)
@@ -729,15 +763,18 @@ func (s *session) send(body []byte, fb *frameBuf) {
 
 // enqueueEvent queues a watch notification, dropping it if the
 // watcher's buffer is full (best-effort delivery; see package doc).
+// The send happens under watchMu — the same lock stopNotifier closes
+// s.events under — so a teardown racing a notify can never close the
+// channel between the nil check and the send (a send on a closed
+// channel panics even with a default case).
 func (s *session) enqueueEvent(kind gwire.EventKind, key string) {
 	s.watchMu.Lock()
-	ch := s.events
-	s.watchMu.Unlock()
-	if ch == nil {
+	defer s.watchMu.Unlock()
+	if s.events == nil {
 		return
 	}
 	select {
-	case ch <- event{kind: kind, key: key}:
+	case s.events <- event{kind: kind, key: key}:
 	default:
 		s.srv.eventsDropped.Add(1)
 	}

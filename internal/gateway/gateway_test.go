@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -522,6 +524,92 @@ func TestMalformedFrameDropsConnection(t *testing.T) {
 	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if _, err := gwire.ReadFrame(nc, nil, gwire.DefaultMaxFrame); err == nil {
 		t.Fatal("connection survived a malformed frame")
+	}
+}
+
+// TestEnqueueEventTeardownRace hammers enqueueEvent against
+// stopNotifier: a worker notifying a watcher whose session is being
+// torn down concurrently must drop the event, never send on the
+// closed channel (which panics the whole process, default case or
+// not). Run under -race this also checks the locking.
+func TestEnqueueEventTeardownRace(t *testing.T) {
+	srv := NewServer(staticTenants{nullStore{}}, Config{Workers: 1, WatchBuffer: 1})
+	defer srv.Close()
+	for i := 0; i < 100; i++ {
+		c1, c2 := net.Pipe()
+		s := &session{srv: srv, conn: c1}
+		// Drain the notifier's writes so flushing never blocks.
+		go io.Copy(io.Discard, c2)
+		s.startNotifier()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.enqueueEvent(gwire.EventPut, "k")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			s.stopNotifier()
+		}()
+		wg.Wait()
+		c1.Close()
+		c2.Close()
+	}
+}
+
+// TestStalledClientFreesWorker: a client that stops reading must not
+// pin a pool worker past the write timeout — the write deadline fires,
+// the session is torn down, and other connections get served.
+func TestStalledClientFreesWorker(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x42}, 4096)
+	srv, l := startServer(t, staticTenants{nullStore{payload: payload}}, Config{
+		Workers: 1, WriteTimeout: 100 * time.Millisecond,
+	})
+	// Handshake, issue a Get, then never read: the single worker wedges
+	// writing the 4 KiB response into the unbuffered pipe.
+	rc := newRawConn(t, l, "stall")
+	req := gwire.AppendRequest(nil, &gwire.Request{Seq: 2, Op: gwire.OpGet, Key: []byte("k")})
+	if err := gwire.WriteFrame(rc.nc, req); err != nil {
+		t.Fatal(err)
+	}
+	// A healthy connection is served once the deadline frees the worker.
+	conn := dialTenant(t, l, "ok")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := conn.Get(ctx, "k"); err != nil {
+		t.Fatalf("get behind a stalled client: %v", err)
+	}
+	// The stalled session was torn down, not left half-dead.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Active > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled session never torn down (active=%d)", srv.Stats().Active)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClientRefusesOversizedRequests: requests the wire cannot carry
+// faithfully fail locally with ErrBadRequest — and only that call
+// fails, not the whole pipelined connection (an oversized frame
+// reaching the gateway would drop the session; an over-long key would
+// be silently truncated by the codec).
+func TestClientRefusesOversizedRequests(t *testing.T) {
+	_, l := startServer(t, staticTenants{nullStore{}}, Config{Workers: 2})
+	conn := dialTenant(t, l, "t")
+	ctx := context.Background()
+	bigKey := strings.Repeat("k", gwire.MaxKeyLen+1)
+	if err := conn.Put(ctx, bigKey, []byte("v")); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("oversized key err = %v, want ErrBadRequest", err)
+	}
+	if err := conn.Put(ctx, "k", make([]byte, gwire.DefaultMaxFrame)); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("oversized frame err = %v, want ErrBadRequest", err)
+	}
+	// The refusals were local: the connection is still usable.
+	if err := conn.Put(ctx, "ok", []byte("v")); err != nil {
+		t.Fatalf("connection unusable after local refusal: %v", err)
 	}
 }
 
