@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"trapquorum/client"
+	"trapquorum/internal/nodeengine"
 	"trapquorum/internal/sim"
 )
 
@@ -41,6 +42,47 @@ type FaultInjector interface {
 	Wipe(ctx context.Context, node int) error
 }
 
+// CorruptionMode selects how CorruptShard damages a stored chunk —
+// the corruption half of the fault-injection harness (Crash/Wipe
+// model fail-stop; these model wrong bytes behind a live node).
+type CorruptionMode int
+
+const (
+	// CorruptBitFlip flips one bit of the stored data, metadata
+	// untouched: classic silent bit-rot. The node's own self-checksum
+	// catches it on the next content read.
+	CorruptBitFlip CorruptionMode = iota + 1
+	// CorruptTruncate drops the second half of the stored data,
+	// metadata untouched: a torn or shortened chunk file.
+	CorruptTruncate
+	// CorruptWrongData replaces the content with different bytes of
+	// the same length and forges the node's own metadata to match — a
+	// node that lies consistently. Only the cross-checksum records its
+	// peers hold can convict it.
+	CorruptWrongData
+	// CorruptStaleReplay regresses the chunk to a state previously
+	// captured with SnapshotShard — a restored backup serving
+	// valid-but-old data. Requires a prior SnapshotShard of the same
+	// (node, chunk); CorruptShard errors otherwise.
+	CorruptStaleReplay
+)
+
+// String names the mode for test output.
+func (m CorruptionMode) String() string {
+	switch m {
+	case CorruptBitFlip:
+		return "bit-flip"
+	case CorruptTruncate:
+		return "truncate"
+	case CorruptWrongData:
+		return "wrong-data"
+	case CorruptStaleReplay:
+		return "stale-replay"
+	default:
+		return fmt.Sprintf("CorruptionMode(%d)", int(m))
+	}
+}
+
 // SimBackend runs the cluster as in-process simulated fail-stop nodes
 // — one goroutine actor each — with optional injected per-operation
 // latency. It is the default backend and implements FaultInjector.
@@ -49,6 +91,13 @@ type SimBackend struct {
 
 	mu      sync.Mutex
 	cluster *sim.Cluster
+	snaps   map[snapKey]nodeengine.ChunkSnapshot
+}
+
+// snapKey identifies one snapshotted chunk on one node.
+type snapKey struct {
+	node int
+	id   client.ChunkID
 }
 
 // SimOption customises the simulated cluster.
@@ -160,6 +209,64 @@ func (b *SimBackend) ProbeNode(ctx context.Context, node int) error {
 		return fmt.Errorf("node %d: %w", node, sim.ErrNodeDown)
 	}
 	return nil
+}
+
+// CorruptShard damages the stored chunk id on cluster node `node`
+// according to mode, through the node engine's fault-injection hooks:
+// on a durable store the damage would survive restarts exactly like
+// real media rot. It returns client.ErrNotFound when the node does
+// not store the chunk, and an error when mode is CorruptStaleReplay
+// without a prior SnapshotShard. Fault-injection surface for
+// corruption chaos tests; requires the sim backend.
+func (b *SimBackend) CorruptShard(ctx context.Context, node int, id client.ChunkID, mode CorruptionMode) error {
+	engine := b.live().Node(node).Engine()
+	switch mode {
+	case CorruptBitFlip:
+		return engine.CorruptChunk(ctx, id, nodeengine.CorruptBitFlip)
+	case CorruptTruncate:
+		return engine.CorruptChunk(ctx, id, nodeengine.CorruptTruncate)
+	case CorruptWrongData:
+		return engine.CorruptChunk(ctx, id, nodeengine.CorruptWrongData)
+	case CorruptStaleReplay:
+		b.mu.Lock()
+		snap, ok := b.snaps[snapKey{node: node, id: id}]
+		b.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("trapquorum: CorruptShard(%s): stale-replay needs a prior SnapshotShard of chunk %s on node %d", mode, id, node)
+		}
+		return engine.RestoreChunk(ctx, snap)
+	default:
+		return fmt.Errorf("%w: unknown corruption mode %d", client.ErrBadRequest, int(mode))
+	}
+}
+
+// SnapshotShard captures chunk id's full stored state on cluster node
+// `node` — data, versions, checksums — for a later
+// CorruptShard(CorruptStaleReplay), which regresses the chunk to the
+// captured state. Re-snapshotting the same (node, chunk) replaces the
+// previous capture.
+func (b *SimBackend) SnapshotShard(ctx context.Context, node int, id client.ChunkID) error {
+	snap, err := b.live().Node(node).Engine().SnapshotChunk(ctx, id)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if b.snaps == nil {
+		b.snaps = make(map[snapKey]nodeengine.ChunkSnapshot)
+	}
+	b.snaps[snapKey{node: node, id: id}] = snap
+	b.mu.Unlock()
+	return nil
+}
+
+// SetNodeLying turns cluster node `node` into a persistent Byzantine
+// liar (true) or back into an honest node (false): while lying, every
+// chunk it serves has its content silently altered after the engine's
+// own integrity checks passed, so the node's own metadata never
+// betrays it — only the cross-checksum records its peers hold can.
+// Fault-injection surface for Byzantine chaos tests.
+func (b *SimBackend) SetNodeLying(node int, lying bool) {
+	b.live().Node(node).SetReadCorrupt(lying)
 }
 
 // SetNodeDelay turns node j into a straggler: every operation on it

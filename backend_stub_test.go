@@ -62,20 +62,20 @@ func (n *stubNode) ReadChunk(ctx context.Context, id client.ChunkID) (client.Chu
 	return c.Clone(), nil
 }
 
-func (n *stubNode) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, error) {
+func (n *stubNode) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, []client.BlockSum, error) {
 	if err := n.begin(ctx, "version"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	c, ok := n.chunks[id]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", client.ErrNotFound, id)
+		return nil, nil, fmt.Errorf("%w: %s", client.ErrNotFound, id)
 	}
-	return append([]uint64(nil), c.Versions...), nil
+	return append([]uint64(nil), c.Versions...), append([]client.BlockSum(nil), c.Sums...), nil
 }
 
-func (n *stubNode) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+func (n *stubNode) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
 	if err := n.begin(ctx, "write"); err != nil {
 		return err
 	}
@@ -87,11 +87,12 @@ func (n *stubNode) PutChunk(ctx context.Context, id client.ChunkID, data []byte,
 	n.chunks[id] = client.Chunk{
 		Data:     append([]byte(nil), data...),
 		Versions: append([]uint64(nil), versions...),
+		Sums:     append([]client.BlockSum(nil), sums...),
 	}
 	return nil
 }
 
-func (n *stubNode) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+func (n *stubNode) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
 	if err := n.begin(ctx, "write"); err != nil {
 		return err
 	}
@@ -113,11 +114,27 @@ func (n *stubNode) PutChunkIfFresher(ctx context.Context, id client.ChunkID, dat
 	n.chunks[id] = client.Chunk{
 		Data:     append([]byte(nil), data...),
 		Versions: append([]uint64(nil), versions...),
+		Sums:     append([]client.BlockSum(nil), sums...),
 	}
 	return nil
 }
 
-func (n *stubNode) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte) error {
+// setSum updates one record slot, growing the record to the version
+// vector's width on first use (the contract's record-merge rule for
+// the compare-and-* operations).
+func setSum(c *client.Chunk, slot int, sum []client.BlockSum) {
+	if len(sum) == 0 {
+		return
+	}
+	if len(c.Sums) < len(c.Versions) {
+		grown := make([]client.BlockSum, len(c.Versions))
+		copy(grown, c.Sums)
+		c.Sums = grown
+	}
+	c.Sums[slot] = sum[0]
+}
+
+func (n *stubNode) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte, sum ...client.BlockSum) error {
 	if err := n.begin(ctx, "write"); err != nil {
 		return err
 	}
@@ -135,11 +152,12 @@ func (n *stubNode) CompareAndPut(ctx context.Context, id client.ChunkID, slot in
 	}
 	c.Data = append([]byte(nil), data...)
 	c.Versions[slot] = next
+	setSum(&c, slot, sum)
 	n.chunks[id] = c
 	return nil
 }
 
-func (n *stubNode) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte) error {
+func (n *stubNode) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte, sum ...client.BlockSum) error {
 	if err := n.begin(ctx, "add"); err != nil {
 		return err
 	}
@@ -162,6 +180,7 @@ func (n *stubNode) CompareAndAdd(ctx context.Context, id client.ChunkID, slot in
 		c.Data[i] ^= delta[i]
 	}
 	c.Versions[slot] = next
+	setSum(&c, slot, sum)
 	n.chunks[id] = c
 	return nil
 }

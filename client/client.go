@@ -32,6 +32,12 @@ var (
 	// mutation was not applied; free space (Delete) or raise the
 	// quota. Both wire codecs carry it as a dedicated status.
 	ErrQuotaExceeded = errors.New("client: tenant quota exceeded")
+	// ErrCorrupt reports content that fails checksum verification:
+	// a node returns it when a stored chunk no longer matches its own
+	// integrity metadata (bit-rot, truncation), and the read path
+	// returns it when no uncorrupted decode of a block exists. Both
+	// wire codecs carry it as a dedicated status.
+	ErrCorrupt = errors.New("client: data corrupt")
 )
 
 // ChunkID names one shard of one stripe: Shard is the position within
@@ -51,6 +57,21 @@ func (id ChunkID) String() string { return fmt.Sprintf("%d/%d", id.Stripe, id.Sh
 // "version ← −1" sentinel of the paper's Algorithm 2.
 const NoVersion = ^uint64(0)
 
+// BlockSum is one entry of a cross-checksum record: the writer-side
+// hash of one data block's content at one version. Nodes store the
+// record as separate metadata next to a chunk — a data chunk carries
+// one entry (its own block), a parity chunk carries k entries (one per
+// data block folded into it) — and readers verify retrieved content
+// against a majority of the records held by *other* nodes, which is
+// what lets them reject a corrupt or lying shard before decoding. A
+// zero Version marks an absent entry (no opinion).
+type BlockSum struct {
+	// Version is the data-block version the hash was computed at.
+	Version uint64
+	// Sum is the 64-bit content hash of the block at that version.
+	Sum uint64
+}
+
 // Chunk is one stored shard plus its version bookkeeping (see the
 // package comment for the data/parity version-vector model).
 type Chunk struct {
@@ -59,6 +80,10 @@ type Chunk struct {
 	// Versions is the shard's version vector: one entry for a data
 	// chunk, k entries for a parity chunk.
 	Versions []uint64
+	// Sums is the chunk's cross-checksum record, parallel to Versions
+	// (one entry per version slot); empty on backends predating
+	// verified reads. Entries with Version 0 carry no opinion.
+	Sums []BlockSum
 }
 
 // Clone deep-copies the chunk so backend-owned buffers never escape.
@@ -66,6 +91,7 @@ func (c Chunk) Clone() Chunk {
 	return Chunk{
 		Data:     append([]byte(nil), c.Data...),
 		Versions: append([]uint64(nil), c.Versions...),
+		Sums:     append([]BlockSum(nil), c.Sums...),
 	}
 }
 
@@ -74,27 +100,35 @@ func (c Chunk) Clone() Chunk {
 // *tcp.NodeClient implement it; external backends implement it over
 // their own transport. All methods must be safe for concurrent use
 // and must honour context cancellation.
+// The mutation methods accept optional cross-checksum entries as a
+// trailing variadic parameter so existing integrations keep compiling:
+// zero entries means "no checksum opinion" (the node keeps whatever
+// record it holds), the conditional single-slot operations take at most
+// one entry (for the slot they touch), and the full-chunk puts take
+// either one entry or one per version slot.
 type NodeClient interface {
-	// ReadChunk returns a copy of the chunk, or ErrNotFound.
+	// ReadChunk returns a copy of the chunk, or ErrNotFound; ErrCorrupt
+	// when the stored content fails the node's own integrity check.
 	ReadChunk(ctx context.Context, id ChunkID) (Chunk, error)
-	// ReadVersions returns a copy of the chunk's version vector, or
+	// ReadVersions returns a copy of the chunk's version vector and
+	// cross-checksum record (nil when the node holds none), or
 	// ErrNotFound — the "u.version(id)" probe of Algorithms 1–2.
-	ReadVersions(ctx context.Context, id ChunkID) ([]uint64, error)
+	ReadVersions(ctx context.Context, id ChunkID) ([]uint64, []BlockSum, error)
 	// PutChunk stores a full chunk, replacing any previous value.
-	PutChunk(ctx context.Context, id ChunkID, data []byte, versions []uint64) error
+	PutChunk(ctx context.Context, id ChunkID, data []byte, versions []uint64, sums ...BlockSum) error
 	// PutChunkIfFresher installs the chunk only when the proposed
 	// version vector does not regress any stored slot
 	// (componentwise ≥); otherwise ErrVersionMismatch.
-	PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, versions []uint64) error
+	PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, versions []uint64, sums ...BlockSum) error
 	// CompareAndPut overwrites the data only when version slot `slot`
 	// holds expect, then sets it to next; otherwise
 	// ErrVersionMismatch. The check and the write are atomic.
-	CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, next uint64, data []byte) error
+	CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, next uint64, data []byte, sum ...BlockSum) error
 	// CompareAndAdd XORs delta into the data when version slot `slot`
 	// holds expect, then advances it to next — the conditional
 	// "u.add(α_{i,j}·(x−chunk))" of Algorithm 1. The check and the
 	// add are atomic.
-	CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, next uint64, delta []byte) error
+	CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, next uint64, delta []byte, sum ...BlockSum) error
 	// DeleteChunk removes a chunk; deleting a missing chunk is a
 	// no-op.
 	DeleteChunk(ctx context.Context, id ChunkID) error

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"trapquorum/internal/diskstore"
 	"trapquorum/internal/memstore"
@@ -32,9 +34,10 @@ import (
 )
 
 type config struct {
-	addr    string
-	dir     string
-	noFsync bool
+	addr         string
+	dir          string
+	noFsync      bool
+	scanInterval time.Duration
 }
 
 func main() {
@@ -42,6 +45,8 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":7420", "TCP address to listen on")
 	flag.StringVar(&cfg.dir, "dir", "", "durable storage directory (empty: keep chunks in memory)")
 	flag.BoolVar(&cfg.noFsync, "no-fsync", false, "skip fsync on mutations (faster, loses crash durability)")
+	flag.DurationVar(&cfg.scanInterval, "scan-interval", 0,
+		"periodic at-rest scan of the durable store: chunk files failing their CRC are quarantined so the cluster's scrub finds cold bit-rot without a client read (0 disables; needs -dir)")
 	flag.Parse()
 
 	stop := make(chan struct{})
@@ -81,6 +86,15 @@ func run(cfg config, stop <-chan struct{}, started func(net.Addr)) error {
 	engine := nodeengine.New(store, nodeengine.WithName("trapnode "+cfg.addr))
 	defer engine.Close()
 
+	if cfg.scanInterval > 0 {
+		if cfg.dir == "" {
+			return fmt.Errorf("trapnode: -scan-interval needs -dir (the in-memory store has no at-rest state to scan)")
+		}
+		scanDone := make(chan struct{})
+		defer close(scanDone)
+		go scanLoop(engine, cfg.scanInterval, scanDone)
+	}
+
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -102,5 +116,30 @@ func run(cfg config, stop <-chan struct{}, started func(net.Addr)) error {
 	case err := <-serveErr:
 		srv.Close()
 		return err
+	}
+}
+
+// scanLoop periodically re-reads every chunk file from disk and
+// quarantines the ones failing their CRC: subsequent reads of a
+// quarantined chunk answer ErrCorrupt, which the cluster's verified
+// read path and scrubber treat as a corruption observation and heal —
+// so cold bit-rot on a rarely-read chunk is found and repaired without
+// waiting for a client to stumble over it.
+func scanLoop(engine *nodeengine.Engine, interval time.Duration, done <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		quarantined, err := engine.VerifyStore(context.Background())
+		switch {
+		case err != nil:
+			log.Printf("trapnode: at-rest scan failed: %v", err)
+		case len(quarantined) > 0:
+			log.Printf("trapnode: at-rest scan quarantined %d chunk(s): %v", len(quarantined), quarantined)
+		}
 	}
 }

@@ -1,0 +1,26 @@
+// Package chunkmeta defines the integrity metadata stored beside every
+// chunk — kept in a leaf package so the chunk stores (memstore,
+// diskstore) and the node engine can share the type without an import
+// cycle. See DESIGN.md §6 for the verified-read design this serves.
+package chunkmeta
+
+import "trapquorum/client"
+
+// Meta is a chunk's integrity metadata: the storing node's own content
+// hash plus the writer-distributed cross-checksum record.
+type Meta struct {
+	// Self is the node's hash of the chunk's data bytes, recomputed on
+	// every mutation; HasSelf distinguishes "no self-sum recorded"
+	// (legacy state) from a zero hash value.
+	Self    uint64
+	HasSelf bool
+	// RecSum is the hash of the encoded Rec entries — the "hash of the
+	// checksum vector itself" — so a record that rots is detected and
+	// discarded instead of convicting healthy peers.
+	RecSum uint64
+	// Rec is the cross-checksum record, parallel to the chunk's version
+	// vector (one entry per slot); nil when the node holds none. Owned
+	// like the chunk buffers: stores copy on Put, and callers must not
+	// retain what Get returns.
+	Rec []client.BlockSum
+}

@@ -126,18 +126,24 @@ type Metrics struct {
 	Rollbacks    atomic.Int64
 	Repairs      atomic.Int64
 	HedgedRPCs   atomic.Int64
+	// CorruptShards counts corruption observations: shards whose
+	// content disagreed with the cross-checksum record majority, or
+	// whose node answered client.ErrCorrupt. One lying node read
+	// repeatedly counts once per observation, not once per node.
+	CorruptShards atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
 type MetricsSnapshot struct {
-	Writes       int64
-	FailedWrites int64
-	DirectReads  int64
-	DecodeReads  int64
-	FailedReads  int64
-	Rollbacks    int64
-	Repairs      int64
-	HedgedRPCs   int64
+	Writes        int64
+	FailedWrites  int64
+	DirectReads   int64
+	DecodeReads   int64
+	FailedReads   int64
+	Rollbacks     int64
+	Repairs       int64
+	HedgedRPCs    int64
+	CorruptShards int64
 }
 
 // Options configures a System.
@@ -176,8 +182,9 @@ type System struct {
 	locks       map[blockKey]*sync.Mutex
 	objectSizes map[uint64]int
 
-	metrics Metrics
-	hedge   *hedger // nil when hedging is disabled
+	metrics   Metrics
+	hedge     *hedger // nil when hedging is disabled
+	corruptFn atomic.Pointer[func(shard int)]
 }
 
 type blockKey struct {
@@ -235,14 +242,37 @@ func (s *System) Layout() *trapezoid.Layout { return s.lay }
 // Metrics returns a snapshot of the protocol counters.
 func (s *System) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		Writes:       s.metrics.Writes.Load(),
-		FailedWrites: s.metrics.FailedWrites.Load(),
-		DirectReads:  s.metrics.DirectReads.Load(),
-		DecodeReads:  s.metrics.DecodeReads.Load(),
-		FailedReads:  s.metrics.FailedReads.Load(),
-		Rollbacks:    s.metrics.Rollbacks.Load(),
-		Repairs:      s.metrics.Repairs.Load(),
-		HedgedRPCs:   s.metrics.HedgedRPCs.Load(),
+		Writes:        s.metrics.Writes.Load(),
+		FailedWrites:  s.metrics.FailedWrites.Load(),
+		DirectReads:   s.metrics.DirectReads.Load(),
+		DecodeReads:   s.metrics.DecodeReads.Load(),
+		FailedReads:   s.metrics.FailedReads.Load(),
+		Rollbacks:     s.metrics.Rollbacks.Load(),
+		Repairs:       s.metrics.Repairs.Load(),
+		HedgedRPCs:    s.metrics.HedgedRPCs.Load(),
+		CorruptShards: s.metrics.CorruptShards.Load(),
+	}
+}
+
+// SetCorruptionHandler installs a callback invoked (synchronously, from
+// protocol goroutines) every time a shard is observed corrupt: bad
+// bytes against the record majority, or a node answering
+// client.ErrCorrupt. The self-heal loop uses it to pin the node's
+// health state and schedule a rebuild. A nil fn removes the handler.
+func (s *System) SetCorruptionHandler(fn func(shard int)) {
+	if fn == nil {
+		s.corruptFn.Store(nil)
+		return
+	}
+	s.corruptFn.Store(&fn)
+}
+
+// reportCorrupt records one corruption observation against a stripe
+// shard and notifies the handler, if any.
+func (s *System) reportCorrupt(shard int) {
+	s.metrics.CorruptShards.Add(1)
+	if fp := s.corruptFn.Load(); fp != nil {
+		(*fp)(shard)
 	}
 }
 
@@ -376,14 +406,23 @@ func (s *System) SeedStripe(ctx context.Context, stripe uint64, data [][]byte) e
 	for i := range parityVersions {
 		parityVersions[i] = 1
 	}
+	// The cross-checksum record: every shard learns the content hash of
+	// every data block at version 1, so readers can verify served bytes
+	// against a majority of independent opinions from day one.
+	dataSums := make([]client.BlockSum, k)
+	for i := range dataSums {
+		dataSums[i] = client.BlockSum{Version: 1, Sum: erasure.Sum64(data[i])}
+	}
 	errNode := -1
 	var nodeErr error
 	Fanout(ctx, s.opLimit(), n, func(cctx context.Context, j int) (struct{}, error) {
 		versions := parityVersions
+		sums := dataSums
 		if j < k {
 			versions = []uint64{1}
+			sums = dataSums[j : j+1 : j+1]
 		}
-		return struct{}{}, s.nodes[j].PutChunk(cctx, chunkID(stripe, j), shard(j), versions)
+		return struct{}{}, s.nodes[j].PutChunk(cctx, chunkID(stripe, j), shard(j), versions, sums...)
 	}, func(j int, _ struct{}, err error) bool {
 		if err == nil {
 			return true

@@ -105,7 +105,7 @@ func (s *FRSystem) checkVersion(ctx context.Context, id uint64) (version uint64,
 		counter := 0
 		version = sim.NoVersion
 		for _, pos := range s.lay.Level(l) {
-			vers, err := s.nodes[pos].ReadVersions(ctx, frChunk(id))
+			vers, _, err := s.nodes[pos].ReadVersions(ctx, frChunk(id))
 			if err != nil || len(vers) != 1 {
 				continue
 			}

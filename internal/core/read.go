@@ -7,6 +7,7 @@ import (
 
 	"trapquorum/client"
 	"trapquorum/internal/blockpool"
+	"trapquorum/internal/erasure"
 	"trapquorum/internal/sim"
 )
 
@@ -87,7 +88,7 @@ func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byt
 			return nil, 0, wrap(err)
 		}
 		checkStart := time.Now()
-		version, ni, ok := s.checkVersion(ctx, stripe, block)
+		version, ni, expect, ok := s.checkVersion(ctx, stripe, block)
 		quorumElapsed := time.Since(checkStart)
 		if !ok {
 			if err := ctx.Err(); err != nil {
@@ -108,12 +109,19 @@ func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byt
 		// settled with (at least) the latest version — it just
 		// answered the quorum promptly, so a blocking read is safe.
 		if ni == dataNodeFresh {
-			if data, served, ok := s.tryDirectRead(ctx, stripe, block, version); ok {
+			if !expect.known {
+				// The winning quorum settled without a single parity
+				// opinion (possible when a one-node level wins): gather
+				// opinions explicitly before trusting the data node's
+				// bytes, or a lying N_i could self-certify.
+				expect = s.gatherExpected(ctx, stripe, block, version)
+			}
+			if data, served, ok := s.tryDirectRead(ctx, stripe, block, version, expect); ok {
 				s.metrics.DirectReads.Add(1)
 				return data, served, nil
 			}
-			// The node failed or lagged between the version check and
-			// the read; fall through to the decode path.
+			// The node failed, lagged, or served bytes the record
+			// majority disavows; fall through to the decode path.
 		}
 		// The data node's probe never settled (cancelled by the early
 		// termination): attempt the direct read optimistically — the
@@ -128,7 +136,7 @@ func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byt
 			if grace < directReadGraceFloor {
 				grace = directReadGraceFloor
 			}
-			data, served, direct, derr := s.directOrDecode(ctx, stripe, block, version, grace)
+			data, served, direct, derr := s.directOrDecode(ctx, stripe, block, version, expect, grace)
 			if derr == nil {
 				if direct {
 					s.metrics.DirectReads.Add(1)
@@ -141,7 +149,7 @@ func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byt
 			continue
 		}
 		// Case 2: decode from k consistent shards at the latest version.
-		data, err := s.decodeBlock(ctx, stripe, block, version)
+		data, err := s.decodeBlock(ctx, stripe, block, version, expect)
 		if err == nil {
 			s.metrics.DecodeReads.Add(1)
 			return data, version, nil
@@ -166,14 +174,30 @@ func (s *System) readBlock(ctx context.Context, stripe uint64, block int) ([]byt
 // same way (the residue anomaly is documented and demonstrated in the
 // safety tests; the paper assumes concurrency control above the
 // protocol).
-func (s *System) tryDirectRead(ctx context.Context, stripe uint64, block int, version uint64) ([]byte, uint64, bool) {
+// When an expected content hash is known, a chunk served exactly at
+// the pinned version must match it — bytes the record majority
+// disavows are never returned; the read falls back to decoding from
+// survivors and the culprit is reported. A chunk ahead of the pinned
+// version belongs to a concurrent writer whose record quorum is still
+// forming and is served as before.
+func (s *System) tryDirectRead(ctx context.Context, stripe uint64, block int, version uint64, expect sumOpinion) ([]byte, uint64, bool) {
 	chunk, err := hedged(ctx, s.hedge, func(hctx context.Context) (client.Chunk, error) {
 		return s.nodes[block].ReadChunk(hctx, chunkID(stripe, block))
 	})
-	if err == nil && len(chunk.Versions) > 0 && chunk.Versions[0] >= version {
-		return chunk.Data, chunk.Versions[0], true
+	if err != nil {
+		if isCorruptErr(err) {
+			s.reportCorrupt(block)
+		}
+		return nil, 0, false
 	}
-	return nil, 0, false
+	if len(chunk.Versions) == 0 || chunk.Versions[0] < version {
+		return nil, 0, false
+	}
+	if expect.known && chunk.Versions[0] == version && erasure.Sum64(chunk.Data) != expect.sum {
+		s.reportCorrupt(block)
+		return nil, 0, false
+	}
+	return chunk.Data, chunk.Versions[0], true
 }
 
 // directReadGraceFloor is the minimum time a read with an unsettled
@@ -192,7 +216,7 @@ const directReadGraceFloor = 50 * time.Millisecond
 // plain decode). Past the grace the node is suspected of straggling
 // and the decode runs concurrently — the first usable result wins and
 // the loser is cancelled. direct reports which path served the block.
-func (s *System) directOrDecode(ctx context.Context, stripe uint64, block int, version uint64, grace time.Duration) (data []byte, served uint64, direct bool, err error) {
+func (s *System) directOrDecode(ctx context.Context, stripe uint64, block int, version uint64, expect sumOpinion, grace time.Duration) (data []byte, served uint64, direct bool, err error) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type directRes struct {
@@ -202,7 +226,7 @@ func (s *System) directOrDecode(ctx context.Context, stripe uint64, block int, v
 	}
 	directCh := make(chan directRes, 1)
 	go func() {
-		d, v, ok := s.tryDirectRead(cctx, stripe, block, version)
+		d, v, ok := s.tryDirectRead(cctx, stripe, block, version, expect)
 		directCh <- directRes{data: d, version: v, ok: ok}
 	}()
 	timer := time.NewTimer(grace)
@@ -213,7 +237,7 @@ func (s *System) directOrDecode(ctx context.Context, stripe uint64, block int, v
 			return r.data, r.version, true, nil
 		}
 		// The node answered promptly but stale/failed: normal decode.
-		data, err = s.decodeBlock(ctx, stripe, block, version)
+		data, err = s.decodeBlock(ctx, stripe, block, version, expect)
 		return data, version, false, err
 	case <-timer.C:
 	}
@@ -224,7 +248,7 @@ func (s *System) directOrDecode(ctx context.Context, stripe uint64, block int, v
 	}
 	decodeCh := make(chan decodeRes, 1)
 	go func() {
-		d, derr := s.decodeBlock(cctx, stripe, block, version)
+		d, derr := s.decodeBlock(cctx, stripe, block, version, expect)
 		decodeCh <- decodeRes{data: d, err: derr}
 	}()
 	var decodeErr error
@@ -259,6 +283,13 @@ func (s *System) directOrDecode(ctx context.Context, stripe uint64, block int, v
 	return nil, 0, false, decodeErr
 }
 
+// verProbe is one version-probe answer: the shard's version vector
+// plus its cross-checksum record, carried together through the fan-out.
+type verProbe struct {
+	versions []uint64
+	sums     []client.BlockSum
+}
+
 // checkVersion performs Step 1 of Algorithm 2 concurrently: one
 // version probe per trapezoid position, all levels in flight at once.
 // The first level to reach its read threshold wins (any level's
@@ -267,7 +298,12 @@ func (s *System) directOrDecode(ctx context.Context, stripe uint64, block int, v
 // maximum among its first r_l valid answers, exactly as the
 // sequential scan took the max of the first r_l responders. ok=false
 // means every level settled without reaching its threshold.
-func (s *System) checkVersion(ctx context.Context, stripe uint64, block int) (version uint64, ni dataNodeState, ok bool) {
+//
+// Alongside the version, the probes' cross-checksum records are
+// tallied into the expected content hash of the block at the winning
+// version (parity opinions only — the data node's own record must not
+// vouch for its own bytes), so Step 2 can verify what it serves.
+func (s *System) checkVersion(ctx context.Context, stripe uint64, block int) (version uint64, ni dataNodeState, expect sumOpinion, ok bool) {
 	cfg := s.lay.Config()
 	type probe struct {
 		level int
@@ -295,11 +331,19 @@ func (s *System) checkVersion(ctx context.Context, stripe uint64, block int) (ve
 	dead := 0
 	var niVersion uint64
 	niState := dataNodeUnknown
-	Fanout(ctx, s.opLimit(), len(probes), func(cctx context.Context, i int) ([]uint64, error) {
-		return hedged(cctx, s.hedge, func(hctx context.Context) ([]uint64, error) {
-			return s.nodes[probes[i].shard].ReadVersions(hctx, chunkID(stripe, probes[i].shard))
+	recs := make([][]client.BlockSum, len(probes))
+	Fanout(ctx, s.opLimit(), len(probes), func(cctx context.Context, i int) (verProbe, error) {
+		return hedged(cctx, s.hedge, func(hctx context.Context) (verProbe, error) {
+			vers, sums, err := s.nodes[probes[i].shard].ReadVersions(hctx, chunkID(stripe, probes[i].shard))
+			return verProbe{versions: vers, sums: sums}, err
 		})
-	}, func(i int, versions []uint64, err error) bool {
+	}, func(i int, pr verProbe, err error) bool {
+		if err != nil && isCorruptErr(err) {
+			// A quarantined or self-detected-rotten chunk surfaced on the
+			// probe path: record the observation even though the probe
+			// itself just reads as failed.
+			s.reportCorrupt(probes[i].shard)
+		}
 		if winner >= 0 || dead > cfg.Shape.H {
 			return true // decided; late stragglers carry no new information
 		}
@@ -308,9 +352,12 @@ func (s *System) checkVersion(ctx context.Context, stripe uint64, block int) (ve
 		lv.settled++
 		v, valid := uint64(0), false
 		if err == nil {
-			v, valid = s.versionOfShard(block, p.shard, versions)
+			v, valid = s.versionOfShard(block, p.shard, pr.versions)
 		}
 		if valid {
+			if p.pos != 0 {
+				recs[i] = pr.sums
+			}
 			if p.pos == 0 {
 				niState = dataNodeFresh // refined against the winner below
 				niVersion = v
@@ -338,13 +385,17 @@ func (s *System) checkVersion(ctx context.Context, stripe uint64, block int) (ve
 		return true
 	})
 	if winner < 0 {
-		return 0, dataNodeUnknown, false
+		return 0, dataNodeUnknown, sumOpinion{}, false
 	}
 	version = levels[winner].version
 	if niState == dataNodeFresh && niVersion < version {
 		niState = dataNodeStale
 	}
-	return version, niState, true
+	tally := make(map[uint64]int)
+	for _, rec := range recs {
+		tallyOpinion(tally, rec, block, version)
+	}
+	return version, niState, pluralitySum(tally), true
 }
 
 // shardCandidate is one shard available for decoding: its stripe
@@ -381,11 +432,12 @@ type decodeGroup struct {
 // consistent shards of an MDS code decode the same bytes, so taking
 // the first viable set instead of the largest changes nothing but the
 // latency.
-func (s *System) decodeBlock(ctx context.Context, stripe uint64, block int, version uint64) ([]byte, error) {
+func (s *System) decodeBlock(ctx context.Context, stripe uint64, block int, version uint64, expect sumOpinion) ([]byte, error) {
 	k := s.code.K()
 	n := s.code.N()
 	groups := make(map[string]*decodeGroup)
 	dataCands := make(map[int]shardCandidate)
+	decTally := make(map[uint64]int)
 	var winner *decodeGroup
 	// tryExtend folds one data-shard candidate into one group when the
 	// shard's own version matches the group vector's component.
@@ -408,7 +460,16 @@ func (s *System) decodeBlock(ctx context.Context, stripe uint64, block int, vers
 			return true
 		}
 		if err != nil {
+			if isCorruptErr(err) {
+				s.reportCorrupt(shard)
+			}
 			return true
+		}
+		if shard >= k {
+			// Collect the parity's content opinion even when the shard
+			// itself is stale for decoding — the opinions judge what we
+			// eventually decode, independent of which set decodes it.
+			tallyOpinion(decTally, chunk.Sums, block, version)
 		}
 		cand := shardCandidate{shard: shard, data: chunk.Data, versions: chunk.Versions}
 		switch {
@@ -456,7 +517,20 @@ func (s *System) decodeBlock(ctx context.Context, stripe uint64, block int, vers
 	for _, cand := range winner.data {
 		sl.S[cand.shard] = cand.data
 	}
-	return s.code.DecodeBlock(block, sl.S)
+	out, err := s.code.DecodeBlock(block, sl.S)
+	if err != nil {
+		return nil, err
+	}
+	if !expect.known {
+		expect = pluralitySum(decTally)
+	}
+	if expect.known && erasure.Sum64(out) != expect.sum {
+		// Some member of the winning set fed bad bytes into the decode:
+		// escalate to the exhaustive survivor-set search, which also
+		// pinpoints the culprit.
+		return s.verifiedDecode(ctx, stripe, block, version, expect)
+	}
+	return out, nil
 }
 
 // vectorKey renders a version vector as a map key.

@@ -8,6 +8,7 @@ import (
 
 	"trapquorum/client"
 	"trapquorum/internal/blockpool"
+	"trapquorum/internal/erasure"
 	"trapquorum/internal/sim"
 )
 
@@ -38,7 +39,7 @@ func (s *System) RepairShard(ctx context.Context, stripe uint64, shard int) erro
 	if _, err := s.stripeBlockSize(stripe); err != nil {
 		return err
 	}
-	vector, shards, err := s.freshestConsistentSet(ctx, stripe, shard)
+	vector, shards, recs, err := s.freshestConsistentSet(ctx, stripe, shard)
 	if err != nil {
 		return err
 	}
@@ -50,19 +51,62 @@ func (s *System) RepairShard(ctx context.Context, stripe uint64, shard int) erro
 	if err := s.code.RepairShardInto(rebuilt.B, shard, shards); err != nil {
 		return err
 	}
-	var versions []uint64
-	if shard < s.code.K() {
-		versions = []uint64{vector[shard]}
-	} else {
-		versions = vector
+	versions, sums, err := s.repairInstallMeta(shard, vector, rebuilt.B, recs)
+	if err != nil {
+		return err
 	}
 	// Version-guarded install: a concurrent write may have advanced
 	// the shard since the survivors were gathered; never regress it.
-	if err := s.nodes[shard].PutChunkIfFresher(ctx, chunkID(stripe, shard), rebuilt.B, versions); err != nil {
+	if err := s.nodes[shard].PutChunkIfFresher(ctx, chunkID(stripe, shard), rebuilt.B, versions, sums...); err != nil {
 		return err
 	}
 	s.metrics.Repairs.Add(1)
 	return nil
+}
+
+// repairInstallMeta derives the version vector and cross-checksum
+// record a rebuilt shard is installed with. A rebuilt data shard is
+// verified against the survivors' record majority before install —
+// installing unverified bytes would launder a corrupt survivor's
+// damage into a fresh, self-consistent chunk. A rebuilt parity shard
+// carries the record entries the survivor majority agrees on (slots
+// without a majority stay empty and abstain from future reads).
+func (s *System) repairInstallMeta(shard int, vector []uint64, rebuilt []byte, recs map[int][]client.BlockSum) ([]uint64, []client.BlockSum, error) {
+	k := s.code.K()
+	if shard < k {
+		sum := erasure.Sum64(rebuilt)
+		if want := recMajority(recs, shard, vector[shard], k); want.known && want.sum != sum {
+			// Some survivor fed bad bytes into the rebuild; which one is
+			// unknown here, so no per-shard report — the read path's
+			// escalation pinpoints culprits.
+			return nil, nil, fmt.Errorf("core: rebuilt shard %d disagrees with the record majority: %w", shard, client.ErrCorrupt)
+		}
+		return []uint64{vector[shard]}, []client.BlockSum{{Version: vector[shard], Sum: sum}}, nil
+	}
+	sums := make([]client.BlockSum, k)
+	for b := 0; b < k; b++ {
+		if op := recMajority(recs, b, vector[b], k); op.known {
+			sums[b] = client.BlockSum{Version: vector[b], Sum: op.sum}
+		}
+	}
+	return vector, sums, nil
+}
+
+// recMajority tallies survivor record opinions about data block
+// `block` at version v. Parity records vote with their slot `block`;
+// a data shard's single-slot record votes only about its own block.
+func recMajority(recs map[int][]client.BlockSum, block int, version uint64, k int) sumOpinion {
+	tally := make(map[uint64]int)
+	for shard, rec := range recs {
+		if shard < k {
+			if shard == block && len(rec) == 1 && rec[0].Version == version {
+				tally[rec[0].Sum]++
+			}
+			continue
+		}
+		tallyOpinion(tally, rec, block, version)
+	}
+	return pluralitySum(tally)
 }
 
 // firstPresent returns the index of the first non-nil shard; the
@@ -153,7 +197,7 @@ func (s *System) RepairShardForce(ctx context.Context, stripe uint64, shard int)
 	if _, err := s.stripeBlockSize(stripe); err != nil {
 		return err
 	}
-	vector, shards, err := s.freshestConsistentSet(ctx, stripe, shard)
+	vector, shards, recs, err := s.freshestConsistentSet(ctx, stripe, shard)
 	if err != nil {
 		return err
 	}
@@ -162,13 +206,11 @@ func (s *System) RepairShardForce(ctx context.Context, stripe uint64, shard int)
 	if err := s.code.RepairShardInto(rebuilt.B, shard, shards); err != nil {
 		return err
 	}
-	var versions []uint64
-	if shard < s.code.K() {
-		versions = []uint64{vector[shard]}
-	} else {
-		versions = vector
+	versions, sums, err := s.repairInstallMeta(shard, vector, rebuilt.B, recs)
+	if err != nil {
+		return err
 	}
-	if err := s.nodes[shard].PutChunk(ctx, chunkID(stripe, shard), rebuilt.B, versions); err != nil {
+	if err := s.nodes[shard].PutChunk(ctx, chunkID(stripe, shard), rebuilt.B, versions, sums...); err != nil {
 		return err
 	}
 	s.metrics.Repairs.Add(1)
@@ -213,13 +255,15 @@ func (s *System) RepairNode(ctx context.Context, shard int) (int, error) {
 // and returns the mutually consistent set with the freshest version
 // vector (componentwise max, ties broken deterministically) that has
 // at least k members, as a full n-slot shard array for the erasure
-// decoder plus the set's version vector.
-func (s *System) freshestConsistentSet(ctx context.Context, stripe uint64, exclude int) ([]uint64, [][]byte, error) {
+// decoder plus the set's version vector and the members' cross-checksum
+// records (keyed by shard) for install-time verification.
+func (s *System) freshestConsistentSet(ctx context.Context, stripe uint64, exclude int) ([]uint64, [][]byte, map[int][]client.BlockSum, error) {
 	k, n := s.code.K(), s.code.N()
 	type cand struct {
 		shard    int
 		data     []byte
 		versions []uint64
+		sums     []client.BlockSum
 	}
 	// Gather every reachable shard in parallel; no early termination —
 	// repair wants the *freshest* consistent set, so every survivor's
@@ -233,9 +277,15 @@ func (s *System) freshestConsistentSet(ctx context.Context, stripe uint64, exclu
 		return s.nodes[j].ReadChunk(cctx, chunkID(stripe, j))
 	}, func(j int, chunk client.Chunk, err error) bool {
 		if err != nil {
+			if isCorruptErr(err) {
+				// A self-detected-rotten or quarantined chunk: it simply
+				// does not survive into the gather, and the rebuild
+				// replaces it — but record the observation.
+				s.reportCorrupt(j)
+			}
 			return true
 		}
-		c := cand{shard: j, data: chunk.Data, versions: chunk.Versions}
+		c := cand{shard: j, data: chunk.Data, versions: chunk.Versions, sums: chunk.Sums}
 		if j < k {
 			if len(chunk.Versions) == 1 {
 				data[j] = c
@@ -315,15 +365,19 @@ func (s *System) freshestConsistentSet(ctx context.Context, stripe uint64, exclu
 		if cerr := ctx.Err(); cerr != nil {
 			// Nodes stopped answering because the context expired, not
 			// because the stripe degraded.
-			return nil, nil, opErr("repair", stripe, cerr)
+			return nil, nil, nil, opErr("repair", stripe, cerr)
 		}
-		return nil, nil, fmt.Errorf("%w: no %d consistent shards survive", ErrNotReadable, k)
+		return nil, nil, nil, fmt.Errorf("%w: no %d consistent shards survive", ErrNotReadable, k)
 	}
 	shards := make([][]byte, n)
+	recs := make(map[int][]client.BlockSum, len(bestMembers))
 	for _, c := range bestMembers {
 		shards[c.shard] = c.data
+		if len(c.sums) > 0 {
+			recs[c.shard] = c.sums
+		}
 	}
-	return bestVec, shards, nil
+	return bestVec, shards, recs, nil
 }
 
 // vectorFresher reports whether a is strictly fresher than b: greater

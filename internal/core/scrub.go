@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sort"
 
 	"trapquorum/client"
+	"trapquorum/internal/erasure"
 )
 
 // ScrubReport is the outcome of a stripe consistency scan.
@@ -26,6 +28,11 @@ type ScrubReport struct {
 	AheadShards []int
 	// UnreachableShards lists shards whose nodes did not answer.
 	UnreachableShards []int
+	// CorruptShards lists shards observed serving wrong bytes: nodes
+	// answering client.ErrCorrupt (quarantined or self-detected rot),
+	// data shards whose content disagrees with the cross-checksum
+	// record majority, and parity shards pinpointed by re-encoding.
+	CorruptShards []int
 	// ParityMismatch is true when a shard matching the fresh vector
 	// holds bytes inconsistent with the erasure code — silent
 	// corruption that versions alone cannot explain.
@@ -38,8 +45,8 @@ func (r ScrubReport) String() string {
 	if !r.Healthy {
 		status = "DEGRADED"
 	}
-	return fmt.Sprintf("stripe %d: %s stale=%v ahead=%v unreachable=%v parityMismatch=%v",
-		r.Stripe, status, r.StaleShards, r.AheadShards, r.UnreachableShards, r.ParityMismatch)
+	return fmt.Sprintf("stripe %d: %s stale=%v ahead=%v unreachable=%v corrupt=%v parityMismatch=%v",
+		r.Stripe, status, r.StaleShards, r.AheadShards, r.UnreachableShards, r.CorruptShards, r.ParityMismatch)
 }
 
 // ScrubStripe audits one stripe without modifying anything: it reads
@@ -56,19 +63,26 @@ func (s *System) ScrubStripe(ctx context.Context, stripe uint64) (ScrubReport, e
 	report := ScrubReport{Stripe: stripe}
 	n, k := s.code.N(), s.code.K()
 
-	vector, _, err := s.freshestConsistentSet(ctx, stripe, -1)
+	vector, _, _, err := s.freshestConsistentSet(ctx, stripe, -1)
 	if err != nil {
 		// No k consistent shards: classify reachability and give up.
 		Fanout(ctx, s.opLimit(), n, func(cctx context.Context, shard int) (struct{}, error) {
-			_, rerr := s.nodes[shard].ReadVersions(cctx, chunkID(stripe, shard))
+			_, _, rerr := s.nodes[shard].ReadVersions(cctx, chunkID(stripe, shard))
 			return struct{}{}, rerr
 		}, func(shard int, _ struct{}, rerr error) bool {
-			if rerr != nil {
+			switch {
+			case rerr == nil:
+			case isCorruptErr(rerr):
+				report.CorruptShards = append(report.CorruptShards, shard)
+				s.reportCorrupt(shard)
+			default:
 				report.UnreachableShards = append(report.UnreachableShards, shard)
 			}
 			return true
 		})
+		sort.Ints(report.CorruptShards)
 		sort.Ints(report.UnreachableShards)
+		report.Healthy = false
 		return report, nil
 	}
 	report.FreshVector = vector
@@ -89,7 +103,12 @@ func (s *System) ScrubStripe(ctx context.Context, stripe uint64) (ScrubReport, e
 	for shard := 0; shard < n; shard++ {
 		chunk, rerr := chunks[shard], fetchErrs[shard]
 		if rerr != nil {
-			report.UnreachableShards = append(report.UnreachableShards, shard)
+			if isCorruptErr(rerr) {
+				report.CorruptShards = append(report.CorruptShards, shard)
+				s.reportCorrupt(shard)
+			} else {
+				report.UnreachableShards = append(report.UnreachableShards, shard)
+			}
 			continue
 		}
 		stale, ahead := false, false
@@ -127,6 +146,33 @@ func (s *System) ScrubStripe(ctx context.Context, stripe uint64) (ScrubReport, e
 	sort.Ints(report.AheadShards)
 	sort.Ints(report.UnreachableShards)
 
+	// Content verification against the cross-checksum records: each
+	// data shard at the fresh vector must match the majority opinion of
+	// the reachable parity records. A shard failing it serves bytes its
+	// peers disavow — corrupt regardless of what the code says below.
+	dataClean := 0
+	for shard := 0; shard < k; shard++ {
+		if matching[shard] == nil {
+			continue
+		}
+		tally := make(map[uint64]int)
+		for j := k; j < n; j++ {
+			if fetchErrs[j] == nil {
+				tallyOpinion(tally, chunks[j].Sums, shard, vector[shard])
+			}
+		}
+		want := pluralitySum(tally)
+		if !want.known {
+			continue
+		}
+		if erasure.Sum64(matching[shard]) != want.sum {
+			report.CorruptShards = append(report.CorruptShards, shard)
+			s.reportCorrupt(shard)
+			continue
+		}
+		dataClean++
+	}
+
 	// Byte-level verification when the full fresh stripe is in hand.
 	full := true
 	for shard := 0; shard < n; shard++ {
@@ -141,10 +187,28 @@ func (s *System) ScrubStripe(ctx context.Context, stripe uint64) (ScrubReport, e
 			return report, verr
 		}
 		report.ParityMismatch = !ok
+		if !ok && dataClean == k {
+			// Every data shard passed its record majority, so the data
+			// side is trusted: re-encode the parity rows and pinpoint
+			// which parity shards hold wrong bytes.
+			// Encode returns the full n-shard layout (data rows first);
+			// index it by shard, not by parity row.
+			encoded, perr := s.code.Encode(matching[:k])
+			if perr == nil {
+				for j := k; j < n; j++ {
+					if !bytes.Equal(encoded[j], matching[j]) {
+						report.CorruptShards = append(report.CorruptShards, j)
+						s.reportCorrupt(j)
+					}
+				}
+			}
+		}
 	}
+	sort.Ints(report.CorruptShards)
 	report.Healthy = len(report.StaleShards) == 0 &&
 		len(report.AheadShards) == 0 &&
 		len(report.UnreachableShards) == 0 &&
+		len(report.CorruptShards) == 0 &&
 		!report.ParityMismatch
 	return report, nil
 }

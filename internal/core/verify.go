@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"trapquorum/client"
+	"trapquorum/internal/erasure"
+)
+
+// This file is the Byzantine-read half of the protocol: everything
+// that turns the cross-checksum records distributed at write time
+// (see DESIGN.md §6) into a verified read path. The invariant the
+// reader enforces is that a block is only served when its bytes match
+// the plurality of *other* nodes' record opinions for the pinned
+// version — a node never vouches for its own content.
+
+// sumOpinion is the expected content hash of a block at one version,
+// as established by a plurality of parity record opinions. known is
+// false when no opinion (or only a tie) was available, in which case
+// verification is skipped — the pre-checksum behaviour.
+type sumOpinion struct {
+	sum   uint64
+	known bool
+}
+
+// isCorruptErr reports whether a node answer carries the corruption
+// sentinel (engine self-sum mismatch or diskstore quarantine).
+func isCorruptErr(err error) bool { return errors.Is(err, client.ErrCorrupt) }
+
+// tallyOpinion folds one parity record's opinion about data block
+// `block` at `version` into the tally. Records too short for the slot
+// or carrying a different (stale or in-flight) version abstain.
+func tallyOpinion(tally map[uint64]int, rec []client.BlockSum, block int, version uint64) {
+	if block >= len(rec) || rec[block].Version != version {
+		return
+	}
+	tally[rec[block].Sum]++
+}
+
+// pluralitySum resolves a tally: the strictly most-voted sum wins; an
+// empty tally or a tie between different sums yields unknown (serving
+// unverified is the pre-checksum behaviour; inventing a majority from
+// a tie would let a single liar veto honest bytes).
+func pluralitySum(tally map[uint64]int) sumOpinion {
+	best, bestCount, tied := uint64(0), 0, false
+	for sum, count := range tally {
+		switch {
+		case count > bestCount:
+			best, bestCount, tied = sum, count, false
+		case count == bestCount && sum != best:
+			tied = true
+		}
+	}
+	if bestCount == 0 || tied {
+		return sumOpinion{}
+	}
+	return sumOpinion{sum: best, known: true}
+}
+
+// gatherExpected establishes the expected content hash of a block by
+// probing every parity shard's record explicitly. Used when the
+// version-check quorum settled without a single parity opinion (a
+// one-node level can win on the data node alone) — serving the data
+// node's bytes on its own say-so would let a lying N_i self-certify.
+func (s *System) gatherExpected(ctx context.Context, stripe uint64, block int, version uint64) sumOpinion {
+	k, n := s.code.K(), s.code.N()
+	tally := make(map[uint64]int)
+	Fanout(ctx, s.opLimit(), n-k, func(cctx context.Context, i int) (verProbe, error) {
+		shard := k + i
+		vers, sums, err := s.nodes[shard].ReadVersions(cctx, chunkID(stripe, shard))
+		return verProbe{versions: vers, sums: sums}, err
+	}, func(i int, pr verProbe, err error) bool {
+		if err != nil {
+			if isCorruptErr(err) {
+				s.reportCorrupt(k + i)
+			}
+			return true
+		}
+		tallyOpinion(tally, pr.sums, block, version)
+		return true
+	})
+	return pluralitySum(tally)
+}
+
+// verifiedDecode is the escalation path of Case 2: a fast decode
+// produced bytes the record plurality disavows, so some member of the
+// chosen set lied (or rotted undetected). It gathers every shard with
+// no early termination, re-establishes the expected hash from the
+// complete record population, then searches survivor sets — the full
+// consistent set first, then leave-one-out — until a set of exactly k
+// shards decodes to the expected content. The verified basis is then
+// used to re-derive every other member's shard and pinpoint which
+// node served wrong bytes.
+//
+// The search is sized for the protocol's stated guarantee (any single
+// corrupted shard is detected and recovered): with one bad member,
+// dropping it is one of the leave-one-out iterations and the
+// remaining members are all honest.
+func (s *System) verifiedDecode(ctx context.Context, stripe uint64, block int, version uint64, expect sumOpinion) ([]byte, error) {
+	k, n := s.code.K(), s.code.N()
+	chunks := make([]client.Chunk, n)
+	have := make([]bool, n)
+	Fanout(ctx, s.opLimit(), n, func(cctx context.Context, shard int) (client.Chunk, error) {
+		return s.nodes[shard].ReadChunk(cctx, chunkID(stripe, shard))
+	}, func(shard int, chunk client.Chunk, err error) bool {
+		if err != nil {
+			if isCorruptErr(err) {
+				s.reportCorrupt(shard)
+			}
+			return true
+		}
+		chunks[shard] = chunk
+		have[shard] = true
+		return true
+	})
+	// Re-establish the expected hash over the complete record
+	// population; the caller's opinion (from a partial quorum) breaks
+	// an otherwise unknown outcome.
+	tally := make(map[uint64]int)
+	for shard := k; shard < n; shard++ {
+		if have[shard] {
+			tallyOpinion(tally, chunks[shard].Sums, block, version)
+		}
+	}
+	if full := pluralitySum(tally); full.known {
+		expect = full
+	}
+	if !expect.known {
+		return nil, fmt.Errorf("%w: stripe %d block %d version %d: no record majority to verify against", ErrNotReadable, stripe, block, version)
+	}
+	// Group by full version vector, as the fast path does.
+	groups := make(map[string]*decodeGroup)
+	keys := []string(nil)
+	for shard := k; shard < n; shard++ {
+		if !have[shard] || len(chunks[shard].Versions) != k || chunks[shard].Versions[block] != version {
+			continue
+		}
+		key := vectorKey(chunks[shard].Versions)
+		g, ok := groups[key]
+		if !ok {
+			g = &decodeGroup{vector: chunks[shard].Versions, data: make(map[int]shardCandidate)}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		g.parity = append(g.parity, shardCandidate{shard: shard, data: chunks[shard].Data, versions: chunks[shard].Versions})
+	}
+	sort.Strings(keys) // deterministic group order
+	for _, key := range keys {
+		g := groups[key]
+		members := append([]shardCandidate(nil), g.parity...)
+		for shard := 0; shard < k; shard++ {
+			if shard == block || !have[shard] || len(chunks[shard].Versions) != 1 {
+				continue
+			}
+			if chunks[shard].Versions[0] != g.vector[shard] {
+				continue
+			}
+			members = append(members, shardCandidate{shard: shard, data: chunks[shard].Data, versions: chunks[shard].Versions})
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].shard < members[j].shard })
+		if len(members) < k {
+			continue
+		}
+		if out := s.searchVerifiedSet(block, version, expect, members); out != nil {
+			return out, nil
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	return nil, fmt.Errorf("%w: stripe %d block %d version %d: no survivor set of %d shards decodes to the record majority: %w",
+		ErrNotReadable, stripe, block, version, k, client.ErrCorrupt)
+}
+
+// searchVerifiedSet tries bases of exactly k members — first without
+// exclusions, then dropping each member in turn — until one decodes
+// block to the expected hash. On success it re-derives every non-basis
+// member's shard from the verified basis and reports mismatching
+// members as corrupt, then returns the decoded block. nil means no
+// basis verified.
+func (s *System) searchVerifiedSet(block int, version uint64, expect sumOpinion, members []shardCandidate) []byte {
+	n := s.code.N()
+	shards := make([][]byte, n)
+	inBasis := make([]bool, n)
+	for drop := -1; drop < len(members); drop++ {
+		for i := range shards {
+			shards[i] = nil
+			inBasis[i] = false
+		}
+		basis := 0
+		for i, m := range members {
+			if i == drop || basis == s.code.K() {
+				continue
+			}
+			shards[m.shard] = m.data
+			inBasis[m.shard] = true
+			basis++
+		}
+		if basis < s.code.K() {
+			return nil // too few members left to form a basis
+		}
+		out, err := s.code.DecodeBlock(block, shards)
+		if err != nil || erasure.Sum64(out) != expect.sum {
+			continue
+		}
+		// Verified basis in hand: every other member's shard is now
+		// derivable; members serving different bytes are the culprits.
+		for _, m := range members {
+			if inBasis[m.shard] {
+				continue
+			}
+			truth, rerr := s.code.RepairShard(m.shard, shards)
+			if rerr != nil {
+				continue
+			}
+			if !bytes.Equal(truth, m.data) {
+				s.reportCorrupt(m.shard)
+			}
+		}
+		return out
+	}
+	return nil
+}

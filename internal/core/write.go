@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"trapquorum/client"
 	"trapquorum/internal/blockpool"
 	"trapquorum/internal/erasure"
 	"trapquorum/internal/sim"
@@ -94,6 +95,12 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 			Err: fmt.Errorf("%w: initial read failed: %v", ErrWriteFailed, err)}
 	}
 	newVersion := oldVersion + 1
+	// The writer is the one party that knows the new content before it
+	// is sharded: it distributes the content hash to every node it
+	// touches, so readers can later verify the data node's bytes against
+	// the parity nodes' independent records (cross-checksum, DESIGN.md §6).
+	newSum := client.BlockSum{Version: newVersion, Sum: erasure.Sum64(x)}
+	oldSum := client.BlockSum{Version: oldVersion, Sum: erasure.Sum64(old)}
 	// The delta x−old and the per-parity adjustments α·delta live in
 	// pooled buffers: the transports snapshot what they send (client
 	// contract), so a healthy write allocates no blocks of its own.
@@ -132,7 +139,7 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 			// Line 20: write x into the data node N_i. The write is
 			// unconditional (the per-block lock serialises writers),
 			// which also heals a stale or residue-poisoned data chunk.
-			if err := s.nodes[t.shard].PutChunk(cctx, id, x, []uint64{newVersion}); err != nil {
+			if err := s.nodes[t.shard].PutChunk(cctx, id, x, []uint64{newVersion}, newSum); err != nil {
 				return appliedUpdate{}, err
 			}
 			return appliedUpdate{
@@ -148,7 +155,7 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 		// kept alive while a rollback might need to re-send it.
 		adjBlk := blockpool.GetBlock(size)
 		s.code.ParityAdjustmentInto(adjBlk.B, t.shard, block, delta)
-		if err := s.nodes[t.shard].CompareAndAdd(cctx, id, s.versionSlot(block, t.shard), oldVersion, newVersion, adjBlk.B); err != nil {
+		if err := s.nodes[t.shard].CompareAndAdd(cctx, id, s.versionSlot(block, t.shard), oldVersion, newVersion, adjBlk.B, newSum); err != nil {
 			adjBlk.Release()
 			return appliedUpdate{}, err
 		}
@@ -223,7 +230,7 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 		// Lines 35–37: FAIL.
 		s.metrics.FailedWrites.Add(1)
 		if !s.opts.DisableRollback {
-			s.rollback(stripe, block, applied)
+			s.rollback(stripe, block, applied, oldSum)
 		}
 		releaseAdjustments()
 		cause := fmt.Errorf("%w: level %d reached %d of %d", ErrWriteFailed, failLevel, levels[failLevel].ok, levels[failLevel].need)
@@ -242,7 +249,11 @@ func (s *System) WriteBlock(ctx context.Context, stripe uint64, block int, x []b
 // test suite demonstrates with rollback disabled). The undo RPCs are
 // issued in parallel and run on a detached context — the cleanup must
 // proceed even when the write was aborted by the caller's context.
-func (s *System) rollback(stripe uint64, block int, applied []appliedUpdate) {
+// The undo also restores the cross-checksum record entry for the old
+// version — the failed write overwrote each touched node's opinion
+// with the new content's hash, and without the restore a later read at
+// the old version would find no opinions to verify against.
+func (s *System) rollback(stripe uint64, block int, applied []appliedUpdate, oldSum client.BlockSum) {
 	ctx := context.Background()
 	Fanout(ctx, s.opLimit(), len(applied), func(_ context.Context, i int) (struct{}, error) {
 		u := applied[i]
@@ -250,7 +261,7 @@ func (s *System) rollback(stripe uint64, block int, applied []appliedUpdate) {
 		if u.isData {
 			// Restore the old content conditionally on our own
 			// version still being in place.
-			err := s.nodes[u.shard].CompareAndPut(ctx, id, 0, u.newVersion, u.oldVersion, u.oldData)
+			err := s.nodes[u.shard].CompareAndPut(ctx, id, 0, u.newVersion, u.oldVersion, u.oldData, oldSum)
 			if err != nil && !errors.Is(err, sim.ErrVersionMismatch) {
 				return struct{}{}, err
 			}
@@ -258,7 +269,7 @@ func (s *System) rollback(stripe uint64, block int, applied []appliedUpdate) {
 		}
 		// XOR is self-inverse: adding the same delta again while
 		// stepping the version back restores the parity chunk.
-		_ = s.nodes[u.shard].CompareAndAdd(ctx, id, s.versionSlot(block, u.shard), u.newVersion, u.oldVersion, u.delta)
+		_ = s.nodes[u.shard].CompareAndAdd(ctx, id, s.versionSlot(block, u.shard), u.newVersion, u.oldVersion, u.delta, oldSum)
 		return struct{}{}, nil
 	}, func(int, struct{}, error) bool { return true })
 	s.metrics.Rollbacks.Add(1)

@@ -37,13 +37,17 @@ import (
 	"strings"
 
 	"trapquorum/client"
+	"trapquorum/internal/chunkmeta"
 	"trapquorum/internal/memstore"
 )
 
 const (
-	// chunkMagic heads every chunk file and WAL record payload carrying
-	// chunk content.
+	// chunkMagic heads legacy (pre-metadata) chunk files and WAL put
+	// records; still readable, loaded with empty integrity metadata.
 	chunkMagic = 0x54514331 // "TQC1"
+	// chunkMagic2 heads current chunk files: same layout plus the
+	// chunkmeta.Meta block between the id and the version vector.
+	chunkMagic2 = 0x54514332 // "TQC2"
 	// maxRecord bounds a WAL record or chunk file payload; anything
 	// larger is treated as corruption rather than allocated.
 	maxRecord = 1 << 28
@@ -51,13 +55,21 @@ const (
 	opPut    = 1
 	opDelete = 2
 	opWipe   = 3
+	// opPut2 is a put record carrying the metadata block (TQC2 body);
+	// opPut remains decodable so a WAL written by an older binary
+	// replays cleanly.
+	opPut2 = 4
+
+	// metaHasSelf flags an encoded Meta whose self-sum is present.
+	metaHasSelf = 1 << 0
 )
 
 // ErrCorrupt reports an unreadable chunk file — torn WAL tails are
 // silently discarded (the mutation was never acknowledged), but a
 // chunk file that fails its checksum is real media corruption and is
-// surfaced rather than dropped.
-var ErrCorrupt = errors.New("diskstore: corrupt chunk file")
+// surfaced rather than dropped. It wraps client.ErrCorrupt so the
+// condition keeps its identity through the node engine and transports.
+var ErrCorrupt = fmt.Errorf("diskstore: corrupt chunk file: %w", client.ErrCorrupt)
 
 // ErrLocked reports a node directory already held by another live
 // store (for example a second daemon started on the same -dir).
@@ -72,9 +84,15 @@ type Store struct {
 	wal       *os.File
 	lock      *os.File        // flock'd while open; auto-released on process death
 	mem       *memstore.Store // in-memory mirror of the durable state
-	sync      bool
-	scratch   []byte // WAL record staging
-	fscratch  []byte // chunk-file image staging
+	// quar holds the ids of quarantined chunks: files whose on-disk
+	// image failed its CRC at Open or during a Scan. A quarantined
+	// chunk still *exists* (repair decides what to do with it), but
+	// every Get fails with ErrCorrupt until a Put or Delete replaces
+	// it. Values describe what was found, for error messages.
+	quar     map[client.ChunkID]string
+	sync     bool
+	scratch  []byte // WAL record staging
+	fscratch []byte // chunk-file image staging
 	// failed poisons the store after a mutation error of unknown
 	// durability: the disk and the in-memory mirror may disagree, so
 	// every further operation refuses until a reopen reconverges them
@@ -105,6 +123,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		dir:       dir,
 		chunksDir: filepath.Join(dir, "chunks"),
 		mem:       memstore.New(),
+		quar:      make(map[client.ChunkID]string),
 		sync:      true,
 	}
 	for _, opt := range opts {
@@ -144,10 +163,15 @@ func Open(dir string, opts ...Option) (*Store, error) {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Get implements nodeengine.ChunkStore from the in-memory mirror.
-func (s *Store) Get(id client.ChunkID) (data []byte, versions []uint64, ok bool, err error) {
+// Get implements nodeengine.ChunkStore from the in-memory mirror. A
+// quarantined chunk (its file failed the CRC at Open or during a Scan)
+// fails with ErrCorrupt until a mutation replaces it.
+func (s *Store) Get(id client.ChunkID) (data []byte, versions []uint64, meta chunkmeta.Meta, ok bool, err error) {
 	if s.failed != nil {
-		return nil, nil, false, s.failed
+		return nil, nil, chunkmeta.Meta{}, false, s.failed
+	}
+	if why, bad := s.quar[id]; bad {
+		return nil, nil, chunkmeta.Meta{}, false, fmt.Errorf("%w: chunk %s quarantined: %s", ErrCorrupt, id, why)
 	}
 	return s.mem.Get(id)
 }
@@ -164,12 +188,13 @@ func (s *Store) poison(err error) error {
 }
 
 // Put implements nodeengine.ChunkStore: WAL intent first, then the
-// chunk file via atomic rename, then the in-memory mirror.
-func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64) error {
+// chunk file via atomic rename, then the in-memory mirror. A put also
+// clears any quarantine on the id — the new image replaces the rot.
+func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) error {
 	if s.failed != nil {
 		return s.failed
 	}
-	payload := appendPutRecord(s.scratch[:0], id, data, versions)
+	payload := appendPutRecord(s.scratch[:0], id, data, versions, meta)
 	s.scratch = payload[:0]
 	if err := s.walAppend(payload); err != nil {
 		return s.poison(err)
@@ -177,7 +202,7 @@ func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64) error {
 	if s.crashAfterWAL != nil {
 		return s.poison(s.crashAfterWAL)
 	}
-	if err := s.applyPut(id, data, versions); err != nil {
+	if err := s.applyPut(id, data, versions, meta); err != nil {
 		return s.poison(err)
 	}
 	return s.walResetOrPoison()
@@ -227,12 +252,55 @@ func (s *Store) walResetOrPoison() error {
 	return nil
 }
 
-// Len implements nodeengine.ChunkStore.
+// Len implements nodeengine.ChunkStore. Quarantined chunks still
+// count: they exist, they are just unreadable.
 func (s *Store) Len() (int, error) {
 	if s.failed != nil {
 		return 0, s.failed
 	}
-	return s.mem.Len()
+	n, err := s.mem.Len()
+	return n + len(s.quar), err
+}
+
+// Scan implements nodeengine.Scanner: it re-reads every chunk file
+// from disk — not the in-memory mirror — and quarantines the ones that
+// fail their CRC, so cold bit-rot surfaces through the probe/health
+// path without waiting for a client read. It returns the ids of all
+// currently quarantined chunks (newly found plus still unhealed).
+func (s *Store) Scan() ([]client.ChunkID, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	entries, err := os.ReadDir(s.chunksDir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".chunk") {
+			continue
+		}
+		id, ok := parseChunkFileName(name)
+		if !ok {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(s.chunksDir, name))
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: %w", err)
+		}
+		if _, _, _, _, derr := decodeChunkFile(raw); derr != nil {
+			s.quar[id] = derr.Error()
+			s.mem.Delete(id)
+		}
+	}
+	if len(s.quar) == 0 {
+		return nil, nil
+	}
+	ids := make([]client.ChunkID, 0, len(s.quar))
+	for id := range s.quar {
+		ids = append(ids, id)
+	}
+	return ids, nil
 }
 
 // Close implements nodeengine.ChunkStore: it closes the WAL handle
@@ -248,10 +316,10 @@ func (s *Store) Close() error {
 
 // ---- apply phase -------------------------------------------------
 
-func (s *Store) applyPut(id client.ChunkID, data []byte, versions []uint64) error {
+func (s *Store) applyPut(id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) error {
 	final := filepath.Join(s.chunksDir, chunkFileName(id))
 	tmp := final + ".tmp"
-	payload := appendChunkFile(s.fscratch[:0], id, data, versions)
+	payload := appendChunkFile(s.fscratch[:0], id, data, versions, meta)
 	s.fscratch = payload[:0]
 	if err := writeFileDurable(tmp, payload, s.sync); err != nil {
 		return err
@@ -262,7 +330,8 @@ func (s *Store) applyPut(id client.ChunkID, data []byte, versions []uint64) erro
 	if err := s.syncDir(s.chunksDir); err != nil {
 		return err
 	}
-	return s.mem.Put(id, data, versions)
+	delete(s.quar, id)
+	return s.mem.Put(id, data, versions, meta)
 }
 
 func (s *Store) applyDelete(id client.ChunkID) error {
@@ -272,6 +341,7 @@ func (s *Store) applyDelete(id client.ChunkID) error {
 	if err := s.syncDir(s.chunksDir); err != nil {
 		return err
 	}
+	delete(s.quar, id)
 	return s.mem.Delete(id)
 }
 
@@ -287,6 +357,9 @@ func (s *Store) applyWipe() error {
 	}
 	if err := s.syncDir(s.chunksDir); err != nil {
 		return err
+	}
+	for id := range s.quar {
+		delete(s.quar, id)
 	}
 	return s.mem.Wipe()
 }
@@ -338,7 +411,11 @@ func (s *Store) recover() error {
 }
 
 // loadChunkFiles scans the chunks directory, removing orphaned temp
-// files (a crash mid-apply) and loading every committed chunk.
+// files (a crash mid-apply) and loading every committed chunk. A chunk
+// file that fails its checksum is quarantined under the id parsed from
+// its name — the node keeps serving everything else, the quarantined
+// id fails reads with ErrCorrupt, and repair eventually rewrites it —
+// rather than refusing to open the whole store for one rotten file.
 func (s *Store) loadChunkFiles() error {
 	entries, err := os.ReadDir(s.chunksDir)
 	if err != nil {
@@ -359,11 +436,15 @@ func (s *Store) loadChunkFiles() error {
 		if err != nil {
 			return fmt.Errorf("diskstore: %w", err)
 		}
-		id, data, versions, err := decodeChunkFile(raw)
+		id, data, versions, meta, err := decodeChunkFile(raw)
 		if err != nil {
+			if qid, ok := parseChunkFileName(name); ok {
+				s.quar[qid] = err.Error()
+				continue
+			}
 			return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
 		}
-		if err := s.mem.Put(id, data, versions); err != nil {
+		if err := s.mem.Put(id, data, versions, meta); err != nil {
 			return err
 		}
 	}
@@ -407,12 +488,12 @@ func (s *Store) replayRecord(payload []byte) error {
 		return fmt.Errorf("%w: empty wal record", ErrCorrupt)
 	}
 	switch payload[0] {
-	case opPut:
-		id, data, versions, err := decodePutRecord(payload)
+	case opPut, opPut2:
+		id, data, versions, meta, err := decodePutRecord(payload)
 		if err != nil {
 			return fmt.Errorf("%w: wal put record: %v", ErrCorrupt, err)
 		}
-		return s.applyPut(id, data, versions)
+		return s.applyPut(id, data, versions, meta)
 	case opDelete:
 		id, err := decodeDeleteRecord(payload)
 		if err != nil {
@@ -432,11 +513,36 @@ func chunkFileName(id client.ChunkID) string {
 	return fmt.Sprintf("%016x-%08x.chunk", id.Stripe, uint32(id.Shard))
 }
 
-// appendChunkBody encodes id + versions + data (shared by chunk files
-// and WAL put records).
-func appendChunkBody(dst []byte, id client.ChunkID, data []byte, versions []uint64) []byte {
+// parseChunkFileName inverts chunkFileName, recovering the id of a
+// chunk file whose content is unreadable (so it can be quarantined by
+// id rather than failing the whole directory).
+func parseChunkFileName(name string) (client.ChunkID, bool) {
+	var stripe uint64
+	var shard uint32
+	n, err := fmt.Sscanf(name, "%16x-%8x.chunk", &stripe, &shard)
+	if err != nil || n != 2 || name != chunkFileName(client.ChunkID{Stripe: stripe, Shard: int(int32(shard))}) {
+		return client.ChunkID{}, false
+	}
+	return client.ChunkID{Stripe: stripe, Shard: int(int32(shard))}, true
+}
+
+// appendChunkBody encodes id + meta + versions + data (shared by chunk
+// files and WAL put records; the TQC2 body).
+func appendChunkBody(dst []byte, id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, id.Stripe)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(id.Shard))
+	var flags byte
+	if meta.HasSelf {
+		flags |= metaHasSelf
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint64(dst, meta.Self)
+	dst = binary.BigEndian.AppendUint64(dst, meta.RecSum)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(meta.Rec)))
+	for _, e := range meta.Rec {
+		dst = binary.BigEndian.AppendUint64(dst, e.Version)
+		dst = binary.BigEndian.AppendUint64(dst, e.Sum)
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(versions)))
 	for _, v := range versions {
 		dst = binary.BigEndian.AppendUint64(dst, v)
@@ -445,16 +551,42 @@ func appendChunkBody(dst []byte, id client.ChunkID, data []byte, versions []uint
 	return append(dst, data...)
 }
 
-func decodeChunkBody(p []byte) (id client.ChunkID, data []byte, versions []uint64, err error) {
-	if len(p) < 16 {
-		return id, nil, nil, fmt.Errorf("short body")
+func decodeChunkBody(p []byte, withMeta bool) (id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta, err error) {
+	if len(p) < 12 {
+		return id, nil, nil, meta, fmt.Errorf("short body")
 	}
 	id.Stripe = binary.BigEndian.Uint64(p[0:8])
 	id.Shard = int(int32(binary.BigEndian.Uint32(p[8:12])))
-	nver := binary.BigEndian.Uint32(p[12:16])
-	p = p[16:]
+	p = p[12:]
+	if withMeta {
+		if len(p) < 21 {
+			return id, nil, nil, meta, fmt.Errorf("short metadata block")
+		}
+		flags := p[0]
+		meta.HasSelf = flags&metaHasSelf != 0
+		meta.Self = binary.BigEndian.Uint64(p[1:9])
+		meta.RecSum = binary.BigEndian.Uint64(p[9:17])
+		nrec := binary.BigEndian.Uint32(p[17:21])
+		p = p[21:]
+		if uint64(nrec)*16 > uint64(len(p)) {
+			return id, nil, nil, meta, fmt.Errorf("truncated checksum record")
+		}
+		if nrec > 0 {
+			meta.Rec = make([]client.BlockSum, nrec)
+			for i := range meta.Rec {
+				meta.Rec[i].Version = binary.BigEndian.Uint64(p[16*i:])
+				meta.Rec[i].Sum = binary.BigEndian.Uint64(p[16*i+8:])
+			}
+			p = p[16*nrec:]
+		}
+	}
+	if len(p) < 4 {
+		return id, nil, nil, meta, fmt.Errorf("missing version count")
+	}
+	nver := binary.BigEndian.Uint32(p[0:4])
+	p = p[4:]
 	if uint64(nver)*8 > uint64(len(p)) {
-		return id, nil, nil, fmt.Errorf("truncated versions")
+		return id, nil, nil, meta, fmt.Errorf("truncated versions")
 	}
 	versions = make([]uint64, nver)
 	for i := range versions {
@@ -462,26 +594,26 @@ func decodeChunkBody(p []byte) (id client.ChunkID, data []byte, versions []uint6
 	}
 	p = p[8*nver:]
 	if len(p) < 4 {
-		return id, nil, nil, fmt.Errorf("missing data length")
+		return id, nil, nil, meta, fmt.Errorf("missing data length")
 	}
 	dlen := binary.BigEndian.Uint32(p[0:4])
 	p = p[4:]
 	if uint64(dlen) != uint64(len(p)) {
-		return id, nil, nil, fmt.Errorf("data length %d, have %d bytes", dlen, len(p))
+		return id, nil, nil, meta, fmt.Errorf("data length %d, have %d bytes", dlen, len(p))
 	}
-	return id, append([]byte(nil), p...), versions, nil
+	return id, append([]byte(nil), p...), versions, meta, nil
 }
 
-func appendPutRecord(dst []byte, id client.ChunkID, data []byte, versions []uint64) []byte {
-	dst = append(dst, opPut)
-	return appendChunkBody(dst, id, data, versions)
+func appendPutRecord(dst []byte, id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) []byte {
+	dst = append(dst, opPut2)
+	return appendChunkBody(dst, id, data, versions, meta)
 }
 
-func decodePutRecord(p []byte) (id client.ChunkID, data []byte, versions []uint64, err error) {
-	if len(p) < 1 || p[0] != opPut {
-		return id, nil, nil, fmt.Errorf("not a put record")
+func decodePutRecord(p []byte) (id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta, err error) {
+	if len(p) < 1 || (p[0] != opPut && p[0] != opPut2) {
+		return id, nil, nil, meta, fmt.Errorf("not a put record")
 	}
-	return decodeChunkBody(p[1:])
+	return decodeChunkBody(p[1:], p[0] == opPut2)
 }
 
 func appendDeleteRecord(dst []byte, id client.ChunkID) []byte {
@@ -501,26 +633,27 @@ func decodeDeleteRecord(p []byte) (id client.ChunkID, err error) {
 
 // appendChunkFile encodes a self-describing chunk file: magic, body,
 // CRC over the body.
-func appendChunkFile(dst []byte, id client.ChunkID, data []byte, versions []uint64) []byte {
+func appendChunkFile(dst []byte, id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) []byte {
 	start := len(dst)
-	dst = binary.BigEndian.AppendUint32(dst, chunkMagic)
-	dst = appendChunkBody(dst, id, data, versions)
+	dst = binary.BigEndian.AppendUint32(dst, chunkMagic2)
+	dst = appendChunkBody(dst, id, data, versions, meta)
 	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start+4:]))
 }
 
-func decodeChunkFile(raw []byte) (id client.ChunkID, data []byte, versions []uint64, err error) {
+func decodeChunkFile(raw []byte) (id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta, err error) {
 	if len(raw) < 8 {
-		return id, nil, nil, fmt.Errorf("short file")
+		return id, nil, nil, meta, fmt.Errorf("short file")
 	}
-	if binary.BigEndian.Uint32(raw[0:4]) != chunkMagic {
-		return id, nil, nil, fmt.Errorf("bad magic")
+	magic := binary.BigEndian.Uint32(raw[0:4])
+	if magic != chunkMagic && magic != chunkMagic2 {
+		return id, nil, nil, meta, fmt.Errorf("bad magic")
 	}
 	body := raw[4 : len(raw)-4]
 	sum := binary.BigEndian.Uint32(raw[len(raw)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return id, nil, nil, fmt.Errorf("checksum mismatch")
+		return id, nil, nil, meta, fmt.Errorf("checksum mismatch")
 	}
-	return decodeChunkBody(body)
+	return decodeChunkBody(body, magic == chunkMagic2)
 }
 
 // ---- filesystem helpers ------------------------------------------

@@ -28,10 +28,10 @@ func TestPutGetDeleteRoundTrip(t *testing.T) {
 	s := openTestStore(t, t.TempDir())
 	defer s.Close()
 	id := client.ChunkID{Stripe: 7, Shard: 2}
-	if err := s.Put(id, []byte{1, 2, 3}, []uint64{5, 6}); err != nil {
+	if err := s.Put(id, []byte{1, 2, 3}, []uint64{5, 6}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
-	data, versions, ok, err := s.Get(id)
+	data, versions, _, ok, err := s.Get(id)
 	if err != nil || !ok {
 		t.Fatalf("Get = %v, %v", ok, err)
 	}
@@ -44,7 +44,7 @@ func TestPutGetDeleteRoundTrip(t *testing.T) {
 	if err := s.Delete(id); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok, _ := s.Get(id); ok {
+	if _, _, _, ok, _ := s.Get(id); ok {
 		t.Fatal("chunk survived delete")
 	}
 	// Idempotent delete.
@@ -58,13 +58,13 @@ func TestReopenRecoversChunks(t *testing.T) {
 	s := openTestStore(t, dir)
 	a := client.ChunkID{Stripe: 1, Shard: 0}
 	b := client.ChunkID{Stripe: 2, Shard: 9}
-	if err := s.Put(a, []byte{1}, []uint64{1}); err != nil {
+	if err := s.Put(a, []byte{1}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(b, []byte{2, 2}, []uint64{3, 4, 5}); err != nil {
+	if err := s.Put(b, []byte{2, 2}, []uint64{3, 4, 5}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(a, []byte{9}, []uint64{2}); err != nil { // overwrite
+	if err := s.Put(a, []byte{9}, []uint64{2}, nodeengine.Meta{}); err != nil { // overwrite
 		t.Fatal(err)
 	}
 	s.Close()
@@ -74,11 +74,11 @@ func TestReopenRecoversChunks(t *testing.T) {
 	if n, _ := r.Len(); n != 2 {
 		t.Fatalf("recovered %d chunks", n)
 	}
-	data, versions, ok, _ := r.Get(a)
+	data, versions, _, ok, _ := r.Get(a)
 	if !ok || data[0] != 9 || versions[0] != 2 {
 		t.Fatalf("chunk a = %v %v %v", data, versions, ok)
 	}
-	data, versions, ok, _ = r.Get(b)
+	data, versions, _, ok, _ = r.Get(b)
 	if !ok || len(data) != 2 || len(versions) != 3 || versions[2] != 5 {
 		t.Fatalf("chunk b = %v %v %v", data, versions, ok)
 	}
@@ -87,7 +87,7 @@ func TestReopenRecoversChunks(t *testing.T) {
 func TestWipeIsDurable(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir)
-	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}); err != nil {
+	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Wipe(); err != nil {
@@ -109,12 +109,12 @@ func TestCrashBetweenWALAppendAndApply(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir)
 	id := client.ChunkID{Stripe: 4, Shard: 1}
-	if err := s.Put(id, []byte{1, 1}, []uint64{1}); err != nil {
+	if err := s.Put(id, []byte{1, 1}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
 	crash := errors.New("power cut")
 	s.SetCrashAfterWAL(crash)
-	if err := s.Put(id, []byte{2, 2}, []uint64{2}); !errors.Is(err, crash) {
+	if err := s.Put(id, []byte{2, 2}, []uint64{2}, nodeengine.Meta{}); !errors.Is(err, crash) {
 		t.Fatalf("err = %v", err)
 	}
 	// The process dies here: no Close, no walReset. The old chunk file
@@ -140,7 +140,7 @@ func TestCrashBeforeWALCompletes(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir)
 	id := client.ChunkID{Stripe: 4, Shard: 1}
-	if err := s.Put(id, []byte{1, 1}, []uint64{1}); err != nil {
+	if err := s.Put(id, []byte{1, 1}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -151,7 +151,7 @@ func TestCrashBeforeWALCompletes(t *testing.T) {
 	}
 	r := openTestStore(t, dir)
 	defer r.Close()
-	data, versions, ok, _ := r.Get(id)
+	data, versions, _, ok, _ := r.Get(id)
 	if !ok || data[0] != 1 || versions[0] != 1 {
 		t.Fatalf("pre-crash state lost: %v %v %v", data, versions, ok)
 	}
@@ -161,7 +161,7 @@ func TestCrashedDeleteReplays(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir)
 	id := client.ChunkID{Stripe: 9, Shard: 3}
-	if err := s.Put(id, []byte{1}, []uint64{1}); err != nil {
+	if err := s.Put(id, []byte{1}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
 	crash := errors.New("power cut")
@@ -172,7 +172,7 @@ func TestCrashedDeleteReplays(t *testing.T) {
 	s.Close()
 	r := openTestStore(t, dir)
 	defer r.Close()
-	if _, _, ok, _ := r.Get(id); ok {
+	if _, _, _, ok, _ := r.Get(id); ok {
 		t.Fatal("WAL-committed delete not replayed")
 	}
 }
@@ -180,7 +180,7 @@ func TestCrashedDeleteReplays(t *testing.T) {
 func TestOrphanTempFilesCleaned(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir)
-	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}); err != nil {
+	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -202,7 +202,7 @@ func TestCorruptChunkFileSurfaces(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir)
 	id := client.ChunkID{Stripe: 1}
-	if err := s.Put(id, []byte{1, 2, 3, 4}, []uint64{1}); err != nil {
+	if err := s.Put(id, []byte{1, 2, 3, 4}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -220,8 +220,30 @@ func TestCorruptChunkFileSurfaces(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := diskstore.Open(dir, diskstore.WithSyncWrites(false)); !errors.Is(err, diskstore.ErrCorrupt) {
-		t.Fatalf("err = %v, want ErrCorrupt", err)
+	// A rotten chunk file must not keep the node from starting: Open
+	// quarantines the chunk, Get surfaces the typed corruption (so the
+	// engine's probe/health path sees it), and a fresh Put clears it.
+	r := openTestStore(t, dir)
+	defer r.Close()
+	if _, _, _, _, err := r.Get(id); !errors.Is(err, client.ErrCorrupt) {
+		t.Fatalf("Get on quarantined chunk = %v, want client.ErrCorrupt", err)
+	}
+	if n, _ := r.Len(); n != 1 {
+		t.Fatalf("quarantined chunk fell out of Len: %d", n)
+	}
+	ids, err := r.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("Scan = %v, want [%v]", ids, id)
+	}
+	if err := r.Put(id, []byte{9}, []uint64{2}, nodeengine.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _, ok, err := r.Get(id)
+	if err != nil || !ok || data[0] != 9 {
+		t.Fatalf("quarantine not cleared by Put: %v %v %v", data, ok, err)
 	}
 }
 
@@ -281,21 +303,21 @@ func TestPoisonedAfterFailedMutation(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir)
 	id := client.ChunkID{Stripe: 1}
-	if err := s.Put(id, []byte{1}, []uint64{1}); err != nil {
+	if err := s.Put(id, []byte{1}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
 	crash := errors.New("power cut")
 	s.SetCrashAfterWAL(crash)
-	if err := s.Put(id, []byte{2}, []uint64{2}); !errors.Is(err, crash) {
+	if err := s.Put(id, []byte{2}, []uint64{2}, nodeengine.Meta{}); !errors.Is(err, crash) {
 		t.Fatalf("err = %v", err)
 	}
 	s.SetCrashAfterWAL(nil)
 	// Poisoned: reads and writes refuse rather than serve a mirror
 	// that may disagree with disk.
-	if _, _, _, err := s.Get(id); err == nil {
+	if _, _, _, _, err := s.Get(id); err == nil {
 		t.Fatal("poisoned store served a read")
 	}
-	if err := s.Put(id, []byte{3}, []uint64{3}); err == nil {
+	if err := s.Put(id, []byte{3}, []uint64{3}, nodeengine.Meta{}); err == nil {
 		t.Fatal("poisoned store accepted a write")
 	}
 	if _, err := s.Len(); err == nil {
@@ -305,7 +327,7 @@ func TestPoisonedAfterFailedMutation(t *testing.T) {
 	// Reopen reconverges (the WAL intent is replayed) and serves.
 	r := openTestStore(t, dir)
 	defer r.Close()
-	data, versions, ok, err := r.Get(id)
+	data, versions, _, ok, err := r.Get(id)
 	if err != nil || !ok || data[0] != 2 || versions[0] != 2 {
 		t.Fatalf("recovered chunk = %v %v %v %v", data, versions, ok, err)
 	}
@@ -318,7 +340,7 @@ func TestSyncWritesOn(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}); err != nil {
+	if err := s.Put(client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1}, nodeengine.Meta{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Delete(client.ChunkID{Stripe: 1}); err != nil {

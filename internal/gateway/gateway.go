@@ -97,17 +97,18 @@ func (s fleetStore) ScrubSummary(ctx context.Context, key string) (string, error
 	if err != nil {
 		return "", err
 	}
-	stale, ahead, unreachable, mismatched := 0, 0, 0, 0
+	stale, ahead, unreachable, corrupt, mismatched := 0, 0, 0, 0, 0
 	for _, r := range reports {
 		stale += len(r.StaleShards)
 		ahead += len(r.AheadShards)
 		unreachable += len(r.UnreachableShards)
+		corrupt += len(r.CorruptShards)
 		if r.ParityMismatch {
 			mismatched++
 		}
 	}
-	return fmt.Sprintf("stripes=%d stale=%d ahead=%d unreachable=%d parity-mismatched=%d",
-		len(reports), stale, ahead, unreachable, mismatched), nil
+	return fmt.Sprintf("stripes=%d stale=%d ahead=%d unreachable=%d corrupt=%d parity-mismatched=%d",
+		len(reports), stale, ahead, unreachable, corrupt, mismatched), nil
 }
 
 // Config parameterises a gateway server. The zero value of each field

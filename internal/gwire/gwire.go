@@ -135,6 +135,11 @@ const (
 	StatusDraining
 	StatusInternal
 	StatusEvent
+	// StatusCorrupt reports shard content that failed cross-checksum
+	// verification beyond the code's tolerance (client.ErrCorrupt).
+	// Appended after StatusEvent so every earlier value keeps its wire
+	// encoding.
+	StatusCorrupt
 	statusMax
 )
 
@@ -460,6 +465,8 @@ func (s Status) Err(detail string) error {
 		base = core.ErrNotReadable
 	case StatusDraining:
 		base = ErrDraining
+	case StatusCorrupt:
+		base = client.ErrCorrupt
 	case StatusEvent:
 		return fmt.Errorf("%w: event frame where an answer was expected", ErrMalformed)
 	default:
@@ -498,6 +505,11 @@ func StatusOf(err error) Status {
 		return StatusOverloaded
 	case errors.Is(err, core.ErrWriteFailed):
 		return StatusWriteFailed
+	case errors.Is(err, client.ErrCorrupt):
+		// Before ErrNotReadable: a read that failed because corruption
+		// exceeded the code's tolerance wraps both sentinels, and the
+		// corruption verdict is the actionable one.
+		return StatusCorrupt
 	case errors.Is(err, core.ErrNotReadable):
 		return StatusNotReadable
 	case errors.Is(err, ErrDraining):

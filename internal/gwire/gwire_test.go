@@ -3,6 +3,7 @@ package gwire
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -36,6 +37,7 @@ func responseFixtures() []Response {
 		{Seq: 6, Status: StatusQuotaExceeded, Detail: "tenant a: 10 of 10 objects"},
 		{Seq: 7, Status: StatusDraining, Detail: "gateway shutting down"},
 		{Seq: 9, Status: StatusEvent, Data: AppendEvent(nil, &Event{Kind: EventPut, Key: []byte("vm.img")})},
+		{Seq: 10, Status: StatusCorrupt, Detail: "stripe 3 block 1: no honest basis of 8 shards"},
 	}
 }
 
@@ -200,6 +202,7 @@ func TestStatusErrTaxonomy(t *testing.T) {
 		{StatusOverloaded, client.ErrOverloaded},
 		{StatusWriteFailed, core.ErrWriteFailed},
 		{StatusNotReadable, core.ErrNotReadable},
+		{StatusCorrupt, client.ErrCorrupt},
 		{StatusDraining, ErrDraining},
 	}
 	for _, c := range cases {
@@ -224,6 +227,12 @@ func TestStatusErrTaxonomy(t *testing.T) {
 	}
 	if err := StatusEvent.Err(""); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("StatusEvent.Err = %v, want malformed-stream error", err)
+	}
+	// A verified read that found no honest basis wraps BOTH sentinels;
+	// the corruption verdict is the actionable one and must win.
+	doubleWrapped := fmt.Errorf("%w: no survivor set decodes: %w", core.ErrNotReadable, client.ErrCorrupt)
+	if got := StatusOf(doubleWrapped); got != StatusCorrupt {
+		t.Fatalf("StatusOf(not-readable ∧ corrupt) = %d, want StatusCorrupt", got)
 	}
 }
 

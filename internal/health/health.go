@@ -61,6 +61,14 @@ const (
 	// Repairing: the node answers again after being Down and the
 	// repair orchestrator is restoring its chunks.
 	Repairing
+	// Corrupt: the node is alive — it answers probes — but the read
+	// or scrub path observed it serving bytes its peers' cross-checksum
+	// records disavow. Probe success never clears Corrupt (a lying node
+	// pings fine); the node returns to Up only after a repair plan
+	// completes AND the node then stays free of corruption reports for
+	// the CorruptQuiet dwell, so a persistently corrupt node stays
+	// pinned here instead of flapping between plans.
+	Corrupt
 )
 
 // String renders the state for logs and operator output.
@@ -74,6 +82,8 @@ func (s State) String() string {
 		return "down"
 	case Repairing:
 		return "repairing"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("state(%d)", uint8(s))
 	}
@@ -114,6 +124,13 @@ type Config struct {
 	// node is declared Down (default 3). 1 declares Down on the first
 	// failure (the Suspect transition is still emitted).
 	Threshold int
+	// CorruptQuiet is how long a Corrupt node must go without a fresh
+	// corruption report before a completed repair plan may clear the
+	// pin (default 2×Interval). Without the dwell, a plan completing in
+	// the gap between two reads would clear a node that is still lying
+	// and Health() would flap up↔corrupt; with it, the pin only lifts
+	// once the readers and scrubber have had a chance to disagree.
+	CorruptQuiet time.Duration
 	// OnTransition, when non-nil, observes every transition in
 	// application order, invoked from the monitor's single dispatcher
 	// goroutine just before the transition is delivered on the
@@ -134,6 +151,9 @@ func (c Config) withDefaults() Config {
 	if c.Threshold < 1 {
 		c.Threshold = 3
 	}
+	if c.CorruptQuiet <= 0 {
+		c.CorruptQuiet = 2 * c.Interval
+	}
 	return c
 }
 
@@ -151,6 +171,13 @@ type Counters struct {
 	// Recoveries counts Repairing→Up transitions (a node fully
 	// healed).
 	Recoveries atomic.Int64
+	// CorruptReports counts every ReportCorrupt call — one per
+	// corruption observation delivered by the read, repair or scrub
+	// paths.
+	CorruptReports atomic.Int64
+	// CorruptEvents counts transitions into Corrupt (first pinning and
+	// every re-arm after a repair plan raced fresh reports).
+	CorruptEvents atomic.Int64
 }
 
 // CountersSnapshot is a plain-value copy of Counters.
@@ -165,6 +192,10 @@ type CountersSnapshot struct {
 	DownEvents int64
 	// Recoveries counts Repairing→Up transitions.
 	Recoveries int64
+	// CorruptReports counts corruption observations reported.
+	CorruptReports int64
+	// CorruptEvents counts transitions into Corrupt.
+	CorruptEvents int64
 }
 
 // NodeStatus is the externally visible state of one node.
@@ -182,6 +213,9 @@ type NodeStatus struct {
 	// LastTransition is when the node last changed state (zero while
 	// it has never left Up).
 	LastTransition time.Time
+	// CorruptReports is how many corruption observations have been
+	// reported against this node over the monitor's lifetime.
+	CorruptReports int64
 }
 
 type nodeState struct {
@@ -189,6 +223,19 @@ type nodeState struct {
 	failures       int
 	lastProbe      time.Time
 	lastTransition time.Time
+	// corruptSeq counts corruption reports against the node;
+	// corruptPlanned is the value captured when the current Corrupt
+	// repair plan was armed. RepairDone clears Corrupt only when the
+	// two still agree — reports arriving mid-plan re-arm instead.
+	corruptSeq     int64
+	corruptPlanned int64
+	// lastCorrupt is when the latest corruption report arrived;
+	// pendingClear marks a Corrupt node whose plan completed quietly
+	// but within CorruptQuiet of the last report — the probe loop
+	// clears it to Up once the dwell elapses report-free, and a fresh
+	// report instead re-plans it.
+	lastCorrupt  time.Time
+	pendingClear bool
 }
 
 // Monitor probes a fixed-size cluster and maintains the per-node
@@ -290,6 +337,7 @@ func (m *Monitor) Snapshot() []NodeStatus {
 			ConsecutiveFailures: n.failures,
 			LastProbe:           n.lastProbe,
 			LastTransition:      n.lastTransition,
+			CorruptReports:      n.corruptSeq,
 		}
 	}
 	return out
@@ -309,26 +357,82 @@ func (m *Monitor) NodeCount() int { return len(m.nodes) }
 // Counters returns a snapshot of the cumulative event counts.
 func (m *Monitor) Counters() CountersSnapshot {
 	return CountersSnapshot{
-		Probes:        m.counters.Probes.Load(),
-		ProbeFailures: m.counters.ProbeFailures.Load(),
-		Suspicions:    m.counters.Suspicions.Load(),
-		DownEvents:    m.counters.DownEvents.Load(),
-		Recoveries:    m.counters.Recoveries.Load(),
+		Probes:         m.counters.Probes.Load(),
+		ProbeFailures:  m.counters.ProbeFailures.Load(),
+		Suspicions:     m.counters.Suspicions.Load(),
+		DownEvents:     m.counters.DownEvents.Load(),
+		Recoveries:     m.counters.Recoveries.Load(),
+		CorruptReports: m.counters.CorruptReports.Load(),
+		CorruptEvents:  m.counters.CorruptEvents.Load(),
 	}
 }
 
+// ReportCorrupt records one corruption observation against a node:
+// the read, repair or scrub path caught it serving bytes that
+// disagree with the cross-checksum record majority. An Up or Suspect
+// node transitions to Corrupt (triggering a repair plan); a node
+// already Corrupt, Down or Repairing only accumulates the report —
+// the pending plan's completion consults the count. Out-of-range
+// nodes are ignored so callers can report unconditionally. Safe for
+// concurrent use from any goroutine.
+func (m *Monitor) ReportCorrupt(node int) {
+	if node < 0 || node >= len(m.nodes) {
+		return
+	}
+	m.counters.CorruptReports.Add(1)
+	m.mu.Lock()
+	st := &m.nodes[node]
+	st.corruptSeq++
+	st.lastCorrupt = time.Now()
+	switch {
+	case st.state == Up || st.state == Suspect:
+		st.corruptPlanned = st.corruptSeq
+		m.counters.CorruptEvents.Add(1)
+		m.stage(*m.applyLocked(node, Corrupt))
+	case st.state == Corrupt && st.pendingClear:
+		// The previous plan already finished; this report is fresh rot
+		// with no plan in flight, so re-arm and re-plan.
+		st.pendingClear = false
+		st.corruptPlanned = st.corruptSeq
+		m.counters.CorruptEvents.Add(1)
+		m.stage(*m.applyLocked(node, Corrupt))
+	}
+	m.mu.Unlock()
+}
+
 // RepairDone reports the outcome of the repair plan for a Repairing
-// node. ok moves the node to Up; !ok leaves it Repairing (the
-// orchestrator retries, and a node that stopped answering falls back
-// to Down through the probe loop). Called by the orchestrator.
+// or Corrupt node. ok moves the node to Up; !ok leaves it where it is
+// (the orchestrator retries, and a node that stopped answering falls
+// back to Down through the probe loop). A Corrupt node returns to Up
+// only when no corruption report arrived while the plan ran —
+// otherwise the plan repaired a moving target, so the node stays
+// pinned Corrupt and a fresh Corrupt edge is staged to re-plan it.
+// Called by the orchestrator.
 func (m *Monitor) RepairDone(node int, ok bool) {
 	if !ok {
 		return
 	}
 	m.mu.Lock()
-	if m.nodes[node].state == Repairing {
+	st := &m.nodes[node]
+	switch st.state {
+	case Repairing:
 		m.stage(*m.applyLocked(node, Up))
 		m.counters.Recoveries.Add(1)
+	case Corrupt:
+		switch {
+		case st.corruptSeq != st.corruptPlanned:
+			st.corruptPlanned = st.corruptSeq
+			m.counters.CorruptEvents.Add(1)
+			m.stage(*m.applyLocked(node, Corrupt))
+		case time.Since(st.lastCorrupt) >= m.cfg.CorruptQuiet:
+			m.stage(*m.applyLocked(node, Up))
+			m.counters.Recoveries.Add(1)
+		default:
+			// Quiet plan, but too close to the last report to be sure
+			// the node reformed: hold the pin without re-planning and
+			// let the probe loop clear it once the dwell passes clean.
+			st.pendingClear = true
+		}
 	}
 	m.mu.Unlock()
 }
@@ -340,6 +444,7 @@ func (m *Monitor) applyLocked(node int, to State) *Transition {
 	tr := Transition{Node: node, From: n.state, To: to, At: time.Now()}
 	n.state = to
 	n.lastTransition = tr.At
+	n.pendingClear = false
 	return &tr
 }
 
@@ -462,6 +567,16 @@ func (m *Monitor) applyProbeLocked(node int, err error, now time.Time, out []Tra
 			// The node is back (restart, healed partition, replaced
 			// disk): hand it to the orchestrator for reconvergence.
 			out = append(out, *m.applyLocked(node, Repairing))
+		case Corrupt:
+			// A corrupt node answers probes just fine — liveness says
+			// nothing about the bytes it serves. The pin clears only
+			// after a repair plan completed AND the node then stayed
+			// report-free for the CorruptQuiet dwell.
+			if st.pendingClear && st.corruptSeq == st.corruptPlanned &&
+				now.Sub(st.lastCorrupt) >= m.cfg.CorruptQuiet {
+				out = append(out, *m.applyLocked(node, Up))
+				m.counters.Recoveries.Add(1)
+			}
 		}
 		return out
 	}
@@ -480,10 +595,12 @@ func (m *Monitor) applyProbeLocked(node int, err error, now time.Time, out []Tra
 			m.counters.DownEvents.Add(1)
 			out = append(out, *m.applyLocked(node, Down))
 		}
-	case Repairing:
-		// The node died again mid-repair: fall straight back to Down
+	case Repairing, Corrupt:
+		// The node died (again) mid-repair: fall straight back to Down
 		// once the threshold confirms it, so the orchestrator drops
-		// the now-pointless plan.
+		// the now-pointless plan. A Corrupt node going Down loses its
+		// pin — if it comes back still corrupt, the verified read path
+		// re-reports it within a few requests.
 		if st.failures >= m.cfg.Threshold {
 			m.counters.DownEvents.Add(1)
 			out = append(out, *m.applyLocked(node, Down))

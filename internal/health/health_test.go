@@ -290,3 +290,140 @@ func TestCloseIsIdempotentAndClosesTransitions(t *testing.T) {
 		}
 	}
 }
+
+// TestReportCorruptPinsNode: a corruption observation pins an Up node
+// to Corrupt, and successful probes never clear the pin — a lying node
+// pings fine.
+func TestReportCorruptPinsNode(t *testing.T) {
+	fleet := newFakeFleet()
+	log := &transitionLog{}
+	m := newTestMonitor(t, 2, fleet, log, 3)
+	waitFor(t, "first probes", func() bool { return m.Counters().Probes >= 2 })
+
+	m.ReportCorrupt(0)
+	if got := m.NodeState(0); got != Corrupt {
+		t.Fatalf("state after ReportCorrupt: %v, want corrupt", got)
+	}
+	// Probes keep succeeding; the pin must hold.
+	before := m.Counters().Probes
+	waitFor(t, "more probe rounds", func() bool { return m.Counters().Probes >= before+6 })
+	if got := m.NodeState(0); got != Corrupt {
+		t.Fatalf("probe success cleared the corruption pin: %v", got)
+	}
+	if m.NodeState(1) != Up {
+		t.Fatal("unrelated node left Up")
+	}
+	c := m.Counters()
+	if c.CorruptReports != 1 || c.CorruptEvents != 1 {
+		t.Fatalf("counters %+v, want 1 corrupt report and 1 corrupt event", c)
+	}
+	waitFor(t, "corrupt transition observed", func() bool {
+		for _, tr := range log.snapshot() {
+			if tr.Node == 0 && tr.To == Corrupt {
+				return true
+			}
+		}
+		return false
+	})
+	for _, st := range m.Snapshot() {
+		if st.Node == 0 && st.CorruptReports != 1 {
+			t.Fatalf("snapshot %+v, want 1 corrupt report on node 0", st)
+		}
+	}
+}
+
+// TestCorruptClearsOnQuietRepair: RepairDone(ok) releases the pin only
+// after no corruption report has arrived for the CorruptQuiet dwell —
+// a plan completing in the gap between two reads must not flap a
+// still-lying node through Up. A transient rot victim heals to Up once
+// the dwell passes clean; fresh reports re-plan instead.
+func TestCorruptClearsOnQuietRepair(t *testing.T) {
+	fleet := newFakeFleet()
+	m := newTestMonitor(t, 1, fleet, nil, 3) // dwell = 2×2ms interval
+
+	// Honest bit-rot: one report, one plan. The plan completes within
+	// the dwell of the report, so the clear is deferred — the node
+	// stays pinned until the probe loop sees a report-free dwell.
+	m.ReportCorrupt(0)
+	if m.NodeState(0) != Corrupt {
+		t.Fatal("not pinned")
+	}
+	m.RepairDone(0, true)
+	if got := m.NodeState(0); got != Corrupt {
+		t.Fatalf("repair inside the dwell cleared the pin: %v, want corrupt", got)
+	}
+	waitFor(t, "dwell elapsed clean, pin released", func() bool { return m.NodeState(0) == Up })
+	if c := m.Counters(); c.Recoveries != 1 {
+		t.Fatalf("counters %+v, want 1 recovery", c)
+	}
+
+	// A report landing after the plan finished (deferred-clear window)
+	// re-plans: the node must stay Corrupt through a full dwell because
+	// a plan is outstanding again.
+	m.ReportCorrupt(0) // pin again (from Up)
+	m.RepairDone(0, true)
+	m.ReportCorrupt(0) // fresh rot while waiting out the dwell
+	time.Sleep(12 * time.Millisecond)
+	if got := m.NodeState(0); got != Corrupt {
+		t.Fatalf("re-reported node cleared without a completed plan: %v", got)
+	}
+	m.RepairDone(0, true)
+	waitFor(t, "re-planned node released after clean dwell", func() bool { return m.NodeState(0) == Up })
+
+	// Persistent liar: a fresh report lands while the plan runs, so the
+	// completed repair re-arms instead of clearing.
+	m.ReportCorrupt(0)
+	m.ReportCorrupt(0) // observation during the "plan"
+	m.RepairDone(0, true)
+	if got := m.NodeState(0); got != Corrupt {
+		t.Fatalf("repair cleared a mid-plan-reported node: %v, want corrupt", got)
+	}
+	m.RepairDone(0, true)
+	waitFor(t, "liar reformed, released after clean dwell", func() bool { return m.NodeState(0) == Up })
+	if c := m.Counters(); c.CorruptReports != 5 || c.CorruptEvents != 5 || c.Recoveries != 3 {
+		t.Fatalf("counters %+v, want 5 reports / 5 events / 3 recoveries", c)
+	}
+}
+
+// TestCorruptNodeFallsToDown: probe failures outrank the corruption
+// pin — a corrupt node that stops answering is Down (and loses the
+// pin; corruption is re-reported if it returns still lying).
+func TestCorruptNodeFallsToDown(t *testing.T) {
+	fleet := newFakeFleet()
+	m := newTestMonitor(t, 1, fleet, nil, 2)
+	waitFor(t, "first probe", func() bool { return m.Counters().Probes >= 1 })
+
+	m.ReportCorrupt(0)
+	fleet.set(0, true)
+	waitFor(t, "corrupt node down", func() bool { return m.NodeState(0) == Down })
+	fleet.set(0, false)
+	waitFor(t, "repairing on return", func() bool { return m.NodeState(0) == Repairing })
+	m.RepairDone(0, true)
+	if got := m.NodeState(0); got != Up {
+		t.Fatalf("state %v, want up (the down/up cycle cleared the pin)", got)
+	}
+}
+
+// TestReportCorruptIgnoredWhileDownOrOutOfRange: reports against Down
+// nodes count but do not flip state (the node serves nothing), and
+// out-of-range reports are no-ops.
+func TestReportCorruptIgnoredWhileDownOrOutOfRange(t *testing.T) {
+	fleet := newFakeFleet()
+	m := newTestMonitor(t, 1, fleet, nil, 1)
+	fleet.set(0, true)
+	waitFor(t, "down", func() bool { return m.NodeState(0) == Down })
+
+	m.ReportCorrupt(0)
+	if got := m.NodeState(0); got != Down {
+		t.Fatalf("report flipped a down node to %v", got)
+	}
+	c := m.Counters()
+	if c.CorruptReports != 1 || c.CorruptEvents != 0 {
+		t.Fatalf("counters %+v, want the report counted but no event", c)
+	}
+	m.ReportCorrupt(-1)
+	m.ReportCorrupt(99)
+	if got := m.Counters().CorruptReports; got != 1 {
+		t.Fatalf("out-of-range reports counted: %d", got)
+	}
+}

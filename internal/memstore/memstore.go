@@ -7,7 +7,10 @@
 // wants.
 package memstore
 
-import "trapquorum/client"
+import (
+	"trapquorum/client"
+	"trapquorum/internal/chunkmeta"
+)
 
 // chunk is one stored shard. Buffers are owned by the store and
 // recycled in place across overwrites of the same size, so steady-state
@@ -16,6 +19,7 @@ import "trapquorum/client"
 type chunk struct {
 	data     []byte
 	versions []uint64
+	meta     chunkmeta.Meta
 }
 
 // Store maps chunk ids to chunks in process memory. It is not safe for
@@ -31,17 +35,17 @@ func New() *Store {
 
 // Get implements nodeengine.ChunkStore. The returned slices are the
 // store's own buffers.
-func (s *Store) Get(id client.ChunkID) (data []byte, versions []uint64, ok bool, err error) {
+func (s *Store) Get(id client.ChunkID) (data []byte, versions []uint64, meta chunkmeta.Meta, ok bool, err error) {
 	c, ok := s.chunks[id]
 	if !ok {
-		return nil, nil, false, nil
+		return nil, nil, chunkmeta.Meta{}, false, nil
 	}
-	return c.data, c.versions, true, nil
+	return c.data, c.versions, c.meta, true, nil
 }
 
-// Put implements nodeengine.ChunkStore: it copies both slices,
+// Put implements nodeengine.ChunkStore: it copies every slice,
 // overwriting an existing same-sized buffer in place.
-func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64) error {
+func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) error {
 	if c, ok := s.chunks[id]; ok {
 		if len(c.data) == len(data) {
 			copy(c.data, data)
@@ -49,12 +53,18 @@ func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64) error {
 			c.data = append([]byte(nil), data...)
 		}
 		c.versions = append(c.versions[:0], versions...)
+		rec := c.meta.Rec
+		c.meta = meta
+		c.meta.Rec = append(rec[:0], meta.Rec...)
 		return nil
 	}
-	s.chunks[id] = &chunk{
+	c := &chunk{
 		data:     append([]byte(nil), data...),
 		versions: append([]uint64(nil), versions...),
+		meta:     meta,
 	}
+	c.meta.Rec = append([]client.BlockSum(nil), meta.Rec...)
+	s.chunks[id] = c
 	return nil
 }
 

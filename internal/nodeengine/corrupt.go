@@ -1,0 +1,160 @@
+package nodeengine
+
+// This file is the engine half of the corruption fault-injection
+// harness: deliberate, precisely-shaped damage to a stored chunk, used
+// by the simulator's CorruptShard and by the e2e chaos tests. The modes
+// mirror the failure taxonomy of DESIGN.md §6 — honest bit-rot
+// (BitFlip, Truncate), which the self-checksum catches at the source,
+// and a lying node (WrongData), which forges its own metadata so only
+// the cross-checksum records held by its peers can convict it. The
+// hooks write through the normal ChunkStore Put path, so on a durable
+// store the damage survives restarts exactly like real media rot.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"trapquorum/client"
+	"trapquorum/internal/erasure"
+)
+
+// CorruptionMode selects how CorruptChunk damages a chunk.
+type CorruptionMode int
+
+const (
+	// CorruptBitFlip flips one bit of the stored data and leaves the
+	// metadata untouched: classic silent bit-rot. The node's own
+	// self-checksum detects it on the next content read.
+	CorruptBitFlip CorruptionMode = iota + 1
+	// CorruptTruncate drops the second half of the stored data and
+	// leaves the metadata untouched: a torn or shortened file.
+	CorruptTruncate
+	// CorruptWrongData replaces the content with different bytes of the
+	// same length and forges the node's own metadata (self-sum and the
+	// node's own record entry) to match — a Byzantine node that lies
+	// consistently. Its self-checks pass; only the cross-checksum
+	// records held by other nodes expose it.
+	CorruptWrongData
+)
+
+// String names the mode for test output.
+func (m CorruptionMode) String() string {
+	switch m {
+	case CorruptBitFlip:
+		return "bit-flip"
+	case CorruptTruncate:
+		return "truncate"
+	case CorruptWrongData:
+		return "wrong-data"
+	default:
+		return fmt.Sprintf("CorruptionMode(%d)", int(m))
+	}
+}
+
+// CorruptChunk damages the stored chunk according to mode. It returns
+// client.ErrNotFound when the chunk is absent and client.ErrBadRequest
+// for an unknown mode or a chunk too small to damage. Fault-injection
+// surface: not part of client.NodeClient, reachable only by harnesses
+// holding the engine itself.
+func (e *Engine) CorruptChunk(ctx context.Context, id client.ChunkID, mode CorruptionMode) error {
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	data, versions, meta, ok, err := e.store.Get(id)
+	if err != nil && !isCorrupt(err) {
+		return err
+	}
+	if !ok {
+		return e.notFound(id)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%w: cannot corrupt empty chunk %s", client.ErrBadRequest, id)
+	}
+	switch mode {
+	case CorruptBitFlip:
+		bad := append([]byte(nil), data...)
+		bad[len(bad)/2] ^= 0x01
+		return e.store.Put(id, bad, versions, meta)
+	case CorruptTruncate:
+		bad := append([]byte(nil), data[:(len(data)+1)/2]...)
+		return e.store.Put(id, bad, versions, meta)
+	case CorruptWrongData:
+		bad := append([]byte(nil), data...)
+		for i := range bad {
+			bad[i] ^= 0x5a
+		}
+		forged := Meta{Self: erasure.Sum64(bad), HasSelf: true}
+		if rec := e.liveRec(meta); len(rec) > 0 {
+			frec := append(e.recScratch[:0], rec...)
+			e.recScratch = frec[:0]
+			if len(versions) == 1 && len(frec) == 1 {
+				// A data chunk's record entry is its own block: the liar
+				// re-hashes so its metadata agrees with its content.
+				frec[0] = client.BlockSum{Version: versions[0], Sum: forged.Self}
+			}
+			forged.Rec = frec
+			forged.RecSum = e.sumRecord(frec)
+		}
+		return e.store.Put(id, bad, versions, forged)
+	default:
+		return fmt.Errorf("%w: unknown corruption mode %d", client.ErrBadRequest, int(mode))
+	}
+}
+
+// ChunkSnapshot is a frozen copy of one chunk's full stored state,
+// taken by SnapshotChunk and replayed by RestoreChunk — the
+// stale-replay corruption mode (a node serving a valid-but-old state,
+// e.g. a restored backup).
+type ChunkSnapshot struct {
+	id       client.ChunkID
+	data     []byte
+	versions []uint64
+	meta     Meta
+}
+
+// ID returns the snapshotted chunk's id.
+func (s ChunkSnapshot) ID() client.ChunkID { return s.id }
+
+// SnapshotChunk copies the chunk's current stored state (data,
+// versions and metadata verbatim) for a later RestoreChunk.
+func (e *Engine) SnapshotChunk(ctx context.Context, id client.ChunkID) (ChunkSnapshot, error) {
+	if err := e.begin(ctx); err != nil {
+		return ChunkSnapshot{}, err
+	}
+	defer e.mu.Unlock()
+	data, versions, meta, ok, err := e.store.Get(id)
+	if err != nil {
+		return ChunkSnapshot{}, err
+	}
+	if !ok {
+		return ChunkSnapshot{}, e.notFound(id)
+	}
+	snap := ChunkSnapshot{
+		id:       id,
+		data:     append([]byte(nil), data...),
+		versions: append([]uint64(nil), versions...),
+		meta:     meta,
+	}
+	snap.meta.Rec = append([]client.BlockSum(nil), meta.Rec...)
+	return snap, nil
+}
+
+// RestoreChunk writes a snapshot back verbatim, regressing the chunk
+// to the snapshotted state — versions, checksums and all. The replayed
+// state is internally consistent (it once was the truth), so only the
+// protocol's version quorum and the newer records on other nodes
+// expose it.
+func (e *Engine) RestoreChunk(ctx context.Context, snap ChunkSnapshot) error {
+	if len(snap.versions) == 0 {
+		return fmt.Errorf("%w: empty snapshot", client.ErrBadRequest)
+	}
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	return e.store.Put(snap.id, snap.data, snap.versions, snap.meta)
+}
+
+func isCorrupt(err error) bool { return errors.Is(err, client.ErrCorrupt) }

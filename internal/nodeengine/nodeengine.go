@@ -20,34 +20,60 @@
 // per-node atomicity is what the protocol's conditional parity updates
 // rely on — so a ChunkStore never sees concurrent calls and needs no
 // locking of its own.
+//
+// # Integrity metadata
+//
+// Every chunk carries a Meta block, stored separately from the data it
+// covers (see DESIGN.md §6): a self-sum — the engine's own hash of the
+// chunk bytes, recomputed on every mutation and verified on every
+// content read, so bit-rot on an honest node surfaces as
+// client.ErrCorrupt at the source — and the cross-checksum record the
+// writers distribute (client.BlockSum entries, themselves guarded by a
+// hash of the record vector so corrupt metadata is dropped rather than
+// trusted). The record is what lets *readers* convict a node that lies
+// consistently: such a node forges its own metadata, but not the
+// copies its peers hold.
 package nodeengine
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"trapquorum/client"
 	"trapquorum/internal/blockpool"
+	"trapquorum/internal/chunkmeta"
+	"trapquorum/internal/erasure"
 	"trapquorum/internal/gf256"
 )
 
+// Meta is the integrity metadata stored beside a chunk: the node's own
+// content hash plus the writer-distributed cross-checksum record.
+// Stores persist it opaquely; the type lives in internal/chunkmeta so
+// stores can reference it without importing this package.
+type Meta = chunkmeta.Meta
+
 // ChunkStore is the persistence layer under an Engine: a mapping from
-// chunk id to (data, version vector). The engine serialises every call,
-// so implementations need no internal locking; they decide only where
-// the bytes live (memory, disk) and what "durable" means. A mutation
-// (Put, Delete, Wipe) must be durable by the time it returns — the
-// engine acknowledges the operation to the protocol immediately after.
+// chunk id to (data, version vector, integrity metadata). The engine
+// serialises every call, so implementations need no internal locking;
+// they decide only where the bytes live (memory, disk) and what
+// "durable" means. A mutation (Put, Delete, Wipe) must be durable by
+// the time it returns — the engine acknowledges the operation to the
+// protocol immediately after.
 type ChunkStore interface {
 	// Get returns the chunk stored under id, or ok == false. The
 	// returned slices are owned by the store: the caller must not
 	// mutate them, and they are only valid until the next mutating
-	// call for the same id.
-	Get(id client.ChunkID) (data []byte, versions []uint64, ok bool, err error)
-	// Put stores the chunk, replacing any previous value. The store
-	// copies both slices; the caller keeps ownership of its buffers.
-	Put(id client.ChunkID, data []byte, versions []uint64) error
+	// call for the same id. A store that detects its copy is damaged
+	// (a quarantined on-disk chunk) returns an error wrapping
+	// client.ErrCorrupt.
+	Get(id client.ChunkID) (data []byte, versions []uint64, meta Meta, ok bool, err error)
+	// Put stores the chunk, replacing any previous value (including a
+	// corrupt one). The store copies all slices; the caller keeps
+	// ownership of its buffers.
+	Put(id client.ChunkID, data []byte, versions []uint64, meta Meta) error
 	// Delete removes the chunk. Deleting a missing chunk is a no-op.
 	Delete(id client.ChunkID) error
 	// Wipe removes every chunk (media replacement).
@@ -59,19 +85,30 @@ type ChunkStore interface {
 	Close() error
 }
 
+// Scanner is the optional at-rest audit surface of a ChunkStore: Scan
+// re-verifies the durable copies (not a cached mirror) and returns the
+// ids found corrupt, quarantining them so subsequent reads fail with
+// client.ErrCorrupt until a repair rewrites them. The diskstore
+// implements it; a purely in-memory store has no colder copy to check
+// and need not.
+type Scanner interface {
+	Scan() ([]client.ChunkID, error)
+}
+
 // Metrics counts the operations an engine served. The protocol
-// counters (reads, writes, adds, version queries/rejects, served
-// operations) are maintained by the engine itself; the transport
-// counters DownRejects and CtxAborts are maintained by whatever wraps
-// the engine (the simulator's fail-stop switch, a network server's
-// admission path). All fields are safe for concurrent reads while the
-// engine runs.
+// counters (reads, writes, adds, version queries/rejects, corrupt
+// rejects, served operations) are maintained by the engine itself; the
+// transport counters DownRejects and CtxAborts are maintained by
+// whatever wraps the engine (the simulator's fail-stop switch, a
+// network server's admission path). All fields are safe for concurrent
+// reads while the engine runs.
 type Metrics struct {
 	Reads            atomic.Int64
 	Writes           atomic.Int64
 	Adds             atomic.Int64
 	VersionQueries   atomic.Int64
 	VersionRejects   atomic.Int64
+	CorruptRejects   atomic.Int64
 	DownRejects      atomic.Int64
 	CtxAborts        atomic.Int64
 	ServedOperations atomic.Int64
@@ -88,11 +125,13 @@ type Metrics struct {
 // and reports its real outcome. Transports layer their own
 // cancellation windows (latency injection, sockets) on top.
 type Engine struct {
-	name    string
-	mu      sync.Mutex
-	store   ChunkStore
-	scratch []uint64 // version-vector scratch, guarded by mu
-	metrics Metrics
+	name       string
+	mu         sync.Mutex
+	store      ChunkStore
+	scratch    []uint64          // version-vector scratch, guarded by mu
+	recScratch []client.BlockSum // record staging scratch, guarded by mu
+	recBytes   []byte            // record hashing scratch, guarded by mu
+	metrics    Metrics
 }
 
 // Compile-time conformance with the public transport contract.
@@ -143,49 +182,146 @@ func (e *Engine) begin(ctx context.Context) error {
 	return nil
 }
 
-// ReadChunk returns a deep copy of the chunk, or client.ErrNotFound.
+// sumRecord hashes the encoded record entries; the separate hash is
+// what makes the checksum vector self-verifying. Caller holds mu.
+func (e *Engine) sumRecord(rec []client.BlockSum) uint64 {
+	buf := e.recBytes[:0]
+	for _, s := range rec {
+		buf = binary.LittleEndian.AppendUint64(buf, s.Version)
+		buf = binary.LittleEndian.AppendUint64(buf, s.Sum)
+	}
+	e.recBytes = buf[:0]
+	return erasure.Sum64(buf)
+}
+
+// liveRec returns the record when its guard hash verifies, nil
+// otherwise — corrupt metadata is dropped, never served. Caller holds
+// mu.
+func (e *Engine) liveRec(meta Meta) []client.BlockSum {
+	if len(meta.Rec) == 0 || e.sumRecord(meta.Rec) != meta.RecSum {
+		return nil
+	}
+	return meta.Rec
+}
+
+// checkSelf verifies the chunk's data against its self-sum; a mismatch
+// is bit-rot caught at the source. Caller holds mu.
+func (e *Engine) checkSelf(id client.ChunkID, data []byte, meta Meta) error {
+	if meta.HasSelf && erasure.Sum64(data) != meta.Self {
+		e.metrics.CorruptRejects.Add(1)
+		return fmt.Errorf("%w: %s on %s fails self-checksum", client.ErrCorrupt, id, e.name)
+	}
+	return nil
+}
+
+// stageRec merges incoming checksum entries into the stored record and
+// returns the record to persist (a scratch slice, valid until the next
+// engine operation). nslots is the new version-vector length; slot
+// addresses the entry a single-sum conditional update refers to, and is
+// negative for the full-chunk puts (where a single entry is only
+// meaningful when the chunk has one slot). Caller holds mu.
+func (e *Engine) stageRec(old []client.BlockSum, nslots int, sums []client.BlockSum, slot int) ([]client.BlockSum, error) {
+	if len(sums) == 0 && len(old) == 0 {
+		return nil, nil
+	}
+	if len(sums) > 1 && len(sums) != nslots {
+		return nil, fmt.Errorf("%w: %d checksum entries for %d version slots", client.ErrBadRequest, len(sums), nslots)
+	}
+	rec := e.recScratch[:0]
+	for i := 0; i < nslots; i++ {
+		var entry client.BlockSum
+		if len(old) == nslots {
+			entry = old[i]
+		}
+		rec = append(rec, entry)
+	}
+	e.recScratch = rec[:0]
+	switch {
+	case len(sums) == nslots:
+		for i, s := range sums {
+			if s.Version != 0 {
+				rec[i] = s
+			}
+		}
+	case len(sums) == 1:
+		at := slot
+		if at < 0 {
+			return nil, fmt.Errorf("%w: single checksum entry for %d version slots", client.ErrBadRequest, nslots)
+		}
+		if sums[0].Version != 0 {
+			rec[at] = sums[0]
+		}
+	}
+	return rec, nil
+}
+
+// stageMeta assembles the metadata persisted with a mutation: a fresh
+// self-sum over the new data plus the merged record. Caller holds mu.
+func (e *Engine) stageMeta(data []byte, rec []client.BlockSum) Meta {
+	m := Meta{Self: erasure.Sum64(data), HasSelf: true}
+	if len(rec) > 0 {
+		m.Rec = rec
+		m.RecSum = e.sumRecord(rec)
+	}
+	return m
+}
+
+// ReadChunk returns a deep copy of the chunk, or client.ErrNotFound;
+// content failing the self-checksum returns client.ErrCorrupt.
 func (e *Engine) ReadChunk(ctx context.Context, id client.ChunkID) (client.Chunk, error) {
 	e.metrics.Reads.Add(1)
 	if err := e.begin(ctx); err != nil {
 		return client.Chunk{}, err
 	}
 	defer e.mu.Unlock()
-	data, versions, ok, err := e.store.Get(id)
+	data, versions, meta, ok, err := e.store.Get(id)
 	if err != nil {
 		return client.Chunk{}, err
 	}
 	if !ok {
 		return client.Chunk{}, e.notFound(id)
 	}
+	if err := e.checkSelf(id, data, meta); err != nil {
+		return client.Chunk{}, err
+	}
 	return client.Chunk{
 		Data:     append([]byte(nil), data...),
 		Versions: append([]uint64(nil), versions...),
+		Sums:     append([]client.BlockSum(nil), e.liveRec(meta)...),
 	}, nil
 }
 
-// ReadVersions returns a copy of the chunk's version vector, or
-// client.ErrNotFound. This is the "u.version(id)" probe of
-// Algorithms 1–2.
-func (e *Engine) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, error) {
+// ReadVersions returns a copy of the chunk's version vector and
+// cross-checksum record, or client.ErrNotFound. This is the
+// "u.version(id)" probe of Algorithms 1–2; it stays a metadata-only
+// operation — the data bytes are not hashed here, so probing cannot
+// regress to content-read cost — but a store-level quarantine (cold
+// bit-rot found by a disk scan) still surfaces as client.ErrCorrupt.
+func (e *Engine) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, []client.BlockSum, error) {
 	e.metrics.VersionQueries.Add(1)
 	if err := e.begin(ctx); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer e.mu.Unlock()
-	_, versions, ok, err := e.store.Get(id)
+	_, versions, meta, ok, err := e.store.Get(id)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !ok {
-		return nil, e.notFound(id)
+		return nil, nil, e.notFound(id)
 	}
-	return append([]uint64(nil), versions...), nil
+	var sums []client.BlockSum
+	if rec := e.liveRec(meta); len(rec) > 0 {
+		sums = append(sums, rec...)
+	}
+	return append([]uint64(nil), versions...), sums, nil
 }
 
 // PutChunk stores a full chunk (data plus version vector), replacing
-// any previous value. Used for data-block writes, bootstrap and
+// any previous value — including a corrupt one, which is how repair
+// clears a quarantine. Used for data-block writes, bootstrap and
 // repair. The inputs are copied.
-func (e *Engine) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+func (e *Engine) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
 	e.metrics.Writes.Add(1)
 	if len(versions) == 0 {
 		return fmt.Errorf("%w: PutChunk needs at least one version", client.ErrBadRequest)
@@ -194,7 +330,15 @@ func (e *Engine) PutChunk(ctx context.Context, id client.ChunkID, data []byte, v
 		return err
 	}
 	defer e.mu.Unlock()
-	return e.store.Put(id, data, versions)
+	var old []client.BlockSum
+	if _, _, meta, ok, err := e.store.Get(id); err == nil && ok {
+		old = e.liveRec(meta)
+	}
+	rec, err := e.stageRec(old, len(versions), sums, -1)
+	if err != nil {
+		return err
+	}
+	return e.store.Put(id, data, versions, e.stageMeta(data, rec))
 }
 
 // CompareAndPut overwrites the chunk's data only when version slot
@@ -202,13 +346,16 @@ func (e *Engine) PutChunk(ctx context.Context, id client.ChunkID, data []byte, v
 // client.ErrVersionMismatch otherwise. Used by data nodes so that a
 // delayed stale writer cannot clobber a newer block. The check and the
 // write are atomic under the engine lock.
-func (e *Engine) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte) error {
+func (e *Engine) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte, sum ...client.BlockSum) error {
 	e.metrics.Writes.Add(1)
+	if len(sum) > 1 {
+		return fmt.Errorf("%w: CompareAndPut takes at most one checksum entry", client.ErrBadRequest)
+	}
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
 	defer e.mu.Unlock()
-	_, versions, ok, err := e.store.Get(id)
+	_, versions, meta, ok, err := e.store.Get(id)
 	if err != nil {
 		return err
 	}
@@ -222,23 +369,34 @@ func (e *Engine) CompareAndPut(ctx context.Context, id client.ChunkID, slot int,
 		e.metrics.VersionRejects.Add(1)
 		return fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, versions[slot], expect)
 	}
+	rec, err := e.stageRec(e.liveRec(meta), len(versions), sum, slot)
+	if err != nil {
+		return err
+	}
+	newMeta := e.stageMeta(data, rec)
 	vers := e.stageVersions(versions)
 	vers[slot] = next
-	return e.store.Put(id, data, vers)
+	return e.store.Put(id, data, vers, newMeta)
 }
 
 // CompareAndAdd XORs delta into the chunk's data when version slot
 // `slot` currently holds expect, then advances the slot to next — the
 // conditional "u.add(α_{i,j}·(x−chunk))" of Algorithm 1 lines 26–28.
 // A mismatch (stale or too-new parity) yields
-// client.ErrVersionMismatch and leaves the chunk untouched.
-func (e *Engine) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte) error {
+// client.ErrVersionMismatch and leaves the chunk untouched; content
+// failing the self-checksum yields client.ErrCorrupt, because folding
+// a delta into rotten parity would launder the corruption into a
+// well-versioned chunk.
+func (e *Engine) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte, sum ...client.BlockSum) error {
 	e.metrics.Adds.Add(1)
+	if len(sum) > 1 {
+		return fmt.Errorf("%w: CompareAndAdd takes at most one checksum entry", client.ErrBadRequest)
+	}
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
 	defer e.mu.Unlock()
-	data, versions, ok, err := e.store.Get(id)
+	data, versions, meta, ok, err := e.store.Get(id)
 	if err != nil {
 		return err
 	}
@@ -255,17 +413,25 @@ func (e *Engine) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int,
 		e.metrics.VersionRejects.Add(1)
 		return fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, versions[slot], expect)
 	}
+	if err := e.checkSelf(id, data, meta); err != nil {
+		return err
+	}
+	rec, err := e.stageRec(e.liveRec(meta), len(versions), sum, slot)
+	if err != nil {
+		return err
+	}
 	// The summed bytes are staged in a pooled buffer so the store's
 	// current data stays untouched until Put commits the mutation —
 	// a durable store that fails mid-write must not have corrupted
 	// its in-memory view.
-	sum := blockpool.GetBlock(len(data))
-	copy(sum.B, data)
-	gf256.XorSlice(sum.B, delta)
+	acc := blockpool.GetBlock(len(data))
+	copy(acc.B, data)
+	gf256.XorSlice(acc.B, delta)
+	newMeta := e.stageMeta(acc.B, rec)
 	vers := e.stageVersions(versions)
 	vers[slot] = next
-	err = e.store.Put(id, sum.B, vers)
-	sum.Release()
+	err = e.store.Put(id, acc.B, vers, newMeta)
+	acc.Release()
 	return err
 }
 
@@ -275,8 +441,10 @@ func (e *Engine) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int,
 // an identical vector is an idempotent no-op). Repair uses this so
 // that a rebuild gathered before a concurrent write cannot overwrite
 // the write's newer state; the mismatch surfaces as
-// client.ErrVersionMismatch and the repair is retried.
-func (e *Engine) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
+// client.ErrVersionMismatch and the repair is retried. A stored chunk
+// the store reports corrupt accepts any install — the repair's rebuild
+// is strictly better than quarantined rot.
+func (e *Engine) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
 	e.metrics.Writes.Add(1)
 	if len(versions) == 0 {
 		return fmt.Errorf("%w: PutChunkIfFresher needs at least one version", client.ErrBadRequest)
@@ -285,9 +453,13 @@ func (e *Engine) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data 
 		return err
 	}
 	defer e.mu.Unlock()
-	_, stored, ok, err := e.store.Get(id)
+	var old []client.BlockSum
+	_, stored, meta, ok, err := e.store.Get(id)
 	if err != nil {
-		return err
+		if !isCorrupt(err) {
+			return err
+		}
+		ok = false // quarantined: treat as absent so the rebuild lands
 	}
 	if ok {
 		if len(stored) != len(versions) {
@@ -299,8 +471,13 @@ func (e *Engine) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data 
 				return fmt.Errorf("%w: slot %d would regress %d -> %d", client.ErrVersionMismatch, slot, v, versions[slot])
 			}
 		}
+		old = e.liveRec(meta)
 	}
-	return e.store.Put(id, data, versions)
+	rec, err := e.stageRec(old, len(versions), sums, -1)
+	if err != nil {
+		return err
+	}
+	return e.store.Put(id, data, versions, e.stageMeta(data, rec))
 }
 
 // DeleteChunk removes a chunk. Deleting a missing chunk is a no-op,
@@ -314,13 +491,18 @@ func (e *Engine) DeleteChunk(ctx context.Context, id client.ChunkID) error {
 	return e.store.Delete(id)
 }
 
-// HasChunk reports whether the node stores the chunk.
+// HasChunk reports whether the node stores the chunk. A quarantined
+// chunk exists (repair decides what to do with it), so it reports
+// true.
 func (e *Engine) HasChunk(ctx context.Context, id client.ChunkID) (bool, error) {
 	if err := e.begin(ctx); err != nil {
 		return false, err
 	}
 	defer e.mu.Unlock()
-	_, _, ok, err := e.store.Get(id)
+	_, _, _, ok, err := e.store.Get(id)
+	if err != nil && isCorrupt(err) {
+		return true, nil
+	}
 	return ok, err
 }
 
@@ -341,6 +523,23 @@ func (e *Engine) Wipe(ctx context.Context) error {
 	}
 	defer e.mu.Unlock()
 	return e.store.Wipe()
+}
+
+// VerifyStore audits the store's at-rest state when the store supports
+// it (see Scanner): corrupt chunks are quarantined and their ids
+// returned, so a maintenance loop can run it periodically and scrub
+// finds cold bit-rot without waiting for a client read. Stores without
+// an at-rest audit return (nil, nil).
+func (e *Engine) VerifyStore(ctx context.Context) ([]client.ChunkID, error) {
+	if err := e.begin(ctx); err != nil {
+		return nil, err
+	}
+	defer e.mu.Unlock()
+	sc, ok := e.store.(Scanner)
+	if !ok {
+		return nil, nil
+	}
+	return sc.Scan()
 }
 
 // stageVersions copies a version vector into the engine's scratch

@@ -32,7 +32,7 @@ func TestPutReadRoundTrip(t *testing.T) {
 	if string(got.Data) != "\x01\x02\x03" || got.Versions[0] != 5 {
 		t.Fatalf("got %+v", got)
 	}
-	vers, err := e.ReadVersions(context.Background(), id)
+	vers, _, err := e.ReadVersions(context.Background(), id)
 	if err != nil || len(vers) != 1 || vers[0] != 5 {
 		t.Fatalf("versions = %v, %v", vers, err)
 	}
@@ -44,7 +44,7 @@ func TestMissingChunkErrors(t *testing.T) {
 	if _, err := e.ReadChunk(context.Background(), id); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("ReadChunk err = %v", err)
 	}
-	if _, err := e.ReadVersions(context.Background(), id); !errors.Is(err, client.ErrNotFound) {
+	if _, _, err := e.ReadVersions(context.Background(), id); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("ReadVersions err = %v", err)
 	}
 	if err := e.CompareAndPut(context.Background(), id, 0, 0, 1, []byte{1}); !errors.Is(err, client.ErrNotFound) {
@@ -171,7 +171,7 @@ func TestExpiredContextRejectedUpFront(t *testing.T) {
 	if err := e.PutChunk(ctx, client.ChunkID{}, []byte{1}, []uint64{1}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v", err)
 	}
-	if got, _, _, _ := e.store.Get(client.ChunkID{}); got != nil {
+	if got, _, _, _, _ := e.store.Get(client.ChunkID{}); got != nil {
 		t.Fatal("cancelled put reached the store")
 	}
 	if e.Metrics().CtxAborts.Load() == 0 {
@@ -216,12 +216,12 @@ type failStore struct {
 	allow int
 }
 
-func (f *failStore) Put(id client.ChunkID, data []byte, versions []uint64) error {
+func (f *failStore) Put(id client.ChunkID, data []byte, versions []uint64, meta Meta) error {
 	if f.allow <= 0 {
 		return fmt.Errorf("failstore: out of quota")
 	}
 	f.allow--
-	return f.Store.Put(id, data, versions)
+	return f.Store.Put(id, data, versions, meta)
 }
 
 // TestStoreErrorLeavesStateIntact: when the store rejects the commit,
@@ -253,7 +253,7 @@ func TestMetricsCounting(t *testing.T) {
 	id := client.ChunkID{Stripe: 1}
 	_ = e.PutChunk(ctx, id, []byte{1}, []uint64{1})
 	_, _ = e.ReadChunk(ctx, id)
-	_, _ = e.ReadVersions(ctx, id)
+	_, _, _ = e.ReadVersions(ctx, id)
 	_ = e.CompareAndAdd(ctx, id, 0, 99, 100, []byte{1}) // version reject
 	m := e.Metrics()
 	if m.Writes.Load() != 1 || m.Reads.Load() != 1 || m.VersionQueries.Load() != 1 {

@@ -82,22 +82,29 @@ func LostCount(n int, nodeOf func(shard int) int, down func(int) bool) int {
 // DegradationTasks converts one stripe's scrub classification into
 // repair tasks under the standard repairable-degradation policy,
 // shared by every Target implementation: stale shards are always
-// repairable; unreachable shards only when their node is not down
-// (a missing or corrupt chunk behind a live process); ahead shards
-// (failed-write residue) are never queued — clearing residue is an
-// operator decision.
-func DegradationTasks(stripe uint64, n int, stale, unreachable []int, nodeOf func(shard int) int, down func(int) bool) []Task {
+// repairable; corrupt shards (wrong bytes behind a live process —
+// bit-rot, quarantined chunk files, disavowed content) likewise, with
+// a priority bump because they actively poison reads; unreachable
+// shards only when their node is not down (a missing chunk behind a
+// live process); ahead shards (failed-write residue) are never queued
+// — clearing residue is an operator decision.
+func DegradationTasks(stripe uint64, n int, stale, unreachable, corrupt []int, nodeOf func(shard int) int, down func(int) bool) []Task {
 	lost := LostCount(n, nodeOf, down)
 	var tasks []Task
-	add := func(shard int) {
-		tasks = append(tasks, Task{Stripe: stripe, Shard: shard, Node: nodeOf(shard), Priority: lost})
+	add := func(shard, prio int) {
+		tasks = append(tasks, Task{Stripe: stripe, Shard: shard, Node: nodeOf(shard), Priority: prio})
 	}
 	for _, shard := range stale {
-		add(shard)
+		add(shard, lost)
+	}
+	for _, shard := range corrupt {
+		if !down(nodeOf(shard)) {
+			add(shard, lost+1)
+		}
 	}
 	for _, shard := range unreachable {
 		if !down(nodeOf(shard)) {
-			add(shard)
+			add(shard, lost)
 		}
 	}
 	return tasks
@@ -394,6 +401,13 @@ func (o *Orchestrator) consumeTransitions() {
 			switch tr.To {
 			case health.Repairing:
 				o.plan(tr.Node)
+			case health.Corrupt:
+				// Corruption pinned: rebuild everything placed on the
+				// node. The monitor clears the pin only if no further
+				// corruption is reported while the plan runs (and
+				// stages a fresh Corrupt edge — landing back here —
+				// when one is).
+				o.plan(tr.Node)
 			case health.Down:
 				o.dropNode(tr.Node)
 			}
@@ -558,7 +572,10 @@ func (o *Orchestrator) finishPlan(node int, failed bool) {
 		delete(o.retries, node)
 		closed := o.closed
 		o.mu.Unlock()
-		if closed || o.mon.NodeState(node) != health.Repairing {
+		if closed {
+			return
+		}
+		if st := o.mon.NodeState(node); st != health.Repairing && st != health.Corrupt {
 			return
 		}
 		o.plan(node)

@@ -383,3 +383,123 @@ func TestCloseIsIdempotentAndStopsWork(t *testing.T) {
 		t.Fatalf("scrubbing continued after Close: %d -> %d", before, after)
 	}
 }
+
+// TestDegradationTasksPolicy pins the shared repairable-degradation
+// policy, corrupt shards included: stale at the lost count, corrupt at
+// lost+1 (they actively poison reads), unreachable only behind a live
+// node, nothing for down nodes.
+func TestDegradationTasksPolicy(t *testing.T) {
+	identity := func(shard int) int { return shard }
+	isDown := func(node int) bool { return node == 4 }
+
+	tasks := DegradationTasks(7, 6,
+		[]int{1},    // stale
+		[]int{2, 4}, // unreachable: shard 4's node is down
+		[]int{3, 4}, // corrupt: shard 4's node is down
+		identity, isDown)
+
+	want := map[int]Task{
+		1: {Stripe: 7, Shard: 1, Node: 1, Priority: 1},
+		3: {Stripe: 7, Shard: 3, Node: 3, Priority: 2},
+		2: {Stripe: 7, Shard: 2, Node: 2, Priority: 1},
+	}
+	if len(tasks) != len(want) {
+		t.Fatalf("tasks %+v, want exactly %d (nothing for the down node)", tasks, len(want))
+	}
+	for _, task := range tasks {
+		w, ok := want[task.Shard]
+		if !ok {
+			t.Fatalf("unexpected task %+v", task)
+		}
+		if task != w {
+			t.Fatalf("task %+v, want %+v", task, w)
+		}
+	}
+
+	// With nobody down there is no lost redundancy: stale and
+	// unreachable at 0, corrupt still one above.
+	tasks = DegradationTasks(7, 6, []int{0}, nil, []int{5}, identity, func(int) bool { return false })
+	for _, task := range tasks {
+		wantPrio := 0
+		if task.Shard == 5 {
+			wantPrio = 1
+		}
+		if task.Priority != wantPrio {
+			t.Fatalf("task %+v, want priority %d", task, wantPrio)
+		}
+	}
+}
+
+// TestCorruptNodeGetsPlannedAndHeals: a corruption observation (not a
+// probe failure — the node answers pings throughout) triggers a full
+// node plan, and the plan's success releases the pin.
+func TestCorruptNodeGetsPlannedAndHeals(t *testing.T) {
+	target := newFakeTarget()
+	target.plans[1] = []Task{{Stripe: 3, Shard: 1, Priority: 2}}
+	_, mon, orc := rig(t, 3, target, Config{ScrubInterval: -1})
+	waitFor(t, "probes running", func() bool { return mon.Counters().Probes >= 3 })
+
+	mon.ReportCorrupt(1)
+	waitFor(t, "corrupt node healed by its plan", func() bool { return mon.NodeState(1) == health.Up })
+	got := target.executed()
+	if len(got) != 1 || got[0].Stripe != 3 || got[0].Node != 1 {
+		t.Fatalf("executed %v, want the node-1 plan", got)
+	}
+	if c := orc.Counters(); c.PlansExecuted != 1 || c.Repairs != 1 {
+		t.Fatalf("counters %+v, want 1 plan / 1 repair", c)
+	}
+}
+
+// TestPersistentlyLyingNodeStaysPinned: when every repair completes
+// into fresh corruption reports (the liar keeps lying), the node must
+// stay Corrupt across plans — it is never paraded as healthy.
+func TestPersistentlyLyingNodeStaysPinned(t *testing.T) {
+	inner := newFakeTarget()
+	inner.plans[0] = []Task{{Stripe: 1, Shard: 0, Priority: 1}}
+	fl, mon, orc := rig2(t, &lyingTarget{fakeTarget: inner, mon: func() *health.Monitor { return nil }}, Config{ScrubInterval: -1})
+	_ = fl
+
+	// Wire the target's re-report hook to the monitor now that it exists.
+	lt := orc.target.(*lyingTarget)
+	lt.mon = func() *health.Monitor { return mon }
+
+	waitFor(t, "probes running", func() bool { return mon.Counters().Probes >= 1 })
+	mon.ReportCorrupt(0)
+	// Every completed plan re-arms; after several the node is still pinned.
+	waitFor(t, "three plans executed", func() bool { return orc.Counters().PlansExecuted >= 3 })
+	if got := mon.NodeState(0); got != health.Corrupt {
+		t.Fatalf("liar state %v, want corrupt (pinned across plans)", got)
+	}
+
+	// The liar reforms: the next quiet plan releases it.
+	lt.setLying(false)
+	waitFor(t, "reformed node healed", func() bool { return mon.NodeState(0) == health.Up })
+}
+
+// lyingTarget re-reports corruption on every repair while lying is
+// set, simulating a node that immediately re-serves wrong bytes.
+type lyingTarget struct {
+	*fakeTarget
+	mu     sync.Mutex
+	honest bool
+	mon    func() *health.Monitor
+}
+
+func (l *lyingTarget) setLying(lying bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.honest = !lying
+}
+
+func (l *lyingTarget) Repair(ctx context.Context, t Task) error {
+	err := l.fakeTarget.Repair(ctx, t)
+	l.mu.Lock()
+	honest := l.honest
+	l.mu.Unlock()
+	if err == nil && !honest {
+		if mon := l.mon(); mon != nil {
+			mon.ReportCorrupt(t.Node)
+		}
+	}
+	return err
+}

@@ -148,6 +148,12 @@ type Fleet struct {
 	stripeSys  map[uint64]*core.System
 	stripeLoc  map[uint64][]int // stripe -> cluster nodes per shard
 	nextStripe uint64
+
+	// corruptFn, when set, receives the cluster node of every shard
+	// the protocol observed serving corrupt bytes (the self-heal
+	// monitor's ReportCorrupt). Every protocol instance routes its
+	// per-shard observations here, translated through its placement.
+	corruptFn atomic.Pointer[func(node int)]
 }
 
 // Store is one tenant's keyed erasure-coded object store with quorum
@@ -338,9 +344,38 @@ func (f *Fleet) systemFor(nodes []int) (*core.System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Route the instance's corruption observations to the fleet-level
+	// handler, translated from shard index to cluster node through
+	// this placement. Registered unconditionally: the handler pointer
+	// is consulted at observation time, so SetCorruptionHandler works
+	// whenever it is called relative to system creation.
+	placed := append([]int(nil), nodes...)
+	sys.SetCorruptionHandler(func(shard int) {
+		if fn := f.corruptFn.Load(); fn != nil && shard >= 0 && shard < len(placed) {
+			(*fn)(placed[shard])
+		}
+	})
 	f.systems[key] = sys
 	return sys, nil
 }
+
+// SetCorruptionHandler installs the fleet-wide corruption observer:
+// fn receives the cluster node index of every shard any protocol
+// instance caught serving bytes its peers' cross-checksum records
+// disavow. The self-heal layer binds it to the health monitor's
+// ReportCorrupt. A nil fn disables delivery. Safe to call at any
+// time, concurrently with traffic.
+func (f *Fleet) SetCorruptionHandler(fn func(node int)) {
+	if fn == nil {
+		f.corruptFn.Store(nil)
+		return
+	}
+	f.corruptFn.Store(&fn)
+}
+
+// SetCorruptionHandler delegates to the fleet (corruption scope is
+// the cluster).
+func (s *Store) SetCorruptionHandler(fn func(node int)) { s.fleet.SetCorruptionHandler(fn) }
 
 func placementKey(nodes []int) string {
 	var b strings.Builder
@@ -818,6 +853,7 @@ func (f *Fleet) Metrics() core.MetricsSnapshot {
 		total.Rollbacks += m.Rollbacks
 		total.Repairs += m.Repairs
 		total.HedgedRPCs += m.HedgedRPCs
+		total.CorruptShards += m.CorruptShards
 	}
 	return total
 }
@@ -944,7 +980,7 @@ func (f *Fleet) ScrubStripe(ctx context.Context, stripe uint64, down func(int) b
 		return nil, err
 	}
 	return repairsched.DegradationTasks(stripe, len(nodes), rep.StaleShards, rep.UnreachableShards,
-		func(shard int) int { return nodes[shard] }, down), nil
+		rep.CorruptShards, func(shard int) int { return nodes[shard] }, down), nil
 }
 
 // ScrubStripe delegates to the fleet (scrub scope is the cluster).

@@ -46,7 +46,12 @@ type Node struct {
 	engine *nodeengine.Engine
 	delay  atomic.Pointer[DelayFunc]
 	down   atomic.Bool
-	quit   chan struct{}
+	// lying, when set, turns the node Byzantine on the read path: every
+	// served chunk has its content silently altered after the engine's
+	// own integrity checks passed, modelling a node that consistently
+	// serves wrong bytes while its metadata stays plausible.
+	lying atomic.Bool
+	quit  chan struct{}
 }
 
 // Compile-time transport conformance.
@@ -136,6 +141,14 @@ func (n *Node) Engine() *nodeengine.Engine { return n.engine }
 // Down reports whether the node is currently failed.
 func (n *Node) Down() bool { return n.down.Load() }
 
+// SetReadCorrupt turns the node into a persistent liar (true) or back
+// into an honest node (false): while set, every ReadChunk response has
+// its first data byte flipped after the engine's integrity checks, so
+// the node's own metadata never betrays it — only the cross-checksum
+// records its peers hold can. Fault-injection surface for Byzantine
+// chaos tests.
+func (n *Node) SetReadCorrupt(lying bool) { n.lying.Store(lying) }
+
 // Crash fail-stops the node: every subsequent operation fails with
 // ErrNodeDown until Restart. Stored chunks survive (disks outlive
 // crashes); use Wipe for media loss.
@@ -160,15 +173,23 @@ func (n *Node) ReadChunk(ctx context.Context, id ChunkID) (Chunk, error) {
 		n.engine.Metrics().Reads.Add(1)
 		return Chunk{}, err
 	}
-	return n.engine.ReadChunk(ctx, id)
+	chunk, err := n.engine.ReadChunk(ctx, id)
+	if err == nil && n.lying.Load() && len(chunk.Data) > 0 {
+		// The lie happens on the served copy, after the engine's own
+		// checks: versions and record look perfectly healthy, only the
+		// bytes are wrong — the case self-sums cannot catch.
+		chunk.Data[0] ^= 0xa5
+	}
+	return chunk, err
 }
 
-// ReadVersions returns a copy of the chunk's version vector, or
-// ErrNotFound. This is the "u.version(id)" probe of Algorithms 1–2.
-func (n *Node) ReadVersions(ctx context.Context, id ChunkID) ([]uint64, error) {
+// ReadVersions returns a copy of the chunk's version vector and
+// cross-checksum record, or ErrNotFound. This is the "u.version(id)"
+// probe of Algorithms 1–2.
+func (n *Node) ReadVersions(ctx context.Context, id ChunkID) ([]uint64, []client.BlockSum, error) {
 	if err := n.gate(ctx, "version"); err != nil {
 		n.engine.Metrics().VersionQueries.Add(1)
-		return nil, err
+		return nil, nil, err
 	}
 	return n.engine.ReadVersions(ctx, id)
 }
@@ -176,24 +197,24 @@ func (n *Node) ReadVersions(ctx context.Context, id ChunkID) ([]uint64, error) {
 // PutChunk stores a full chunk (data plus version vector), replacing
 // any previous value. Used for data-block writes, bootstrap and
 // repair. The inputs are copied.
-func (n *Node) PutChunk(ctx context.Context, id ChunkID, data []byte, versions []uint64) error {
+func (n *Node) PutChunk(ctx context.Context, id ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
 	if err := n.gate(ctx, "write"); err != nil {
 		n.engine.Metrics().Writes.Add(1)
 		return err
 	}
-	return n.engine.PutChunk(ctx, id, data, versions)
+	return n.engine.PutChunk(ctx, id, data, versions, sums...)
 }
 
 // CompareAndPut overwrites the chunk's data only when version slot
 // `slot` currently holds expect, then sets it to next. It returns
 // ErrVersionMismatch otherwise. Used by data nodes so that a delayed
 // stale writer cannot clobber a newer block.
-func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, next uint64, data []byte) error {
+func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, next uint64, data []byte, sum ...client.BlockSum) error {
 	if err := n.gate(ctx, "write"); err != nil {
 		n.engine.Metrics().Writes.Add(1)
 		return err
 	}
-	return n.engine.CompareAndPut(ctx, id, slot, expect, next, data)
+	return n.engine.CompareAndPut(ctx, id, slot, expect, next, data, sum...)
 }
 
 // CompareAndAdd XORs delta into the chunk's data when version slot
@@ -201,12 +222,12 @@ func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, 
 // the conditional "u.add(α_{i,j}·(x−chunk))" of Algorithm 1 lines
 // 26–28. A mismatch (stale or too-new parity) yields
 // ErrVersionMismatch and leaves the chunk untouched.
-func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, next uint64, delta []byte) error {
+func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, next uint64, delta []byte, sum ...client.BlockSum) error {
 	if err := n.gate(ctx, "add"); err != nil {
 		n.engine.Metrics().Adds.Add(1)
 		return err
 	}
-	return n.engine.CompareAndAdd(ctx, id, slot, expect, next, delta)
+	return n.engine.CompareAndAdd(ctx, id, slot, expect, next, delta, sum...)
 }
 
 // PutChunkIfFresher installs a chunk only when it does not regress any
@@ -216,12 +237,12 @@ func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, 
 // that a rebuild gathered before a concurrent write cannot overwrite
 // the write's newer state; the mismatch surfaces as
 // ErrVersionMismatch and the repair is retried.
-func (n *Node) PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, versions []uint64) error {
+func (n *Node) PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
 	if err := n.gate(ctx, "write"); err != nil {
 		n.engine.Metrics().Writes.Add(1)
 		return err
 	}
-	return n.engine.PutChunkIfFresher(ctx, id, data, versions)
+	return n.engine.PutChunkIfFresher(ctx, id, data, versions, sums...)
 }
 
 // DeleteChunk removes a chunk. Deleting a missing chunk is a no-op,

@@ -45,7 +45,7 @@ func TestReadMissing(t *testing.T) {
 	if _, err := c.Node(0).ReadChunk(context.Background(), ChunkID{}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := c.Node(0).ReadVersions(context.Background(), ChunkID{}); !errors.Is(err, ErrNotFound) {
+	if _, _, err := c.Node(0).ReadVersions(context.Background(), ChunkID{}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -269,7 +269,7 @@ func TestMetricsCount(t *testing.T) {
 	id := ChunkID{Stripe: 1}
 	_ = n.PutChunk(context.Background(), id, []byte{1}, []uint64{1})
 	_, _ = n.ReadChunk(context.Background(), id)
-	_, _ = n.ReadVersions(context.Background(), id)
+	_, _, _ = n.ReadVersions(context.Background(), id)
 	_ = n.CompareAndAdd(context.Background(), id, 0, 99, 100, []byte{1}) // version reject
 	m := n.Metrics()
 	if m.Writes.Load() != 1 || m.Reads.Load() != 1 || m.VersionQueries.Load() != 1 {
@@ -351,7 +351,7 @@ func TestConcurrentMixedOpsRace(t *testing.T) {
 				case 1:
 					_ = n.PutChunk(context.Background(), id, []byte{byte(i), 0, 0, 0}, []uint64{uint64(i)})
 				case 2:
-					_, _ = n.ReadVersions(context.Background(), id)
+					_, _, _ = n.ReadVersions(context.Background(), id)
 				case 3:
 					if g == 0 {
 						n.Crash()

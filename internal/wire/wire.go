@@ -18,14 +18,16 @@
 // A request payload is a fixed header followed by the variable parts:
 //
 //	op(1) stripe(8) shard(4) slot(4) expect(8) next(8)
-//	nver(4) versions(8·nver) dlen(4) data(dlen)
+//	nver(4) versions(8·nver) nsums(4) sums(16·nsums) dlen(4) data(dlen)
 //
 // Fields an operation does not use are zero; every request uses the
-// same layout so the decoder is a single bounds-checked pass. A
-// response payload is:
+// same layout so the decoder is a single bounds-checked pass. The sums
+// list carries cross-checksum entries (version, hash pairs — see
+// DESIGN.md §6) alongside mutations and back with reads. A response
+// payload is:
 //
 //	status(1) flag(1) dlen... detail(len-prefixed string)
-//	nver(4) versions(8·nver) dlen(4) data(dlen)
+//	nver(4) versions(8·nver) nsums(4) sums(16·nsums) dlen(4) data(dlen)
 //
 // Status carries the sentinel error taxonomy of the client package
 // across the wire; Status.Err and StatusOf convert in both directions
@@ -127,6 +129,7 @@ const (
 	StatusInternal
 	StatusOverloaded
 	StatusQuotaExceeded
+	StatusCorrupt
 	statusMax
 )
 
@@ -154,6 +157,10 @@ type Request struct {
 	// Versions is the proposed version vector of the put-family
 	// operations (decoded into a fresh slice).
 	Versions []uint64
+	// Sums carries the cross-checksum entries of the mutating
+	// operations (decoded into a fresh slice; empty when the writer
+	// sent no opinion). Encoded between the versions and the data.
+	Sums []client.BlockSum
 	// Data is the chunk payload or delta. Decoding aliases the frame
 	// buffer; copy before the next read if retained.
 	Data []byte
@@ -169,6 +176,9 @@ type Response struct {
 	// Versions carries the version vector of OpReadChunk and
 	// OpReadVersions responses.
 	Versions []uint64
+	// Sums carries the cross-checksum record of OpReadChunk and
+	// OpReadVersions responses (empty when the node holds none).
+	Sums []client.BlockSum
 	// Data carries the chunk bytes of OpReadChunk responses. Decoding
 	// aliases the frame buffer; copy before the next read if retained.
 	Data []byte
@@ -180,7 +190,42 @@ const requestHeaderLen = 1 + 8 + 4 + 4 + 8 + 8 + 4 // up to and including nver
 // produces for req, letting a sender validate against its frame limit
 // before touching the wire.
 func EncodedRequestSize(req *Request) int {
-	return requestHeaderLen + 8*len(req.Versions) + 4 + len(req.Data)
+	return requestHeaderLen + 8*len(req.Versions) + 4 + 16*len(req.Sums) + 4 + len(req.Data)
+}
+
+// appendSums encodes a checksum-entry list: count then
+// (version, sum) pairs.
+func appendSums(dst []byte, sums []client.BlockSum) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(sums)))
+	for _, s := range sums {
+		dst = binary.BigEndian.AppendUint64(dst, s.Version)
+		dst = binary.BigEndian.AppendUint64(dst, s.Sum)
+	}
+	return dst
+}
+
+// decodeSums parses a checksum-entry list, returning the entries and
+// the remaining payload. The count is bounds-checked against the
+// payload before allocating, like the version vector.
+func decodeSums(p []byte) ([]client.BlockSum, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("%w: checksum count truncated", ErrMalformed)
+	}
+	nsums := binary.BigEndian.Uint32(p[0:4])
+	p = p[4:]
+	if uint64(nsums)*16 > uint64(len(p)) {
+		return nil, nil, fmt.Errorf("%w: checksums truncated (%d declared, %d bytes left)", ErrMalformed, nsums, len(p))
+	}
+	var sums []client.BlockSum
+	if nsums > 0 {
+		sums = make([]client.BlockSum, nsums)
+		for i := range sums {
+			sums[i].Version = binary.BigEndian.Uint64(p[16*i:])
+			sums[i].Sum = binary.BigEndian.Uint64(p[16*i+8:])
+		}
+		p = p[16*nsums:]
+	}
+	return sums, p, nil
 }
 
 // AppendRequest encodes req after dst and returns the extended slice.
@@ -195,6 +240,7 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	for _, v := range req.Versions {
 		dst = binary.BigEndian.AppendUint64(dst, v)
 	}
+	dst = appendSums(dst, req.Sums)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Data)))
 	return append(dst, req.Data...)
 }
@@ -228,6 +274,11 @@ func DecodeRequest(p []byte) (Request, error) {
 		}
 		p = p[8*nver:]
 	}
+	sums, p, err := decodeSums(p)
+	if err != nil {
+		return req, err
+	}
+	req.Sums = sums
 	if len(p) < 4 {
 		return req, fmt.Errorf("%w: data length truncated", ErrMalformed)
 	}
@@ -261,6 +312,7 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	for _, v := range resp.Versions {
 		dst = binary.BigEndian.AppendUint64(dst, v)
 	}
+	dst = appendSums(dst, resp.Sums)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Data)))
 	return append(dst, resp.Data...)
 }
@@ -306,6 +358,11 @@ func DecodeResponse(p []byte) (Response, error) {
 		}
 		p = p[8*nver:]
 	}
+	sums, p, err := decodeSums(p)
+	if err != nil {
+		return resp, err
+	}
+	resp.Sums = sums
 	if len(p) < 4 {
 		return resp, fmt.Errorf("%w: data length truncated", ErrMalformed)
 	}
@@ -380,6 +437,8 @@ func (s Status) Err(detail string) error {
 		base = client.ErrOverloaded
 	case StatusQuotaExceeded:
 		base = client.ErrQuotaExceeded
+	case StatusCorrupt:
+		base = client.ErrCorrupt
 	default:
 		if detail == "" {
 			detail = "internal node error"
@@ -408,6 +467,8 @@ func StatusOf(err error) Status {
 		return StatusOverloaded
 	case errors.Is(err, client.ErrQuotaExceeded):
 		return StatusQuotaExceeded
+	case errors.Is(err, client.ErrCorrupt):
+		return StatusCorrupt
 	default:
 		return StatusInternal
 	}

@@ -23,6 +23,11 @@ func requestFixtures() []Request {
 		{Op: OpDeleteChunk, ID: client.ChunkID{Stripe: 9, Shard: 0}},
 		{Op: OpHasChunk, ID: client.ChunkID{Stripe: 2, Shard: 3}},
 		{Op: OpWipe},
+		// Cross-checksum metadata: writes distributing BlockSum records.
+		{Op: OpPutChunk, ID: client.ChunkID{Stripe: 4, Shard: 10}, Versions: []uint64{7, 3}, Data: []byte{1, 2},
+			Sums: []client.BlockSum{{Version: 7, Sum: 0xdeadbeefcafef00d}, {Version: 3, Sum: 1}}},
+		{Op: OpCompareAndAdd, ID: client.ChunkID{Stripe: 6, Shard: 13}, Slot: 2, Expect: 3, Next: 4, Data: []byte{5},
+			Sums: []client.BlockSum{{Version: 4, Sum: 42}}},
 	}
 }
 
@@ -36,6 +41,10 @@ func responseFixtures() []Response {
 		{Status: StatusBadRequest, Detail: "version slot 9 of 3"},
 		{Status: StatusInternal, Detail: "disk on fire"},
 		{Status: StatusOK, Versions: []uint64{client.NoVersion}, Data: bytes.Repeat([]byte{7}, 4096)},
+		// Cross-checksum metadata: a read answering with the node's record.
+		{Status: StatusOK, Versions: []uint64{9, 9}, Data: []byte{3},
+			Sums: []client.BlockSum{{Version: 9, Sum: 0x1122334455667788}, {Version: 9, Sum: 0}}},
+		{Status: StatusCorrupt, Detail: "chunk 1/2 quarantined: crc mismatch"},
 	}
 }
 
@@ -217,6 +226,7 @@ func TestStatusErrTaxonomy(t *testing.T) {
 		{StatusBadRequest, client.ErrBadRequest},
 		{StatusOverloaded, client.ErrOverloaded},
 		{StatusQuotaExceeded, client.ErrQuotaExceeded},
+		{StatusCorrupt, client.ErrCorrupt},
 	}
 	for _, c := range cases {
 		if err := c.status.Err("detail"); !errors.Is(err, c.want) {

@@ -67,6 +67,11 @@ func Open(ctx context.Context, opts ...Option) (*ObjectStore, error) {
 			return nil, err
 		}
 		store.heal = heal
+		// Route corruption observations into the health monitor; the
+		// service layer translates shard indices to cluster nodes
+		// through each stripe's placement.
+		mon := heal.mon
+		svc.SetCorruptionHandler(func(node int) { mon.ReportCorrupt(node) })
 	}
 	return store, nil
 }

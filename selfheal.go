@@ -47,6 +47,13 @@ const (
 	// NodeRepairing: the node answers again after being down and the
 	// orchestrator is rebuilding the chunks placed on it.
 	NodeRepairing NodeState = health.Repairing
+	// NodeCorrupt: the node is alive but was observed serving bytes
+	// its peers' cross-checksum records disavow (bit-rot or a lying
+	// node). Probe success never clears it; the orchestrator rebuilds
+	// the node's chunks and the pin lifts only when no further
+	// corruption is observed during the rebuild — a persistently
+	// corrupt node stays pinned here. See DESIGN.md "Verified reads".
+	NodeCorrupt NodeState = health.Corrupt
 )
 
 // NodeTransition is one state-machine edge of one node, delivered to
@@ -251,6 +258,8 @@ func (h *healer) fold(m *Metrics) {
 	m.Suspicions = mc.Suspicions
 	m.DownEvents = mc.DownEvents
 	m.Recoveries = mc.Recoveries
+	m.CorruptReports = mc.CorruptReports
+	m.CorruptEvents = mc.CorruptEvents
 	oc := h.orc.Counters()
 	m.AutoRepairs = oc.Repairs
 	m.AutoRepairFailures = oc.RepairFailures
@@ -263,14 +272,15 @@ func (h *healer) fold(m *Metrics) {
 // Metrics shape (the self-heal counters are folded in separately).
 func metricsFromCore(m core.MetricsSnapshot) Metrics {
 	return Metrics{
-		Writes:       m.Writes,
-		FailedWrites: m.FailedWrites,
-		DirectReads:  m.DirectReads,
-		DecodeReads:  m.DecodeReads,
-		FailedReads:  m.FailedReads,
-		Rollbacks:    m.Rollbacks,
-		Repairs:      m.Repairs,
-		HedgedRPCs:   m.HedgedRPCs,
+		Writes:        m.Writes,
+		FailedWrites:  m.FailedWrites,
+		DirectReads:   m.DirectReads,
+		DecodeReads:   m.DecodeReads,
+		FailedReads:   m.FailedReads,
+		Rollbacks:     m.Rollbacks,
+		Repairs:       m.Repairs,
+		HedgedRPCs:    m.HedgedRPCs,
+		CorruptShards: m.CorruptShards,
 	}
 }
 
@@ -323,5 +333,5 @@ func (t coreTarget) ScrubStripe(ctx context.Context, stripe uint64, down func(in
 		return nil, err
 	}
 	return repairsched.DegradationTasks(stripe, t.sys.Code().N(),
-		rep.StaleShards, rep.UnreachableShards, identityNode, down), nil
+		rep.StaleShards, rep.UnreachableShards, rep.CorruptShards, identityNode, down), nil
 }

@@ -56,6 +56,11 @@ func OpenStore(ctx context.Context, opts ...Option) (*Store, error) {
 			return nil, err
 		}
 		store.heal = heal
+		// Route corruption observations into the health monitor: the
+		// low-level store's placement is the identity, so stripe shard
+		// j is cluster node j.
+		mon := heal.mon
+		sys.SetCorruptionHandler(func(shard int) { mon.ReportCorrupt(shard) })
 	}
 	return store, nil
 }

@@ -327,39 +327,39 @@ func (c *NodeClient) ReadChunk(ctx context.Context, id client.ChunkID) (client.C
 	if err != nil {
 		return client.Chunk{}, err
 	}
-	return client.Chunk{Data: resp.Data, Versions: resp.Versions}, nil
+	return client.Chunk{Data: resp.Data, Versions: resp.Versions, Sums: resp.Sums}, nil
 }
 
 // ReadVersions implements client.NodeClient.
-func (c *NodeClient) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, error) {
+func (c *NodeClient) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, []client.BlockSum, error) {
 	resp, err := c.call(ctx, &wire.Request{Op: wire.OpReadVersions, ID: id})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return resp.Versions, nil
+	return resp.Versions, resp.Sums, nil
 }
 
 // PutChunk implements client.NodeClient.
-func (c *NodeClient) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
-	_, err := c.call(ctx, &wire.Request{Op: wire.OpPutChunk, ID: id, Data: data, Versions: versions})
+func (c *NodeClient) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpPutChunk, ID: id, Data: data, Versions: versions, Sums: sums})
 	return err
 }
 
 // PutChunkIfFresher implements client.NodeClient.
-func (c *NodeClient) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64) error {
-	_, err := c.call(ctx, &wire.Request{Op: wire.OpPutChunkIfFresher, ID: id, Data: data, Versions: versions})
+func (c *NodeClient) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpPutChunkIfFresher, ID: id, Data: data, Versions: versions, Sums: sums})
 	return err
 }
 
 // CompareAndPut implements client.NodeClient.
-func (c *NodeClient) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte) error {
-	_, err := c.call(ctx, &wire.Request{Op: wire.OpCompareAndPut, ID: id, Slot: slot, Expect: expect, Next: next, Data: data})
+func (c *NodeClient) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte, sum ...client.BlockSum) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpCompareAndPut, ID: id, Slot: slot, Expect: expect, Next: next, Data: data, Sums: sum})
 	return err
 }
 
 // CompareAndAdd implements client.NodeClient.
-func (c *NodeClient) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte) error {
-	_, err := c.call(ctx, &wire.Request{Op: wire.OpCompareAndAdd, ID: id, Slot: slot, Expect: expect, Next: next, Data: delta})
+func (c *NodeClient) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte, sum ...client.BlockSum) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpCompareAndAdd, ID: id, Slot: slot, Expect: expect, Next: next, Data: delta, Sums: sum})
 	return err
 }
 

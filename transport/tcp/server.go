@@ -249,21 +249,21 @@ func (s *NodeServer) handle(req *wire.Request) wire.Response {
 		if err != nil {
 			return errResponse(err)
 		}
-		return wire.Response{Status: wire.StatusOK, Data: chunk.Data, Versions: chunk.Versions}
+		return wire.Response{Status: wire.StatusOK, Data: chunk.Data, Versions: chunk.Versions, Sums: chunk.Sums}
 	case wire.OpReadVersions:
-		versions, err := s.svc.ReadVersions(ctx, req.ID)
+		versions, sums, err := s.svc.ReadVersions(ctx, req.ID)
 		if err != nil {
 			return errResponse(err)
 		}
-		return wire.Response{Status: wire.StatusOK, Versions: versions}
+		return wire.Response{Status: wire.StatusOK, Versions: versions, Sums: sums}
 	case wire.OpPutChunk:
-		return errResponse(s.svc.PutChunk(ctx, req.ID, req.Data, req.Versions))
+		return errResponse(s.svc.PutChunk(ctx, req.ID, req.Data, req.Versions, req.Sums...))
 	case wire.OpPutChunkIfFresher:
-		return errResponse(s.svc.PutChunkIfFresher(ctx, req.ID, req.Data, req.Versions))
+		return errResponse(s.svc.PutChunkIfFresher(ctx, req.ID, req.Data, req.Versions, req.Sums...))
 	case wire.OpCompareAndPut:
-		return errResponse(s.svc.CompareAndPut(ctx, req.ID, req.Slot, req.Expect, req.Next, req.Data))
+		return errResponse(s.svc.CompareAndPut(ctx, req.ID, req.Slot, req.Expect, req.Next, req.Data, req.Sums...))
 	case wire.OpCompareAndAdd:
-		return errResponse(s.svc.CompareAndAdd(ctx, req.ID, req.Slot, req.Expect, req.Next, req.Data))
+		return errResponse(s.svc.CompareAndAdd(ctx, req.ID, req.Slot, req.Expect, req.Next, req.Data, req.Sums...))
 	case wire.OpDeleteChunk:
 		return errResponse(s.svc.DeleteChunk(ctx, req.ID))
 	case wire.OpHasChunk:

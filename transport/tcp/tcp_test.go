@@ -49,7 +49,7 @@ func TestAllOpsRoundTrip(t *testing.T) {
 	if got.Data[0] != 0xf0 || len(got.Versions) != 2 {
 		t.Fatalf("chunk = %+v", got)
 	}
-	vers, err := cl.ReadVersions(ctx, id)
+	vers, _, err := cl.ReadVersions(ctx, id)
 	if err != nil || len(vers) != 2 || vers[0] != 1 {
 		t.Fatalf("versions = %v, %v", vers, err)
 	}

@@ -89,6 +89,14 @@ var (
 	// the gateway tier's per-tenant quotas). The mutation was not
 	// applied. Carried by both wire codecs as a dedicated status.
 	ErrQuotaExceeded = client.ErrQuotaExceeded
+	// ErrCorrupt reports shard content that failed cross-checksum
+	// verification. Reads never return it while k clean shards remain
+	// — corrupt shards are discarded and the block re-decoded from
+	// survivors — so seeing it from a read means corruption exceeded
+	// the code's tolerance. Node engines also return it for chunks
+	// whose on-disk CRC failed (quarantined files). Carried by both
+	// wire codecs as a dedicated status.
+	ErrCorrupt = client.ErrCorrupt
 )
 
 // ErrNotSupported reports an operation the configured backend cannot
@@ -137,6 +145,12 @@ type Metrics struct {
 	Repairs int64
 	// HedgedRPCs counts read-path RPCs re-issued by hedging.
 	HedgedRPCs int64
+	// CorruptShards counts shard-level corruption observations made by
+	// the verified read, repair and scrub paths: chunks whose bytes
+	// disagree with the cross-checksum record majority, and nodes
+	// answering ErrCorrupt. One shard caught by several paths counts
+	// once per observation.
+	CorruptShards int64
 
 	// Probes counts liveness probes issued by the health monitor.
 	Probes int64
@@ -149,6 +163,12 @@ type Metrics struct {
 	// Recoveries counts repairing→up transitions — nodes restored to
 	// full redundancy by the orchestrator.
 	Recoveries int64
+	// CorruptReports counts corruption observations delivered to the
+	// health monitor (per-node counts are in NodeHealth).
+	CorruptReports int64
+	// CorruptEvents counts transitions into the corrupt state,
+	// re-arms of a still-corrupt node included.
+	CorruptEvents int64
 
 	// AutoRepairs counts chunk repairs executed by the self-heal
 	// orchestrator that succeeded.
