@@ -87,7 +87,8 @@ func (m CorruptionMode) String() string {
 // — one goroutine actor each — with optional injected per-operation
 // latency. It is the default backend and implements FaultInjector.
 type SimBackend struct {
-	delay sim.DelayFunc
+	delay     sim.DelayFunc
+	chaosSeed int64
 
 	mu      sync.Mutex
 	cluster *sim.Cluster
@@ -115,11 +116,18 @@ func WithUniformNodeDelay(min, max time.Duration, seed int64) SimOption {
 	return func(b *SimBackend) { b.delay = sim.UniformDelay(min, max, seed) }
 }
 
+// WithChaosSeed sets the seed behind the probabilistic link faults
+// (SetLinkLoss and friends) so chaos runs replay identically. The
+// default is 1.
+func WithChaosSeed(seed int64) SimOption {
+	return func(b *SimBackend) { b.chaosSeed = seed }
+}
+
 // NewSimBackend builds the in-process simulated cluster backend. The
 // cluster itself is started by Open with the node count the store
 // derives from its configuration.
 func NewSimBackend(opts ...SimOption) *SimBackend {
-	b := &SimBackend{}
+	b := &SimBackend{chaosSeed: 1}
 	for _, opt := range opts {
 		opt(b)
 	}
@@ -189,9 +197,12 @@ func (b *SimBackend) Wipe(ctx context.Context, node int) error {
 	return b.live().Node(node).Wipe(ctx)
 }
 
-// ProbeNode implements NodeProber for the self-healing monitor: a
-// crashed node reports client.ErrNodeDown, an up node reports nil —
-// the simulator's equivalent of the network plane's per-node ping.
+// ProbeNode implements NodeProber for the self-healing monitor: the
+// simulator's equivalent of the network plane's per-node ping. The
+// probe crosses the node's full admission gate — crash state, link
+// faults, injected latency — so a partitioned or stalled link is as
+// visible to the health monitor as a crashed node, and a straggler's
+// probes take as long as its real operations.
 func (b *SimBackend) ProbeNode(ctx context.Context, node int) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -205,11 +216,43 @@ func (b *SimBackend) ProbeNode(ctx context.Context, node int) error {
 	if node < 0 || node >= cluster.Size() {
 		return fmt.Errorf("trapquorum: probe of node %d outside [0,%d)", node, cluster.Size())
 	}
-	if cluster.Node(node).Down() {
-		return fmt.Errorf("node %d: %w", node, sim.ErrNodeDown)
+	if err := cluster.Node(node).Probe(ctx); err != nil {
+		return fmt.Errorf("node %d: %w", node, err)
 	}
 	return nil
 }
+
+// SetLinkFault installs the full link-fault model on the network path
+// to cluster node `node` (the zero fault heals it) — the simulator's
+// mirror of internal/chaosnet, so in-memory and TCP chaos suites share
+// one fault vocabulary. Deterministic under WithChaosSeed.
+func (b *SimBackend) SetLinkFault(node int, f sim.LinkFault) {
+	b.live().SetLinkFault(node, f, b.chaosSeed+int64(node)*7919)
+}
+
+// SetLinkLoss makes the link to node `node` lose the given fraction of
+// requests in transit (0 heals): lost requests hang the caller until
+// its deadline and never reach the node — a lossy path, not a crashed
+// node. The node itself stays perfectly healthy.
+func (b *SimBackend) SetLinkLoss(node int, p float64) {
+	b.SetLinkFault(node, sim.LinkFault{ReqLoss: p})
+}
+
+// PartitionNodes cuts the links to the given nodes the loud way:
+// every operation and probe against them fails immediately with
+// client.ErrNodeDown (connection refused) while the nodes themselves
+// keep their data and never notice. Heal with HealLinks. For the
+// silent partition that hangs callers instead, use
+// SetLinkFault(node, sim.LinkFault{ReqLoss: 1}).
+func (b *SimBackend) PartitionNodes(nodes ...int) {
+	for _, n := range nodes {
+		b.SetLinkFault(n, sim.LinkFault{Refuse: true})
+	}
+}
+
+// HealLinks removes every link fault; nodes are reachable again with
+// whatever state they accumulated while cut off.
+func (b *SimBackend) HealLinks() { b.live().HealAllLinks() }
 
 // CorruptShard damages the stored chunk id on cluster node `node`
 // according to mode, through the node engine's fault-injection hooks:

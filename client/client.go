@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Transport-level errors. Backends must return these (or errors
@@ -93,6 +94,75 @@ func (c Chunk) Clone() Chunk {
 		Versions: append([]uint64(nil), c.Versions...),
 		Sums:     append([]BlockSum(nil), c.Sums...),
 	}
+}
+
+// BreakerState is the circuit-breaker state of one node link, for
+// transports that run a per-node breaker (see transport/tcp).
+type BreakerState uint8
+
+const (
+	// BreakerClosed: the link is healthy; requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the link tripped; requests fast-fail without
+	// touching the network until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; a limited number of
+	// probe requests are admitted to test the node.
+	BreakerHalfOpen
+)
+
+// String names the state for logs and dashboards.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breaker(%d)", uint8(s))
+	}
+}
+
+// LinkHealth is the client-observed health of one node link: breaker
+// state, smoothed latency, and the resilience counters that explain
+// why the breaker is where it is. Transports without a resilience
+// layer report the zero value (closed breaker, no samples).
+type LinkHealth struct {
+	// Node is the cluster node index.
+	Node int
+	// Addr is the node's dial address ("" for in-process backends).
+	Addr string
+	// Breaker is the link's circuit-breaker state.
+	Breaker BreakerState
+	// EWMA is the exponentially weighted moving average of successful
+	// round-trip latency on the link; 0 until the first sample.
+	EWMA time.Duration
+	// BreakerOpens counts closed→open transitions.
+	BreakerOpens int64
+	// FastFails counts requests rejected locally by an open breaker.
+	FastFails int64
+	// Retries counts transport-level retries spent on the link.
+	Retries int64
+}
+
+// ResilienceStats aggregates a backend's resilience counters across
+// all node links.
+type ResilienceStats struct {
+	// Enabled reports whether a resilience policy is active.
+	Enabled bool
+	// BreakerOpens counts closed→open transitions across all links.
+	BreakerOpens int64
+	// BreakerFastFails counts requests rejected by open breakers.
+	BreakerFastFails int64
+	// TransportRetries counts budgeted transport retries.
+	TransportRetries int64
+	// RetryBudgetSpent counts tokens withdrawn from the retry budget.
+	RetryBudgetSpent int64
+	// RetryBudgetDenied counts retries refused because the budget was
+	// exhausted.
+	RetryBudgetDenied int64
 }
 
 // NodeClient is the per-node RPC surface the protocol uses. The

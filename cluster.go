@@ -31,8 +31,16 @@ func (h *clusterHandle) Close() error {
 // Health returns the self-healing subsystem's snapshot: per-node
 // liveness state, the repair backlog and the anti-entropy scrub
 // position. On a store opened without WithSelfHeal it returns the
-// zero report (Enabled false).
-func (h *clusterHandle) Health() HealthReport { return h.heal.report() }
+// zero report (Enabled false) — except Links, which the transport's
+// resilience layer populates with or without a monitor when the
+// backend implements LinkReporter.
+func (h *clusterHandle) Health() HealthReport {
+	r := h.heal.report()
+	if lr, ok := h.backend.(LinkReporter); ok {
+		r.Links = lr.LinkHealth()
+	}
+	return r
+}
 
 // CodeParams returns the (n, k) MDS code parameters.
 func (h *clusterHandle) CodeParams() (n, k int) { return h.n, h.k }

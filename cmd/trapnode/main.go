@@ -38,6 +38,7 @@ type config struct {
 	dir          string
 	noFsync      bool
 	scanInterval time.Duration
+	ioTimeout    time.Duration
 }
 
 func main() {
@@ -47,6 +48,8 @@ func main() {
 	flag.BoolVar(&cfg.noFsync, "no-fsync", false, "skip fsync on mutations (faster, loses crash durability)")
 	flag.DurationVar(&cfg.scanInterval, "scan-interval", 0,
 		"periodic at-rest scan of the durable store: chunk files failing their CRC are quarantined so the cluster's scrub finds cold bit-rot without a client read (0 disables; needs -dir)")
+	flag.DurationVar(&cfg.ioTimeout, "io-timeout", 30*time.Second,
+		"per-connection IO deadline: a peer that starts a request frame or stalls reading a response gets this long to make progress before the connection is cut (slow-loris guard; 0 disables)")
 	flag.Parse()
 
 	stop := make(chan struct{})
@@ -99,7 +102,7 @@ func run(cfg config, stop <-chan struct{}, started func(net.Addr)) error {
 	if err != nil {
 		return err
 	}
-	srv := tcp.NewServer(engine)
+	srv := tcp.NewServer(engine, tcp.WithServerIOTimeout(cfg.ioTimeout))
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	log.Printf("trapnode: serving on %s (%s)", ln.Addr(), desc)

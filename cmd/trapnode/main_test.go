@@ -95,6 +95,57 @@ func TestDaemonDurableAcrossRestart(t *testing.T) {
 	}
 }
 
+// TestDaemonIOTimeoutCutsStalledPeer wires -io-timeout end to end: a
+// peer that opens a frame and then stalls must be disconnected by the
+// daemon on its own clock, while a well-behaved client keeps working.
+func TestDaemonIOTimeoutCutsStalledPeer(t *testing.T) {
+	stop := make(chan struct{})
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	cfg := config{addr: "127.0.0.1:0", ioTimeout: 150 * time.Millisecond}
+	go func() { done <- run(cfg, stop, func(a net.Addr) { addrCh <- a }) }()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	defer func() {
+		close(stop)
+		if err := <-done; err != nil {
+			t.Errorf("daemon shutdown: %v", err)
+		}
+	}()
+
+	// Slow-loris: two header bytes, then silence.
+	raw, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatal("daemon answered a half frame")
+	} else if time.Since(start) > 3*time.Second {
+		t.Fatalf("daemon did not cut the stalled peer (err=%v after %v)", err, time.Since(start))
+	}
+
+	// The stalled peer must not have taken the daemon down for others.
+	cl := tcp.NewClient(addr.String())
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatalf("ping after stalled peer was cut: %v", err)
+	}
+}
+
 func TestDaemonRejectsBadDir(t *testing.T) {
 	// A file where the directory should be.
 	path := filepath.Join(t.TempDir(), "notadir")

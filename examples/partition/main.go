@@ -1,0 +1,223 @@
+// Partition: what the store does when the NETWORK fails, not the
+// node. This example boots a 15-node TCP fleet in-process, routes the
+// link to node 3 (a trapezoid-minority node) through the chaos engine
+// (internal/chaosnet — the same engine tools/chaosproxy runs from the
+// command line), and walks the full triage ladder under a foreground
+// read workload:
+//
+//	healthy  →  brownout (link slow: latency EWMA over threshold)
+//	         →  down     (link partitioned: breaker opens, prober confirms)
+//	         →  healed   (link restored: breaker closes, scrubs come back clean)
+//
+// The node process is healthy the whole time — only its network path
+// is damaged — and the workload never sees an error: the quorum reads
+// decode around the dark node, the circuit breaker stops the client
+// burning RPCs on it, and the health monitor tells the operator
+// whether this is a slow link (brownout) or a dead one (down).
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"trapquorum"
+	"trapquorum/internal/chaosnet"
+	"trapquorum/internal/memstore"
+	"trapquorum/internal/nodeengine"
+	"trapquorum/transport/tcp"
+)
+
+// node is one in-process "daemon": store, engine, TCP server.
+type node struct {
+	addr   string
+	engine *nodeengine.Engine
+	srv    *tcp.NodeServer
+}
+
+func (n *node) start() error {
+	n.engine = nodeengine.New(memstore.New(), nodeengine.WithName("node@"+n.addr))
+	n.srv = tcp.NewServer(n.engine)
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		return err
+	}
+	n.addr = ln.Addr().String()
+	go n.srv.Serve(ln)
+	return nil
+}
+
+func (n *node) stop() {
+	n.srv.Close()
+	n.engine.Close()
+}
+
+// waitState polls the health report until node 3 reaches the wanted
+// state.
+func waitState(store *trapquorum.ObjectStore, want trapquorum.NodeState) {
+	deadline := time.Now().Add(60 * time.Second)
+	for store.Health().Nodes[3].State != want {
+		if time.Now().After(deadline) {
+			log.Fatalf("node 3 never reached state %v (now %v)", want, store.Health().Nodes[3].State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func main() {
+	ctx := context.Background()
+
+	// Boot the fleet on loopback, then slide the chaos proxy in front
+	// of node 3 only: every byte between the client and that one node
+	// crosses the fault engine, all other links stay clean. Node 3 and
+	// node 13 form a trapezoid minority — losing this link must not
+	// cost a single operation.
+	nodes := make([]*node, 15)
+	addrs := make([]string, 15)
+	for i := range nodes {
+		nodes[i] = &node{addr: "127.0.0.1:0"}
+		if err := nodes[i].start(); err != nil {
+			log.Fatal(err)
+		}
+		addrs[i] = nodes[i].addr
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.stop()
+		}
+	}()
+	link := chaosnet.NewLink(42)
+	proxy, err := chaosnet.NewProxy("127.0.0.1:0", addrs[3], link)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxy.Close()
+	addrs[3] = proxy.Addr()
+	fmt.Println("fleet up: 15 nodes on loopback, the link to node 3 routed through the chaos engine")
+
+	// The client: resilience policy on the transport (breakers, retry
+	// budget, attempt timeouts) and a self-heal monitor with a brownout
+	// threshold — a link whose smoothed round trip exceeds 40ms is
+	// flagged degraded before it is anywhere near dead.
+	res := tcp.DefaultResilience()
+	res.FailureThreshold = 2
+	res.OpenTimeout = 100 * time.Millisecond
+	res.AttemptTimeout = 500 * time.Millisecond
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithBackend(trapquorum.NewNetBackend(addrs,
+			tcp.WithDialTimeout(2*time.Second), tcp.WithResilience(res))),
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBlockSize(4096),
+		trapquorum.WithSelfHeal(trapquorum.SelfHeal{
+			ProbeInterval:      25 * time.Millisecond,
+			ProbeTimeout:       2 * time.Second, // above the browned-out RTT, so slow ≠ dead
+			SuspicionThreshold: 3,
+			ScrubInterval:      100 * time.Millisecond,
+			BrownoutLatency:    40 * time.Millisecond,
+			OnTransition: func(tr trapquorum.NodeTransition) {
+				fmt.Printf("  health: %s\n", tr)
+			},
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	payload := bytes.Repeat([]byte("survive the network. "), 2048) // 42 KiB
+	if err := store.Put(ctx, "disk.img", payload); err != nil {
+		log.Fatal(err)
+	}
+
+	// Foreground workload: keep reading the object for the whole
+	// drill and count every caller-visible error. The ladder below
+	// must leave this counter at zero.
+	var reads, readErrs atomic.Int64
+	workDone := make(chan struct{})
+	stopWork := make(chan struct{})
+	go func() {
+		defer close(workDone)
+		for {
+			select {
+			case <-stopWork:
+				return
+			default:
+			}
+			rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			got, err := store.Get(rctx, "disk.img")
+			cancel()
+			reads.Add(1)
+			if err != nil || !bytes.Equal(got, payload) {
+				readErrs.Add(1)
+			}
+		}
+	}()
+
+	// Rung 1 — brownout. The link is alive but slow: 60ms each way.
+	// Probes still succeed, so the node is NOT down; the latency EWMA
+	// crosses the 40ms threshold and the monitor flags the link
+	// degraded. This is the "check the switch, not the server" signal.
+	slow := chaosnet.Faults{Delay: 60 * time.Millisecond}
+	link.SetFaults(slow, slow)
+	fmt.Println("\nlink to node 3 degraded: +60ms each way")
+	waitState(store, trapquorum.NodeBrownout)
+	fmt.Printf("monitor: node 3 browned out (link EWMA %v over the 40ms threshold)\n",
+		store.Health().Links[3].EWMA.Round(time.Millisecond))
+
+	// Rung 2 — partition. The link is cut outright: dials refused,
+	// open connections reset. The node process is still running; the
+	// client cannot know the difference, and does not need to — the
+	// breaker opens, the prober walks the node to down, reads decode
+	// around it.
+	link.Partition()
+	fmt.Println("\nlink to node 3 partitioned: dials refused, connections reset")
+	waitState(store, trapquorum.NodeDown)
+	h := store.Health()
+	fmt.Printf("monitor: node 3 down; breaker %s after %d open(s), %d fast-fail(s)\n",
+		h.Links[3].Breaker, h.Links[3].BreakerOpens, h.Links[3].FastFails)
+
+	// Rung 3 — heal. Restore the link and the system converges on its
+	// own: a breaker probe gets through, the prober sees answers, the
+	// monitor walks the node back up, and the scrubber repairs any
+	// writes the node missed while dark.
+	link.Heal()
+	fmt.Println("\nlink to node 3 healed")
+	waitState(store, trapquorum.NodeUp)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		reports, err := store.Scrub(ctx, "disk.img")
+		if err != nil {
+			log.Fatal(err)
+		}
+		healthy := 0
+		for _, r := range reports {
+			if r.Healthy {
+				healthy++
+			}
+		}
+		if healthy == len(reports) {
+			fmt.Printf("scrub: %d/%d stripes healthy after the partition\n", healthy, len(reports))
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("scrub: only %d/%d stripes healthy", healthy, len(reports))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	close(stopWork)
+	<-workDone
+	m := store.Metrics()
+	fmt.Printf("\nworkload: %d reads, %d errors — the partition cost the callers nothing\n",
+		reads.Load(), readErrs.Load())
+	fmt.Printf("resilience: %d brownout(s), %d down event(s), %d breaker open(s), %d fast-fail(s), %d budgeted retr(ies)\n",
+		m.Brownouts, m.DownEvents, m.BreakerOpens, m.BreakerFastFails, m.TransportRetries)
+	if readErrs.Load() > 0 {
+		log.Fatal("the workload saw errors; the minority link loss should have been invisible")
+	}
+}

@@ -1,0 +1,269 @@
+package chaosnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipePair wraps the two ends of a net.Pipe in one link: cli is the
+// client side (writes Up, reads Down), srv stays raw so tests can
+// play the node.
+func pipePair(t *testing.T, link *Link) (cli *Conn, srv net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	c := link.WrapConn(a, ClientSide)
+	if c == nil {
+		t.Fatal("link refused the pipe connection")
+	}
+	t.Cleanup(func() { c.Close(); b.Close() })
+	return c, b
+}
+
+func TestCleanLinkPassesBytes(t *testing.T) {
+	cli, srv := pipePair(t, NewLink(1))
+	go srv.Write([]byte("hello"))
+	buf := make([]byte, 16)
+	n, err := cli.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := make([]byte, 5)
+		if _, err := io.ReadFull(srv, got); err != nil || string(got) != "world" {
+			t.Errorf("server read = %q, %v", got, err)
+		}
+	}()
+	if _, err := cli.Write([]byte("world")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	<-done
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	// The same seed must produce the same per-burst fault decisions
+	// for the same burst sequence.
+	run := func(seed int64) []int {
+		link := NewLink(seed)
+		link.SetFaults(Faults{DropProb: 0.4, ResetProb: 0.2}, Faults{})
+		e := link.admit()
+		if e == nil {
+			t.Fatal("admit refused")
+		}
+		f := link.newFlow(Up, e)
+		acts := make([]int, 0, 64)
+		for i := 0; i < 64; i++ {
+			_, _, action := f.plan(128)
+			acts = append(acts, action)
+			if action == actReset {
+				break
+			}
+		}
+		return acts
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("burst %d: action %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResetAfterTearsMidBurst(t *testing.T) {
+	// ResetAfter=4 on Down: the client receives exactly 4 bytes of a
+	// 10-byte frame, then the connection dies — the torn-frame case.
+	link := NewLink(7)
+	link.SetFaults(Faults{}, Faults{ResetAfter: 4})
+	cli, srv := pipePair(t, link)
+	go srv.Write([]byte("0123456789"))
+	buf := make([]byte, 64)
+	n, err := cli.Read(buf)
+	if err != nil || n != 4 || !bytes.Equal(buf[:n], []byte("0123")) {
+		t.Fatalf("first read = %q, %v (want 4 bytes)", buf[:n], err)
+	}
+	if _, err := cli.Read(buf); !errors.Is(err, ErrLinkClosed) {
+		t.Fatalf("second read err = %v, want ErrLinkClosed", err)
+	}
+}
+
+func TestDropStallsStream(t *testing.T) {
+	// DropProb=1 swallows the burst silently: the reader hangs until
+	// its own deadline, exactly like a stalled TCP stream.
+	link := NewLink(3)
+	link.SetFaults(Faults{}, Faults{DropProb: 1})
+	cli, srv := pipePair(t, link)
+	go srv.Write([]byte("vanishes"))
+	cli.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	if _, err := cli.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read err = %v, want deadline exceeded", err)
+	}
+	if s := link.Stats(); s.DroppedBursts == 0 {
+		t.Fatal("expected dropped bursts in stats")
+	}
+}
+
+func TestBlackholeSwallowsWrites(t *testing.T) {
+	link := NewLink(3)
+	link.Blackhole()
+	cli, srv := pipePair(t, link)
+	// The write "succeeds" — the bytes died in the network, which the
+	// sender cannot observe.
+	if n, err := cli.Write([]byte("into the void")); err != nil || n != 13 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	if _, err := srv.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("server read err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestDelayPacesBursts(t *testing.T) {
+	link := NewLink(3)
+	link.SetFaults(Faults{}, Faults{Delay: 30 * time.Millisecond})
+	cli, srv := pipePair(t, link)
+	go srv.Write([]byte("late"))
+	start := time.Now()
+	buf := make([]byte, 16)
+	if _, err := cli.Read(buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("read returned after %v, want >= ~30ms", d)
+	}
+}
+
+func TestHealRestoresNewTraffic(t *testing.T) {
+	link := NewLink(9)
+	link.Blackhole()
+	link.Heal()
+	cli, srv := pipePair(t, link)
+	go srv.Write([]byte("ok"))
+	buf := make([]byte, 4)
+	if n, err := cli.Read(buf); err != nil || string(buf[:n]) != "ok" {
+		t.Fatalf("read after heal = %q, %v", buf[:n], err)
+	}
+}
+
+func TestPartitionRefusesAndCutsConns(t *testing.T) {
+	link := NewLink(5)
+	cli, _ := pipePair(t, link)
+	link.Partition()
+	// The open connection was reset.
+	buf := make([]byte, 4)
+	if _, err := cli.Read(buf); err == nil {
+		t.Fatal("read on partitioned conn should fail")
+	}
+	// New connections are refused.
+	a, b := net.Pipe()
+	defer b.Close()
+	if c := link.WrapConn(a, ClientSide); c != nil {
+		t.Fatal("partitioned link admitted a new conn")
+	}
+	if s := link.Stats(); s.RefusedDials == 0 {
+		t.Fatal("expected refused dials in stats")
+	}
+}
+
+// startEcho runs a raw TCP echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestProxyPassesTrafficAndInjectsFaults(t *testing.T) {
+	link := NewLink(11)
+	proxy, err := NewProxy("127.0.0.1:0", startEcho(t), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Clean pass-through.
+	c, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("echo = %q, %v", buf[:n], err)
+	}
+
+	// Blackhole the link: the open connection starves.
+	link.Blackhole()
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read err = %v, want deadline exceeded", err)
+	}
+
+	// Heal: a fresh connection is clean again.
+	link.Heal()
+	c2, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err = c2.Read(buf)
+	if err != nil || string(buf[:n]) != "back" {
+		t.Fatalf("healed echo = %q, %v", buf[:n], err)
+	}
+}
+
+func TestProxyPartitionKillsDialsFast(t *testing.T) {
+	link := NewLink(13)
+	proxy, err := NewProxy("127.0.0.1:0", startEcho(t), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	link.Partition()
+
+	// The dial itself succeeds (the proxy accepts the TCP handshake)
+	// but the connection dies immediately — no hang.
+	c, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		return // full refusal also acceptable
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("partitioned dial read err = %v, want immediate close", err)
+	}
+}

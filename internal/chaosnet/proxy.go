@@ -1,0 +1,145 @@
+package chaosnet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is an in-process TCP proxy that puts a chaos Link between a
+// client and one node: the client dials the proxy's address, the
+// proxy dials the real node, and every byte pumped between them
+// crosses the link's fault engine. Tests park one proxy in front of
+// each trapnode; tools/chaosproxy runs the same thing from the
+// command line for fire drills against a live fleet.
+type Proxy struct {
+	link   *Link
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// proxyDialTimeout bounds the proxy's own dial to the target.
+const proxyDialTimeout = 10 * time.Second
+
+// NewProxy listens on listenAddr (use "127.0.0.1:0" for an ephemeral
+// port) and forwards each admitted connection to target through the
+// link.
+func NewProxy(listenAddr, target string, link *Link) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{link: link, target: target, ln: ln}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the node.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Link exposes the proxy's fault engine.
+func (p *Proxy) Link() *Link { return p.link }
+
+// Close stops accepting, tears down every proxied connection, and
+// waits for the pumps to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.link.CutConns()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+// handle admits the connection, dials the target, and runs one pump
+// per direction until either side dies or the link tears the pair
+// down.
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	upstream, err := net.DialTimeout("tcp", p.target, proxyDialTimeout)
+	if err != nil {
+		client.Close()
+		return
+	}
+	entry := p.link.admit(client, upstream)
+	if entry == nil {
+		// Refused: the client sees its connection die right after the
+		// handshake, the loopback stand-in for a refused SYN.
+		client.Close()
+		upstream.Close()
+		return
+	}
+	up := p.link.newFlow(Up, entry)
+	down := p.link.newFlow(Down, entry)
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() {
+		defer pumps.Done()
+		p.pump(upstream, client, up, entry)
+	}()
+	go func() {
+		defer pumps.Done()
+		p.pump(client, upstream, down, entry)
+	}()
+	pumps.Wait()
+	p.link.release(entry)
+}
+
+// pump moves bytes src→dst through one direction's fault engine.
+// Bursts are whatever Read returns (the 32 KiB buffer keeps them
+// sub-frame, so mid-frame faults like ResetAfter land where they
+// should). Any terminal event tears down both sides so the peer pump
+// unblocks.
+func (p *Proxy) pump(dst, src net.Conn, f *flow, entry *connEntry) {
+	defer entry.close()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			sleep, deliver, action := f.plan(n)
+			if !f.wait(sleep) {
+				return
+			}
+			switch action {
+			case actSwallow:
+				// Bytes died in transit; keep reading so the sender
+				// doesn't see an error — it just never gets an answer.
+			case actReset:
+				return
+			case actDeliverReset:
+				_, _ = dst.Write(buf[:deliver])
+				return
+			default:
+				if _, werr := dst.Write(buf[:deliver]); werr != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -160,6 +160,16 @@ type Options struct {
 	// Hedge enables tail-latency hedging of read-path RPCs; the zero
 	// value disables it. See HedgeConfig.
 	Hedge HedgeConfig
+	// NodeGate, when non-nil, is consulted before every RPC to node
+	// j (by slice index): false fails the RPC locally with ErrNodeDown
+	// instead of touching the transport. Backends with per-node
+	// circuit breakers plug their breaker state in here, so fan-out
+	// and hedging stop burning RPCs — and hedge slots — on nodes known
+	// to be bad: a gated node fails before any hedge timer fires, so
+	// it is never a useful hedge target, and the quorum engine decodes
+	// around it exactly like a fail-stopped node. Must be fast and
+	// safe for concurrent use.
+	NodeGate func(node int) bool
 }
 
 type stripeInfo struct {
@@ -228,6 +238,14 @@ func NewSystem(code *erasure.Code, cfg trapezoid.Config, nodes []NodeClient, opt
 		opts:    opts,
 		stripes: make(map[uint64]stripeInfo),
 		locks:   make(map[blockKey]*sync.Mutex),
+	}
+	if opts.NodeGate != nil {
+		// Wrap every node so the gate covers each RPC the engine can
+		// issue — fan-out, hedging, repair, scrub — without call-site
+		// changes.
+		for j := range s.nodes {
+			s.nodes[j] = &gatedNode{NodeClient: s.nodes[j], node: j, gate: opts.NodeGate}
+		}
 	}
 	s.hedge = newHedger(opts.Hedge, &s.metrics.HedgedRPCs)
 	return s, nil

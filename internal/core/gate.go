@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"trapquorum/client"
+)
+
+// gatedNode wraps one node client behind Options.NodeGate: when the
+// gate reports the node unusable (typically: its circuit breaker is
+// open), every operation fails locally with ErrNodeDown before the
+// transport is touched. The instant local failure is what keeps the
+// hedging engine honest — a gated node errors before any hedge timer
+// fires, so hedges are never launched because of it and it is never
+// picked as a hedge target.
+type gatedNode struct {
+	NodeClient
+	node int
+	gate func(node int) bool
+}
+
+// check consults the gate once per operation.
+func (g *gatedNode) check() error {
+	if g.gate(g.node) {
+		return nil
+	}
+	return fmt.Errorf("%w: node %d: circuit open", client.ErrNodeDown, g.node)
+}
+
+func (g *gatedNode) ReadChunk(ctx context.Context, id client.ChunkID) (client.Chunk, error) {
+	if err := g.check(); err != nil {
+		return client.Chunk{}, err
+	}
+	return g.NodeClient.ReadChunk(ctx, id)
+}
+
+func (g *gatedNode) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, []client.BlockSum, error) {
+	if err := g.check(); err != nil {
+		return nil, nil, err
+	}
+	return g.NodeClient.ReadVersions(ctx, id)
+}
+
+func (g *gatedNode) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.NodeClient.PutChunk(ctx, id, data, versions, sums...)
+}
+
+func (g *gatedNode) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.NodeClient.PutChunkIfFresher(ctx, id, data, versions, sums...)
+}
+
+func (g *gatedNode) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte, sum ...client.BlockSum) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.NodeClient.CompareAndPut(ctx, id, slot, expect, next, data, sum...)
+}
+
+func (g *gatedNode) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte, sum ...client.BlockSum) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.NodeClient.CompareAndAdd(ctx, id, slot, expect, next, delta, sum...)
+}
+
+func (g *gatedNode) DeleteChunk(ctx context.Context, id client.ChunkID) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.NodeClient.DeleteChunk(ctx, id)
+}

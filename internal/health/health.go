@@ -28,6 +28,14 @@
 //     orchestrator rebuilds every chunk the placement assigns to the
 //     node; when the plan completes the node returns to Up.
 //
+// A node can also sit in two alive-but-wrong states: Corrupt (it
+// answers probes while serving disavowed bytes — see ReportCorrupt)
+// and Brownout (it answers probes slowly — degraded, not down; see
+// Config.BrownoutLatency). Brownout distinguishes a congested link or
+// dying disk from a dead node: no repair is planned, the node stays a
+// full quorum member, and the state clears itself once latency
+// recovers.
+//
 // The monitor is transport-agnostic: it probes through a ProbeFunc,
 // which the public layer binds to the backend's cheapest liveness
 // check (a TCP ping on the network plane, the fail-stop flag on the
@@ -69,6 +77,14 @@ const (
 	// the CorruptQuiet dwell, so a persistently corrupt node stays
 	// pinned here instead of flapping between plans.
 	Corrupt
+	// Brownout: the node answers probes but slowly — its smoothed
+	// latency exceeds Config.BrownoutLatency. Degraded, not down: it
+	// still counts as a full member and no repair is planned; the
+	// signal is for operators (a link is congested, a disk is dying)
+	// and for hedging-aware callers. Cleared with hysteresis once the
+	// latency falls back below half the threshold; probe *failures*
+	// move a Brownout node down the Suspect→Down path like an Up node.
+	Brownout
 )
 
 // String renders the state for logs and operator output.
@@ -84,6 +100,8 @@ func (s State) String() string {
 		return "repairing"
 	case Corrupt:
 		return "corrupt"
+	case Brownout:
+		return "brownout"
 	default:
 		return fmt.Sprintf("state(%d)", uint8(s))
 	}
@@ -131,6 +149,18 @@ type Config struct {
 	// and Health() would flap up↔corrupt; with it, the pin only lifts
 	// once the readers and scrubber have had a chance to disagree.
 	CorruptQuiet time.Duration
+	// BrownoutLatency, when positive, enables brownout detection: a
+	// node whose smoothed latency exceeds it moves Up→Brownout, and
+	// returns once the latency drops below half of it (hysteresis, so
+	// a node sitting at the threshold doesn't flap).
+	BrownoutLatency time.Duration
+	// Latency, when non-nil, supplies the per-node smoothed latency
+	// brownout detection consults (for example a transport's per-node
+	// EWMA over real operations); ok=false means no samples yet. When
+	// nil the monitor falls back to its own probe-duration EWMA. Called
+	// with the monitor's lock held — implementations must not call back
+	// into the monitor.
+	Latency func(node int) (lat time.Duration, ok bool)
 	// OnTransition, when non-nil, observes every transition in
 	// application order, invoked from the monitor's single dispatcher
 	// goroutine just before the transition is delivered on the
@@ -178,6 +208,8 @@ type Counters struct {
 	// CorruptEvents counts transitions into Corrupt (first pinning and
 	// every re-arm after a repair plan raced fresh reports).
 	CorruptEvents atomic.Int64
+	// Brownouts counts transitions into Brownout.
+	Brownouts atomic.Int64
 }
 
 // CountersSnapshot is a plain-value copy of Counters.
@@ -196,6 +228,8 @@ type CountersSnapshot struct {
 	CorruptReports int64
 	// CorruptEvents counts transitions into Corrupt.
 	CorruptEvents int64
+	// Brownouts counts transitions into Brownout.
+	Brownouts int64
 }
 
 // NodeStatus is the externally visible state of one node.
@@ -216,6 +250,10 @@ type NodeStatus struct {
 	// CorruptReports is how many corruption observations have been
 	// reported against this node over the monitor's lifetime.
 	CorruptReports int64
+	// Latency is the smoothed latency brownout detection last consulted
+	// for this node (the external source when configured, the probe
+	// EWMA otherwise); 0 before the first sample.
+	Latency time.Duration
 }
 
 type nodeState struct {
@@ -236,6 +274,11 @@ type nodeState struct {
 	// report instead re-plans it.
 	lastCorrupt  time.Time
 	pendingClear bool
+	// probeEWMA smooths successful probe durations — the fallback
+	// latency source for brownout detection; lastLatency is whatever
+	// source the detector last consulted (for NodeStatus).
+	probeEWMA   time.Duration
+	lastLatency time.Duration
 }
 
 // Monitor probes a fixed-size cluster and maintains the per-node
@@ -338,6 +381,7 @@ func (m *Monitor) Snapshot() []NodeStatus {
 			LastProbe:           n.lastProbe,
 			LastTransition:      n.lastTransition,
 			CorruptReports:      n.corruptSeq,
+			Latency:             n.lastLatency,
 		}
 	}
 	return out
@@ -364,6 +408,7 @@ func (m *Monitor) Counters() CountersSnapshot {
 		Recoveries:     m.counters.Recoveries.Load(),
 		CorruptReports: m.counters.CorruptReports.Load(),
 		CorruptEvents:  m.counters.CorruptEvents.Load(),
+		Brownouts:      m.counters.Brownouts.Load(),
 	}
 }
 
@@ -385,7 +430,7 @@ func (m *Monitor) ReportCorrupt(node int) {
 	st.corruptSeq++
 	st.lastCorrupt = time.Now()
 	switch {
-	case st.state == Up || st.state == Suspect:
+	case st.state == Up || st.state == Suspect || st.state == Brownout:
 		st.corruptPlanned = st.corruptSeq
 		m.counters.CorruptEvents.Add(1)
 		m.stage(*m.applyLocked(node, Corrupt))
@@ -519,6 +564,7 @@ func (m *Monitor) run() {
 func (m *Monitor) probeRound(ctx context.Context) {
 	n := len(m.nodes)
 	errs := make([]error, n)
+	durs := make([]time.Duration, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -526,7 +572,9 @@ func (m *Monitor) probeRound(ctx context.Context) {
 			defer wg.Done()
 			pctx, cancel := context.WithTimeout(ctx, m.cfg.Timeout)
 			defer cancel()
+			start := time.Now()
 			errs[i] = m.probe(pctx, i)
+			durs[i] = time.Since(start)
 		}(i)
 	}
 	wg.Wait()
@@ -542,7 +590,7 @@ func (m *Monitor) probeRound(ctx context.Context) {
 	var out []Transition
 	m.mu.Lock()
 	for i := 0; i < n; i++ {
-		out = m.applyProbeLocked(i, errs[i], now, out)
+		out = m.applyProbeLocked(i, errs[i], durs[i], now, out)
 	}
 	// Stage before releasing m.mu so a racing RepairDone cannot
 	// interleave its transition out of application order.
@@ -552,14 +600,44 @@ func (m *Monitor) probeRound(ctx context.Context) {
 	m.mu.Unlock()
 }
 
+// probeEWMAAlpha smooths successful probe durations for the fallback
+// brownout latency source.
+const probeEWMAAlpha = 0.3
+
 // applyProbeLocked advances one node's state machine with one probe
 // result, appending any transitions. Caller holds m.mu.
-func (m *Monitor) applyProbeLocked(node int, err error, now time.Time, out []Transition) []Transition {
+func (m *Monitor) applyProbeLocked(node int, err error, dur time.Duration, now time.Time, out []Transition) []Transition {
 	st := &m.nodes[node]
 	st.lastProbe = now
 	if err == nil {
 		st.failures = 0
+		// Fold the probe's duration into the fallback latency source,
+		// then consult whichever source is configured.
+		if st.probeEWMA == 0 {
+			st.probeEWMA = dur
+		} else {
+			st.probeEWMA = time.Duration(float64(st.probeEWMA)*(1-probeEWMAAlpha) + float64(dur)*probeEWMAAlpha)
+		}
+		lat, haveLat := st.probeEWMA, st.probeEWMA > 0
+		if m.cfg.Latency != nil {
+			lat, haveLat = m.cfg.Latency(node)
+		}
+		st.lastLatency = lat
 		switch st.state {
+		case Up:
+			// Degraded-but-alive: slow answers are a brownout, not a
+			// failure — the node stays a full member and no repair is
+			// planned.
+			if m.cfg.BrownoutLatency > 0 && haveLat && lat > m.cfg.BrownoutLatency {
+				m.counters.Brownouts.Add(1)
+				out = append(out, *m.applyLocked(node, Brownout))
+			}
+		case Brownout:
+			// Hysteresis: clear only once latency falls well below the
+			// threshold, so a node sitting at the line doesn't flap.
+			if m.cfg.BrownoutLatency <= 0 || (haveLat && lat <= m.cfg.BrownoutLatency/2) {
+				out = append(out, *m.applyLocked(node, Up))
+			}
 		case Suspect:
 			// A false alarm: the node answered before the threshold.
 			out = append(out, *m.applyLocked(node, Up))
@@ -583,7 +661,9 @@ func (m *Monitor) applyProbeLocked(node int, err error, now time.Time, out []Tra
 	m.counters.ProbeFailures.Add(1)
 	st.failures++
 	switch st.state {
-	case Up:
+	case Up, Brownout:
+		// A Brownout node that stops answering altogether takes the
+		// same road down as an Up node.
 		m.counters.Suspicions.Add(1)
 		out = append(out, *m.applyLocked(node, Suspect))
 		if st.failures >= m.cfg.Threshold {

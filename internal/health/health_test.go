@@ -427,3 +427,156 @@ func TestReportCorruptIgnoredWhileDownOrOutOfRange(t *testing.T) {
 		t.Fatalf("out-of-range reports counted: %d", got)
 	}
 }
+
+// latSource is a concurrency-safe fake external latency source.
+type latSource struct {
+	mu  sync.Mutex
+	lat time.Duration
+}
+
+func (s *latSource) set(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lat = d
+}
+
+func (s *latSource) get(int) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lat, s.lat > 0
+}
+
+// newBrownoutMonitor builds a monitor with brownout detection fed by
+// an external latency source.
+func newBrownoutMonitor(t *testing.T, fleet *fakeFleet, log *transitionLog, src *latSource) *Monitor {
+	t.Helper()
+	cfg := Config{
+		Interval:        2 * time.Millisecond,
+		Threshold:       3,
+		BrownoutLatency: 50 * time.Millisecond,
+		Latency:         src.get,
+	}
+	if log != nil {
+		cfg.OnTransition = log.add
+	}
+	m, err := New(3, fleet.probe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	go func() {
+		for range m.Transitions() {
+		}
+	}()
+	m.Start()
+	return m
+}
+
+func TestBrownoutDetectsAndClearsWithHysteresis(t *testing.T) {
+	fleet := newFakeFleet()
+	src := &latSource{}
+	src.set(time.Millisecond)
+	m := newBrownoutMonitor(t, fleet, nil, src)
+
+	waitFor(t, "first round", func() bool { return m.Counters().Probes >= 3 })
+	if st := m.NodeState(0); st != Up {
+		t.Fatalf("node 0 = %v, want up", st)
+	}
+
+	// Latency climbs over the threshold: brownout, not down.
+	src.set(200 * time.Millisecond)
+	waitFor(t, "brownout", func() bool { return m.NodeState(0) == Brownout })
+	if c := m.Counters(); c.Brownouts < 1 || c.DownEvents != 0 {
+		t.Fatalf("counters = %+v, want brownouts without down events", c)
+	}
+
+	// Back under the threshold but above half of it: hysteresis holds
+	// the brownout.
+	src.set(40 * time.Millisecond)
+	probes := m.Counters().Probes
+	waitFor(t, "a few more rounds", func() bool { return m.Counters().Probes >= probes+9 })
+	if st := m.NodeState(0); st != Brownout {
+		t.Fatalf("node 0 = %v, want brownout held by hysteresis", st)
+	}
+
+	// Well below half: clears to Up.
+	src.set(10 * time.Millisecond)
+	waitFor(t, "brownout clears", func() bool { return m.NodeState(0) == Up })
+}
+
+func TestBrownoutNodeFallsToDownOnFailures(t *testing.T) {
+	fleet := newFakeFleet()
+	log := &transitionLog{}
+	src := &latSource{}
+	src.set(200 * time.Millisecond)
+	m := newBrownoutMonitor(t, fleet, log, src)
+
+	waitFor(t, "brownout", func() bool { return m.NodeState(1) == Brownout })
+
+	// The browned-out node stops answering entirely: same
+	// Suspect→Down road as an Up node.
+	fleet.set(1, true)
+	waitFor(t, "down", func() bool { return m.NodeState(1) == Down })
+	var sawSuspect bool
+	for _, tr := range log.snapshot() {
+		if tr.Node == 1 && tr.From == Brownout && tr.To == Suspect {
+			sawSuspect = true
+		}
+	}
+	if !sawSuspect {
+		t.Fatalf("transitions %v missing brownout->suspect", log.snapshot())
+	}
+
+	// And when it answers again it goes through Repairing, with its
+	// brownout history forgotten.
+	src.set(time.Millisecond)
+	fleet.set(1, false)
+	waitFor(t, "repairing", func() bool { return m.NodeState(1) == Repairing })
+}
+
+func TestProbeEWMAFallbackDrivesBrownout(t *testing.T) {
+	// Without an external latency source the monitor's own probe
+	// durations feed the detector.
+	slow := make(chan struct{})
+	probe := func(ctx context.Context, node int) error {
+		select {
+		case <-slow:
+			// Closed: probes answer instantly.
+			return nil
+		default:
+		}
+		if node == 2 {
+			select {
+			case <-time.After(30 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	cfg := Config{
+		Interval:        2 * time.Millisecond,
+		Timeout:         time.Second,
+		Threshold:       3,
+		BrownoutLatency: 15 * time.Millisecond,
+	}
+	m, err := New(3, probe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	go func() {
+		for range m.Transitions() {
+		}
+	}()
+	m.Start()
+
+	waitFor(t, "slow node browns out", func() bool { return m.NodeState(2) == Brownout })
+	if st := m.NodeState(0); st != Up {
+		t.Fatalf("fast node 0 = %v, want up", st)
+	}
+	snap := m.Snapshot()
+	if snap[2].Latency < 15*time.Millisecond {
+		t.Fatalf("node 2 latency = %v, want >= threshold", snap[2].Latency)
+	}
+}

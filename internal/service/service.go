@@ -86,6 +86,13 @@ type Config struct {
 	// Hedge enables tail-latency hedging of read-path RPCs (see
 	// core.HedgeConfig).
 	Hedge core.HedgeConfig
+	// NodeGate, when non-nil, is consulted before every RPC with the
+	// *cluster* node index (each protocol instance translates its
+	// shard indices through its placement): false fails the node
+	// locally with client.ErrNodeDown — the transport resilience
+	// layer's circuit breakers plug in here (see core.Options.NodeGate).
+	// Must be safe for concurrent use.
+	NodeGate func(node int) bool
 }
 
 // Quota caps one tenant's namespace. A zero field is unlimited.
@@ -336,11 +343,23 @@ func (f *Fleet) systemFor(nodes []int) (*core.System, error) {
 	for shard, node := range nodes {
 		clients[shard] = f.nodes[node]
 	}
-	sys, err := core.NewSystem(f.code, f.tcfg, clients, core.Options{
+	opts := core.Options{
 		DisableRollback: f.cfg.DisableRollback,
 		Concurrency:     f.cfg.Concurrency,
 		Hedge:           f.cfg.Hedge,
-	})
+	}
+	if gate := f.cfg.NodeGate; gate != nil {
+		// The gate speaks cluster-node indices; the instance issues
+		// shard indices. Translate through this placement.
+		placedGate := append([]int(nil), nodes...)
+		opts.NodeGate = func(shard int) bool {
+			if shard < 0 || shard >= len(placedGate) {
+				return true
+			}
+			return gate(placedGate[shard])
+		}
+	}
+	sys, err := core.NewSystem(f.code, f.tcfg, clients, opts)
 	if err != nil {
 		return nil, err
 	}

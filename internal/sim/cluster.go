@@ -83,6 +83,19 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // to inject per-node stragglers for tail-latency experiments.
 func (c *Cluster) SetNodeDelay(i int, d DelayFunc) { c.Node(i).SetDelay(d) }
 
+// SetLinkFault replaces the fault model of the network path to node
+// i (the zero fault heals it). seed keeps the loss rolls
+// deterministic; pass a per-node offset of one base seed for
+// independent but reproducible links.
+func (c *Cluster) SetLinkFault(i int, f LinkFault, seed int64) { c.Node(i).SetLinkFault(f, seed) }
+
+// HealAllLinks removes every link fault.
+func (c *Cluster) HealAllLinks() {
+	for _, n := range c.nodes {
+		n.SetLinkFault(LinkFault{}, 0)
+	}
+}
+
 // Crash fail-stops node i.
 func (c *Cluster) Crash(i int) { c.Node(i).Crash() }
 

@@ -3,6 +3,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,7 +53,64 @@ type Node struct {
 	// own integrity checks passed, modelling a node that consistently
 	// serves wrong bytes while its metadata stays plausible.
 	lying atomic.Bool
-	quit  chan struct{}
+	// link models the network path to this node (nil = perfect).
+	link atomic.Pointer[linkState]
+	quit chan struct{}
+}
+
+// LinkFault is the simulator's link-fault vocabulary, mirroring what
+// internal/chaosnet does to real sockets so in-memory and TCP chaos
+// suites script the same scenarios. The zero value is a perfect link.
+type LinkFault struct {
+	// ReqLoss is the probability a request vanishes on the way in: the
+	// operation is never applied and the caller hangs until its
+	// context ends — a stalled stream, not an error.
+	ReqLoss float64
+	// RespLoss is the probability the *response* vanishes after the
+	// node applied the operation: the caller sees its context error
+	// while the mutation took effect — the write-hole ambiguity real
+	// networks force on clients.
+	RespLoss float64
+	// Refuse fails every operation instantly with ErrNodeDown, the
+	// connection-refused half of a partition (the loud kind; use
+	// ReqLoss=1 for the silent kind).
+	Refuse bool
+}
+
+// zero reports whether the fault injects nothing.
+func (f LinkFault) zero() bool { return f == LinkFault{} }
+
+// linkState carries one node's fault set plus its deterministic dice.
+type linkState struct {
+	f   LinkFault
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// roll draws one deterministic probability decision.
+func (ls *linkState) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	ls.mu.Lock()
+	hit := ls.rng.Float64() < p
+	ls.mu.Unlock()
+	return hit
+}
+
+// SetLinkFault installs (or, with the zero fault, removes) the fault
+// model of the network path to this node. seed makes the loss rolls
+// deterministic. Safe while operations are in flight; operations
+// already past the gate keep the old model.
+func (n *Node) SetLinkFault(f LinkFault, seed int64) {
+	if f.zero() {
+		n.link.Store(nil)
+		return
+	}
+	n.link.Store(&linkState{f: f, rng: rand.New(rand.NewSource(seed))})
 }
 
 // Compile-time transport conformance.
@@ -103,6 +162,26 @@ func (n *Node) gate(ctx context.Context, op string) error {
 		n.engine.Metrics().DownRejects.Add(1)
 		return ErrNodeDown
 	}
+	if ls := n.link.Load(); ls != nil {
+		if ls.f.Refuse {
+			// Connection refused: the loud partition — instant
+			// transport failure, indistinguishable from fail-stop.
+			n.engine.Metrics().DownRejects.Add(1)
+			return ErrNodeDown
+		}
+		if ls.roll(ls.f.ReqLoss) {
+			// The request died in transit: the node never sees it and
+			// the caller hangs until its own deadline, exactly like a
+			// stalled TCP stream.
+			select {
+			case <-ctx.Done():
+				n.engine.Metrics().CtxAborts.Add(1)
+				return ctx.Err()
+			case <-n.quit:
+				return ErrClusterClosed
+			}
+		}
+	}
 	if dp := n.delay.Load(); dp != nil {
 		if d := (*dp)(op); d > 0 {
 			timer := time.NewTimer(d)
@@ -127,6 +206,36 @@ func (n *Node) gate(ctx context.Context, op string) error {
 		}
 	}
 	return nil
+}
+
+// respGate models the response's trip back: with probability RespLoss
+// the answer vanishes after the engine applied the operation, so the
+// caller blocks until its context ends while the mutation stands —
+// the ambiguity window the protocol's rollback/repair layers absorb.
+func (n *Node) respGate(ctx context.Context) error {
+	ls := n.link.Load()
+	if ls == nil || !ls.roll(ls.f.RespLoss) {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		n.engine.Metrics().CtxAborts.Add(1)
+		return ctx.Err()
+	case <-n.quit:
+		return ErrClusterClosed
+	}
+}
+
+// Probe is the health monitor's transport probe: it crosses the same
+// admission gate and link faults as real operations (so a partitioned
+// or stalled link drives health transitions) and serves the injected
+// latency window (so a straggler's probes are slow, feeding brownout
+// detection), but touches no store state.
+func (n *Node) Probe(ctx context.Context) error {
+	if err := n.gate(ctx, "probe"); err != nil {
+		return err
+	}
+	return n.respGate(ctx)
 }
 
 // ID returns the node's identifier.
@@ -180,6 +289,9 @@ func (n *Node) ReadChunk(ctx context.Context, id ChunkID) (Chunk, error) {
 		// bytes are wrong — the case self-sums cannot catch.
 		chunk.Data[0] ^= 0xa5
 	}
+	if gerr := n.respGate(ctx); gerr != nil {
+		return Chunk{}, gerr
+	}
 	return chunk, err
 }
 
@@ -191,7 +303,11 @@ func (n *Node) ReadVersions(ctx context.Context, id ChunkID) ([]uint64, []client
 		n.engine.Metrics().VersionQueries.Add(1)
 		return nil, nil, err
 	}
-	return n.engine.ReadVersions(ctx, id)
+	versions, sums, err := n.engine.ReadVersions(ctx, id)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return nil, nil, gerr
+	}
+	return versions, sums, err
 }
 
 // PutChunk stores a full chunk (data plus version vector), replacing
@@ -202,7 +318,11 @@ func (n *Node) PutChunk(ctx context.Context, id ChunkID, data []byte, versions [
 		n.engine.Metrics().Writes.Add(1)
 		return err
 	}
-	return n.engine.PutChunk(ctx, id, data, versions, sums...)
+	err := n.engine.PutChunk(ctx, id, data, versions, sums...)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return gerr
+	}
+	return err
 }
 
 // CompareAndPut overwrites the chunk's data only when version slot
@@ -214,7 +334,11 @@ func (n *Node) CompareAndPut(ctx context.Context, id ChunkID, slot int, expect, 
 		n.engine.Metrics().Writes.Add(1)
 		return err
 	}
-	return n.engine.CompareAndPut(ctx, id, slot, expect, next, data, sum...)
+	err := n.engine.CompareAndPut(ctx, id, slot, expect, next, data, sum...)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return gerr
+	}
+	return err
 }
 
 // CompareAndAdd XORs delta into the chunk's data when version slot
@@ -227,7 +351,11 @@ func (n *Node) CompareAndAdd(ctx context.Context, id ChunkID, slot int, expect, 
 		n.engine.Metrics().Adds.Add(1)
 		return err
 	}
-	return n.engine.CompareAndAdd(ctx, id, slot, expect, next, delta, sum...)
+	err := n.engine.CompareAndAdd(ctx, id, slot, expect, next, delta, sum...)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return gerr
+	}
+	return err
 }
 
 // PutChunkIfFresher installs a chunk only when it does not regress any
@@ -242,7 +370,11 @@ func (n *Node) PutChunkIfFresher(ctx context.Context, id ChunkID, data []byte, v
 		n.engine.Metrics().Writes.Add(1)
 		return err
 	}
-	return n.engine.PutChunkIfFresher(ctx, id, data, versions, sums...)
+	err := n.engine.PutChunkIfFresher(ctx, id, data, versions, sums...)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return gerr
+	}
+	return err
 }
 
 // DeleteChunk removes a chunk. Deleting a missing chunk is a no-op,
@@ -252,7 +384,11 @@ func (n *Node) DeleteChunk(ctx context.Context, id ChunkID) error {
 	if err := n.gate(ctx, "delete"); err != nil {
 		return err
 	}
-	return n.engine.DeleteChunk(ctx, id)
+	err := n.engine.DeleteChunk(ctx, id)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return gerr
+	}
+	return err
 }
 
 // HasChunk reports whether the node stores the chunk.
@@ -260,7 +396,11 @@ func (n *Node) HasChunk(ctx context.Context, id ChunkID) (bool, error) {
 	if err := n.gate(ctx, "stat"); err != nil {
 		return false, err
 	}
-	return n.engine.HasChunk(ctx, id)
+	ok, err := n.engine.HasChunk(ctx, id)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return false, gerr
+	}
+	return ok, err
 }
 
 // stop marks the cluster closed for this node. Called by

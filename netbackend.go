@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"trapquorum/client"
 	"trapquorum/transport/tcp"
@@ -97,6 +98,89 @@ func (b *NetBackend) ProbeNode(ctx context.Context, node int) error {
 		return fmt.Errorf("trapquorum: probe of unknown node %d", node)
 	}
 	return cl.Ping(ctx)
+}
+
+// NodeUsable implements the node gate consulted by the protocol's
+// fan-out engine: false while the node's circuit breaker is open (the
+// engine then fails the node locally instead of queueing an RPC that
+// the transport would fast-fail anyway). Nodes of an unopened backend
+// and clients without a resilience policy are always usable.
+func (b *NetBackend) NodeUsable(node int) bool {
+	b.mu.Lock()
+	var cl *tcp.NodeClient
+	if b.opened && !b.closed && node >= 0 && node < len(b.clients) {
+		cl = b.clients[node]
+	}
+	b.mu.Unlock()
+	if cl == nil {
+		return true
+	}
+	return cl.Usable()
+}
+
+// NodeLatency reports the smoothed round-trip latency of node's link,
+// and false before the first successful exchange. The self-healing
+// monitor uses it as the brownout signal.
+func (b *NetBackend) NodeLatency(node int) (time.Duration, bool) {
+	b.mu.Lock()
+	var cl *tcp.NodeClient
+	if b.opened && !b.closed && node >= 0 && node < len(b.clients) {
+		cl = b.clients[node]
+	}
+	b.mu.Unlock()
+	if cl == nil {
+		return 0, false
+	}
+	return cl.Latency()
+}
+
+// LinkHealth snapshots every node link's breaker state and resilience
+// counters, in cluster-node order. Empty before Open or after Close.
+func (b *NetBackend) LinkHealth() []client.LinkHealth {
+	b.mu.Lock()
+	clients := b.clients
+	usable := b.opened && !b.closed
+	b.mu.Unlock()
+	if !usable {
+		return nil
+	}
+	links := make([]client.LinkHealth, len(clients))
+	for i, cl := range clients {
+		links[i] = cl.LinkHealth()
+		links[i].Node = i
+	}
+	return links
+}
+
+// ResilienceStats aggregates the fleet's breaker and retry-budget
+// counters. Budgets shared by several clients (the default: one
+// Resilience value configures the whole backend) are counted once, by
+// pointer identity.
+func (b *NetBackend) ResilienceStats() client.ResilienceStats {
+	b.mu.Lock()
+	clients := b.clients
+	usable := b.opened && !b.closed
+	b.mu.Unlock()
+	var s client.ResilienceStats
+	if !usable {
+		return s
+	}
+	budgets := make(map[*tcp.RetryBudget]struct{})
+	for _, cl := range clients {
+		lh := cl.LinkHealth()
+		s.BreakerOpens += lh.BreakerOpens
+		s.BreakerFastFails += lh.FastFails
+		s.TransportRetries += lh.Retries
+		if bd := cl.RetryBudget(); bd != nil {
+			s.Enabled = true
+			if _, seen := budgets[bd]; !seen {
+				budgets[bd] = struct{}{}
+				s.RetryBudgetSpent += bd.Spent()
+				s.RetryBudgetDenied += bd.Denied()
+			}
+		}
+	}
+	return s
 }
 
 // Ping probes every node address once, returning the first failure

@@ -50,6 +50,7 @@ func Open(ctx context.Context, opts ...Option) (*ObjectStore, error) {
 		Concurrency:       cfg.concurrency,
 		CodingParallelism: cfg.codingParallel,
 		Hedge:             cfg.hedge,
+		NodeGate:          nodeGate(cfg.backend),
 	})
 	if err != nil {
 		cfg.backend.Close()
@@ -147,5 +148,6 @@ func (s *ObjectStore) NodeCount() int { return s.clusterSize }
 func (s *ObjectStore) Metrics() Metrics {
 	m := metricsFromCore(s.svc.Metrics())
 	s.heal.fold(&m)
+	s.foldResilience(&m)
 	return m
 }

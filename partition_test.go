@@ -1,0 +1,787 @@
+package trapquorum_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"trapquorum"
+	"trapquorum/internal/chaosnet"
+	"trapquorum/internal/sim"
+	"trapquorum/transport/tcp"
+)
+
+// This file is the partition chaos suite: network faults — not node
+// faults — driven through the two halves of the shared link-fault
+// vocabulary (SimBackend's SetLinkFault/PartitionNodes in-memory,
+// internal/chaosnet proxies in front of real TCP daemons) against the
+// paper's Figure-3 configuration (n=15, k=8, shape (2,3,1), w=3).
+//
+// Partition sets, for the low-level Store's identity placement:
+//   minority {3, 13}:         reads AND writes still reach quorum.
+//   majority {8,9,12,13,14}:  no level reaches its version threshold —
+//                             reads fail loud with ErrNotReadable.
+
+// minorityNodes and majorityLossNodes are those sets.
+var (
+	minorityNodes     = []int{3, 13}
+	majorityLossNodes = []int{8, 9, 12, 13, 14}
+)
+
+// chaosSeed pins every chaos run in this suite (CI replays the same
+// fault sequences).
+const chaosSeed int64 = 42
+
+// openSimStore opens a low-level Store on a simulated Figure-3
+// cluster and seeds stripe 1 with deterministic blocks.
+func openSimStore(t *testing.T, backend *trapquorum.SimBackend) (*trapquorum.Store, [][]byte) {
+	t.Helper()
+	ctx := context.Background()
+	store, err := trapquorum.OpenStore(ctx,
+		trapquorum.WithBackend(backend),
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store, seedStripe(t, store, 1)
+}
+
+// seedStripe installs 8 deterministic 64-byte data blocks as the given
+// stripe.
+func seedStripe(t *testing.T, store *trapquorum.Store, stripe uint64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(stripe)))
+	blocks := make([][]byte, 8)
+	for i := range blocks {
+		blocks[i] = make([]byte, 64)
+		rng.Read(blocks[i])
+	}
+	if err := store.SeedStripe(context.Background(), stripe, blocks); err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+// readAllBlocks reads every data block of stripe 1 and checks it
+// against want, bounding each read so a hang fails fast instead of
+// stalling the suite.
+func readAllBlocks(t *testing.T, store *trapquorum.Store, want [][]byte, within time.Duration) {
+	t.Helper()
+	for i := range want {
+		ctx, cancel := context.WithTimeout(context.Background(), within)
+		got, _, err := store.ReadBlock(ctx, 1, i)
+		cancel()
+		if err != nil {
+			t.Fatalf("read block %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("block %d: wrong bytes", i)
+		}
+	}
+}
+
+// TestPartitionMinoritySim: with the minority set cut off, reads and
+// writes proceed; after the heal, repair reconverges the stale shards
+// and a scrub comes back clean.
+func TestPartitionMinoritySim(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend(trapquorum.WithChaosSeed(chaosSeed))
+	store, blocks := openSimStore(t, backend)
+
+	backend.PartitionNodes(minorityNodes...)
+	readAllBlocks(t, store, blocks, 10*time.Second)
+
+	patch := bytes.Repeat([]byte{0xAB}, 64)
+	if err := store.WriteBlock(ctx, 1, 2, patch); err != nil {
+		t.Fatalf("write during minority partition: %v", err)
+	}
+	blocks[2] = patch
+	readAllBlocks(t, store, blocks, 10*time.Second)
+
+	backend.HealLinks()
+	if _, _, err := store.RepairStripe(ctx, 1); err != nil {
+		t.Fatalf("repair after heal: %v", err)
+	}
+	rep, err := store.ScrubStripe(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("scrub after partition-heal-repair: %+v", rep)
+	}
+	readAllBlocks(t, store, blocks, 10*time.Second)
+}
+
+// TestPartitionMajorityLossSim: with the majority-loss set cut off
+// the loud way (connection refused), reads fail immediately with
+// ErrNotReadable and writes with ErrWriteFailed — no hang. The same
+// partition injected as a silent blackhole hangs callers instead, and
+// must be bounded by their deadline.
+func TestPartitionMajorityLossSim(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend(trapquorum.WithChaosSeed(chaosSeed))
+	store, blocks := openSimStore(t, backend)
+
+	backend.PartitionNodes(majorityLossNodes...)
+	start := time.Now()
+	_, _, err := store.ReadBlock(ctx, 1, 0)
+	if !errors.Is(err, trapquorum.ErrNotReadable) {
+		t.Fatalf("read under majority loss: %v, want ErrNotReadable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("loud partition took %v to fail; refusal must be immediate", elapsed)
+	}
+	if err := store.WriteBlock(ctx, 1, 0, bytes.Repeat([]byte{1}, 64)); !errors.Is(err, trapquorum.ErrWriteFailed) {
+		t.Fatalf("write under majority loss: %v, want ErrWriteFailed", err)
+	}
+
+	// Same partition, silent flavour: requests vanish in transit. The
+	// caller's deadline is the only way out — verify it actually is,
+	// promptly after expiry.
+	backend.HealLinks()
+	for _, n := range majorityLossNodes {
+		backend.SetLinkLoss(n, 1)
+	}
+	start = time.Now()
+	rctx, cancel := context.WithTimeout(ctx, time.Second)
+	_, _, err = store.ReadBlock(rctx, 1, 0)
+	cancel()
+	if err == nil {
+		t.Fatal("read through a blackholed majority succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("blackholed read returned after %v; must be bounded by its 1s deadline", elapsed)
+	}
+
+	backend.HealLinks()
+	readAllBlocks(t, store, blocks, 10*time.Second)
+}
+
+// TestPartitionAsymmetricSim: node 3 receives every request but its
+// answers are lost (an asymmetric link: one direction works, the
+// other does not). Reads and writes still complete promptly — the
+// engine treats the mute node like a straggler — and because the node
+// really applied the writes it received, the post-heal scrub is clean
+// without any repair.
+func TestPartitionAsymmetricSim(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend(trapquorum.WithChaosSeed(chaosSeed))
+	store, blocks := openSimStore(t, backend)
+
+	backend.SetLinkFault(3, sim.LinkFault{RespLoss: 1})
+	readAllBlocks(t, store, blocks, 10*time.Second)
+	patch := bytes.Repeat([]byte{0xCD}, 64)
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	err := store.WriteBlock(wctx, 1, 5, patch)
+	cancel()
+	if err != nil {
+		t.Fatalf("write during asymmetric partition: %v", err)
+	}
+	blocks[5] = patch
+	readAllBlocks(t, store, blocks, 10*time.Second)
+
+	backend.HealLinks()
+	rep, err := store.ScrubStripe(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("scrub after asymmetric partition: %+v — the mute node applied its writes, nothing should be stale", rep)
+	}
+}
+
+// readAllBlocksRetry reads every block like readAllBlocks, but treats
+// a deadline expiry as retryable: over a silently lossy link (no
+// transport resilience in the simulator) a request that vanished
+// hangs the caller to its deadline, and the realistic caller response
+// is deadline + retry. Wrong bytes still fail immediately.
+func readAllBlocksRetry(t *testing.T, store *trapquorum.Store, want [][]byte, per time.Duration, tries int) {
+	t.Helper()
+	for i := range want {
+		var lastErr error
+		ok := false
+		for a := 0; a < tries && !ok; a++ {
+			ctx, cancel := context.WithTimeout(context.Background(), per)
+			got, _, err := store.ReadBlock(ctx, 1, i)
+			cancel()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if !bytes.Equal(got, want[i]) {
+				t.Fatalf("block %d: wrong bytes", i)
+			}
+			ok = true
+		}
+		if !ok {
+			t.Fatalf("read block %d failed all %d tries: %v", i, tries, lastErr)
+		}
+	}
+}
+
+// TestPartitionFlappingLinksSim: the minority set flaps — cut,
+// healed, lossy, healed — while reads and writes keep flowing. After
+// the last heal a repair pass reconverges and the stripe scrubs
+// clean.
+func TestPartitionFlappingLinksSim(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend(trapquorum.WithChaosSeed(chaosSeed))
+	store, blocks := openSimStore(t, backend)
+
+	for cycle := 0; cycle < 4; cycle++ {
+		switch cycle % 2 {
+		case 0:
+			backend.PartitionNodes(minorityNodes...)
+		case 1:
+			for _, n := range minorityNodes {
+				backend.SetLinkLoss(n, 0.5)
+			}
+		}
+		patch := bytes.Repeat([]byte{byte(cycle + 1)}, 64)
+		var err error
+		for a := 0; a < 5; a++ {
+			wctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			err = store.WriteBlock(wctx, 1, cycle, patch)
+			cancel()
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("cycle %d write: %v", cycle, err)
+		}
+		blocks[cycle] = patch
+		readAllBlocksRetry(t, store, blocks, 2*time.Second, 10)
+		backend.HealLinks()
+		readAllBlocks(t, store, blocks, 10*time.Second)
+	}
+
+	if _, _, err := store.RepairStripe(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := store.ScrubStripe(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("scrub after flapping links: %+v", rep)
+	}
+}
+
+// TestPartitionHealSelfHealsSim: the full partition lifecycle on the
+// object store with self-healing on — a node's link (not the node) is
+// cut under foreground load, the monitor marks it down, the heal
+// brings it back, and the orchestrator reconverges every stripe to a
+// clean scrub with zero manual repair calls.
+func TestPartitionHealSelfHealsSim(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend(trapquorum.WithChaosSeed(chaosSeed))
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithBackend(backend),
+		trapquorum.WithBlockSize(512),
+		trapquorum.WithSelfHeal(healCfg(nil)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	var keys []string
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("part-%d", i)
+		data := make([]byte, 2*512*8)
+		rng.Read(data)
+		if err := store.Put(ctx, key, data); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+
+	// Foreground load throughout: a single cut link must never cost a
+	// caller an error.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var loadErr error
+	var loadMu sync.Mutex
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + g)))
+			patch := make([]byte, 512)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keys[i%len(keys)]
+				var opErr error
+				if i%2 == 0 {
+					_, opErr = store.Get(ctx, key)
+				} else {
+					r.Read(patch)
+					opErr = store.WriteAt(ctx, key, (i%2)*512*8, patch)
+				}
+				if opErr != nil {
+					loadMu.Lock()
+					if loadErr == nil {
+						loadErr = fmt.Errorf("load op %d on %s: %w", i, key, opErr)
+					}
+					loadMu.Unlock()
+					return
+				}
+			}
+		}(g)
+	}
+
+	const victim = 4
+	backend.PartitionNodes(victim)
+	waitHealthy(t, "monitor marks the partitioned node down", 10*time.Second, func() bool {
+		return store.Health().Nodes[victim].State == trapquorum.NodeDown
+	})
+
+	backend.HealLinks()
+	waitHealthy(t, "monitor and orchestrator bring the node back", 30*time.Second, func() bool {
+		h := store.Health()
+		return h.Nodes[victim].State == trapquorum.NodeUp && h.RepairBacklog == 0
+	})
+	waitHealthy(t, "every stripe fully redundant again", 30*time.Second, func() bool {
+		return allStripesHealthy(ctx, t, store, keys)
+	})
+
+	close(stop)
+	wg.Wait()
+	if loadErr != nil {
+		t.Fatalf("foreground traffic failed during the partition: %v", loadErr)
+	}
+	m := store.Metrics()
+	if m.DownEvents < 1 || m.Recoveries < 1 {
+		t.Fatalf("metrics %+v: want a down event and a recovery", m)
+	}
+}
+
+// --- TCP half: real daemons, diskstores, and chaosnet proxies ---
+
+// chaosFleet is a loopback TCP fleet with one fault-injecting proxy
+// per node link: clients dial the proxies, the daemons never know.
+type chaosFleet struct {
+	nodes   []*tcpNode
+	proxies []*chaosnet.Proxy
+}
+
+// startChaosFleet boots n durable TCP nodes, each behind a chaos
+// proxy seeded deterministically from the suite seed.
+func startChaosFleet(t *testing.T, n int) *chaosFleet {
+	t.Helper()
+	f := &chaosFleet{nodes: startFleet(t, n)}
+	f.proxies = make([]*chaosnet.Proxy, n)
+	for i, nd := range f.nodes {
+		p, err := chaosnet.NewProxy("127.0.0.1:0", nd.addr, chaosnet.NewLink(chaosSeed+int64(i)*101))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.proxies[i] = p
+	}
+	t.Cleanup(func() {
+		for _, p := range f.proxies {
+			p.Close()
+		}
+	})
+	return f
+}
+
+// addrs returns the proxy addresses, in cluster-node order.
+func (f *chaosFleet) addrs() []string {
+	addrs := make([]string, len(f.proxies))
+	for i, p := range f.proxies {
+		addrs[i] = p.Addr()
+	}
+	return addrs
+}
+
+// link returns node i's fault injector.
+func (f *chaosFleet) link(i int) *chaosnet.Link { return f.proxies[i].Link() }
+
+// heal removes every link fault.
+func (f *chaosFleet) heal() {
+	for _, p := range f.proxies {
+		p.Link().Heal()
+	}
+}
+
+// testResilience is the aggressive policy the TCP chaos tests run
+// with: fast breakers and short attempt timeouts so fault → open →
+// half-open → recovery cycles fit a test budget.
+func testResilience() tcp.Resilience {
+	return tcp.Resilience{
+		FailureThreshold: 2,
+		OpenTimeout:      100 * time.Millisecond,
+		OpenTimeoutMax:   time.Second,
+		RetryAttempts:    2,
+		RetryBase:        2 * time.Millisecond,
+		RetryMax:         50 * time.Millisecond,
+		AttemptTimeout:   500 * time.Millisecond,
+		Budget:           tcp.NewRetryBudget(50, 0.5),
+		Seed:             chaosSeed,
+	}
+}
+
+// openChaosStore opens a low-level Store over the chaos fleet with
+// the given client options and seeds stripe 1.
+func openChaosStore(t *testing.T, f *chaosFleet, opts ...tcp.ClientOption) (*trapquorum.Store, [][]byte) {
+	t.Helper()
+	store, err := trapquorum.OpenStore(context.Background(),
+		trapquorum.WithBackend(trapquorum.NewNetBackend(f.addrs(), opts...)),
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store, seedStripe(t, store, 1)
+}
+
+// TestPartitionMinorityTCP: the minority set's links are cut in front
+// of live daemons. Reads and writes proceed, the cut nodes' breakers
+// open (visible through Health().Links and Metrics), and after the
+// heal the breakers' half-open probes readmit the nodes so repair
+// reconverges to a clean scrub.
+func TestPartitionMinorityTCP(t *testing.T) {
+	ctx := context.Background()
+	f := startChaosFleet(t, 15)
+	store, blocks := openChaosStore(t, f,
+		tcp.WithDialTimeout(time.Second), tcp.WithResilience(testResilience()))
+
+	for _, n := range minorityNodes {
+		f.link(n).Partition()
+	}
+	readAllBlocks(t, store, blocks, 15*time.Second)
+	patch := bytes.Repeat([]byte{0xEE}, 64)
+	if err := store.WriteBlock(ctx, 1, 2, patch); err != nil {
+		t.Fatalf("write during minority partition: %v", err)
+	}
+	blocks[2] = patch
+	// Keep traffic flowing until every cut node's breaker has tripped:
+	// fast local failures instead of repeated dial attempts.
+	waitHealthy(t, "breakers open on the partitioned nodes", 15*time.Second, func() bool {
+		readAllBlocks(t, store, blocks, 15*time.Second)
+		links := store.Health().Links
+		for _, n := range minorityNodes {
+			if links[n].BreakerOpens == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	m := store.Metrics()
+	if m.BreakerOpens < int64(len(minorityNodes)) {
+		t.Fatalf("BreakerOpens = %d, want >= %d", m.BreakerOpens, len(minorityNodes))
+	}
+	if m.BreakerFastFails == 0 {
+		t.Fatal("no fast-fails recorded while two links were cut under traffic")
+	}
+
+	f.heal()
+	// The breakers re-admit traffic after their cooldown; repair until
+	// the stripe scrubs clean.
+	waitHealthy(t, "post-heal repair reconverges", 30*time.Second, func() bool {
+		if _, _, err := store.RepairStripe(ctx, 1); err != nil {
+			return false
+		}
+		rep, err := store.ScrubStripe(ctx, 1)
+		return err == nil && rep.Healthy
+	})
+	readAllBlocks(t, store, blocks, 15*time.Second)
+}
+
+// TestPartitionMajorityLossTCP: cutting the majority-loss set's links
+// makes reads fail loud with ErrNotReadable and writes with
+// ErrWriteFailed, promptly — refused links and open breakers, not
+// hangs.
+func TestPartitionMajorityLossTCP(t *testing.T) {
+	ctx := context.Background()
+	f := startChaosFleet(t, 15)
+	store, blocks := openChaosStore(t, f,
+		tcp.WithDialTimeout(time.Second), tcp.WithResilience(testResilience()))
+
+	for _, n := range majorityLossNodes {
+		f.link(n).Partition()
+	}
+	start := time.Now()
+	rctx, cancel := context.WithTimeout(ctx, 20*time.Second)
+	_, _, err := store.ReadBlock(rctx, 1, 0)
+	cancel()
+	if !errors.Is(err, trapquorum.ErrNotReadable) {
+		t.Fatalf("read under majority loss: %v, want ErrNotReadable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("read took %v to fail; cut links must fail loud, not hang", elapsed)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 20*time.Second)
+	err = store.WriteBlock(wctx, 1, 0, bytes.Repeat([]byte{1}, 64))
+	cancel()
+	if !errors.Is(err, trapquorum.ErrWriteFailed) {
+		t.Fatalf("write under majority loss: %v, want ErrWriteFailed", err)
+	}
+
+	f.heal()
+	waitHealthy(t, "fleet serves reads again after the heal", 30*time.Second, func() bool {
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		got, _, err := store.ReadBlock(rctx, 1, 0)
+		cancel()
+		return err == nil && bytes.Equal(got, blocks[0])
+	})
+}
+
+// TestPartitionAsymmetricTCP: node 3's link delivers requests but
+// blackholes every answer. Foreground reads route around the mute
+// node without errors — the engine's early termination cancels the
+// stalled RPC, and a cancellation deliberately does not count against
+// the breaker. What does see the stall is the prober: its pings hit
+// the attempt timeout, the breaker opens, and the monitor walks the
+// node down; the heal walks it back up.
+func TestPartitionAsymmetricTCP(t *testing.T) {
+	ctx := context.Background()
+	f := startChaosFleet(t, 15)
+	store, err := trapquorum.OpenStore(ctx,
+		trapquorum.WithBackend(trapquorum.NewNetBackend(f.addrs(),
+			tcp.WithDialTimeout(time.Second), tcp.WithResilience(testResilience()))),
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithSelfHeal(trapquorum.SelfHeal{
+			ProbeInterval:      25 * time.Millisecond,
+			ProbeTimeout:       2 * time.Second,
+			SuspicionThreshold: 3,
+			ScrubInterval:      -1,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	blocks := seedStripe(t, store, 1)
+
+	f.link(3).SetFaults(chaosnet.Faults{}, chaosnet.Faults{Blackhole: true})
+	waitHealthy(t, "prober walks the mute node down", 30*time.Second, func() bool {
+		readAllBlocks(t, store, blocks, 20*time.Second) // reads stay error-free throughout
+		return store.Health().Nodes[3].State == trapquorum.NodeDown
+	})
+	if store.Health().Links[3].BreakerOpens == 0 {
+		t.Fatal("mute node went down without its breaker ever opening")
+	}
+
+	f.heal()
+	waitHealthy(t, "healed link brings the node back up", 30*time.Second, func() bool {
+		readAllBlocks(t, store, blocks, 20*time.Second)
+		h := store.Health()
+		return h.Nodes[3].State == trapquorum.NodeUp && h.RepairBacklog == 0
+	})
+}
+
+// TestLossyLinkResilienceTCP is the acceptance scenario: a 30% random
+// drop on the link to one node (each drop stalls the stream — the
+// nastiest flavour, invisible without timeouts). With the resilience
+// policy on, a read workload completes with ZERO caller-visible
+// errors while Metrics shows the machinery working: breakers opening
+// and retry budget being spent. The bare-client comparison lives in
+// TestLossyLinkBareVsResilient below, with measured numbers recorded
+// in docs/BENCH_resilience.md: without breakers the same scenario
+// degrades to deadline-length stalls and caller-visible errors.
+func TestLossyLinkResilienceTCP(t *testing.T) {
+	f := startChaosFleet(t, 15)
+	store, blocks := openChaosStore(t, f,
+		tcp.WithDialTimeout(time.Second), tcp.WithResilience(testResilience()))
+
+	lossy := chaosnet.Faults{DropProb: 0.30}
+	f.link(3).SetFaults(lossy, lossy)
+
+	reads := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		readAllBlocks(t, store, blocks, 20*time.Second) // fails the test on any error
+		reads += len(blocks)
+		m := store.Metrics()
+		if m.BreakerOpens >= 1 && m.RetryBudgetSpent >= 1 {
+			t.Logf("after %d reads: opens=%d fastFails=%d retries=%d budgetSpent=%d",
+				reads, m.BreakerOpens, m.BreakerFastFails, m.TransportRetries, m.RetryBudgetSpent)
+			return
+		}
+	}
+	m := store.Metrics()
+	t.Fatalf("after %d error-free reads through a 30%%-drop link: opens=%d budgetSpent=%d — resilience machinery never engaged",
+		reads, m.BreakerOpens, m.RetryBudgetSpent)
+}
+
+// TestPartitionHealSelfHealsTCP walks the full triage ladder on a
+// real fleet: a delayed link browns the node out (degraded, not
+// down), a cut link takes it down, and the heal brings it back to up
+// with clean scrubs — the monitor reading the transport's latency
+// EWMA and breaker-aware pings throughout.
+func TestPartitionHealSelfHealsTCP(t *testing.T) {
+	ctx := context.Background()
+	f := startChaosFleet(t, 15)
+
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithBackend(trapquorum.NewNetBackend(f.addrs(),
+			tcp.WithDialTimeout(time.Second), tcp.WithResilience(testResilience()))),
+		trapquorum.WithCode(15, 8),
+		trapquorum.WithTrapezoid(2, 3, 1, 3),
+		trapquorum.WithBlockSize(128),
+		trapquorum.WithSelfHeal(trapquorum.SelfHeal{
+			ProbeInterval:      25 * time.Millisecond,
+			ProbeTimeout:       2 * time.Second,
+			SuspicionThreshold: 3,
+			RepairConcurrency:  4,
+			RepairRetry:        50 * time.Millisecond,
+			ScrubInterval:      -1, // repairs only; scrub on demand below
+			BrownoutLatency:    40 * time.Millisecond,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	payload := bytes.Repeat([]byte("chaos"), 512) // 2560 B → 3 stripes
+	if err := store.Put(ctx, "disk.img", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = 4
+	// Degrade: +60ms each way. Pings succeed but slowly; the EWMA
+	// crosses the brownout threshold and the monitor reports the node
+	// degraded — a quorum member still.
+	slow := chaosnet.Faults{Delay: 60 * time.Millisecond}
+	f.link(victim).SetFaults(slow, slow)
+	waitHealthy(t, "delayed link browns the node out", 20*time.Second, func() bool {
+		return store.Health().Nodes[victim].State == trapquorum.NodeBrownout
+	})
+	if got, err := store.Get(ctx, "disk.img"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read during brownout: %v", err)
+	}
+
+	// Down: cut the link. Pings fail fast; brownout falls through
+	// suspect to down.
+	f.link(victim).Partition()
+	waitHealthy(t, "cut link takes the node down", 20*time.Second, func() bool {
+		return store.Health().Nodes[victim].State == trapquorum.NodeDown
+	})
+	if got, err := store.Get(ctx, "disk.img"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read during partition: %v", err)
+	}
+
+	// Heal: the breaker's half-open probe readmits the node, pings
+	// succeed, the EWMA decays below the brownout floor, and the
+	// orchestrator reconverges.
+	f.heal()
+	waitHealthy(t, "healed link brings the node back up", 30*time.Second, func() bool {
+		h := store.Health()
+		return h.Nodes[victim].State == trapquorum.NodeUp && h.RepairBacklog == 0
+	})
+	waitHealthy(t, "post-heal scrub comes back clean", 30*time.Second, func() bool {
+		return allStripesHealthy(ctx, t, store, []string{"disk.img"})
+	})
+
+	m := store.Metrics()
+	if m.Brownouts < 1 {
+		t.Fatalf("metrics %+v: want at least one brownout", m)
+	}
+	if m.DownEvents < 1 {
+		t.Fatalf("metrics %+v: want at least one down event", m)
+	}
+}
+
+// TestLossyLinkBareVsResilient is the measurement harness behind
+// docs/BENCH_resilience.md: the same 30%-drop scenario as
+// TestLossyLinkResilienceTCP, run once with the resilience policy and
+// once with a bare client, comparing caller-visible errors and op
+// latency. It takes tens of seconds in the bare leg (that slowness IS
+// the result), so it only runs when asked:
+//
+//	TRAPQUORUM_RESILIENCE_BENCH=1 go test -run TestLossyLinkBareVsResilient -v .
+func TestLossyLinkBareVsResilient(t *testing.T) {
+	if os.Getenv("TRAPQUORUM_RESILIENCE_BENCH") == "" {
+		t.Skip("set TRAPQUORUM_RESILIENCE_BENCH=1 to run the bare-vs-resilient comparison")
+	}
+	for _, leg := range []struct {
+		name string
+		opts []tcp.ClientOption
+	}{
+		{"resilient", []tcp.ClientOption{tcp.WithDialTimeout(time.Second), tcp.WithResilience(testResilience())}},
+		{"bare", []tcp.ClientOption{tcp.WithDialTimeout(time.Second)}},
+	} {
+		t.Run(leg.name, func(t *testing.T) {
+			ctx := context.Background()
+			f := startChaosFleet(t, 15)
+			store, blocks := openChaosStore(t, f, leg.opts...)
+			lossy := chaosnet.Faults{DropProb: 0.30}
+			f.link(3).SetFaults(lossy, lossy)
+
+			// The workload: read every block, then write block 3 — the one
+			// whose data shard lives behind the lossy link, so the write
+			// cannot avoid the damaged path. 2s deadline per op, like a
+			// latency-conscious caller.
+			const (
+				passes     = 20
+				opDeadline = 2 * time.Second
+			)
+			var lat []time.Duration
+			readErrs, writeErrs := 0, 0
+			start := time.Now()
+			for p := 0; p < passes; p++ {
+				for i := range blocks {
+					opStart := time.Now()
+					rctx, cancel := context.WithTimeout(ctx, opDeadline)
+					got, _, err := store.ReadBlock(rctx, 1, i)
+					cancel()
+					lat = append(lat, time.Since(opStart))
+					if err != nil {
+						readErrs++
+					} else if !bytes.Equal(got, blocks[i]) {
+						t.Fatalf("block %d: wrong bytes", i)
+					}
+				}
+				patch := bytes.Repeat([]byte{byte(p)}, 64)
+				opStart := time.Now()
+				wctx, cancel := context.WithTimeout(ctx, opDeadline)
+				err := store.WriteBlock(wctx, 1, 3, patch)
+				cancel()
+				lat = append(lat, time.Since(opStart))
+				if err != nil {
+					writeErrs++
+				} else {
+					blocks[3] = patch
+				}
+			}
+			wall := time.Since(start)
+
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			pct := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+			slow := 0
+			for _, d := range lat {
+				if d > 500*time.Millisecond {
+					slow++
+				}
+			}
+			m := store.Metrics()
+			t.Logf("%s: %d ops in %v — errors: %d read / %d write; latency p50=%v p99=%v max=%v; ops>500ms: %d; opens=%d fastFails=%d retries=%d budgetSpent=%d",
+				leg.name, len(lat), wall.Round(time.Millisecond), readErrs, writeErrs,
+				pct(0.50).Round(time.Millisecond), pct(0.99).Round(time.Millisecond),
+				lat[len(lat)-1].Round(time.Millisecond), slow,
+				m.BreakerOpens, m.BreakerFastFails, m.TransportRetries, m.RetryBudgetSpent)
+		})
+	}
+}

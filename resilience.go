@@ -1,0 +1,98 @@
+package trapquorum
+
+import (
+	"time"
+
+	"trapquorum/client"
+)
+
+// This file is the store-level surface of the transport resilience
+// layer (per-node circuit breakers, retry budgets, latency EWMAs —
+// see transport/tcp's Resilience). The store discovers the layer
+// through optional Backend extensions, so backends without a
+// resilience policy (the simulator, custom backends) keep working
+// unchanged: every interface here degrades to "not implemented, no
+// data".
+
+// BreakerState re-exports the transport's circuit-breaker state for
+// callers inspecting HealthReport.Links without importing client.
+type BreakerState = client.BreakerState
+
+// The breaker states (see client.BreakerState).
+const (
+	BreakerClosed   = client.BreakerClosed
+	BreakerOpen     = client.BreakerOpen
+	BreakerHalfOpen = client.BreakerHalfOpen
+)
+
+// LinkHealth re-exports the per-node-link resilience snapshot behind
+// HealthReport.Links.
+type LinkHealth = client.LinkHealth
+
+// NodeGater is the optional Backend extension the protocol's fan-out
+// engine consults before issuing an RPC: NodeUsable(node) == false
+// (typically: the node's circuit breaker is open) makes the engine
+// fail the node locally with client.ErrNodeDown instead of queueing
+// an RPC the transport would fast-fail anyway. The instant local
+// failure keeps tail-latency hedging honest — a gated node is never
+// picked as a hedge target. NetBackend implements it from its
+// per-node breakers; it must be safe for concurrent use.
+type NodeGater interface {
+	// NodeUsable reports whether the protocol should talk to cluster
+	// node `node` right now.
+	NodeUsable(node int) bool
+}
+
+// LatencyReporter is the optional Backend extension the self-healing
+// monitor draws its brownout signal from: the smoothed round-trip
+// latency of the node's link, and false before the first sample.
+// NetBackend implements it from each client's EWMA. Implementations
+// are called from inside the monitor's probe loop and must not call
+// back into the store.
+type LatencyReporter interface {
+	// NodeLatency returns the smoothed round-trip latency of the link
+	// to cluster node `node`, and false before the first sample.
+	NodeLatency(node int) (time.Duration, bool)
+}
+
+// LinkReporter is the optional Backend extension behind
+// HealthReport.Links: a per-node snapshot of breaker state and
+// resilience counters, in cluster-node order.
+type LinkReporter interface {
+	// LinkHealth snapshots every node link's breaker state and
+	// counters, indexed by cluster node.
+	LinkHealth() []client.LinkHealth
+}
+
+// ResilienceReporter is the optional Backend extension behind the
+// resilience counters of Metrics().
+type ResilienceReporter interface {
+	// ResilienceStats aggregates breaker and retry-budget counters
+	// across every node link.
+	ResilienceStats() client.ResilienceStats
+}
+
+// nodeGate resolves the backend's gate, or nil when the backend has
+// none (core treats a nil gate as "every node usable").
+func nodeGate(b Backend) func(node int) bool {
+	g, ok := b.(NodeGater)
+	if !ok {
+		return nil
+	}
+	return g.NodeUsable
+}
+
+// foldResilience adds the backend's breaker and retry-budget counters
+// into a Metrics snapshot. No-op for backends without the extension.
+func (h *clusterHandle) foldResilience(m *Metrics) {
+	rr, ok := h.backend.(ResilienceReporter)
+	if !ok {
+		return
+	}
+	s := rr.ResilienceStats()
+	m.BreakerOpens = s.BreakerOpens
+	m.BreakerFastFails = s.BreakerFastFails
+	m.TransportRetries = s.TransportRetries
+	m.RetryBudgetSpent = s.RetryBudgetSpent
+	m.RetryBudgetDenied = s.RetryBudgetDenied
+}

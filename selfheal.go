@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"trapquorum/client"
 	"trapquorum/internal/core"
 	"trapquorum/internal/health"
 	"trapquorum/internal/repairsched"
@@ -54,6 +55,13 @@ const (
 	// corruption is observed during the rebuild — a persistently
 	// corrupt node stays pinned here. See DESIGN.md "Verified reads".
 	NodeCorrupt NodeState = health.Corrupt
+	// NodeBrownout: the node answers probes, but slowly — its smoothed
+	// link latency exceeds SelfHeal.BrownoutLatency. Degraded, not
+	// down: the node stays a full quorum member and no repair is
+	// planned; the state clears itself (with hysteresis) once latency
+	// recovers, and a browned-out node that stops answering falls
+	// through Suspect to Down like any other.
+	NodeBrownout NodeState = health.Brownout
 )
 
 // NodeTransition is one state-machine edge of one node, delivered to
@@ -98,6 +106,15 @@ type SelfHeal struct {
 	// ScrubPace is the minimum gap between consecutive stripe audits
 	// within a pass (default 2ms) — the rate limit on scrub reads.
 	ScrubPace time.Duration
+	// BrownoutLatency, when positive, enables brownout detection: a
+	// node whose smoothed link latency exceeds it is reported
+	// NodeBrownout (degraded, not down — no repair is planned), and
+	// returns to NodeUp once latency drops below half the threshold.
+	// The latency source is the backend's per-node EWMA over real
+	// operations when the backend implements LatencyReporter
+	// (NetBackend does); otherwise the monitor's own probe durations.
+	// Zero disables brownout detection (the default).
+	BrownoutLatency time.Duration
 	// OnTransition, when non-nil, observes every liveness transition
 	// in application order (logging, tests). It is invoked from one
 	// dedicated goroutine — never concurrently with itself — and may
@@ -115,10 +132,10 @@ type SelfHeal struct {
 // the self-heal counters folded into Metrics().
 func WithSelfHeal(sh SelfHeal) Option {
 	return func(c *config) {
-		if sh.ProbeInterval < 0 || sh.ProbeTimeout < 0 || sh.RepairRetry < 0 || sh.ScrubPace < 0 {
+		if sh.ProbeInterval < 0 || sh.ProbeTimeout < 0 || sh.RepairRetry < 0 || sh.ScrubPace < 0 || sh.BrownoutLatency < 0 {
 			c.errs = append(c.errs, fmt.Errorf(
-				"trapquorum: WithSelfHeal: negative durations (probe %v/%v, retry %v, pace %v)",
-				sh.ProbeInterval, sh.ProbeTimeout, sh.RepairRetry, sh.ScrubPace))
+				"trapquorum: WithSelfHeal: negative durations (probe %v/%v, retry %v, pace %v, brownout %v)",
+				sh.ProbeInterval, sh.ProbeTimeout, sh.RepairRetry, sh.ScrubPace, sh.BrownoutLatency))
 			return
 		}
 		if sh.SuspicionThreshold < 0 || sh.RepairConcurrency < 0 {
@@ -166,6 +183,13 @@ type HealthReport struct {
 	RepairBacklog int
 	// Scrub is the anti-entropy scrubber's position.
 	Scrub ScrubProgress
+	// Links is the per-node-link resilience snapshot (breaker state,
+	// latency EWMA, retry counters), in cluster-node order, when the
+	// backend implements LinkReporter (NetBackend does); nil
+	// otherwise. Unlike the fields above, Links is populated even on a
+	// store opened without WithSelfHeal — breakers live in the
+	// transport and need no monitor.
+	Links []client.LinkHealth
 }
 
 // Degraded lists the nodes currently not NodeUp — the one-line answer
@@ -197,12 +221,20 @@ func startSelfHeal(cfg *config, clusterSize int, target repairsched.Target) (*he
 			ErrNotSupported, cfg.backend)
 	}
 	sh := cfg.selfHeal
-	mon, err := health.New(clusterSize, prober.ProbeNode, health.Config{
-		Interval:     sh.ProbeInterval,
-		Timeout:      sh.ProbeTimeout,
-		Threshold:    sh.SuspicionThreshold,
-		OnTransition: sh.OnTransition,
-	})
+	hcfg := health.Config{
+		Interval:        sh.ProbeInterval,
+		Timeout:         sh.ProbeTimeout,
+		Threshold:       sh.SuspicionThreshold,
+		BrownoutLatency: sh.BrownoutLatency,
+		OnTransition:    sh.OnTransition,
+	}
+	// Brownout detection prefers the transport's per-node latency EWMA
+	// over real operations; the monitor falls back to its own probe
+	// durations when the backend has none to offer.
+	if lr, ok := cfg.backend.(LatencyReporter); ok {
+		hcfg.Latency = lr.NodeLatency
+	}
+	mon, err := health.New(clusterSize, prober.ProbeNode, hcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -260,6 +292,7 @@ func (h *healer) fold(m *Metrics) {
 	m.Recoveries = mc.Recoveries
 	m.CorruptReports = mc.CorruptReports
 	m.CorruptEvents = mc.CorruptEvents
+	m.Brownouts = mc.Brownouts
 	oc := h.orc.Counters()
 	m.AutoRepairs = oc.Repairs
 	m.AutoRepairFailures = oc.RepairFailures

@@ -43,6 +43,7 @@ func OpenStore(ctx context.Context, opts ...Option) (*Store, error) {
 		DisableRollback: cfg.disableRollback,
 		Concurrency:     cfg.concurrency,
 		Hedge:           cfg.hedge,
+		NodeGate:        nodeGate(cfg.backend),
 	})
 	if err != nil {
 		cfg.backend.Close()
@@ -133,5 +134,6 @@ func (s *Store) ScrubStripe(ctx context.Context, id uint64) (ScrubReport, error)
 func (s *Store) Metrics() Metrics {
 	m := metricsFromCore(s.sys.Metrics())
 	s.heal.fold(&m)
+	s.foldResilience(&m)
 	return m
 }

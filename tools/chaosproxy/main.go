@@ -1,0 +1,234 @@
+// Command chaosproxy puts the wire-level chaos engine
+// (internal/chaosnet) between a client and one live trapnode as a
+// standalone TCP proxy — the operator-side half of the network
+// fault-injection harness, for fire-drilling a real fleet:
+//
+//	trapnode -addr :7420 -dir /var/lib/trapnode &
+//	chaosproxy -listen :7520 -target 127.0.0.1:7420 -drop 0.3
+//	# point the client's NetBackend at :7520 instead of :7420
+//
+// Flags set the initial fault set; once running, the proxy reads
+// commands from stdin so an operator can script a drill live:
+//
+//	drop 0.3          # 30% chance per burst the stream dies silently
+//	delay 60ms 20ms   # latency (+ optional jitter) per burst
+//	bandwidth 512     # cap the link to 512 B/s (slow-loris territory)
+//	partition         # refuse new dials, reset open connections
+//	blackhole         # swallow everything silently instead
+//	cut               # reset open connections once, keep faults
+//	heal              # restore the link completely
+//	up drop 1         # fault one direction only (asymmetric partition)
+//	stats             # connection/drop/reset counters
+//
+// Every random decision derives from -seed, so a drill replays
+// identically. One chaosproxy fronts one node; run one per node link
+// you want to damage.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"trapquorum/internal/chaosnet"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "", "address to accept client connections on (required)")
+		target     = flag.String("target", "", "the real node's address to forward to (required)")
+		seed       = flag.Int64("seed", 1, "seed for every random fault decision (same seed, same drill)")
+		delay      = flag.Duration("delay", 0, "initial per-burst delay, both directions")
+		jitter     = flag.Duration("jitter", 0, "initial uniform extra delay in [0, jitter), both directions")
+		bandwidth  = flag.Int("bandwidth", 0, "initial bandwidth cap in bytes/second, both directions (0 = unlimited)")
+		drop       = flag.Float64("drop", 0, "initial per-burst probability the stream dies silently, both directions")
+		reset      = flag.Float64("reset", 0, "initial per-burst probability the connection is reset, both directions")
+		resetAfter = flag.Int64("reset-after", 0, "reset each connection after exactly N bytes per direction (0 = never)")
+		blackhole  = flag.Bool("blackhole", false, "start with the link blackholed (everything vanishes silently)")
+		partition  = flag.Bool("partition", false, "start with the link partitioned (dials refused)")
+	)
+	flag.Parse()
+	if *listen == "" || *target == "" {
+		fmt.Fprintln(os.Stderr, "chaosproxy: -listen and -target are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	link := chaosnet.NewLink(*seed)
+	initial := chaosnet.Faults{
+		Delay:      *delay,
+		Jitter:     *jitter,
+		Bandwidth:  *bandwidth,
+		DropProb:   *drop,
+		ResetProb:  *reset,
+		ResetAfter: *resetAfter,
+		Blackhole:  *blackhole,
+	}
+	link.SetFaults(initial, initial)
+	if *partition {
+		link.Partition()
+	}
+
+	proxy, err := chaosnet.NewProxy(*listen, *target, link)
+	if err != nil {
+		log.Fatalf("chaosproxy: %v", err)
+	}
+	defer proxy.Close()
+	log.Printf("chaosproxy: %s -> %s (seed %d, up/down %v)", proxy.Addr(), *target, *seed, initial)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	// The tool remembers the fault sets it installed (the link has no
+	// getter — tests don't need one) so single-direction edits compose.
+	up, down := initial, initial
+	for {
+		select {
+		case s := <-sig:
+			log.Printf("chaosproxy: %v, shutting down", s)
+			return
+		case line, ok := <-lines:
+			if !ok {
+				return // stdin closed: piped drill script finished
+			}
+			if err := command(link, &up, &down, strings.Fields(line)); err != nil {
+				log.Printf("chaosproxy: %v", err)
+			}
+		}
+	}
+}
+
+// command applies one drill command, updating the remembered per-
+// direction fault sets alongside the link.
+func command(link *chaosnet.Link, up, down *chaosnet.Faults, args []string) error {
+	if len(args) == 0 {
+		return nil
+	}
+	// An optional leading direction scopes a fault edit.
+	both := true
+	target := up // overwritten below when scoped
+	switch args[0] {
+	case "up":
+		both, target, args = false, up, args[1:]
+	case "down":
+		both, target, args = false, down, args[1:]
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("missing command after direction")
+	}
+
+	apply := func() {
+		if both {
+			*down = *up
+		}
+		link.SetFaults(*up, *down)
+		log.Printf("chaosproxy: up: %v", *up)
+		log.Printf("chaosproxy: down: %v", *down)
+	}
+	if both {
+		target = up
+	}
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "heal":
+		*up, *down = chaosnet.Faults{}, chaosnet.Faults{}
+		link.Heal()
+		log.Printf("chaosproxy: link healed")
+	case "partition":
+		link.Partition()
+		log.Printf("chaosproxy: link partitioned (dials refused, open connections reset)")
+	case "cut":
+		link.CutConns()
+		log.Printf("chaosproxy: open connections reset")
+	case "blackhole":
+		target.Blackhole = true
+		apply()
+	case "delay":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: [up|down] delay <duration> [jitter]")
+		}
+		d, err := time.ParseDuration(rest[0])
+		if err != nil {
+			return err
+		}
+		target.Delay = d
+		if len(rest) > 1 {
+			if target.Jitter, err = time.ParseDuration(rest[1]); err != nil {
+				return err
+			}
+		}
+		apply()
+	case "bandwidth":
+		n, err := intArg(rest, "bandwidth <bytes/s>")
+		if err != nil {
+			return err
+		}
+		target.Bandwidth = n
+		apply()
+	case "drop":
+		p, err := probArg(rest, "drop <prob>")
+		if err != nil {
+			return err
+		}
+		target.DropProb = p
+		apply()
+	case "reset":
+		p, err := probArg(rest, "reset <prob>")
+		if err != nil {
+			return err
+		}
+		target.ResetProb = p
+		apply()
+	case "reset-after":
+		n, err := intArg(rest, "reset-after <bytes>")
+		if err != nil {
+			return err
+		}
+		target.ResetAfter = int64(n)
+		apply()
+	case "stats":
+		s := link.Stats()
+		log.Printf("chaosproxy: conns=%d refusedDials=%d droppedBursts=%d resets=%d",
+			s.Conns, s.RefusedDials, s.DroppedBursts, s.Resets)
+	default:
+		return fmt.Errorf("unknown command %q (heal, partition, cut, blackhole, delay, bandwidth, drop, reset, reset-after, stats)", cmd)
+	}
+	return nil
+}
+
+func intArg(rest []string, usage string) (int, error) {
+	if len(rest) < 1 {
+		return 0, fmt.Errorf("usage: [up|down] %s", usage)
+	}
+	return strconv.Atoi(rest[0])
+}
+
+func probArg(rest []string, usage string) (float64, error) {
+	if len(rest) < 1 {
+		return 0, fmt.Errorf("usage: [up|down] %s", usage)
+	}
+	p, err := strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v out of [0,1]", p)
+	}
+	return p, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"trapquorum/internal/chaosnet"
+)
+
+// run feeds one command line through the dispatcher.
+func run(t *testing.T, link *chaosnet.Link, up, down *chaosnet.Faults, line string) {
+	t.Helper()
+	if err := command(link, up, down, strings.Fields(line)); err != nil {
+		t.Fatalf("command %q: %v", line, err)
+	}
+}
+
+func TestCommandsEditFaults(t *testing.T) {
+	link := chaosnet.NewLink(1)
+	var up, down chaosnet.Faults
+
+	run(t, link, &up, &down, "drop 0.3")
+	if up.DropProb != 0.3 || down.DropProb != 0.3 {
+		t.Fatalf("unscoped drop: up=%v down=%v", up, down)
+	}
+
+	run(t, link, &up, &down, "up delay 60ms 20ms")
+	if up.Delay != 60*time.Millisecond || up.Jitter != 20*time.Millisecond {
+		t.Fatalf("scoped delay: up=%v", up)
+	}
+	if down.Delay != 0 {
+		t.Fatalf("scoped edit leaked into down: %v", down)
+	}
+
+	run(t, link, &up, &down, "down blackhole")
+	if !down.Blackhole || up.Blackhole {
+		t.Fatalf("scoped blackhole: up=%v down=%v", up, down)
+	}
+
+	run(t, link, &up, &down, "heal")
+	if up != (chaosnet.Faults{}) || down != (chaosnet.Faults{}) {
+		t.Fatalf("heal left faults: up=%v down=%v", up, down)
+	}
+
+	run(t, link, &up, &down, "stats")
+	run(t, link, &up, &down, "") // blank line is a no-op
+
+	if err := command(link, &up, &down, []string{"explode"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := command(link, &up, &down, []string{"drop", "1.5"}); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+	if err := command(link, &up, &down, []string{"up"}); err == nil {
+		t.Fatal("bare direction accepted")
+	}
+}

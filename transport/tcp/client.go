@@ -77,6 +77,7 @@ type NodeClient struct {
 	dialTimeout time.Duration
 	maxIdle     int
 	maxFrame    int
+	res         *resilience // nil = no breaker/retry policy
 
 	mu     sync.Mutex
 	idle   []*conn
@@ -120,6 +121,52 @@ func (c *NodeClient) Close() error {
 		cn.nc.Close()
 	}
 	return nil
+}
+
+// Usable reports whether the link is worth sending fresh work to:
+// false only while the circuit breaker is open and cooling down.
+// Always true without a resilience policy.
+func (c *NodeClient) Usable() bool {
+	if c.res == nil {
+		return true
+	}
+	return c.res.usable(time.Now())
+}
+
+// Latency returns the smoothed round-trip latency of successful
+// exchanges, and false before the first sample (or without a
+// resilience policy).
+func (c *NodeClient) Latency() (time.Duration, bool) {
+	if c.res == nil {
+		return 0, false
+	}
+	d := time.Duration(c.res.ewmaNanos.Load())
+	return d, d > 0
+}
+
+// LinkHealth snapshots the link's breaker state and resilience
+// counters. The Node field is left zero — the backend that owns the
+// client fills in the cluster index.
+func (c *NodeClient) LinkHealth() client.LinkHealth {
+	lh := client.LinkHealth{Addr: c.addr}
+	if c.res == nil {
+		return lh
+	}
+	lh.Breaker, lh.EWMA = c.res.snapshot()
+	lh.BreakerOpens = c.res.opens.Load()
+	lh.FastFails = c.res.fastFails.Load()
+	lh.Retries = c.res.retries.Load()
+	return lh
+}
+
+// RetryBudget exposes the budget the client draws from (nil without a
+// resilience policy). Backends use pointer identity to aggregate a
+// shared budget exactly once.
+func (c *NodeClient) RetryBudget() *RetryBudget {
+	if c.res == nil {
+		return nil
+	}
+	return c.res.budget
 }
 
 // getConn pops an idle connection (pooled == true) or dials a new
@@ -184,18 +231,11 @@ func (c *NodeClient) putConn(cn *conn) {
 // "interrupt now").
 var aLongTimeAgo = time.Unix(1, 0)
 
-// do performs one request/response exchange, mapping every failure
-// into the transport taxonomy. The returned response's Data is copied
-// out of connection-owned buffers and safe to retain.
-//
-// A pooled connection can be stale — the node restarted while it
-// rested, and the first use discovers the broken pipe. So that a
-// restart heals on the next operation instead of burning one spurious
-// node-down per idle connection, a failure on a *reused* connection is
-// retried once on a fresh dial — but only when the retry cannot
-// duplicate an applied mutation: either the request never finished
-// reaching the wire, or the operation is replay-safe under concurrent
-// writers (see wire.Op.ReplaySafe).
+// do performs one exchange under the client's resilience policy (if
+// any): the breaker fast-fails while the node is known bad, each
+// attempt is individually bounded by AttemptTimeout, and replay-safe
+// operations retry with jittered backoff while the retry budget
+// lasts. Without a policy it is exactly one attempt.
 func (c *NodeClient) do(ctx context.Context, req *wire.Request) (wire.Response, error) {
 	if err := ctx.Err(); err != nil {
 		return wire.Response{}, err
@@ -208,6 +248,103 @@ func (c *NodeClient) do(ctx context.Context, req *wire.Request) (wire.Response, 
 			"%w: encoded %s request is %d bytes, frame limit %d — raise the frame limit on client and server, or use smaller blocks",
 			client.ErrBadRequest, req.Op, size, c.maxFrame)
 	}
+	r := c.res
+	if r == nil {
+		return c.attempt(ctx, req)
+	}
+	for n := 0; ; n++ {
+		if !r.allow(time.Now()) {
+			r.fastFails.Add(1)
+			return wire.Response{}, fmt.Errorf("%w: %s %s: circuit breaker open",
+				client.ErrNodeDown, req.Op, c.addr)
+		}
+		start := time.Now()
+		resp, err := c.boundedAttempt(ctx, req)
+		if err == nil {
+			r.onSuccess(time.Since(start))
+			r.budget.deposit()
+			return resp, nil
+		}
+		if errors.Is(err, ErrClientClosed) {
+			r.onAbandon()
+			return wire.Response{}, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller's own context ended. A deadline blown on this
+			// node is evidence against the node; a cancellation says
+			// nothing about it — but either way the attempt must hand
+			// back the half-open probe slot it may hold, or the breaker
+			// would wedge half-open and fast-fail forever.
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				r.onFailure(time.Now())
+			} else {
+				r.onAbandon()
+			}
+			return wire.Response{}, err
+		}
+		// Transport failure: refused, reset, torn frame, undecodable
+		// response, attempt timeout — the breaker counts them all.
+		r.onFailure(time.Now())
+		if !req.Op.ReplaySafe() || n >= r.cfg.RetryAttempts || !r.budget.withdraw() {
+			return wire.Response{}, err
+		}
+		r.retries.Add(1)
+		if serr := sleepCtx(ctx, r.backoff(n+1)); serr != nil {
+			return wire.Response{}, c.mapErr(ctx, req.Op, serr)
+		}
+	}
+}
+
+// boundedAttempt runs one attempt under the policy's AttemptTimeout.
+// An attempt that hits the cap while the caller's context is still
+// live is remapped to a node failure: the node had its chance and
+// stalled, which must feed the breaker and fund a retry, not surface
+// as the caller's own timeout.
+func (c *NodeClient) boundedAttempt(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	at := c.res.cfg.AttemptTimeout
+	if at <= 0 {
+		return c.attempt(ctx, req)
+	}
+	actx, cancel := context.WithTimeout(ctx, at)
+	defer cancel()
+	resp, err := c.attempt(actx, req)
+	if err != nil && ctx.Err() == nil && actx.Err() != nil {
+		err = fmt.Errorf("%w: %s %s: attempt timed out after %v",
+			client.ErrNodeDown, req.Op, c.addr, at)
+	}
+	return resp, err
+}
+
+// sleepCtx sleeps d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attempt performs one request/response exchange, mapping every
+// failure into the transport taxonomy. The returned response's Data is
+// copied out of connection-owned buffers and safe to retain.
+//
+// A pooled connection can be stale — the node restarted while it
+// rested, and the first use discovers the broken pipe. So that a
+// restart heals on the next operation instead of burning one spurious
+// node-down per idle connection, a failure on a *reused* connection is
+// retried once on a fresh dial — but only when the retry cannot
+// duplicate an applied mutation: either the request never finished
+// reaching the wire, or the operation is replay-safe under concurrent
+// writers (see wire.Op.ReplaySafe). This free redial predates the
+// resilience policy's budgeted retries and stays outside the budget: a
+// stale pooled connection is a local artefact, not network weather.
+func (c *NodeClient) attempt(ctx context.Context, req *wire.Request) (wire.Response, error) {
 	cn, pooled, err := c.getConn(ctx)
 	if err != nil {
 		if errors.Is(err, ErrClientClosed) {

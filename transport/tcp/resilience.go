@@ -1,0 +1,325 @@
+package tcp
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trapquorum/client"
+)
+
+// Resilience is the per-node failure policy of the TCP transport:
+// a circuit breaker that stops burning RPCs on a node that keeps
+// failing, and a retry loop for replay-safe operations governed by a
+// shared budget so retries cannot amplify an outage into a retry
+// storm.
+//
+// Share one Resilience value (in particular its Budget) across all
+// clients of a store — DefaultResilience returns one wired that way,
+// and NewNetBackend passes its WithResilience option to every node
+// client, so the whole fleet draws from one budget.
+type Resilience struct {
+	// FailureThreshold is the consecutive transport failures that trip
+	// the breaker open (default 5).
+	FailureThreshold int
+	// OpenTimeout is the first open-state cooldown; it doubles on every
+	// re-open up to OpenTimeoutMax and resets on success (defaults
+	// 1s / 30s).
+	OpenTimeout time.Duration
+	// OpenTimeoutMax caps the doubling open-state cooldown.
+	OpenTimeoutMax time.Duration
+	// RetryAttempts is the extra attempts granted to a replay-safe
+	// operation after its first transport failure (default 2).
+	RetryAttempts int
+	// RetryBase and RetryMax bound the jittered exponential backoff
+	// between attempts (defaults 2ms / 250ms).
+	RetryBase time.Duration
+	// RetryMax caps the backoff growth.
+	RetryMax time.Duration
+	// AttemptTimeout caps each individual attempt so one stalled
+	// stream cannot eat the whole caller deadline; 0 disables. An
+	// attempt that hits this cap counts as a node failure, and the
+	// remaining caller budget funds the retry.
+	AttemptTimeout time.Duration
+	// Budget is the shared retry budget; nil gives the client a
+	// private one.
+	Budget *RetryBudget
+	// Seed drives backoff jitter (0 picks a fixed default).
+	Seed int64
+}
+
+// DefaultResilience is the recommended policy: breaker at 5
+// consecutive failures with 1s→30s cooldowns, 2 budgeted retries with
+// 2ms..250ms jittered backoff, 1s attempt timeout, and a fresh shared
+// budget allowing 10% retry overhead.
+func DefaultResilience() Resilience {
+	return Resilience{
+		FailureThreshold: 5,
+		OpenTimeout:      time.Second,
+		OpenTimeoutMax:   30 * time.Second,
+		RetryAttempts:    2,
+		RetryBase:        2 * time.Millisecond,
+		RetryMax:         250 * time.Millisecond,
+		AttemptTimeout:   time.Second,
+		Budget:           NewRetryBudget(10, 0.1),
+	}
+}
+
+// WithResilience enables the resilience policy on a client. Pass the
+// same value (same Budget pointer) to every client of a store so the
+// budget is fleet-wide.
+func WithResilience(r Resilience) ClientOption {
+	return func(c *NodeClient) { c.res = newResilience(r) }
+}
+
+// RetryBudget is a token bucket in the Google-SRE style: every
+// completed attempt deposits a fraction of a token, every retry
+// withdraws a whole one, so sustained retry traffic is capped at
+// ratio × request traffic no matter how hard the network misbehaves.
+// Safe for concurrent use and meant to be shared across all node
+// clients of a store.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+	spent  atomic.Int64
+	denied atomic.Int64
+}
+
+// NewRetryBudget builds a budget holding at most max tokens (starting
+// full) that earns ratio tokens per completed attempt.
+func NewRetryBudget(max, ratio float64) *RetryBudget {
+	if max <= 0 {
+		max = 10
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	return &RetryBudget{tokens: max, max: max, ratio: ratio}
+}
+
+// deposit credits one completed attempt.
+func (b *RetryBudget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// withdraw takes one token for a retry, reporting false (and counting
+// a denial) when the budget is exhausted.
+func (b *RetryBudget) withdraw() bool {
+	b.mu.Lock()
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	b.mu.Unlock()
+	if ok {
+		b.spent.Add(1)
+	} else {
+		b.denied.Add(1)
+	}
+	return ok
+}
+
+// Spent counts tokens withdrawn over the budget's lifetime.
+func (b *RetryBudget) Spent() int64 { return b.spent.Load() }
+
+// Denied counts retries refused for lack of tokens.
+func (b *RetryBudget) Denied() int64 { return b.denied.Load() }
+
+// resilience is the runtime state behind one client's policy.
+type resilience struct {
+	cfg    Resilience
+	budget *RetryBudget
+
+	mu        sync.Mutex
+	state     client.BreakerState
+	fails     int           // consecutive transport failures
+	cooldown  time.Duration // next open-state duration
+	reopenAt  time.Time     // when an open breaker admits a probe
+	probing   bool          // a half-open probe is in flight
+	jitterRng *rand.Rand
+
+	ewmaNanos atomic.Int64
+	opens     atomic.Int64
+	fastFails atomic.Int64
+	retries   atomic.Int64
+}
+
+// ewmaAlpha is the smoothing factor of the per-node latency average.
+const ewmaAlpha = 0.2
+
+func newResilience(cfg Resilience) *resilience {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenTimeout <= 0 {
+		cfg.OpenTimeout = time.Second
+	}
+	if cfg.OpenTimeoutMax < cfg.OpenTimeout {
+		cfg.OpenTimeoutMax = 30 * time.Second
+		if cfg.OpenTimeoutMax < cfg.OpenTimeout {
+			cfg.OpenTimeoutMax = cfg.OpenTimeout
+		}
+	}
+	if cfg.RetryAttempts < 0 {
+		cfg.RetryAttempts = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 2 * time.Millisecond
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = 250 * time.Millisecond
+		if cfg.RetryMax < cfg.RetryBase {
+			cfg.RetryMax = cfg.RetryBase
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x7e5111e4ce
+	}
+	budget := cfg.Budget
+	if budget == nil {
+		budget = NewRetryBudget(10, 0.1)
+	}
+	return &resilience{
+		cfg:       cfg,
+		budget:    budget,
+		state:     client.BreakerClosed,
+		cooldown:  cfg.OpenTimeout,
+		jitterRng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// allow decides whether a request may touch the network. An open
+// breaker whose cooldown elapsed flips to half-open and admits one
+// probe; concurrent requests during the probe are fast-failed.
+func (r *resilience) allow(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case client.BreakerClosed:
+		return true
+	case client.BreakerOpen:
+		if now.Before(r.reopenAt) {
+			return false
+		}
+		r.state = client.BreakerHalfOpen
+		r.probing = true
+		return true
+	default: // half-open
+		if r.probing {
+			return false
+		}
+		r.probing = true
+		return true
+	}
+}
+
+// onSuccess records a completed exchange: the breaker closes, the
+// cooldown resets, and the latency EWMA absorbs the sample.
+func (r *resilience) onSuccess(lat time.Duration) {
+	r.mu.Lock()
+	r.state = client.BreakerClosed
+	r.fails = 0
+	r.probing = false
+	r.cooldown = r.cfg.OpenTimeout
+	r.mu.Unlock()
+	r.observe(lat)
+}
+
+// onFailure records a transport failure. A half-open probe failure
+// reopens immediately with a doubled cooldown; in the closed state the
+// breaker opens once the consecutive-failure threshold is reached.
+func (r *resilience) onFailure(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails++
+	switch r.state {
+	case client.BreakerHalfOpen:
+		r.openLocked(now)
+	case client.BreakerClosed:
+		if r.fails >= r.cfg.FailureThreshold {
+			r.openLocked(now)
+		}
+	case client.BreakerOpen:
+		// Already open (a straggler attempt finished late); leave the
+		// cooldown clock alone.
+	}
+}
+
+// onAbandon releases the half-open probe slot without a verdict: the
+// attempt ended for a reason that says nothing about the node (caller
+// cancellation, client shutdown). Without this, a cancelled probe
+// would leave `probing` set and the breaker would fast-fail every
+// subsequent request forever.
+func (r *resilience) onAbandon() {
+	r.mu.Lock()
+	if r.state == client.BreakerHalfOpen {
+		r.probing = false
+	}
+	r.mu.Unlock()
+}
+
+// openLocked trips the breaker; r.mu must be held.
+func (r *resilience) openLocked(now time.Time) {
+	r.state = client.BreakerOpen
+	r.probing = false
+	r.reopenAt = now.Add(r.cooldown)
+	r.cooldown *= 2
+	if r.cooldown > r.cfg.OpenTimeoutMax {
+		r.cooldown = r.cfg.OpenTimeoutMax
+	}
+	r.opens.Add(1)
+}
+
+// observe folds one successful round trip into the latency EWMA.
+func (r *resilience) observe(lat time.Duration) {
+	for {
+		old := r.ewmaNanos.Load()
+		next := int64(lat)
+		if old > 0 {
+			next = int64(float64(old)*(1-ewmaAlpha) + float64(lat)*ewmaAlpha)
+		}
+		if r.ewmaNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// usable reports whether the link is worth sending fresh work to:
+// false only while the breaker is open and cooling down. A half-open
+// link reports true so protocol traffic can serve as the probe.
+func (r *resilience) usable(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state != client.BreakerOpen || !now.Before(r.reopenAt)
+}
+
+// snapshot returns the breaker state and counters for LinkHealth.
+func (r *resilience) snapshot() (client.BreakerState, time.Duration) {
+	r.mu.Lock()
+	st := r.state
+	r.mu.Unlock()
+	return st, time.Duration(r.ewmaNanos.Load())
+}
+
+// backoff computes the jittered exponential delay before retry n
+// (n = 1 for the first retry): uniform in (base·2ⁿ⁻¹ /2, base·2ⁿ⁻¹],
+// capped at RetryMax.
+func (r *resilience) backoff(n int) time.Duration {
+	d := r.cfg.RetryBase << uint(n-1)
+	if d > r.cfg.RetryMax || d <= 0 {
+		d = r.cfg.RetryMax
+	}
+	r.mu.Lock()
+	j := r.jitterRng.Int63n(int64(d)/2 + 1)
+	r.mu.Unlock()
+	return d/2 + time.Duration(j)
+}

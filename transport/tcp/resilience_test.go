@@ -1,0 +1,498 @@
+package tcp_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trapquorum/client"
+	"trapquorum/internal/memstore"
+	"trapquorum/internal/nodeengine"
+	"trapquorum/transport/tcp"
+)
+
+// flakyGate sits in front of a real node server and rejects (closes
+// immediately) every accepted connection while down, or the first
+// rejectFirst of them — a deterministic stand-in for a resetting
+// link.
+type flakyGate struct {
+	ln          net.Listener
+	target      string
+	down        atomic.Bool
+	rejectFirst atomic.Int32
+}
+
+func startFlakyGate(t *testing.T, target string) *flakyGate {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &flakyGate{ln: ln, target: target}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if g.down.Load() || g.rejectFirst.Add(-1) >= 0 {
+				c.Close()
+				continue
+			}
+			up, err := net.Dial("tcp", g.target)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go func() { defer c.Close(); defer up.Close(); buf := make([]byte, 32<<10); copyConn(c, up, buf) }()
+			go func() { buf := make([]byte, 32<<10); copyConn(up, c, buf) }()
+		}
+	}()
+	return g
+}
+
+func copyConn(dst, src net.Conn, buf []byte) {
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// startEngineServer serves a fresh engine and returns its address.
+func startEngineServer(t *testing.T, opts ...tcp.ServerOption) string {
+	t.Helper()
+	engine := nodeengine.New(memstore.New(), nodeengine.WithName("resilience test node"))
+	t.Cleanup(func() { engine.Close() })
+	srv := tcp.NewServer(engine, opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestBreakerOpensAndFastFails(t *testing.T) {
+	// Nothing listens on the address: every attempt is a refused dial.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	res := tcp.Resilience{
+		FailureThreshold: 3,
+		OpenTimeout:      time.Minute, // never half-opens within the test
+		RetryAttempts:    0,
+		Budget:           tcp.NewRetryBudget(100, 0.1),
+	}
+	cl := tcp.NewClient(addr, tcp.WithResilience(res), tcp.WithDialTimeout(200*time.Millisecond))
+	defer cl.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := cl.Ping(ctx); !errors.Is(err, client.ErrNodeDown) {
+			t.Fatalf("ping %d err = %v, want ErrNodeDown", i, err)
+		}
+	}
+	if cl.Usable() {
+		t.Fatal("breaker should be open after 3 consecutive failures")
+	}
+	// Next request fast-fails locally without touching the network.
+	start := time.Now()
+	err = cl.Ping(ctx)
+	if !errors.Is(err, client.ErrNodeDown) || !strings.Contains(err.Error(), "circuit breaker open") {
+		t.Fatalf("fast-fail err = %v", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("fast-fail took %v, want local rejection", d)
+	}
+	lh := cl.LinkHealth()
+	if lh.Breaker != client.BreakerOpen || lh.BreakerOpens != 1 || lh.FastFails < 1 {
+		t.Fatalf("link health = %+v", lh)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	addr := startEngineServer(t)
+	gate := startFlakyGate(t, addr)
+
+	res := tcp.Resilience{
+		FailureThreshold: 2,
+		OpenTimeout:      100 * time.Millisecond,
+		RetryAttempts:    0,
+		Budget:           tcp.NewRetryBudget(100, 0.1),
+	}
+	cl := tcp.NewClient(gate.ln.Addr().String(), tcp.WithResilience(res))
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	gate.down.Store(true)
+	for i := 0; i < 2; i++ {
+		if err := cl.Ping(ctx); !errors.Is(err, client.ErrNodeDown) {
+			t.Fatalf("ping %d err = %v", i, err)
+		}
+	}
+	if cl.Usable() {
+		t.Fatal("breaker should be open")
+	}
+
+	// Node comes back; after the cooldown the next request is admitted
+	// as the half-open probe and closes the breaker.
+	gate.down.Store(false)
+	time.Sleep(150 * time.Millisecond)
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatalf("probe ping: %v", err)
+	}
+	if !cl.Usable() {
+		t.Fatal("breaker should be closed after probe success")
+	}
+	if lh := cl.LinkHealth(); lh.Breaker != client.BreakerClosed || lh.EWMA <= 0 {
+		t.Fatalf("link health after recovery = %+v", lh)
+	}
+}
+
+func TestBudgetedRetriesHealFlakyLink(t *testing.T) {
+	addr := startEngineServer(t)
+	gate := startFlakyGate(t, addr)
+	gate.rejectFirst.Store(2) // first two connections die at the gate
+
+	budget := tcp.NewRetryBudget(10, 0.1)
+	res := tcp.Resilience{
+		FailureThreshold: 10,
+		OpenTimeout:      time.Second,
+		RetryAttempts:    3,
+		RetryBase:        time.Millisecond,
+		RetryMax:         5 * time.Millisecond,
+		Budget:           budget,
+	}
+	cl := tcp.NewClient(gate.ln.Addr().String(), tcp.WithResilience(res))
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Ping is replay-safe: two failures are absorbed by budgeted
+	// retries and the third attempt lands.
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatalf("ping through flaky link: %v", err)
+	}
+	if lh := cl.LinkHealth(); lh.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (health %+v)", lh.Retries, lh)
+	}
+	if budget.Spent() != 2 || budget.Denied() != 0 {
+		t.Fatalf("budget spent=%d denied=%d", budget.Spent(), budget.Denied())
+	}
+}
+
+func TestRetryBudgetExhaustionStopsRetries(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	budget := tcp.NewRetryBudget(1, 0.001) // one retry, then dry
+	res := tcp.Resilience{
+		FailureThreshold: 100,
+		OpenTimeout:      time.Second,
+		RetryAttempts:    5,
+		RetryBase:        time.Millisecond,
+		RetryMax:         2 * time.Millisecond,
+		Budget:           budget,
+	}
+	cl := tcp.NewClient(addr, tcp.WithResilience(res), tcp.WithDialTimeout(100*time.Millisecond))
+	defer cl.Close()
+
+	if err := cl.Ping(context.Background()); !errors.Is(err, client.ErrNodeDown) {
+		t.Fatalf("ping err = %v", err)
+	}
+	if budget.Spent() != 1 || budget.Denied() != 1 {
+		t.Fatalf("budget spent=%d denied=%d, want 1/1", budget.Spent(), budget.Denied())
+	}
+	if lh := cl.LinkHealth(); lh.Retries != 1 {
+		t.Fatalf("retries = %d, want exactly 1 (budget-capped)", lh.Retries)
+	}
+}
+
+func TestMutationsAreNeverRetried(t *testing.T) {
+	addr := startEngineServer(t)
+	gate := startFlakyGate(t, addr)
+	gate.down.Store(true)
+
+	budget := tcp.NewRetryBudget(10, 0.1)
+	res := tcp.Resilience{
+		FailureThreshold: 100,
+		OpenTimeout:      time.Second,
+		RetryAttempts:    5,
+		RetryBase:        time.Millisecond,
+		RetryMax:         2 * time.Millisecond,
+		Budget:           budget,
+	}
+	cl := tcp.NewClient(gate.ln.Addr().String(), tcp.WithResilience(res))
+	defer cl.Close()
+
+	// PutChunk is not replay-safe: one attempt, no budget draw.
+	err := cl.PutChunk(context.Background(), client.ChunkID{Stripe: 1}, []byte{1}, []uint64{1})
+	if !errors.Is(err, client.ErrNodeDown) {
+		t.Fatalf("put err = %v", err)
+	}
+	if lh := cl.LinkHealth(); lh.Retries != 0 {
+		t.Fatalf("mutation consumed %d retries, want 0", lh.Retries)
+	}
+	if budget.Spent() != 0 {
+		t.Fatalf("mutation spent budget: %d", budget.Spent())
+	}
+}
+
+// startTornFrameServer reads one request frame, answers with a torn
+// response — a frame header promising n bytes followed by only a few
+// of them — then resets the connection.
+func startTornFrameServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				// Consume the request frame: 4-byte length prefix, then
+				// the payload.
+				var hdr [4]byte
+				if _, err := readFull(c, hdr[:]); err != nil {
+					return
+				}
+				n := binary.BigEndian.Uint32(hdr[:])
+				buf := make([]byte, n)
+				if _, err := readFull(c, buf); err != nil {
+					return
+				}
+				// Torn response: promise 64 bytes, deliver 3, vanish.
+				binary.BigEndian.PutUint32(hdr[:], 64)
+				c.Write(hdr[:])
+				c.Write([]byte{0x01, 0x02, 0x03})
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func readFull(c net.Conn, p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		n, err := c.Read(p[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestTornResponseClassifiesAsNodeDown(t *testing.T) {
+	// A connection reset between a frame's header and body must read
+	// as a transport failure — ErrNodeDown, counted by the breaker —
+	// not as a decode error.
+	addr := startTornFrameServer(t)
+	res := tcp.Resilience{
+		FailureThreshold: 1, // first transport failure opens the breaker
+		OpenTimeout:      time.Minute,
+		RetryAttempts:    0,
+		Budget:           tcp.NewRetryBudget(10, 0.1),
+	}
+	cl := tcp.NewClient(addr, tcp.WithResilience(res))
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := cl.ReadChunk(ctx, client.ChunkID{Stripe: 1})
+	if !errors.Is(err, client.ErrNodeDown) {
+		t.Fatalf("torn response err = %v, want ErrNodeDown", err)
+	}
+	if lh := cl.LinkHealth(); lh.Breaker != client.BreakerOpen {
+		t.Fatalf("breaker = %v, want open — the torn frame must count as a node failure", lh.Breaker)
+	}
+}
+
+func TestAttemptTimeoutConvertsStallToNodeDown(t *testing.T) {
+	// A server that accepts and never answers: with an attempt timeout
+	// the stall surfaces as a node failure while the caller's own
+	// context is still live.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold it open, answer nothing
+		}
+	}()
+
+	res := tcp.Resilience{
+		FailureThreshold: 10,
+		OpenTimeout:      time.Second,
+		RetryAttempts:    0,
+		AttemptTimeout:   100 * time.Millisecond,
+		Budget:           tcp.NewRetryBudget(10, 0.1),
+	}
+	cl := tcp.NewClient(ln.Addr().String(), tcp.WithResilience(res))
+	defer cl.Close()
+
+	ctx := context.Background() // no caller deadline at all
+	start := time.Now()
+	err = cl.Ping(ctx)
+	if !errors.Is(err, client.ErrNodeDown) {
+		t.Fatalf("stalled ping err = %v, want ErrNodeDown", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stall leaked as the caller's deadline: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("stalled ping took %v, want ~attempt timeout", d)
+	}
+}
+
+func TestServerIOTimeoutCutsSlowLoris(t *testing.T) {
+	// A peer that starts a frame and then drips nothing must be cut
+	// off; an idle pooled connection must not be.
+	addr := startEngineServer(t, tcp.WithServerIOTimeout(150*time.Millisecond))
+
+	// Idle is fine: a client connection can rest past the IO timeout
+	// and still serve requests.
+	cl := tcp.NewClient(addr)
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // pooled conn idles past the timeout
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatalf("ping after idle rest: %v", err)
+	}
+
+	// Slow-loris: two header bytes, then silence. The server must
+	// drop the connection on its own.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server answered a half frame")
+	} else if errors.Is(err, context.DeadlineExceeded) || time.Since(start) > 3*time.Second {
+		t.Fatalf("server did not cut the stalled peer (err=%v after %v)", err, time.Since(start))
+	}
+}
+
+// TestCancelledProbeReleasesHalfOpenSlot pins a liveness property of
+// the breaker: a half-open probe that is *cancelled* (the quorum
+// engine routinely cancels RPCs once it has enough answers) must hand
+// the probe slot back. If it didn't, the breaker would wedge
+// half-open and fast-fail every subsequent request forever — a healed
+// node could never rejoin.
+func TestCancelledProbeReleasesHalfOpenSlot(t *testing.T) {
+	// A server that accepts and never answers, so probes stall until
+	// their context decides their fate.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	cl := tcp.NewClient(ln.Addr().String(), tcp.WithResilience(tcp.Resilience{
+		FailureThreshold: 1,
+		OpenTimeout:      50 * time.Millisecond,
+		RetryAttempts:    0,
+		AttemptTimeout:   10 * time.Second, // only the caller's ctx ends attempts
+		Budget:           tcp.NewRetryBudget(10, 0.1),
+	}))
+	defer cl.Close()
+
+	// Trip the breaker: a blown caller deadline counts as a failure.
+	dctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if err := cl.Ping(dctx); err == nil {
+		t.Fatal("ping of a mute server succeeded")
+	}
+	cancel()
+	if lh := cl.LinkHealth(); lh.Breaker != client.BreakerOpen {
+		t.Fatalf("breaker %v after tripping failure, want open", lh.Breaker)
+	}
+	time.Sleep(80 * time.Millisecond) // cooldown passes; next request is the probe
+
+	// The probe is admitted, stalls, and is cancelled — the engine's
+	// "I have my quorum" path. Cancellation is not a verdict on the
+	// node, but it must release the probe slot.
+	cctx, cancelProbe := context.WithCancel(context.Background())
+	probeDone := make(chan error, 1)
+	go func() { probeDone <- cl.Ping(cctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancelProbe()
+	if err := <-probeDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled probe err = %v, want context.Canceled", err)
+	}
+
+	// A fresh request must be ADMITTED as the next probe — attempted
+	// against the node and reaped by the caller's deadline (which may
+	// surface as ctx.DeadlineExceeded or as the connection's own
+	// deadline error; the two race at the same instant) — never
+	// fast-failed on a wedged half-open breaker. The discriminators:
+	// a fast-fail is local, instant, and counts a FastFail.
+	before := cl.LinkHealth().FastFails
+	start := time.Now()
+	nctx, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	err = cl.Ping(nctx)
+	if err == nil {
+		t.Fatal("ping of a mute server succeeded")
+	}
+	if cl.LinkHealth().FastFails > before {
+		t.Fatalf("request after a cancelled probe was fast-failed: %v — probe slot leaked", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("request after a cancelled probe failed locally in %v (%v) — never attempted", d, err)
+	}
+}

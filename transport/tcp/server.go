@@ -45,12 +45,22 @@ func WithServerMaxFrame(max int) ServerOption {
 	return func(s *NodeServer) { s.maxFrame = max }
 }
 
+// WithServerIOTimeout bounds how long a connection may take to deliver
+// one request frame once its first byte has arrived, and how long a
+// response write may block — the slow-loris guard. An *idle*
+// connection (no request in progress) is never timed out, so client
+// connection pools keep working. 0 disables; the default is 30s.
+func WithServerIOTimeout(d time.Duration) ServerOption {
+	return func(s *NodeServer) { s.ioTimeout = d }
+}
+
 // NodeServer serves one node engine to any number of TCP clients. It
 // is transport plumbing only: every operation, including its
 // concurrency and atomicity guarantees, is delegated to the Service.
 type NodeServer struct {
-	svc      Service
-	maxFrame int
+	svc       Service
+	maxFrame  int
+	ioTimeout time.Duration
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -65,9 +75,10 @@ type NodeServer struct {
 // NewServer builds a server around the given service.
 func NewServer(svc Service, opts ...ServerOption) *NodeServer {
 	s := &NodeServer{
-		svc:      svc,
-		maxFrame: wire.DefaultMaxFrame,
-		conns:    make(map[net.Conn]struct{}),
+		svc:       svc,
+		maxFrame:  wire.DefaultMaxFrame,
+		ioTimeout: 30 * time.Second,
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	for _, opt := range opts {
@@ -199,10 +210,24 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 	const maxKeptScratch = 64 << 10
 	var readBuf, writeBuf []byte
 	for {
+		// Idle wait: block without a deadline until the next request's
+		// first byte, so pooled connections can rest indefinitely. Once
+		// a request has started arriving, the peer gets ioTimeout to
+		// deliver the whole frame — a slow-loris drip-feeding bytes is
+		// cut off instead of pinning the handler forever.
+		if s.ioTimeout > 0 {
+			conn.SetReadDeadline(time.Time{})
+			if _, err := br.Peek(1); err != nil {
+				return
+			}
+			if err := conn.SetReadDeadline(time.Now().Add(s.ioTimeout)); err != nil {
+				return
+			}
+		}
 		payload, err := wire.ReadFrame(br, readBuf, s.maxFrame)
 		if err != nil {
-			// Clean EOF, a broken peer or an oversized frame: the
-			// connection is unusable either way.
+			// Clean EOF, a broken peer, a stalled frame or an oversized
+			// one: the connection is unusable either way.
 			return
 		}
 		readBuf = payload[:0]
@@ -213,6 +238,9 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 			// answer the error, then drop the connection (the peer's
 			// encoder is broken).
 			resp = wire.Response{Status: wire.StatusBadRequest, Detail: err.Error()}
+			if s.ioTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+			}
 			writeBuf = wire.AppendResponse(writeBuf[:0], &resp)
 			if wire.WriteFrame(bw, writeBuf) == nil {
 				bw.Flush()
@@ -220,6 +248,13 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 			return
 		}
 		resp = s.handle(&req)
+		// A peer that stops draining its socket must not pin the
+		// handler in a blocked write (the read-side twin of slow-loris).
+		if s.ioTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.ioTimeout)); err != nil {
+				return
+			}
+		}
 		writeBuf = wire.AppendResponse(writeBuf[:0], &resp)
 		if err := wire.WriteFrame(bw, writeBuf); err != nil {
 			return

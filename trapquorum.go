@@ -182,6 +182,33 @@ type Metrics struct {
 	ScrubStripes int64
 	// ScrubDegraded counts repair tasks the scrubber found.
 	ScrubDegraded int64
+	// Brownouts counts transitions into the brownout state (node
+	// degraded — answering, but slowly; see SelfHeal.BrownoutLatency).
+	Brownouts int64
+
+	// The transport resilience counters below are populated when the
+	// backend implements ResilienceReporter (NetBackend with a
+	// Resilience policy does; the simulator does not — fault injection
+	// there is in-process and needs no breakers).
+
+	// BreakerOpens counts closed→open transitions of per-node circuit
+	// breakers, across all node links.
+	BreakerOpens int64
+	// BreakerFastFails counts operations failed locally because the
+	// node's breaker was open — load the fleet was spared.
+	BreakerFastFails int64
+	// TransportRetries counts replay-safe operations re-sent by the
+	// transport after a transient failure.
+	TransportRetries int64
+	// RetryBudgetSpent counts retry-budget tokens consumed; compare
+	// with TransportRetries (equal unless budgets were swapped
+	// mid-run).
+	RetryBudgetSpent int64
+	// RetryBudgetDenied counts retries refused because the budget was
+	// exhausted — the backstop against retry storms. A nonzero value
+	// under steady load means the fleet is failing faster than the
+	// budget refills; fix the network, not the budget.
+	RetryBudgetDenied int64
 }
 
 // ScrubReport is the stripe audit result of a scrub: the freshest
