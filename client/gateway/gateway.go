@@ -31,8 +31,10 @@ package gateway
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -337,6 +339,104 @@ func (c *Conn) do(ctx context.Context, req *gwire.Request) (response, error) {
 func (c *Conn) Put(ctx context.Context, key string, data []byte) error {
 	_, err := c.do(ctx, &gwire.Request{Op: gwire.OpPut, Key: []byte(key), Data: data})
 	return err
+}
+
+// streamChunkSize is the slice a streamed object travels in — one
+// part frame per chunk on upload, one ranged read per chunk on
+// download. 1 MiB keeps frames far under the wire limit while
+// amortising the per-request round trip; it is also the peak client
+// memory either streaming direction holds.
+const streamChunkSize = 1 << 20
+
+// PutReader stores size bytes streamed from r under key — the
+// streaming form of Put for objects too large to hold in memory (or
+// too large for one request frame). The object travels as a bracketed
+// upload (start, ordered parts, finish) and stays invisible until the
+// finish is acknowledged; a reader error, short read, or backend
+// failure aborts the upload and the gateway unwinds every stripe
+// already placed — no partial object is ever visible, and the key
+// stays free for a retry. Peak memory is one part either side of the
+// connection. Only one streaming upload may be in flight per Conn at
+// a time (the gateway refuses a second start on the same connection).
+func (c *Conn) PutReader(ctx context.Context, key string, r io.Reader, size int) error {
+	if size < 0 {
+		return fmt.Errorf("%w: negative size %d", client.ErrBadRequest, size)
+	}
+	if _, err := c.do(ctx, &gwire.Request{Op: gwire.OpPutStart, Key: []byte(key), Length: int64(size)}); err != nil {
+		return err
+	}
+	buf := make([]byte, streamChunkSize)
+	var off int64
+	for off < int64(size) {
+		n := int64(len(buf))
+		if rem := int64(size) - off; n > rem {
+			n = rem
+		}
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			c.abortUpload()
+			return fmt.Errorf("gateway: reading object %q at byte %d of %d: %w", key, off, size, err)
+		}
+		if _, err := c.do(ctx, &gwire.Request{Op: gwire.OpPutPart, Offset: off, Data: buf[:n]}); err != nil {
+			c.abortUpload()
+			return err
+		}
+		off += n
+	}
+	_, err := c.do(ctx, &gwire.Request{Op: gwire.OpPutFinish})
+	return err
+}
+
+// abortUpload tells the gateway to unwind the in-flight upload, best
+// effort on a detached context: the caller's context may be the very
+// thing that failed, and a dead connection unblocks the call anyway.
+func (c *Conn) abortUpload() {
+	_, _ = c.do(context.Background(), &gwire.Request{Op: gwire.OpPutAbort})
+}
+
+// GetWriter streams the object to w as a sequence of bounded ranged
+// reads — the streaming form of Get for objects too large to hold in
+// memory. It returns the bytes written; on error the count reports how
+// much of the object reached w. Like the embedded store's GetWriter,
+// the stream is read chunk by chunk, not as a point-in-time snapshot:
+// a concurrent WriteAt may land between chunks.
+func (c *Conn) GetWriter(ctx context.Context, key string, w io.Writer) (int64, error) {
+	size, err := c.Size(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	var written int64
+	for off := 0; off < size; {
+		n := streamChunkSize
+		if rem := size - off; n > rem {
+			n = rem
+		}
+		chunk, err := c.ReadAt(ctx, key, off, n)
+		if err != nil {
+			return written, err
+		}
+		m, werr := w.Write(chunk)
+		written += int64(m)
+		if werr != nil {
+			return written, fmt.Errorf("gateway: writing object %q: %w", key, werr)
+		}
+		off += n
+	}
+	return written, nil
+}
+
+// Size reports the object's byte size.
+func (c *Conn) Size(ctx context.Context, key string) (int, error) {
+	resp, err := c.do(ctx, &gwire.Request{Op: gwire.OpStat, Key: []byte(key)})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.data) != 8 {
+		return 0, fmt.Errorf("%w: stat answer of %d bytes", gwire.ErrMalformed, len(resp.data))
+	}
+	return int(binary.BigEndian.Uint64(resp.data)), nil
 }
 
 // Get reads the whole object.

@@ -10,7 +10,10 @@
 // all connections share one bounded worker pool, and a connection
 // exceeding its in-flight window — or a full pool queue — is pushed
 // back immediately with an overloaded status rather than queueing
-// without bound.
+// without bound. Objects too large for one frame stream through the
+// upload bracket (client/gateway PutReader/GetWriter): bytes flow
+// stripe by stripe into the fleet, so neither the client nor the
+// gateway ever holds more than one part of the object in memory.
 //
 //	trapgate -addr :7440 -nodes host1:7420,host2:7420,... -n 5 -k 3 -a 0 -b 3 -hh 0 -w 2
 //	trapgate -addr :7440 -sim 10                       # demo: simulated fleet

@@ -37,6 +37,9 @@ type config struct {
 	addr         string
 	dir          string
 	noFsync      bool
+	groupCommit  bool
+	gcLinger     time.Duration
+	gcMaxBatch   int
 	scanInterval time.Duration
 	ioTimeout    time.Duration
 }
@@ -45,7 +48,14 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":7420", "TCP address to listen on")
 	flag.StringVar(&cfg.dir, "dir", "", "durable storage directory (empty: keep chunks in memory)")
-	flag.BoolVar(&cfg.noFsync, "no-fsync", false, "skip fsync on mutations (faster, loses crash durability)")
+	flag.BoolVar(&cfg.noFsync, "no-fsync", false,
+		"skip fsync on mutations (faster, loses crash durability); before reaching for this, see -group-commit, which keeps full durability and amortises the fsync instead — docs/OPERATIONS.md §\"Running without fsync\" derives exactly what each mode risks")
+	flag.BoolVar(&cfg.groupCommit, "group-commit", false,
+		"batch concurrent mutations into one WAL append + fsync (needs -dir): every acknowledged mutation is still durable, but writers that arrive together share the fsync instead of each paying their own — see docs/OPERATIONS.md §\"Group commit\"")
+	flag.DurationVar(&cfg.gcLinger, "gc-linger", -1,
+		"group commit: how long the committer lingers for more mutations to join a batch (0 commits immediately, negative selects the built-in default; needs -group-commit)")
+	flag.IntVar(&cfg.gcMaxBatch, "gc-max-batch", 0,
+		"group commit: max mutations per batch before stagers block (0 selects the built-in default; needs -group-commit)")
 	flag.DurationVar(&cfg.scanInterval, "scan-interval", 0,
 		"periodic at-rest scan of the durable store: chunk files failing their CRC are quarantined so the cluster's scrub finds cold bit-rot without a client read (0 disables; needs -dir)")
 	flag.DurationVar(&cfg.ioTimeout, "io-timeout", 30*time.Second,
@@ -76,15 +86,25 @@ func run(cfg config, stop <-chan struct{}, started func(net.Addr)) error {
 		desc  string
 	)
 	if cfg.dir == "" {
+		if cfg.groupCommit {
+			return fmt.Errorf("trapnode: -group-commit needs -dir (the in-memory store has no fsync to amortise)")
+		}
 		store = memstore.New()
 		desc = "in-memory store"
 	} else {
-		ds, err := diskstore.Open(cfg.dir, diskstore.WithSyncWrites(!cfg.noFsync))
+		opts := []diskstore.Option{diskstore.WithSyncWrites(!cfg.noFsync)}
+		if cfg.groupCommit {
+			opts = append(opts, diskstore.WithGroupCommit(cfg.gcLinger, cfg.gcMaxBatch))
+		}
+		ds, err := diskstore.Open(cfg.dir, opts...)
 		if err != nil {
 			return err
 		}
 		store = ds
 		desc = fmt.Sprintf("durable store in %s", cfg.dir)
+		if cfg.groupCommit {
+			desc += ", group commit"
+		}
 	}
 	engine := nodeengine.New(store, nodeengine.WithName("trapnode "+cfg.addr))
 	defer engine.Close()

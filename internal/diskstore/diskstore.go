@@ -35,6 +35,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	"trapquorum/client"
 	"trapquorum/internal/chunkmeta"
@@ -96,12 +98,38 @@ type Store struct {
 	// failed poisons the store after a mutation error of unknown
 	// durability: the disk and the in-memory mirror may disagree, so
 	// every further operation refuses until a reopen reconverges them
-	// through recovery.
+	// through recovery. In group-commit mode it is guarded by gcMu
+	// (the committer can poison concurrently); otherwise the engine's
+	// serialisation suffices.
 	failed error
 	// crashAfterWAL, when set (tests only), aborts the next mutation
 	// with this error after the WAL intent is durable but before it is
 	// applied — the "power cut between append and apply" window.
 	crashAfterWAL error
+
+	// Group commit (see groupcommit.go). All gc* fields are inert
+	// unless gcOn; gcMu guards the batch state, pending/durable epochs
+	// and failed. gcDirty and gcWalBytes are committer-owned.
+	gcOn        bool
+	gcLinger    time.Duration
+	gcMaxBatch  int
+	gcMu        sync.Mutex
+	gcSpace     sync.Cond // batch has room (stager back-pressure)
+	gcRead      sync.Cond // durable epoch advanced (read gating)
+	gcWork      chan struct{}
+	gcCur       *gcBatch
+	gcEpoch     uint64 // epoch of gcCur
+	gcDurable   uint64 // highest epoch whose WAL append is durable
+	gcWipeEpoch uint64 // epoch of the most recent staged wipe
+	gcPending   map[client.ChunkID]uint64
+	gcClosed    bool
+	gcDone      chan struct{}
+	// gcDirty is the committer's write-back cache: the latest WAL
+	// record per chunk mutated since the last checkpoint (len 0 =
+	// delete pending). The checkpoint turns it into chunk files — one
+	// write per id however many times it was overwritten.
+	gcDirty    map[client.ChunkID][]byte
+	gcWalBytes int64
 }
 
 // Option customises a Store.
@@ -157,6 +185,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		lock.Close()
 		return nil, err
 	}
+	if s.gcOn {
+		s.startGroupCommit()
+	}
 	return s, nil
 }
 
@@ -167,7 +198,13 @@ func (s *Store) Dir() string { return s.dir }
 // quarantined chunk (its file failed the CRC at Open or during a Scan)
 // fails with ErrCorrupt until a mutation replaces it.
 func (s *Store) Get(id client.ChunkID) (data []byte, versions []uint64, meta chunkmeta.Meta, ok bool, err error) {
-	if s.failed != nil {
+	if s.gcOn {
+		// Durability gate: a staged-but-uncommitted mutation of this id
+		// must reach the WAL before a reader may observe it.
+		if err := s.gateRead(id); err != nil {
+			return nil, nil, chunkmeta.Meta{}, false, err
+		}
+	} else if s.failed != nil {
 		return nil, nil, chunkmeta.Meta{}, false, s.failed
 	}
 	if why, bad := s.quar[id]; bad {
@@ -181,6 +218,11 @@ func (s *Store) Get(id client.ChunkID) (data []byte, versions []uint64, meta chu
 // disk and the mirror may now disagree, and only a reopen's recovery
 // scan can reconverge them. It returns err for the caller to surface.
 func (s *Store) poison(err error) error {
+	if s.gcOn {
+		s.gcMu.Lock()
+		defer s.gcMu.Unlock()
+		return s.poisonLocked(err)
+	}
 	if s.failed == nil {
 		s.failed = fmt.Errorf("diskstore: unusable after failed mutation (reopen to recover): %w", err)
 	}
@@ -190,7 +232,16 @@ func (s *Store) poison(err error) error {
 // Put implements nodeengine.ChunkStore: WAL intent first, then the
 // chunk file via atomic rename, then the in-memory mirror. A put also
 // clears any quarantine on the id — the new image replaces the rot.
+// In group-commit mode it stages and waits, so concurrent callers of
+// the engine share one WAL fsync.
 func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) error {
+	if s.gcOn {
+		wait, err := s.PutBatched(id, data, versions, meta)
+		if err != nil {
+			return err
+		}
+		return wait()
+	}
 	if s.failed != nil {
 		return s.failed
 	}
@@ -210,6 +261,13 @@ func (s *Store) Put(id client.ChunkID, data []byte, versions []uint64, meta chun
 
 // Delete implements nodeengine.ChunkStore.
 func (s *Store) Delete(id client.ChunkID) error {
+	if s.gcOn {
+		wait, err := s.DeleteBatched(id)
+		if err != nil {
+			return err
+		}
+		return wait()
+	}
 	if s.failed != nil {
 		return s.failed
 	}
@@ -230,6 +288,13 @@ func (s *Store) Delete(id client.ChunkID) error {
 // Wipe implements nodeengine.ChunkStore: media replacement, every
 // chunk file removed.
 func (s *Store) Wipe() error {
+	if s.gcOn {
+		wait, err := s.WipeBatched()
+		if err != nil {
+			return err
+		}
+		return wait()
+	}
 	if s.failed != nil {
 		return s.failed
 	}
@@ -255,8 +320,8 @@ func (s *Store) walResetOrPoison() error {
 // Len implements nodeengine.ChunkStore. Quarantined chunks still
 // count: they exist, they are just unreadable.
 func (s *Store) Len() (int, error) {
-	if s.failed != nil {
-		return 0, s.failed
+	if err := s.failedErr(); err != nil {
+		return 0, err
 	}
 	n, err := s.mem.Len()
 	return n + len(s.quar), err
@@ -268,8 +333,8 @@ func (s *Store) Len() (int, error) {
 // path without waiting for a client read. It returns the ids of all
 // currently quarantined chunks (newly found plus still unhealed).
 func (s *Store) Scan() ([]client.ChunkID, error) {
-	if s.failed != nil {
-		return nil, s.failed
+	if err := s.failedErr(); err != nil {
+		return nil, err
 	}
 	entries, err := os.ReadDir(s.chunksDir)
 	if err != nil {
@@ -305,8 +370,12 @@ func (s *Store) Scan() ([]client.ChunkID, error) {
 
 // Close implements nodeengine.ChunkStore: it closes the WAL handle
 // and releases the directory lock. All acknowledged mutations are
-// already durable.
+// already durable; in group-commit mode the committer is drained and
+// a final checkpoint truncates the WAL first.
 func (s *Store) Close() error {
+	if s.gcOn {
+		s.stopGroupCommit()
+	}
 	err := s.wal.Close()
 	if cerr := s.lock.Close(); err == nil {
 		err = cerr
@@ -316,27 +385,47 @@ func (s *Store) Close() error {
 
 // ---- apply phase -------------------------------------------------
 
-func (s *Store) applyPut(id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) error {
+// applyPutFile rewrites the chunk file (temp + rename). With durable
+// set, the file and then the directory are fsynced — the per-mutation
+// protocol. The group committer passes durable=false and defers both
+// syncs to its checkpoint, the WAL intent covering the gap.
+func (s *Store) applyPutFile(id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta, durable bool) error {
 	final := filepath.Join(s.chunksDir, chunkFileName(id))
 	tmp := final + ".tmp"
 	payload := appendChunkFile(s.fscratch[:0], id, data, versions, meta)
 	s.fscratch = payload[:0]
-	if err := writeFileDurable(tmp, payload, s.sync); err != nil {
+	if err := writeFileDurable(tmp, payload, durable && s.sync); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("diskstore: %w", err)
 	}
-	if err := s.syncDir(s.chunksDir); err != nil {
+	if !durable {
+		return nil
+	}
+	return s.syncDir(s.chunksDir)
+}
+
+func (s *Store) applyPut(id client.ChunkID, data []byte, versions []uint64, meta chunkmeta.Meta) error {
+	if err := s.applyPutFile(id, data, versions, meta, true); err != nil {
 		return err
 	}
 	delete(s.quar, id)
 	return s.mem.Put(id, data, versions, meta)
 }
 
-func (s *Store) applyDelete(id client.ChunkID) error {
+// applyDeleteFile removes the chunk file without the directory sync;
+// deleting a missing chunk is a no-op.
+func (s *Store) applyDeleteFile(id client.ChunkID) error {
 	if err := os.Remove(filepath.Join(s.chunksDir, chunkFileName(id))); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) applyDelete(id client.ChunkID) error {
+	if err := s.applyDeleteFile(id); err != nil {
+		return err
 	}
 	if err := s.syncDir(s.chunksDir); err != nil {
 		return err
@@ -345,7 +434,8 @@ func (s *Store) applyDelete(id client.ChunkID) error {
 	return s.mem.Delete(id)
 }
 
-func (s *Store) applyWipe() error {
+// applyWipeFiles removes every chunk file without the directory sync.
+func (s *Store) applyWipeFiles() error {
 	entries, err := os.ReadDir(s.chunksDir)
 	if err != nil {
 		return fmt.Errorf("diskstore: %w", err)
@@ -354,6 +444,13 @@ func (s *Store) applyWipe() error {
 		if err := os.Remove(filepath.Join(s.chunksDir, ent.Name())); err != nil {
 			return fmt.Errorf("diskstore: %w", err)
 		}
+	}
+	return nil
+}
+
+func (s *Store) applyWipe() error {
+	if err := s.applyWipeFiles(); err != nil {
+		return err
 	}
 	if err := s.syncDir(s.chunksDir); err != nil {
 		return err
@@ -365,6 +462,48 @@ func (s *Store) applyWipe() error {
 }
 
 // ---- write-ahead log ---------------------------------------------
+
+// appendWALFrame appends one framed record — length, CRC, payload —
+// to dst.
+func appendWALFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// nextWALFrame decodes the leading frame of raw, returning its payload
+// and the remaining bytes. An incomplete or checksum-failing frame is
+// an error; replay treats that as the torn tail.
+func nextWALFrame(raw []byte) (payload, rest []byte, err error) {
+	if len(raw) < 8 {
+		return nil, nil, fmt.Errorf("torn header")
+	}
+	size := binary.BigEndian.Uint32(raw[0:4])
+	sum := binary.BigEndian.Uint32(raw[4:8])
+	if size > maxRecord || uint64(len(raw)) < 8+uint64(size) {
+		return nil, nil, fmt.Errorf("torn or garbage tail")
+	}
+	payload = raw[8 : 8+size]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, fmt.Errorf("torn payload")
+	}
+	return payload, raw[8+size:], nil
+}
+
+// walAppendRaw appends pre-framed bytes (one or many records) with a
+// single write and, when configured, a single fsync — the group
+// committer's durability point.
+func (s *Store) walAppendRaw(buf []byte) error {
+	if _, err := s.wal.Write(buf); err != nil {
+		return fmt.Errorf("diskstore: wal append: %w", err)
+	}
+	if s.sync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("diskstore: wal sync: %w", err)
+		}
+	}
+	return nil
+}
 
 // walAppend frames and appends one record: length, CRC, payload.
 func (s *Store) walAppend(payload []byte) error {

@@ -1,0 +1,239 @@
+package diskstore_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"trapquorum/client"
+	"trapquorum/internal/diskstore"
+	"trapquorum/internal/nodeengine"
+)
+
+// Group commit must preserve every durability property of the
+// per-mutation path: acknowledged mutations survive reopen, the crash
+// window between WAL append and apply replays, unknown-durability
+// failures poison the store, and reads never observe state a crash
+// could still revoke.
+
+// Interface conformance with the engine's batching contract.
+var _ nodeengine.BatchStore = (*diskstore.Store)(nil)
+
+func openGroupStore(t *testing.T, dir string, linger time.Duration) *diskstore.Store {
+	t.Helper()
+	s, err := diskstore.Open(dir,
+		diskstore.WithSyncWrites(false),
+		diskstore.WithGroupCommit(linger, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGroupCommitRoundTrip(t *testing.T) {
+	s := openGroupStore(t, t.TempDir(), 0)
+	defer s.Close()
+	id := client.ChunkID{Stripe: 7, Shard: 2}
+	if err := s.Put(id, []byte{1, 2, 3}, []uint64{5, 6}, nodeengine.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	data, versions, _, ok, err := s.Get(id)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if string(data) != "\x01\x02\x03" || versions[0] != 5 || versions[1] != 6 {
+		t.Fatalf("got %v %v", data, versions)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok, _ := s.Get(id); ok {
+		t.Fatal("chunk survived delete")
+	}
+	if err := s.Put(id, []byte{9}, []uint64{1}, nodeengine.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wipe(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Len(); n != 0 {
+		t.Fatalf("len after wipe = %d", n)
+	}
+}
+
+// TestGroupCommitReopenDurability closes a group-commit store and
+// reopens it with the plain per-mutation configuration: everything the
+// batched path acknowledged must be there, and the shutdown checkpoint
+// must have left an empty WAL behind.
+func TestGroupCommitReopenDurability(t *testing.T) {
+	dir := t.TempDir()
+	s := openGroupStore(t, dir, 0)
+	for i := 0; i < 20; i++ {
+		id := client.ChunkID{Stripe: uint64(i), Shard: 1}
+		if err := s.Put(id, []byte{byte(i)}, []uint64{uint64(i)}, nodeengine.Meta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(client.ChunkID{Stripe: 3, Shard: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestStore(t, dir)
+	defer r.Close()
+	if n, _ := r.Len(); n != 19 {
+		t.Fatalf("recovered %d chunks, want 19", n)
+	}
+	data, versions, _, ok, _ := r.Get(client.ChunkID{Stripe: 11, Shard: 1})
+	if !ok || data[0] != 11 || versions[0] != 11 {
+		t.Fatalf("chunk 11 = %v %v %v", data, versions, ok)
+	}
+	if _, _, _, ok, _ = r.Get(client.ChunkID{Stripe: 3, Shard: 1}); ok {
+		t.Fatal("deleted chunk survived reopen")
+	}
+}
+
+// TestGroupCommitCrashAfterWAL is the group twin of
+// TestCrashBetweenWALAppendAndApply: the batch's WAL append is durable
+// but the process dies before the deferred applies. The mutation is
+// reported failed with unknown durability, the store poisons — and the
+// reopen replays the WAL, finishing the mutation.
+func TestGroupCommitCrashAfterWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openGroupStore(t, dir, 0)
+	id := client.ChunkID{Stripe: 4, Shard: 1}
+	if err := s.Put(id, []byte{1, 1}, []uint64{1}, nodeengine.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	crash := errors.New("power cut")
+	s.SetCrashAfterWAL(crash)
+	if err := s.Put(id, []byte{2, 2}, []uint64{2}, nodeengine.Meta{}); !errors.Is(err, crash) {
+		t.Fatalf("err = %v", err)
+	}
+	// Poisoned until reopen: mutations and reads both refuse.
+	if err := s.Put(id, []byte{3}, []uint64{3}, nodeengine.Meta{}); !errors.Is(err, crash) {
+		t.Fatalf("post-poison put err = %v", err)
+	}
+	if _, _, _, _, err := s.Get(id); !errors.Is(err, crash) {
+		t.Fatalf("post-poison get err = %v", err)
+	}
+	s.Close()
+
+	r := openTestStore(t, dir)
+	defer r.Close()
+	data, versions, _, ok, _ := r.Get(id)
+	if !ok || data[0] != 2 || versions[0] != 2 {
+		t.Fatalf("recovered %v %v %v, want the WAL-committed v2", data, versions, ok)
+	}
+}
+
+// TestGroupCommitReadGating: a read of a staged-but-not-yet-durable
+// chunk blocks until the batch's fsync, so no client ever observes a
+// mutation a crash could revoke. The linger window is what keeps the
+// batch open; the Get must ride it out and then see the new value.
+func TestGroupCommitReadGating(t *testing.T) {
+	const linger = 30 * time.Millisecond
+	s := openGroupStore(t, t.TempDir(), linger)
+	defer s.Close()
+	id := client.ChunkID{Stripe: 1, Shard: 1}
+	wait, err := s.PutBatched(id, []byte{42}, []uint64{7}, nodeengine.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	data, _, _, ok, err := s.Get(id)
+	if err != nil || !ok || data[0] != 42 {
+		t.Fatalf("gated Get = %v %v %v", data, ok, err)
+	}
+	if el := time.Since(start); el < linger/2 {
+		t.Fatalf("Get returned after %v, before the %v linger window closed", el, linger)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("wait after gated read: %v", err)
+	}
+	// Untouched ids are never gated.
+	if _, _, _, ok, err := s.Get(client.ChunkID{Stripe: 99}); ok || err != nil {
+		t.Fatalf("miss = %v, %v", ok, err)
+	}
+}
+
+// TestGroupCommitConcurrentWriters drives an engine (which serialises
+// staging, as the contract requires) from many goroutines and checks
+// every acknowledged write is present — both live and after reopen.
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	e := nodeengine.New(openGroupStore(t, dir, time.Millisecond))
+	const writers, rounds = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			id := client.ChunkID{Stripe: uint64(w), Shard: 0}
+			for r := 1; r <= rounds; r++ {
+				if err := e.PutChunk(ctx, id, []byte{byte(w), byte(r)}, []uint64{uint64(r)}); err != nil {
+					errs <- fmt.Errorf("writer %d round %d: %w", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for w := 0; w < writers; w++ {
+		got, err := e.ReadChunk(ctx, client.ChunkID{Stripe: uint64(w), Shard: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Data[1] != rounds || got.Versions[0] != rounds {
+			t.Fatalf("writer %d final chunk %+v", w, got)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestStore(t, dir)
+	defer r.Close()
+	if n, _ := r.Len(); n != writers {
+		t.Fatalf("recovered %d chunks, want %d", n, writers)
+	}
+}
+
+// TestGroupCommitWipeGatesReads: a staged wipe gates every read (there
+// is no per-id pending entry to key on), and survives reopen.
+func TestGroupCommitWipeGatesReads(t *testing.T) {
+	dir := t.TempDir()
+	s := openGroupStore(t, dir, 10*time.Millisecond)
+	id := client.ChunkID{Stripe: 5}
+	if err := s.Put(id, []byte{1}, []uint64{1}, nodeengine.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	wait, err := s.WipeBatched()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok, err := s.Get(id); ok || err != nil {
+		t.Fatalf("read across staged wipe = %v, %v", ok, err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r := openTestStore(t, dir)
+	defer r.Close()
+	if n, _ := r.Len(); n != 0 {
+		t.Fatalf("wipe did not survive reopen: %d chunks", n)
+	}
+}

@@ -23,6 +23,7 @@
 package erasure
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -88,11 +89,16 @@ type Code struct {
 	gen      *matrix.Matrix // n×k systematic generator; top k×k = I
 	parallel int            // segment-worker bound (≥ 1)
 
-	// encOnce guards the lazily built packed-lane encode tables:
+	// encOnce guards the lazily built encode tables.
 	// encBanks[b][i] packs, for data column i, the coefficients of the
-	// ≤8 parity rows of bank b (rows k+8b .. min(k+8b+8, n)).
-	encOnce  sync.Once
-	encBanks [][]*gf256.LaneTable
+	// ≤8 parity rows of bank b (rows k+8b .. min(k+8b+8, n)) — the
+	// packed-lane path. encBankCoeffs[b][i] holds the same coefficients
+	// as plain bytes for the SIMD row fan-out, and encRows[j] is parity
+	// row j's full coefficient vector for row-wise verification.
+	encOnce       sync.Once
+	encBanks      [][]*gf256.LaneTable
+	encBankCoeffs [][][]byte
+	encRows       [][]byte
 
 	cacheMu     sync.Mutex
 	decodeCache *decodeCache
@@ -208,22 +214,32 @@ func (c *Code) encTables() [][]*gf256.LaneTable {
 		parity := c.n - c.k
 		nbanks := (parity + gf256.MaxLanes - 1) / gf256.MaxLanes
 		banks := make([][]*gf256.LaneTable, nbanks)
+		bankCoeffs := make([][][]byte, nbanks)
 		for b := 0; b < nbanks; b++ {
 			rows := gf256.MaxLanes
 			if rem := parity - b*gf256.MaxLanes; rem < rows {
 				rows = rem
 			}
 			tables := make([]*gf256.LaneTable, c.k)
-			coeffs := make([]byte, rows)
+			cols := make([][]byte, c.k)
 			for i := 0; i < c.k; i++ {
+				coeffs := make([]byte, rows)
 				for r := 0; r < rows; r++ {
 					coeffs[r] = c.gen.At(c.k+b*gf256.MaxLanes+r, i)
 				}
 				tables[i] = gf256.NewLaneTable(coeffs)
+				cols[i] = coeffs
 			}
 			banks[b] = tables
+			bankCoeffs[b] = cols
 		}
 		c.encBanks = banks
+		c.encBankCoeffs = bankCoeffs
+		rows := make([][]byte, parity)
+		for j := range rows {
+			rows[j] = c.gen.Row(c.k + j)
+		}
+		c.encRows = rows
 	})
 	return c.encBanks
 }
@@ -254,12 +270,31 @@ func (c *Code) forEachSegment(size int, f func(lo, hi int)) {
 	}, func(int, struct{}, error) bool { return true })
 }
 
-// encodeSegment computes every parity row over positions [lo,hi):
-// one packed-lane accumulation pass per bank (k lookups per position
-// feeding the bank's ≤8 rows at once), then a word-wise lane extraction
-// into each parity block.
+// encodeSegment computes every parity row over positions [lo,hi).
+//
+// On SIMD builds it runs the row fan-out: per bank of ≤8 parity rows,
+// one vector Mul/MulAdd pass per data column — the column's segment
+// stays hot across the bank's rows, and no lane transpose is needed.
+// On portable builds it runs the packed-lane path: one accumulation
+// pass per bank (k lookups per position feeding the bank's ≤8 rows at
+// once), then a word-wise lane extraction into each parity block.
 func (c *Code) encodeSegment(parity [][]byte, data [][]byte, lo, hi int) {
 	banks := c.encTables()
+	if gf256.Accelerated() {
+		var dsts [gf256.MaxLanes][]byte
+		for b, cols := range c.encBankCoeffs {
+			base := b * gf256.MaxLanes
+			rows := len(cols[0])
+			for lane := 0; lane < rows; lane++ {
+				dsts[lane] = parity[base+lane][lo:hi]
+			}
+			gf256.MulRows(cols[0], dsts[:rows], data[0][lo:hi])
+			for i := 1; i < len(cols); i++ {
+				gf256.MulAddRows(cols[i], dsts[:rows], data[i][lo:hi])
+			}
+		}
+		return
+	}
 	acc := blockpool.GetWords(hi - lo)
 	var dsts [gf256.MaxLanes][]byte
 	for b, tables := range banks {
@@ -372,6 +407,23 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 		hi := lo + segmentSize
 		if hi > size {
 			hi = size
+		}
+		if gf256.Accelerated() {
+			// SIMD row fan-out: re-derive each parity row into pooled
+			// scratch and compare, short-circuiting on the first bad row.
+			scratch := blockpool.GetBlock(hi - lo)
+			for j, row := range c.encRows {
+				gf256.MulSlice(row[0], scratch.B, data[0][lo:hi])
+				for i := 1; i < len(row); i++ {
+					gf256.MulAddSlice(row[i], scratch.B, data[i][lo:hi])
+				}
+				if !bytes.Equal(scratch.B, shards[c.k+j][lo:hi]) {
+					ok = false
+					break
+				}
+			}
+			scratch.Release()
+			continue
 		}
 		acc := blockpool.GetWords(hi - lo)
 		var wants [gf256.MaxLanes][]byte

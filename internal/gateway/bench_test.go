@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -22,6 +23,11 @@ import (
 type nullStore struct{ payload []byte }
 
 func (n nullStore) Put(context.Context, string, []byte) error { return nil }
+func (n nullStore) PutReader(_ context.Context, _ string, r io.Reader, size int) error {
+	_, err := io.CopyN(io.Discard, r, int64(size))
+	return err
+}
+func (n nullStore) Size(string) (int, error) { return len(n.payload), nil }
 func (n nullStore) GetAppend(_ context.Context, _ string, dst []byte) ([]byte, error) {
 	return append(dst, n.payload...), nil
 }

@@ -24,6 +24,17 @@
 // service layer's append-style reads), so the steady-state serve
 // path allocates nothing per request.
 //
+// Objects too large for one request frame stream through an upload
+// bracket (OpPutStart, ordered OpPutPart frames, OpPutFinish): parts
+// are piped into the service layer's PutReader, which encodes and
+// seeds stripes while later parts are still arriving. A part write
+// blocks until the pipeline consumes it — backpressure that keeps
+// gateway memory at O(part) per upload however large the object — and
+// the object stays invisible until the finish; an abort, a dropped
+// connection or a drain unwinds every stripe already placed.
+// Downloads stream as chunked ranged reads (OpStat + OpReadAt), which
+// need no server-side state at all.
+//
 // Connections bind to a tenant namespace with a Hello handshake;
 // tenants are isolated namespaces with quotas on one shared fleet
 // (see service.Fleet). Watch subscriptions receive object-change
@@ -41,6 +52,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -55,10 +68,16 @@ import (
 // FleetTenants for the adapter.
 type TenantStore interface {
 	Put(ctx context.Context, key string, data []byte) error
+	// PutReader is the streaming form of Put: size bytes arrive through
+	// r, and a failure (short read, reader error, node failure) must
+	// leave no partial object behind.
+	PutReader(ctx context.Context, key string, r io.Reader, size int) error
 	GetAppend(ctx context.Context, key string, dst []byte) ([]byte, error)
 	ReadAtAppend(ctx context.Context, key string, offset, length int, dst []byte) ([]byte, error)
 	WriteAt(ctx context.Context, key string, offset int, data []byte) error
 	Delete(ctx context.Context, key string) error
+	// Size reports the object's byte size.
+	Size(key string) (int, error)
 	// ScrubSummary audits the object and returns a one-line report.
 	ScrubSummary(ctx context.Context, key string) (string, error)
 }
@@ -309,9 +328,21 @@ func (srv *Server) Drain(ctx context.Context) error {
 			targets = append(targets, s)
 		}
 	}
+	sessions := make([]*session, 0, len(srv.sessions))
+	for s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
 	srv.mu.Unlock()
 	for _, s := range targets {
 		s.enqueueEvent(gwire.EventDrain, "")
+	}
+	// Abort in-progress streaming uploads: a part blocked in the pipe
+	// is pinning a pool worker and counted in-flight, and no further
+	// parts will be admitted past the drain flag — without this the
+	// in-flight poll below could only time out. The blocked part (and
+	// the upload's client) observes StatusDraining.
+	for _, s := range sessions {
+		s.abortUpload(gwire.ErrDraining)
 	}
 
 	// Readers increment the in-flight count before they check the
@@ -488,7 +519,38 @@ type session struct {
 	watchMu      sync.Mutex
 	events       chan event
 	notifierDone chan struct{}
+
+	// upMu guards the session's active streaming upload (one at a
+	// time); see handlePutStart.
+	upMu sync.Mutex
+	up   *upload
 }
+
+// upload is one in-progress streaming put: the pipe feeding the
+// backend's PutReader, and the bookkeeping that keeps parts ordered.
+// The object stays invisible until OpPutFinish; a dropped connection,
+// an OpPutAbort or a drain unwinds it without a trace.
+type upload struct {
+	key  string
+	size int64
+	pw   *io.PipeWriter
+	// done closes once the backend's PutReader returned; verdict is
+	// its error, valid after done. Any number of waiters (a blocked
+	// part, the finish, an abort, the session teardown) may consult it.
+	done    chan struct{}
+	verdict error
+
+	// mu serialises part writes into the pipe and guards got, the
+	// number of bytes accepted so far. Parts carry their running offset
+	// and anything out of order is refused — pipelined parts racing
+	// through different pool workers must not interleave in the pipe.
+	mu  sync.Mutex
+	got int64
+}
+
+// errUploadAborted is what the backend's PutReader sees when the
+// client (or a session teardown) aborts the upload mid-stream.
+var errUploadAborted = errors.New("gateway: upload aborted")
 
 // maxInternedKeys bounds the per-session key intern table.
 const maxInternedKeys = 4096
@@ -517,6 +579,10 @@ func (s *session) readLoop() {
 		s.conn.Close()
 		s.srv.unregister(s)
 		s.stopNotifier()
+		// A connection that dies mid-upload unwinds it: the pipe close
+		// fails the backend's read, and PutReader deletes every stripe
+		// it had seeded before this returns.
+		s.abortUpload(errUploadAborted)
 	}()
 	srv := s.srv
 	fb := srv.getReadBuf()
@@ -685,12 +751,149 @@ func (s *session) handle(req *gwire.Request) {
 			return
 		}
 		s.respondData(req.Seq, []byte(summary))
+	case gwire.OpStat:
+		key := s.internKey(req.Key)
+		size, err := s.store.Size(key)
+		if err != nil {
+			s.respondStatus(req.Seq, err)
+			return
+		}
+		var sz [8]byte
+		binary.BigEndian.PutUint64(sz[:], uint64(size))
+		s.respondData(req.Seq, sz[:])
+	case gwire.OpPutStart:
+		s.handlePutStart(req)
+	case gwire.OpPutPart:
+		s.handlePutPart(req)
+	case gwire.OpPutFinish:
+		s.handlePutFinish(req)
+	case gwire.OpPutAbort:
+		if !s.abortUpload(errUploadAborted) {
+			s.respondErr(req.Seq, gwire.StatusBadRequest, "no upload in progress")
+			return
+		}
+		s.respondOK(req.Seq)
 	case gwire.OpWatch:
 		srv.registerWatch(s, req.Seq)
 		s.respondOK(req.Seq)
 	default:
 		s.respondErr(req.Seq, gwire.StatusBadRequest, "unhandled op")
 	}
+}
+
+// handlePutStart opens a streaming upload: the declared size travels
+// in Length, and from here until OpPutFinish the session's parts are
+// piped into the backend's PutReader, which runs in its own goroutine
+// so part frames and stripe seeding overlap. Backend errors (quota,
+// node failure) surface on the first part or the finish — whichever
+// touches the pipe after the backend gave up.
+func (s *session) handlePutStart(req *gwire.Request) {
+	if req.Length < 0 || req.Length > math.MaxInt {
+		s.respondErr(req.Seq, gwire.StatusBadRange, "upload size out of range")
+		return
+	}
+	key := s.internKey(req.Key)
+	pr, pw := io.Pipe()
+	up := &upload{key: key, size: req.Length, pw: pw, done: make(chan struct{})}
+	s.upMu.Lock()
+	if s.up != nil {
+		s.upMu.Unlock()
+		pw.Close()
+		s.respondErr(req.Seq, gwire.StatusBadRequest, "an upload is already in progress on this connection")
+		return
+	}
+	s.up = up
+	s.upMu.Unlock()
+	go func() {
+		err := s.store.PutReader(s.srv.ctx, key, pr, int(up.size))
+		// Unblock any part still (or later) writing into the pipe: a
+		// failed PutReader propagates its error to the waiting part, a
+		// completed one turns stray extra parts into ErrClosedPipe.
+		pr.CloseWithError(err)
+		up.verdict = err
+		close(up.done)
+	}()
+	s.respondOK(req.Seq)
+}
+
+// handlePutPart feeds one slice of the upload into the pipe. The part
+// write blocks until the streaming pipeline consumes the bytes — that
+// is the backpressure that keeps gateway memory at O(part) per upload
+// however large the object.
+func (s *session) handlePutPart(req *gwire.Request) {
+	s.upMu.Lock()
+	up := s.up
+	s.upMu.Unlock()
+	if up == nil {
+		s.respondErr(req.Seq, gwire.StatusBadRequest, "no upload in progress")
+		return
+	}
+	up.mu.Lock()
+	if req.Offset != up.got {
+		up.mu.Unlock()
+		s.respondErr(req.Seq, gwire.StatusBadRequest,
+			fmt.Sprintf("out-of-order part: offset %d, want %d", req.Offset, up.got))
+		return
+	}
+	if up.got+int64(len(req.Data)) > up.size {
+		up.mu.Unlock()
+		s.respondErr(req.Seq, gwire.StatusBadRange, "upload exceeds its declared size")
+		return
+	}
+	_, err := up.pw.Write(req.Data)
+	if err == nil {
+		up.got += int64(len(req.Data))
+	}
+	up.mu.Unlock()
+	if errors.Is(err, io.ErrClosedPipe) {
+		// The write half was closed under the blocked write (abort,
+		// drain, session teardown): the backend's verdict — guaranteed
+		// to arrive, the pipe it was reading is dead too — names the
+		// real cause, which is what the client should see.
+		<-up.done
+		if up.verdict != nil {
+			err = up.verdict
+		}
+	}
+	s.respondStatus(req.Seq, err)
+}
+
+// handlePutFinish closes the pipe and publishes the backend's verdict:
+// only now does the object become visible (and the Watch event fire).
+// A finish before all declared bytes arrived surfaces the backend's
+// short-read error — and the backend has already unwound every stripe.
+func (s *session) handlePutFinish(req *gwire.Request) {
+	s.upMu.Lock()
+	up := s.up
+	s.up = nil
+	s.upMu.Unlock()
+	if up == nil {
+		s.respondErr(req.Seq, gwire.StatusBadRequest, "no upload in progress")
+		return
+	}
+	up.pw.Close()
+	<-up.done
+	if up.verdict == nil {
+		s.srv.notify(s, s.tenant, gwire.EventPut, up.key)
+	}
+	s.respondStatus(req.Seq, up.verdict)
+}
+
+// abortUpload tears the session's active upload down (if any) and
+// waits for the backend to finish unwinding — once this returns, no
+// chunk of the aborted object remains on any node. cause is what a
+// part blocked in the pipe (and the backend's reader) observes.
+func (s *session) abortUpload(cause error) bool {
+	s.upMu.Lock()
+	up := s.up
+	s.up = nil
+	s.upMu.Unlock()
+	if up == nil {
+		return false
+	}
+	up.pw.CloseWithError(cause)
+	<-up.done
+	return true
 }
 
 // respondStatus maps err through the wire taxonomy and answers.

@@ -1,0 +1,153 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// SIMD kernel selection for amd64. Two vector paths sit behind the
+// same per-length selection as the word kernels:
+//
+//   - AVX2: the classical nibble-split VPSHUFB scheme. Per coefficient
+//     c a 32-byte table packs the products of the low nibble
+//     (c·v, v in 0..15) and the high nibble (c·(v<<4)); one shuffle per
+//     nibble and a XOR yield 32 products per instruction pair.
+//   - GFNI (VEX-encoded, requires AVX2 too): multiplication by c is an
+//     8×8 bit-matrix affine transform, VGF2P8AFFINEQB, one instruction
+//     per 32 products — about half the port pressure of the shuffle
+//     pair and no table broadcast.
+//
+// Feature detection runs once at init (CPUID + XCR0, see cpu_amd64.go).
+// The assembly bodies process 32-byte multiples only; the Go wrappers
+// here hand the tail to the scalar reference kernels, so every length
+// matches the scalar baseline byte for byte — the differential fuzz
+// targets pin exactly that.
+
+// asmMin is the slice length at which the vector kernels take over:
+// below it the broadcast/setup overhead beats the gain.
+const asmMin = 64
+
+var (
+	// nibTables[c] packs the two 16-entry nibble product tables of
+	// coefficient c: bytes 0..15 hold c·v, bytes 16..31 hold c·(v<<4).
+	nibTables *[256][32]byte
+	// gfniMats[c] is the 8×8 GF(2) matrix of multiplication by c in the
+	// VGF2P8AFFINEQB layout: matrix byte 7−i is output-bit i's row, row
+	// bit j set iff bit i of c·x^j is set.
+	gfniMats *[256]uint64
+)
+
+func init() {
+	initBaseTables()
+	detectCPU()
+	if !hasAVX2 {
+		return
+	}
+	var nt [256][32]byte
+	for c := 0; c < 256; c++ {
+		row := &mulTable[c]
+		for v := 0; v < 16; v++ {
+			nt[c][v] = row[v]
+			nt[c][16+v] = row[v<<4]
+		}
+	}
+	nibTables = &nt
+	if hasGFNI {
+		var gm [256]uint64
+		for c := 0; c < 256; c++ {
+			var m uint64
+			for i := 0; i < 8; i++ {
+				var row byte
+				for j := 0; j < 8; j++ {
+					if mulTable[c][1<<j]&(1<<i) != 0 {
+						row |= 1 << j
+					}
+				}
+				m |= uint64(row) << (8 * (7 - i))
+			}
+			gm[c] = m
+		}
+		gfniMats = &gm
+	}
+}
+
+// Accelerated reports whether SIMD kernels are active for large slices.
+func Accelerated() bool { return hasAVX2 }
+
+// KernelName names the active large-slice kernel implementation, for
+// diagnostics and benchmark labels.
+func KernelName() string {
+	switch {
+	case hasGFNI:
+		return "amd64-gfni"
+	case hasAVX2:
+		return "amd64-avx2"
+	default:
+		return "words"
+	}
+}
+
+// accelXor runs dst ^= src through the vector kernel when profitable.
+// It reports false when the caller should use the portable path.
+func accelXor(dst, src []byte) bool {
+	if !hasAVX2 || len(src) < asmMin {
+		return false
+	}
+	n := len(src) &^ 31
+	xorAVX2(&dst[0], &src[0], n)
+	if n < len(src) {
+		XorSliceRef(dst[n:], src[n:])
+	}
+	return true
+}
+
+// accelMulAdd runs dst ^= c·src through the vector kernel when
+// profitable. c must not be 0 or 1 (the callers' fast paths).
+func accelMulAdd(c byte, dst, src []byte) bool {
+	if !hasAVX2 || len(src) < asmMin {
+		return false
+	}
+	n := len(src) &^ 31
+	if hasGFNI {
+		mulAddGFNI(gfniMats[c], &dst[0], &src[0], n)
+	} else {
+		mulAddAVX2(&nibTables[c], &dst[0], &src[0], n)
+	}
+	if n < len(src) {
+		mulAddRef(&mulTable[c], dst[n:], src[n:])
+	}
+	return true
+}
+
+// accelMul runs dst = c·src through the vector kernel when profitable.
+// c must not be 0 or 1 (the callers' fast paths).
+func accelMul(c byte, dst, src []byte) bool {
+	if !hasAVX2 || len(src) < asmMin {
+		return false
+	}
+	n := len(src) &^ 31
+	if hasGFNI {
+		mulGFNI(gfniMats[c], &dst[0], &src[0], n)
+	} else {
+		mulAVX2(&nibTables[c], &dst[0], &src[0], n)
+	}
+	if n < len(src) {
+		mulRef(&mulTable[c], dst[n:], src[n:])
+	}
+	return true
+}
+
+// The assembly bodies. n is a multiple of 32; dst and src must hold n
+// bytes and may be equal (full aliasing) but not partially overlap.
+
+//go:noescape
+func xorAVX2(dst, src *byte, n int)
+
+//go:noescape
+func mulAddAVX2(tbl *[32]byte, dst, src *byte, n int)
+
+//go:noescape
+func mulAVX2(tbl *[32]byte, dst, src *byte, n int)
+
+//go:noescape
+func mulAddGFNI(mat uint64, dst, src *byte, n int)
+
+//go:noescape
+func mulGFNI(mat uint64, dst, src *byte, n int)

@@ -1,0 +1,112 @@
+//go:build arm64 && !purego
+
+package gf256
+
+// SIMD kernel selection for arm64. NEON (ASIMD) is part of the base
+// armv8-a profile Go requires, so there is no runtime feature probe:
+// the vector kernels are always available unless the purego tag asks
+// for the portable build. The scheme is the same nibble-split table
+// lookup as the amd64 AVX2 path, using TBL on 16-byte product tables.
+//
+// The assembly bodies process 32-byte multiples only; the wrappers
+// hand the tail to the scalar reference kernels so every length
+// matches the scalar baseline byte for byte.
+
+// asmMin is the slice length at which the vector kernels take over:
+// below it the table-load setup beats the gain.
+const asmMin = 64
+
+// nibTables[c] packs the two 16-entry nibble product tables of
+// coefficient c: bytes 0..15 hold c·v, bytes 16..31 hold c·(v<<4).
+var nibTables *[256][32]byte
+
+func init() {
+	initBaseTables()
+	var nt [256][32]byte
+	for c := 0; c < 256; c++ {
+		row := &mulTable[c]
+		for v := 0; v < 16; v++ {
+			nt[c][v] = row[v]
+			nt[c][16+v] = row[v<<4]
+		}
+	}
+	nibTables = &nt
+}
+
+// accelEnabled gates the vector kernels; tests flip it to exercise the
+// portable path in the same binary.
+var accelEnabled = true
+
+// Accelerated reports whether SIMD kernels are active for large slices.
+func Accelerated() bool { return accelEnabled }
+
+// KernelName names the active large-slice kernel implementation, for
+// diagnostics and benchmark labels.
+func KernelName() string {
+	if accelEnabled {
+		return "arm64-neon"
+	}
+	return "words"
+}
+
+// disableAccel turns the vector kernels off (tests only).
+func disableAccel() (restore func()) {
+	was := accelEnabled
+	accelEnabled = false
+	return func() { accelEnabled = was }
+}
+
+// accelXor runs dst ^= src through the vector kernel when profitable.
+// It reports false when the caller should use the portable path.
+func accelXor(dst, src []byte) bool {
+	if !accelEnabled || len(src) < asmMin {
+		return false
+	}
+	n := len(src) &^ 31
+	xorNEON(&dst[0], &src[0], n)
+	if n < len(src) {
+		XorSliceRef(dst[n:], src[n:])
+	}
+	return true
+}
+
+// accelMulAdd runs dst ^= c·src through the vector kernel when
+// profitable. c must not be 0 or 1 (the callers' fast paths).
+func accelMulAdd(c byte, dst, src []byte) bool {
+	if !accelEnabled || len(src) < asmMin {
+		return false
+	}
+	n := len(src) &^ 31
+	mulAddNEON(&nibTables[c], &dst[0], &src[0], n)
+	if n < len(src) {
+		mulAddRef(&mulTable[c], dst[n:], src[n:])
+	}
+	return true
+}
+
+// accelMul runs dst = c·src through the vector kernel when profitable.
+// c must not be 0 or 1 (the callers' fast paths).
+func accelMul(c byte, dst, src []byte) bool {
+	if !accelEnabled || len(src) < asmMin {
+		return false
+	}
+	n := len(src) &^ 31
+	mulNEON(&nibTables[c], &dst[0], &src[0], n)
+	if n < len(src) {
+		mulRef(&mulTable[c], dst[n:], src[n:])
+	}
+	return true
+}
+
+// The assembly bodies. n is a positive multiple of 32; dst and src must
+// hold n bytes and may be equal (full aliasing) but not partially
+// overlap.
+
+//go:noescape
+func xorNEON(dst, src *byte, n int)
+
+//go:noescape
+func mulAddNEON(tbl *[32]byte, dst, src *byte, n int)
+
+//go:noescape
+func mulNEON(tbl *[32]byte, dst, src *byte, n int)

@@ -1,0 +1,20 @@
+//go:build (!amd64 && !arm64) || purego
+
+package gf256
+
+// Portable build: no vector kernels. The purego tag forces this file on
+// amd64/arm64 too, which is how CI pins the fallback path against rot.
+
+// Accelerated reports whether SIMD kernels are active for large slices.
+func Accelerated() bool { return false }
+
+// KernelName names the active large-slice kernel implementation, for
+// diagnostics and benchmark labels.
+func KernelName() string { return "words" }
+
+func accelXor(dst, src []byte) bool            { return false }
+func accelMulAdd(c byte, dst, src []byte) bool { return false }
+func accelMul(c byte, dst, src []byte) bool    { return false }
+
+// disableAccel is a no-op on the portable build (tests only).
+func disableAccel() (restore func()) { return func() {} }

@@ -1,0 +1,48 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// Runtime CPU-feature detection for the amd64 vector kernels, with no
+// dependency beyond two instructions the assembler wraps (CPUID and
+// XGETBV). AVX2 requires the OS to save YMM state (OSXSAVE set and
+// XCR0 bits 1..2), not just the CPU flag; VEX-encoded GFNI additionally
+// requires the GFNI CPUID bit.
+
+var (
+	hasAVX2 bool
+	hasGFNI bool
+)
+
+func detectCPU() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		return
+	}
+	xcr0, _ := xgetbv()
+	// XMM (bit 1) and YMM (bit 2) state must both be OS-managed.
+	if xcr0&0x6 != 0x6 {
+		return
+	}
+	_, ebx7, ecx7, _ := cpuid(7, 0)
+	hasAVX2 = ebx7&(1<<5) != 0
+	hasGFNI = hasAVX2 && ecx7&(1<<8) != 0
+}
+
+// disableAccel turns the vector kernels off (tests only: it lets one
+// binary exercise both the accelerated and portable paths).
+func disableAccel() (restore func()) {
+	avx2, gfni := hasAVX2, hasGFNI
+	hasAVX2, hasGFNI = false, false
+	return func() { hasAVX2, hasGFNI = avx2, gfni }
+}
+
+// cpuid executes the CPUID instruction.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)

@@ -37,7 +37,19 @@ var (
 	invTable [256]byte
 )
 
-func init() {
+func init() { initBaseTables() }
+
+// baseTablesReady guards initBaseTables: the per-arch SIMD init
+// functions derive their product tables from mulTable, and package init
+// order is file-name order, so they must be able to force base-table
+// construction first.
+var baseTablesReady bool
+
+func initBaseTables() {
+	if baseTablesReady {
+		return
+	}
+	baseTablesReady = true
 	x := 1
 	for i := 0; i < 255; i++ {
 		expTable[i] = byte(x)

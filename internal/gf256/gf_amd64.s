@@ -1,0 +1,204 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// The vector bodies of the GF(256) slice kernels. Every function takes
+// a byte count n that is a multiple of 32 (the Go wrappers in
+// asm_amd64.go split off the tail); the main loops run 64 bytes per
+// iteration with a 32-byte cleanup step. Loads and stores are
+// unaligned (VMOVDQU) — pooled blocks carry no alignment guarantee.
+
+// func xorAVX2(dst, src *byte, n int)
+TEXT ·xorAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	CMPQ CX, $64
+	JL   xor32
+
+xor64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JGE     xor64
+
+xor32:
+	TESTQ CX, CX
+	JZ    xordone
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+
+xordone:
+	VZEROUPPER
+	RET
+
+// The nibble-split VPSHUFB multiply. Each function body broadcasts the
+// coefficient's 32-byte table pair into Y10 (low-nibble products) and
+// Y11 (high-nibble products) and builds the 0x0f mask in Y12; NIBMUL
+// then computes the 32 products of source register ysrc into ydst
+// (clobbering ytmp).
+#define NIBMUL(ysrc, ydst, ytmp)      \
+	VPSRLW  $4, ysrc, ytmp            \
+	VPAND   Y12, ytmp, ytmp           \
+	VPAND   Y12, ysrc, ydst           \
+	VPSHUFB ydst, Y10, ydst           \
+	VPSHUFB ytmp, Y11, ytmp           \
+	VPXOR   ytmp, ydst, ydst
+
+// func mulAddAVX2(tbl *[32]byte, dst, src *byte, n int)
+TEXT ·mulAddAVX2(SB), NOSPLIT, $0-32
+	MOVQ tbl+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y10
+	VBROADCASTI128 16(AX), Y11
+	VPCMPEQB Y12, Y12, Y12
+	VPSRLW   $4, Y12, Y12
+	CMPQ CX, $64
+	JL   madd32
+
+madd64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	NIBMUL(Y0, Y2, Y3)
+	NIBMUL(Y1, Y4, Y5)
+	VPXOR   (DI), Y2, Y2
+	VPXOR   32(DI), Y4, Y4
+	VMOVDQU Y2, (DI)
+	VMOVDQU Y4, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JGE     madd64
+
+madd32:
+	TESTQ CX, CX
+	JZ    madddone
+	VMOVDQU (SI), Y0
+	NIBMUL(Y0, Y2, Y3)
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+
+madddone:
+	VZEROUPPER
+	RET
+
+// func mulAVX2(tbl *[32]byte, dst, src *byte, n int)
+TEXT ·mulAVX2(SB), NOSPLIT, $0-32
+	MOVQ tbl+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y10
+	VBROADCASTI128 16(AX), Y11
+	VPCMPEQB Y12, Y12, Y12
+	VPSRLW   $4, Y12, Y12
+	CMPQ CX, $64
+	JL   mul32
+
+mul64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	NIBMUL(Y0, Y2, Y3)
+	NIBMUL(Y1, Y4, Y5)
+	VMOVDQU Y2, (DI)
+	VMOVDQU Y4, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JGE     mul64
+
+mul32:
+	TESTQ CX, CX
+	JZ    muldone
+	VMOVDQU (SI), Y0
+	NIBMUL(Y0, Y2, Y3)
+	VMOVDQU Y2, (DI)
+
+muldone:
+	VZEROUPPER
+	RET
+
+// func mulAddGFNI(mat uint64, dst, src *byte, n int)
+TEXT ·mulAddGFNI(SB), NOSPLIT, $0-32
+	MOVQ mat+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	MOVQ AX, X10
+	VPBROADCASTQ X10, Y10
+	CMPQ CX, $64
+	JL   gmadd32
+
+gmadd64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VGF2P8AFFINEQB $0, Y10, Y0, Y2
+	VGF2P8AFFINEQB $0, Y10, Y1, Y3
+	VPXOR   (DI), Y2, Y2
+	VPXOR   32(DI), Y3, Y3
+	VMOVDQU Y2, (DI)
+	VMOVDQU Y3, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JGE     gmadd64
+
+gmadd32:
+	TESTQ CX, CX
+	JZ    gmadddone
+	VMOVDQU (SI), Y0
+	VGF2P8AFFINEQB $0, Y10, Y0, Y2
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+
+gmadddone:
+	VZEROUPPER
+	RET
+
+// func mulGFNI(mat uint64, dst, src *byte, n int)
+TEXT ·mulGFNI(SB), NOSPLIT, $0-32
+	MOVQ mat+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	MOVQ AX, X10
+	VPBROADCASTQ X10, Y10
+	CMPQ CX, $64
+	JL   gmul32
+
+gmul64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VGF2P8AFFINEQB $0, Y10, Y0, Y2
+	VGF2P8AFFINEQB $0, Y10, Y1, Y3
+	VMOVDQU Y2, (DI)
+	VMOVDQU Y3, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JGE     gmul64
+
+gmul32:
+	TESTQ CX, CX
+	JZ    gmuldone
+	VMOVDQU (SI), Y0
+	VGF2P8AFFINEQB $0, Y10, Y0, Y2
+	VMOVDQU Y2, (DI)
+
+gmuldone:
+	VZEROUPPER
+	RET

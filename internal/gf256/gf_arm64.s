@@ -1,0 +1,80 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON bodies of the GF(256) slice kernels. n is a positive multiple
+// of 32; each loop iteration handles 32 bytes (two 16-byte vectors).
+
+// func xorNEON(dst, src *byte, n int)
+TEXT ·xorNEON(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+
+xorloop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VLD1   (R0), [V2.B16, V3.B16]
+	VEOR   V0.B16, V2.B16, V2.B16
+	VEOR   V1.B16, V3.B16, V3.B16
+	VST1.P [V2.B16, V3.B16], 32(R0)
+	SUBS   $32, R2, R2
+	BNE    xorloop
+	RET
+
+// func mulAddNEON(tbl *[32]byte, dst, src *byte, n int)
+//
+// Nibble-split TBL multiply: V6 holds the low-nibble product table
+// (c·v), V7 the high-nibble table (c·(v<<4)), V8 the 0x0f mask.
+TEXT ·mulAddNEON(SB), NOSPLIT, $0-32
+	MOVD  tbl+0(FP), R3
+	MOVD  dst+8(FP), R0
+	MOVD  src+16(FP), R1
+	MOVD  n+24(FP), R2
+	VLD1  (R3), [V6.B16, V7.B16]
+	VMOVI $15, V8.B16
+
+maddloop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VUSHR  $4, V0.B16, V10.B16
+	VUSHR  $4, V1.B16, V11.B16
+	VAND   V8.B16, V0.B16, V0.B16
+	VAND   V8.B16, V1.B16, V1.B16
+	VTBL   V0.B16, [V6.B16], V4.B16
+	VTBL   V1.B16, [V6.B16], V5.B16
+	VTBL   V10.B16, [V7.B16], V10.B16
+	VTBL   V11.B16, [V7.B16], V11.B16
+	VEOR   V10.B16, V4.B16, V4.B16
+	VEOR   V11.B16, V5.B16, V5.B16
+	VLD1   (R0), [V2.B16, V3.B16]
+	VEOR   V2.B16, V4.B16, V4.B16
+	VEOR   V3.B16, V5.B16, V5.B16
+	VST1.P [V4.B16, V5.B16], 32(R0)
+	SUBS   $32, R2, R2
+	BNE    maddloop
+	RET
+
+// func mulNEON(tbl *[32]byte, dst, src *byte, n int)
+TEXT ·mulNEON(SB), NOSPLIT, $0-32
+	MOVD  tbl+0(FP), R3
+	MOVD  dst+8(FP), R0
+	MOVD  src+16(FP), R1
+	MOVD  n+24(FP), R2
+	VLD1  (R3), [V6.B16, V7.B16]
+	VMOVI $15, V8.B16
+
+mulloop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VUSHR  $4, V0.B16, V10.B16
+	VUSHR  $4, V1.B16, V11.B16
+	VAND   V8.B16, V0.B16, V0.B16
+	VAND   V8.B16, V1.B16, V1.B16
+	VTBL   V0.B16, [V6.B16], V4.B16
+	VTBL   V1.B16, [V6.B16], V5.B16
+	VTBL   V10.B16, [V7.B16], V10.B16
+	VTBL   V11.B16, [V7.B16], V11.B16
+	VEOR   V10.B16, V4.B16, V4.B16
+	VEOR   V11.B16, V5.B16, V5.B16
+	VST1.P [V4.B16, V5.B16], 32(R0)
+	SUBS   $32, R2, R2
+	BNE    mulloop
+	RET

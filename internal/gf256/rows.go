@@ -1,0 +1,34 @@
+package gf256
+
+// Row fan-out kernels: apply one source block to several destination
+// rows, each with its own coefficient. This is the row-wise counterpart
+// of the packed-lane tables — on SIMD builds each MulSlice/MulAddSlice
+// call below runs the 32-byte vector kernels, and with destinations
+// segment-sized the repeated src pass stays in L1, so fan-out reaches
+// memory speed without the lane transpose. The erasure coder selects
+// between this and the lane path via Accelerated().
+
+// MulRows sets dsts[j][m] = coeffs[j] * src[m] for every row j and
+// position m. Every destination must have len(src) bytes and must not
+// alias src or another destination.
+func MulRows(coeffs []byte, dsts [][]byte, src []byte) {
+	if len(coeffs) != len(dsts) {
+		panic("gf256: MulRows coefficient/row count mismatch")
+	}
+	for j, dst := range dsts {
+		MulSlice(coeffs[j], dst, src)
+	}
+}
+
+// MulAddRows sets dsts[j][m] ^= coeffs[j] * src[m] for every row j and
+// position m, accumulating into each destination. Every destination
+// must have len(src) bytes and must not alias src or another
+// destination.
+func MulAddRows(coeffs []byte, dsts [][]byte, src []byte) {
+	if len(coeffs) != len(dsts) {
+		panic("gf256: MulAddRows coefficient/row count mismatch")
+	}
+	for j, dst := range dsts {
+		MulAddSlice(coeffs[j], dst, src)
+	}
+}

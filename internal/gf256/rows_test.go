@@ -1,0 +1,82 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The row fan-out helpers must agree with the packed-lane tables and
+// the scalar references: they are the SIMD-era replacement for the lane
+// path in the erasure coder, so any divergence is silent data
+// corruption in encoded stripes.
+
+func TestRowsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 31, 32, 64, 100, 4096, 4097} {
+		for _, rows := range []int{1, 3, 8} {
+			src := make([]byte, n)
+			rng.Read(src)
+			coeffs := make([]byte, rows)
+			rng.Read(coeffs)
+			coeffs[0] = 0 // exercise the zero fast path too
+
+			dsts := make([][]byte, rows)
+			want := make([][]byte, rows)
+			for j := range dsts {
+				dsts[j] = make([]byte, n)
+				want[j] = make([]byte, n)
+				for m := range dsts[j] {
+					dsts[j][m] = byte(j*41 + m*13)
+					want[j][m] = dsts[j][m]
+				}
+			}
+
+			MulRows(coeffs, dsts, src)
+			for j := range want {
+				MulSliceRef(coeffs[j], want[j], src)
+				if !bytes.Equal(dsts[j], want[j]) {
+					t.Fatalf("MulRows row %d (n=%d, rows=%d) diverges", j, n, rows)
+				}
+			}
+
+			MulAddRows(coeffs, dsts, src)
+			for j := range want {
+				MulAddSliceRef(coeffs[j], want[j], src)
+				if !bytes.Equal(dsts[j], want[j]) {
+					t.Fatalf("MulAddRows row %d (n=%d, rows=%d) diverges", j, n, rows)
+				}
+			}
+		}
+	}
+}
+
+func TestRowsCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulRows with mismatched counts did not panic")
+		}
+	}()
+	MulRows([]byte{1, 2}, [][]byte{make([]byte, 4)}, make([]byte, 4))
+}
+
+// BenchmarkGFRows8 is the row fan-out twin of BenchmarkGFLane8: 8
+// coefficients applied to one source block, 8·size bytes accounted.
+func BenchmarkGFRows8(b *testing.B) {
+	for _, size := range gfBenchSizes {
+		b.Run(gfBenchName(size), func(b *testing.B) {
+			src := make([]byte, size)
+			rand.New(rand.NewSource(43)).Read(src)
+			dsts := make([][]byte, 8)
+			for j := range dsts {
+				dsts[j] = make([]byte, size)
+			}
+			b.SetBytes(int64(8 * size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulAddRows(gfBenchCoeffs, dsts, src)
+			}
+		})
+	}
+}

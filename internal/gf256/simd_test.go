@@ -1,0 +1,178 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The SIMD kernels never see aligned-only input in production: pooled
+// blocks land at arbitrary addresses and the erasure coder slices into
+// them at arbitrary offsets. These tests drive the public kernels
+// through every combination of start misalignment, odd length, and
+// special coefficient, against the scalar references — on a purego
+// build they still run and pin the word kernels instead.
+
+var simdLens = []int{
+	0, 1, 7, 8, 31, 32, 33, 63, 64, 65, 95, 96, 127, 128, 129,
+	255, 256, 257, 1023, 1024, 1025, 4096, 4097, 65536,
+}
+
+var simdOffsets = []int{0, 1, 3, 7, 8, 15, 31}
+
+var simdCoeffs = []byte{0, 1, 2, 3, 0x1d, 0x80, 0xa5, 0xff}
+
+func TestSIMDDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	buf := make([]byte, 65536+64)
+	rng.Read(buf)
+	for _, n := range simdLens {
+		for _, off := range simdOffsets {
+			src := buf[off : off+n]
+			base := make([]byte, n)
+			for i := range base {
+				base[i] = byte(i*37 + 5)
+			}
+			for _, c := range simdCoeffs {
+				want := make([]byte, n)
+				MulSliceRef(c, want, src)
+				got := append(make([]byte, 0, n+off), base...)
+				MulSlice(c, got, src)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulSlice(c=%#x, n=%d, off=%d) diverges", c, n, off)
+				}
+				want = append(want[:0], base...)
+				MulAddSliceRef(c, want, src)
+				got = append(got[:0], base...)
+				MulAddSlice(c, got, src)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulAddSlice(c=%#x, n=%d, off=%d) diverges", c, n, off)
+				}
+			}
+			want := append([]byte(nil), base...)
+			XorSliceRef(want, src)
+			got := append([]byte(nil), base...)
+			XorSlice(got, src)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("XorSlice(n=%d, off=%d) diverges", n, off)
+			}
+		}
+	}
+}
+
+func TestSIMDInPlace(t *testing.T) {
+	// Full aliasing (dst == src) is the one overlap the kernels allow.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range simdLens {
+		src := make([]byte, n)
+		rng.Read(src)
+		for _, c := range simdCoeffs {
+			want := make([]byte, n)
+			MulSliceRef(c, want, src)
+			got := append([]byte(nil), src...)
+			MulSlice(c, got, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice(c=%#x, n=%d) in-place diverges", c, n)
+			}
+		}
+		// dst ^= dst must zero; c·dst accumulated into dst is (c+1)·dst.
+		got := append([]byte(nil), src...)
+		XorSlice(got, got)
+		if !bytes.Equal(got, make([]byte, n)) {
+			t.Fatalf("XorSlice in-place (n=%d) is not zero", n)
+		}
+		got = append(got[:0], src...)
+		MulAddSlice(2, got, got)
+		want := make([]byte, n)
+		MulSliceRef(3, want, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulAddSlice(2, x, x) (n=%d) != 3·x", n)
+		}
+	}
+}
+
+func TestSIMDDisabledMatchesEnabled(t *testing.T) {
+	if !Accelerated() {
+		t.Skip("no SIMD kernels on this build")
+	}
+	src := make([]byte, 4099)
+	rand.New(rand.NewSource(13)).Read(src)
+	fast := make([]byte, len(src))
+	MulAddSlice(0x53, fast, src)
+	restore := disableAccel()
+	if Accelerated() {
+		restore()
+		t.Fatal("disableAccel did not disable")
+	}
+	slow := make([]byte, len(src))
+	MulAddSlice(0x53, slow, src)
+	restore()
+	if !bytes.Equal(fast, slow) {
+		t.Fatal("SIMD and portable MulAddSlice diverge")
+	}
+	if !Accelerated() {
+		t.Fatal("restore did not re-enable")
+	}
+}
+
+// TestKernelZeroAlloc pins the hot kernels at zero allocations on
+// every build: SIMD paths, word-wise bodies and scalar tails all work
+// in place over caller buffers. The erasure coder leans on this — its
+// steady-state zero-alloc guarantee is only as good as the kernels'.
+func TestKernelZeroAlloc(t *testing.T) {
+	src := make([]byte, 65536)
+	dst := make([]byte, 65536)
+	dsts := make([][]byte, 8)
+	for j := range dsts {
+		dsts[j] = make([]byte, len(src))
+	}
+	coeffs := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(0xa5, dst, src) },
+		"MulAddSlice": func() { MulAddSlice(0xa5, dst, src) },
+		"XorSlice":    func() { XorSlice(dst, src) },
+		"MulAddRows":  func() { MulAddRows(coeffs, dsts, src) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+}
+
+func TestKernelName(t *testing.T) {
+	name := KernelName()
+	if name == "" {
+		t.Fatal("empty kernel name")
+	}
+	t.Logf("kernel: %s (accelerated=%v)", name, Accelerated())
+}
+
+// FuzzSIMDUnaligned feeds the kernels sub-slices at fuzzed offsets and
+// lengths so the 32-byte main loops, the scalar tails, and the cutover
+// boundaries all get hit at misaligned starts.
+func FuzzSIMDUnaligned(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, byte(2), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xa5}, 97), byte(0x1d), uint8(31))
+	f.Add(bytes.Repeat([]byte{7}, 200), byte(0xff), uint8(13))
+	f.Fuzz(func(t *testing.T, data []byte, c byte, off uint8) {
+		skip := int(off) % (len(data) + 1)
+		src := data[skip:]
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i*29 + 3)
+		}
+		want := append([]byte(nil), dst...)
+		MulAddSliceRef(c, want, src)
+		MulAddSlice(c, dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulAddSlice(c=%#x, n=%d, skip=%d) diverges", c, len(src), skip)
+		}
+		got := make([]byte, len(src))
+		MulSlice(c, got, src)
+		ref := make([]byte, len(src))
+		MulSliceRef(c, ref, src)
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("MulSlice(c=%#x, n=%d, skip=%d) diverges", c, len(src), skip)
+		}
+	})
+}

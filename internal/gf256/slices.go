@@ -4,8 +4,10 @@ package gf256
 // and delta updates: every parity byte is a sum of products
 // α_{j,i}·b_i[m] across the k data blocks. Each kernel selects per call
 // by length between a scalar reference body (short slices, and the
-// differential baseline the tests pin against — see slices_ref.go) and
-// a word-wise body processing 8 bytes per uint64 step (words.go).
+// differential baseline the tests pin against — see slices_ref.go), a
+// word-wise body processing 8 bytes per uint64 step (words.go), and —
+// on amd64/arm64 without the purego tag — a SIMD body processing 32
+// bytes per step (asm_amd64.go / asm_arm64.go).
 
 // MulSlice sets dst[m] = c * src[m] for every m. dst and src must have
 // the same length; they may alias. A zero coefficient zeroes dst, and a
@@ -22,6 +24,9 @@ func MulSlice(c byte, dst, src []byte) {
 		return
 	case 1:
 		copy(dst, src)
+		return
+	}
+	if accelMul(c, dst, src) {
 		return
 	}
 	row := &mulTable[c]
@@ -45,6 +50,9 @@ func MulAddSlice(c byte, dst, src []byte) {
 		XorSlice(dst, src)
 		return
 	}
+	if accelMulAdd(c, dst, src) {
+		return
+	}
 	row := &mulTable[c]
 	if len(src) < wordCutover {
 		mulAddRef(row, dst, src)
@@ -58,6 +66,9 @@ func MulAddSlice(c byte, dst, src []byte) {
 func XorSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: XorSlice length mismatch")
+	}
+	if accelXor(dst, src) {
+		return
 	}
 	if len(src) < wordCutover {
 		for i := range src {

@@ -74,6 +74,20 @@ const (
 	OpScrub
 	OpHealth
 	OpWatch
+	// The streaming upload ops, appended after OpWatch so every earlier
+	// op keeps its wire encoding. An upload is a bracketed sequence on
+	// one connection — OpPutStart (key + declared size in Length), then
+	// OpPutPart frames carrying consecutive byte ranges (running byte
+	// offset in Offset, bytes in Data), closed by OpPutFinish (publish)
+	// or OpPutAbort (unwind). One upload per connection at a time; parts
+	// must arrive in offset order. OpStat answers an object's size (an
+	// 8-byte big-endian integer in Data) — the prelude of a streaming
+	// download, which is chunked OpReadAt.
+	OpStat
+	OpPutStart
+	OpPutPart
+	OpPutFinish
+	OpPutAbort
 	opMax
 )
 
@@ -98,6 +112,16 @@ func (op Op) String() string {
 		return "health"
 	case OpWatch:
 		return "watch"
+	case OpStat:
+		return "stat"
+	case OpPutStart:
+		return "put-start"
+	case OpPutPart:
+		return "put-part"
+	case OpPutFinish:
+		return "put-finish"
+	case OpPutAbort:
+		return "put-abort"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -105,10 +129,12 @@ func (op Op) String() string {
 
 // Mutating reports whether the operation changes tenant state — the
 // ops a Watch subscription reports and a draining gateway refuses
-// first.
+// first. Of the upload bracket only OpPutFinish mutates: until the
+// finish, an upload is invisible staging that an abort (or a dropped
+// connection) unwinds without a trace.
 func (op Op) Mutating() bool {
 	switch op {
-	case OpPut, OpWriteAt, OpDelete:
+	case OpPut, OpWriteAt, OpDelete, OpPutFinish:
 		return true
 	default:
 		return false

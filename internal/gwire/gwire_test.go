@@ -237,7 +237,7 @@ func TestStatusErrTaxonomy(t *testing.T) {
 }
 
 func TestMutatingClassification(t *testing.T) {
-	mutating := map[Op]bool{OpPut: true, OpWriteAt: true, OpDelete: true}
+	mutating := map[Op]bool{OpPut: true, OpWriteAt: true, OpDelete: true, OpPutFinish: true}
 	for op := Op(1); op < opMax; op++ {
 		if got, want := op.Mutating(), mutating[op]; got != want {
 			t.Fatalf("%s.Mutating() = %v, want %v", op, got, want)

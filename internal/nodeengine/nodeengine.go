@@ -85,6 +85,23 @@ type ChunkStore interface {
 	Close() error
 }
 
+// BatchStore is the optional group-commit surface of a ChunkStore.
+// The staged variants record the mutation (immediately visible to the
+// engine's serialised reads) and return a wait function that blocks
+// until the mutation is durable. The engine stages under its lock and
+// waits after releasing it, so concurrent mutations pile into one
+// batch and share a single fsync instead of each paying their own.
+// Batching reports whether the store is actually operating in that
+// mode; a store that implements the interface but reports false is
+// driven through the plain synchronous ChunkStore calls.
+type BatchStore interface {
+	ChunkStore
+	Batching() bool
+	PutBatched(id client.ChunkID, data []byte, versions []uint64, meta Meta) (wait func() error, err error)
+	DeleteBatched(id client.ChunkID) (wait func() error, err error)
+	WipeBatched() (wait func() error, err error)
+}
+
 // Scanner is the optional at-rest audit surface of a ChunkStore: Scan
 // re-verifies the durable copies (not a cached mirror) and returns the
 // ids found corrupt, quarantining them so subsequent reads fail with
@@ -128,6 +145,7 @@ type Engine struct {
 	name       string
 	mu         sync.Mutex
 	store      ChunkStore
+	batch      BatchStore        // non-nil when store group-commits (see BatchStore)
 	scratch    []uint64          // version-vector scratch, guarded by mu
 	recScratch []client.BlockSum // record staging scratch, guarded by mu
 	recBytes   []byte            // record hashing scratch, guarded by mu
@@ -150,6 +168,9 @@ func WithName(name string) Option {
 // store to the engine; Close closes it.
 func New(store ChunkStore, opts ...Option) *Engine {
 	e := &Engine{name: "node", store: store}
+	if bs, ok := store.(BatchStore); ok && bs.Batching() {
+		e.batch = bs
+	}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -180,6 +201,53 @@ func (e *Engine) begin(ctx context.Context) error {
 	e.mu.Lock()
 	e.metrics.ServedOperations.Add(1)
 	return nil
+}
+
+// mutate runs a staging body under the engine lock, releases the lock,
+// and then blocks on the durability wait the body returned (if any).
+// The caller must have passed begin already, so the lock is held on
+// entry; it is always released before mutate returns. Bodies stage
+// through stagePut/stageDelete/stageWipe — on a batching store the
+// store call under the lock only stages (copying every input), so the
+// fsync happens outside the engine lock and concurrent mutations share
+// it; on a plain store the call is the synchronous durability point
+// and wait comes back nil.
+func (e *Engine) mutate(body func() (wait func() error, err error)) error {
+	wait, err := body()
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// stagePut commits chunk state through the store's batching surface
+// when it has one, else synchronously. Caller holds mu; all slices are
+// copied before return.
+func (e *Engine) stagePut(id client.ChunkID, data []byte, versions []uint64, meta Meta) (func() error, error) {
+	if e.batch != nil {
+		return e.batch.PutBatched(id, data, versions, meta)
+	}
+	return nil, e.store.Put(id, data, versions, meta)
+}
+
+// stageDelete is the delete twin of stagePut.
+func (e *Engine) stageDelete(id client.ChunkID) (func() error, error) {
+	if e.batch != nil {
+		return e.batch.DeleteBatched(id)
+	}
+	return nil, e.store.Delete(id)
+}
+
+// stageWipe is the wipe twin of stagePut.
+func (e *Engine) stageWipe() (func() error, error) {
+	if e.batch != nil {
+		return e.batch.WipeBatched()
+	}
+	return nil, e.store.Wipe()
 }
 
 // sumRecord hashes the encoded record entries; the separate hash is
@@ -329,16 +397,17 @@ func (e *Engine) PutChunk(ctx context.Context, id client.ChunkID, data []byte, v
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
-	defer e.mu.Unlock()
-	var old []client.BlockSum
-	if _, _, meta, ok, err := e.store.Get(id); err == nil && ok {
-		old = e.liveRec(meta)
-	}
-	rec, err := e.stageRec(old, len(versions), sums, -1)
-	if err != nil {
-		return err
-	}
-	return e.store.Put(id, data, versions, e.stageMeta(data, rec))
+	return e.mutate(func() (func() error, error) {
+		var old []client.BlockSum
+		if _, _, meta, ok, err := e.store.Get(id); err == nil && ok {
+			old = e.liveRec(meta)
+		}
+		rec, err := e.stageRec(old, len(versions), sums, -1)
+		if err != nil {
+			return nil, err
+		}
+		return e.stagePut(id, data, versions, e.stageMeta(data, rec))
+	})
 }
 
 // CompareAndPut overwrites the chunk's data only when version slot
@@ -354,29 +423,30 @@ func (e *Engine) CompareAndPut(ctx context.Context, id client.ChunkID, slot int,
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
-	defer e.mu.Unlock()
-	_, versions, meta, ok, err := e.store.Get(id)
-	if err != nil {
-		return err
-	}
-	if !ok {
-		return e.notFound(id)
-	}
-	if slot < 0 || slot >= len(versions) {
-		return fmt.Errorf("%w: version slot %d of %d", client.ErrBadRequest, slot, len(versions))
-	}
-	if versions[slot] != expect {
-		e.metrics.VersionRejects.Add(1)
-		return fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, versions[slot], expect)
-	}
-	rec, err := e.stageRec(e.liveRec(meta), len(versions), sum, slot)
-	if err != nil {
-		return err
-	}
-	newMeta := e.stageMeta(data, rec)
-	vers := e.stageVersions(versions)
-	vers[slot] = next
-	return e.store.Put(id, data, vers, newMeta)
+	return e.mutate(func() (func() error, error) {
+		_, versions, meta, ok, err := e.store.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, e.notFound(id)
+		}
+		if slot < 0 || slot >= len(versions) {
+			return nil, fmt.Errorf("%w: version slot %d of %d", client.ErrBadRequest, slot, len(versions))
+		}
+		if versions[slot] != expect {
+			e.metrics.VersionRejects.Add(1)
+			return nil, fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, versions[slot], expect)
+		}
+		rec, err := e.stageRec(e.liveRec(meta), len(versions), sum, slot)
+		if err != nil {
+			return nil, err
+		}
+		newMeta := e.stageMeta(data, rec)
+		vers := e.stageVersions(versions)
+		vers[slot] = next
+		return e.stagePut(id, data, vers, newMeta)
+	})
 }
 
 // CompareAndAdd XORs delta into the chunk's data when version slot
@@ -395,44 +465,46 @@ func (e *Engine) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int,
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
-	defer e.mu.Unlock()
-	data, versions, meta, ok, err := e.store.Get(id)
-	if err != nil {
-		return err
-	}
-	if !ok {
-		return e.notFound(id)
-	}
-	if slot < 0 || slot >= len(versions) {
-		return fmt.Errorf("%w: version slot %d of %d", client.ErrBadRequest, slot, len(versions))
-	}
-	if len(delta) != len(data) {
-		return fmt.Errorf("%w: delta size %d, chunk size %d", client.ErrBadRequest, len(delta), len(data))
-	}
-	if versions[slot] != expect {
-		e.metrics.VersionRejects.Add(1)
-		return fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, versions[slot], expect)
-	}
-	if err := e.checkSelf(id, data, meta); err != nil {
-		return err
-	}
-	rec, err := e.stageRec(e.liveRec(meta), len(versions), sum, slot)
-	if err != nil {
-		return err
-	}
-	// The summed bytes are staged in a pooled buffer so the store's
-	// current data stays untouched until Put commits the mutation —
-	// a durable store that fails mid-write must not have corrupted
-	// its in-memory view.
-	acc := blockpool.GetBlock(len(data))
-	copy(acc.B, data)
-	gf256.XorSlice(acc.B, delta)
-	newMeta := e.stageMeta(acc.B, rec)
-	vers := e.stageVersions(versions)
-	vers[slot] = next
-	err = e.store.Put(id, acc.B, vers, newMeta)
-	acc.Release()
-	return err
+	return e.mutate(func() (func() error, error) {
+		data, versions, meta, ok, err := e.store.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, e.notFound(id)
+		}
+		if slot < 0 || slot >= len(versions) {
+			return nil, fmt.Errorf("%w: version slot %d of %d", client.ErrBadRequest, slot, len(versions))
+		}
+		if len(delta) != len(data) {
+			return nil, fmt.Errorf("%w: delta size %d, chunk size %d", client.ErrBadRequest, len(delta), len(data))
+		}
+		if versions[slot] != expect {
+			e.metrics.VersionRejects.Add(1)
+			return nil, fmt.Errorf("%w: slot %d holds %d, expected %d", client.ErrVersionMismatch, slot, versions[slot], expect)
+		}
+		if err := e.checkSelf(id, data, meta); err != nil {
+			return nil, err
+		}
+		rec, err := e.stageRec(e.liveRec(meta), len(versions), sum, slot)
+		if err != nil {
+			return nil, err
+		}
+		// The summed bytes are staged in a pooled buffer so the store's
+		// current data stays untouched until Put commits the mutation —
+		// a durable store that fails mid-write must not have corrupted
+		// its in-memory view. The store copies at stage time, so the
+		// buffer goes back to the pool before the durability wait.
+		acc := blockpool.GetBlock(len(data))
+		copy(acc.B, data)
+		gf256.XorSlice(acc.B, delta)
+		newMeta := e.stageMeta(acc.B, rec)
+		vers := e.stageVersions(versions)
+		vers[slot] = next
+		wait, err := e.stagePut(id, acc.B, vers, newMeta)
+		acc.Release()
+		return wait, err
+	})
 }
 
 // PutChunkIfFresher installs a chunk only when it does not regress any
@@ -452,32 +524,33 @@ func (e *Engine) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data 
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
-	defer e.mu.Unlock()
-	var old []client.BlockSum
-	_, stored, meta, ok, err := e.store.Get(id)
-	if err != nil {
-		if !isCorrupt(err) {
-			return err
-		}
-		ok = false // quarantined: treat as absent so the rebuild lands
-	}
-	if ok {
-		if len(stored) != len(versions) {
-			return fmt.Errorf("%w: version vector length %d vs stored %d", client.ErrBadRequest, len(versions), len(stored))
-		}
-		for slot, v := range stored {
-			if versions[slot] < v {
-				e.metrics.VersionRejects.Add(1)
-				return fmt.Errorf("%w: slot %d would regress %d -> %d", client.ErrVersionMismatch, slot, v, versions[slot])
+	return e.mutate(func() (func() error, error) {
+		var old []client.BlockSum
+		_, stored, meta, ok, err := e.store.Get(id)
+		if err != nil {
+			if !isCorrupt(err) {
+				return nil, err
 			}
+			ok = false // quarantined: treat as absent so the rebuild lands
 		}
-		old = e.liveRec(meta)
-	}
-	rec, err := e.stageRec(old, len(versions), sums, -1)
-	if err != nil {
-		return err
-	}
-	return e.store.Put(id, data, versions, e.stageMeta(data, rec))
+		if ok {
+			if len(stored) != len(versions) {
+				return nil, fmt.Errorf("%w: version vector length %d vs stored %d", client.ErrBadRequest, len(versions), len(stored))
+			}
+			for slot, v := range stored {
+				if versions[slot] < v {
+					e.metrics.VersionRejects.Add(1)
+					return nil, fmt.Errorf("%w: slot %d would regress %d -> %d", client.ErrVersionMismatch, slot, v, versions[slot])
+				}
+			}
+			old = e.liveRec(meta)
+		}
+		rec, err := e.stageRec(old, len(versions), sums, -1)
+		if err != nil {
+			return nil, err
+		}
+		return e.stagePut(id, data, versions, e.stageMeta(data, rec))
+	})
 }
 
 // DeleteChunk removes a chunk. Deleting a missing chunk is a no-op,
@@ -487,8 +560,9 @@ func (e *Engine) DeleteChunk(ctx context.Context, id client.ChunkID) error {
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
-	defer e.mu.Unlock()
-	return e.store.Delete(id)
+	return e.mutate(func() (func() error, error) {
+		return e.stageDelete(id)
+	})
 }
 
 // HasChunk reports whether the node stores the chunk. A quarantined
@@ -521,8 +595,9 @@ func (e *Engine) Wipe(ctx context.Context) error {
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
-	defer e.mu.Unlock()
-	return e.store.Wipe()
+	return e.mutate(func() (func() error, error) {
+		return e.stageWipe()
+	})
 }
 
 // VerifyStore audits the store's at-rest state when the store supports

@@ -2,6 +2,7 @@ package trapquorum
 
 import (
 	"context"
+	"io"
 
 	"trapquorum/internal/service"
 )
@@ -85,9 +86,29 @@ func (s *ObjectStore) Put(ctx context.Context, key string, data []byte) error {
 	return s.svc.Put(ctx, key, data)
 }
 
+// PutReader stores size bytes streamed from r under key — the
+// streaming form of Put for objects too large to hold in memory.
+// Stripes are read, encoded and seeded in a bounded pipeline, so peak
+// memory stays at two stripes (2·k·BlockSize) however large the
+// object. The reader must deliver exactly size bytes; a short read, a
+// reader error or a node failure unwinds every stripe already placed —
+// no partial object is ever visible, and the key stays free for a
+// retry. See docs/PERFORMANCE.md for sizing the stripe to the stream.
+func (s *ObjectStore) PutReader(ctx context.Context, key string, r io.Reader, size int) error {
+	return s.svc.PutReader(ctx, key, r, size)
+}
+
 // Get reads the whole object back through quorum reads.
 func (s *ObjectStore) Get(ctx context.Context, key string) ([]byte, error) {
 	return s.svc.Get(ctx, key)
+}
+
+// GetWriter streams the object to w through quorum reads, one block at
+// a time — the streaming form of Get, with peak memory of one block
+// however large the object. It returns the bytes written; on error the
+// count reports how much of the object reached w.
+func (s *ObjectStore) GetWriter(ctx context.Context, key string, w io.Writer) (int64, error) {
+	return s.svc.GetWriter(ctx, key, w)
 }
 
 // ReadAt reads length bytes at the given offset through quorum reads
