@@ -160,6 +160,32 @@ func (b *SimBackend) Open(ctx context.Context, n int) ([]client.NodeClient, erro
 	return clients, nil
 }
 
+// Grow implements GrowableBackend: it provisions count fresh, empty
+// simulated nodes after the current roster and returns their clients,
+// live immediately. The new nodes inherit the cluster's latency model
+// and participate in fault injection (Crash, link faults, corruption)
+// like any Open-time node. Used by ObjectStore.Reconfigure to grow the
+// fleet online.
+func (b *SimBackend) Grow(ctx context.Context, count int) ([]client.NodeClient, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cluster == nil {
+		return nil, errors.New("trapquorum: sim backend not open")
+	}
+	nodes, err := b.cluster.AddNodes(count)
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]client.NodeClient, len(nodes))
+	for i, n := range nodes {
+		clients[i] = n
+	}
+	return clients, nil
+}
+
 // Close implements Backend: it stops every node actor.
 func (b *SimBackend) Close() error {
 	b.mu.Lock()

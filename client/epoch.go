@@ -1,0 +1,58 @@
+package client
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrEpochStale rejects an operation tagged with a placement epoch the
+// node has already retired: the cluster reconfigured past it and the
+// issuing coordinator must refresh its placement map before retrying.
+// Nodes never retire an epoch before every object has migrated off it,
+// so a client seeing this error is provably behind — not racing — the
+// reconfiguration.
+var ErrEpochStale = errors.New("placement epoch stale")
+
+// epochKey carries the placement epoch tag through a context.
+type epochKey struct{}
+
+// WithEpoch returns a context whose node RPCs are stamped with the
+// given placement epoch. Epoch 0 means untagged: nodes accept the
+// operation regardless of reconfiguration state (the behaviour of
+// every pre-epoch client).
+func WithEpoch(ctx context.Context, epoch uint64) context.Context {
+	return context.WithValue(ctx, epochKey{}, epoch)
+}
+
+// EpochFromContext extracts the placement epoch stamped by WithEpoch,
+// or 0 when the context is untagged.
+func EpochFromContext(ctx context.Context) uint64 {
+	e, _ := ctx.Value(epochKey{}).(uint64)
+	return e
+}
+
+// EpochSetter is the optional node capability behind online
+// reconfiguration: nodes implementing it persist the cluster's epoch
+// state durably and enforce the stale-epoch guard on tagged
+// operations. Coordinators type-assert for it and degrade gracefully
+// (no fencing) on nodes that do not implement it.
+//
+// The state is a pair of watermarks plus an opaque blob:
+//
+//   - installed — the highest epoch the node has been told about.
+//     Installing is monotone; SetEpoch with a lower installed value
+//     only updates the retired watermark.
+//   - retired — the highest epoch whose operations the node must
+//     reject with ErrEpochStale. Always < installed once set. An
+//     operation tagged e is rejected iff 0 < e <= retired, so
+//     old-epoch traffic keeps working during a migration and is
+//     fenced only after cutover completes.
+//   - blob — coordinator-defined payload (the serialized placement
+//     map) stored alongside, returned verbatim by EpochState.
+type EpochSetter interface {
+	// SetEpoch durably records the epoch watermarks and blob.
+	SetEpoch(ctx context.Context, installed, retired uint64, blob []byte) error
+	// EpochState reads back the persisted epoch watermarks and blob.
+	// A node that has never seen SetEpoch reports (0, 0, nil, nil).
+	EpochState(ctx context.Context) (installed, retired uint64, blob []byte, err error)
+}

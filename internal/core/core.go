@@ -170,6 +170,12 @@ type Options struct {
 	// around it exactly like a fail-stopped node. Must be fast and
 	// safe for concurrent use.
 	NodeGate func(node int) bool
+	// Epoch, when non-zero, stamps every RPC the system issues with
+	// this placement epoch (client.WithEpoch): epoch-guarding nodes
+	// reject the RPC once the epoch is retired, fencing a coordinator
+	// that reconfigured past this system. A System is built per
+	// (epoch, placement), so the epoch is a constant of the system.
+	Epoch uint64
 }
 
 type stripeInfo struct {
@@ -238,6 +244,13 @@ func NewSystem(code *erasure.Code, cfg trapezoid.Config, nodes []NodeClient, opt
 		opts:    opts,
 		stripes: make(map[uint64]stripeInfo),
 		locks:   make(map[blockKey]*sync.Mutex),
+	}
+	if opts.Epoch != 0 {
+		// Innermost wrapper: the epoch tag must ride every RPC that
+		// reaches the transport, including ones the gate lets through.
+		for j := range s.nodes {
+			s.nodes[j] = &epochNode{NodeClient: s.nodes[j], epoch: opts.Epoch}
+		}
 	}
 	if opts.NodeGate != nil {
 		// Wrap every node so the gate covers each RPC the engine can

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+
+	"trapquorum/client"
+)
+
+// epochNode wraps one node client behind Options.Epoch: every RPC's
+// context is stamped with the system's placement epoch
+// (client.WithEpoch), so the transport tags its frames and
+// epoch-guarding nodes can fence the coordinator once the epoch is
+// retired. The wrapper sits innermost — under the NodeGate wrapper —
+// because the tag must ride whatever RPC ultimately reaches the
+// transport, gated or hedged alike.
+type epochNode struct {
+	NodeClient
+	epoch uint64
+}
+
+func (e *epochNode) tag(ctx context.Context) context.Context {
+	return client.WithEpoch(ctx, e.epoch)
+}
+
+func (e *epochNode) ReadChunk(ctx context.Context, id client.ChunkID) (client.Chunk, error) {
+	return e.NodeClient.ReadChunk(e.tag(ctx), id)
+}
+
+func (e *epochNode) ReadVersions(ctx context.Context, id client.ChunkID) ([]uint64, []client.BlockSum, error) {
+	return e.NodeClient.ReadVersions(e.tag(ctx), id)
+}
+
+func (e *epochNode) PutChunk(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
+	return e.NodeClient.PutChunk(e.tag(ctx), id, data, versions, sums...)
+}
+
+func (e *epochNode) PutChunkIfFresher(ctx context.Context, id client.ChunkID, data []byte, versions []uint64, sums ...client.BlockSum) error {
+	return e.NodeClient.PutChunkIfFresher(e.tag(ctx), id, data, versions, sums...)
+}
+
+func (e *epochNode) CompareAndPut(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, data []byte, sum ...client.BlockSum) error {
+	return e.NodeClient.CompareAndPut(e.tag(ctx), id, slot, expect, next, data, sum...)
+}
+
+func (e *epochNode) CompareAndAdd(ctx context.Context, id client.ChunkID, slot int, expect, next uint64, delta []byte, sum ...client.BlockSum) error {
+	return e.NodeClient.CompareAndAdd(e.tag(ctx), id, slot, expect, next, delta, sum...)
+}
+
+func (e *epochNode) DeleteChunk(ctx context.Context, id client.ChunkID) error {
+	return e.NodeClient.DeleteChunk(e.tag(ctx), id)
+}

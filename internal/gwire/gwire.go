@@ -166,6 +166,11 @@ const (
 	// Appended after StatusEvent so every earlier value keeps its wire
 	// encoding.
 	StatusCorrupt
+	// StatusEpochStale reports an operation tagged with a placement
+	// epoch the fleet has reconfigured past (client.ErrEpochStale).
+	// Appended after StatusCorrupt so every earlier value keeps its
+	// wire encoding.
+	StatusEpochStale
 	statusMax
 )
 
@@ -493,6 +498,8 @@ func (s Status) Err(detail string) error {
 		base = ErrDraining
 	case StatusCorrupt:
 		base = client.ErrCorrupt
+	case StatusEpochStale:
+		base = client.ErrEpochStale
 	case StatusEvent:
 		return fmt.Errorf("%w: event frame where an answer was expected", ErrMalformed)
 	default:
@@ -538,6 +545,8 @@ func StatusOf(err error) Status {
 		return StatusCorrupt
 	case errors.Is(err, core.ErrNotReadable):
 		return StatusNotReadable
+	case errors.Is(err, client.ErrEpochStale):
+		return StatusEpochStale
 	case errors.Is(err, ErrDraining):
 		return StatusDraining
 	default:

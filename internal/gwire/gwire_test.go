@@ -38,6 +38,7 @@ func responseFixtures() []Response {
 		{Seq: 7, Status: StatusDraining, Detail: "gateway shutting down"},
 		{Seq: 9, Status: StatusEvent, Data: AppendEvent(nil, &Event{Kind: EventPut, Key: []byte("vm.img")})},
 		{Seq: 10, Status: StatusCorrupt, Detail: "stripe 3 block 1: no honest basis of 8 shards"},
+		{Seq: 11, Status: StatusEpochStale, Detail: "placement epoch 2 retired (fleet at 3)"},
 	}
 }
 
@@ -203,6 +204,7 @@ func TestStatusErrTaxonomy(t *testing.T) {
 		{StatusWriteFailed, core.ErrWriteFailed},
 		{StatusNotReadable, core.ErrNotReadable},
 		{StatusCorrupt, client.ErrCorrupt},
+		{StatusEpochStale, client.ErrEpochStale},
 		{StatusDraining, ErrDraining},
 	}
 	for _, c := range cases {

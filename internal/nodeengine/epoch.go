@@ -1,0 +1,130 @@
+package nodeengine
+
+import (
+	"context"
+	"fmt"
+
+	"trapquorum/client"
+)
+
+// Online reconfiguration: nodes persist the cluster's placement-epoch
+// state — the (installed, retired) watermark pair plus the
+// coordinator's opaque placement blob — and enforce the stale-epoch
+// guard on tagged operations (see client.EpochSetter for the
+// contract). The state rides the ordinary chunk store under a reserved
+// id so it shares the store's durability (group commit, crash
+// recovery) with no second persistence path.
+
+// epochStateID is the reserved chunk holding the epoch state. The
+// maximal stripe number can never collide with a placed stripe: the
+// object service allocates stripe ids counting up from 1, and the
+// low-level single-stripe store pins its callers' payloads at the
+// stripe id they chose — practically small — never the top of the id
+// space.
+var epochStateID = client.ChunkID{Stripe: ^uint64(0), Shard: 0}
+
+// loadEpochLocked primes the cached retired watermark from the store.
+// Caller holds mu. Errors leave the cache unloaded so the next guard
+// retries; a missing chunk is the zero state (nothing retired).
+func (e *Engine) loadEpochLocked() (installed, retired uint64, blob []byte, err error) {
+	data, versions, _, ok, err := e.store.Get(epochStateID)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if !ok {
+		data = nil
+	} else if len(versions) >= 2 {
+		installed, retired = versions[0], versions[1]
+	}
+	e.epochRetired.Store(retired)
+	e.epochLoaded.Store(true)
+	return installed, retired, data, nil
+}
+
+// EpochGuard rejects an operation tagged with a retired placement
+// epoch. Tag 0 (untagged traffic) always passes. The retired watermark
+// is cached in an atomic after the first load, so the per-operation
+// cost on the hot path is one atomic read.
+func (e *Engine) EpochGuard(tag uint64) error {
+	if tag == 0 {
+		return nil
+	}
+	if !e.epochLoaded.Load() {
+		e.mu.Lock()
+		_, _, _, err := e.loadEpochLocked()
+		e.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if r := e.epochRetired.Load(); tag <= r {
+		return fmt.Errorf("%w: epoch %d retired on %s (retired watermark %d)", client.ErrEpochStale, tag, e.name, r)
+	}
+	return nil
+}
+
+// SetEpoch durably records the epoch watermarks and placement blob.
+// Both watermarks are monotone maxima — a replayed or reordered
+// SetEpoch can repeat an advance but never regress one — which is what
+// makes the operation replay-safe on an ambiguous connection. The blob
+// is replaced only when the call carries the newest installed epoch.
+func (e *Engine) SetEpoch(ctx context.Context, installed, retired uint64, blob []byte) error {
+	if err := e.begin(ctx); err != nil {
+		return err
+	}
+	return e.mutate(func() (func() error, error) {
+		curInstalled, curRetired, curBlob, err := e.loadEpochLocked()
+		if err != nil {
+			return nil, err
+		}
+		newInstalled, newRetired, newBlob := curInstalled, curRetired, curBlob
+		if installed > curInstalled {
+			newInstalled = installed
+			newBlob = blob
+		} else if installed == curInstalled && len(blob) > 0 {
+			newBlob = blob
+		}
+		if retired > curRetired {
+			newRetired = retired
+		}
+		if newRetired >= newInstalled && newRetired > 0 {
+			return nil, fmt.Errorf("%w: retiring epoch %d at installed epoch %d", client.ErrBadRequest, newRetired, newInstalled)
+		}
+		if newInstalled == curInstalled && newRetired == curRetired && bytesEqual(newBlob, curBlob) {
+			e.epochRetired.Store(newRetired)
+			return nil, nil // idempotent replay: nothing to persist
+		}
+		wait, err := e.stagePut(epochStateID, newBlob, []uint64{newInstalled, newRetired}, e.stageMeta(newBlob, nil))
+		if err == nil {
+			e.epochRetired.Store(newRetired)
+		}
+		return wait, err
+	})
+}
+
+// EpochState reads back the persisted epoch watermarks and blob. A
+// node that has never seen SetEpoch reports (0, 0, nil, nil).
+func (e *Engine) EpochState(ctx context.Context) (installed, retired uint64, blob []byte, err error) {
+	if err := e.begin(ctx); err != nil {
+		return 0, 0, nil, err
+	}
+	defer e.mu.Unlock()
+	installed, retired, data, err := e.loadEpochLocked()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return installed, retired, append([]byte(nil), data...), nil
+}
+
+// bytesEqual avoids importing bytes for one comparison on a cold path.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

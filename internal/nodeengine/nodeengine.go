@@ -150,6 +150,12 @@ type Engine struct {
 	recScratch []client.BlockSum // record staging scratch, guarded by mu
 	recBytes   []byte            // record hashing scratch, guarded by mu
 	metrics    Metrics
+
+	// Cached placement-epoch guard state (see epoch.go): the retired
+	// watermark EpochGuard checks on every tagged operation, lazily
+	// primed from the store's reserved epoch chunk.
+	epochRetired atomic.Uint64
+	epochLoaded  atomic.Bool
 }
 
 // Compile-time conformance with the public transport contract.
@@ -590,12 +596,17 @@ func (e *Engine) ChunkCount(ctx context.Context) (int, error) {
 }
 
 // Wipe erases the node's store, simulating media loss; typically
-// followed by the repair protocol refilling the node.
+// followed by the repair protocol refilling the node. The persisted
+// epoch state is wiped with everything else — a node returning on a
+// fresh disk has forgotten the fence and waits for the coordinator's
+// next SetEpoch broadcast, exactly like a brand-new node.
 func (e *Engine) Wipe(ctx context.Context) error {
 	if err := e.begin(ctx); err != nil {
 		return err
 	}
 	return e.mutate(func() (func() error, error) {
+		e.epochRetired.Store(0)
+		e.epochLoaded.Store(true)
 		return e.stageWipe()
 	})
 }

@@ -65,6 +65,22 @@ type Target interface {
 	ScrubStripe(ctx context.Context, stripe uint64, down func(int) bool) ([]Task, error)
 }
 
+// MigrationSource is the optional Target extension for online
+// reconfiguration: a target that also exposes a placement migration
+// gets a background pump goroutine driving it, paced like the scrub
+// path so the drain never starves foreground traffic. The service
+// layer's fleet implements it; the single-placement core adapter does
+// not (it has no placement to migrate).
+type MigrationSource interface {
+	// MigrationPending reports whether a migration has work left.
+	MigrationPending() bool
+	// MigrationStep performs one unit of migration work — moving one
+	// object to the target placement, or completing the migration.
+	// done=true means no migration is active (or it just completed);
+	// an error means the step failed and should be retried later.
+	MigrationStep(ctx context.Context) (done bool, err error)
+}
+
 // LostCount counts how many of a stripe's n placements the down
 // predicate reports lost; nodeOf maps a shard index to the cluster
 // node holding it. Targets use it to fill Task.Priority so both
@@ -174,6 +190,10 @@ type Counters struct {
 	ScrubDegraded atomic.Int64
 	// ScrubErrors counts stripe audits that failed outright.
 	ScrubErrors atomic.Int64
+	// MigrationSteps counts successful migration pump steps;
+	// MigrationFailures counts steps that errored and were retried.
+	MigrationSteps    atomic.Int64
+	MigrationFailures atomic.Int64
 }
 
 // CountersSnapshot is a plain-value copy of Counters.
@@ -192,6 +212,10 @@ type CountersSnapshot struct {
 	ScrubDegraded int64
 	// ScrubErrors counts stripe audits that failed outright.
 	ScrubErrors int64
+	// MigrationSteps counts successful migration pump steps;
+	// MigrationFailures counts steps that errored and were retried.
+	MigrationSteps    int64
+	MigrationFailures int64
 }
 
 // Status is a point-in-time view of the orchestrator's workload, for
@@ -332,6 +356,48 @@ func (o *Orchestrator) Start() {
 		o.wg.Add(1)
 		go o.scrubLoop()
 	}
+	if ms, ok := o.target.(MigrationSource); ok {
+		o.wg.Add(1)
+		go o.migrationLoop(ms)
+	}
+}
+
+// migrationLoop is the background pump for online reconfiguration:
+// while the target has a migration pending, it drives one step at a
+// time, pacing between objects (ScrubPace) so the drain stays off the
+// foreground path; idle or after a failed step it backs off for
+// RetryInterval. The pump makes an interrupted reconfiguration
+// self-resuming: whatever re-queues work (StartReconfigure after a
+// coordinator crash, a Put racing the cutover) is drained without any
+// further coordinator involvement.
+func (o *Orchestrator) migrationLoop(ms MigrationSource) {
+	defer o.wg.Done()
+	for {
+		if !ms.MigrationPending() {
+			if !o.sleep(o.cfg.RetryInterval) {
+				return
+			}
+			continue
+		}
+		done, err := ms.MigrationStep(o.ctx)
+		if o.ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			o.counters.MigrationFailures.Add(1)
+			if !o.sleep(o.cfg.RetryInterval) {
+				return
+			}
+			continue
+		}
+		if done {
+			continue // re-check MigrationPending; idles on RetryInterval
+		}
+		o.counters.MigrationSteps.Add(1)
+		if !o.sleep(o.cfg.ScrubPace) {
+			return
+		}
+	}
 }
 
 // Close stops every background goroutine and waits for in-flight
@@ -357,13 +423,15 @@ func (o *Orchestrator) Close() {
 // Counters returns a snapshot of the cumulative event counts.
 func (o *Orchestrator) Counters() CountersSnapshot {
 	return CountersSnapshot{
-		Repairs:        o.counters.Repairs.Load(),
-		RepairFailures: o.counters.RepairFailures.Load(),
-		PlansExecuted:  o.counters.PlansExecuted.Load(),
-		ScrubPasses:    o.counters.ScrubPasses.Load(),
-		ScrubStripes:   o.counters.ScrubStripes.Load(),
-		ScrubDegraded:  o.counters.ScrubDegraded.Load(),
-		ScrubErrors:    o.counters.ScrubErrors.Load(),
+		Repairs:           o.counters.Repairs.Load(),
+		RepairFailures:    o.counters.RepairFailures.Load(),
+		PlansExecuted:     o.counters.PlansExecuted.Load(),
+		ScrubPasses:       o.counters.ScrubPasses.Load(),
+		ScrubStripes:      o.counters.ScrubStripes.Load(),
+		ScrubDegraded:     o.counters.ScrubDegraded.Load(),
+		ScrubErrors:       o.counters.ScrubErrors.Load(),
+		MigrationSteps:    o.counters.MigrationSteps.Load(),
+		MigrationFailures: o.counters.MigrationFailures.Load(),
 	}
 }
 

@@ -1,0 +1,702 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"trapquorum/client"
+	"trapquorum/internal/core"
+	"trapquorum/internal/erasure"
+	"trapquorum/internal/trapezoid"
+	"trapquorum/placement"
+)
+
+// Online reconfiguration: the fleet's placement is versioned into
+// epochs, each an immutable (n, k, trapezoid, placement, roster)
+// tuple. Reconfigure installs the next epoch as the target of new
+// Puts, then migrates every existing object — read whole from its old
+// epoch's stripes, re-encoded and seeded onto the new placement, cut
+// over atomically under the object's lock — and finally fences the
+// previous epochs at the nodes (client.EpochSetter), so a stale
+// coordinator still stamping retired epochs is refused with
+// client.ErrEpochStale. Old and new quorums overlap for the whole
+// drain: reads follow each object's own epoch and retry across the
+// cutover, writes hold the object lock shared, so no acked write is
+// ever lost and no caller sees an error it would not have seen on a
+// static fleet.
+
+// ErrMigrationActive rejects a reconfiguration towards a different
+// target while another migration is still draining.
+var ErrMigrationActive = errors.New("service: another reconfiguration is in progress")
+
+// epochCfg is one placement epoch: the full stripe geometry and the
+// epoch-stamped placement new stripes of this epoch are created with.
+// Immutable once built — a reconfiguration adds the next epoch rather
+// than mutating the current one, so both sides of a migration coexist.
+type epochCfg struct {
+	id     uint64
+	n, k   int
+	shape  trapezoid.Shape
+	w      int
+	code   *erasure.Code
+	tcfg   trapezoid.Config
+	place  placement.Strategy
+	active []int // cluster node ids serving this epoch
+}
+
+// ReconfigSpec describes a reconfiguration target. Zero geometry
+// fields inherit the current epoch's value, so a pure roster change
+// needs only Active and a pure recode needs only N/K/Shape/W.
+type ReconfigSpec struct {
+	// N, K are the target erasure-code parameters (0 = keep current).
+	N, K int
+	// Shape and W parameterise the target trapezoid (zero = keep
+	// current). Shape.NbNodes must equal N-K+1.
+	Shape trapezoid.Shape
+	W     int
+	// Active is the cluster node roster of the target epoch, as ids
+	// into the fleet's client table (grow it first with
+	// AddNodeClients). nil keeps the current roster; an explicit
+	// roster may drop ids (shrink) or include fresh ones (grow).
+	Active []int
+	// Placement optionally overrides the inner placement strategy,
+	// spanning positions 0..len(Active)-1 (it is wrapped in an
+	// epoch-stamped placement.Map). nil places round-robin over the
+	// roster.
+	Placement placement.Strategy
+}
+
+// migKey names one object in a migration queue.
+type migKey struct{ tenant, key string }
+
+// migration is the in-flight state of one reconfiguration drain.
+// Guarded by fleet.mu.
+type migration struct {
+	target *epochCfg
+	from   uint64
+	queue  []migKey
+	queued map[migKey]bool
+	done   int
+	moved  int64
+	fails  int
+}
+
+// enqueueLocked queues one object unless it already is. Caller holds
+// fleet.mu.
+func (m *migration) enqueueLocked(tenant, key string) {
+	mk := migKey{tenant, key}
+	if m.queued[mk] {
+		return
+	}
+	m.queued[mk] = true
+	m.queue = append(m.queue, mk)
+}
+
+// MigrationStatus is the externally visible reconfiguration state:
+// the fleet's current and retired epochs always, plus drain progress
+// while a migration is active.
+type MigrationStatus struct {
+	// Active reports whether a migration is draining.
+	Active bool
+	// Epoch is the placement epoch new objects are placed in; Retired
+	// is the highest epoch fenced off at the nodes. Epoch == Retired+1
+	// means the fleet is fully converged.
+	Epoch, Retired uint64
+	// From and To are the source and target epochs of the active
+	// migration (zero when idle).
+	From, To uint64
+	// TargetN, TargetK are the geometry being migrated to.
+	TargetN, TargetK int
+	// DoneObjects and PendingObjects count the drain's progress;
+	// TotalObjects is their sum. Failures counts object moves that
+	// errored and were re-queued.
+	DoneObjects, PendingObjects, TotalObjects int
+	// MovedBytes is the logical object bytes re-placed so far.
+	Failures   int
+	MovedBytes int64
+}
+
+// Migration snapshots the reconfiguration state.
+func (f *Fleet) Migration() MigrationStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := MigrationStatus{Epoch: f.cur.id, Retired: f.retired}
+	if f.mig != nil {
+		st.Active = true
+		st.From = f.mig.from
+		st.To = f.mig.target.id
+		st.TargetN = f.mig.target.n
+		st.TargetK = f.mig.target.k
+		st.DoneObjects = f.mig.done
+		st.PendingObjects = len(f.mig.queue)
+		st.TotalObjects = f.mig.done + len(f.mig.queue)
+		st.Failures = f.mig.fails
+		st.MovedBytes = f.mig.moved
+	}
+	return st
+}
+
+// Migration delegates to the fleet (reconfiguration scope is the
+// cluster).
+func (s *Store) Migration() MigrationStatus { return s.fleet.Migration() }
+
+// Epoch returns the placement epoch new objects are placed in.
+func (f *Fleet) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur.id
+}
+
+// ActiveNodes returns the current epoch's cluster node roster.
+func (f *Fleet) ActiveNodes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.cur.active...)
+}
+
+// CodeParams returns the current epoch's (n, k).
+func (f *Fleet) CodeParams() (n, k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur.n, f.cur.k
+}
+
+// NodeCount returns how many node clients the fleet holds (the id
+// space, not the active roster — removed nodes keep their ids).
+func (f *Fleet) NodeCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.nodes)
+}
+
+// AddNodeClients appends fresh node clients to the fleet's table,
+// returning the cluster id of the first one. The new nodes serve no
+// stripes until a reconfiguration includes them in a roster.
+func (f *Fleet) AddNodeClients(clients ...core.NodeClient) (int, error) {
+	for i, c := range clients {
+		if c == nil {
+			return 0, fmt.Errorf("service: AddNodeClients: client %d is nil", i)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	first := len(f.nodes)
+	f.nodes = append(f.nodes, clients...)
+	return first, nil
+}
+
+// specTargetLocked resolves a spec against the current epoch: zero
+// fields inherit. Caller holds f.mu.
+func (f *Fleet) specTargetLocked(spec ReconfigSpec) (ReconfigSpec, error) {
+	cur := f.cur
+	if spec.N == 0 {
+		spec.N = cur.n
+	}
+	if spec.K == 0 {
+		spec.K = cur.k
+	}
+	if spec.Shape == (trapezoid.Shape{}) {
+		spec.Shape = cur.shape
+	}
+	if spec.W == 0 {
+		spec.W = cur.w
+	}
+	if spec.Active == nil {
+		spec.Active = append([]int(nil), cur.active...)
+	}
+	for _, id := range spec.Active {
+		if id < 0 || id >= len(f.nodes) {
+			return spec, fmt.Errorf("service: roster node %d outside fleet of %d clients", id, len(f.nodes))
+		}
+	}
+	if len(spec.Active) < spec.N {
+		return spec, fmt.Errorf("service: roster of %d nodes cannot hold %d shards", len(spec.Active), spec.N)
+	}
+	return spec, nil
+}
+
+// sameTarget reports whether the resolved spec describes the epoch ec.
+func sameTarget(ec *epochCfg, spec ReconfigSpec) bool {
+	if ec.n != spec.N || ec.k != spec.K || ec.shape != spec.Shape || ec.w != spec.W {
+		return false
+	}
+	if len(ec.active) != len(spec.Active) {
+		return false
+	}
+	for i, id := range ec.active {
+		if spec.Active[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// staleLocked reports whether any tenant still holds an object outside
+// epoch ec. Caller holds f.mu.
+func (f *Fleet) staleLocked(ec *epochCfg) bool {
+	for _, st := range f.tenants {
+		for _, m := range st.directory {
+			if m.ec != ec {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rescanLocked (re)builds the migration queue from a full directory
+// scan: every object of every tenant not yet in the target epoch, in
+// deterministic tenant/key order. This is also the resume path — a
+// coordinator killed mid-drain rebuilds exactly the remaining work.
+// Caller holds f.mu.
+func (f *Fleet) rescanLocked() {
+	mig := f.mig
+	tenants := make([]string, 0, len(f.tenants))
+	for name := range f.tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, tn := range tenants {
+		st := f.tenants[tn]
+		keys := make([]string, 0, len(st.directory))
+		for k, m := range st.directory {
+			if m.ec != mig.target {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			mig.enqueueLocked(tn, k)
+		}
+	}
+}
+
+// StartReconfigure installs the target epoch and queues the migration,
+// without driving it: new objects land in the target immediately;
+// existing ones are moved by MigrationStep calls (DriveMigration, or
+// the self-heal orchestrator's background pump). Calling it again with
+// the same target is the resume path — it rebuilds the queue from a
+// fresh scan. A different target while a migration drains is refused
+// with ErrMigrationActive. When the fleet already converged on the
+// target it is a no-op.
+func (f *Fleet) StartReconfigure(ctx context.Context, spec ReconfigSpec) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	cur := f.cur
+	spec, err := f.specTargetLocked(spec)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	same := sameTarget(cur, spec)
+	if f.mig != nil {
+		// cur is always the active migration's target.
+		if !same {
+			f.mu.Unlock()
+			return ErrMigrationActive
+		}
+		f.rescanLocked()
+		f.mu.Unlock()
+		return nil
+	}
+	if same {
+		if f.retired+1 >= cur.id && !f.staleLocked(cur) {
+			f.mu.Unlock()
+			return nil // fully converged: nothing to do
+		}
+		// Converging on cur was interrupted (abort, or a crashed
+		// coordinator): resume draining into it.
+		f.mig = &migration{target: cur, from: f.retired, queued: make(map[migKey]bool)}
+		f.rescanLocked()
+		f.mu.Unlock()
+		return nil
+	}
+
+	// Build the target epoch. Validation happens before any state
+	// changes; the constructors reject bad geometry.
+	codeOpts := []erasure.Option{}
+	if f.cfg.CodingParallelism > 1 {
+		codeOpts = append(codeOpts, erasure.WithParallelism(f.cfg.CodingParallelism))
+	}
+	code, err := erasure.New(spec.N, spec.K, codeOpts...)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	tcfg, err := trapezoid.NewConfig(spec.Shape, spec.W)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if got, want := spec.Shape.NbNodes(), spec.N-spec.K+1; got != want {
+		f.mu.Unlock()
+		return fmt.Errorf("service: trapezoid holds %d nodes, need n-k+1 = %d", got, want)
+	}
+	inner := spec.Placement
+	if inner == nil {
+		inner, err = placement.NewRoundRobin(len(spec.Active))
+		if err != nil {
+			f.mu.Unlock()
+			return err
+		}
+	}
+	pm, err := placement.NewMap(cur.id+1, inner, spec.Active)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	target := &epochCfg{
+		id: cur.id + 1, n: spec.N, k: spec.K, shape: spec.Shape, w: spec.W,
+		code: code, tcfg: tcfg, place: pm, active: append([]int(nil), spec.Active...),
+	}
+	f.epochs[target.id] = target
+	f.cur = target
+	f.mig = &migration{target: target, from: cur.id, queued: make(map[migKey]bool)}
+	f.rescanLocked()
+	retired := f.retired
+	f.mu.Unlock()
+
+	// Announce the new epoch to the fleet (best-effort: the watermarks
+	// are monotone and re-broadcast at completion; a node that misses
+	// this one only lacks the installed marker, not safety).
+	f.broadcastEpoch(ctx, target.id, retired)
+	return nil
+}
+
+// AbortReconfigure stops an active migration, leaving the fleet in the
+// mixed-epoch state it reached: every object keeps serving from
+// whichever epoch it is in, nothing is fenced, and a later
+// StartReconfigure towards the same target resumes the drain.
+func (f *Fleet) AbortReconfigure() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mig = nil
+}
+
+// MigrationPending reports whether a migration has work left.
+func (f *Fleet) MigrationPending() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mig != nil
+}
+
+// MigrationPending delegates to the fleet.
+func (s *Store) MigrationPending() bool { return s.fleet.MigrationPending() }
+
+// MigrationStep performs one unit of migration work: moves one object
+// into the target epoch, or — once the queue is drained and no Put is
+// still seeding into a previous epoch — fences the retired epochs at
+// the nodes and completes. It returns done=true when no migration is
+// active (or it just completed). A failed object move is re-queued and
+// returned as the step's error; the caller retries. Safe for
+// concurrent use; steps are serialized per object by the object lock.
+func (f *Fleet) MigrationStep(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	mig := f.mig
+	if mig == nil {
+		f.mu.Unlock()
+		return true, nil
+	}
+	target := mig.target
+	if len(mig.queue) == 0 {
+		// Queue drained. Puts still seeding into a previous epoch keep
+		// the fence back — their objects will be queued at
+		// registration and drained by a later step.
+		for id, n := range f.putsIn {
+			if id != target.id && n > 0 {
+				f.mu.Unlock()
+				return false, nil
+			}
+		}
+		f.mu.Unlock()
+		// Fence every epoch before the target: a stale coordinator
+		// still stamping them is refused by the nodes from here on.
+		if err := f.broadcastEpoch(ctx, target.id, target.id-1); err != nil {
+			return false, err
+		}
+		f.mu.Lock()
+		if f.mig == mig {
+			if target.id-1 > f.retired {
+				f.retired = target.id - 1
+			}
+			f.mig = nil
+		}
+		f.mu.Unlock()
+		return true, nil
+	}
+	mk := mig.queue[0]
+	mig.queue = mig.queue[1:]
+	delete(mig.queued, mk)
+	st := f.tenants[mk.tenant]
+	f.mu.Unlock()
+
+	moved, err := st.migrateObject(ctx, mk.key, target)
+	f.mu.Lock()
+	if f.mig == mig {
+		if err != nil {
+			mig.fails++
+			mig.enqueueLocked(mk.tenant, mk.key)
+		} else {
+			mig.done++
+			mig.moved += moved
+		}
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return false, fmt.Errorf("migrating %s/%q: %w", mk.tenant, mk.key, err)
+	}
+	return false, nil
+}
+
+// MigrationStep delegates to the fleet — this (with MigrationPending)
+// is the repairsched.MigrationSource surface the self-heal
+// orchestrator's background pump drives.
+func (s *Store) MigrationStep(ctx context.Context) (bool, error) {
+	return s.fleet.MigrationStep(ctx)
+}
+
+// DriveMigration runs MigrationStep to completion: each failed object
+// move is retried after a short pause, until the migration finishes or
+// the context dies. Bound the wait with the context when nodes may be
+// unrecoverable.
+func (f *Fleet) DriveMigration(ctx context.Context) error {
+	for {
+		done, err := f.MigrationStep(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			if !sleepCtx(ctx, 10*time.Millisecond) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if done {
+			return nil
+		}
+		// Yield between objects so the drain paces itself and the
+		// queue-drained/waiting-on-puts probe does not spin.
+		if !sleepCtx(ctx, time.Millisecond) {
+			return ctx.Err()
+		}
+	}
+}
+
+// Reconfigure installs the target epoch and drives the migration to
+// completion: when it returns nil, every object lives in the target
+// epoch, the previous epochs are fenced at the nodes, and the fleet is
+// fully converged. The resume path after an interrupted run is simply
+// calling it again with the same spec.
+func (f *Fleet) Reconfigure(ctx context.Context, spec ReconfigSpec) error {
+	if err := f.StartReconfigure(ctx, spec); err != nil {
+		return err
+	}
+	return f.DriveMigration(ctx)
+}
+
+// Reconfigure delegates to the fleet (reconfiguration scope is the
+// cluster).
+func (s *Store) Reconfigure(ctx context.Context, spec ReconfigSpec) error {
+	return s.fleet.Reconfigure(ctx, spec)
+}
+
+// sleepCtx waits for d, returning false when the context dies first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// epochBlob is the opaque state broadcast alongside the watermarks —
+// a JSON description of the installed epoch, for operators inspecting
+// a node's persisted epoch state.
+type epochBlob struct {
+	Epoch   uint64 `json:"epoch"`
+	Retired uint64 `json:"retired"`
+	N       int    `json:"n"`
+	K       int    `json:"k"`
+	A       int    `json:"a"`
+	B       int    `json:"b"`
+	H       int    `json:"h"`
+	W       int    `json:"w"`
+	Active  []int  `json:"active"`
+}
+
+// broadcastEpoch pushes the (installed, retired) watermarks to every
+// node client that persists epoch state. Per-node failures are
+// tolerated — the watermarks are monotone maxima, so any later
+// broadcast (or a resumed migration's) catches a node up; only a dead
+// context fails the call.
+func (f *Fleet) broadcastEpoch(ctx context.Context, installed, retired uint64) error {
+	f.mu.Lock()
+	clients := append([]core.NodeClient(nil), f.nodes...)
+	ec := f.epochs[installed]
+	f.mu.Unlock()
+	var blob []byte
+	if ec != nil {
+		blob, _ = json.Marshal(epochBlob{
+			Epoch: ec.id, Retired: retired, N: ec.n, K: ec.k,
+			A: ec.shape.A, B: ec.shape.B, H: ec.shape.H, W: ec.w,
+			Active: ec.active,
+		})
+	}
+	for _, cl := range clients {
+		es, ok := cl.(client.EpochSetter)
+		if !ok {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = es.SetEpoch(ctx, installed, retired, blob)
+	}
+	return ctx.Err()
+}
+
+// migrateObject moves one object into the target epoch: under the
+// object's exclusive lock, read it whole from its current stripes,
+// seed fresh stripes on the target placement, swap the directory entry
+// atomically, then drop the old chunks. Readers never block — they
+// retry across the swap with refreshed metadata; writers and Delete
+// hold the same lock, so nothing lands on the old stripes after the
+// copy is taken. Returns the logical bytes moved (0 when the object is
+// already in the target epoch or was deleted).
+func (s *Store) migrateObject(ctx context.Context, key string, target *epochCfg) (int64, error) {
+	f := s.fleet
+	lk := f.objLock(s.tenant, key)
+	lk.Lock()
+	defer lk.Unlock()
+
+	f.mu.Lock()
+	m, ok := s.directory[key]
+	if !ok || m.ec == target {
+		f.mu.Unlock()
+		return 0, nil
+	}
+	src := objectMeta{size: m.size, stripes: append([]uint64(nil), m.stripes...), ec: m.ec}
+	f.mu.Unlock()
+
+	// Read the object whole out of its current epoch. The exclusive
+	// lock keeps the source stripes stable; quorum reads tolerate the
+	// usual failures.
+	bs := f.cfg.BlockSize
+	nblocks := (src.size + bs - 1) / bs
+	data := make([]byte, 0, nblocks*bs)
+	for lb := 0; lb < nblocks; lb++ {
+		sys, stripe, idx, err := s.locate(src, lb)
+		if err != nil {
+			return 0, err
+		}
+		blk, _, err := sys.ReadBlock(ctx, stripe, idx)
+		if err != nil {
+			return 0, fmt.Errorf("reading stripe %d block %d: %w", stripe, idx, err)
+		}
+		data = append(data, blk...)
+	}
+
+	// Seed the object onto the target placement, exactly like a Put
+	// into the target epoch.
+	capacity := target.capacity(bs)
+	stripeCount := (src.size + capacity - 1) / capacity
+	if stripeCount == 0 {
+		stripeCount = 1
+	}
+	type planned struct {
+		id     uint64
+		sys    *core.System
+		blocks [][]byte
+		nodes  []int
+	}
+	f.mu.Lock()
+	plan := make([]planned, 0, stripeCount)
+	for i := 0; i < stripeCount; i++ {
+		id := f.nextStripe
+		f.nextStripe++
+		nodes, err := target.place.Place(id, target.n)
+		if err != nil {
+			f.mu.Unlock()
+			return 0, err
+		}
+		sys, err := f.systemFor(target, nodes)
+		if err != nil {
+			f.mu.Unlock()
+			return 0, err
+		}
+		blocks := make([][]byte, target.k)
+		for b := range blocks {
+			block := make([]byte, bs)
+			off := i*capacity + b*bs
+			if off < len(data) {
+				copy(block, data[off:])
+			}
+			blocks[b] = block
+		}
+		plan = append(plan, planned{id: id, sys: sys, blocks: blocks, nodes: nodes})
+	}
+	f.mu.Unlock()
+
+	for i, p := range plan {
+		if err := p.sys.SeedStripe(ctx, p.id, p.blocks); err != nil {
+			// Unwind the partial seed; the object stays untouched in
+			// its old epoch and the step is retried.
+			dctx := context.Background()
+			for _, d := range plan[:i+1] {
+				for shard, node := range d.nodes {
+					_ = f.nodeClient(node).DeleteChunk(dctx, client.ChunkID{Stripe: d.id, Shard: shard})
+				}
+				d.sys.ForgetStripe(d.id)
+			}
+			return 0, fmt.Errorf("seeding stripe %d: %w", p.id, err)
+		}
+	}
+
+	// Cut over: one atomic swap of the directory entry and the stripe
+	// tables. Readers that raced the swap find their old stripe gone
+	// and retry with this fresh metadata.
+	newStripes := make([]uint64, 0, len(plan))
+	f.mu.Lock()
+	for _, p := range plan {
+		f.stripeSys[p.id] = p.sys
+		f.stripeLoc[p.id] = p.nodes
+		newStripes = append(newStripes, p.id)
+	}
+	oldSys := make(map[uint64]*core.System, len(src.stripes))
+	oldLoc := make(map[uint64][]int, len(src.stripes))
+	for _, stx := range src.stripes {
+		oldSys[stx] = f.stripeSys[stx]
+		oldLoc[stx] = f.stripeLoc[stx]
+		delete(f.stripeSys, stx)
+		delete(f.stripeLoc, stx)
+	}
+	m.stripes = newStripes
+	m.ec = target
+	f.mu.Unlock()
+
+	// Drop the old epoch's chunks (best-effort, detached context —
+	// stripe ids are never reused, and a node down right now keeps
+	// orphan chunks exactly like after a Delete).
+	dctx := context.Background()
+	for _, stx := range src.stripes {
+		for shard, node := range oldLoc[stx] {
+			_ = f.nodeClient(node).DeleteChunk(dctx, client.ChunkID{Stripe: stx, Shard: shard})
+		}
+		if sys := oldSys[stx]; sys != nil {
+			sys.ForgetStripe(stx)
+		}
+	}
+	return int64(src.size), nil
+}

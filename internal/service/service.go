@@ -130,10 +130,15 @@ type tenantCounters struct {
 	quotaRejections                                atomic.Int64
 }
 
-// objectMeta records where an object lives.
+// objectMeta records where an object lives: its stripes and the
+// placement epoch that placed them. Every object is wholly in one
+// epoch at a time — reconfiguration migrates it atomically (under the
+// object's lock) from its old epoch's stripes to freshly seeded
+// stripes in the new epoch.
 type objectMeta struct {
 	size    int
 	stripes []uint64
+	ec      *epochCfg
 }
 
 // Fleet is the shared substrate tenant stores run on: the cluster's
@@ -144,14 +149,18 @@ type objectMeta struct {
 // under the lock — so a single lock keeps cross-tenant invariants
 // (unique stripe ids, shared placement tables) trivially correct.
 type Fleet struct {
-	cfg   Config
-	code  *erasure.Code
-	tcfg  trapezoid.Config
-	nodes []core.NodeClient // cluster node j's transport client
+	cfg Config
 
 	mu         sync.Mutex
+	nodes      []core.NodeClient // cluster node j's transport client; grows under mu
+	epochs     map[uint64]*epochCfg
+	cur        *epochCfg // the epoch new objects are placed in
+	retired    uint64    // highest epoch fenced off at the nodes
+	mig        *migration
+	putsIn     map[uint64]int // in-flight Put/PutReader count per epoch
+	locks      map[string]*sync.RWMutex
 	tenants    map[string]*Store
-	systems    map[string]*core.System // keyed by placement signature
+	systems    map[string]*core.System // keyed by epoch|placement signature
 	stripeSys  map[uint64]*core.System
 	stripeLoc  map[uint64][]int // stripe -> cluster nodes per shard
 	nextStripe uint64
@@ -222,11 +231,36 @@ func NewFleet(nodes []core.NodeClient, cfg Config) (*Fleet, error) {
 	if got, want := cfg.Shape.NbNodes(), cfg.N-cfg.K+1; got != want {
 		return nil, fmt.Errorf("service: trapezoid holds %d nodes, need n-k+1 = %d", got, want)
 	}
+	// The configuration becomes the fleet's first placement epoch. An
+	// epoch-stamped placement.Map carries its own epoch and roster;
+	// any other strategy starts at epoch 1 over the identity roster.
+	epoch := uint64(1)
+	var active []int
+	if m, ok := cfg.Placement.(*placement.Map); ok {
+		epoch = m.Epoch()
+		active = m.Active()
+	} else {
+		active = make([]int, cfg.Placement.Nodes())
+		for i := range active {
+			active[i] = i
+		}
+	}
+	ec := &epochCfg{
+		id: epoch, n: cfg.N, k: cfg.K, shape: cfg.Shape, w: cfg.W,
+		code: code, tcfg: tcfg, place: cfg.Placement, active: active,
+	}
+	retired := uint64(0)
+	if epoch > 0 {
+		retired = epoch - 1
+	}
 	return &Fleet{
 		cfg:        cfg,
-		code:       code,
-		tcfg:       tcfg,
 		nodes:      append([]core.NodeClient(nil), nodes...),
+		epochs:     map[uint64]*epochCfg{epoch: ec},
+		cur:        ec,
+		retired:    retired,
+		putsIn:     make(map[uint64]int),
+		locks:      make(map[string]*sync.RWMutex),
 		tenants:    make(map[string]*Store),
 		systems:    make(map[string]*core.System),
 		stripeSys:  make(map[uint64]*core.System),
@@ -329,13 +363,24 @@ func (s *Store) Tenant() string { return s.tenant }
 // Fleet returns the shared substrate this store runs on.
 func (s *Store) Fleet() *Fleet { return s.fleet }
 
-// stripeCapacity returns the payload bytes one stripe holds.
-func (f *Fleet) stripeCapacity() int { return f.cfg.K * f.cfg.BlockSize }
+// capacity returns the payload bytes one stripe holds in this epoch.
+func (ec *epochCfg) capacity(blockSize int) int { return ec.k * blockSize }
+
+// nodeClient returns cluster node j's transport, safely against a
+// roster growing under reconfiguration.
+func (f *Fleet) nodeClient(j int) core.NodeClient {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes[j]
+}
 
 // systemFor returns (building if needed) the protocol instance bound
-// to the given node placement. Caller holds f.mu.
-func (f *Fleet) systemFor(nodes []int) (*core.System, error) {
-	key := placementKey(nodes)
+// to the given node placement under the given epoch's geometry. The
+// epoch is part of the key — old and new instances coexist while a
+// migration drains — and stamps every RPC of the instance, so retired
+// epochs can be fenced at the nodes. Caller holds f.mu.
+func (f *Fleet) systemFor(ec *epochCfg, nodes []int) (*core.System, error) {
+	key := fmt.Sprintf("%d|%s", ec.id, placementKey(nodes))
 	if sys, ok := f.systems[key]; ok {
 		return sys, nil
 	}
@@ -347,6 +392,7 @@ func (f *Fleet) systemFor(nodes []int) (*core.System, error) {
 		DisableRollback: f.cfg.DisableRollback,
 		Concurrency:     f.cfg.Concurrency,
 		Hedge:           f.cfg.Hedge,
+		Epoch:           ec.id,
 	}
 	if gate := f.cfg.NodeGate; gate != nil {
 		// The gate speaks cluster-node indices; the instance issues
@@ -359,7 +405,7 @@ func (f *Fleet) systemFor(nodes []int) (*core.System, error) {
 			return gate(placedGate[shard])
 		}
 	}
-	sys, err := core.NewSystem(f.code, f.tcfg, clients, opts)
+	sys, err := core.NewSystem(ec.code, ec.tcfg, clients, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -395,6 +441,26 @@ func (f *Fleet) SetCorruptionHandler(fn func(node int)) {
 // SetCorruptionHandler delegates to the fleet (corruption scope is
 // the cluster).
 func (s *Store) SetCorruptionHandler(fn func(node int)) { s.fleet.SetCorruptionHandler(fn) }
+
+// objLock returns the per-object reconfiguration lock of one tenant
+// key, creating it on first use. Writers (WriteAt) hold it shared,
+// Delete and the migration's object move hold it exclusive — so a
+// migration never copies an object while a write is landing on its old
+// stripes, and no acked write can be lost at cutover. Lock entries are
+// never removed: a lock resurrected for a re-created key must be the
+// same lock any straggling holder still has, or two migrations could
+// race on different locks for one key.
+func (f *Fleet) objLock(tenant, key string) *sync.RWMutex {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := tenant + "\x00" + key
+	l := f.locks[id]
+	if l == nil {
+		l = &sync.RWMutex{}
+		f.locks[id] = l
+	}
+	return l
+}
 
 func placementKey(nodes []int) string {
 	var b strings.Builder
@@ -441,10 +507,14 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 	}
 	// Reserve the key (and its quota footprint) so a concurrent Put of
 	// the same key fails with ErrExists instead of silently overwriting
-	// the registration and orphaning the loser's stripes.
+	// the registration and orphaning the loser's stripes. The epoch is
+	// pinned here too, and counted in putsIn: a migration cannot fence
+	// the epoch while this Put is still seeding into it.
 	s.pending[key] = true
 	s.pendingObjects++
 	s.pendingBytes += int64(len(data))
+	ec := f.cur
+	f.putsIn[ec.id]++
 	// Every exit path must release the reservation: success replaces
 	// it with the directory entry, failure frees the key for retry.
 	defer func() {
@@ -452,9 +522,10 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 		delete(s.pending, key)
 		s.pendingObjects--
 		s.pendingBytes -= int64(len(data))
+		f.putsIn[ec.id]--
 		f.mu.Unlock()
 	}()
-	capacity := f.stripeCapacity()
+	capacity := ec.capacity(f.cfg.BlockSize)
 	stripeCount := (len(data) + capacity - 1) / capacity
 	if stripeCount == 0 {
 		stripeCount = 1 // empty objects still own one stripe for WriteAt growth semantics
@@ -469,17 +540,17 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 	for i := 0; i < stripeCount; i++ {
 		id := f.nextStripe
 		f.nextStripe++
-		nodes, err := f.cfg.Placement.Place(id, f.cfg.N)
+		nodes, err := ec.place.Place(id, ec.n)
 		if err != nil {
 			f.mu.Unlock()
 			return err
 		}
-		sys, err := f.systemFor(nodes)
+		sys, err := f.systemFor(ec, nodes)
 		if err != nil {
 			f.mu.Unlock()
 			return err
 		}
-		blocks := make([][]byte, f.cfg.K)
+		blocks := make([][]byte, ec.k)
 		for b := range blocks {
 			block := make([]byte, f.cfg.BlockSize)
 			off := i*capacity + b*f.cfg.BlockSize
@@ -502,7 +573,7 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 			dctx := context.Background()
 			for _, done := range plan[:i+1] {
 				for shard, node := range done.nodes {
-					_ = f.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: done.id, Shard: shard})
+					_ = f.nodeClient(node).DeleteChunk(dctx, client.ChunkID{Stripe: done.id, Shard: shard})
 				}
 				done.sys.ForgetStripe(done.id)
 			}
@@ -517,10 +588,18 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 		f.stripeSys[p.id] = p.sys
 		f.stripeLoc[p.id] = p.nodes
 	}
-	s.directory[key] = &objectMeta{size: len(data), stripes: stripes}
+	s.directory[key] = &objectMeta{size: len(data), stripes: stripes, ec: ec}
 	s.usedBytes += int64(len(data))
 	s.ctr.puts.Add(1)
 	s.ctr.bytesIn.Add(int64(len(data)))
+	// A reconfiguration may have started (or advanced) while this Put
+	// was seeding into what is now a previous epoch: hand the freshly
+	// registered object to the active migration so it is drained like
+	// the rest. The migration cannot have completed — it waits for
+	// putsIn of non-target epochs to reach zero, and ours is still held.
+	if ec != f.cur && f.mig != nil {
+		f.mig.enqueueLocked(s.tenant, key)
+	}
 	return nil
 }
 
@@ -532,7 +611,7 @@ func (s *Store) meta(key string) (objectMeta, error) {
 	if !ok {
 		return objectMeta{}, fmt.Errorf("%w: %q", ErrUnknownKey, key)
 	}
-	return objectMeta{size: m.size, stripes: append([]uint64(nil), m.stripes...)}, nil
+	return objectMeta{size: m.size, stripes: append([]uint64(nil), m.stripes...), ec: m.ec}, nil
 }
 
 // Get reads the whole object through quorum reads.
@@ -546,33 +625,23 @@ func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
 // with enough capacity in dst, the service layer adds no allocation of
 // its own.
 func (s *Store) GetAppend(ctx context.Context, key string, dst []byte) ([]byte, error) {
-	f := s.fleet
 	m, err := s.meta(key)
 	if err != nil {
 		return dst, err
 	}
 	out := dst
 	remaining := m.size
-	for _, stripe := range m.stripes {
-		f.mu.Lock()
-		sys := f.stripeSys[stripe]
-		f.mu.Unlock()
-		if sys == nil {
-			// The object was deleted concurrently.
-			return dst, fmt.Errorf("%w: %q", ErrUnknownKey, key)
+	for logical := 0; remaining > 0; logical++ {
+		data, err := s.readLogicalBlock(ctx, &m, key, logical)
+		if err != nil {
+			return dst, err
 		}
-		for b := 0; b < f.cfg.K && remaining > 0; b++ {
-			data, _, err := sys.ReadBlock(ctx, stripe, b)
-			if err != nil {
-				return dst, fmt.Errorf("stripe %d block %d: %w", stripe, b, err)
-			}
-			take := len(data)
-			if take > remaining {
-				take = remaining
-			}
-			out = append(out, data[:take]...)
-			remaining -= take
+		take := len(data)
+		if take > remaining {
+			take = remaining
 		}
+		out = append(out, data[:take]...)
+		remaining -= take
 	}
 	s.ctr.gets.Add(1)
 	s.ctr.bytesOut.Add(int64(m.size))
@@ -601,10 +670,13 @@ func (s *Store) Keys() []string {
 }
 
 // locate maps a logical block index of an object to its stripe,
-// in-stripe block index and owning system.
+// in-stripe block index and owning system. The logical-block↔byte
+// mapping (BlockSize) is epoch-invariant; how logical blocks group
+// into stripes (k) follows the object's epoch.
 func (s *Store) locate(m objectMeta, logicalBlock int) (*core.System, uint64, int, error) {
 	f := s.fleet
-	stripeIdx := logicalBlock / f.cfg.K
+	k := m.ec.k
+	stripeIdx := logicalBlock / k
 	if stripeIdx >= len(m.stripes) {
 		return nil, 0, 0, fmt.Errorf("%w: block %d beyond object", ErrBadRange, logicalBlock)
 	}
@@ -613,10 +685,45 @@ func (s *Store) locate(m objectMeta, logicalBlock int) (*core.System, uint64, in
 	sys := f.stripeSys[stripe]
 	f.mu.Unlock()
 	if sys == nil {
-		// The object was deleted concurrently.
+		// The object was deleted — or migrated to another epoch —
+		// concurrently; the caller refreshes its metadata to tell which.
 		return nil, 0, 0, fmt.Errorf("%w: stripe %d", ErrUnknownKey, stripe)
 	}
-	return sys, stripe, logicalBlock % f.cfg.K, nil
+	return sys, stripe, logicalBlock % k, nil
+}
+
+// readLogicalBlock reads one logical block of the object, retrying
+// with refreshed metadata when a concurrent migration moved the object
+// between epochs mid-read (the old stripes vanish; the same logical
+// block is re-read from the new ones — the byte mapping is
+// epoch-invariant). When the metadata did not change, the failure is
+// real and surfaces after a single attempt, so read error latency is
+// untouched outside reconfigurations. On a successful retry *m is left
+// refreshed for the caller's next blocks.
+func (s *Store) readLogicalBlock(ctx context.Context, m *objectMeta, key string, logical int) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		sys, stripe, idx, err := s.locate(*m, logical)
+		if err == nil {
+			var data []byte
+			data, _, err = sys.ReadBlock(ctx, stripe, idx)
+			if err == nil {
+				return data, nil
+			}
+			err = fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
+		}
+		if attempt >= 2 {
+			return nil, err
+		}
+		fresh, merr := s.meta(key)
+		if merr != nil {
+			return nil, merr
+		}
+		if fresh.ec == m.ec {
+			// Placement unchanged: the error is not a cutover artifact.
+			return nil, err
+		}
+		*m = fresh
+	}
 }
 
 // ReadAt reads length bytes at the given offset through quorum reads
@@ -646,13 +753,9 @@ func (s *Store) ReadAtAppend(ctx context.Context, key string, offset, length int
 	for length > 0 {
 		logical := offset / f.cfg.BlockSize
 		within := offset % f.cfg.BlockSize
-		sys, stripe, idx, err := s.locate(m, logical)
+		data, err := s.readLogicalBlock(ctx, &m, key, logical)
 		if err != nil {
 			return dst, err
-		}
-		data, _, err := sys.ReadBlock(ctx, stripe, idx)
-		if err != nil {
-			return dst, fmt.Errorf("stripe %d block %d: %w", stripe, idx, err)
 		}
 		take := len(data) - within
 		if take > length {
@@ -687,6 +790,14 @@ func out0(dst []byte, length int) []byte {
 // this layer.
 func (s *Store) WriteAt(ctx context.Context, key string, offset int, p []byte) error {
 	f := s.fleet
+	// Hold the object's reconfiguration lock shared for the whole
+	// multi-block span: a migration (which takes it exclusive) can
+	// never copy the object while this write is landing, so no acked
+	// byte is left behind on retired stripes. Concurrent WriteAt calls
+	// all take it shared — their mutual semantics are unchanged.
+	lk := f.objLock(s.tenant, key)
+	lk.RLock()
+	defer lk.RUnlock()
 	m, err := s.meta(key)
 	if err != nil {
 		return err
@@ -741,6 +852,11 @@ func (s *Store) Delete(ctx context.Context, key string) error {
 		return err
 	}
 	f := s.fleet
+	// Exclusive object lock: a migration mid-copy of this object holds
+	// the same lock, so Delete never races the cutover swap.
+	lk := f.objLock(s.tenant, key)
+	lk.Lock()
+	defer lk.Unlock()
 	f.mu.Lock()
 	m, ok := s.directory[key]
 	if !ok {
@@ -762,7 +878,7 @@ func (s *Store) Delete(ctx context.Context, key string) error {
 	dctx := context.Background()
 	for _, st := range stripes {
 		for shard, node := range locs[st] {
-			_ = f.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: st, Shard: shard})
+			_ = f.nodeClient(node).DeleteChunk(dctx, client.ChunkID{Stripe: st, Shard: shard})
 		}
 		if sys := systems[st]; sys != nil {
 			sys.ForgetStripe(st)
@@ -820,27 +936,41 @@ func (s *Store) RepairClusterNode(ctx context.Context, node int) (int, error) {
 // degradation.
 func (s *Store) Scrub(ctx context.Context, key string) ([]core.ScrubReport, error) {
 	f := s.fleet
-	m, err := s.meta(key)
-	if err != nil {
-		return nil, err
-	}
-	reports := make([]core.ScrubReport, 0, len(m.stripes))
-	for _, stripe := range m.stripes {
-		f.mu.Lock()
-		sys := f.stripeSys[stripe]
-		f.mu.Unlock()
-		if sys == nil {
-			// The object was deleted concurrently.
-			return reports, fmt.Errorf("%w: %q", ErrUnknownKey, key)
-		}
-		rep, err := sys.ScrubStripe(ctx, stripe)
+	for attempt := 0; ; attempt++ {
+		m, err := s.meta(key)
 		if err != nil {
-			return reports, fmt.Errorf("stripe %d: %w", stripe, err)
+			return nil, err
 		}
-		reports = append(reports, rep)
+		reports := make([]core.ScrubReport, 0, len(m.stripes))
+		stale := false
+		for _, stripe := range m.stripes {
+			f.mu.Lock()
+			sys := f.stripeSys[stripe]
+			f.mu.Unlock()
+			if sys == nil {
+				// The object was deleted or migrated concurrently; the
+				// meta refetch above distinguishes the two on retry.
+				stale = true
+				break
+			}
+			rep, err := sys.ScrubStripe(ctx, stripe)
+			if err != nil {
+				if errors.Is(err, core.ErrUnknownStripe) {
+					stale = true
+					break
+				}
+				return reports, fmt.Errorf("stripe %d: %w", stripe, err)
+			}
+			reports = append(reports, rep)
+		}
+		if !stale {
+			s.ctr.scrubs.Add(1)
+			return reports, nil
+		}
+		if attempt >= 2 {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownKey, key)
+		}
 	}
-	s.ctr.scrubs.Add(1)
-	return reports, nil
 }
 
 // StripesOf reports the stripe ids backing an object (diagnostics).

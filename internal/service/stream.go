@@ -59,20 +59,24 @@ func (s *Store) PutReader(ctx context.Context, key string, r io.Reader, size int
 	// Reserve the key (and its quota footprint) so a concurrent Put of
 	// the same key fails with ErrExists instead of orphaning stripes;
 	// every exit path releases the reservation, success swapping it for
-	// the directory entry.
+	// the directory entry. The epoch is pinned and counted in putsIn —
+	// a migration cannot fence it while this stream is still seeding.
 	s.pending[key] = true
 	s.pendingObjects++
 	s.pendingBytes += int64(size)
+	ec := f.cur
+	f.putsIn[ec.id]++
 	f.mu.Unlock()
 	defer func() {
 		f.mu.Lock()
 		delete(s.pending, key)
 		s.pendingObjects--
 		s.pendingBytes -= int64(size)
+		f.putsIn[ec.id]--
 		f.mu.Unlock()
 	}()
 
-	capacity := f.stripeCapacity()
+	capacity := ec.capacity(f.cfg.BlockSize)
 	stripeCount := (size + capacity - 1) / capacity
 	if stripeCount == 0 {
 		stripeCount = 1 // empty objects still own one stripe for WriteAt growth semantics
@@ -108,7 +112,7 @@ func (s *Store) PutReader(ctx context.Context, key string, r io.Reader, size int
 		dctx := context.Background()
 		for _, d := range attempted {
 			for shard, node := range d.nodes {
-				_ = f.nodes[node].DeleteChunk(dctx, client.ChunkID{Stripe: d.id, Shard: shard})
+				_ = f.nodeClient(node).DeleteChunk(dctx, client.ChunkID{Stripe: d.id, Shard: shard})
 			}
 			d.sys.ForgetStripe(d.id)
 		}
@@ -119,8 +123,8 @@ func (s *Store) PutReader(ctx context.Context, key string, r io.Reader, size int
 	for i := 0; i < stripeCount; i++ {
 		// Read the stripe's payload into pooled blocks, zero-padding
 		// the tail (pooled buffers come back with undefined contents).
-		blks := make([]*blockpool.Block, f.cfg.K)
-		blocks := make([][]byte, f.cfg.K)
+		blks := make([]*blockpool.Block, ec.k)
+		blocks := make([][]byte, ec.k)
 		for b := range blocks {
 			blks[b] = blockpool.GetBlock(f.cfg.BlockSize)
 			blocks[b] = blks[b].B
@@ -150,10 +154,10 @@ func (s *Store) PutReader(ctx context.Context, key string, r io.Reader, size int
 		f.mu.Lock()
 		id := f.nextStripe
 		f.nextStripe++
-		nodes, err := f.cfg.Placement.Place(id, f.cfg.N)
+		nodes, err := ec.place.Place(id, ec.n)
 		if err == nil {
 			var sys *core.System
-			sys, err = f.systemFor(nodes)
+			sys, err = f.systemFor(ec, nodes)
 			if err == nil {
 				f.mu.Unlock()
 				// Overlap: wait out the previous stripe's seed only
@@ -191,10 +195,16 @@ func (s *Store) PutReader(ctx context.Context, key string, r io.Reader, size int
 		f.stripeLoc[p.id] = p.nodes
 		stripes = append(stripes, p.id)
 	}
-	s.directory[key] = &objectMeta{size: size, stripes: stripes}
+	s.directory[key] = &objectMeta{size: size, stripes: stripes, ec: ec}
 	s.usedBytes += int64(size)
 	s.ctr.puts.Add(1)
 	s.ctr.bytesIn.Add(int64(size))
+	// A reconfiguration may have advanced past our pinned epoch while
+	// the stream was seeding: hand the fresh object to the active
+	// migration (see Put for why it cannot have completed).
+	if ec != f.cur && f.mig != nil {
+		f.mig.enqueueLocked(s.tenant, key)
+	}
 	return nil
 }
 
@@ -203,36 +213,26 @@ func (s *Store) PutReader(ctx context.Context, key string, r io.Reader, size int
 // set, however large the object. It returns the bytes written; on a
 // read or write error the count says how much of the object reached w.
 func (s *Store) GetWriter(ctx context.Context, key string, w io.Writer) (int64, error) {
-	f := s.fleet
 	m, err := s.meta(key)
 	if err != nil {
 		return 0, err
 	}
 	var written int64
 	remaining := m.size
-	for _, stripe := range m.stripes {
-		f.mu.Lock()
-		sys := f.stripeSys[stripe]
-		f.mu.Unlock()
-		if sys == nil {
-			// The object was deleted concurrently.
-			return written, fmt.Errorf("%w: %q", ErrUnknownKey, key)
+	for logical := 0; remaining > 0; logical++ {
+		data, err := s.readLogicalBlock(ctx, &m, key, logical)
+		if err != nil {
+			return written, err
 		}
-		for b := 0; b < f.cfg.K && remaining > 0; b++ {
-			data, _, err := sys.ReadBlock(ctx, stripe, b)
-			if err != nil {
-				return written, fmt.Errorf("stripe %d block %d: %w", stripe, b, err)
-			}
-			take := len(data)
-			if take > remaining {
-				take = remaining
-			}
-			n, werr := w.Write(data[:take])
-			written += int64(n)
-			remaining -= take
-			if werr != nil {
-				return written, fmt.Errorf("writing object %q: %w", key, werr)
-			}
+		take := len(data)
+		if take > remaining {
+			take = remaining
+		}
+		n, werr := w.Write(data[:take])
+		written += int64(n)
+		remaining -= take
+		if werr != nil {
+			return written, fmt.Errorf("writing object %q: %w", key, werr)
 		}
 	}
 	s.ctr.gets.Add(1)

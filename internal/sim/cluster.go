@@ -42,10 +42,16 @@ func UniformDelay(min, max time.Duration, seed int64) DelayFunc {
 
 // Cluster is a set of simulated storage nodes. Node i of a stripe's
 // placement maps to cluster node i by default; richer placements are
-// the protocol layer's concern.
+// the protocol layer's concern. The node set can grow while the
+// cluster serves traffic (AddNodes — the simulator's half of online
+// reconfiguration); a mutex guards the roster, and the nodes
+// themselves are safe for concurrent use as before.
 type Cluster struct {
+	mu     sync.RWMutex
 	nodes  []*Node
-	closed sync.Once
+	delay  DelayFunc // cluster-wide model, applied to grown nodes too
+	closed bool
+	once   sync.Once
 }
 
 // NewCluster starts n node actors.
@@ -57,26 +63,59 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	c := &Cluster{nodes: make([]*Node, n)}
+	c := &Cluster{nodes: make([]*Node, n), delay: o.delay}
 	for i := range c.nodes {
 		c.nodes[i] = newNode(NodeID(i), o.delay)
 	}
 	return c, nil
 }
 
+// AddNodes starts count fresh node actors with consecutive ids after
+// the current roster and returns them, live immediately — the
+// simulator's grow operation. New nodes inherit the cluster-wide
+// latency model and start empty; the reconfiguration layer migrates
+// data onto them.
+func (c *Cluster) AddNodes(count int) ([]*Node, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("sim: AddNodes(%d): need at least one", count)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClusterClosed
+	}
+	added := make([]*Node, count)
+	for i := range added {
+		added[i] = newNode(NodeID(len(c.nodes)), c.delay)
+		c.nodes = append(c.nodes, added[i])
+	}
+	return added, nil
+}
+
 // Size returns the number of nodes.
-func (c *Cluster) Size() int { return len(c.nodes) }
+func (c *Cluster) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}
 
 // Node returns node i. It panics on an out-of-range index.
 func (c *Cluster) Node(i int) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if i < 0 || i >= len(c.nodes) {
 		panic(fmt.Sprintf("sim: node %d out of [0,%d)", i, len(c.nodes)))
 	}
 	return c.nodes[i]
 }
 
-// Nodes returns all nodes in id order. The slice must not be modified.
-func (c *Cluster) Nodes() []*Node { return c.nodes }
+// Nodes returns the nodes in id order (a copy: the roster can grow
+// concurrently).
+func (c *Cluster) Nodes() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Node(nil), c.nodes...)
+}
 
 // SetNodeDelay replaces node i's latency model (nil restores zero
 // latency), leaving every other node on the cluster-wide model. Used
@@ -91,7 +130,7 @@ func (c *Cluster) SetLinkFault(i int, f LinkFault, seed int64) { c.Node(i).SetLi
 
 // HealAllLinks removes every link fault.
 func (c *Cluster) HealAllLinks() {
-	for _, n := range c.nodes {
+	for _, n := range c.Nodes() {
 		n.SetLinkFault(LinkFault{}, 0)
 	}
 }
@@ -105,7 +144,7 @@ func (c *Cluster) Restart(i int) { c.Node(i).Restart() }
 // AliveCount returns how many nodes are currently up.
 func (c *Cluster) AliveCount() int {
 	alive := 0
-	for _, n := range c.nodes {
+	for _, n := range c.Nodes() {
 		if !n.Down() {
 			alive++
 		}
@@ -117,14 +156,15 @@ func (c *Cluster) AliveCount() int {
 // The mask length must equal the cluster size. Used by the Monte-Carlo
 // harness to sample the paper's iid availability model.
 func (c *Cluster) ApplyMask(up []bool) error {
-	if len(up) != len(c.nodes) {
-		return fmt.Errorf("sim: mask length %d, cluster size %d", len(up), len(c.nodes))
+	nodes := c.Nodes()
+	if len(up) != len(nodes) {
+		return fmt.Errorf("sim: mask length %d, cluster size %d", len(up), len(nodes))
 	}
 	for i, u := range up {
 		if u {
-			c.nodes[i].Restart()
+			nodes[i].Restart()
 		} else {
-			c.nodes[i].Crash()
+			nodes[i].Crash()
 		}
 	}
 	return nil
@@ -132,14 +172,14 @@ func (c *Cluster) ApplyMask(up []bool) error {
 
 // RestartAll revives every node.
 func (c *Cluster) RestartAll() {
-	for _, n := range c.nodes {
+	for _, n := range c.Nodes() {
 		n.Restart()
 	}
 }
 
 // TotalMetrics aggregates the operation counters across all nodes.
 func (c *Cluster) TotalMetrics() (reads, writes, adds, versionQueries int64) {
-	for _, n := range c.nodes {
+	for _, n := range c.Nodes() {
 		m := n.Metrics()
 		reads += m.Reads.Load()
 		writes += m.Writes.Load()
@@ -151,8 +191,12 @@ func (c *Cluster) TotalMetrics() (reads, writes, adds, versionQueries int64) {
 
 // Close stops every node actor. The cluster is unusable afterwards.
 func (c *Cluster) Close() {
-	c.closed.Do(func() {
-		for _, n := range c.nodes {
+	c.once.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		nodes := append([]*Node(nil), c.nodes...)
+		c.mu.Unlock()
+		for _, n := range nodes {
 			n.stop()
 		}
 	})

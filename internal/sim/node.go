@@ -205,6 +205,15 @@ func (n *Node) gate(ctx context.Context, op string) error {
 			}
 		}
 	}
+	// The stale-epoch guard runs at accept time, after the latency
+	// window — where the TCP server checks it when the request frame is
+	// handled. The retired watermark only grows, so a request delayed
+	// past a cutover is fenced exactly as it would be on a real node.
+	if tag := client.EpochFromContext(ctx); tag != 0 {
+		if err := n.engine.EpochGuard(tag); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -390,6 +399,38 @@ func (n *Node) DeleteChunk(ctx context.Context, id ChunkID) error {
 	}
 	return err
 }
+
+// SetEpoch durably records the cluster's epoch watermarks and
+// placement blob on this node (see client.EpochSetter). It crosses the
+// same admission gate and link faults as real operations, so a crashed
+// or partitioned node misses the broadcast exactly as a real fleet
+// member would.
+func (n *Node) SetEpoch(ctx context.Context, installed, retired uint64, blob []byte) error {
+	if err := n.gate(ctx, "epoch"); err != nil {
+		return err
+	}
+	err := n.engine.SetEpoch(ctx, installed, retired, blob)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return gerr
+	}
+	return err
+}
+
+// EpochState reads back the node's persisted epoch watermarks and
+// placement blob (see client.EpochSetter).
+func (n *Node) EpochState(ctx context.Context) (installed, retired uint64, blob []byte, err error) {
+	if err := n.gate(ctx, "epoch"); err != nil {
+		return 0, 0, nil, err
+	}
+	installed, retired, blob, err = n.engine.EpochState(ctx)
+	if gerr := n.respGate(ctx); gerr != nil {
+		return 0, 0, nil, gerr
+	}
+	return installed, retired, blob, err
+}
+
+// Compile-time conformance with the optional reconfiguration surface.
+var _ client.EpochSetter = (*Node)(nil)
 
 // HasChunk reports whether the node stores the chunk.
 func (n *Node) HasChunk(ctx context.Context, id ChunkID) (bool, error) {

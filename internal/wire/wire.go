@@ -17,7 +17,7 @@
 //
 // A request payload is a fixed header followed by the variable parts:
 //
-//	op(1) stripe(8) shard(4) slot(4) expect(8) next(8)
+//	op(1) stripe(8) shard(4) slot(4) expect(8) next(8) epoch(8)
 //	nver(4) versions(8·nver) nsums(4) sums(16·nsums) dlen(4) data(dlen)
 //
 // Fields an operation does not use are zero; every request uses the
@@ -64,6 +64,8 @@ const (
 	OpDeleteChunk
 	OpHasChunk
 	OpWipe
+	OpEpochGet
+	OpEpochSet
 	opMax
 )
 
@@ -90,6 +92,10 @@ func (op Op) String() string {
 		return "has-chunk"
 	case OpWipe:
 		return "wipe"
+	case OpEpochGet:
+		return "epoch-get"
+	case OpEpochSet:
+		return "epoch-set"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -105,9 +111,13 @@ func (op Op) String() string {
 // copy as a version mismatch. Only the read-only operations and the
 // version-guarded PutChunkIfFresher — whose guard re-evaluates
 // against the node's current state on every attempt — are safe.
+// OpEpochSet qualifies because the epoch watermarks it installs are
+// monotone maxima: a replay either repeats the same advance or is a
+// no-op.
 func (op Op) ReplaySafe() bool {
 	switch op {
-	case OpPing, OpReadChunk, OpReadVersions, OpHasChunk, OpPutChunkIfFresher:
+	case OpPing, OpReadChunk, OpReadVersions, OpHasChunk, OpPutChunkIfFresher,
+		OpEpochGet, OpEpochSet:
 		return true
 	default:
 		return false
@@ -130,6 +140,7 @@ const (
 	StatusOverloaded
 	StatusQuotaExceeded
 	StatusCorrupt
+	StatusEpochStale
 	statusMax
 )
 
@@ -154,6 +165,13 @@ type Request struct {
 	Slot   int
 	Expect uint64
 	Next   uint64
+	// Epoch is the placement epoch the issuing coordinator operated
+	// under, or 0 for untagged (pre-reconfiguration) traffic. Nodes
+	// reject tagged operations whose epoch they have retired with
+	// StatusEpochStale. For OpEpochSet the watermarks ride Next
+	// (installed) and Expect (retired) instead, so Epoch stays the
+	// guard-only field on every op.
+	Epoch uint64
 	// Versions is the proposed version vector of the put-family
 	// operations (decoded into a fresh slice).
 	Versions []uint64
@@ -184,7 +202,7 @@ type Response struct {
 	Data []byte
 }
 
-const requestHeaderLen = 1 + 8 + 4 + 4 + 8 + 8 + 4 // up to and including nver
+const requestHeaderLen = 1 + 8 + 4 + 4 + 8 + 8 + 8 + 4 // up to and including nver
 
 // EncodedRequestSize returns the exact payload length AppendRequest
 // produces for req, letting a sender validate against its frame limit
@@ -236,6 +254,7 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(req.Slot))
 	dst = binary.BigEndian.AppendUint64(dst, req.Expect)
 	dst = binary.BigEndian.AppendUint64(dst, req.Next)
+	dst = binary.BigEndian.AppendUint64(dst, req.Epoch)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Versions)))
 	for _, v := range req.Versions {
 		dst = binary.BigEndian.AppendUint64(dst, v)
@@ -262,7 +281,8 @@ func DecodeRequest(p []byte) (Request, error) {
 	req.Slot = int(int32(binary.BigEndian.Uint32(p[13:17])))
 	req.Expect = binary.BigEndian.Uint64(p[17:25])
 	req.Next = binary.BigEndian.Uint64(p[25:33])
-	nver := binary.BigEndian.Uint32(p[33:37])
+	req.Epoch = binary.BigEndian.Uint64(p[33:41])
+	nver := binary.BigEndian.Uint32(p[41:45])
 	p = p[requestHeaderLen:]
 	if uint64(nver)*8 > uint64(len(p)) {
 		return req, fmt.Errorf("%w: versions truncated (%d declared, %d bytes left)", ErrMalformed, nver, len(p))
@@ -439,6 +459,8 @@ func (s Status) Err(detail string) error {
 		base = client.ErrQuotaExceeded
 	case StatusCorrupt:
 		base = client.ErrCorrupt
+	case StatusEpochStale:
+		base = client.ErrEpochStale
 	default:
 		if detail == "" {
 			detail = "internal node error"
@@ -469,6 +491,8 @@ func StatusOf(err error) Status {
 		return StatusQuotaExceeded
 	case errors.Is(err, client.ErrCorrupt):
 		return StatusCorrupt
+	case errors.Is(err, client.ErrEpochStale):
+		return StatusEpochStale
 	default:
 		return StatusInternal
 	}

@@ -28,6 +28,15 @@ func requestFixtures() []Request {
 			Sums: []client.BlockSum{{Version: 7, Sum: 0xdeadbeefcafef00d}, {Version: 3, Sum: 1}}},
 		{Op: OpCompareAndAdd, ID: client.ChunkID{Stripe: 6, Shard: 13}, Slot: 2, Expect: 3, Next: 4, Data: []byte{5},
 			Sums: []client.BlockSum{{Version: 4, Sum: 42}}},
+		// Epoch-tagged traffic: ordinary operations stamped with the
+		// coordinator's placement epoch, plus the epoch-state ops
+		// themselves (OpEpochSet rides installed in Next, retired in
+		// Expect, the placement blob in Data).
+		{Op: OpReadChunk, ID: client.ChunkID{Stripe: 11, Shard: 4}, Epoch: 3},
+		{Op: OpCompareAndPut, ID: client.ChunkID{Stripe: 11, Shard: 4}, Slot: 1, Expect: 8, Next: 9,
+			Epoch: 1 << 40, Data: []byte{6, 6, 6}},
+		{Op: OpEpochGet},
+		{Op: OpEpochSet, Expect: 4, Next: 5, Data: []byte("placement-map-blob")},
 	}
 }
 
@@ -45,6 +54,10 @@ func responseFixtures() []Response {
 		{Status: StatusOK, Versions: []uint64{9, 9}, Data: []byte{3},
 			Sums: []client.BlockSum{{Version: 9, Sum: 0x1122334455667788}, {Version: 9, Sum: 0}}},
 		{Status: StatusCorrupt, Detail: "chunk 1/2 quarantined: crc mismatch"},
+		{Status: StatusEpochStale, Detail: "epoch 2 retired (installed 3)"},
+		// OpEpochGet answer: [installed, retired] in the version vector,
+		// placement blob in Data.
+		{Status: StatusOK, Versions: []uint64{5, 4}, Data: []byte("placement-map-blob")},
 	}
 }
 
@@ -112,7 +125,7 @@ func TestTruncatedResponsesRejected(t *testing.T) {
 func TestHugeDeclaredVersionCountRejectedWithoutAllocation(t *testing.T) {
 	req := Request{Op: OpPutChunk, Versions: []uint64{1}, Data: []byte{1}}
 	payload := AppendRequest(nil, &req)
-	payload[33] = 0x1f // nver high byte: declare 0x1f000001 versions
+	payload[41] = 0x1f // nver high byte: declare 0x1f000001 versions
 	allocs := testing.AllocsPerRun(100, func() {
 		if _, err := DecodeRequest(payload); err == nil {
 			t.Fatal("oversized version count accepted")
@@ -153,6 +166,9 @@ func TestReplaySafetyClassification(t *testing.T) {
 	safe := map[Op]bool{
 		OpPing: true, OpReadChunk: true, OpReadVersions: true,
 		OpHasChunk: true, OpPutChunkIfFresher: true,
+		// Epoch state is a pair of monotone watermarks: reading it is
+		// trivially safe and re-installing it is idempotent.
+		OpEpochGet: true, OpEpochSet: true,
 	}
 	for op := Op(1); op < opMax; op++ {
 		if got, want := op.ReplaySafe(), safe[op]; got != want {
@@ -227,6 +243,7 @@ func TestStatusErrTaxonomy(t *testing.T) {
 		{StatusOverloaded, client.ErrOverloaded},
 		{StatusQuotaExceeded, client.ErrQuotaExceeded},
 		{StatusCorrupt, client.ErrCorrupt},
+		{StatusEpochStale, client.ErrEpochStale},
 	}
 	for _, c := range cases {
 		if err := c.status.Err("detail"); !errors.Is(err, c.want) {

@@ -63,6 +63,53 @@ func (b *NetBackend) Open(ctx context.Context, n int) ([]client.NodeClient, erro
 	return nodes, nil
 }
 
+// GrowAddrs implements AddrGrowableBackend: it appends one node per
+// address after the current roster — address i of the slice becomes
+// cluster node NodeCount()+i — and returns their clients. The daemons
+// are dialed lazily like Open-time nodes, but each is pinged first so
+// a typo'd address fails the grow instead of surfacing as a dead
+// cluster node mid-migration. Used by ObjectStore.Reconfigure to grow
+// the fleet online.
+func (b *NetBackend) GrowAddrs(ctx context.Context, addrs []string) ([]client.NodeClient, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("trapquorum: GrowAddrs with no addresses")
+	}
+	b.mu.Lock()
+	usable := b.opened && !b.closed
+	b.mu.Unlock()
+	if !usable {
+		return nil, errors.New("trapquorum: net backend not open")
+	}
+	added := make([]*tcp.NodeClient, 0, len(addrs))
+	nodes := make([]client.NodeClient, 0, len(addrs))
+	for i, addr := range addrs {
+		cl := tcp.NewClient(addr, b.opts...)
+		if err := cl.Ping(ctx); err != nil {
+			cl.Close()
+			for _, prev := range added {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("trapquorum: GrowAddrs: new node %d (%s): %w", i, addr, err)
+		}
+		added = append(added, cl)
+		nodes = append(nodes, cl)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.opened || b.closed {
+		for _, cl := range added {
+			cl.Close()
+		}
+		return nil, errors.New("trapquorum: net backend closed during GrowAddrs")
+	}
+	b.clients = append(b.clients, added...)
+	b.addrs = append(b.addrs, addrs...)
+	return nodes, nil
+}
+
 // Close implements Backend: it closes every node client's connection
 // pool. The remote daemons keep running — their lifecycle belongs to
 // whoever deployed them.

@@ -160,8 +160,11 @@ func (s *ObjectStore) Scrub(ctx context.Context, key string) ([]ScrubReport, err
 	return s.svc.Scrub(ctx, key)
 }
 
-// NodeCount returns the cluster size the placement strategy spans.
-func (s *ObjectStore) NodeCount() int { return s.clusterSize }
+// NodeCount returns the number of provisioned cluster nodes — the
+// Open-time size plus any nodes added by Reconfigure (removed nodes
+// keep their ids, so the count never shrinks; see ActiveNodes for the
+// serving roster).
+func (s *ObjectStore) NodeCount() int { return s.svc.Fleet().NodeCount() }
 
 // Metrics returns a snapshot of the store-level counters: the
 // protocol counters aggregated across every placement, plus the

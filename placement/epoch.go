@@ -1,0 +1,94 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Map is an epoch-stamped placement: a Strategy bound to a specific
+// placement epoch and to the roster of cluster node ids active in that
+// epoch. The inner strategy places shards over positions
+// 0..len(active)-1; Map translates those positions to real cluster
+// node ids, so the same strategy type serves every epoch of a cluster
+// whose membership grows and shrinks. Map is immutable once built —
+// reconfiguration creates a new Map under the next epoch rather than
+// mutating the old one, which lets old and new placements coexist
+// while a migration drains.
+type Map struct {
+	epoch  uint64
+	strat  Strategy
+	active []int
+	nodes  int // max(active)+1: the id-space size, not the roster size
+}
+
+// NewMap binds strat to an epoch and an active node roster. The
+// strategy's node count must equal len(active), and the roster must be
+// distinct non-negative cluster ids (order is meaningful: strategy
+// position i maps to active[i]).
+func NewMap(epoch uint64, strat Strategy, active []int) (*Map, error) {
+	if strat == nil {
+		return nil, errors.New("placement: NewMap(nil strategy)")
+	}
+	if len(active) == 0 {
+		return nil, errors.New("placement: NewMap with empty roster")
+	}
+	if got := strat.Nodes(); got != len(active) {
+		return nil, fmt.Errorf("placement: strategy spans %d nodes, roster has %d", got, len(active))
+	}
+	seen := make(map[int]bool, len(active))
+	maxID := -1
+	for _, id := range active {
+		if id < 0 {
+			return nil, fmt.Errorf("placement: negative node id %d in roster", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("placement: duplicate node id %d in roster", id)
+		}
+		seen[id] = true
+		if id > maxID {
+			maxID = id
+		}
+	}
+	roster := make([]int, len(active))
+	copy(roster, active)
+	return &Map{epoch: epoch, strat: strat, active: roster, nodes: maxID + 1}, nil
+}
+
+// Epoch returns the placement epoch this map is stamped with.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// Active returns a copy of the active node roster.
+func (m *Map) Active() []int {
+	out := make([]int, len(m.active))
+	copy(out, m.active)
+	return out
+}
+
+// Name identifies the map for diagnostics.
+func (m *Map) Name() string {
+	return fmt.Sprintf("epoch(%d,%s)", m.epoch, m.strat.Name())
+}
+
+// Place maps the stripe's shards through the inner strategy and
+// translates strategy positions to active cluster node ids.
+func (m *Map) Place(stripe uint64, shards int) ([]int, error) {
+	pos, err := m.strat.Place(stripe, shards)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(pos))
+	for i, p := range pos {
+		if p < 0 || p >= len(m.active) {
+			return nil, fmt.Errorf("placement: %s placed shard %d at position %d outside roster of %d",
+				m.strat.Name(), i, p, len(m.active))
+		}
+		out[i] = m.active[p]
+	}
+	return out, nil
+}
+
+// Nodes reports the cluster id-space the map spans: max(active)+1.
+// This is the count of node slots a backend must provision, which can
+// exceed the roster size after nodes are removed from the roster but
+// keep their ids.
+func (m *Map) Nodes() int { return m.nodes }

@@ -1,0 +1,138 @@
+package placement_test
+
+import (
+	"testing"
+
+	"trapquorum/placement"
+)
+
+// TestMapTranslatesPositions pins the epoch map's one job: the inner
+// strategy places over positions 0..len(roster)-1 and the map
+// translates each position to the roster's cluster id, preserving
+// order and determinism.
+func TestMapTranslatesPositions(t *testing.T) {
+	rr, err := placement.NewRoundRobin(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := []int{2, 5, 9, 11}
+	m, err := placement.NewMap(3, rr, roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Epoch(); got != 3 {
+		t.Fatalf("Epoch = %d, want 3", got)
+	}
+	if got := m.Nodes(); got != 12 {
+		t.Fatalf("Nodes = %d, want max(roster)+1 = 12", got)
+	}
+	inner, err := rr.Place(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Place(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(inner) {
+		t.Fatalf("Place returned %d nodes, inner strategy %d", len(got), len(inner))
+	}
+	for i, p := range inner {
+		if got[i] != roster[p] {
+			t.Fatalf("shard %d: position %d should map to node %d, got %d", i, p, roster[p], got[i])
+		}
+	}
+	// Same stripe, same answer: the map adds no nondeterminism.
+	again, err := m.Place(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatalf("Place(7) not deterministic: %v vs %v", got, again)
+		}
+	}
+}
+
+// TestMapActiveIsACopy pins the immutability contract: mutating the
+// roster slice passed in, or the one handed out, never changes the map.
+func TestMapActiveIsACopy(t *testing.T) {
+	rr, err := placement.NewRoundRobin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := []int{0, 1, 2}
+	m, err := placement.NewMap(1, rr, roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster[0] = 99
+	if got := m.Active(); got[0] != 0 {
+		t.Fatalf("map shares the caller's roster slice: Active = %v", got)
+	}
+	out := m.Active()
+	out[1] = 99
+	if got := m.Active(); got[1] != 1 {
+		t.Fatalf("Active hands out its internal slice: %v", got)
+	}
+}
+
+// TestMapValidation pins the constructor's rejections.
+func TestMapValidation(t *testing.T) {
+	rr3, err := placement.NewRoundRobin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		strat  placement.Strategy
+		active []int
+	}{
+		"nil strategy":         {nil, []int{0, 1, 2}},
+		"empty roster":         {rr3, nil},
+		"roster size mismatch": {rr3, []int{0, 1}},
+		"negative node id":     {rr3, []int{0, -1, 2}},
+		"duplicate node id":    {rr3, []int{0, 1, 1}},
+	} {
+		if _, err := placement.NewMap(1, tc.strat, tc.active); err == nil {
+			t.Errorf("%s: NewMap accepted it", name)
+		}
+	}
+}
+
+// TestMapWithRing pins that the map composes with any inner strategy,
+// not just round-robin: a ring over 5 positions mapped onto a sparse
+// roster places every shard on a roster id.
+func TestMapWithRing(t *testing.T) {
+	ring, err := placement.NewRing(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := []int{1, 3, 5, 7, 9}
+	m, err := placement.NewMap(2, ring, roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onRoster := make(map[int]bool, len(roster))
+	for _, id := range roster {
+		onRoster[id] = true
+	}
+	for stripe := uint64(0); stripe < 50; stripe++ {
+		nodes, err := m.Place(stripe, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != 4 {
+			t.Fatalf("stripe %d: placed %d shards, want 4", stripe, len(nodes))
+		}
+		seen := make(map[int]bool, len(nodes))
+		for _, id := range nodes {
+			if !onRoster[id] {
+				t.Fatalf("stripe %d placed on node %d outside roster %v", stripe, id, roster)
+			}
+			if seen[id] {
+				t.Fatalf("stripe %d placed two shards on node %d", stripe, id)
+			}
+			seen[id] = true
+		}
+	}
+}

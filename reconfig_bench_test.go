@@ -1,0 +1,104 @@
+package trapquorum_test
+
+// Reconfiguration benchmarks, exported to BENCH_reconfig.json by
+// tools/benchjson: migration throughput of a (9,6)→(15,8) grow+recode
+// drain, and the foreground read latency (p99) an application sees
+// while that drain runs. Both run on the in-process simulated cluster,
+// so the numbers isolate the reconfiguration machinery itself —
+// locking, re-encoding, re-placement — from network and disk.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"trapquorum"
+)
+
+// benchPopulate opens a (9,6) fleet and fills it with count objects of
+// size bytes each, returning the store and the keys.
+func benchPopulate(b *testing.B, count, size, blockSize int) (*trapquorum.ObjectStore, []string) {
+	b.Helper()
+	ctx := context.Background()
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithCode(9, 6),
+		trapquorum.WithTrapezoid(2, 1, 1, 2),
+		trapquorum.WithBlockSize(blockSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	keys := make([]string, count)
+	data := make([]byte, size)
+	for i := range keys {
+		rng.Read(data)
+		keys[i] = fmt.Sprintf("bench-%d", i)
+		if err := store.Put(ctx, keys[i], data); err != nil {
+			store.Close()
+			b.Fatal(err)
+		}
+	}
+	return store, keys
+}
+
+// BenchmarkReconfigMigration measures migration throughput: one full
+// grow+recode drain of a populated fleet, reported as MB/s of logical
+// object bytes re-placed (read from the old epoch, re-encoded, seeded
+// onto the new placement, cut over).
+func BenchmarkReconfigMigration(b *testing.B) {
+	const objects, size = 32, 16 << 10
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, _ := benchPopulate(b, objects, size, 4096)
+		b.SetBytes(objects * size)
+		b.StartTimer()
+		if err := store.Reconfigure(ctx, growRecode); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if m := store.Health().Migration; m.Active || m.Retired != 1 {
+			b.Fatalf("drain did not converge: %+v", m)
+		}
+		store.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkForegroundReadDuringRecode measures what a recode costs the
+// application: whole-object read latency sampled while the drain runs,
+// reported as the p99 in milliseconds alongside the usual ns/op. Reads
+// that land after the drain completes still count — the tail of the
+// distribution is dominated by reads racing a cutover, which is the
+// number an operator planning a live recode needs.
+func BenchmarkForegroundReadDuringRecode(b *testing.B) {
+	const objects, size = 64, 4 << 10
+	ctx := context.Background()
+	store, keys := benchPopulate(b, objects, size, 1024)
+	defer store.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- store.Reconfigure(ctx, growRecode) }()
+
+	rng := rand.New(rand.NewSource(7))
+	latencies := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := keys[rng.Intn(len(keys))]
+		start := time.Now()
+		if _, err := store.Get(ctx, key); err != nil {
+			b.Fatalf("read during recode: %v", err)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	b.StopTimer()
+	if err := <-errc; err != nil {
+		b.Fatalf("Reconfigure: %v", err)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
+}

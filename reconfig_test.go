@@ -1,0 +1,625 @@
+package trapquorum_test
+
+// Reconfiguration chaos + acceptance suite: live grow/shrink/recode of
+// a populated fleet under concurrent foreground load, with the
+// coordinator killed, nodes crashed and links cut mid-migration. The
+// invariant every test pins: zero acked-data loss and zero caller
+// errors a static fleet would not also produce — reads and writes
+// overlap the old and new quorums until each object cuts over, and an
+// interrupted drain resumes (manually or through the self-heal pump)
+// without ever splitting a quorum across epochs. All seeds are pinned
+// in-source; the suite runs under -race in CI.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"trapquorum"
+	"trapquorum/client"
+	"trapquorum/placement"
+	"trapquorum/transport/tcp"
+)
+
+// growRecode is the acceptance target: the (9,6) a=2 b=1 h=1 w=2
+// seed geometry recoded to the paper's Figure-3 (15,8) a=2 b=3 h=1
+// w=3, growing the fleet by six nodes.
+var growRecode = trapquorum.Reconfig{
+	N: 15, K: 8, TrapezoidA: 2, TrapezoidB: 3, TrapezoidH: 1, W: 3,
+	AddNodes: 6,
+}
+
+// openNineSix opens a (9,6) store on a fresh 9-node cluster of the
+// given backend with small blocks, so objects span several stripes.
+func openNineSix(t *testing.T, backend trapquorum.Backend) *trapquorum.ObjectStore {
+	t.Helper()
+	store, err := trapquorum.Open(context.Background(),
+		trapquorum.WithBackend(backend),
+		trapquorum.WithCode(9, 6),
+		trapquorum.WithTrapezoid(2, 1, 1, 2),
+		trapquorum.WithBlockSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store
+}
+
+// preloadObjects populates the store with count random objects and
+// returns the oracle of their exact contents.
+func preloadObjects(t *testing.T, store *trapquorum.ObjectStore, name string, count int, seed int64) map[string][]byte {
+	t.Helper()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	oracle := make(map[string][]byte, count)
+	for i := 0; i < count; i++ {
+		key := fmt.Sprintf("%s-%d", name, i)
+		data := make([]byte, 1+rng.Intn(900))
+		rng.Read(data)
+		if err := store.Put(ctx, key, data); err != nil {
+			t.Fatalf("preload %q: %v", key, err)
+		}
+		oracle[key] = data
+	}
+	return oracle
+}
+
+// verifyAll reads every oracle object whole and compares it
+// byte-for-byte — the zero-acked-data-loss check.
+func verifyAll(t *testing.T, store *trapquorum.ObjectStore, oracle map[string][]byte) {
+	t.Helper()
+	ctx := context.Background()
+	for key, want := range oracle {
+		got, err := store.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("get %q: %v", key, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("object %q diverged from the oracle (%d vs %d bytes)", key, len(got), len(want))
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// Foreground workload modes: chaos tests with crashed nodes run
+// read-only (a Put or quorum write legitimately needs the dead node);
+// fault-free tests run the full mix.
+const (
+	fgReads   = 1 << iota // verified whole-object reads
+	fgWrites              // in-place patches via WriteAt
+	fgPuts                // new objects via Put
+	fgDeletes             // Delete of owned objects
+)
+
+// fgLoad is one foreground workload goroutine hammering the store
+// while a reconfiguration runs. It owns its oracle (seeded from a
+// snapshot of preloaded contents) until finish hands it back, so every
+// op it acks is checkable without cross-goroutine coordination.
+type fgLoad struct {
+	stop   chan struct{}
+	done   chan struct{}
+	err    error
+	oracle map[string][]byte
+	ops    int
+}
+
+// startForeground launches the workload over its own copy of preload.
+func startForeground(store *trapquorum.ObjectStore, name string, seed int64, preload map[string][]byte, mode int) *fgLoad {
+	f := &fgLoad{
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		oracle: make(map[string][]byte, len(preload)),
+	}
+	for k, v := range preload {
+		f.oracle[k] = append([]byte(nil), v...)
+	}
+	go func() {
+		defer close(f.done)
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]string, 0, len(f.oracle))
+		for k := range f.oracle {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		next := 0
+		for {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+			f.ops++
+			op := rng.Intn(10)
+			switch {
+			case mode&fgPuts != 0 && (len(keys) == 0 || op == 0):
+				key := fmt.Sprintf("%s-live-%d", name, next)
+				next++
+				data := make([]byte, 1+rng.Intn(700))
+				rng.Read(data)
+				if err := store.Put(ctx, key, data); err != nil {
+					f.err = fmt.Errorf("put %q: %w", key, err)
+					return
+				}
+				f.oracle[key] = data
+				keys = append(keys, key)
+			case mode&fgDeletes != 0 && op == 1 && len(keys) > 4:
+				i := rng.Intn(len(keys))
+				key := keys[i]
+				if err := store.Delete(ctx, key); err != nil {
+					f.err = fmt.Errorf("delete %q: %w", key, err)
+					return
+				}
+				delete(f.oracle, key)
+				keys = append(keys[:i], keys[i+1:]...)
+			case mode&fgWrites != 0 && op < 5 && len(keys) > 0:
+				key := keys[rng.Intn(len(keys))]
+				data := f.oracle[key]
+				off := rng.Intn(len(data))
+				patch := make([]byte, 1+rng.Intn(len(data)-off))
+				rng.Read(patch)
+				if err := store.WriteAt(ctx, key, off, patch); err != nil {
+					f.err = fmt.Errorf("writeat %q [%d,%d): %w", key, off, off+len(patch), err)
+					return
+				}
+				copy(data[off:], patch)
+			case mode&fgReads != 0 && len(keys) > 0:
+				key := keys[rng.Intn(len(keys))]
+				got, err := store.Get(ctx, key)
+				if err != nil {
+					f.err = fmt.Errorf("get %q: %w", key, err)
+					return
+				}
+				if !bytes.Equal(got, f.oracle[key]) {
+					f.err = fmt.Errorf("get %q: %d bytes not matching the oracle", key, len(got))
+					return
+				}
+			}
+		}
+	}()
+	return f
+}
+
+// finish stops the workload and returns the final oracle, failing the
+// test on the first error any acked op hit.
+func (f *fgLoad) finish(t *testing.T) map[string][]byte {
+	t.Helper()
+	close(f.stop)
+	<-f.done
+	if f.err != nil {
+		t.Fatalf("foreground workload: %v", f.err)
+	}
+	return f.oracle
+}
+
+// requireConverged asserts the fleet fully converged on epoch `want`.
+func requireConverged(t *testing.T, store *trapquorum.ObjectStore, want uint64) {
+	t.Helper()
+	m := store.Health().Migration
+	if m.Active || m.Epoch != want || m.Retired != want-1 {
+		t.Fatalf("fleet not converged on epoch %d: %+v", want, m)
+	}
+	if got := store.Epoch(); got != want {
+		t.Fatalf("Epoch() = %d, want %d", got, want)
+	}
+}
+
+// TestReconfigGrowRecodeLiveSim is the acceptance pin on the simulated
+// backend: a populated (9,6) fleet grows by six nodes and recodes to
+// the paper's (15,8) Figure-3 geometry while a full foreground
+// workload (puts, patches, deletes, verified reads) keeps running —
+// zero caller errors, zero acked-data loss, fully converged epoch 2.
+func TestReconfigGrowRecodeLiveSim(t *testing.T) {
+	ctx := context.Background()
+	store := openNineSix(t, trapquorum.NewSimBackend())
+	oracle := preloadObjects(t, store, "grow", 24, 1)
+
+	fg := startForeground(store, "grow", 2, oracle, fgReads|fgWrites|fgPuts|fgDeletes)
+	if err := store.Reconfigure(ctx, growRecode); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	final := fg.finish(t)
+
+	verifyAll(t, store, final)
+	requireConverged(t, store, 2)
+	if n, k := store.CodeParams(); n != 15 || k != 8 {
+		t.Fatalf("CodeParams = (%d,%d), want (15,8)", n, k)
+	}
+	if got := store.NodeCount(); got != 15 {
+		t.Fatalf("NodeCount = %d, want 15", got)
+	}
+	if got := len(store.ActiveNodes()); got != 15 {
+		t.Fatalf("ActiveNodes holds %d nodes, want 15", got)
+	}
+	if m := store.Health().Migration; m.DoneObjects != 0 || m.PendingObjects != 0 {
+		t.Fatalf("converged fleet still reports drain progress: %+v", m)
+	}
+}
+
+// TestReconfigCoordinatorKillResume kills the coordinator (cancels the
+// context driving Reconfigure) mid-drain: the fleet must stay fully
+// readable in its mixed-epoch state, and a zero Reconfig must resume
+// the drain to convergence with nothing lost.
+func TestReconfigCoordinatorKillResume(t *testing.T) {
+	ctx := context.Background()
+	store := openNineSix(t, trapquorum.NewSimBackend())
+	oracle := preloadObjects(t, store, "kill", 40, 3)
+
+	mctx, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	go func() { errc <- store.Reconfigure(mctx, growRecode) }()
+	waitFor(t, 30*time.Second, "migration progress", func() bool {
+		m := store.Health().Migration
+		return (m.Active && m.DoneObjects >= 3) || m.Retired == 1
+	})
+	cancel()
+	if err := <-errc; err == nil {
+		t.Log("drain won the race with the kill; resume below degrades to a no-op")
+	}
+
+	// The mixed-epoch fleet serves every object from whichever epoch
+	// it is in.
+	verifyAll(t, store, oracle)
+
+	// Resume: the zero Reconfig names the active target.
+	if err := store.Reconfigure(ctx, trapquorum.Reconfig{}); err != nil {
+		t.Fatalf("resume Reconfigure: %v", err)
+	}
+	requireConverged(t, store, 2)
+	verifyAll(t, store, oracle)
+
+	// The converged fleet accepts new writes in the new epoch.
+	if err := store.Put(ctx, "kill-post", []byte("post-resume write")); err != nil {
+		t.Fatalf("put after resume: %v", err)
+	}
+	got, err := store.Get(ctx, "kill-post")
+	if err != nil || string(got) != "post-resume write" {
+		t.Fatalf("get after resume: %q, %v", got, err)
+	}
+}
+
+// TestReconfigSelfHealPumpResumes kills the coordinator mid-drain on a
+// store opened with WithSelfHeal: the orchestrator's background
+// migration pump must notice the interrupted drain and finish it with
+// no caller driving anything.
+func TestReconfigSelfHealPumpResumes(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend()
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithBackend(backend),
+		trapquorum.WithCode(9, 6),
+		trapquorum.WithTrapezoid(2, 1, 1, 2),
+		trapquorum.WithBlockSize(128),
+		trapquorum.WithSelfHeal(trapquorum.SelfHeal{ScrubInterval: -1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	oracle := preloadObjects(t, store, "pump", 40, 5)
+
+	mctx, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	go func() { errc <- store.Reconfigure(mctx, growRecode) }()
+	waitFor(t, 30*time.Second, "migration progress", func() bool {
+		m := store.Health().Migration
+		return (m.Active && m.DoneObjects >= 3) || m.Retired == 1
+	})
+	cancel()
+	<-errc
+
+	waitFor(t, 30*time.Second, "the self-heal pump to converge the fleet", func() bool {
+		m := store.Health().Migration
+		return !m.Active && m.Retired == 1
+	})
+	requireConverged(t, store, 2)
+	verifyAll(t, store, oracle)
+}
+
+// TestReconfigNodeCrashMidMigration crashes one of the fresh nodes
+// while the drain runs: migration steps against it fail and re-queue,
+// foreground reads keep serving from both epochs throughout, and the
+// drain completes once the node returns.
+func TestReconfigNodeCrashMidMigration(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend()
+	store := openNineSix(t, backend)
+	oracle := preloadObjects(t, store, "crash", 30, 7)
+
+	fg := startForeground(store, "crash", 8, oracle, fgReads)
+	mctx, cancelDrive := context.WithTimeout(ctx, 60*time.Second)
+	defer cancelDrive()
+	errc := make(chan error, 1)
+	go func() { errc <- store.Reconfigure(mctx, growRecode) }()
+	waitFor(t, 30*time.Second, "the grown fleet and an active drain", func() bool {
+		return store.NodeCount() == 15 && store.Health().Migration.Active
+	})
+
+	backend.Crash(12)
+	waitFor(t, 30*time.Second, "migration step failures against the dead node", func() bool {
+		m := store.Health().Migration
+		return !m.Active || m.Failures >= 2
+	})
+	if m := store.Health().Migration; m.Active {
+		// The drain is stuck on the dead node, never split: nothing is
+		// fenced while objects remain outside the target epoch.
+		if m.Retired != 0 {
+			t.Fatalf("epochs fenced while the drain is stuck: %+v", m)
+		}
+	}
+	backend.Restart(12)
+
+	if err := <-errc; err != nil {
+		t.Fatalf("Reconfigure across the crash: %v", err)
+	}
+	final := fg.finish(t)
+	requireConverged(t, store, 2)
+	verifyAll(t, store, final)
+}
+
+// TestReconfigMinorityPartitionMidMigration cuts the links to two of
+// the fresh nodes mid-drain: the migration stalls (it refuses to cut
+// an object over without its full target quorum) while foreground
+// reads keep passing, then completes after the partition heals.
+func TestReconfigMinorityPartitionMidMigration(t *testing.T) {
+	ctx := context.Background()
+	backend := trapquorum.NewSimBackend()
+	store := openNineSix(t, backend)
+	oracle := preloadObjects(t, store, "part", 30, 9)
+
+	fg := startForeground(store, "part", 10, oracle, fgReads)
+	errc := make(chan error, 1)
+	go func() { errc <- store.Reconfigure(ctx, growRecode) }()
+	waitFor(t, 30*time.Second, "the grown fleet and an active drain", func() bool {
+		return store.NodeCount() == 15 && store.Health().Migration.Active
+	})
+
+	backend.PartitionNodes(10, 11)
+	waitFor(t, 30*time.Second, "migration step failures against the partition", func() bool {
+		m := store.Health().Migration
+		return !m.Active || m.Failures >= 2
+	})
+	if m := store.Health().Migration; m.Active && m.Retired != 0 {
+		t.Fatalf("epochs fenced across a partition: %+v", m)
+	}
+	backend.HealLinks()
+
+	if err := <-errc; err != nil {
+		t.Fatalf("Reconfigure across the partition: %v", err)
+	}
+	final := fg.finish(t)
+	requireConverged(t, store, 2)
+	verifyAll(t, store, final)
+}
+
+// TestReconfigAbortLeavesMixedStateServing aborts a drain partway:
+// the fleet stays in its mixed-epoch state with everything readable
+// and writable, nothing fenced, and a zero Reconfig resumes later.
+func TestReconfigAbortLeavesMixedStateServing(t *testing.T) {
+	ctx := context.Background()
+	store := openNineSix(t, trapquorum.NewSimBackend())
+	oracle := preloadObjects(t, store, "abort", 40, 11)
+
+	errc := make(chan error, 1)
+	go func() { errc <- store.Reconfigure(ctx, growRecode) }()
+	waitFor(t, 30*time.Second, "migration progress", func() bool {
+		m := store.Health().Migration
+		return (m.Active && m.DoneObjects >= 2) || m.Retired == 1
+	})
+	store.AbortReconfigure()
+	if err := <-errc; err != nil {
+		t.Fatalf("Reconfigure after abort: %v", err)
+	}
+
+	m := store.Health().Migration
+	if m.Active {
+		t.Fatalf("abort left the migration active: %+v", m)
+	}
+	if m.Retired == 1 {
+		t.Log("drain won the race with the abort; mixed-state checks degrade to converged ones")
+	} else if m.Epoch != 2 || m.Retired != 0 {
+		t.Fatalf("aborted fleet in unexpected state: %+v", m)
+	}
+
+	// Mixed state serves reads and writes; new objects land in epoch 2.
+	verifyAll(t, store, oracle)
+	if err := store.Put(ctx, "abort-post", []byte("landed in the new epoch")); err != nil {
+		t.Fatalf("put on the aborted fleet: %v", err)
+	}
+	oracle["abort-post"] = []byte("landed in the new epoch")
+
+	// Resume and converge.
+	if err := store.Reconfigure(ctx, trapquorum.Reconfig{}); err != nil {
+		t.Fatalf("resume after abort: %v", err)
+	}
+	requireConverged(t, store, 2)
+	verifyAll(t, store, oracle)
+}
+
+// TestReconfigShrinkRetiresNodes removes three nodes from a 12-node
+// roster: after the drain no stripe references them, proven by
+// crashing all three and reading everything back clean.
+func TestReconfigShrinkRetiresNodes(t *testing.T) {
+	ctx := context.Background()
+	rr, err := placement.NewRoundRobin(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := trapquorum.NewSimBackend()
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithBackend(backend),
+		trapquorum.WithCode(9, 6),
+		trapquorum.WithTrapezoid(2, 1, 1, 2),
+		trapquorum.WithPlacement(rr),
+		trapquorum.WithBlockSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	oracle := preloadObjects(t, store, "shrink", 20, 13)
+
+	if err := store.Reconfigure(ctx, trapquorum.Reconfig{RemoveNodes: []int{9, 10, 11}}); err != nil {
+		t.Fatalf("shrink Reconfigure: %v", err)
+	}
+	requireConverged(t, store, 2)
+	if got, want := store.ActiveNodes(), []int{0, 1, 2, 3, 4, 5, 6, 7, 8}; len(got) != len(want) {
+		t.Fatalf("ActiveNodes after shrink = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ActiveNodes after shrink = %v, want %v", got, want)
+			}
+		}
+	}
+	if got := store.NodeCount(); got != 12 {
+		t.Fatalf("NodeCount after shrink = %d, want 12 (ids are never reused)", got)
+	}
+
+	backend.Crash(9)
+	backend.Crash(10)
+	backend.Crash(11)
+	verifyAll(t, store, oracle)
+}
+
+// TestReconfigRefusesSecondTarget pins ErrMigrationActive: while a
+// drain runs, a Reconfigure towards a different target is refused.
+func TestReconfigRefusesSecondTarget(t *testing.T) {
+	ctx := context.Background()
+	store := openNineSix(t, trapquorum.NewSimBackend())
+	preloadObjects(t, store, "second", 40, 15)
+
+	errc := make(chan error, 1)
+	go func() { errc <- store.Reconfigure(ctx, growRecode) }()
+	waitFor(t, 30*time.Second, "an active drain", func() bool {
+		return store.Health().Migration.Active
+	})
+	if err := store.Reconfigure(ctx, trapquorum.Reconfig{AddNodes: 1}); !errors.Is(err, trapquorum.ErrMigrationActive) {
+		t.Fatalf("second target during a drain: %v, want ErrMigrationActive", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("first Reconfigure: %v", err)
+	}
+	requireConverged(t, store, 2)
+}
+
+// TestReconfigValidation pins the argument and capability errors, and
+// that every refused call leaves the fleet untouched.
+func TestReconfigValidation(t *testing.T) {
+	ctx := context.Background()
+	store := openNineSix(t, trapquorum.NewSimBackend())
+	oracle := preloadObjects(t, store, "valid", 4, 17)
+
+	bad := map[string]trapquorum.Reconfig{
+		"negative AddNodes":          {AddNodes: -1},
+		"AddNodes and AddNodeAddrs":  {AddNodes: 1, AddNodeAddrs: []string{"127.0.0.1:1"}},
+		"RemoveNodes outside roster": {RemoveNodes: []int{42}},
+		"roster smaller than n":      {RemoveNodes: []int{8}},
+		"trapezoid not matching n-k": {N: 15, K: 8},
+	}
+	for name, rc := range bad {
+		if err := store.Reconfigure(ctx, rc); err == nil {
+			t.Errorf("%s: Reconfigure accepted it", name)
+		}
+	}
+	// The sim backend mints nodes itself; it has no address-based grow.
+	if err := store.Reconfigure(ctx, trapquorum.Reconfig{AddNodeAddrs: []string{"127.0.0.1:1"}}); !errors.Is(err, trapquorum.ErrNotSupported) {
+		t.Fatalf("AddNodeAddrs on SimBackend: %v, want ErrNotSupported", err)
+	}
+
+	requireConverged(t, store, 1)
+	verifyAll(t, store, oracle)
+}
+
+// TestReconfigGrowRecodeLiveTCP is the acceptance pin on the real
+// plane: durable TCP nodes (diskstore + node engine + wire protocol),
+// the fleet grown by dialing six fresh daemons, recoded (9,6)→(15,8)
+// under live foreground load. It also pins the epoch watermarks'
+// durability (they survive a node crash+restart) and the fence (a
+// stale coordinator stamping a retired epoch is refused).
+func TestReconfigGrowRecodeLiveTCP(t *testing.T) {
+	ctx := context.Background()
+	nodes := startFleet(t, 9)
+	backend := trapquorum.NewNetBackend(fleetAddrs(nodes), tcp.WithDialTimeout(2*time.Second))
+	store, err := trapquorum.Open(ctx,
+		trapquorum.WithBackend(backend),
+		trapquorum.WithCode(9, 6),
+		trapquorum.WithTrapezoid(2, 1, 1, 2),
+		trapquorum.WithBlockSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	oracle := preloadObjects(t, store, "tcp", 12, 19)
+
+	// AddNodes needs a backend that can mint nodes; NetBackend cannot.
+	if err := store.Reconfigure(ctx, trapquorum.Reconfig{AddNodes: 1}); !errors.Is(err, trapquorum.ErrNotSupported) {
+		t.Fatalf("AddNodes on NetBackend: %v, want ErrNotSupported", err)
+	}
+	// A dead address must fail the grow before touching the fleet.
+	if err := store.Reconfigure(ctx, trapquorum.Reconfig{AddNodeAddrs: []string{"127.0.0.1:1"}}); err == nil {
+		t.Fatal("GrowAddrs dialed a dead address without error")
+	}
+	requireConverged(t, store, 1)
+
+	fresh := startFleet(t, 6)
+	fg := startForeground(store, "tcp", 20, oracle, fgReads|fgWrites|fgPuts)
+	rc := growRecode
+	rc.AddNodes = 0
+	rc.AddNodeAddrs = fleetAddrs(fresh)
+	if err := store.Reconfigure(ctx, rc); err != nil {
+		t.Fatalf("Reconfigure over TCP: %v", err)
+	}
+	final := fg.finish(t)
+	verifyAll(t, store, final)
+	requireConverged(t, store, 2)
+	if got := store.NodeCount(); got != 15 {
+		t.Fatalf("NodeCount = %d, want 15", got)
+	}
+
+	// The nodes persisted the fence. A probe client sees the
+	// watermarks, and still sees them after a crash+restart.
+	probe := tcp.NewClient(nodes[0].addr)
+	installed, retired, _, err := probe.EpochState(ctx)
+	probe.Close()
+	if err != nil {
+		t.Fatalf("EpochState: %v", err)
+	}
+	if installed != 2 || retired != 1 {
+		t.Fatalf("node 0 epoch state = (installed %d, retired %d), want (2, 1)", installed, retired)
+	}
+	nodes[0].crash()
+	nodes[0].start()
+	probe = tcp.NewClient(nodes[0].addr)
+	defer probe.Close()
+	installed, retired, _, err = probe.EpochState(ctx)
+	if err != nil {
+		t.Fatalf("EpochState after restart: %v", err)
+	}
+	if installed != 2 || retired != 1 {
+		t.Fatalf("epoch state after restart = (installed %d, retired %d), want (2, 1)", installed, retired)
+	}
+
+	// The fence holds: a stale coordinator stamping the retired epoch
+	// is refused with the typed error.
+	err = probe.PutChunk(client.WithEpoch(ctx, 1),
+		client.ChunkID{Stripe: 1 << 40, Shard: 0}, []byte("stale epoch write"), []uint64{1})
+	if !errors.Is(err, client.ErrEpochStale) {
+		t.Fatalf("write stamped with the retired epoch: %v, want ErrEpochStale", err)
+	}
+}

@@ -190,6 +190,11 @@ type HealthReport struct {
 	// store opened without WithSelfHeal — breakers live in the
 	// transport and need no monitor.
 	Links []client.LinkHealth
+	// Migration is the reconfiguration snapshot: the fleet's placement
+	// epochs and, while a migration drains, its progress. Like Links it
+	// is populated with or without WithSelfHeal, on Open (not OpenStore)
+	// stores.
+	Migration MigrationReport
 }
 
 // Degraded lists the nodes currently not NodeUp — the one-line answer

@@ -240,6 +240,12 @@ func (c *NodeClient) do(ctx context.Context, req *wire.Request) (wire.Response, 
 	if err := ctx.Err(); err != nil {
 		return wire.Response{}, err
 	}
+	// Stamp the placement epoch riding the context (client.WithEpoch)
+	// into the frame, once for every operation: the node's stale-epoch
+	// guard sees exactly what the coordinator operated under.
+	if req.Epoch == 0 {
+		req.Epoch = client.EpochFromContext(ctx)
+	}
 	// An oversized request would just make the server drop the
 	// connection, reading as a phantom node-down; reject it here with
 	// an honest error instead.
@@ -520,3 +526,27 @@ func (c *NodeClient) Wipe(ctx context.Context) error {
 	_, err := c.call(ctx, &wire.Request{Op: wire.OpWipe})
 	return err
 }
+
+// SetEpoch durably records the epoch watermarks and placement blob on
+// the remote node (see client.EpochSetter). The installed watermark
+// rides the Next field, the retired watermark rides Expect.
+func (c *NodeClient) SetEpoch(ctx context.Context, installed, retired uint64, blob []byte) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpEpochSet, Next: installed, Expect: retired, Data: blob})
+	return err
+}
+
+// EpochState reads back the remote node's persisted epoch watermarks
+// and placement blob (see client.EpochSetter).
+func (c *NodeClient) EpochState(ctx context.Context) (installed, retired uint64, blob []byte, err error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpEpochGet})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(resp.Versions) >= 2 {
+		installed, retired = resp.Versions[0], resp.Versions[1]
+	}
+	return installed, retired, resp.Data, nil
+}
+
+// Compile-time conformance with the optional reconfiguration surface.
+var _ client.EpochSetter = (*NodeClient)(nil)

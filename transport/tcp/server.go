@@ -271,11 +271,30 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 	}
 }
 
+// epochGuarder is the optional stale-epoch enforcement surface of a
+// Service (*nodeengine.Engine implements it). Services without it —
+// proxies, pre-epoch engines — pass tagged traffic through; the tag
+// still forwards via the context, so enforcement happens wherever a
+// guard-capable engine terminates the chain.
+type epochGuarder interface {
+	EpochGuard(tag uint64) error
+}
+
 // handle executes one decoded request against the service. The
 // server's context is the operation context: Close cancels it, so
 // in-flight operations abort promptly when the node shuts down.
 func (s *NodeServer) handle(req *wire.Request) wire.Response {
 	ctx := s.ctx
+	if req.Epoch != 0 {
+		if eg, ok := s.svc.(epochGuarder); ok {
+			if err := eg.EpochGuard(req.Epoch); err != nil {
+				return errResponse(err)
+			}
+		}
+		// Re-tag the context so a proxying service (a NodeClient as the
+		// backend) forwards the epoch on its own outgoing frames.
+		ctx = client.WithEpoch(ctx, req.Epoch)
+	}
 	switch req.Op {
 	case wire.OpPing:
 		return wire.Response{Status: wire.StatusOK}
@@ -309,6 +328,24 @@ func (s *NodeServer) handle(req *wire.Request) wire.Response {
 		return wire.Response{Status: wire.StatusOK, Flag: ok}
 	case wire.OpWipe:
 		return errResponse(s.svc.Wipe(ctx))
+	case wire.OpEpochGet:
+		es, ok := s.svc.(client.EpochSetter)
+		if !ok {
+			return wire.Response{Status: wire.StatusBadRequest, Detail: "node does not persist epoch state"}
+		}
+		installed, retired, blob, err := es.EpochState(ctx)
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Versions: []uint64{installed, retired}, Data: blob}
+	case wire.OpEpochSet:
+		es, ok := s.svc.(client.EpochSetter)
+		if !ok {
+			return wire.Response{Status: wire.StatusBadRequest, Detail: "node does not persist epoch state"}
+		}
+		// Installed watermark in Next, retired in Expect (see the wire
+		// package's Request doc).
+		return errResponse(es.SetEpoch(ctx, req.Next, req.Expect, req.Data))
 	default:
 		return wire.Response{Status: wire.StatusBadRequest, Detail: fmt.Sprintf("unhandled op %s", req.Op)}
 	}
